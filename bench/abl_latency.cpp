@@ -1,0 +1,32 @@
+// Ablation A2 — network latency sweep (LAN -> WAN): the paper's future
+// work asks how DTX behaves in WAN environments. The coordinator waits for
+// every participant on every distributed operation, so response time should
+// scale with the per-message latency times the operation fan-out.
+#include "workload/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtx;
+  using namespace dtx::workload;
+  util::Flags flags(argc, argv);
+
+  ExperimentConfig base;
+  base.replication = workload::Replication::kPartial;
+  base.update_txn_fraction = 0.2;
+  base.clients = 10;  // latency dominates; few clients keep the sweep quick
+  apply_common_flags(flags, base);
+
+  print_header("Ablation: network latency (LAN -> WAN)", "latency_us");
+  for (const std::int64_t latency_us : {100, 1000, 5000, 20000}) {
+    for (const auto protocol :
+         {lock::ProtocolKind::kXdgl, lock::ProtocolKind::kXdglPlain,
+          lock::ProtocolKind::kNode2pl}) {
+      ExperimentConfig config = base;
+      config.latency = std::chrono::microseconds(latency_us);
+      config.protocol = protocol;
+      const ExperimentResult result = run_experiment(config);
+      print_row(std::to_string(latency_us),
+                lock::protocol_kind_name(protocol), result);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 10 — "Variation in the update percentage": 50 clients, 5 txns x 5
+// ops, partial replication; the share of update transactions varies 20..60 %
+// (20 % update operations inside each update transaction). Reports both
+// response time and the number of deadlocks.
+//
+// Expected shape (paper): DTX/XDGL response time stays low as updates grow
+// while tree locks climb; XDGL's deadlock count is *higher* and grows with
+// the update share (finer granularity -> more concurrency -> more
+// conflicting interleavings reach a cycle).
+#include "workload/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtx;
+  using namespace dtx::workload;
+  util::Flags flags(argc, argv);
+
+  ExperimentConfig base;
+  base.replication = workload::Replication::kPartial;
+  base.update_op_fraction = 0.2;
+  apply_common_flags(flags, base);
+  const std::int64_t step = flags.get_int("pct_step", 10);
+
+  print_header("Figure 10: variation in the update-transaction percentage",
+               "update_pct");
+  for (std::int64_t pct = 20; pct <= 60; pct += step) {
+    for (const auto protocol :
+         {lock::ProtocolKind::kXdgl, lock::ProtocolKind::kXdglPlain,
+          lock::ProtocolKind::kNode2pl}) {
+      ExperimentConfig config = base;
+      config.update_txn_fraction = static_cast<double>(pct) / 100.0;
+      config.protocol = protocol;
+      const ExperimentResult result = run_experiment(config);
+      print_row(std::to_string(pct) + "%",
+                lock::protocol_kind_name(protocol), result);
+    }
+  }
+  return 0;
+}

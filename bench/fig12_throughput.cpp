@@ -1,0 +1,51 @@
+// Figure 12 — "Throughput and concurrency degree": 50 clients x 5 txns
+// (250 transactions total), 20 % update transactions, partial replication
+// over 4 sites. Prints the committed-transactions-per-interval series and
+// the mean in-flight transaction count per interval, for DTX/XDGL and
+// DTX/Node2PL.
+//
+// Expected shape (paper): DTX commits its transactions roughly an order of
+// magnitude faster (218 txns in 1553 s vs Node2PL's 230 in 16500 s) with a
+// visibly higher concurrency degree throughout.
+#include "workload/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtx;
+  using namespace dtx::workload;
+  util::Flags flags(argc, argv);
+
+  ExperimentConfig base;
+  base.sites = 4;
+  base.replication = workload::Replication::kPartial;
+  base.update_txn_fraction = 0.2;
+  apply_common_flags(flags, base);
+  const double interval_s = flags.get_double("interval_s", 0.0);
+
+  std::printf("# Figure 12: throughput and concurrency degree\n");
+  for (const auto protocol :
+       {lock::ProtocolKind::kXdgl, lock::ProtocolKind::kXdglPlain,
+          lock::ProtocolKind::kNode2pl}) {
+    ExperimentConfig config = base;
+    config.protocol = protocol;
+    const ExperimentResult result = run_experiment(config);
+
+    const double interval =
+        interval_s > 0.0 ? interval_s : result.makespan_s / 10.0;
+    std::printf("## protocol=%s committed=%zu/%zu makespan=%.2fs "
+                "deadlocks=%zu\n",
+                lock::protocol_kind_name(protocol), result.report.committed,
+                result.report.submitted, result.makespan_s,
+                result.deadlocks);
+    std::printf("%-12s %-14s %-18s\n", "t_end_s", "commits", "concurrency");
+    const auto throughput = result.report.throughput_timeline(interval);
+    const auto concurrency = result.report.concurrency_timeline(interval);
+    for (std::size_t i = 0; i < throughput.size(); ++i) {
+      const double degree =
+          i < concurrency.size() ? concurrency[i].second : 0.0;
+      std::printf("%-12.2f %-14zu %-18.1f\n", throughput[i].first,
+                  throughput[i].second, degree);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

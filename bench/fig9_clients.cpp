@@ -1,0 +1,43 @@
+// Figure 9 — "Variation in the number of clients": response time for 10..50
+// clients (5 read-only transactions of 5 operations each), under total and
+// partial replication, DTX/XDGL vs DTX with tree locks (Node2PL).
+//
+// Expected shape (paper): XDGL below Node2PL in both replication modes;
+// partial replication below total replication (no synchronization of every
+// site on every operation).
+#include "workload/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtx;
+  using namespace dtx::workload;
+  util::Flags flags(argc, argv);
+
+  ExperimentConfig base;
+  base.update_txn_fraction = 0.0;  // read transactions only
+  apply_common_flags(flags, base);
+  const std::int64_t step = flags.get_int("client_step", 10);
+  const std::int64_t max_clients =
+      flags.get_int("max_clients", static_cast<std::int64_t>(base.clients));
+
+  print_header("Figure 9: variation in the number of clients (read-only)",
+               "clients/repl");
+  for (std::int64_t clients = step; clients <= max_clients;
+       clients += step) {
+    for (const auto replication :
+         {workload::Replication::kTotal, workload::Replication::kPartial}) {
+      const char* replication_name =
+          replication == workload::Replication::kTotal ? "total" : "partial";
+      for (const auto protocol :
+           {lock::ProtocolKind::kXdgl, lock::ProtocolKind::kNode2pl}) {
+        ExperimentConfig config = base;
+        config.clients = static_cast<std::size_t>(clients);
+        config.replication = replication;
+        config.protocol = protocol;
+        const ExperimentResult result = run_experiment(config);
+        print_row(std::to_string(clients) + "/" + replication_name,
+                  lock::protocol_kind_name(protocol), result);
+      }
+    }
+  }
+  return 0;
+}

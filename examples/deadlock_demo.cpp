@@ -1,0 +1,96 @@
+// Deadlock anatomy demo: shows the pieces of Algorithm 4 in isolation —
+// per-site wait-for graphs that are each acyclic, their union exposing the
+// distributed cycle, and the newest-transaction victim rule — then runs the
+// same situation live on a two-site cluster and prints what the detector
+// actually did.
+#include <cstdio>
+
+#include "dtx/cluster.hpp"
+#include "wfg/wait_for_graph.hpp"
+
+namespace {
+
+using namespace dtx;
+
+void anatomy() {
+  std::printf("=== Algorithm 4 on paper ===\n");
+  // t1 (begun first, coordinated by s1) and t2 (newer, coordinated by s2).
+  const lock::TxnId t1 = txn::make_txn_id(/*begin_micros=*/1000, /*site=*/0);
+  const lock::TxnId t2 = txn::make_txn_id(/*begin_micros=*/2000, /*site=*/1);
+
+  wfg::WaitForGraph site1;  // at s1: t2's insert waits for t1's ST
+  site1.add_edge(t2, t1);
+  wfg::WaitForGraph site2;  // at s2: t1's insert waits for t2's ST
+  site2.add_edge(t1, t2);
+
+  std::printf("site s1 graph: %s", site1.to_string().c_str());
+  std::printf("  cycle? %s\n", site1.has_cycle() ? "yes" : "no");
+  std::printf("site s2 graph: %s", site2.to_string().c_str());
+  std::printf("  cycle? %s\n", site2.has_cycle() ? "yes" : "no");
+
+  wfg::WaitForGraph merged;
+  merged.merge(site1);
+  merged.merge(site2);
+  std::printf("union:\n%s", merged.to_string().c_str());
+  std::printf("  cycle? %s — victim (newest) = t%llu (t2, begun later)\n\n",
+              merged.has_cycle() ? "yes" : "no",
+              static_cast<unsigned long long>(merged.newest_on_cycle()));
+}
+
+}  // namespace
+
+int main() {
+  anatomy();
+
+  std::printf("=== and live ===\n");
+  core::ClusterOptions options;
+  options.site_count = 2;
+  options.protocol = lock::ProtocolKind::kXdglPlain;  // conservative locks
+  options.network.latency = std::chrono::microseconds(200);
+  options.site.detect_period = std::chrono::microseconds(5'000);
+  core::Cluster cluster(options);
+  // Disjoint placement: document a lives only at site 0, b only at site 1.
+  // Each site then records only half of any wait cycle, so resolution can
+  // come only from Algorithm 4's distributed graph union.
+  cluster.load_document(
+      "a", "<site><people><person id=\"1\"><name>x</name></person></people></site>",
+      {0});
+  cluster.load_document(
+      "b", "<site><people><person id=\"2\"><name>y</name></person></people></site>",
+      {1});
+  if (!cluster.start()) return 1;
+
+  std::size_t deadlocks = 0;
+  int rounds = 0;
+  for (; rounds < 50 && deadlocks == 0; ++rounds) {
+    // Opposite lock orders across two documents — the canonical cycle.
+    auto h1 = cluster.submit(
+        0, {"query a /site/people/person/name",
+            "update b insert into /site/people ::= <person id=\"n1\"/>"});
+    auto h2 = cluster.submit(
+        1, {"query b /site/people/person/name",
+            "update a insert into /site/people ::= <person id=\"n2\"/>"});
+    if (!h1 || !h2) return 1;
+    (void)h1.value()->await();
+    (void)h2.value()->await();
+    deadlocks = cluster.stats().deadlock_aborts;
+  }
+  const core::ClusterStats stats = cluster.stats();
+  std::printf("after %d adversarial rounds: %llu deadlock victim(s) aborted, "
+              "%llu committed, %llu wait episodes\n",
+              rounds, static_cast<unsigned long long>(stats.deadlock_aborts),
+              static_cast<unsigned long long>(stats.committed),
+              static_cast<unsigned long long>(stats.wait_episodes));
+  std::uint64_t distributed_cycles = 0;
+  for (net::SiteId site = 0; site < 2; ++site) {
+    distributed_cycles += cluster.site(site).stats().distributed_cycles_found;
+  }
+  std::printf("distributed cycles found by the Alg. 4 union: %llu\n",
+              static_cast<unsigned long long>(distributed_cycles));
+  std::printf("every transaction terminated: %s\n",
+              stats.committed + stats.aborted + stats.failed ==
+                      static_cast<std::uint64_t>(2 * rounds)
+                  ? "yes"
+                  : "no");
+  return 0;
+}

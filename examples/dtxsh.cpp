@@ -1,0 +1,172 @@
+// dtxsh — a tiny interactive shell over a DTX cluster, for poking at the
+// system by hand. Reads commands from stdin (or a here-doc):
+//
+//   load <doc> <site[,site...]> <xml...>   place a document before 'start'
+//   start                                   spin up the sites
+//   q <doc> <xpath>                         run a one-query transaction
+//   u <doc> <update-op>                     run a one-update transaction
+//   txn                                     begin collecting operations
+//   +q <doc> <xpath> | +u <doc> <op>        add an operation to the txn
+//   run                                     execute the collected txn
+//   stats                                   cluster statistics
+//   inspect                                 detailed per-site state
+//   quit
+//
+// Example session:
+//   ./build/examples/dtxsh <<'EOF'
+//   load d1 0,1 <site><people><person id="p1"><name>Ana</name></person></people></site>
+//   start
+//   q d1 /site/people/person[@id='p1']/name
+//   u d1 change /site/people/person[@id='p1']/name ::= Anna
+//   q d1 /site/people/person[@id='p1']/name
+//   stats
+//   EOF
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "dtx/cluster.hpp"
+#include "dtx/inspector.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace dtx;
+
+void print_result(const util::Result<txn::TxnResult>& result) {
+  if (!result) {
+    std::printf("error: %s\n", result.status().to_string().c_str());
+    return;
+  }
+  const txn::TxnResult& txn = result.value();
+  std::printf("%s (%.2f ms)%s%s\n", txn::txn_state_name(txn.state),
+              txn.response_ms, txn.error.empty() ? "" : " — ",
+              txn.error.c_str());
+  for (std::size_t i = 0; i < txn.rows.size(); ++i) {
+    for (const std::string& row : txn.rows[i]) {
+      std::printf("  [%zu] %s\n", i, row.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+
+  core::ClusterOptions options;
+  options.site_count =
+      static_cast<std::size_t>(flags.get_int("sites", 2));
+  auto protocol =
+      lock::parse_protocol_kind(flags.get_string("protocol", "xdgl"));
+  if (!protocol) {
+    std::fprintf(stderr, "%s\n", protocol.status().to_string().c_str());
+    return 1;
+  }
+  options.protocol = protocol.value();
+  options.storage_dir = flags.get_string("storage_dir", "");
+  core::Cluster cluster(options);
+
+  const auto home_site = static_cast<net::SiteId>(flags.get_int("site", 0));
+  bool started = false;
+  std::vector<std::string> pending_txn;
+  bool collecting = false;
+
+  std::printf("dtxsh — %zu sites, protocol %s. Type commands ('quit' ends).\n",
+              options.site_count, lock::protocol_kind_name(options.protocol));
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream in{std::string(trimmed)};
+    std::string command;
+    in >> command;
+
+    if (command == "quit" || command == "exit") break;
+
+    if (command == "load") {
+      std::string doc, site_list;
+      in >> doc >> site_list;
+      std::string xml;
+      std::getline(in, xml);
+      std::vector<net::SiteId> sites;
+      for (const std::string& piece : util::split(site_list, ',')) {
+        sites.push_back(static_cast<net::SiteId>(std::stoul(piece)));
+      }
+      const util::Status status =
+          cluster.load_document(doc, std::string(util::trim(xml)), sites);
+      std::printf("%s\n", status.to_string().c_str());
+      continue;
+    }
+    if (command == "start") {
+      const util::Status status = cluster.start();
+      started = status.is_ok();
+      std::printf("%s\n", status.to_string().c_str());
+      continue;
+    }
+    if (!started && command != "stats") {
+      std::printf("not started — 'load' documents then 'start'\n");
+      continue;
+    }
+    if (command == "q" || command == "u") {
+      std::string rest;
+      std::getline(in, rest);
+      const std::string op =
+          std::string(command == "q" ? "query" : "update") + " " +
+          std::string(util::trim(rest));
+      print_result(cluster.execute(home_site, {op}));
+      continue;
+    }
+    if (command == "txn") {
+      collecting = true;
+      pending_txn.clear();
+      std::printf("collecting — add with +q/+u, execute with 'run'\n");
+      continue;
+    }
+    if (command == "+q" || command == "+u") {
+      if (!collecting) {
+        std::printf("no open transaction — use 'txn' first\n");
+        continue;
+      }
+      std::string rest;
+      std::getline(in, rest);
+      pending_txn.push_back(
+          std::string(command == "+q" ? "query" : "update") + " " +
+          std::string(util::trim(rest)));
+      std::printf("  op %zu staged\n", pending_txn.size());
+      continue;
+    }
+    if (command == "run") {
+      if (!collecting || pending_txn.empty()) {
+        std::printf("nothing staged\n");
+        continue;
+      }
+      print_result(cluster.execute(home_site, pending_txn));
+      collecting = false;
+      pending_txn.clear();
+      continue;
+    }
+    if (command == "inspect") {
+      std::printf("%s", core::describe_cluster(cluster).c_str());
+      continue;
+    }
+    if (command == "stats") {
+      const core::ClusterStats stats = cluster.stats();
+      std::printf("committed=%llu aborted=%llu failed=%llu "
+                  "deadlock_aborts=%llu locks=%llu conflicts=%llu "
+                  "messages=%llu\n",
+                  static_cast<unsigned long long>(stats.committed),
+                  static_cast<unsigned long long>(stats.aborted),
+                  static_cast<unsigned long long>(stats.failed),
+                  static_cast<unsigned long long>(stats.deadlock_aborts),
+                  static_cast<unsigned long long>(stats.lock_acquisitions),
+                  static_cast<unsigned long long>(stats.lock_conflicts),
+                  static_cast<unsigned long long>(stats.network.messages_sent));
+      continue;
+    }
+    std::printf("unknown command '%s'\n", command.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,221 @@
+#include "dataguide/dataguide.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace dtx::dataguide {
+
+std::string GuideNode::label_path() const {
+  std::vector<const GuideNode*> chain;
+  for (const GuideNode* node = this; node != nullptr; node = node->parent_) {
+    chain.push_back(node);
+  }
+  std::string path;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    path += '/';
+    path += (*it)->label_;
+  }
+  return path;
+}
+
+GuideNode* GuideNode::child_labelled(std::string_view label) const {
+  for (const auto& child : children_) {
+    if (child->label_ == label) return child.get();
+  }
+  return nullptr;
+}
+
+std::size_t GuideNode::subtree_size() const {
+  std::size_t total = 1;
+  for (const auto& child : children_) total += child->subtree_size();
+  return total;
+}
+
+std::unique_ptr<DataGuide> DataGuide::build(const xml::Document& document) {
+  auto guide = std::make_unique<DataGuide>();
+  if (document.has_root()) {
+    guide->on_subtree_added(*document.root(), "");
+  }
+  return guide;
+}
+
+GuideNode* DataGuide::find(GuideNodeId id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+GuideNode* DataGuide::find_path(std::string_view label_path) const {
+  if (root_ == nullptr || label_path.empty() || label_path[0] != '/') {
+    return nullptr;
+  }
+  std::vector<std::string> labels =
+      util::split(label_path.substr(1), '/');
+  if (labels.empty() || labels.front() != root_->label()) return nullptr;
+  GuideNode* node = root_.get();
+  for (std::size_t i = 1; i < labels.size(); ++i) {
+    node = node->child_labelled(labels[i]);
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
+std::size_t DataGuide::node_count() const {
+  return root_ == nullptr ? 0 : root_->subtree_size();
+}
+
+GuideNode* DataGuide::ensure_child(GuideNode* parent, std::string_view label) {
+  if (parent == nullptr) {
+    if (root_ == nullptr) {
+      root_ = std::make_unique<GuideNode>(next_id_++, std::string(label),
+                                          nullptr);
+      by_id_[root_->id()] = root_.get();
+    }
+    assert(root_->label() == label &&
+           "a document has a single root label path");
+    return root_.get();
+  }
+  if (GuideNode* existing = parent->child_labelled(label)) return existing;
+  auto child =
+      std::make_unique<GuideNode>(next_id_++, std::string(label), parent);
+  GuideNode* raw = child.get();
+  by_id_[raw->id()] = raw;
+  parent->children_.push_back(std::move(child));
+  return raw;
+}
+
+void DataGuide::add_node_recursive(const xml::Node& node,
+                                   GuideNode* parent_guide) {
+  const std::string label =
+      node.is_element() ? node.name() : std::string(kTextLabel);
+  GuideNode* guide = ensure_child(parent_guide, label);
+  ++guide->extent_;
+  if (node.is_element()) {
+    for (const auto& [attr_name, attr_value] : node.attributes()) {
+      (void)attr_value;
+      GuideNode* attr_guide = ensure_child(guide, "@" + attr_name);
+      ++attr_guide->extent_;
+    }
+    for (const auto& child : node.children()) {
+      add_node_recursive(*child, guide);
+    }
+  }
+}
+
+void DataGuide::remove_node_recursive(const xml::Node& node,
+                                      GuideNode* guide) {
+  assert(guide != nullptr && guide->extent_ > 0);
+  --guide->extent_;
+  if (node.is_element()) {
+    for (const auto& [attr_name, attr_value] : node.attributes()) {
+      (void)attr_value;
+      GuideNode* attr_guide = guide->child_labelled("@" + attr_name);
+      assert(attr_guide != nullptr && attr_guide->extent_ > 0);
+      --attr_guide->extent_;
+    }
+    for (const auto& child : node.children()) {
+      const std::string label =
+          child->is_element() ? child->name() : std::string(kTextLabel);
+      remove_node_recursive(*child, guide->child_labelled(label));
+    }
+  }
+}
+
+void DataGuide::on_subtree_added(const xml::Node& subtree_root,
+                                 std::string_view parent_path) {
+  GuideNode* parent_guide = nullptr;
+  if (!parent_path.empty()) {
+    parent_guide = find_path(parent_path);
+    assert(parent_guide != nullptr && "parent path must exist in the guide");
+  }
+  add_node_recursive(subtree_root, parent_guide);
+}
+
+void DataGuide::on_subtree_removed(const xml::Node& subtree_root,
+                                   std::string_view parent_path) {
+  GuideNode* parent_guide = nullptr;
+  if (!parent_path.empty()) {
+    parent_guide = find_path(parent_path);
+    assert(parent_guide != nullptr);
+  }
+  const std::string label = subtree_root.is_element()
+                                ? subtree_root.name()
+                                : std::string(kTextLabel);
+  GuideNode* guide = parent_guide == nullptr
+                         ? root_.get()
+                         : parent_guide->child_labelled(label);
+  remove_node_recursive(subtree_root, guide);
+}
+
+void DataGuide::on_subtree_renamed(const xml::Node& subtree_root,
+                                   std::string_view parent_path,
+                                   std::string_view old_label) {
+  // The subtree's descendants carry their current (new) names, so removal
+  // must happen under the *old* guide child while additions go under the
+  // new one. Removal walks the subtree against the old child's structure;
+  // descendants have unchanged labels, so only the top-level label differs.
+  GuideNode* parent_guide = nullptr;
+  if (!parent_path.empty()) {
+    parent_guide = find_path(parent_path);
+    assert(parent_guide != nullptr);
+  }
+  GuideNode* old_guide = parent_guide == nullptr
+                             ? root_.get()
+                             : parent_guide->child_labelled(old_label);
+  assert(old_guide != nullptr);
+  remove_node_recursive(subtree_root, old_guide);
+  add_node_recursive(subtree_root, parent_guide);
+}
+
+GuideNode* DataGuide::ensure_path(const std::vector<std::string>& labels) {
+  assert(!labels.empty());
+  GuideNode* node = nullptr;
+  for (const auto& label : labels) {
+    node = ensure_child(node, label);
+  }
+  return node;
+}
+
+namespace {
+
+/// True when the node or any descendant still summarizes live data.
+bool has_live_extent(const GuideNode& node) {
+  if (node.extent() > 0) return true;
+  for (const auto& child : node.children()) {
+    if (has_live_extent(*child)) return true;
+  }
+  return false;
+}
+
+bool nodes_equivalent(const GuideNode& a, const GuideNode& b) {
+  if (a.label() != b.label() || a.extent() != b.extent()) return false;
+  // Children may appear in different orders after incremental maintenance;
+  // compare as label-keyed sets, ignoring zero-extent leftovers on either
+  // side (rebuilds never create them; incremental removal keeps them).
+  const auto live_children = [](const GuideNode& node) {
+    std::vector<const GuideNode*> out;
+    for (const auto& child : node.children()) {
+      if (has_live_extent(*child)) out.push_back(child.get());
+    }
+    return out;
+  };
+  const auto a_children = live_children(a);
+  const auto b_children = live_children(b);
+  if (a_children.size() != b_children.size()) return false;
+  for (const GuideNode* child_a : a_children) {
+    const GuideNode* child_b = b.child_labelled(child_a->label());
+    if (child_b == nullptr || !nodes_equivalent(*child_a, *child_b)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool DataGuide::equivalent(const DataGuide& other) const {
+  if ((root_ == nullptr) != (other.root_ == nullptr)) return false;
+  return root_ == nullptr || nodes_equivalent(*root_, *other.root_);
+}
+
+}  // namespace dtx::dataguide

@@ -1,0 +1,134 @@
+// Strong DataGuide (Goldman & Widom, VLDB'97): a summary tree with exactly
+// one node per distinct label path of the document. XDGL (and therefore DTX)
+// places its locks on DataGuide nodes instead of document nodes, which is
+// what gives the protocol its small lock tables and path-level granularity
+// (paper §2: "Because it uses an optimized structure to represent locks,
+// XDGL is more efficient in managing the locks").
+//
+// Each guide node tracks the *extent* (number of live document nodes with
+// that label path). Guide nodes are never physically removed while a guide
+// is in use — lock tables hold guide-node ids — but zero-extent nodes are
+// skipped by structural matching.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/document.hpp"
+
+namespace dtx::dataguide {
+
+using GuideNodeId = std::uint64_t;
+inline constexpr GuideNodeId kInvalidGuideNodeId = 0;
+
+/// Pseudo-labels for non-element document content.
+inline constexpr std::string_view kTextLabel = "#text";
+
+class GuideNode {
+ public:
+  GuideNode(GuideNodeId id, std::string label, GuideNode* parent)
+      : id_(id), label_(std::move(label)), parent_(parent) {}
+
+  GuideNode(const GuideNode&) = delete;
+  GuideNode& operator=(const GuideNode&) = delete;
+
+  [[nodiscard]] GuideNodeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] GuideNode* parent() const noexcept { return parent_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<GuideNode>>& children()
+      const noexcept {
+    return children_;
+  }
+
+  /// Number of live document nodes whose label path ends at this node.
+  [[nodiscard]] std::size_t extent() const noexcept { return extent_; }
+
+  /// "/site/people/person" style path of labels from the root.
+  [[nodiscard]] std::string label_path() const;
+
+  /// Child with this label, or nullptr. Attribute children use "@name".
+  [[nodiscard]] GuideNode* child_labelled(std::string_view label) const;
+
+  [[nodiscard]] std::size_t subtree_size() const;
+
+  /// Pre-order visit; return false to prune descent.
+  template <typename Visitor>
+  void visit(Visitor&& visitor) const {
+    if (!visitor(*this)) return;
+    for (const auto& child : children_) child->visit(visitor);
+  }
+
+ private:
+  friend class DataGuide;
+
+  GuideNodeId id_;
+  std::string label_;
+  GuideNode* parent_;
+  std::size_t extent_ = 0;
+  std::vector<std::unique_ptr<GuideNode>> children_;
+};
+
+class DataGuide {
+ public:
+  DataGuide() = default;
+  DataGuide(const DataGuide&) = delete;
+  DataGuide& operator=(const DataGuide&) = delete;
+
+  /// Builds the guide for a whole document.
+  static std::unique_ptr<DataGuide> build(const xml::Document& document);
+
+  [[nodiscard]] GuideNode* root() const noexcept { return root_.get(); }
+  [[nodiscard]] bool empty() const noexcept { return root_ == nullptr; }
+
+  /// Lookup by id (lock tables store guide ids).
+  [[nodiscard]] GuideNode* find(GuideNodeId id) const;
+
+  /// Lookup by "/site/people/person" label path; nullptr when absent.
+  [[nodiscard]] GuideNode* find_path(std::string_view label_path) const;
+
+  /// Total number of guide nodes (including zero-extent ones).
+  [[nodiscard]] std::size_t node_count() const;
+
+  // --- incremental maintenance --------------------------------------------
+  // The DTX data manager calls these after applying document updates so the
+  // guide stays consistent without a rebuild. `parent_path` is the label
+  // path of the subtree root's parent ("" for the document root).
+
+  /// Registers an inserted document subtree (adds paths, bumps extents).
+  void on_subtree_added(const xml::Node& subtree_root,
+                        std::string_view parent_path);
+
+  /// Unregisters a removed document subtree (drops extents; guide nodes are
+  /// kept with extent zero).
+  void on_subtree_removed(const xml::Node& subtree_root,
+                          std::string_view parent_path);
+
+  /// Rename = remove old paths + add new paths for the renamed subtree.
+  void on_subtree_renamed(const xml::Node& subtree_root,
+                          std::string_view parent_path,
+                          std::string_view old_label);
+
+  /// Ensures a path exists (used when locking insert targets that introduce
+  /// a brand-new label path). Returns the final node. Labels beginning with
+  /// '@' create attribute children.
+  GuideNode* ensure_path(const std::vector<std::string>& labels);
+
+  /// Structural equality with another guide (labels + extents), used by the
+  /// property tests that check incremental maintenance against a rebuild.
+  [[nodiscard]] bool equivalent(const DataGuide& other) const;
+
+ private:
+  GuideNode* ensure_child(GuideNode* parent, std::string_view label);
+  void add_node_recursive(const xml::Node& node, GuideNode* parent_guide);
+  void remove_node_recursive(const xml::Node& node, GuideNode* guide);
+
+  std::unique_ptr<GuideNode> root_;
+  GuideNodeId next_id_ = 1;
+  std::unordered_map<GuideNodeId, GuideNode*> by_id_;
+};
+
+}  // namespace dtx::dataguide

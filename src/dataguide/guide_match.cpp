@@ -1,0 +1,170 @@
+#include "dataguide/guide_match.hpp"
+
+#include <unordered_set>
+
+namespace dtx::dataguide {
+
+namespace {
+
+using xpath::Axis;
+using xpath::NodeTest;
+using xpath::Predicate;
+using xpath::PredicateKind;
+using xpath::Step;
+
+bool guide_node_matches_test(const GuideNode& node, const Step& step) {
+  switch (step.test) {
+    case NodeTest::kName:
+      return node.label() == step.name;
+    case NodeTest::kWildcard:
+      return node.label().empty() || node.label()[0] != '@';
+    case NodeTest::kText:
+      return node.label() == kTextLabel;
+    case NodeTest::kAttribute:
+      return node.label() == "@" + step.name;
+  }
+  return false;
+}
+
+void collect_guide_candidates(GuideNode& context, const Step& step,
+                              std::vector<GuideNode*>& out) {
+  if (step.axis == Axis::kChild) {
+    for (const auto& child : context.children()) {
+      if (child->extent() > 0 && guide_node_matches_test(*child, step)) {
+        out.push_back(child.get());
+      }
+    }
+    return;
+  }
+  context.visit([&](const GuideNode& node) {
+    if (&node != &context && node.extent() > 0 &&
+        guide_node_matches_test(node, step)) {
+      out.push_back(const_cast<GuideNode*>(&node));
+    }
+    return true;
+  });
+}
+
+/// The condition a step's equality predicates impose on everything selected
+/// at (and below) the step; empty when the step has none.
+std::string step_condition(const Step& step) {
+  std::string condition;
+  for (const Predicate& predicate : step.predicates) {
+    if (predicate.kind != PredicateKind::kEquals) continue;
+    if (!condition.empty()) condition += '&';
+    condition += predicate.path.to_string() + "=" + predicate.literal;
+  }
+  return condition;
+}
+
+/// Combines an inherited condition with a step's own (inner overrides do
+/// not discard outer context — both restrict the instance set, so they
+/// concatenate into one opaque condition key).
+std::string combine(const std::string& outer, const std::string& inner) {
+  if (outer.empty()) return inner;
+  if (inner.empty()) return outer;
+  return outer + "&" + inner;
+}
+
+std::vector<GuideTarget> walk_steps(
+    const std::vector<Step>& steps, std::vector<GuideTarget> contexts,
+    std::vector<GuideTarget>* predicate_targets) {
+  for (const auto& step : steps) {
+    const std::string condition = step_condition(step);
+    std::vector<GuideTarget> next;
+    std::unordered_set<const GuideNode*> seen;
+    for (GuideTarget& context : contexts) {
+      std::vector<GuideNode*> candidates;
+      collect_guide_candidates(*context.node, step, candidates);
+      const std::string inherited = combine(context.condition, condition);
+      for (GuideNode* node : candidates) {
+        if (seen.insert(node).second) {
+          next.push_back(GuideTarget{node, inherited});
+        }
+      }
+    }
+    // Predicate paths: resolved from every candidate; conservative (no
+    // value filtering). They contribute lock targets only, conditioned by
+    // the step's own condition (a point predicate only reads the matching
+    // instance's predicate nodes).
+    if (predicate_targets != nullptr) {
+      for (const auto& predicate : step.predicates) {
+        if (predicate.kind == PredicateKind::kPosition) continue;
+        for (GuideTarget& target : next) {
+          std::vector<GuideTarget> reached = walk_steps(
+              predicate.path.steps, {target}, predicate_targets);
+          predicate_targets->insert(predicate_targets->end(), reached.begin(),
+                                    reached.end());
+        }
+      }
+    }
+    contexts = std::move(next);
+    if (contexts.empty()) break;
+  }
+  return contexts;
+}
+
+void dedupe(std::vector<GuideTarget>& targets) {
+  std::unordered_set<std::string> seen;
+  std::vector<GuideTarget> unique;
+  unique.reserve(targets.size());
+  for (GuideTarget& target : targets) {
+    const std::string key =
+        std::to_string(target.node->id()) + "|" + target.condition;
+    if (seen.insert(key).second) unique.push_back(std::move(target));
+  }
+  targets = std::move(unique);
+}
+
+}  // namespace
+
+MatchResult match(const xpath::Path& path, const DataGuide& guide) {
+  MatchResult result;
+  if (guide.empty() || path.empty()) return result;
+
+  GuideNode* root = guide.root();
+  const xpath::Step& first = path.steps.front();
+
+  std::vector<GuideTarget> contexts;
+  const std::string root_condition = step_condition(first);
+  if (root->extent() > 0 && guide_node_matches_test(*root, first)) {
+    contexts.push_back(GuideTarget{root, root_condition});
+  }
+  if (first.axis == Axis::kDescendant) {
+    std::vector<GuideNode*> candidates;
+    collect_guide_candidates(*root, first, candidates);
+    for (GuideNode* node : candidates) {
+      contexts.push_back(GuideTarget{node, root_condition});
+    }
+  }
+  // Apply first-step predicates' paths against the selected contexts.
+  for (const auto& predicate : first.predicates) {
+    if (predicate.kind == xpath::PredicateKind::kPosition) continue;
+    for (GuideTarget& context : contexts) {
+      std::vector<GuideTarget> reached = walk_steps(
+          predicate.path.steps, {context}, &result.predicate_targets);
+      result.predicate_targets.insert(result.predicate_targets.end(),
+                                      reached.begin(), reached.end());
+    }
+  }
+
+  std::vector<xpath::Step> rest(path.steps.begin() + 1, path.steps.end());
+  result.targets =
+      walk_steps(rest, std::move(contexts), &result.predicate_targets);
+
+  dedupe(result.targets);
+  dedupe(result.predicate_targets);
+  return result;
+}
+
+std::vector<GuideNode*> match_relative(const xpath::RelativePath& path,
+                                       GuideNode& context) {
+  std::vector<GuideTarget> matched =
+      walk_steps(path.steps, {GuideTarget{&context, ""}}, nullptr);
+  std::vector<GuideNode*> out;
+  out.reserve(matched.size());
+  for (const GuideTarget& target : matched) out.push_back(target.node);
+  return out;
+}
+
+}  // namespace dtx::dataguide

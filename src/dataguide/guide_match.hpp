@@ -1,0 +1,47 @@
+// Structural matching of XPath expressions against a DataGuide.
+//
+// XDGL acquires its locks on the DataGuide nodes an expression *may* touch.
+// A DataGuide node summarizes every instance with that label path, so the
+// match also extracts the *value condition* of each target: when the path
+// reaches a node through an equality predicate (person[@id='4']), locks on
+// that node — and on everything selected below it — only concern instances
+// matching the literal. The lock table treats locks with different value
+// conditions on the same guide node as compatible (logical locks), which is
+// where XDGL's concurrency between point operations comes from. Steps
+// without equality predicates yield unconditioned ("any instance") targets:
+// scans and whole-subtree operations conflict conservatively.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataguide/dataguide.hpp"
+#include "xpath/ast.hpp"
+
+namespace dtx::dataguide {
+
+/// A guide node plus the value condition under which it is touched
+/// (empty = any instance).
+struct GuideTarget {
+  GuideNode* node = nullptr;
+  std::string condition;
+};
+
+struct MatchResult {
+  /// Guide nodes selected by the path itself (XDGL's "target nodes").
+  std::vector<GuideTarget> targets;
+  /// Guide nodes reached by predicate paths along the way (XDGL locks these
+  /// in shared-tree mode during queries and updates).
+  std::vector<GuideTarget> predicate_targets;
+};
+
+/// Matches an absolute path against the guide. Zero-extent guide nodes are
+/// skipped (they summarize no live data).
+MatchResult match(const xpath::Path& path, const DataGuide& guide);
+
+/// Matches a relative path from an explicit guide context node (conditions
+/// are not tracked; used for guide navigation, not lock derivation).
+std::vector<GuideNode*> match_relative(const xpath::RelativePath& path,
+                                       GuideNode& context);
+
+}  // namespace dtx::dataguide

@@ -1,0 +1,52 @@
+#include "dtx/catalog.hpp"
+
+#include <algorithm>
+
+namespace dtx::core {
+
+util::Status Catalog::add_document(const std::string& name,
+                                   std::vector<SiteId> sites) {
+  if (sites.empty()) {
+    return util::Status(util::Code::kInvalidArgument,
+                        "document '" + name + "' needs at least one site");
+  }
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  if (placement_.count(name) != 0) {
+    return util::Status(util::Code::kAlreadyExists,
+                        "document '" + name + "' already placed");
+  }
+  placement_[name] = std::move(sites);
+  return util::Status::ok();
+}
+
+std::vector<SiteId> Catalog::sites_of(const std::string& name) const {
+  const auto it = placement_.find(name);
+  return it == placement_.end() ? std::vector<SiteId>{} : it->second;
+}
+
+bool Catalog::has_document(const std::string& name) const {
+  return placement_.count(name) != 0;
+}
+
+std::vector<std::string> Catalog::documents() const {
+  std::vector<std::string> names;
+  names.reserve(placement_.size());
+  for (const auto& [name, sites] : placement_) {
+    (void)sites;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> Catalog::documents_at(SiteId site) const {
+  std::vector<std::string> names;
+  for (const auto& [name, sites] : placement_) {
+    if (std::find(sites.begin(), sites.end(), site) != sites.end()) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+}  // namespace dtx::core

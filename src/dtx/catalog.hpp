@@ -1,0 +1,41 @@
+// Placement catalog: which sites host a replica / fragment of each document.
+// DTX routes an operation to every hosting site (paper §2.2: "in order to
+// carry out an operation, a transaction must obtain the necessary locks at
+// all the target sites"). The catalog is static configuration shared by all
+// sites, set up by the Cluster from the chosen replication / fragmentation
+// scheme.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "util/status.hpp"
+
+namespace dtx::core {
+
+using net::SiteId;
+
+class Catalog {
+ public:
+  /// Registers a document hosted at `sites` (deduplicated, sorted).
+  util::Status add_document(const std::string& name,
+                            std::vector<SiteId> sites);
+
+  /// Hosting sites of a document; empty when unknown.
+  [[nodiscard]] std::vector<SiteId> sites_of(const std::string& name) const;
+
+  [[nodiscard]] bool has_document(const std::string& name) const;
+
+  /// All registered document names, sorted.
+  [[nodiscard]] std::vector<std::string> documents() const;
+
+  /// Documents hosted by one site, sorted.
+  [[nodiscard]] std::vector<std::string> documents_at(SiteId site) const;
+
+ private:
+  std::map<std::string, std::vector<SiteId>> placement_;
+};
+
+}  // namespace dtx::core

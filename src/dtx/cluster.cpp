@@ -1,0 +1,132 @@
+#include "dtx/cluster.hpp"
+
+#include "storage/file_store.hpp"
+
+namespace dtx::core {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(std::move(options)), network_(options_.network) {
+  stores_.reserve(options_.site_count);
+  for (std::size_t i = 0; i < options_.site_count; ++i) {
+    if (options_.storage_dir.empty()) {
+      stores_.push_back(std::make_unique<storage::MemoryStore>());
+    } else {
+      stores_.push_back(std::make_unique<storage::FileStore>(
+          std::filesystem::path(options_.storage_dir) /
+          ("site" + std::to_string(i))));
+    }
+  }
+}
+
+Cluster::~Cluster() { stop(); }
+
+Status Cluster::load_document(const std::string& name, const std::string& xml,
+                              const std::vector<SiteId>& sites) {
+  if (started_) {
+    return Status(Code::kInternal, "load documents before start()");
+  }
+  for (SiteId site : sites) {
+    if (site >= stores_.size()) {
+      return Status(Code::kInvalidArgument,
+                    "site " + std::to_string(site) + " out of range");
+    }
+  }
+  Status placed = catalog_.add_document(name, sites);
+  if (!placed) return placed;
+  for (SiteId site : sites) {
+    Status stored = stores_[site]->store(name, xml);
+    if (!stored) return stored;
+  }
+  return Status::ok();
+}
+
+Status Cluster::declare_document(const std::string& name,
+                                 const std::vector<SiteId>& sites) {
+  if (started_) {
+    return Status(Code::kInternal, "declare documents before start()");
+  }
+  for (SiteId site : sites) {
+    if (site >= stores_.size()) {
+      return Status(Code::kInvalidArgument,
+                    "site " + std::to_string(site) + " out of range");
+    }
+    if (!stores_[site]->exists(name)) {
+      return Status(Code::kNotFound, "document '" + name +
+                                         "' not stored at site " +
+                                         std::to_string(site));
+    }
+  }
+  return catalog_.add_document(name, sites);
+}
+
+Status Cluster::start() {
+  if (started_) return Status::ok();
+  sites_.reserve(options_.site_count);
+  for (std::size_t i = 0; i < options_.site_count; ++i) {
+    SiteOptions site_options = options_.site;
+    site_options.id = static_cast<SiteId>(i);
+    site_options.protocol = options_.protocol;
+    sites_.push_back(std::make_unique<Site>(site_options, network_, catalog_,
+                                            *stores_[i]));
+  }
+  for (auto& site : sites_) {
+    Status status = site->start();
+    if (!status) return status;
+  }
+  started_ = true;
+  return Status::ok();
+}
+
+void Cluster::stop() {
+  for (auto& site : sites_) {
+    if (site != nullptr) site->stop();
+  }
+}
+
+Result<std::shared_ptr<txn::Transaction>> Cluster::submit(
+    SiteId site, const std::vector<std::string>& op_texts) {
+  if (!started_) return Status(Code::kInternal, "cluster not started");
+  if (site >= sites_.size()) {
+    return Status(Code::kInvalidArgument,
+                  "site " + std::to_string(site) + " out of range");
+  }
+  std::vector<txn::Operation> ops;
+  ops.reserve(op_texts.size());
+  for (const std::string& text : op_texts) {
+    auto op = txn::parse_operation(text);
+    if (!op) return op.status();
+    ops.push_back(std::move(op).value());
+  }
+  return sites_[site]->submit(std::move(ops));
+}
+
+Result<txn::TxnResult> Cluster::execute(
+    SiteId site, const std::vector<std::string>& op_texts) {
+  auto handle = submit(site, op_texts);
+  if (!handle) return handle.status();
+  return handle.value()->await();
+}
+
+ClusterStats Cluster::stats() {
+  ClusterStats out;
+  for (auto& site : sites_) {
+    if (site == nullptr) continue;
+    const SiteStats s = site->stats();
+    out.committed += s.committed;
+    out.aborted += s.aborted;
+    out.failed += s.failed;
+    out.deadlock_aborts += s.deadlock_aborts;
+    out.wait_episodes += s.wait_episodes;
+    out.lock_acquisitions += s.lock_manager.lock_acquisitions;
+    out.lock_conflicts += s.lock_manager.conflicts;
+    out.remote_ops += s.remote_ops_processed;
+  }
+  out.network = network_.stats();
+  return out;
+}
+
+}  // namespace dtx::core

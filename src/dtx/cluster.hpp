@@ -1,0 +1,99 @@
+// Cluster: builds a complete DTX deployment — N sites, the simulated LAN,
+// the placement catalog and per-site storage backends — and exposes the
+// client API (connect to a site, submit a transaction, await the result).
+// This is the top-level object examples, tests and benches instantiate; a
+// paper deployment would run one Site per machine instead.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dtx/catalog.hpp"
+#include "dtx/site.hpp"
+#include "net/sim_network.hpp"
+#include "storage/memory_store.hpp"
+
+namespace dtx::core {
+
+struct ClusterOptions {
+  std::size_t site_count = 2;
+  lock::ProtocolKind protocol = lock::ProtocolKind::kXdgl;
+  net::NetworkOptions network;
+  /// Per-site scheduler knobs (id is filled in per site).
+  SiteOptions site;
+  /// When non-empty, each site persists its documents to
+  /// `<storage_dir>/site<N>/` (storage::FileStore) instead of memory —
+  /// committed state then survives cluster restarts (see
+  /// declare_document()).
+  std::string storage_dir;
+};
+
+struct ClusterStats {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t deadlock_aborts = 0;
+  std::uint64_t wait_episodes = 0;
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t lock_conflicts = 0;
+  std::uint64_t remote_ops = 0;
+  net::NetworkStats network;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Places a document: the XML is stored at every listed site and entered
+  /// into the catalog. Must be called before start().
+  util::Status load_document(const std::string& name, const std::string& xml,
+                             const std::vector<SiteId>& sites);
+
+  /// Registers an *already stored* document (file-backed clusters being
+  /// restarted): verifies each listed site's store holds it and enters the
+  /// placement into the catalog. Must be called before start().
+  util::Status declare_document(const std::string& name,
+                                const std::vector<SiteId>& sites);
+
+  /// Spawns every site's threads. Call after all documents are loaded.
+  util::Status start();
+
+  /// Stops all sites (idempotent; also run by the destructor).
+  void stop();
+
+  [[nodiscard]] std::size_t site_count() const noexcept {
+    return sites_.size();
+  }
+  [[nodiscard]] Site& site(SiteId id) { return *sites_.at(id); }
+  [[nodiscard]] const Catalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] net::SimNetwork& network() noexcept { return network_; }
+  [[nodiscard]] storage::StorageBackend& store_of(SiteId id) {
+    return *stores_.at(id);
+  }
+
+  /// Client convenience: submit at `site` (the Listener) and await.
+  /// `op_texts` use the textual operation form ("query d1 /people/...").
+  util::Result<txn::TxnResult> execute(SiteId site,
+                                       const std::vector<std::string>& op_texts);
+
+  /// Async variant returning the transaction handle.
+  util::Result<std::shared_ptr<txn::Transaction>> submit(
+      SiteId site, const std::vector<std::string>& op_texts);
+
+  [[nodiscard]] ClusterStats stats();
+
+ private:
+  ClusterOptions options_;
+  net::SimNetwork network_;
+  Catalog catalog_;
+  std::vector<std::unique_ptr<storage::StorageBackend>> stores_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  bool started_ = false;
+};
+
+}  // namespace dtx::core

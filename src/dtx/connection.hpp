@@ -1,0 +1,61 @@
+// Client connection: the application-facing session the paper describes
+// ("to submit a transaction to DTX, the client makes a connection with an
+// instance of DTX and sends the transaction").
+//
+// The paper leaves re-submission after a deadlock abort to the application
+// ("It is the responsibility of the application client c2 to decide if it
+// resubmits transaction t2"); RetryPolicy packages that decision so callers
+// get at-most-N automatic retries of deadlock victims.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dtx/cluster.hpp"
+
+namespace dtx::core {
+
+struct RetryPolicy {
+  /// Maximum automatic re-submissions after a deadlock abort (0 = never).
+  std::uint32_t max_deadlock_retries = 0;
+  /// Also retry plain (non-deadlock) aborts.
+  bool retry_all_aborts = false;
+  /// Linear backoff between attempts (attempt N sleeps N * backoff).
+  /// Essential under the paper's newest-transaction victim rule: an
+  /// immediately resubmitted victim re-enters as the newest transaction
+  /// and loses every subsequent cycle against a steady stream of older
+  /// competitors (victim starvation); backing off lets it land in a gap.
+  std::chrono::microseconds backoff{2'000};
+};
+
+class Connection {
+ public:
+  /// Binds the session to one site of the cluster (its Listener).
+  Connection(Cluster& cluster, SiteId site, RetryPolicy policy = {})
+      : cluster_(cluster), site_(site), policy_(policy) {}
+
+  [[nodiscard]] SiteId site() const noexcept { return site_; }
+
+  /// Executes a transaction, retrying per the policy. The returned result
+  /// is the final attempt's outcome; retries() reports the count consumed
+  /// by the last execute call.
+  util::Result<txn::TxnResult> execute(
+      const std::vector<std::string>& op_texts);
+
+  /// Fire-and-forget submission (no retry handling).
+  util::Result<std::shared_ptr<txn::Transaction>> submit(
+      const std::vector<std::string>& op_texts) {
+    return cluster_.submit(site_, op_texts);
+  }
+
+  [[nodiscard]] std::uint32_t retries() const noexcept { return retries_; }
+
+ private:
+  Cluster& cluster_;
+  SiteId site_;
+  RetryPolicy policy_;
+  std::uint32_t retries_ = 0;
+};
+
+}  // namespace dtx::core

@@ -1,0 +1,154 @@
+#include "dtx/data_manager.hpp"
+
+#include "util/log.hpp"
+#include "xml/parser.hpp"
+#include "xml/serializer.hpp"
+#include "xpath/evaluator.hpp"
+#include "xupdate/applier.hpp"
+
+namespace dtx::core {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+DataManager::DataManager(storage::StorageBackend& store) : store_(store) {}
+
+Status DataManager::load_all() {
+  for (const std::string& name : store_.list()) {
+    auto xml_text = store_.load(name);
+    if (!xml_text) return xml_text.status();
+    auto document = xml::parse(xml_text.value(), name);
+    if (!document) return document.status();
+    DocEntry entry;
+    entry.scope = next_scope_++;
+    entry.document = std::move(document).value();
+    entry.guide = dataguide::DataGuide::build(*entry.document);
+    documents_[name] = std::move(entry);
+  }
+  return Status::ok();
+}
+
+bool DataManager::has_document(const std::string& name) const {
+  return documents_.count(name) != 0;
+}
+
+std::vector<std::string> DataManager::documents() const {
+  std::vector<std::string> names;
+  names.reserve(documents_.size());
+  for (const auto& [name, entry] : documents_) {
+    (void)entry;
+    names.push_back(name);
+  }
+  return names;
+}
+
+DataManager::DocEntry* DataManager::entry_of(const std::string& name) {
+  const auto it = documents_.find(name);
+  return it == documents_.end() ? nullptr : &it->second;
+}
+
+Result<lock::DocContext> DataManager::context_of(const std::string& name) {
+  DocEntry* entry = entry_of(name);
+  if (entry == nullptr) {
+    return Status(Code::kNotFound, "document '" + name + "' not at this site");
+  }
+  return lock::DocContext{entry->scope, *entry->document, *entry->guide};
+}
+
+Result<std::vector<std::string>> DataManager::run_query(
+    const std::string& doc, const xpath::Path& path) {
+  DocEntry* entry = entry_of(doc);
+  if (entry == nullptr) {
+    return Status(Code::kNotFound, "document '" + doc + "' not at this site");
+  }
+  return xpath::evaluate_strings(path, *entry->document);
+}
+
+Result<std::size_t> DataManager::run_update(TxnId txn, const std::string& doc,
+                                            const xupdate::UpdateOp& op) {
+  DocEntry* entry = entry_of(doc);
+  if (entry == nullptr) {
+    return Status(Code::kNotFound, "document '" + doc + "' not at this site");
+  }
+  xupdate::UndoLog& undo = undo_logs_[{txn, doc}];
+  auto result = xupdate::apply(op, *entry->document, undo, entry->guide.get());
+  if (!result) return result.status();
+  touched_[txn].insert(doc);
+  return result.value().affected;
+}
+
+std::size_t DataManager::undo_checkpoint(TxnId txn, const std::string& doc) {
+  return undo_logs_[{txn, doc}].checkpoint();
+}
+
+void DataManager::undo_to(TxnId txn, const std::string& doc,
+                          std::size_t token) {
+  DocEntry* entry = entry_of(doc);
+  const auto it = undo_logs_.find({txn, doc});
+  if (entry == nullptr || it == undo_logs_.end()) return;
+  it->second.undo_to(token, *entry->document, entry->guide.get());
+}
+
+void DataManager::undo_all(TxnId txn) {
+  const auto touched_it = touched_.find(txn);
+  if (touched_it != touched_.end()) {
+    for (const std::string& doc : touched_it->second) {
+      undo_to(txn, doc, 0);
+    }
+    touched_.erase(touched_it);
+  }
+  // Drop any (possibly empty) undo logs of this transaction.
+  for (auto it = undo_logs_.begin(); it != undo_logs_.end();) {
+    if (it->first.first == txn) {
+      it = undo_logs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status DataManager::persist(TxnId txn) {
+  const auto touched_it = touched_.find(txn);
+  if (touched_it != touched_.end()) {
+    for (const std::string& doc : touched_it->second) {
+      DocEntry* entry = entry_of(doc);
+      if (entry == nullptr) continue;
+      Status status = store_.store(doc, xml::serialize(*entry->document));
+      if (!status) return status;
+      const auto log_it = undo_logs_.find({txn, doc});
+      if (log_it != undo_logs_.end()) {
+        log_it->second.commit(*entry->document);
+      }
+    }
+    touched_.erase(touched_it);
+  }
+  for (auto it = undo_logs_.begin(); it != undo_logs_.end();) {
+    if (it->first.first == txn) {
+      it = undo_logs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::ok();
+}
+
+std::size_t DataManager::total_nodes() const {
+  std::size_t total = 0;
+  for (const auto& [name, entry] : documents_) {
+    (void)name;
+    total += entry.document->node_count();
+  }
+  return total;
+}
+
+std::size_t DataManager::total_guide_nodes() const {
+  std::size_t total = 0;
+  for (const auto& [name, entry] : documents_) {
+    (void)name;
+    total += entry.guide->node_count();
+  }
+  return total;
+}
+
+}  // namespace dtx::core

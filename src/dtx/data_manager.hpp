@@ -1,0 +1,92 @@
+// The DataManager (paper §2.1): "the component used by DTX to interact with
+// the XML data storage structure. It is responsible for recovering XML data
+// from the storage structure, converting it into a proper representation
+// structure, and providing means for updating the data in the storage
+// structure."
+//
+// Per document it keeps the in-memory tree plus its DataGuide, and per
+// (transaction, document) an undo log. Committed state is written through to
+// the storage backend at commit time (Alg. 5 l. 10).
+//
+// NOT thread-safe on its own — the owning LockManager serializes access.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "dataguide/dataguide.hpp"
+#include "lock/protocol.hpp"
+#include "storage/storage.hpp"
+#include "txn/operation.hpp"
+#include "txn/transaction.hpp"
+#include "util/status.hpp"
+#include "xml/document.hpp"
+#include "xupdate/undo_log.hpp"
+
+namespace dtx::core {
+
+using lock::TxnId;
+
+class DataManager {
+ public:
+  explicit DataManager(storage::StorageBackend& store);
+
+  /// Loads and parses every document in the storage backend, building the
+  /// DataGuides.
+  util::Status load_all();
+
+  [[nodiscard]] bool has_document(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> documents() const;
+
+  /// Lock-protocol view of one document (scope id, tree, guide).
+  [[nodiscard]] util::Result<lock::DocContext> context_of(
+      const std::string& name);
+
+  /// Runs a query; returns the matched string values.
+  util::Result<std::vector<std::string>> run_query(const std::string& doc,
+                                                   const xpath::Path& path);
+
+  /// Applies an update on behalf of `txn`, maintaining the DataGuide and the
+  /// transaction's undo log. Returns the number of affected nodes.
+  util::Result<std::size_t> run_update(TxnId txn, const std::string& doc,
+                                       const xupdate::UpdateOp& op);
+
+  /// Checkpoint token of txn's undo log on `doc` (for per-operation undo).
+  [[nodiscard]] std::size_t undo_checkpoint(TxnId txn, const std::string& doc);
+
+  /// Rolls txn's changes on `doc` back to `token`.
+  void undo_to(TxnId txn, const std::string& doc, std::size_t token);
+
+  /// Rolls back everything txn changed at this site (Alg. 6 l. 13).
+  void undo_all(TxnId txn);
+
+  /// Persists every document txn touched and drops its undo logs
+  /// (Alg. 5 l. 10).
+  util::Status persist(TxnId txn);
+
+  /// Total number of live document nodes at this site (sizing metric).
+  [[nodiscard]] std::size_t total_nodes() const;
+
+  /// Total number of DataGuide nodes at this site.
+  [[nodiscard]] std::size_t total_guide_nodes() const;
+
+ private:
+  struct DocEntry {
+    std::uint64_t scope = 0;
+    std::unique_ptr<xml::Document> document;
+    std::unique_ptr<dataguide::DataGuide> guide;
+  };
+
+  DocEntry* entry_of(const std::string& name);
+
+  storage::StorageBackend& store_;
+  std::map<std::string, DocEntry> documents_;
+  std::uint64_t next_scope_ = 1;
+  // Undo logs per (transaction, document); dirty set drives persist().
+  std::map<std::pair<TxnId, std::string>, xupdate::UndoLog> undo_logs_;
+  std::map<TxnId, std::set<std::string>> touched_;
+};
+
+}  // namespace dtx::core

@@ -1,0 +1,48 @@
+#include "dtx/deadlock_detector.hpp"
+
+namespace dtx::core {
+
+DeadlockDetector::DeadlockDetector(std::chrono::microseconds period,
+                                   std::chrono::microseconds reply_timeout)
+    : period_(period), reply_timeout_(reply_timeout) {}
+
+bool DeadlockDetector::should_start(Clock::time_point now) const {
+  return !active_ && now - last_probe_ >= period_;
+}
+
+std::uint64_t DeadlockDetector::begin_probe(
+    const std::vector<wfg::Edge>& local_edges,
+    const std::vector<SiteId>& other_sites, Clock::time_point now) {
+  active_ = true;
+  last_probe_ = now;
+  probe_started_ = now;
+  probe_id_ = next_probe_id_++;
+  awaiting_.clear();
+  awaiting_.insert(other_sites.begin(), other_sites.end());
+  merged_ = wfg::WaitForGraph::from_edges(local_edges);
+  return probe_id_;
+}
+
+std::optional<lock::TxnId> DeadlockDetector::add_reply(
+    std::uint64_t probe, SiteId from, const std::vector<wfg::Edge>& edges) {
+  if (!active_ || probe != probe_id_) return std::nullopt;  // stale reply
+  merged_.merge(wfg::WaitForGraph::from_edges(edges));
+  awaiting_.erase(from);
+  if (!awaiting_.empty()) return std::nullopt;
+  return resolve();
+}
+
+std::optional<lock::TxnId> DeadlockDetector::resolve_if_expired(
+    Clock::time_point now) {
+  if (!active_ || now - probe_started_ < reply_timeout_) return std::nullopt;
+  return resolve();
+}
+
+lock::TxnId DeadlockDetector::resolve() {
+  active_ = false;
+  const lock::TxnId victim = merged_.newest_on_cycle();
+  if (victim != 0) ++cycles_found_;
+  return victim;
+}
+
+}  // namespace dtx::core

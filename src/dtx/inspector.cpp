@@ -1,0 +1,56 @@
+#include "dtx/inspector.hpp"
+
+#include <sstream>
+
+namespace dtx::core {
+
+std::string describe_site(Site& site) {
+  const SiteStats stats = site.stats();
+  std::ostringstream out;
+  out << "site " << site.id() << " [" << site.lock_manager().protocol_name()
+      << "]\n";
+  out << "  transactions: committed=" << stats.committed
+      << " aborted=" << stats.aborted << " failed=" << stats.failed
+      << " deadlock_aborts=" << stats.deadlock_aborts << "\n";
+  out << "  scheduler: wait_episodes=" << stats.wait_episodes
+      << " remote_ops=" << stats.remote_ops_processed
+      << " distributed_cycles=" << stats.distributed_cycles_found << "\n";
+  out << "  lock manager: acquisitions=" << stats.lock_manager.lock_acquisitions
+      << " conflicts=" << stats.lock_manager.conflicts
+      << " local_deadlocks=" << stats.lock_manager.local_deadlocks
+      << " entries_now=" << site.lock_manager().lock_entries() << "\n";
+  out << "  data: documents=" << site.data_manager().documents().size()
+      << " nodes=" << site.data_manager().total_nodes()
+      << " guide_nodes=" << site.data_manager().total_guide_nodes() << "\n";
+  const auto edges = site.lock_manager().wfg_edges();
+  if (edges.empty()) {
+    out << "  wait-for graph: empty\n";
+  } else {
+    out << "  wait-for graph:\n";
+    for (const auto& edge : edges) {
+      out << "    t" << edge.waiter << " -> t" << edge.holder << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string describe_cluster(Cluster& cluster) {
+  std::ostringstream out;
+  out << "cluster: " << cluster.site_count() << " sites, "
+      << cluster.catalog().documents().size() << " documents\n";
+  for (const std::string& doc : cluster.catalog().documents()) {
+    out << "  " << doc << " @ sites";
+    for (SiteId site : cluster.catalog().sites_of(doc)) out << " " << site;
+    out << "\n";
+  }
+  for (std::size_t i = 0; i < cluster.site_count(); ++i) {
+    out << describe_site(cluster.site(static_cast<SiteId>(i)));
+  }
+  const ClusterStats stats = cluster.stats();
+  out << "network: messages=" << stats.network.messages_sent
+      << " bytes=" << stats.network.bytes_sent
+      << " dropped=" << stats.network.messages_dropped << "\n";
+  return out.str();
+}
+
+}  // namespace dtx::core

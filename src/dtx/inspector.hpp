@@ -1,0 +1,20 @@
+// Human-readable snapshots of a running DTX deployment, for the dtxsh shell
+// and for debugging examples. Everything funnels through the synchronized
+// accessors, so inspection is safe while transactions run.
+#pragma once
+
+#include <string>
+
+#include "dtx/cluster.hpp"
+
+namespace dtx::core {
+
+/// Multi-line description of one site: role counters, lock-manager state,
+/// current wait-for edges.
+std::string describe_site(Site& site);
+
+/// Multi-line description of the whole cluster: per-site summaries plus the
+/// aggregate statistics and network counters.
+std::string describe_cluster(Cluster& cluster);
+
+}  // namespace dtx::core

@@ -1,0 +1,184 @@
+#include "dtx/lock_manager.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace dtx::core {
+
+using lock::TxnId;
+using util::Code;
+using util::Status;
+
+LockManager::LockManager(lock::ProtocolKind protocol, DataManager& data)
+    : protocol_(lock::make_protocol(protocol)), data_(data) {}
+
+OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
+                                         const txn::Operation& op,
+                                         SiteId waiter_coordinator) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OpOutcome outcome;
+
+  // A fresh attempt supersedes any recorded wait state of this transaction.
+  graph_.clear_waiter(txn);
+  unsubscribe_waiter(txn);
+
+  auto context = data_.context_of(op.doc);
+  if (!context) {
+    outcome.kind = OpOutcome::Kind::kFailed;
+    outcome.error = context.status().to_string();
+    return outcome;
+  }
+
+  // Compute the lock set under the protocol's rules.
+  auto requests =
+      op.is_update()
+          ? protocol_->locks_for_update(op.update, context.value())
+          : protocol_->locks_for_query(op.query, context.value());
+  if (!requests) {
+    outcome.kind = OpOutcome::Kind::kFailed;
+    outcome.error = requests.status().to_string();
+    return outcome;
+  }
+
+  // Acquire all-or-nothing (Alg. 3 l. 4).
+  OpRecord record;
+  record.doc = op.doc;
+  lock::AcquireOutcome acquired =
+      table_.try_acquire_all(txn, requests.value(), &record.journal);
+  if (!acquired.granted) {
+    // Alg. 3 l. 8-13: record the wait-for edges; deadlock check; undo.
+    ++stats_.conflicts;
+    graph_.add_edges(txn, acquired.conflicts);
+    if (graph_.has_cycle()) {
+      // Granting would deadlock locally; the operation reports it and the
+      // scheduler aborts the transaction (Alg. 1 l. 19-20).
+      ++stats_.local_deadlocks;
+      graph_.clear_waiter(txn);
+      outcome.kind = OpOutcome::Kind::kDeadlock;
+      outcome.blockers = std::move(acquired.conflicts);
+      return outcome;
+    }
+    for (TxnId blocker : acquired.conflicts) {
+      wake_subscriptions_.emplace(blocker,
+                                  WakeNotice{txn, waiter_coordinator});
+    }
+    outcome.kind = OpOutcome::Kind::kConflict;
+    outcome.blockers = std::move(acquired.conflicts);
+    return outcome;
+  }
+
+  // Locks held: execute (Alg. 3 l. 6).
+  record.undo_token = data_.undo_checkpoint(txn, op.doc);
+  if (op.is_update()) {
+    auto applied = data_.run_update(txn, op.doc, op.update);
+    if (!applied) {
+      // Structural failure: release this operation's locks and report.
+      table_.rollback(txn, record.journal);
+      outcome.kind = OpOutcome::Kind::kFailed;
+      outcome.error = applied.status().to_string();
+      return outcome;
+    }
+    record.did_update = true;
+  } else {
+    auto rows = data_.run_query(op.doc, op.query);
+    if (!rows) {
+      table_.rollback(txn, record.journal);
+      outcome.kind = OpOutcome::Kind::kFailed;
+      outcome.error = rows.status().to_string();
+      return outcome;
+    }
+    outcome.rows = std::move(rows).value();
+  }
+  op_records_[{txn, op_index}] = std::move(record);
+  ++stats_.operations_executed;
+  stats_.lock_acquisitions = table_.acquisition_count();
+  outcome.kind = OpOutcome::Kind::kExecuted;
+  return outcome;
+}
+
+void LockManager::undo_operation(TxnId txn, std::uint32_t op_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = op_records_.find({txn, op_index});
+  if (it == op_records_.end()) return;  // never executed here
+  OpRecord& record = it->second;
+  if (record.did_update) {
+    data_.undo_to(txn, record.doc, record.undo_token);
+  }
+  table_.rollback(txn, record.journal);
+  op_records_.erase(it);
+}
+
+Status LockManager::commit(TxnId txn, std::vector<WakeNotice>& wakes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status status = data_.persist(txn);
+  if (!status) return status;
+  table_.release_all(txn);
+  graph_.remove_txn(txn);
+  drop_op_records(txn);
+  unsubscribe_waiter(txn);
+  collect_wakes(txn, wakes);
+  return Status::ok();
+}
+
+void LockManager::abort(TxnId txn, std::vector<WakeNotice>& wakes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.undo_all(txn);
+  table_.release_all(txn);
+  graph_.remove_txn(txn);
+  drop_op_records(txn);
+  unsubscribe_waiter(txn);
+  collect_wakes(txn, wakes);
+}
+
+void LockManager::clear_waiter(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  graph_.clear_waiter(txn);
+  unsubscribe_waiter(txn);
+}
+
+std::vector<wfg::Edge> LockManager::wfg_edges() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graph_.edges();
+}
+
+LockManagerStats LockManager::stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.lock_acquisitions = table_.acquisition_count();
+  return stats_;
+}
+
+std::size_t LockManager::lock_entries() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return table_.entry_count();
+}
+
+void LockManager::drop_op_records(TxnId txn) {
+  for (auto it = op_records_.begin(); it != op_records_.end();) {
+    if (it->first.first == txn) {
+      it = op_records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LockManager::collect_wakes(TxnId released,
+                                std::vector<WakeNotice>& wakes) {
+  const auto [begin, end] = wake_subscriptions_.equal_range(released);
+  for (auto it = begin; it != end; ++it) wakes.push_back(it->second);
+  wake_subscriptions_.erase(begin, end);
+}
+
+void LockManager::unsubscribe_waiter(TxnId waiter) {
+  for (auto it = wake_subscriptions_.begin();
+       it != wake_subscriptions_.end();) {
+    if (it->second.waiter == waiter) {
+      it = wake_subscriptions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dtx::core

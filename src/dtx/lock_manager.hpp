@@ -1,0 +1,126 @@
+// The site LockManager (paper §2.1): owns the lock table, the data /
+// DataGuide representation and the lock-granting rules, and implements
+// Algorithm 3 (process_operation): compute the protocol's lock set, acquire
+// all-or-nothing, execute on success; on conflict record the wait-for edges
+// and undo any partial effects.
+//
+// It additionally keeps:
+//  * per-(transaction, operation) acquisition journals + undo checkpoints so
+//    a distributed operation that failed to lock at another site can be
+//    undone here alone (Alg. 1 l. 16);
+//  * wake subscriptions: who must be notified when a blocking transaction
+//    releases its locks (paper §2.2: waiting transactions "start executing
+//    again" when the holder commits).
+//
+// All public methods are internally synchronized (single monitor — the
+// paper's commit/abort procedures are explicitly atomic with respect to the
+// scheduler and lock manager).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dtx/data_manager.hpp"
+#include "lock/lock_table.hpp"
+#include "lock/protocol.hpp"
+#include "txn/operation.hpp"
+#include "txn/transaction.hpp"
+#include "wfg/wait_for_graph.hpp"
+
+namespace dtx::core {
+
+using net::SiteId;
+
+/// Outcome of Alg. 3 for one operation at one site.
+struct OpOutcome {
+  enum class Kind {
+    kExecuted,  ///< locks granted, operation applied
+    kConflict,  ///< blocked; wait-for edges recorded (transaction waits)
+    kDeadlock,  ///< granting would close a local wait-for cycle
+    kFailed,    ///< structural error (bad op, missing doc, apply failure)
+  };
+  Kind kind = Kind::kFailed;
+  std::vector<std::string> rows;     ///< query results when executed
+  std::vector<lock::TxnId> blockers; ///< conflicting transactions
+  std::string error;                 ///< failure detail
+};
+
+/// Notification to send after a release: wake `waiter` at its coordinator.
+struct WakeNotice {
+  lock::TxnId waiter = 0;
+  SiteId coordinator = 0;
+};
+
+struct LockManagerStats {
+  std::uint64_t operations_executed = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t local_deadlocks = 0;
+  std::uint64_t lock_acquisitions = 0;  // mirrors LockTable counter
+};
+
+class LockManager {
+ public:
+  LockManager(lock::ProtocolKind protocol, DataManager& data);
+
+  /// Algorithm 3. `waiter_coordinator` is the coordinator site of the
+  /// transaction (wake messages go there on conflict).
+  OpOutcome process_operation(lock::TxnId txn, std::uint32_t op_index,
+                              const txn::Operation& op,
+                              SiteId waiter_coordinator);
+
+  /// Undoes one operation's effects and releases the locks it acquired
+  /// (Alg. 1 l. 16). Only valid for the transaction's most recent operation
+  /// at this site.
+  void undo_operation(lock::TxnId txn, std::uint32_t op_index);
+
+  /// Commit at this site: persist, drop undo logs, release locks, clear
+  /// wait-for state (Alg. 5 l. 10-11). Returns who to wake.
+  util::Status commit(lock::TxnId txn, std::vector<WakeNotice>& wakes);
+
+  /// Abort at this site: undo everything, release locks, clear wait-for
+  /// state (Alg. 6 l. 13-14). Returns who to wake.
+  void abort(lock::TxnId txn, std::vector<WakeNotice>& wakes);
+
+  /// Drops the transaction's wait-for edges and wake subscriptions (called
+  /// when it retries or terminates elsewhere).
+  void clear_waiter(lock::TxnId txn);
+
+  /// Snapshot of the local wait-for graph (Alg. 4 l. 4).
+  [[nodiscard]] std::vector<wfg::Edge> wfg_edges();
+
+  [[nodiscard]] LockManagerStats stats();
+
+  /// Current lock-table entry count (diagnostics).
+  [[nodiscard]] std::size_t lock_entries();
+
+  [[nodiscard]] const char* protocol_name() const noexcept {
+    return protocol_->name();
+  }
+
+ private:
+  struct OpRecord {
+    lock::AcquisitionJournal journal;
+    std::string doc;
+    std::size_t undo_token = 0;
+    bool did_update = false;
+  };
+
+  std::mutex mutex_;
+  std::unique_ptr<lock::LockProtocol> protocol_;
+  DataManager& data_;
+  lock::LockTable table_;
+  wfg::WaitForGraph graph_;
+  std::map<std::pair<lock::TxnId, std::uint32_t>, OpRecord> op_records_;
+  // blocker -> subscribers waiting for its release.
+  std::multimap<lock::TxnId, WakeNotice> wake_subscriptions_;
+  LockManagerStats stats_;
+
+  void drop_op_records(lock::TxnId txn);
+  void collect_wakes(lock::TxnId released, std::vector<WakeNotice>& wakes);
+  void unsubscribe_waiter(lock::TxnId waiter);
+};
+
+}  // namespace dtx::core

@@ -1,0 +1,40 @@
+// Whole-document locking baseline — the "traditional technique which makes
+// use of a complete lock on the document" the paper mentions (§3.2). One
+// S lock per queried document, one X lock per updated document; the target
+// node id 0 denotes the whole scope.
+#include <vector>
+
+#include "lock/protocol.hpp"
+
+namespace dtx::lock {
+
+namespace {
+
+class DocLockProtocol final : public LockProtocol {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "doclock";
+  }
+
+  util::Result<std::vector<LockRequest>> locks_for_query(
+      const xpath::Path& path, const DocContext& context) override {
+    (void)path;
+    return std::vector<LockRequest>{
+        LockRequest{LockTarget{context.scope, 0}, LockMode::kST}};
+  }
+
+  util::Result<std::vector<LockRequest>> locks_for_update(
+      const xupdate::UpdateOp& op, const DocContext& context) override {
+    (void)op;
+    return std::vector<LockRequest>{
+        LockRequest{LockTarget{context.scope, 0}, LockMode::kX}};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LockProtocol> make_doclock_protocol() {
+  return std::make_unique<DocLockProtocol>();
+}
+
+}  // namespace dtx::lock

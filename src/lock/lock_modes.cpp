@@ -1,0 +1,92 @@
+#include "lock/lock_modes.hpp"
+
+namespace dtx::lock {
+
+namespace {
+
+// Row = held, column = requested. Order: IS IX SI SA SB ST XT X.
+constexpr bool kCompatible[kLockModeCount][kLockModeCount] = {
+    /* IS */ {true, true, true, true, true, true, false, false},
+    /* IX */ {true, true, true, true, true, false, false, false},
+    /* SI */ {true, true, true, true, true, true, false, false},
+    /* SA */ {true, true, true, true, true, true, false, false},
+    /* SB */ {true, true, true, true, true, true, false, false},
+    /* ST */ {true, false, true, true, true, true, false, false},
+    /* XT */ {false, false, false, false, false, false, false, false},
+    /* X  */ {false, false, false, false, false, false, false, false},
+};
+
+// covers[held][requested]: holding `held`, is `requested` redundant?
+//  * every mode covers itself;
+//  * XT (exclusive tree) covers everything on the same node;
+//  * X covers everything except the tree locks (it protects one node, not
+//    the subtree);
+//  * ST covers IS and the shared insert locks (a whole-subtree read lock
+//    already prevents modification of the node);
+//  * SI/SA/SB cover IS (they are shared locks on the node itself).
+constexpr bool kCovers[kLockModeCount][kLockModeCount] = {
+    /* IS */ {true, false, false, false, false, false, false, false},
+    /* IX */ {true, true, false, false, false, false, false, false},
+    /* SI */ {true, false, true, false, false, false, false, false},
+    /* SA */ {true, false, false, true, false, false, false, false},
+    /* SB */ {true, false, false, false, true, false, false, false},
+    /* ST */ {true, false, true, true, true, true, false, false},
+    /* XT */ {true, true, true, true, true, true, true, true},
+    /* X  */ {true, true, true, true, true, false, false, true},
+};
+
+}  // namespace
+
+const char* lock_mode_name(LockMode mode) noexcept {
+  switch (mode) {
+    case LockMode::kIS: return "IS";
+    case LockMode::kIX: return "IX";
+    case LockMode::kSI: return "SI";
+    case LockMode::kSA: return "SA";
+    case LockMode::kSB: return "SB";
+    case LockMode::kST: return "ST";
+    case LockMode::kXT: return "XT";
+    case LockMode::kX: return "X";
+  }
+  return "?";
+}
+
+bool compatible(LockMode held, LockMode requested) noexcept {
+  return kCompatible[static_cast<int>(held)][static_cast<int>(requested)];
+}
+
+bool covers(LockMode held, LockMode requested) noexcept {
+  return kCovers[static_cast<int>(held)][static_cast<int>(requested)];
+}
+
+bool mask_compatible(ModeMask held_mask, LockMode requested) noexcept {
+  for (int i = 0; i < kLockModeCount; ++i) {
+    if ((held_mask & (1u << i)) != 0 &&
+        !compatible(static_cast<LockMode>(i), requested)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool mask_covers(ModeMask held_mask, LockMode requested) noexcept {
+  for (int i = 0; i < kLockModeCount; ++i) {
+    if ((held_mask & (1u << i)) != 0 &&
+        covers(static_cast<LockMode>(i), requested)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string mask_to_string(ModeMask mask) {
+  std::string out;
+  for (int i = 0; i < kLockModeCount; ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    if (!out.empty()) out += '|';
+    out += lock_mode_name(static_cast<LockMode>(i));
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace dtx::lock

@@ -1,0 +1,70 @@
+// The eight XDGL lock modes and their compatibility matrix (paper §2):
+//
+//   SI (shared into), SA (shared after), SB (shared before): shared locks
+//      taken on the reference node of an insertion — they prevent concurrent
+//      modification of that node while staying compatible with one another,
+//      so independent inserts around the same node do not conflict.
+//   X  (exclusive): the node being modified.
+//   ST (shared tree): protects a DataGuide subtree from any update.
+//   XT (exclusive tree): protects a DataGuide subtree from reads and updates.
+//   IS (intention shared): on each ancestor of a node locked in shared mode.
+//   IX (intention exclusive): on each ancestor of a node locked exclusively.
+//
+// The exact matrix is defined in the XDGL paper (Pleshachkov et al., ADBIS
+// 2005), which this article references but does not reprint. The matrix
+// below is reconstructed to honour every behaviour the article states:
+//   * ST is incompatible with IX (drives the §2.4 deadlock example);
+//   * SI/SA/SB are *shared*: mutually compatible and compatible with reads,
+//     incompatible with X/XT on the same node;
+//   * XT conflicts with everything (no reads below an exclusive tree);
+//   * X conflicts with everything (pending node modifications are invisible
+//     under read-committed, so no other lock may coexist).
+// plus classic multigranularity rules (IS/IX compatible with each other).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dtx::lock {
+
+enum class LockMode : std::uint8_t {
+  kIS = 0,
+  kIX = 1,
+  kSI = 2,
+  kSA = 3,
+  kSB = 4,
+  kST = 5,
+  kXT = 6,
+  kX = 7,
+};
+
+inline constexpr int kLockModeCount = 8;
+
+const char* lock_mode_name(LockMode mode) noexcept;
+
+/// True when a lock held in `held` allows another transaction to acquire
+/// `requested` on the same target.
+bool compatible(LockMode held, LockMode requested) noexcept;
+
+/// True when a transaction already holding `held` needs no extra lock to
+/// perform what `requested` permits (e.g. X covers everything, ST covers IS).
+/// Used to skip redundant same-transaction acquisitions.
+bool covers(LockMode held, LockMode requested) noexcept;
+
+/// Bitmask helpers: lock tables store a per-(txn, target) mode set.
+using ModeMask = std::uint8_t;
+
+constexpr ModeMask mask_of(LockMode mode) noexcept {
+  return static_cast<ModeMask>(1u << static_cast<unsigned>(mode));
+}
+
+/// True when `requested` is compatible with every mode in `held_mask`.
+bool mask_compatible(ModeMask held_mask, LockMode requested) noexcept;
+
+/// True when some mode in `held_mask` covers `requested`.
+bool mask_covers(ModeMask held_mask, LockMode requested) noexcept;
+
+/// "IS|ST" style rendering for diagnostics.
+std::string mask_to_string(ModeMask mask);
+
+}  // namespace dtx::lock

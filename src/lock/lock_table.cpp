@@ -1,0 +1,195 @@
+#include "lock/lock_table.hpp"
+
+#include <algorithm>
+
+namespace dtx::lock {
+
+ValueCondition value_condition_of(std::string_view literal) noexcept {
+  // FNV-1a, pinned away from kAnyValue.
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : literal) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash == kAnyValue ? 1 : hash;
+}
+
+namespace {
+
+/// Two locks on the same guide node can only collide when at least one is
+/// unconditioned or their conditions name the same value.
+bool values_may_overlap(ValueCondition a, ValueCondition b) noexcept {
+  return a == kAnyValue || b == kAnyValue || a == b;
+}
+
+}  // namespace
+
+AcquireOutcome LockTable::try_acquire(TxnId txn, const LockRequest& request) {
+  Change change = Change::kNone;
+  ModeMask old_mask = 0;
+  return acquire_internal(txn, request, change, old_mask);
+}
+
+AcquireOutcome LockTable::acquire_internal(TxnId txn,
+                                           const LockRequest& request,
+                                           Change& change, ModeMask& old_mask) {
+  change = Change::kNone;
+  const NodeKey key{request.target.scope, request.target.node};
+  TargetState& state = targets_[key];
+
+  // Conflict check against other transactions; find our own entry meanwhile.
+  Holder* own = nullptr;
+  std::vector<TxnId> conflicts;
+  for (Holder& holder : state.holders) {
+    if (holder.txn == txn) {
+      if (holder.value == request.target.value) own = &holder;
+      continue;  // never conflicts with itself, under any condition
+    }
+    if (!values_may_overlap(holder.value, request.target.value)) continue;
+    if (!mask_compatible(holder.mask, request.mode)) {
+      conflicts.push_back(holder.txn);
+    }
+  }
+  if (!conflicts.empty()) {
+    ++conflict_attempts_;
+    if (state.holders.empty()) targets_.erase(key);
+    return AcquireOutcome{false, std::move(conflicts)};
+  }
+
+  if (own != nullptr && mask_covers(own->mask, request.mode)) {
+    // Already effectively held; no bookkeeping change, no counter bump —
+    // re-walking shared ancestors must not inflate the overhead metric.
+    return AcquireOutcome{true, {}};
+  }
+  ++acquisitions_;
+  if (own != nullptr) {
+    change = Change::kUpgrade;
+    old_mask = own->mask;
+    own->mask |= mask_of(request.mode);
+    return AcquireOutcome{true, {}};
+  }
+  change = Change::kNewEntry;
+  state.holders.push_back(
+      Holder{txn, request.target.value, mask_of(request.mode)});
+  by_txn_[txn].push_back(request.target);
+  ++entry_count_;
+  return AcquireOutcome{true, {}};
+}
+
+AcquireOutcome LockTable::try_acquire_all(
+    TxnId txn, const std::vector<LockRequest>& requests,
+    AcquisitionJournal* journal) {
+  // All-or-nothing: on conflict, every change this batch made (new entries
+  // and mode upgrades alike) is rolled back before returning.
+  AcquisitionJournal local;
+  AcquisitionJournal& record = journal != nullptr ? *journal : local;
+  const std::size_t record_base = record.items.size();
+
+  for (const LockRequest& request : requests) {
+    Change change = Change::kNone;
+    ModeMask old_mask = 0;
+    AcquireOutcome outcome =
+        acquire_internal(txn, request, change, old_mask);
+    if (outcome.granted) {
+      if (change != Change::kNone) {
+        record.items.push_back(AcquisitionJournal::Item{
+            request.target, change == Change::kNewEntry, old_mask});
+      }
+      continue;
+    }
+    // Unwind this batch's changes in reverse.
+    AcquisitionJournal batch;
+    batch.items.assign(record.items.begin() +
+                           static_cast<std::ptrdiff_t>(record_base),
+                       record.items.end());
+    record.items.resize(record_base);
+    rollback(txn, batch);
+    return outcome;
+  }
+  return AcquireOutcome{true, {}};
+}
+
+void LockTable::rollback(TxnId txn, const AcquisitionJournal& journal) {
+  for (auto it = journal.items.rbegin(); it != journal.items.rend(); ++it) {
+    const NodeKey key{it->target.scope, it->target.node};
+    const auto state_it = targets_.find(key);
+    if (state_it == targets_.end()) continue;
+    auto& holders = state_it->second.holders;
+    const auto holder =
+        std::find_if(holders.begin(), holders.end(), [&](const Holder& h) {
+          return h.txn == txn && h.value == it->target.value;
+        });
+    if (holder == holders.end()) continue;
+    if (!it->new_entry) {
+      holder->mask = it->old_mask;
+    } else {
+      holders.erase(holder);
+      --entry_count_;
+      auto& owned = by_txn_[txn];
+      const auto owned_it = std::find(owned.begin(), owned.end(), it->target);
+      if (owned_it != owned.end()) owned.erase(owned_it);
+      if (owned.empty()) by_txn_.erase(txn);
+      if (holders.empty()) targets_.erase(state_it);
+    }
+  }
+}
+
+void LockTable::release_all(TxnId txn) {
+  const auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) return;
+  for (const LockTarget& target : it->second) {
+    const NodeKey key{target.scope, target.node};
+    const auto state_it = targets_.find(key);
+    if (state_it == targets_.end()) continue;
+    auto& holders = state_it->second.holders;
+    const auto holder =
+        std::find_if(holders.begin(), holders.end(), [&](const Holder& h) {
+          return h.txn == txn && h.value == target.value;
+        });
+    if (holder != holders.end()) {
+      holders.erase(holder);
+      --entry_count_;
+    }
+    if (holders.empty()) targets_.erase(state_it);
+  }
+  by_txn_.erase(txn);
+}
+
+bool LockTable::holds(TxnId txn, const LockTarget& target,
+                      LockMode mode) const {
+  const auto it = targets_.find(NodeKey{target.scope, target.node});
+  if (it == targets_.end()) return false;
+  for (const Holder& holder : it->second.holders) {
+    if (holder.txn == txn && holder.value == target.value) {
+      return (holder.mask & mask_of(mode)) != 0 ||
+             mask_covers(holder.mask, mode);
+    }
+  }
+  return false;
+}
+
+std::vector<TxnId> LockTable::holders() const {
+  std::vector<TxnId> out;
+  out.reserve(by_txn_.size());
+  for (const auto& [txn, targets] : by_txn_) out.push_back(txn);
+  return out;
+}
+
+std::string LockTable::dump() const {
+  std::string out;
+  for (const auto& [key, state] : targets_) {
+    out += "doc " + std::to_string(key.scope) + " node " +
+           std::to_string(key.node) + ":";
+    for (const Holder& holder : state.holders) {
+      out += " t" + std::to_string(holder.txn) + "=" +
+             mask_to_string(holder.mask);
+      if (holder.value != kAnyValue) {
+        out += "@" + std::to_string(holder.value % 997);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dtx::lock

@@ -1,0 +1,44 @@
+#include "lock/protocol.hpp"
+
+namespace dtx::lock {
+
+const char* protocol_kind_name(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::kXdgl: return "xdgl";
+    case ProtocolKind::kXdglPlain: return "xdgl-plain";
+    case ProtocolKind::kNode2pl: return "node2pl";
+    case ProtocolKind::kDocLock2pl: return "doclock";
+  }
+  return "?";
+}
+
+util::Result<ProtocolKind> parse_protocol_kind(const std::string& name) {
+  if (name == "xdgl") return ProtocolKind::kXdgl;
+  if (name == "xdgl-plain" || name == "xdglplain") {
+    return ProtocolKind::kXdglPlain;
+  }
+  if (name == "node2pl") return ProtocolKind::kNode2pl;
+  if (name == "doclock" || name == "doclock2pl") {
+    return ProtocolKind::kDocLock2pl;
+  }
+  return util::Status(util::Code::kInvalidArgument,
+                      "unknown protocol '" + name +
+                          "' (expected xdgl, xdgl-plain, node2pl or doclock)");
+}
+
+// xdgl_protocol.cpp
+std::unique_ptr<LockProtocol> make_xdgl_protocol(bool logical_locks);
+std::unique_ptr<LockProtocol> make_node2pl_protocol();   // node2pl_protocol.cpp
+std::unique_ptr<LockProtocol> make_doclock_protocol();   // doclock_protocol.cpp
+
+std::unique_ptr<LockProtocol> make_protocol(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kXdgl: return make_xdgl_protocol(true);
+    case ProtocolKind::kXdglPlain: return make_xdgl_protocol(false);
+    case ProtocolKind::kNode2pl: return make_node2pl_protocol();
+    case ProtocolKind::kDocLock2pl: return make_doclock_protocol();
+  }
+  return nullptr;
+}
+
+}  // namespace dtx::lock

@@ -1,0 +1,52 @@
+#include "net/message.hpp"
+
+namespace dtx::net {
+
+namespace {
+
+struct NameVisitor {
+  const char* operator()(const ExecuteOperation&) const { return "execute"; }
+  const char* operator()(const OperationResult&) const { return "result"; }
+  const char* operator()(const UndoOperation&) const { return "undo-op"; }
+  const char* operator()(const CommitRequest&) const { return "commit"; }
+  const char* operator()(const CommitAck&) const { return "commit-ack"; }
+  const char* operator()(const AbortRequest&) const { return "abort"; }
+  const char* operator()(const AbortAck&) const { return "abort-ack"; }
+  const char* operator()(const FailNotice&) const { return "fail"; }
+  const char* operator()(const WfgRequest&) const { return "wfg-request"; }
+  const char* operator()(const WfgReply&) const { return "wfg-reply"; }
+  const char* operator()(const VictimAbort&) const { return "victim-abort"; }
+  const char* operator()(const WakeTxn&) const { return "wake"; }
+};
+
+constexpr std::size_t kHeaderBytes = 32;  // ids, flags, framing
+
+struct SizeVisitor {
+  std::size_t operator()(const ExecuteOperation& m) const {
+    return kHeaderBytes + m.doc.size() + m.op_text.size();
+  }
+  std::size_t operator()(const OperationResult& m) const {
+    std::size_t total = kHeaderBytes;
+    for (const auto& row : m.rows) total += row.size() + 4;
+    return total;
+  }
+  std::size_t operator()(const WfgReply& m) const {
+    return kHeaderBytes + m.edges.size() * 16;
+  }
+  template <typename T>
+  std::size_t operator()(const T&) const {
+    return kHeaderBytes;
+  }
+};
+
+}  // namespace
+
+const char* payload_name(const Payload& payload) noexcept {
+  return std::visit(NameVisitor{}, payload);
+}
+
+std::size_t payload_wire_size(const Payload& payload) noexcept {
+  return std::visit(SizeVisitor{}, payload);
+}
+
+}  // namespace dtx::net

@@ -1,0 +1,120 @@
+// Message vocabulary between DTX schedulers. In the paper the instances talk
+// over a LAN; here the same conversations run over net::SimNetwork (see
+// DESIGN.md §2 for the substitution rationale). Operations travel as
+// language-level text (XPath / update syntax) and are re-evaluated at each
+// participant — node ids never cross the wire, which is what lets replicas
+// keep independent id spaces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "lock/lock_table.hpp"
+#include "wfg/wait_for_graph.hpp"
+
+namespace dtx::net {
+
+using SiteId = std::uint32_t;
+using lock::TxnId;
+
+/// Coordinator -> participant: execute one operation of a distributed
+/// transaction (Alg. 1 l. 13).
+struct ExecuteOperation {
+  TxnId txn = 0;
+  std::uint32_t op_index = 0;
+  std::uint32_t attempt = 0;  ///< retry counter (wait mode re-execution)
+  SiteId coordinator = 0;
+  std::string doc;      ///< target document name
+  std::string op_text;  ///< "query <xpath>" or update syntax
+};
+
+/// Participant -> coordinator: outcome of a remote operation (Alg. 2 l. 13).
+struct OperationResult {
+  TxnId txn = 0;
+  std::uint32_t op_index = 0;
+  std::uint32_t attempt = 0;
+  bool executed = false;
+  bool lock_conflict = false;  ///< set_adquire_locking(false) in the paper
+  bool failed = false;
+  bool deadlock = false;       ///< local cycle detected while locking
+  std::vector<std::string> rows;  ///< query results (string values)
+};
+
+/// Coordinator -> participant: undo one operation's effects (Alg. 1 l. 16 —
+/// the operation failed to lock elsewhere, so sites that executed it must
+/// roll it back while the transaction waits).
+struct UndoOperation {
+  TxnId txn = 0;
+  std::uint32_t op_index = 0;
+};
+
+/// Coordinator -> participant: consolidate the transaction (Alg. 5 l. 4).
+struct CommitRequest {
+  TxnId txn = 0;
+};
+
+struct CommitAck {
+  TxnId txn = 0;
+  bool ok = false;
+};
+
+/// Coordinator -> participant: cancel the transaction (Alg. 6 l. 4).
+struct AbortRequest {
+  TxnId txn = 0;
+};
+
+struct AbortAck {
+  TxnId txn = 0;
+  bool ok = false;
+};
+
+/// Coordinator -> participant: the abort itself failed somewhere; mark the
+/// transaction failed (Alg. 6 l. 7).
+struct FailNotice {
+  TxnId txn = 0;
+};
+
+/// Detector -> site: send me your wait-for graph (Alg. 4 l. 4).
+struct WfgRequest {
+  std::uint64_t probe = 0;
+  SiteId requester = 0;
+};
+
+struct WfgReply {
+  std::uint64_t probe = 0;
+  std::vector<wfg::Edge> edges;
+};
+
+/// Detector -> victim's coordinator: abort this transaction (Alg. 4 l. 8).
+struct VictimAbort {
+  TxnId txn = 0;
+};
+
+/// Participant -> coordinator: a transaction your waiter was blocked on has
+/// released its locks; retry (paper §2.2: "those that entered wait mode ...
+/// start executing again").
+struct WakeTxn {
+  TxnId txn = 0;
+};
+
+using Payload =
+    std::variant<ExecuteOperation, OperationResult, UndoOperation,
+                 CommitRequest, CommitAck, AbortRequest, AbortAck, FailNotice,
+                 WfgRequest, WfgReply, VictimAbort, WakeTxn>;
+
+struct Message {
+  SiteId from = 0;
+  SiteId to = 0;
+  Payload payload;
+};
+
+/// Payload type name for logging / network statistics.
+const char* payload_name(const Payload& payload) noexcept;
+
+/// Approximate wire size in bytes, used by the bandwidth model and the
+/// message-volume statistics (text payloads dominate).
+std::size_t payload_wire_size(const Payload& payload) noexcept;
+
+}  // namespace dtx::net

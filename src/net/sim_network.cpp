@@ -1,0 +1,131 @@
+#include "net/sim_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dtx::net {
+
+void Mailbox::push(Message message, Clock::time_point deliver_at) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(Timed{deliver_at, next_sequence_++, std::move(message)});
+  }
+  available_.notify_all();
+}
+
+std::optional<Message> Mailbox::pop(std::chrono::microseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (interrupted_) return std::nullopt;
+    const auto now = Clock::now();
+    auto wake = deadline;
+    if (!queue_.empty()) {
+      const auto due = queue_.top().deliver_at;
+      if (due <= now) {
+        Message message = std::move(const_cast<Timed&>(queue_.top()).message);
+        queue_.pop();
+        return message;
+      }
+      wake = std::min(due, deadline);
+    }
+    if (now >= deadline) return std::nullopt;
+    available_.wait_until(lock, wake);
+  }
+}
+
+std::optional<Message> Mailbox::try_pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty() || queue_.top().deliver_at > Clock::now()) {
+    return std::nullopt;
+  }
+  Message message = std::move(const_cast<Timed&>(queue_.top()).message);
+  queue_.pop();
+  return message;
+}
+
+void Mailbox::interrupt() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    interrupted_ = true;
+  }
+  available_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+SimNetwork::SimNetwork(NetworkOptions options) : options_(options) {}
+
+Mailbox& SimNetwork::register_site(SiteId site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = mailboxes_[site];
+  if (slot == nullptr) slot = std::make_unique<Mailbox>();
+  return *slot;
+}
+
+std::vector<SiteId> SimNetwork::sites() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SiteId> out;
+  out.reserve(mailboxes_.size());
+  for (const auto& [site, mailbox] : mailboxes_) {
+    (void)mailbox;
+    out.push_back(site);
+  }
+  return out;
+}
+
+void SimNetwork::send(Message message) {
+  Mailbox* mailbox = nullptr;
+  Mailbox::Clock::time_point deliver_at;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (drop_filter_ && drop_filter_(message)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    const auto it = mailboxes_.find(message.to);
+    assert(it != mailboxes_.end() && "destination site not registered");
+    if (it == mailboxes_.end()) return;
+    mailbox = it->second.get();
+
+    const std::size_t bytes = payload_wire_size(message.payload);
+    ++stats_.messages_sent;
+    stats_.bytes_sent += bytes;
+
+    const auto now = Mailbox::Clock::now();
+    auto transmit = std::chrono::microseconds(0);
+    if (options_.bandwidth_bytes_per_sec > 0) {
+      transmit = std::chrono::microseconds(
+          bytes * 1'000'000 / options_.bandwidth_bytes_per_sec);
+    }
+    // Serialize transmissions per link, then add propagation latency.
+    auto& link_ready = link_ready_at_[{message.from, message.to}];
+    const auto start = std::max(link_ready, now);
+    link_ready = start + transmit;
+    deliver_at = link_ready + options_.latency;
+  }
+  mailbox->push(std::move(message), deliver_at);
+}
+
+void SimNetwork::set_drop_filter(std::function<bool(const Message&)> filter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  drop_filter_ = std::move(filter);
+}
+
+NetworkStats SimNetwork::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SimNetwork::interrupt_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [site, mailbox] : mailboxes_) {
+    (void)site;
+    mailbox->interrupt();
+  }
+}
+
+}  // namespace dtx::net

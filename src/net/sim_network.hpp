@@ -1,0 +1,113 @@
+// SimNetwork: the in-process stand-in for the paper's 100 Mbit/s Ethernet
+// LAN. Each site owns a mailbox; send() stamps the message with a delivery
+// time computed from a latency + bandwidth model and the receiver's pop()
+// blocks until the earliest message is due. Per-(sender, receiver) FIFO
+// order is preserved (delivery time is monotone per link), matching TCP's
+// in-order guarantee that the coordinator/participant algorithms rely on.
+//
+// Fault injection (drop filters) exists for testing the abort/fail paths
+// (Alg. 6): a dropped request surfaces as a timeout at the waiting peer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace dtx::net {
+
+struct NetworkOptions {
+  /// One-way latency applied to every message.
+  std::chrono::microseconds latency{100};
+  /// Link bandwidth in bytes/second (0 = infinite). 100 Mbit/s full duplex
+  /// as in the paper's cluster = 12'500'000 B/s.
+  std::uint64_t bandwidth_bytes_per_sec = 12'500'000;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_dropped = 0;
+};
+
+class Mailbox {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Enqueues a message due at `deliver_at`.
+  void push(Message message, Clock::time_point deliver_at);
+
+  /// Blocks until a message is deliverable or `timeout` elapses.
+  std::optional<Message> pop(std::chrono::microseconds timeout);
+
+  /// Non-blocking variant.
+  std::optional<Message> try_pop();
+
+  /// Wakes all blocked poppers (shutdown).
+  void interrupt();
+
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Timed {
+    Clock::time_point deliver_at;
+    std::uint64_t sequence;  // tie-break keeps per-link FIFO
+    Message message;
+  };
+  struct Later {
+    bool operator()(const Timed& a, const Timed& b) const {
+      return a.deliver_at != b.deliver_at ? a.deliver_at > b.deliver_at
+                                          : a.sequence > b.sequence;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::priority_queue<Timed, std::vector<Timed>, Later> queue_;
+  std::uint64_t next_sequence_ = 0;
+  bool interrupted_ = false;
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(NetworkOptions options = {});
+
+  /// Registers a site and returns its mailbox (stable address).
+  Mailbox& register_site(SiteId site);
+
+  [[nodiscard]] std::vector<SiteId> sites() const;
+
+  /// Sends a message; applies latency/bandwidth model and drop filter.
+  void send(Message message);
+
+  /// Installs a fault filter: return true to drop the message. nullptr
+  /// clears it.
+  void set_drop_filter(std::function<bool(const Message&)> filter);
+
+  [[nodiscard]] NetworkStats stats() const;
+
+  /// Wakes every blocked receiver (shutdown).
+  void interrupt_all();
+
+ private:
+  NetworkOptions options_;
+  mutable std::mutex mutex_;
+  std::map<SiteId, std::unique_ptr<Mailbox>> mailboxes_;
+  std::function<bool(const Message&)> drop_filter_;
+  NetworkStats stats_;
+  // Per-link clock keeping delivery monotone (FIFO) even when bandwidth
+  // delays vary by message size.
+  std::map<std::pair<SiteId, SiteId>, Mailbox::Clock::time_point>
+      link_ready_at_;
+};
+
+}  // namespace dtx::net

@@ -1,0 +1,82 @@
+#include "storage/file_store.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace dtx::storage {
+
+namespace fs = std::filesystem;
+
+FileStore::FileStore(fs::path directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+}
+
+fs::path FileStore::path_of(const std::string& name) const {
+  return directory_ / (name + ".xml");
+}
+
+util::Result<std::string> FileStore::load(const std::string& name) {
+  std::ifstream in(path_of(name), std::ios::binary);
+  if (!in) {
+    return util::Status(util::Code::kNotFound,
+                        "document '" + name + "' not in " + directory_.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+util::Status FileStore::store(const std::string& name, const std::string& xml) {
+  // Write-then-rename for atomicity against concurrent readers.
+  const fs::path final_path = path_of(name);
+  const fs::path temp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return util::Status(util::Code::kUnavailable,
+                          "cannot write " + temp_path.string());
+    }
+    out << xml;
+    if (!out) {
+      return util::Status(util::Code::kUnavailable,
+                          "short write to " + temp_path.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(temp_path, final_path, ec);
+  if (ec) {
+    return util::Status(util::Code::kUnavailable,
+                        "rename failed: " + ec.message());
+  }
+  return util::Status::ok();
+}
+
+bool FileStore::exists(const std::string& name) {
+  std::error_code ec;
+  return fs::exists(path_of(name), ec);
+}
+
+std::vector<std::string> FileStore::list() {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (entry.path().extension() == ".xml") {
+      names.push_back(entry.path().stem().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+util::Status FileStore::remove(const std::string& name) {
+  std::error_code ec;
+  if (!fs::remove(path_of(name), ec) || ec) {
+    return util::Status(util::Code::kNotFound,
+                        "document '" + name + "' not in " + directory_.string());
+  }
+  return util::Status::ok();
+}
+
+}  // namespace dtx::storage

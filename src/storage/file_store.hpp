@@ -1,0 +1,35 @@
+// File-system storage backend: one "<name>.xml" file per document inside a
+// directory (the paper's Fig. 2 shows a DTX instance backed by a plain file
+// system next to DBMS-backed instances).
+#pragma once
+
+#include <filesystem>
+
+#include "storage/storage.hpp"
+
+namespace dtx::storage {
+
+class FileStore final : public StorageBackend {
+ public:
+  /// Creates the directory when missing.
+  explicit FileStore(std::filesystem::path directory);
+
+  [[nodiscard]] const char* kind() const noexcept override { return "file"; }
+
+  util::Result<std::string> load(const std::string& name) override;
+  util::Status store(const std::string& name, const std::string& xml) override;
+  bool exists(const std::string& name) override;
+  std::vector<std::string> list() override;
+  util::Status remove(const std::string& name) override;
+
+  [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+    return directory_;
+  }
+
+ private:
+  [[nodiscard]] std::filesystem::path path_of(const std::string& name) const;
+
+  std::filesystem::path directory_;
+};
+
+}  // namespace dtx::storage

@@ -1,0 +1,53 @@
+#include "storage/memory_store.hpp"
+
+namespace dtx::storage {
+
+util::Result<std::string> MemoryStore::load(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = documents_.find(name);
+  if (it == documents_.end()) {
+    return util::Status(util::Code::kNotFound,
+                        "document '" + name + "' not in memory store");
+  }
+  return it->second;
+}
+
+util::Status MemoryStore::store(const std::string& name,
+                                const std::string& xml) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  documents_[name] = xml;
+  ++store_count_;
+  return util::Status::ok();
+}
+
+bool MemoryStore::exists(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return documents_.count(name) != 0;
+}
+
+std::vector<std::string> MemoryStore::list() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(documents_.size());
+  for (const auto& [name, xml] : documents_) {
+    (void)xml;
+    names.push_back(name);
+  }
+  return names;
+}
+
+util::Status MemoryStore::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (documents_.erase(name) == 0) {
+    return util::Status(util::Code::kNotFound,
+                        "document '" + name + "' not in memory store");
+  }
+  return util::Status::ok();
+}
+
+std::uint64_t MemoryStore::store_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_count_;
+}
+
+}  // namespace dtx::storage

@@ -1,0 +1,31 @@
+// In-memory storage backend (the default for tests and benches: the paper's
+// Sedna instances only matter as load/persist endpoints).
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "storage/storage.hpp"
+
+namespace dtx::storage {
+
+class MemoryStore final : public StorageBackend {
+ public:
+  [[nodiscard]] const char* kind() const noexcept override { return "memory"; }
+
+  util::Result<std::string> load(const std::string& name) override;
+  util::Status store(const std::string& name, const std::string& xml) override;
+  bool exists(const std::string& name) override;
+  std::vector<std::string> list() override;
+  util::Status remove(const std::string& name) override;
+
+  /// Number of persist (store) calls — observable write-through behaviour.
+  [[nodiscard]] std::uint64_t store_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> documents_;
+  std::uint64_t store_count_ = 0;
+};
+
+}  // namespace dtx::storage

@@ -1,0 +1,37 @@
+// Storage backends. The paper attaches each DTX instance to an opaque XML
+// store ("the storage structures of these documents are independent... DTX
+// supports communication with any XML document storage method" — Sedna in
+// the paper's experiments, a DBMS or a plain file system in its Fig. 2
+// example). DTX only loads documents at startup and persists committed
+// state, so the interface is a named blob store of serialized XML.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace dtx::storage {
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  [[nodiscard]] virtual const char* kind() const noexcept = 0;
+
+  /// Serialized XML of the named document.
+  virtual util::Result<std::string> load(const std::string& name) = 0;
+
+  /// Writes (creates or replaces) the named document.
+  virtual util::Status store(const std::string& name,
+                             const std::string& xml) = 0;
+
+  virtual bool exists(const std::string& name) = 0;
+
+  /// Names of all stored documents, sorted.
+  virtual std::vector<std::string> list() = 0;
+
+  virtual util::Status remove(const std::string& name) = 0;
+};
+
+}  // namespace dtx::storage

@@ -1,0 +1,69 @@
+#include "txn/operation.hpp"
+
+#include "util/strings.hpp"
+#include "xpath/parser.hpp"
+
+namespace dtx::txn {
+
+namespace {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+}  // namespace
+
+std::string Operation::to_string() const {
+  if (type == OpType::kQuery) {
+    return "query " + doc + " " + query.to_string();
+  }
+  return "update " + doc + " " + update.to_string();
+}
+
+Result<Operation> parse_operation(std::string_view text) {
+  const std::string_view trimmed = util::trim(text);
+  const std::size_t first_space = trimmed.find(' ');
+  if (first_space == std::string_view::npos) {
+    return Status(Code::kInvalidArgument,
+                  "operation needs '<verb> <doc> <body>'");
+  }
+  const std::string_view verb = trimmed.substr(0, first_space);
+  const std::string_view rest = util::trim(trimmed.substr(first_space + 1));
+  const std::size_t second_space = rest.find(' ');
+  if (second_space == std::string_view::npos) {
+    return Status(Code::kInvalidArgument, "operation missing body");
+  }
+  std::string doc(rest.substr(0, second_space));
+  const std::string_view body = util::trim(rest.substr(second_space + 1));
+
+  if (verb == "query") {
+    return make_query(std::move(doc), body);
+  }
+  if (verb == "update") {
+    auto update = xupdate::parse_update(body);
+    if (!update) return update.status();
+    return make_update(std::move(doc), std::move(update).value());
+  }
+  return Status(Code::kInvalidArgument,
+                "unknown operation verb '" + std::string(verb) + "'");
+}
+
+Result<Operation> make_query(std::string doc, std::string_view xpath) {
+  auto path = xpath::parse(xpath);
+  if (!path) return path.status();
+  Operation op;
+  op.type = OpType::kQuery;
+  op.doc = std::move(doc);
+  op.query = std::move(path).value();
+  return op;
+}
+
+Operation make_update(std::string doc, xupdate::UpdateOp update) {
+  Operation op;
+  op.type = OpType::kUpdate;
+  op.doc = std::move(doc);
+  op.update = std::move(update);
+  return op;
+}
+
+}  // namespace dtx::txn

@@ -1,0 +1,63 @@
+// One operation of a DTX transaction: a query (XPath subset) or an update
+// (the five-verb update language), always against a named document.
+//
+// Textual form (the wire / workload format):
+//   query  <doc> <absolute-xpath>
+//   update <doc> <update-syntax>            e.g. update d2 insert into /products ::= <product/>
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+#include "xpath/ast.hpp"
+#include "xupdate/update_op.hpp"
+
+namespace dtx::txn {
+
+enum class OpType : std::uint8_t { kQuery, kUpdate };
+
+struct Operation {
+  OpType type = OpType::kQuery;
+  std::string doc;  ///< target document name (routing key)
+
+  xpath::Path query;          // kQuery
+  xupdate::UpdateOp update;   // kUpdate
+
+  /// Serializes back to the textual form (round-trippable).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool is_update() const noexcept {
+    return type == OpType::kUpdate;
+  }
+};
+
+/// Parses the textual form above.
+util::Result<Operation> parse_operation(std::string_view text);
+
+/// Convenience constructors.
+util::Result<Operation> make_query(std::string doc, std::string_view xpath);
+Operation make_update(std::string doc, xupdate::UpdateOp op);
+
+/// Runtime execution state of one operation at the coordinator (the paper's
+/// operation.set_executed / not_adquire_locking / aborted / deadlock flags).
+struct OperationState {
+  bool executed = false;
+  bool lock_conflict = false;
+  bool failed = false;
+  bool deadlock = false;
+  std::uint32_t attempts = 0;  ///< execution attempts (wait-mode retries)
+  std::vector<std::string> rows;  ///< query result (string values)
+  std::string error;              ///< failure detail (kFailed outcomes)
+
+  void reset_attempt() noexcept {
+    lock_conflict = false;
+    failed = false;
+    deadlock = false;
+    rows.clear();
+    error.clear();
+  }
+};
+
+}  // namespace dtx::txn

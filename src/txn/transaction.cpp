@@ -1,0 +1,59 @@
+#include "txn/transaction.hpp"
+
+namespace dtx::txn {
+
+namespace {
+constexpr int kSiteBits = 10;
+constexpr TxnId kSiteMask = (TxnId{1} << kSiteBits) - 1;
+}  // namespace
+
+TxnId make_txn_id(std::uint64_t begin_micros, SiteId site) noexcept {
+  return (begin_micros << kSiteBits) | (site & kSiteMask);
+}
+
+SiteId txn_coordinator(TxnId id) noexcept {
+  return static_cast<SiteId>(id & kSiteMask);
+}
+
+std::uint64_t txn_begin_micros(TxnId id) noexcept { return id >> kSiteBits; }
+
+const char* txn_state_name(TxnState state) noexcept {
+  switch (state) {
+    case TxnState::kActive: return "active";
+    case TxnState::kWaiting: return "waiting";
+    case TxnState::kCommitted: return "committed";
+    case TxnState::kAborted: return "aborted";
+    case TxnState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::size_t Transaction::next_operation() const {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (!states_[i].executed) return i;
+  }
+  return states_.size();
+}
+
+void Transaction::complete(TxnResult result) {
+  {
+    std::lock_guard<std::mutex> lock(latch_mutex_);
+    if (done_) return;  // first completion wins (e.g. abort vs late commit)
+    done_ = true;
+    result_ = std::move(result);
+  }
+  latch_cv_.notify_all();
+}
+
+TxnResult Transaction::await() {
+  std::unique_lock<std::mutex> lock(latch_mutex_);
+  latch_cv_.wait(lock, [&] { return done_; });
+  return result_;
+}
+
+bool Transaction::completed() const {
+  std::lock_guard<std::mutex> lock(latch_mutex_);
+  return done_;
+}
+
+}  // namespace dtx::txn

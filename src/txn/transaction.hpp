@@ -1,0 +1,126 @@
+// Coordinator-side transaction record and the client-facing result type.
+//
+// Transaction ids encode the begin instant: id = (begin_micros << 10) | site.
+// Begin instants are taken from a monotonic clock shared by the in-process
+// cluster, so the paper's victim rule — "the most recent transaction
+// involved in the circle is rolled back" — reduces to picking the maximum
+// id on the cycle (wfg::WaitForGraph::newest_on_cycle).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lock/lock_table.hpp"
+#include "net/message.hpp"
+#include "txn/operation.hpp"
+
+namespace dtx::txn {
+
+using lock::TxnId;
+using net::SiteId;
+
+/// Builds a transaction id from a begin timestamp and the coordinator site.
+TxnId make_txn_id(std::uint64_t begin_micros, SiteId site) noexcept;
+SiteId txn_coordinator(TxnId id) noexcept;
+std::uint64_t txn_begin_micros(TxnId id) noexcept;
+
+/// Paper §2.2: "one can always say that a transaction either commits,
+/// aborts or fails", plus the transient active / wait states.
+enum class TxnState : std::uint8_t {
+  kActive,
+  kWaiting,     ///< blocked on a lock conflict
+  kCommitted,
+  kAborted,     ///< rolled back (deadlock victim or unprocessable)
+  kFailed,      ///< abort could not be completed at some site
+};
+
+const char* txn_state_name(TxnState state) noexcept;
+
+/// What the client receives when the transaction terminates.
+struct TxnResult {
+  TxnId id = 0;
+  TxnState state = TxnState::kAborted;
+  /// Per-operation query rows (empty vectors for updates).
+  std::vector<std::vector<std::string>> rows;
+  /// Client-observed response time.
+  double response_ms = 0.0;
+  /// True when the transaction was the victim of deadlock resolution.
+  bool deadlock_victim = false;
+  /// How many times an operation entered wait mode before acquiring locks.
+  std::uint32_t wait_episodes = 0;
+  /// Failure detail for aborted / failed transactions.
+  std::string error;
+};
+
+/// Coordinator-side record. Owned by the coordinator site; the embedded
+/// latch hands the result back to the waiting client thread.
+class Transaction {
+ public:
+  Transaction(TxnId id, std::vector<Operation> ops)
+      : id_(id), ops_(std::move(ops)), states_(ops_.size()) {}
+
+  [[nodiscard]] TxnId id() const noexcept { return id_; }
+  [[nodiscard]] const std::vector<Operation>& ops() const noexcept {
+    return ops_;
+  }
+  [[nodiscard]] std::size_t op_count() const noexcept { return ops_.size(); }
+
+  [[nodiscard]] OperationState& state_of(std::size_t index) {
+    return states_.at(index);
+  }
+
+  /// Index of the first non-executed operation, or op_count() when done
+  /// (the paper's transaction.next_operation()).
+  [[nodiscard]] std::size_t next_operation() const;
+
+  [[nodiscard]] TxnState state() const noexcept { return state_; }
+  void set_state(TxnState state) noexcept { state_ = state; }
+
+  /// Sites that executed at least one operation (commit/abort fan-out,
+  /// Alg. 5/6 l. 2: transaction.get_sites()).
+  [[nodiscard]] const std::set<SiteId>& sites() const noexcept {
+    return sites_;
+  }
+  void add_sites(const std::vector<SiteId>& sites) {
+    sites_.insert(sites.begin(), sites.end());
+  }
+
+  void note_wait_episode() noexcept { ++wait_episodes_; }
+  [[nodiscard]] std::uint32_t wait_episodes() const noexcept {
+    return wait_episodes_;
+  }
+
+  void mark_deadlock_victim() noexcept { deadlock_victim_ = true; }
+  [[nodiscard]] bool deadlock_victim() const noexcept {
+    return deadlock_victim_;
+  }
+
+  // --- completion latch ------------------------------------------------------
+  /// Publishes the final result and wakes the client.
+  void complete(TxnResult result);
+  /// Blocks the client until the transaction terminates.
+  TxnResult await();
+  [[nodiscard]] bool completed() const;
+
+ private:
+  TxnId id_;
+  std::vector<Operation> ops_;
+  std::vector<OperationState> states_;
+  TxnState state_ = TxnState::kActive;
+  std::set<SiteId> sites_;
+  std::uint32_t wait_episodes_ = 0;
+  bool deadlock_victim_ = false;
+
+  mutable std::mutex latch_mutex_;
+  std::condition_variable latch_cv_;
+  bool done_ = false;
+  TxnResult result_;
+};
+
+}  // namespace dtx::txn

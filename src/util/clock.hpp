@@ -1,0 +1,32 @@
+// Monotonic stopwatch used for response-time measurement.
+#pragma once
+
+#include <chrono>
+
+namespace dtx::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(std::chrono::steady_clock::now()) {}
+
+  void restart() noexcept { start_ = std::chrono::steady_clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  [[nodiscard]] double elapsed_millis() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+  [[nodiscard]] std::chrono::steady_clock::time_point start() const noexcept {
+    return start_;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dtx::util

@@ -1,0 +1,30 @@
+// Tiny --key=value command-line flag parser for the bench/example binaries.
+// Every experiment knob in bench/ is overridable without rebuilding.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dtx::util {
+
+class Flags {
+ public:
+  /// Parses argv entries of the form --name=value (or --name for "true").
+  /// Non-flag arguments are ignored. Later duplicates win.
+  Flags(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dtx::util

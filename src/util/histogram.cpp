@@ -1,0 +1,79 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace dtx::util {
+
+void Histogram::add(double value) {
+  values_.push_back(value);
+  sum_ += value;
+  sorted_ = false;
+}
+
+void Histogram::merge(const Histogram& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sum_ += other.sum_;
+  sorted_ = false;
+}
+
+void Histogram::clear() {
+  values_.clear();
+  sum_ = 0.0;
+  sorted_ = true;
+}
+
+double Histogram::mean() const noexcept {
+  return values_.empty() ? 0.0 : sum_ / static_cast<double>(values_.size());
+}
+
+void Histogram::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::min() const {
+  assert(!values_.empty());
+  sort_if_needed();
+  return values_.front();
+}
+
+double Histogram::max() const {
+  assert(!values_.empty());
+  sort_if_needed();
+  return values_.back();
+}
+
+double Histogram::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Histogram::percentile(double q) const {
+  assert(!values_.empty());
+  sort_if_needed();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values_.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return values_[std::min(index, values_.size() - 1)];
+}
+
+std::string Histogram::summary(const std::string& unit) const {
+  if (values_.empty()) return "n=0";
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "n=%zu mean=%.3f%s p50=%.3f%s p95=%.3f%s max=%.3f%s",
+                count(), mean(), unit.c_str(), percentile(0.50), unit.c_str(),
+                percentile(0.95), unit.c_str(), max(), unit.c_str());
+  return buffer;
+}
+
+}  // namespace dtx::util

@@ -1,0 +1,41 @@
+// Latency / value histogram used by the benchmark harness to report the
+// response-time distributions the paper plots (mean, percentiles).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dtx::util {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void add(double value);
+  void merge(const Histogram& other);
+  void clear();
+
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+
+  /// q in [0,1]; nearest-rank percentile. Requires non-empty.
+  [[nodiscard]] double percentile(double q) const;
+
+  /// "n=250 mean=12.3ms p50=... p95=... max=..." with a unit suffix.
+  [[nodiscard]] std::string summary(const std::string& unit) const;
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+}  // namespace dtx::util

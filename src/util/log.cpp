@@ -1,0 +1,48 @@
+#include "util/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace dtx::util {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  using namespace std::chrono;
+  const auto now = duration_cast<microseconds>(
+                       steady_clock::now().time_since_epoch())
+                       .count();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%10lld.%06lld %s] %s\n",
+               static_cast<long long>(now / 1000000),
+               static_cast<long long>(now % 1000000), level_tag(level),
+               message.c_str());
+}
+
+}  // namespace dtx::util

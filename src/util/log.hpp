@@ -1,0 +1,53 @@
+// Minimal thread-safe leveled logger. Disabled (kWarn) by default so tests
+// and benchmarks stay quiet; examples turn it up to narrate protocol steps.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace dtx::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line (adds timestamp + level prefix). Thread-safe.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace dtx::util
+
+#define DTX_LOG(level)                                     \
+  if (static_cast<int>(level) < static_cast<int>(::dtx::util::log_level())) { \
+  } else                                                   \
+    ::dtx::util::detail::LogStream(level)
+
+#define DTX_TRACE() DTX_LOG(::dtx::util::LogLevel::kTrace)
+#define DTX_DEBUG() DTX_LOG(::dtx::util::LogLevel::kDebug)
+#define DTX_INFO() DTX_LOG(::dtx::util::LogLevel::kInfo)
+#define DTX_WARN() DTX_LOG(::dtx::util::LogLevel::kWarn)
+#define DTX_ERROR() DTX_LOG(::dtx::util::LogLevel::kError)

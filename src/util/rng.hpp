@@ -1,0 +1,56 @@
+// Deterministic pseudo-random generator (splitmix64 seeded xoshiro256**).
+// Every stochastic component in DTX (workload generation, fragmentation,
+// client think times) takes an explicit Rng so experiments are reproducible
+// from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dtx::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_between(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p) noexcept;
+
+  /// Derive an independent child generator (stable given call order).
+  Rng split() noexcept;
+
+  /// Pick a uniformly random element index of a non-empty container size.
+  std::size_t next_index(std::size_t size) noexcept;
+
+  /// Random lowercase ASCII word of length in [min_len, max_len].
+  std::string next_word(std::size_t min_len, std::size_t max_len);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const std::size_t j = next_index(i + 1);
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace dtx::util

@@ -1,0 +1,31 @@
+#include "util/status.hpp"
+
+namespace dtx::util {
+
+const char* code_name(Code code) noexcept {
+  switch (code) {
+    case Code::kOk: return "ok";
+    case Code::kInvalidArgument: return "invalid-argument";
+    case Code::kNotFound: return "not-found";
+    case Code::kAlreadyExists: return "already-exists";
+    case Code::kConflict: return "conflict";
+    case Code::kDeadlock: return "deadlock";
+    case Code::kAborted: return "aborted";
+    case Code::kFailed: return "failed";
+    case Code::kUnavailable: return "unavailable";
+    case Code::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace dtx::util

@@ -1,0 +1,87 @@
+// Lightweight status / result types used across DTX instead of exceptions on
+// hot paths (lock grants, message handling). Exceptions remain for
+// programmer errors and unrecoverable parse failures.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dtx::util {
+
+/// Error category for a failed operation.
+enum class Code {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (bad XPath, bad update op, ...)
+  kNotFound,          ///< document / node / site does not exist
+  kAlreadyExists,     ///< duplicate document name, duplicate site id, ...
+  kConflict,          ///< lock conflict: the request must wait
+  kDeadlock,          ///< granting would close a wait-for cycle
+  kAborted,           ///< transaction was aborted (victim or explicit)
+  kFailed,            ///< transaction failed (abort could not be delivered)
+  kUnavailable,       ///< site down / message dropped
+  kInternal,          ///< invariant violation
+};
+
+/// Human-readable name of a status code ("ok", "conflict", ...).
+const char* code_name(Code code) noexcept;
+
+/// A status: either OK or a code plus a context message.
+class Status {
+ public:
+  Status() noexcept : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != Code::kOk && "use Status::ok() for success");
+  }
+
+  static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == Code::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] Code code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "conflict: ST held by t12 on guide node 56" style rendering.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+/// A value-or-status result. Intentionally minimal: only what DTX needs.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "a Result built from Status must be an error");
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace dtx::util

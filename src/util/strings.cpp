@@ -1,0 +1,98 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace dtx::util {
+
+std::vector<std::string> split(std::string_view text, char separator) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == separator) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out += separator;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) noexcept {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string xml_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string xml_unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out += text[i++];
+      continue;
+    }
+    const std::size_t semi = text.find(';', i);
+    if (semi == std::string_view::npos) {
+      out += text[i++];
+      continue;
+    }
+    const std::string_view entity = text.substr(i, semi - i + 1);
+    if (entity == "&amp;") out += '&';
+    else if (entity == "&lt;") out += '<';
+    else if (entity == "&gt;") out += '>';
+    else if (entity == "&quot;") out += '"';
+    else if (entity == "&apos;") out += '\'';
+    else {
+      out += entity;  // unknown entity: pass through
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace dtx::util

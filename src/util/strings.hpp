@@ -1,0 +1,32 @@
+// Small string helpers shared by the XML parser, XPath lexer and flag parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dtx::util {
+
+/// Split on a single character; keeps empty pieces.
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// Escape the five predefined XML entities in text content.
+std::string xml_escape(std::string_view text);
+
+/// Reverse of xml_escape; unknown entities pass through verbatim.
+std::string xml_unescape(std::string_view text);
+
+/// Render a double with fixed precision (bench table output).
+std::string format_double(double value, int precision);
+
+}  // namespace dtx::util

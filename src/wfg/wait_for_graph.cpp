@@ -1,0 +1,153 @@
+#include "wfg/wait_for_graph.hpp"
+
+#include <algorithm>
+
+namespace dtx::wfg {
+
+void WaitForGraph::add_edge(TxnId waiter, TxnId holder) {
+  if (waiter == holder) return;
+  adjacency_[waiter].insert(holder);
+}
+
+void WaitForGraph::add_edges(TxnId waiter, const std::vector<TxnId>& holders) {
+  for (TxnId holder : holders) add_edge(waiter, holder);
+}
+
+void WaitForGraph::clear_waiter(TxnId waiter) { adjacency_.erase(waiter); }
+
+void WaitForGraph::remove_txn(TxnId txn) {
+  adjacency_.erase(txn);
+  for (auto it = adjacency_.begin(); it != adjacency_.end();) {
+    it->second.erase(txn);
+    if (it->second.empty()) {
+      it = adjacency_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+namespace {
+
+enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+
+/// Iterative DFS; returns the cycle (in order) through the first back edge
+/// found, or an empty vector.
+std::vector<TxnId> dfs_find_cycle(
+    const std::unordered_map<TxnId, std::set<TxnId>>& adjacency) {
+  std::unordered_map<TxnId, Color> color;
+  std::unordered_map<TxnId, TxnId> parent;
+
+  for (const auto& [start, unused] : adjacency) {
+    (void)unused;
+    if (color[start] != Color::kWhite) continue;
+
+    struct Frame {
+      TxnId node;
+      std::set<TxnId>::const_iterator next;
+      std::set<TxnId>::const_iterator end;
+    };
+    std::vector<Frame> stack;
+    const auto push = [&](TxnId node) {
+      color[node] = Color::kGray;
+      const auto it = adjacency.find(node);
+      if (it == adjacency.end()) {
+        static const std::set<TxnId> kEmpty;
+        stack.push_back(Frame{node, kEmpty.begin(), kEmpty.end()});
+      } else {
+        stack.push_back(Frame{node, it->second.begin(), it->second.end()});
+      }
+    };
+    push(start);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next == frame.end) {
+        color[frame.node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const TxnId successor = *frame.next++;
+      const Color successor_color = color[successor];
+      if (successor_color == Color::kGray) {
+        // Back edge: the cycle is successor -> ... -> frame.node -> successor.
+        std::vector<TxnId> cycle;
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+          cycle.push_back(it->node);
+          if (it->node == successor) break;
+        }
+        std::reverse(cycle.begin(), cycle.end());
+        return cycle;
+      }
+      if (successor_color == Color::kWhite) {
+        parent[successor] = frame.node;
+        push(successor);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+bool WaitForGraph::has_cycle() const {
+  return !dfs_find_cycle(adjacency_).empty();
+}
+
+std::vector<TxnId> WaitForGraph::find_cycle() const {
+  return dfs_find_cycle(adjacency_);
+}
+
+TxnId WaitForGraph::newest_on_cycle() const {
+  const std::vector<TxnId> cycle = dfs_find_cycle(adjacency_);
+  if (cycle.empty()) return 0;
+  return *std::max_element(cycle.begin(), cycle.end());
+}
+
+void WaitForGraph::merge(const WaitForGraph& other) {
+  for (const auto& [waiter, holders] : other.adjacency_) {
+    adjacency_[waiter].insert(holders.begin(), holders.end());
+  }
+}
+
+std::vector<Edge> WaitForGraph::edges() const {
+  std::vector<Edge> out;
+  for (const auto& [waiter, holders] : adjacency_) {
+    for (TxnId holder : holders) out.push_back(Edge{waiter, holder});
+  }
+  std::sort(out.begin(), out.end(), [](const Edge& a, const Edge& b) {
+    return a.waiter != b.waiter ? a.waiter < b.waiter : a.holder < b.holder;
+  });
+  return out;
+}
+
+WaitForGraph WaitForGraph::from_edges(const std::vector<Edge>& edges) {
+  WaitForGraph graph;
+  for (const Edge& edge : edges) graph.add_edge(edge.waiter, edge.holder);
+  return graph;
+}
+
+std::size_t WaitForGraph::edge_count() const {
+  std::size_t total = 0;
+  for (const auto& [waiter, holders] : adjacency_) {
+    (void)waiter;
+    total += holders.size();
+  }
+  return total;
+}
+
+std::vector<TxnId> WaitForGraph::holders_blocking(TxnId waiter) const {
+  const auto it = adjacency_.find(waiter);
+  if (it == adjacency_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::string WaitForGraph::to_string() const {
+  std::string out;
+  for (const Edge& edge : edges()) {
+    out += "t" + std::to_string(edge.waiter) + " -> t" +
+           std::to_string(edge.holder) + "\n";
+  }
+  return out;
+}
+
+}  // namespace dtx::wfg

@@ -1,0 +1,75 @@
+// Wait-for graph: one per site, plus the union the distributed deadlock
+// detector builds (Alg. 4: collect every site's graph, union them, abort the
+// newest transaction on a cycle).
+//
+// Transaction ids are ordered by begin time (the DTX runtime packs a
+// monotonic begin timestamp into the high bits), so "the most recent
+// transaction involved in the circle" is simply the maximum id on the cycle.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lock/lock_table.hpp"
+
+namespace dtx::wfg {
+
+using lock::TxnId;
+
+/// A directed edge `waiter -> holder`.
+struct Edge {
+  TxnId waiter = 0;
+  TxnId holder = 0;
+  bool operator==(const Edge&) const = default;
+};
+
+class WaitForGraph {
+ public:
+  WaitForGraph() = default;
+
+  /// Adds waiter -> holder edges (Alg. 3 l. 8). Self-edges are ignored.
+  void add_edges(TxnId waiter, const std::vector<TxnId>& holders);
+  void add_edge(TxnId waiter, TxnId holder);
+
+  /// Drops all outgoing edges of `waiter` (it woke up or retried).
+  void clear_waiter(TxnId waiter);
+
+  /// Drops the transaction entirely (as waiter and as holder) — called on
+  /// commit / abort.
+  void remove_txn(TxnId txn);
+
+  /// True when a cycle exists anywhere in the graph.
+  [[nodiscard]] bool has_cycle() const;
+
+  /// The transactions on some cycle (in cycle order); empty when acyclic.
+  [[nodiscard]] std::vector<TxnId> find_cycle() const;
+
+  /// The newest (maximum-id) transaction on some cycle; 0 when acyclic.
+  [[nodiscard]] TxnId newest_on_cycle() const;
+
+  /// Merges another graph into this one (wait-for graph union, Alg. 4 l. 5).
+  void merge(const WaitForGraph& other);
+
+  /// Flat edge list (stable order), used to ship graphs between sites.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Rebuilds from a flat edge list.
+  static WaitForGraph from_edges(const std::vector<Edge>& edges);
+
+  [[nodiscard]] bool empty() const noexcept { return adjacency_.empty(); }
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// Current holders a waiter is blocked on (empty set when not waiting).
+  [[nodiscard]] std::vector<TxnId> holders_blocking(TxnId waiter) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  // waiter -> ordered set of holders (ordered for deterministic iteration).
+  std::unordered_map<TxnId, std::set<TxnId>> adjacency_;
+};
+
+}  // namespace dtx::wfg

@@ -1,0 +1,131 @@
+#include "workload/dtx_tester.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "util/clock.hpp"
+
+namespace dtx::workload {
+
+std::vector<std::pair<double, std::size_t>> TesterReport::throughput_timeline(
+    double interval_s) const {
+  std::vector<std::pair<double, std::size_t>> out;
+  if (observations.empty() || interval_s <= 0.0) return out;
+  const std::size_t buckets = static_cast<std::size_t>(
+                                  std::ceil(makespan_s / interval_s)) +
+                              1;
+  out.assign(buckets, {0.0, 0});
+  for (std::size_t i = 0; i < buckets; ++i) {
+    out[i].first = interval_s * static_cast<double>(i + 1);
+  }
+  for (const TxnObservation& obs : observations) {
+    if (obs.state != txn::TxnState::kCommitted) continue;
+    const auto bucket = static_cast<std::size_t>(obs.finish_s / interval_s);
+    out[std::min(bucket, buckets - 1)].second += 1;
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> TesterReport::concurrency_timeline(
+    double interval_s) const {
+  std::vector<std::pair<double, double>> out;
+  if (observations.empty() || interval_s <= 0.0) return out;
+  const std::size_t buckets = static_cast<std::size_t>(
+                                  std::ceil(makespan_s / interval_s)) +
+                              1;
+  out.assign(buckets, {0.0, 0.0});
+  for (std::size_t i = 0; i < buckets; ++i) {
+    out[i].first = interval_s * static_cast<double>(i + 1);
+  }
+  // A transaction contributes to a bucket proportionally to its overlap.
+  for (const TxnObservation& obs : observations) {
+    for (std::size_t i = 0; i < buckets; ++i) {
+      const double lo = interval_s * static_cast<double>(i);
+      const double hi = lo + interval_s;
+      const double overlap =
+          std::min(obs.finish_s, hi) - std::max(obs.submit_s, lo);
+      if (overlap > 0.0) out[i].second += overlap / interval_s;
+    }
+  }
+  return out;
+}
+
+TesterReport run_tester(core::Cluster& cluster,
+                        const std::vector<Fragment>& fragments,
+                        const WorkloadOptions& workload,
+                        const TesterOptions& options) {
+  // Pre-generate every client's transactions (deterministic given the
+  // seed; generation must not interleave with the timed run).
+  WorkloadGenerator generator(fragments, workload);
+  util::Rng rng(options.seed);
+  struct PlannedTxn {
+    std::vector<std::string> ops;
+    bool update = false;
+  };
+  std::vector<std::vector<PlannedTxn>> plans(options.clients);
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    plans[c].resize(options.txns_per_client);
+    for (std::size_t t = 0; t < options.txns_per_client; ++t) {
+      plans[c][t].ops = generator.make_transaction(rng, &plans[c][t].update);
+    }
+  }
+
+  TesterReport report;
+  report.submitted = options.clients * options.txns_per_client;
+  std::mutex report_mutex;
+
+  const util::Stopwatch clock;
+  std::vector<std::thread> clients;
+  clients.reserve(options.clients);
+  const std::size_t sites = cluster.site_count();
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&, c] {
+      const auto home = static_cast<net::SiteId>(c % sites);
+      for (const PlannedTxn& planned : plans[c]) {
+        const double submit_s = clock.elapsed_seconds();
+        util::Stopwatch txn_clock;
+        auto result = cluster.execute(home, planned.ops);
+        const double finish_s = clock.elapsed_seconds();
+
+        TxnObservation obs;
+        obs.submit_s = submit_s;
+        obs.finish_s = finish_s;
+        obs.response_ms = txn_clock.elapsed_millis();
+        obs.update_txn = planned.update;
+        if (result.is_ok()) {
+          obs.state = result.value().state;
+          obs.deadlock_victim = result.value().deadlock_victim;
+        } else {
+          obs.state = txn::TxnState::kFailed;
+        }
+        std::lock_guard<std::mutex> lock(report_mutex);
+        report.observations.push_back(obs);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  report.makespan_s = clock.elapsed_seconds();
+
+  for (const TxnObservation& obs : report.observations) {
+    switch (obs.state) {
+      case txn::TxnState::kCommitted:
+        ++report.committed;
+        report.response_ms.add(obs.response_ms);
+        break;
+      case txn::TxnState::kFailed:
+        ++report.failed;
+        report.aborted_response_ms.add(obs.response_ms);
+        break;
+      default:
+        ++report.aborted;
+        report.aborted_response_ms.add(obs.response_ms);
+        break;
+    }
+    if (obs.deadlock_victim) ++report.deadlock_victims;
+  }
+  return report;
+}
+
+}  // namespace dtx::workload

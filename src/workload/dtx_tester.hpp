@@ -1,0 +1,65 @@
+// DTXTester (paper §3): "a client simulator ... the simulator generates the
+// transactions according to certain parameters, sends them to DTX and
+// collects the results at the end of each execution."
+//
+// M client threads each submit T transactions sequentially to their home
+// site (round-robin across sites). Per the paper's Fig. 12 accounting,
+// aborted transactions are *not* resubmitted — they count as not executed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtx/cluster.hpp"
+#include "util/histogram.hpp"
+#include "workload/workload_gen.hpp"
+
+namespace dtx::workload {
+
+struct TesterOptions {
+  std::size_t clients = 10;
+  std::size_t txns_per_client = 5;
+  std::uint64_t seed = 7;
+};
+
+/// Per-transaction observation.
+struct TxnObservation {
+  double submit_s = 0.0;   ///< relative to tester start
+  double finish_s = 0.0;
+  double response_ms = 0.0;
+  txn::TxnState state = txn::TxnState::kAborted;
+  bool deadlock_victim = false;
+  bool update_txn = false;
+};
+
+struct TesterReport {
+  std::vector<TxnObservation> observations;
+  util::Histogram response_ms;            ///< committed transactions
+  util::Histogram aborted_response_ms;    ///< terminated-without-commit
+  std::size_t submitted = 0;
+  std::size_t committed = 0;
+  std::size_t aborted = 0;
+  std::size_t failed = 0;
+  std::size_t deadlock_victims = 0;
+  double makespan_s = 0.0;
+
+  /// Committed transactions per interval — the paper's Fig. 12 throughput
+  /// series. Returns (interval_end_s, commits_in_interval).
+  [[nodiscard]] std::vector<std::pair<double, std::size_t>>
+  throughput_timeline(double interval_s) const;
+
+  /// Mean number of in-flight transactions per interval — the paper's
+  /// "concurrency degree".
+  [[nodiscard]] std::vector<std::pair<double, double>>
+  concurrency_timeline(double interval_s) const;
+};
+
+/// Runs the client simulation against a started cluster. Transactions are
+/// pre-generated (deterministic under `options.seed`) and submitted by
+/// `options.clients` concurrent client threads.
+TesterReport run_tester(core::Cluster& cluster,
+                        const std::vector<Fragment>& fragments,
+                        const WorkloadOptions& workload,
+                        const TesterOptions& options);
+
+}  // namespace dtx::workload

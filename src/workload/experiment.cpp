@@ -1,0 +1,116 @@
+#include "workload/experiment.hpp"
+
+#include <algorithm>
+
+namespace dtx::workload {
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  workload::XmarkOptions xmark;
+  xmark.target_bytes = config.doc_bytes;
+  xmark.seed = config.seed;
+  const workload::XmarkData data = workload::generate_xmark(xmark);
+
+  const std::size_t fragment_count =
+      config.fragment_count != 0 ? config.fragment_count : 2 * config.sites;
+  const auto fragments = workload::fragment_xmark(data, fragment_count);
+  const auto placements = workload::place_fragments(
+      fragments, config.sites, config.replication, config.copies);
+
+  core::ClusterOptions cluster_options;
+  cluster_options.site_count = config.sites;
+  cluster_options.protocol = config.protocol;
+  cluster_options.network.latency = config.latency;
+  cluster_options.site.detect_period = config.detect_period;
+  cluster_options.site.retry_interval = config.retry_interval;
+  cluster_options.site.poll_interval = std::chrono::microseconds(500);
+  core::Cluster cluster(cluster_options);
+
+  for (const auto& placement : placements) {
+    const auto it = std::find_if(
+        fragments.begin(), fragments.end(),
+        [&](const workload::Fragment& f) { return f.doc_name == placement.doc; });
+    const util::Status status =
+        cluster.load_document(placement.doc, it->xml, placement.sites);
+    if (!status) {
+      std::fprintf(stderr, "load_document failed: %s\n",
+                   status.to_string().c_str());
+      std::abort();
+    }
+  }
+  const util::Status started = cluster.start();
+  if (!started) {
+    std::fprintf(stderr, "cluster start failed: %s\n",
+                 started.to_string().c_str());
+    std::abort();
+  }
+
+  workload::WorkloadOptions workload_options;
+  workload_options.ops_per_transaction = config.ops_per_txn;
+  workload_options.update_txn_fraction = config.update_txn_fraction;
+  workload_options.update_op_fraction = config.update_op_fraction;
+
+  workload::TesterOptions tester_options;
+  tester_options.clients = config.clients;
+  tester_options.txns_per_client = config.txns_per_client;
+  tester_options.seed = config.seed + 1;
+
+  ExperimentResult result;
+  result.report =
+      workload::run_tester(cluster, fragments, workload_options,
+                           tester_options);
+  result.cluster = cluster.stats();
+  result.mean_response_ms = result.report.response_ms.empty()
+                                ? 0.0
+                                : result.report.response_ms.mean();
+  result.deadlocks = static_cast<std::size_t>(result.cluster.deadlock_aborts);
+  result.lock_acquisitions = result.cluster.lock_acquisitions;
+  result.makespan_s = result.report.makespan_s;
+  cluster.stop();
+  return result;
+}
+
+void apply_common_flags(const util::Flags& flags, ExperimentConfig& config) {
+  config.sites = static_cast<std::size_t>(
+      flags.get_int("sites", static_cast<std::int64_t>(config.sites)));
+  config.doc_bytes = static_cast<std::size_t>(
+      flags.get_int("doc_kb",
+                    static_cast<std::int64_t>(config.doc_bytes / 1024)) *
+      1024);
+  config.clients = static_cast<std::size_t>(
+      flags.get_int("clients", static_cast<std::int64_t>(config.clients)));
+  config.txns_per_client = static_cast<std::size_t>(flags.get_int(
+      "txns", static_cast<std::int64_t>(config.txns_per_client)));
+  config.ops_per_txn = static_cast<std::size_t>(
+      flags.get_int("ops", static_cast<std::int64_t>(config.ops_per_txn)));
+  config.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<std::int64_t>(config.seed)));
+  config.latency = std::chrono::microseconds(
+      flags.get_int("latency_us", config.latency.count()));
+  config.update_txn_fraction =
+      flags.get_double("update_txn_fraction", config.update_txn_fraction);
+  config.update_op_fraction =
+      flags.get_double("update_op_fraction", config.update_op_fraction);
+}
+
+void print_header(const char* figure, const char* x_label) {
+  std::printf("# %s\n", figure);
+  std::printf("%-14s %-10s %14s %14s %12s %12s %12s %12s %12s\n", x_label,
+              "protocol", "resp_mean_ms", "resp_p95_ms", "deadlocks",
+              "committed", "aborted", "lock_acqs", "makespan_s");
+}
+
+void print_row(const std::string& x_value, const char* protocol,
+               const ExperimentResult& result) {
+  const double p95 = result.report.response_ms.empty()
+                         ? 0.0
+                         : result.report.response_ms.percentile(0.95);
+  std::printf("%-14s %-10s %14.2f %14.2f %12zu %12zu %12zu %12llu %12.2f\n",
+              x_value.c_str(), protocol, result.mean_response_ms, p95,
+              result.deadlocks, result.report.committed,
+              result.report.aborted + result.report.failed,
+              static_cast<unsigned long long>(result.lock_acquisitions),
+              result.makespan_s);
+  std::fflush(stdout);
+}
+
+}  // namespace dtx::workload

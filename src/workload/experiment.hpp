@@ -1,0 +1,65 @@
+// Shared experiment harness for the figure-reproduction benches: builds an
+// XMark base, fragments and places it, spins up a DTX cluster, drives it
+// with DTXTester and returns the measurements the paper plots.
+//
+// Scaling note (DESIGN.md §2): the paper ran 40–200 MB bases on an 8-PC
+// 100 Mbit LAN; these benches default to ~100–800 KB bases on the simulated
+// LAN so a full figure regenerates in seconds. Every knob is a CLI flag
+// (--doc_kb=, --clients=, ...) for larger runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "dtx/cluster.hpp"
+#include "lock/protocol.hpp"
+#include "util/flags.hpp"
+#include "workload/dtx_tester.hpp"
+#include "workload/fragmentation.hpp"
+#include "workload/workload_gen.hpp"
+#include "workload/xmark.hpp"
+
+namespace dtx::workload {
+
+struct ExperimentConfig {
+  std::size_t sites = 4;
+  std::size_t doc_bytes = 200'000;
+  /// Fragments ~ 2x sites keeps per-site volumes balanced.
+  std::size_t fragment_count = 0;  ///< 0 = 2 * sites
+  workload::Replication replication = workload::Replication::kPartial;
+  std::size_t copies = 2;
+  lock::ProtocolKind protocol = lock::ProtocolKind::kXdgl;
+
+  std::size_t clients = 50;
+  std::size_t txns_per_client = 5;
+  std::size_t ops_per_txn = 5;
+  double update_txn_fraction = 0.0;
+  double update_op_fraction = 0.2;
+
+  std::uint64_t seed = 42;
+  std::chrono::microseconds latency{100};
+  std::chrono::microseconds detect_period{10'000};
+  std::chrono::microseconds retry_interval{5'000};
+};
+
+struct ExperimentResult {
+  workload::TesterReport report;
+  core::ClusterStats cluster;
+  double mean_response_ms = 0.0;   ///< committed transactions
+  std::size_t deadlocks = 0;       ///< victim aborts (paper's deadlock count)
+  std::uint64_t lock_acquisitions = 0;
+  double makespan_s = 0.0;
+};
+
+/// Builds the cluster, runs DTXTester, tears everything down.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Applies the standard flag overrides shared by every figure bench.
+void apply_common_flags(const util::Flags& flags, ExperimentConfig& config);
+
+/// Prints the standard table header / row. `x_label` names the sweep axis.
+void print_header(const char* figure, const char* x_label);
+void print_row(const std::string& x_value, const char* protocol,
+               const ExperimentResult& result);
+
+}  // namespace dtx::workload

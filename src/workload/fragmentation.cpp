@@ -1,0 +1,170 @@
+#include "workload/fragmentation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "xml/serializer.hpp"
+
+namespace dtx::workload {
+
+namespace {
+
+/// One entity subtree awaiting assignment to a fragment.
+struct Unit {
+  std::string section;
+  std::string continent;
+  std::string id;
+  std::string xml;
+};
+
+/// Serialized entity subtrees of one section container, in document order.
+void collect_units(const xml::Node& container, const std::string& section,
+                   const std::string& continent, std::vector<Unit>& out) {
+  for (const auto& child : container.children()) {
+    if (!child->is_element()) continue;
+    Unit unit;
+    unit.section = section;
+    unit.continent = continent;
+    const std::string* id = child->attribute("id");
+    unit.id = id == nullptr ? "" : *id;
+    unit.xml = xml::serialize(*child);
+    out.push_back(std::move(unit));
+  }
+}
+
+/// Wraps a run of units in the ancestor chain of their section.
+std::string wrap_fragment(const std::string& section,
+                          const std::string& continent,
+                          const std::vector<const Unit*>& units) {
+  std::string body;
+  for (const Unit* unit : units) body += unit->xml;
+  if (section == "regions") {
+    return "<site><regions><" + continent + ">" + body + "</" + continent +
+           "></regions></site>";
+  }
+  return "<site><" + section + ">" + body + "</" + section + "></site>";
+}
+
+}  // namespace
+
+std::vector<Fragment> fragment_xmark(const XmarkData& data,
+                                     std::size_t fragment_count) {
+  assert(data.document != nullptr && data.document->has_root());
+  const xml::Node* root = data.document->root();
+
+  // Collect units grouped by (section, continent) in a stable order.
+  struct Group {
+    std::string section;
+    std::string continent;
+    std::vector<Unit> units;
+  };
+  std::vector<Group> groups;
+  if (const xml::Node* regions = root->first_child_named("regions")) {
+    for (const auto& continent : regions->children()) {
+      if (!continent->is_element()) continue;
+      Group group;
+      group.section = "regions";
+      group.continent = continent->name();
+      collect_units(*continent, "regions", continent->name(), group.units);
+      if (!group.units.empty()) groups.push_back(std::move(group));
+    }
+  }
+  for (const char* section :
+       {"categories", "people", "open_auctions", "closed_auctions"}) {
+    if (const xml::Node* container = root->first_child_named(section)) {
+      Group group;
+      group.section = section;
+      collect_units(*container, section, "", group.units);
+      if (!group.units.empty()) groups.push_back(std::move(group));
+    }
+  }
+
+  std::size_t total_bytes = 0;
+  for (const Group& group : groups) {
+    for (const Unit& unit : group.units) total_bytes += unit.xml.size();
+  }
+  fragment_count = std::max<std::size_t>(fragment_count, 1);
+  const std::size_t target =
+      std::max<std::size_t>(total_bytes / fragment_count, 1);
+
+  // Greedy size-balanced cut inside each group (Kurita-style: similar-size
+  // fragments respecting document structure). A small trailing run merges
+  // into the group's previous fragment so no undersized remainder fragment
+  // is emitted.
+  std::vector<Fragment> fragments;
+  for (const Group& group : groups) {
+    std::vector<std::vector<const Unit*>> runs;
+    std::vector<const Unit*> run;
+    std::size_t run_bytes = 0;
+    for (const Unit& unit : group.units) {
+      run.push_back(&unit);
+      run_bytes += unit.xml.size();
+      if (run_bytes >= target) {
+        runs.push_back(std::move(run));
+        run.clear();
+        run_bytes = 0;
+      }
+    }
+    if (!run.empty()) {
+      if (!runs.empty() && run_bytes < target / 2) {
+        runs.back().insert(runs.back().end(), run.begin(), run.end());
+      } else {
+        runs.push_back(std::move(run));
+      }
+    }
+    for (const auto& fragment_units : runs) {
+      Fragment fragment;
+      fragment.doc_name = "f" + std::to_string(fragments.size());
+      fragment.section = group.section;
+      fragment.continent = group.continent;
+      fragment.xml = wrap_fragment(group.section, group.continent,
+                                   fragment_units);
+      fragment.bytes = fragment.xml.size();
+      for (const Unit* unit : fragment_units) {
+        if (!unit->id.empty()) fragment.ids.push_back(unit->id);
+      }
+      fragments.push_back(std::move(fragment));
+    }
+  }
+  return fragments;
+}
+
+std::vector<Placement> place_fragments(const std::vector<Fragment>& fragments,
+                                       std::size_t site_count,
+                                       Replication replication,
+                                       std::size_t copies) {
+  assert(site_count >= 1);
+  std::vector<Placement> placements;
+  placements.reserve(fragments.size());
+
+  if (replication == Replication::kTotal) {
+    std::vector<SiteId> all;
+    for (std::size_t i = 0; i < site_count; ++i) {
+      all.push_back(static_cast<SiteId>(i));
+    }
+    for (const Fragment& fragment : fragments) {
+      placements.push_back(Placement{fragment.doc_name, all});
+    }
+    return placements;
+  }
+
+  copies = std::clamp<std::size_t>(copies, 1, site_count);
+  // Byte-balanced assignment: each fragment's first copy goes to the
+  // currently lightest site; further copies to the following sites.
+  std::vector<std::size_t> load(site_count, 0);
+  for (const Fragment& fragment : fragments) {
+    const std::size_t primary = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    Placement placement;
+    placement.doc = fragment.doc_name;
+    for (std::size_t k = 0; k < copies; ++k) {
+      const std::size_t site = (primary + k) % site_count;
+      placement.sites.push_back(static_cast<SiteId>(site));
+      load[site] += fragment.bytes;
+    }
+    placements.push_back(std::move(placement));
+  }
+  return placements;
+}
+
+}  // namespace dtx::workload

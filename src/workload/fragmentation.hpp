@@ -1,0 +1,56 @@
+// Fragmentation and allocation (paper §3.2): "the database was fragmented
+// according to the approach proposed by [Kurita et al.]. In this approach
+// the data is fragmented considering the structure and size of the
+// document, so that each generated fragment has a similar size. ... all
+// sites have similar volumes of data."
+//
+// A fragment is a self-contained document: the entity subtrees of one
+// section wrapped in the original ancestor chain (<site><people>…), so the
+// workload's absolute XPath expressions work unchanged against fragments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "workload/xmark.hpp"
+
+namespace dtx::workload {
+
+using net::SiteId;
+
+struct Fragment {
+  std::string doc_name;   ///< catalog / storage name ("f0", "f1", ...)
+  std::string section;    ///< "people" | "regions" | "open_auctions" |
+                          ///< "closed_auctions" | "categories"
+  std::string continent;  ///< for "regions" fragments
+  std::string xml;        ///< serialized fragment document
+  std::size_t bytes = 0;
+  std::vector<std::string> ids;  ///< entity ids contained in this fragment
+};
+
+/// Splits the generated XMark data into about `fragment_count` similar-size
+/// fragments (never fewer than the number of non-empty sections; section
+/// boundaries are respected so each fragment has a uniform inner structure).
+std::vector<Fragment> fragment_xmark(const XmarkData& data,
+                                     std::size_t fragment_count);
+
+enum class Replication {
+  kTotal,    ///< every fragment at every site
+  kPartial,  ///< each fragment at `copies` sites, load-balanced
+};
+
+struct Placement {
+  std::string doc;
+  std::vector<SiteId> sites;
+};
+
+/// Computes the fragment -> sites map. Partial replication places copies
+/// round-robin so per-site byte volumes stay balanced (the paper's stated
+/// property); `copies` is clamped to the site count.
+std::vector<Placement> place_fragments(const std::vector<Fragment>& fragments,
+                                       std::size_t site_count,
+                                       Replication replication,
+                                       std::size_t copies = 2);
+
+}  // namespace dtx::workload

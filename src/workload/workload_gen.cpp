@@ -1,0 +1,175 @@
+#include "workload/workload_gen.hpp"
+
+#include <cassert>
+
+namespace dtx::workload {
+
+using util::Rng;
+
+WorkloadGenerator::WorkloadGenerator(const std::vector<Fragment>& fragments,
+                                     WorkloadOptions options)
+    : options_(options) {
+  targets_.reserve(fragments.size());
+  for (const Fragment& fragment : fragments) {
+    Target target;
+    target.doc = fragment.doc_name;
+    target.section = fragment.section;
+    target.continent = fragment.continent;
+    target.ids = fragment.ids;
+    targets_.push_back(std::move(target));
+  }
+  assert(!targets_.empty());
+}
+
+const WorkloadGenerator::Target& WorkloadGenerator::pick_target(Rng& rng) {
+  return targets_[rng.next_index(targets_.size())];
+}
+
+std::string WorkloadGenerator::fresh_id(Rng& rng, const char* prefix) {
+  return std::string(prefix) + "w" + std::to_string(insert_counter_++) + "x" +
+         std::to_string(rng.next_below(1000000));
+}
+
+std::vector<std::string> WorkloadGenerator::make_transaction(
+    Rng& rng, bool* is_update) {
+  const bool update_txn = rng.next_bool(options_.update_txn_fraction);
+  if (is_update != nullptr) *is_update = update_txn;
+  std::vector<std::string> ops;
+  ops.reserve(options_.ops_per_transaction);
+  for (std::size_t i = 0; i < options_.ops_per_transaction; ++i) {
+    const bool update_op =
+        update_txn && rng.next_bool(options_.update_op_fraction);
+    ops.push_back(update_op ? make_update(rng) : make_query(rng));
+  }
+  if (update_txn) {
+    // Guarantee at least one update op per update transaction (a 20 % coin
+    // over 5 ops would otherwise leave ~33 % of them read-only).
+    bool has_update = false;
+    for (const std::string& op : ops) {
+      if (op.rfind("update ", 0) == 0) {
+        has_update = true;
+        break;
+      }
+    }
+    if (!has_update) {
+      ops[rng.next_index(ops.size())] = make_update(rng);
+    }
+  }
+  return ops;
+}
+
+std::string WorkloadGenerator::make_query(Rng& rng) {
+  const Target& target = pick_target(rng);
+  const bool scan = rng.next_bool(0.25);
+  const std::string id =
+      target.ids.empty() ? "none"
+                         : target.ids[rng.next_index(target.ids.size())];
+
+  if (target.section == "people") {
+    if (scan) return "query " + target.doc + " /site/people/person/name";
+    switch (rng.next_below(3)) {
+      case 0:
+        return "query " + target.doc + " /site/people/person[@id='" + id +
+               "']/name";
+      case 1:
+        return "query " + target.doc + " /site/people/person[@id='" + id +
+               "']/profile/age";
+      default:
+        return "query " + target.doc + " //person[@id='" + id +
+               "']/emailaddress";
+    }
+  }
+  if (target.section == "regions") {
+    const std::string base = "/site/regions/" + target.continent + "/item";
+    if (scan) return "query " + target.doc + " " + base + "/name";
+    return "query " + target.doc + " " + base + "[@id='" + id + "']/" +
+           (rng.next_bool(0.5) ? "price" : "name");
+  }
+  if (target.section == "open_auctions") {
+    const std::string base = "/site/open_auctions/open_auction";
+    if (scan) return "query " + target.doc + " " + base + "/current";
+    return "query " + target.doc + " " + base + "[@id='" + id + "']/" +
+           (rng.next_bool(0.7) ? "current" : "initial");
+  }
+  if (target.section == "closed_auctions") {
+    const std::string base = "/site/closed_auctions/closed_auction";
+    if (scan) return "query " + target.doc + " " + base + "/price";
+    return "query " + target.doc + " " + base + "[@id='" + id + "']/price";
+  }
+  // categories
+  if (scan) return "query " + target.doc + " /site/categories/category/name";
+  return "query " + target.doc + " /site/categories/category[@id='" + id +
+         "']/name";
+}
+
+std::string WorkloadGenerator::make_update(Rng& rng) {
+  const Target& target = pick_target(rng);
+  const std::string id =
+      target.ids.empty() ? "none"
+                         : target.ids[rng.next_index(target.ids.size())];
+  // Mix: ~50 % insert, ~35 % change, ~15 % remove (of entities previously
+  // inserted by the workload, so the base data set stays queryable).
+  const double roll = rng.next_double();
+
+  if (target.section == "people") {
+    if (roll < 0.5) {
+      const std::string new_id = fresh_id(rng, "person");
+      inserted_ids_[target.doc].push_back(new_id);
+      return "update " + target.doc + " insert into /site/people ::= " +
+             "<person id=\"" + new_id + "\"><name>" + rng.next_word(4, 8) +
+             "</name><phone>555-" + std::to_string(rng.next_below(10000)) +
+             "</phone></person>";
+    }
+    auto& inserted = inserted_ids_[target.doc];
+    if (roll >= 0.85 && !inserted.empty()) {
+      // Remove an entity a previous insert of this workload created (the
+      // base data set stays queryable).
+      const std::size_t pick = rng.next_index(inserted.size());
+      const std::string victim = inserted[pick];
+      inserted.erase(inserted.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+      return "update " + target.doc + " remove /site/people/person[@id='" +
+             victim + "']";
+    }
+    return "update " + target.doc + " change /site/people/person[@id='" +
+           id + "']/phone ::= 555-" + std::to_string(rng.next_below(10000));
+  }
+  if (target.section == "regions") {
+    const std::string base = "/site/regions/" + target.continent;
+    if (roll < 0.5) {
+      const std::string new_id = fresh_id(rng, "item");
+      return "update " + target.doc + " insert into " + base + " ::= " +
+             "<item id=\"" + new_id + "\"><name>" + rng.next_word(4, 10) +
+             "</name><price>" +
+             std::to_string(1 + rng.next_below(400)) + ".00</price></item>";
+    }
+    return "update " + target.doc + " change " + base + "/item[@id='" + id +
+           "']/price ::= " + std::to_string(1 + rng.next_below(400)) + ".50";
+  }
+  if (target.section == "open_auctions") {
+    const std::string base = "/site/open_auctions/open_auction";
+    if (roll < 0.5) {
+      return "update " + target.doc + " insert into " + base + "[@id='" + id +
+             "'] ::= <bidder><date>15/06/2009</date><increase>" +
+             std::to_string(1 + rng.next_below(50)) + ".00</increase></bidder>";
+    }
+    return "update " + target.doc + " change " + base + "[@id='" + id +
+           "']/current ::= " + std::to_string(1 + rng.next_below(500)) + ".00";
+  }
+  if (target.section == "closed_auctions") {
+    return "update " + target.doc +
+           " change /site/closed_auctions/closed_auction[@id='" + id +
+           "']/price ::= " + std::to_string(1 + rng.next_below(500)) + ".00";
+  }
+  // categories
+  if (roll < 0.6) {
+    const std::string new_id = fresh_id(rng, "category");
+    return "update " + target.doc + " insert into /site/categories ::= " +
+           "<category id=\"" + new_id + "\"><name>" + rng.next_word(4, 10) +
+           "</name></category>";
+  }
+  return "update " + target.doc + " change /site/categories/category[@id='" +
+         id + "']/name ::= " + rng.next_word(4, 10);
+}
+
+}  // namespace dtx::workload

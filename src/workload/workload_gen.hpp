@@ -1,0 +1,67 @@
+// Transaction workload generator: XMark queries adapted to the DTX XPath
+// subset plus update operations, as in the paper's evaluation ("the XMark
+// benchmark is extended, adapting its queries to the XPath language and
+// adding update operations").
+//
+// Transactions come in two flavours:
+//  * read transactions — every operation is a query;
+//  * update transactions — a configurable fraction of operations are
+//    updates (paper default: 20 % update operations per update transaction).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/fragmentation.hpp"
+
+namespace dtx::workload {
+
+struct WorkloadOptions {
+  std::size_t ops_per_transaction = 5;
+  /// Fraction of transactions that are update transactions.
+  double update_txn_fraction = 0.0;
+  /// Fraction of update operations inside an update transaction.
+  double update_op_fraction = 0.2;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const std::vector<Fragment>& fragments,
+                    WorkloadOptions options);
+
+  /// Builds one transaction (list of textual operations). Deterministic
+  /// given the Rng state. Sets *is_update when non-null.
+  std::vector<std::string> make_transaction(util::Rng& rng,
+                                            bool* is_update = nullptr);
+
+  [[nodiscard]] const WorkloadOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  /// Metadata-only view of a fragment (no XML payload).
+  struct Target {
+    std::string doc;
+    std::string section;
+    std::string continent;
+    std::vector<std::string> ids;
+  };
+
+  std::string make_query(util::Rng& rng);
+  std::string make_update(util::Rng& rng);
+  const Target& pick_target(util::Rng& rng);
+  std::string fresh_id(util::Rng& rng, const char* prefix);
+
+  std::vector<Target> targets_;
+  WorkloadOptions options_;
+  std::uint64_t insert_counter_ = 0;
+  /// Ids this generator has emitted inserts for (per section); removes draw
+  /// from here so they target data that plausibly exists. A remove racing
+  /// its insert (different transactions) simply affects zero nodes — the
+  /// locks are still exercised.
+  std::map<std::string, std::vector<std::string>> inserted_ids_;
+};
+
+}  // namespace dtx::workload

@@ -1,0 +1,243 @@
+#include "workload/xmark.hpp"
+
+#include <cassert>
+
+#include "xml/builder.hpp"
+
+namespace dtx::workload {
+
+namespace {
+
+using util::Rng;
+using xml::Builder;
+
+// Approximate serialized bytes per entity (calibrated against the builders
+// below); used to translate target_bytes into entity counts.
+constexpr double kPersonBytes = 330.0;
+constexpr double kItemBytes = 300.0;
+constexpr double kOpenAuctionBytes = 380.0;
+constexpr double kClosedAuctionBytes = 260.0;
+constexpr double kCategoryBytes = 140.0;
+
+// XMark-ish byte shares per section.
+constexpr double kPersonShare = 0.25;
+constexpr double kItemShare = 0.30;
+constexpr double kOpenShare = 0.25;
+constexpr double kClosedShare = 0.15;
+constexpr double kCategoryShare = 0.05;
+
+std::string sentence(Rng& rng, std::size_t words) {
+  std::string out;
+  for (std::size_t i = 0; i < words; ++i) {
+    if (i != 0) out += ' ';
+    out += rng.next_word(3, 9);
+  }
+  return out;
+}
+
+std::string money(Rng& rng, double lo, double hi) {
+  const double value =
+      lo + rng.next_double() * (hi - lo);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  return buffer;
+}
+
+void build_person(Builder& b, Rng& rng, const std::string& id) {
+  b.child("person").attr("id", id);
+  b.leaf("name", rng.next_word(4, 8) + " " + rng.next_word(5, 10));
+  b.leaf("emailaddress", rng.next_word(4, 8) + "@" + rng.next_word(4, 8) +
+                             ".com");
+  b.leaf("phone", "+" + std::to_string(rng.next_between(1, 99)) + " " +
+                      std::to_string(rng.next_between(1000000, 9999999)));
+  b.child("address");
+  b.leaf("street", std::to_string(rng.next_between(1, 999)) + " " +
+                       rng.next_word(4, 10) + " st");
+  b.leaf("city", rng.next_word(4, 10));
+  b.leaf("country", rng.next_word(4, 10));
+  b.leaf("zipcode", std::to_string(rng.next_between(10000, 99999)));
+  b.up();
+  b.leaf("creditcard", std::to_string(rng.next_between(1000, 9999)) + " " +
+                           std::to_string(rng.next_between(1000, 9999)));
+  b.child("profile");
+  b.leaf("interest", rng.next_word(4, 10));
+  b.leaf("education", rng.next_word(6, 12));
+  b.leaf("age", std::to_string(rng.next_between(18, 90)));
+  b.up();
+  b.up();  // person
+}
+
+void build_item(Builder& b, Rng& rng, const std::string& id) {
+  b.child("item").attr("id", id);
+  b.leaf("location", rng.next_word(4, 10));
+  b.leaf("quantity", std::to_string(rng.next_between(1, 12)));
+  b.leaf("name", rng.next_word(4, 12));
+  b.leaf("price", money(rng, 1.0, 500.0));
+  b.leaf("payment", "Creditcard");
+  b.child("description");
+  b.leaf("text", sentence(rng, 12));
+  b.up();
+  b.leaf("shipping", "Will ship internationally");
+  b.up();  // item
+}
+
+void build_open_auction(Builder& b, Rng& rng, const std::string& id,
+                        const XmarkData& data) {
+  b.child("open_auction").attr("id", id);
+  b.leaf("initial", money(rng, 1.0, 100.0));
+  b.leaf("reserve", money(rng, 50.0, 300.0));
+  const int bidders = static_cast<int>(rng.next_between(0, 3));
+  for (int i = 0; i < bidders; ++i) {
+    b.child("bidder");
+    b.leaf("date", std::to_string(rng.next_between(1, 28)) + "/" +
+                       std::to_string(rng.next_between(1, 12)) + "/2009");
+    if (!data.person_ids.empty()) {
+      b.child("personref")
+          .attr("person", data.person_ids[rng.next_index(data.person_ids.size())])
+          .up();
+    }
+    b.leaf("increase", money(rng, 1.0, 30.0));
+    b.up();
+  }
+  b.leaf("current", money(rng, 10.0, 400.0));
+  if (!data.items_by_continent.empty()) {
+    const auto& items = data.items_by_continent.begin()->second;
+    if (!items.empty()) {
+      b.child("itemref").attr("item", items[rng.next_index(items.size())]).up();
+    }
+  }
+  if (!data.person_ids.empty()) {
+    b.child("seller")
+        .attr("person", data.person_ids[rng.next_index(data.person_ids.size())])
+        .up();
+  }
+  b.leaf("quantity", "1");
+  b.leaf("type", "Regular");
+  b.child("interval");
+  b.leaf("start", "01/01/2009");
+  b.leaf("end", "31/12/2009");
+  b.up();
+  b.up();  // open_auction
+}
+
+void build_closed_auction(Builder& b, Rng& rng, const std::string& id,
+                          const XmarkData& data) {
+  b.child("closed_auction").attr("id", id);
+  if (!data.person_ids.empty()) {
+    b.child("seller")
+        .attr("person", data.person_ids[rng.next_index(data.person_ids.size())])
+        .up();
+    b.child("buyer")
+        .attr("person", data.person_ids[rng.next_index(data.person_ids.size())])
+        .up();
+  }
+  b.leaf("price", money(rng, 5.0, 500.0));
+  b.leaf("date", std::to_string(rng.next_between(1, 28)) + "/" +
+                     std::to_string(rng.next_between(1, 12)) + "/2009");
+  b.leaf("quantity", "1");
+  b.leaf("type", "Regular");
+  b.child("annotation");
+  b.leaf("description", sentence(rng, 8));
+  b.up();
+  b.up();  // closed_auction
+}
+
+void build_category(Builder& b, Rng& rng, const std::string& id) {
+  b.child("category").attr("id", id);
+  b.leaf("name", rng.next_word(4, 12));
+  b.child("description");
+  b.leaf("text", sentence(rng, 6));
+  b.up();
+  b.up();  // category
+}
+
+}  // namespace
+
+XmarkData generate_xmark(const XmarkOptions& options) {
+  Rng rng(options.seed);
+  XmarkData data;
+
+  const double total = static_cast<double>(options.target_bytes);
+  const auto count_of = [&](double share, double per_entity,
+                            std::size_t minimum) {
+    const auto n = static_cast<std::size_t>(total * share / per_entity);
+    return std::max(n, minimum);
+  };
+  const std::size_t persons = count_of(kPersonShare, kPersonBytes, 4);
+  const std::size_t items = count_of(kItemShare, kItemBytes, 6);
+  const std::size_t opens = count_of(kOpenShare, kOpenAuctionBytes, 2);
+  const std::size_t closeds = count_of(kClosedShare, kClosedAuctionBytes, 2);
+  const std::size_t categories = count_of(kCategoryShare, kCategoryBytes, 2);
+
+  // Pre-assign ids (cross-references need them before the XML is built).
+  for (std::size_t i = 0; i < persons; ++i) {
+    data.person_ids.push_back("person" + std::to_string(i));
+  }
+  for (std::size_t c = 0; c < kContinentCount; ++c) {
+    data.items_by_continent[kContinents[c]] = {};
+  }
+  for (std::size_t i = 0; i < items; ++i) {
+    const char* continent = kContinents[i % kContinentCount];
+    data.items_by_continent[continent].push_back("item" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < opens; ++i) {
+    data.open_auction_ids.push_back("open_auction" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < closeds; ++i) {
+    data.closed_auction_ids.push_back("closed_auction" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < categories; ++i) {
+    data.category_ids.push_back("category" + std::to_string(i));
+  }
+
+  Builder b("xmark");
+  b.root("site");
+
+  b.child("regions");
+  for (std::size_t c = 0; c < kContinentCount; ++c) {
+    b.child(kContinents[c]);
+    for (const std::string& id : data.items_by_continent[kContinents[c]]) {
+      build_item(b, rng, id);
+    }
+    b.up();
+  }
+  b.up();  // regions
+
+  b.child("categories");
+  for (const std::string& id : data.category_ids) {
+    build_category(b, rng, id);
+  }
+  b.up();
+
+  b.child("catgraph");
+  for (std::size_t i = 0; i + 1 < data.category_ids.size(); ++i) {
+    b.child("edge")
+        .attr("from", data.category_ids[i])
+        .attr("to", data.category_ids[i + 1])
+        .up();
+  }
+  b.up();
+
+  b.child("people");
+  for (const std::string& id : data.person_ids) {
+    build_person(b, rng, id);
+  }
+  b.up();
+
+  b.child("open_auctions");
+  for (const std::string& id : data.open_auction_ids) {
+    build_open_auction(b, rng, id, data);
+  }
+  b.up();
+
+  b.child("closed_auctions");
+  for (const std::string& id : data.closed_auction_ids) {
+    build_closed_auction(b, rng, id, data);
+  }
+  b.up();
+
+  data.document = b.take();
+  return data;
+}
+
+}  // namespace dtx::workload

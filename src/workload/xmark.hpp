@@ -1,0 +1,50 @@
+// XMark-like document generator. The paper evaluates DTX on data produced
+// by the XMark benchmark (Schmidt et al., VLDB'02) — an Internet-auction
+// site: regional item listings, registered people, open and closed auctions
+// and a category graph. This generator reproduces that document shape from
+// scratch with a byte-size target (the paper's bases: 40–200 MB; our scaled
+// defaults: ~1–4 MB, see DESIGN.md §2).
+//
+// Deviations from stock XMark, chosen for the update workload:
+//  * <item> carries a <price> leaf (stock XMark prices live only in
+//    auctions; the paper's §2.4 store example updates product prices, and
+//    change-price is the natural "change" operation of the workload);
+//  * every entity (including closed auctions) carries an id attribute so
+//    point queries and updates can address them.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "xml/document.hpp"
+
+namespace dtx::workload {
+
+struct XmarkOptions {
+  /// Approximate serialized size of the generated document.
+  std::size_t target_bytes = 1'000'000;
+  std::uint64_t seed = 42;
+};
+
+inline constexpr const char* kContinents[] = {"africa",  "asia",
+                                              "australia", "europe",
+                                              "namerica", "samerica"};
+inline constexpr std::size_t kContinentCount = 6;
+
+/// The generated document plus the entity-id inventory the workload
+/// generator draws from.
+struct XmarkData {
+  std::unique_ptr<xml::Document> document;
+  std::vector<std::string> person_ids;
+  std::map<std::string, std::vector<std::string>> items_by_continent;
+  std::vector<std::string> open_auction_ids;
+  std::vector<std::string> closed_auction_ids;
+  std::vector<std::string> category_ids;
+};
+
+XmarkData generate_xmark(const XmarkOptions& options);
+
+}  // namespace dtx::workload

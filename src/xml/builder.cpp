@@ -1,0 +1,53 @@
+#include "xml/builder.hpp"
+
+#include <cassert>
+
+namespace dtx::xml {
+
+Builder::Builder(std::string document_name)
+    : document_(std::make_unique<Document>(std::move(document_name))) {}
+
+Builder& Builder::root(std::string tag) {
+  assert(!document_->has_root() && "root() called twice");
+  cursor_ = document_->set_root(document_->create_element(std::move(tag)));
+  return *this;
+}
+
+Builder& Builder::child(std::string tag) {
+  assert(cursor_ != nullptr && "call root() first");
+  cursor_ = cursor_->append_child(document_->create_element(std::move(tag)));
+  return *this;
+}
+
+Builder& Builder::text(std::string value) {
+  assert(cursor_ != nullptr);
+  cursor_->append_child(document_->create_text(std::move(value)));
+  return *this;
+}
+
+Builder& Builder::leaf(std::string tag, std::string value) {
+  assert(cursor_ != nullptr);
+  Node* element =
+      cursor_->append_child(document_->create_element(std::move(tag)));
+  element->append_child(document_->create_text(std::move(value)));
+  return *this;
+}
+
+Builder& Builder::attr(std::string name, std::string value) {
+  assert(cursor_ != nullptr);
+  cursor_->set_attribute(name, std::move(value));
+  return *this;
+}
+
+Builder& Builder::up() {
+  assert(cursor_ != nullptr && cursor_->parent() != nullptr);
+  cursor_ = cursor_->parent();
+  return *this;
+}
+
+std::unique_ptr<Document> Builder::take() {
+  cursor_ = nullptr;
+  return std::move(document_);
+}
+
+}  // namespace dtx::xml

@@ -1,0 +1,52 @@
+// Fluent tree builder used by tests, examples and the XMark generator.
+//
+//   xml::Builder b("people");
+//   b.root("people")
+//      .child("person").attr("id", "4")
+//        .child("name").text("Ana").up()
+//      .up();
+//   auto doc = b.take();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xml/document.hpp"
+
+namespace dtx::xml {
+
+class Builder {
+ public:
+  explicit Builder(std::string document_name);
+
+  /// Creates the root element and positions the cursor on it.
+  Builder& root(std::string tag);
+
+  /// Appends an element child under the cursor and descends into it.
+  Builder& child(std::string tag);
+
+  /// Appends a text child under the cursor (cursor does not move).
+  Builder& text(std::string value);
+
+  /// Appends `<tag>value</tag>` under the cursor (cursor does not move).
+  Builder& leaf(std::string tag, std::string value);
+
+  /// Sets an attribute on the cursor element.
+  Builder& attr(std::string name, std::string value);
+
+  /// Moves the cursor to the parent element.
+  Builder& up();
+
+  /// Current cursor node (for id capture in tests).
+  [[nodiscard]] Node* cursor() const noexcept { return cursor_; }
+
+  /// Finishes and returns the document. The builder becomes empty.
+  [[nodiscard]] std::unique_ptr<Document> take();
+
+ private:
+  std::unique_ptr<Document> document_;
+  Node* cursor_ = nullptr;
+};
+
+}  // namespace dtx::xml

@@ -1,0 +1,57 @@
+#include "xml/document.hpp"
+
+#include <cassert>
+
+namespace dtx::xml {
+
+Document::Document(std::string name) : name_(std::move(name)) {}
+
+Node* Document::set_root(std::unique_ptr<Node> root) {
+  assert(root == nullptr || root->is_element());
+  if (root_ != nullptr) unregister_subtree(*root_);
+  root_ = std::move(root);
+  return root_.get();
+}
+
+std::unique_ptr<Node> Document::create_element(std::string tag) {
+  auto node = std::make_unique<Node>(NodeKind::kElement, allocate_id(),
+                                     std::move(tag));
+  register_node(node.get());
+  return node;
+}
+
+std::unique_ptr<Node> Document::create_text(std::string text) {
+  auto node =
+      std::make_unique<Node>(NodeKind::kText, allocate_id(), std::move(text));
+  register_node(node.get());
+  return node;
+}
+
+void Document::register_node(Node* node) { index_[node->id()] = node; }
+
+Node* Document::find(NodeId id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+void Document::unregister_subtree(const Node& node) {
+  index_.erase(node.id());
+  for (const auto& child : node.children()) unregister_subtree(*child);
+}
+
+std::size_t Document::node_count() const {
+  return root_ == nullptr ? 0 : root_->subtree_size();
+}
+
+bool Document::deep_equal(const Document& other) const {
+  if ((root_ == nullptr) != (other.root_ == nullptr)) return false;
+  return root_ == nullptr || root_->deep_equal(*other.root_);
+}
+
+std::unique_ptr<Document> Document::clone(std::string new_name) const {
+  auto copy = std::make_unique<Document>(std::move(new_name));
+  if (root_ != nullptr) copy->set_root(root_->clone(*copy));
+  return copy;
+}
+
+}  // namespace dtx::xml

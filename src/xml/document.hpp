@@ -1,0 +1,67 @@
+// A Document owns one XML tree and allocates the stable node ids used by
+// undo logs and the DataGuide extents.
+//
+// Replica note: each DTX site parses its own copy of a document from storage,
+// so node ids are site-local. Operations travel between sites as language
+// level specifications (XPath + update spec) and are re-evaluated locally;
+// node ids never cross the wire.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "xml/node.hpp"
+
+namespace dtx::xml {
+
+class Document {
+ public:
+  explicit Document(std::string name);
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] Node* root() const noexcept { return root_.get(); }
+  [[nodiscard]] bool has_root() const noexcept { return root_ != nullptr; }
+
+  /// Installs a root element (replaces any existing tree).
+  Node* set_root(std::unique_ptr<Node> root);
+
+  /// Creates a detached element / text node registered with this document.
+  [[nodiscard]] std::unique_ptr<Node> create_element(std::string tag);
+  [[nodiscard]] std::unique_ptr<Node> create_text(std::string text);
+
+  /// Id lookup. May return a node that is currently detached from the tree
+  /// (e.g. held by an undo log); returns nullptr for unknown ids.
+  [[nodiscard]] Node* find(NodeId id) const;
+
+  /// Removes the subtree rooted at `node` from the id index. Call before
+  /// permanently destroying a detached subtree; harmless to skip for nodes
+  /// that live until the document dies.
+  void unregister_subtree(const Node& node);
+
+  /// Number of nodes in the live tree (0 when empty).
+  [[nodiscard]] std::size_t node_count() const;
+
+  /// Deep structural equality of the live trees (names, values, attributes).
+  [[nodiscard]] bool deep_equal(const Document& other) const;
+
+  /// Full deep copy (fresh ids) under a new name.
+  [[nodiscard]] std::unique_ptr<Document> clone(std::string new_name) const;
+
+ private:
+  friend class Node;
+
+  NodeId allocate_id() noexcept { return next_id_++; }
+  void register_node(Node* node);
+
+  std::string name_;
+  std::unique_ptr<Node> root_;
+  NodeId next_id_ = 1;  // 0 is kInvalidNodeId
+  std::unordered_map<NodeId, Node*> index_;
+};
+
+}  // namespace dtx::xml

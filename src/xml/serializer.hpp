@@ -1,0 +1,29 @@
+// XML serializer: the inverse of xml::parse. Used by the file storage
+// backend, operation shipping (insert payloads travel as XML text) and the
+// undo log (removed subtrees are checkpointed as text in tests).
+#pragma once
+
+#include <string>
+
+#include "xml/document.hpp"
+
+namespace dtx::xml {
+
+struct SerializeOptions {
+  /// Pretty-print with 2-space indentation; compact single line otherwise.
+  bool indent = false;
+  /// Emit the <?xml version="1.0"?> declaration (documents only).
+  bool declaration = false;
+};
+
+/// Serializes the subtree rooted at `node`.
+std::string serialize(const Node& node, const SerializeOptions& options = {});
+
+/// Serializes the whole document (empty string when it has no root).
+std::string serialize(const Document& document,
+                      const SerializeOptions& options = {});
+
+/// Serialized byte size without materializing the string.
+std::size_t serialized_size(const Node& node);
+
+}  // namespace dtx::xml

@@ -1,0 +1,63 @@
+#include "xpath/ast.hpp"
+
+namespace dtx::xpath {
+
+namespace {
+
+std::string steps_to_string(const std::vector<Step>& steps,
+                            bool leading_axis) {
+  std::string out;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    out += steps[i].to_string(/*leading_axis=*/leading_axis || i > 0);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Step::to_string(bool leading_axis) const {
+  std::string out;
+  if (leading_axis) out += axis == Axis::kDescendant ? "//" : "/";
+  switch (test) {
+    case NodeTest::kName: out += name; break;
+    case NodeTest::kWildcard: out += '*'; break;
+    case NodeTest::kText: out += "text()"; break;
+    case NodeTest::kAttribute:
+      out += '@';
+      out += name;
+      break;
+  }
+  for (const auto& predicate : predicates) out += predicate.to_string();
+  return out;
+}
+
+std::string RelativePath::to_string() const {
+  // Relative paths start without a leading slash: person/name.
+  std::string out;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (i == 0 && steps[i].axis == Axis::kChild) {
+      out += steps[i].to_string(/*leading_axis=*/false);
+    } else {
+      out += steps[i].to_string();
+    }
+  }
+  return out;
+}
+
+std::string Predicate::to_string() const {
+  switch (kind) {
+    case PredicateKind::kPosition:
+      return "[" + std::to_string(position) + "]";
+    case PredicateKind::kExists:
+      return "[" + path.to_string() + "]";
+    case PredicateKind::kEquals:
+      return "[" + path.to_string() + "='" + literal + "']";
+  }
+  return "[?]";
+}
+
+std::string Path::to_string() const {
+  return steps_to_string(steps, /*leading_axis=*/true);
+}
+
+}  // namespace dtx::xpath

@@ -1,0 +1,200 @@
+#include "xpath/evaluator.hpp"
+
+#include <cstdlib>
+#include <unordered_set>
+
+namespace dtx::xpath {
+
+namespace {
+
+using xml::Node;
+
+bool parse_number(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+/// Collects the candidates one step produces for a single context node,
+/// before predicate filtering, in document order.
+void collect_candidates(Node& context, const Step& step,
+                        std::vector<Node*>& out) {
+  switch (step.test) {
+    case NodeTest::kAttribute:
+      if (context.is_element() && context.attribute(step.name) != nullptr) {
+        out.push_back(&context);
+      }
+      return;
+    case NodeTest::kText:
+      if (step.axis == Axis::kChild) {
+        for (const auto& child : context.children()) {
+          if (child->is_text()) out.push_back(child.get());
+        }
+      } else {
+        context.visit([&](const Node& node) {
+          if (&node != &context && node.is_text()) {
+            out.push_back(const_cast<Node*>(&node));
+          }
+          return true;
+        });
+      }
+      return;
+    case NodeTest::kName:
+    case NodeTest::kWildcard: {
+      const auto matches = [&](const Node& node) {
+        return node.is_element() &&
+               (step.test == NodeTest::kWildcard || node.name() == step.name);
+      };
+      if (step.axis == Axis::kChild) {
+        for (const auto& child : context.children()) {
+          if (matches(*child)) out.push_back(child.get());
+        }
+      } else {
+        context.visit([&](const Node& node) {
+          if (&node != &context && matches(node)) {
+            out.push_back(const_cast<Node*>(&node));
+          }
+          return true;
+        });
+      }
+      return;
+    }
+  }
+}
+
+bool predicate_holds(Node& candidate, const Predicate& predicate);
+
+/// Applies the predicate list of a step to the per-context candidate list.
+/// Position predicates filter by the candidate's index in the current list,
+/// matching XPath's left-to-right predicate application.
+void apply_predicates(const Step& step, std::vector<Node*>& candidates) {
+  for (const auto& predicate : step.predicates) {
+    if (predicate.kind == PredicateKind::kPosition) {
+      if (predicate.position > candidates.size()) {
+        candidates.clear();
+      } else {
+        Node* kept = candidates[predicate.position - 1];
+        candidates.assign(1, kept);
+      }
+      continue;
+    }
+    std::vector<Node*> kept;
+    kept.reserve(candidates.size());
+    for (Node* node : candidates) {
+      if (predicate_holds(*node, predicate)) kept.push_back(node);
+    }
+    candidates = std::move(kept);
+  }
+}
+
+std::vector<Node*> evaluate_steps(const std::vector<Step>& steps,
+                                  std::vector<Node*> contexts) {
+  for (const auto& step : steps) {
+    std::vector<Node*> next;
+    std::unordered_set<const Node*> seen;
+    for (Node* context : contexts) {
+      std::vector<Node*> candidates;
+      collect_candidates(*context, step, candidates);
+      apply_predicates(step, candidates);
+      for (Node* node : candidates) {
+        if (seen.insert(node).second) next.push_back(node);
+      }
+    }
+    contexts = std::move(next);
+    if (contexts.empty()) break;
+  }
+  return contexts;
+}
+
+bool predicate_holds(Node& candidate, const Predicate& predicate) {
+  const auto& steps = predicate.path.steps;
+  // Attribute-final predicate paths compare / test the attribute itself.
+  const bool attribute_final =
+      !steps.empty() && steps.back().test == NodeTest::kAttribute;
+
+  std::vector<Node*> selected = evaluate_steps(steps, {&candidate});
+  if (predicate.kind == PredicateKind::kExists) return !selected.empty();
+
+  for (Node* node : selected) {
+    std::string value;
+    if (attribute_final) {
+      const std::string* attr = node->attribute(steps.back().name);
+      if (attr == nullptr) continue;
+      value = *attr;
+    } else {
+      value = string_value(*node);
+    }
+    if (literal_equals(value, predicate.literal)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string string_value(const xml::Node& node) {
+  return node.is_text() ? node.value() : node.deep_text();
+}
+
+bool literal_equals(const std::string& value, const std::string& literal) {
+  double a = 0.0;
+  double b = 0.0;
+  if (parse_number(value, a) && parse_number(literal, b)) return a == b;
+  return value == literal;
+}
+
+std::vector<xml::Node*> evaluate(const Path& path,
+                                 const xml::Document& document) {
+  if (!document.has_root() || path.empty()) return {};
+  // The virtual document node: treat the root element as the single "child"
+  // of an invisible context, i.e. the first step tests the root itself for
+  // the child axis and the whole tree for the descendant axis.
+  const Step& first = path.steps.front();
+  std::vector<Node*> contexts;
+  Node* root = document.root();
+
+  std::vector<Node*> first_candidates;
+  const auto root_matches = [&] {
+    switch (first.test) {
+      case NodeTest::kName: return root->name() == first.name;
+      case NodeTest::kWildcard: return true;
+      case NodeTest::kText: return false;
+      case NodeTest::kAttribute: return root->attribute(first.name) != nullptr;
+    }
+    return false;
+  };
+  if (first.axis == Axis::kChild) {
+    if (root_matches()) first_candidates.push_back(root);
+  } else {
+    if (root_matches()) first_candidates.push_back(root);
+    collect_candidates(*root, first, first_candidates);
+  }
+  apply_predicates(first, first_candidates);
+  contexts = std::move(first_candidates);
+
+  std::vector<Step> rest(path.steps.begin() + 1, path.steps.end());
+  return evaluate_steps(rest, std::move(contexts));
+}
+
+std::vector<xml::Node*> evaluate_relative(const RelativePath& path,
+                                          xml::Node& context) {
+  return evaluate_steps(path.steps, {&context});
+}
+
+std::vector<std::string> evaluate_strings(const Path& path,
+                                          const xml::Document& document) {
+  std::vector<xml::Node*> nodes = evaluate(path, document);
+  std::vector<std::string> out;
+  out.reserve(nodes.size());
+  for (xml::Node* node : nodes) {
+    if (path.targets_attribute()) {
+      const std::string* attr = node->attribute(path.steps.back().name);
+      out.push_back(attr == nullptr ? std::string() : *attr);
+    } else {
+      out.push_back(string_value(*node));
+    }
+  }
+  return out;
+}
+
+}  // namespace dtx::xpath

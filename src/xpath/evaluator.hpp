@@ -1,0 +1,43 @@
+// Evaluator for the XPath subset over xml::Document trees.
+//
+// Semantics follow XPath 1.0 restricted to the supported grammar:
+//  * absolute paths evaluate from a virtual document node whose only child is
+//    the root element;
+//  * '/'  = child axis, '//' = descendant axis (any depth below the context);
+//  * position predicates are applied per context node, after the other
+//    predicates that precede them lexically;
+//  * equality compares the candidate's string-value (concatenated descendant
+//    text, or attribute value) with the literal — numerically when both
+//    sides parse as numbers, as strings otherwise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xml/document.hpp"
+#include "xpath/ast.hpp"
+
+namespace dtx::xpath {
+
+/// Nodes selected by `path`, in document order without duplicates.
+/// For attribute-final paths the *owning elements* are returned; use
+/// evaluate_strings to obtain the attribute values.
+std::vector<xml::Node*> evaluate(const Path& path,
+                                 const xml::Document& document);
+
+/// Relative-path evaluation from an explicit context element.
+std::vector<xml::Node*> evaluate_relative(const RelativePath& path,
+                                          xml::Node& context);
+
+/// String-values of the selected nodes (attribute values for attribute-final
+/// paths, string-value of the node otherwise).
+std::vector<std::string> evaluate_strings(const Path& path,
+                                          const xml::Document& document);
+
+/// XPath string-value of a node (text payload or concatenated subtree text).
+std::string string_value(const xml::Node& node);
+
+/// Literal comparison rule used by equality predicates.
+bool literal_equals(const std::string& value, const std::string& literal);
+
+}  // namespace dtx::xpath

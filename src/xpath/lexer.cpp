@@ -1,0 +1,112 @@
+#include "xpath/lexer.hpp"
+
+#include <cctype>
+
+namespace dtx::xpath {
+
+namespace {
+
+using util::Code;
+using util::Status;
+
+bool is_name_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_name_char(char c) noexcept {
+  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.' || c == ':';
+}
+
+}  // namespace
+
+util::Result<std::vector<Token>> tokenize(std::string_view expression) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const auto error = [&](const std::string& what) {
+    return Status(Code::kInvalidArgument,
+                  "XPath lex error at offset " + std::to_string(i) + ": " +
+                      what + " in '" + std::string(expression) + "'");
+  };
+
+  while (i < expression.size()) {
+    const char c = expression[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    switch (c) {
+      case '/':
+        if (i + 1 < expression.size() && expression[i + 1] == '/') {
+          token.kind = TokenKind::kDoubleSlash;
+          i += 2;
+        } else {
+          token.kind = TokenKind::kSlash;
+          ++i;
+        }
+        break;
+      case '*':
+        token.kind = TokenKind::kStar;
+        ++i;
+        break;
+      case '@':
+        token.kind = TokenKind::kAt;
+        ++i;
+        break;
+      case '[':
+        token.kind = TokenKind::kLBracket;
+        ++i;
+        break;
+      case ']':
+        token.kind = TokenKind::kRBracket;
+        ++i;
+        break;
+      case '=':
+        token.kind = TokenKind::kEquals;
+        ++i;
+        break;
+      case '\'':
+      case '"': {
+        const char quote = c;
+        const std::size_t start = ++i;
+        while (i < expression.size() && expression[i] != quote) ++i;
+        if (i >= expression.size()) return error("unterminated literal");
+        token.kind = TokenKind::kLiteral;
+        token.text = std::string(expression.substr(start, i - start));
+        ++i;  // closing quote
+        break;
+      }
+      default:
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+          const std::size_t start = i;
+          while (i < expression.size() &&
+                 (std::isdigit(static_cast<unsigned char>(expression[i])) ||
+                  expression[i] == '.')) {
+            ++i;
+          }
+          token.kind = TokenKind::kNumber;
+          token.text = std::string(expression.substr(start, i - start));
+        } else if (is_name_start(c)) {
+          const std::size_t start = i;
+          while (i < expression.size() && is_name_char(expression[i])) ++i;
+          std::string name(expression.substr(start, i - start));
+          if (name == "text" && expression.substr(i, 2) == "()") {
+            token.kind = TokenKind::kTextFn;
+            i += 2;
+          } else {
+            token.kind = TokenKind::kName;
+            token.text = std::move(name);
+          }
+        } else {
+          return error(std::string("unexpected character '") + c + "'");
+        }
+    }
+    tokens.push_back(std::move(token));
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", expression.size()});
+  return tokens;
+}
+
+}  // namespace dtx::xpath

@@ -1,0 +1,37 @@
+// Tokenizer for the XPath subset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace dtx::xpath {
+
+enum class TokenKind : std::uint8_t {
+  kSlash,        // /
+  kDoubleSlash,  // //
+  kName,         // element / attribute name
+  kStar,         // *
+  kAt,           // @
+  kLBracket,     // [
+  kRBracket,     // ]
+  kEquals,       // =
+  kLiteral,      // 'quoted' or "quoted"
+  kNumber,       // digits (optionally with a decimal point)
+  kTextFn,       // text()
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // name / literal / number payload
+  std::size_t offset = 0;  // for error messages
+};
+
+/// Tokenizes the full expression; fails on characters outside the subset.
+util::Result<std::vector<Token>> tokenize(std::string_view expression);
+
+}  // namespace dtx::xpath

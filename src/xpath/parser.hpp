@@ -1,0 +1,18 @@
+// Recursive-descent parser producing xpath::Path from expression text.
+#pragma once
+
+#include <string_view>
+
+#include "util/status.hpp"
+#include "xpath/ast.hpp"
+
+namespace dtx::xpath {
+
+/// Parses an absolute path expression ("/site//person[id='4']/name").
+util::Result<Path> parse(std::string_view expression);
+
+/// Parses a relative path ("profile/age", "@category"), as used inside
+/// predicates and by update-operation payload anchors.
+util::Result<RelativePath> parse_relative(std::string_view expression);
+
+}  // namespace dtx::xpath

@@ -1,0 +1,35 @@
+// Applies update operations to a document, recording inverses in an UndoLog.
+// Locking is NOT done here — the lock manager (Alg. 3) acquires XDGL locks
+// before the applier runs; the applier is purely structural.
+#pragma once
+
+#include "dataguide/dataguide.hpp"
+#include "util/status.hpp"
+#include "xml/document.hpp"
+#include "xupdate/undo_log.hpp"
+#include "xupdate/update_op.hpp"
+
+namespace dtx::xupdate {
+
+struct ApplyResult {
+  /// Number of target nodes the operation affected.
+  std::size_t affected = 0;
+};
+
+/// Applies `op` to `document`. All matched targets are updated; matching
+/// zero targets is not an error (affected == 0), mirroring XQuery Update
+/// semantics on empty sequences.
+///
+/// When `guide` is non-null it is maintained incrementally alongside the
+/// structural change (the DTX DataManager always passes its document's
+/// guide; pass the same pointer to the UndoLog calls that roll the change
+/// back).
+///
+/// On error the document is left untouched (the applier validates before
+/// mutating; partially-applied multi-target updates are unwound through the
+/// undo log before returning).
+util::Result<ApplyResult> apply(const UpdateOp& op, xml::Document& document,
+                                UndoLog& undo,
+                                dataguide::DataGuide* guide = nullptr);
+
+}  // namespace dtx::xupdate

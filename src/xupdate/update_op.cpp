@@ -1,0 +1,192 @@
+#include "xupdate/update_op.hpp"
+
+#include "util/strings.hpp"
+#include "xpath/parser.hpp"
+
+namespace dtx::xupdate {
+
+namespace {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+constexpr std::string_view kSeparator = " ::= ";
+
+Status invalid(const std::string& what) {
+  return Status(Code::kInvalidArgument, "update parse error: " + what);
+}
+
+}  // namespace
+
+const char* update_kind_name(UpdateKind kind) noexcept {
+  switch (kind) {
+    case UpdateKind::kInsert: return "insert";
+    case UpdateKind::kRemove: return "remove";
+    case UpdateKind::kRename: return "rename";
+    case UpdateKind::kChange: return "change";
+    case UpdateKind::kTranspose: return "transpose";
+  }
+  return "?";
+}
+
+std::string UpdateOp::to_string() const {
+  std::string out = update_kind_name(kind);
+  if (kind == UpdateKind::kInsert) {
+    switch (where) {
+      case InsertWhere::kInto: out += " into "; break;
+      case InsertWhere::kBefore: out += " before "; break;
+      case InsertWhere::kAfter: out += " after "; break;
+    }
+  } else {
+    out += ' ';
+  }
+  out += target.to_string();
+  switch (kind) {
+    case UpdateKind::kInsert:
+      out += kSeparator;
+      out += content_xml;
+      break;
+    case UpdateKind::kRename:
+    case UpdateKind::kChange:
+      out += kSeparator;
+      out += new_text;
+      break;
+    case UpdateKind::kTranspose:
+      out += kSeparator;
+      out += destination.to_string();
+      break;
+    case UpdateKind::kRemove:
+      break;
+  }
+  return out;
+}
+
+Result<UpdateOp> parse_update(std::string_view text) {
+  const std::string_view trimmed = util::trim(text);
+  const std::size_t space = trimmed.find(' ');
+  if (space == std::string_view::npos) return invalid("missing operands");
+  const std::string_view verb = trimmed.substr(0, space);
+  std::string_view rest = util::trim(trimmed.substr(space + 1));
+
+  const auto split_payload =
+      [&](std::string_view input) -> Result<std::pair<std::string, std::string>> {
+    const std::size_t sep = input.find(kSeparator);
+    if (sep == std::string_view::npos) {
+      return invalid("expected ' ::= ' separator");
+    }
+    return std::make_pair(
+        std::string(util::trim(input.substr(0, sep))),
+        std::string(util::trim(input.substr(sep + kSeparator.size()))));
+  };
+
+  if (verb == "insert") {
+    InsertWhere where = InsertWhere::kInto;
+    if (util::starts_with(rest, "into ")) {
+      rest = util::trim(rest.substr(5));
+    } else if (util::starts_with(rest, "before ")) {
+      where = InsertWhere::kBefore;
+      rest = util::trim(rest.substr(7));
+    } else if (util::starts_with(rest, "after ")) {
+      where = InsertWhere::kAfter;
+      rest = util::trim(rest.substr(6));
+    } else {
+      return invalid("insert requires into/before/after");
+    }
+    auto parts = split_payload(rest);
+    if (!parts) return parts.status();
+    return make_insert(parts.value().first, parts.value().second, where);
+  }
+  if (verb == "remove") {
+    return make_remove(rest);
+  }
+  if (verb == "rename") {
+    auto parts = split_payload(rest);
+    if (!parts) return parts.status();
+    return make_rename(parts.value().first, parts.value().second);
+  }
+  if (verb == "change") {
+    auto parts = split_payload(rest);
+    if (!parts) return parts.status();
+    return make_change(parts.value().first, parts.value().second);
+  }
+  if (verb == "transpose") {
+    auto parts = split_payload(rest);
+    if (!parts) return parts.status();
+    return make_transpose(parts.value().first, parts.value().second);
+  }
+  return invalid("unknown verb '" + std::string(verb) + "'");
+}
+
+Result<UpdateOp> make_insert(std::string_view target_xpath,
+                             std::string_view fragment_xml,
+                             InsertWhere where) {
+  auto target = xpath::parse(target_xpath);
+  if (!target) return target.status();
+  UpdateOp op;
+  op.kind = UpdateKind::kInsert;
+  op.where = where;
+  op.target = std::move(target).value();
+  op.content_xml = std::string(fragment_xml);
+  if (op.target.targets_attribute()) {
+    return invalid("insert target must be an element path");
+  }
+  if (op.content_xml.empty()) return invalid("insert requires content");
+  return op;
+}
+
+Result<UpdateOp> make_remove(std::string_view target_xpath) {
+  auto target = xpath::parse(target_xpath);
+  if (!target) return target.status();
+  UpdateOp op;
+  op.kind = UpdateKind::kRemove;
+  op.target = std::move(target).value();
+  if (op.target.targets_attribute()) {
+    return invalid("remove target must be an element path");
+  }
+  return op;
+}
+
+Result<UpdateOp> make_rename(std::string_view target_xpath,
+                             std::string new_name) {
+  auto target = xpath::parse(target_xpath);
+  if (!target) return target.status();
+  UpdateOp op;
+  op.kind = UpdateKind::kRename;
+  op.target = std::move(target).value();
+  op.new_text = std::move(new_name);
+  if (op.new_text.empty()) return invalid("rename requires a new name");
+  if (op.target.targets_attribute()) {
+    return invalid("rename target must be an element path");
+  }
+  return op;
+}
+
+Result<UpdateOp> make_change(std::string_view target_xpath,
+                             std::string new_value) {
+  auto target = xpath::parse(target_xpath);
+  if (!target) return target.status();
+  UpdateOp op;
+  op.kind = UpdateKind::kChange;
+  op.target = std::move(target).value();
+  op.new_text = std::move(new_value);
+  return op;
+}
+
+Result<UpdateOp> make_transpose(std::string_view target_xpath,
+                                std::string_view destination_xpath) {
+  auto target = xpath::parse(target_xpath);
+  if (!target) return target.status();
+  auto destination = xpath::parse(destination_xpath);
+  if (!destination) return destination.status();
+  UpdateOp op;
+  op.kind = UpdateKind::kTranspose;
+  op.target = std::move(target).value();
+  op.destination = std::move(destination).value();
+  if (op.target.targets_attribute() || op.destination.targets_attribute()) {
+    return invalid("transpose paths must be element paths");
+  }
+  return op;
+}
+
+}  // namespace dtx::xupdate

@@ -1,0 +1,71 @@
+// The DTX update language: the five operation types the paper adopts from
+// XDGL — insert, remove, transpose, rename and change (§2: "This language
+// has five types of update operations").
+//
+// Textual form (used on the wire between sites and in workload files):
+//
+//   insert into  <target-xpath> ::= <xml fragment>
+//   insert before <target-xpath> ::= <xml fragment>
+//   insert after <target-xpath> ::= <xml fragment>
+//   remove <target-xpath>
+//   rename <target-xpath> ::= <new-name>
+//   change <target-xpath> ::= <new-text-value>
+//   transpose <target-xpath> ::= <destination-xpath>
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+#include "xpath/ast.hpp"
+
+namespace dtx::xupdate {
+
+enum class UpdateKind : std::uint8_t {
+  kInsert,
+  kRemove,
+  kRename,
+  kChange,
+  kTranspose,
+};
+
+const char* update_kind_name(UpdateKind kind) noexcept;
+
+/// Where an insert places the new content relative to the target node.
+/// The three positions mirror XDGL's three shared insert locks:
+/// kInto -> SI, kBefore -> SB, kAfter -> SA.
+enum class InsertWhere : std::uint8_t { kInto, kBefore, kAfter };
+
+struct UpdateOp {
+  UpdateKind kind = UpdateKind::kInsert;
+  xpath::Path target;
+
+  // kInsert
+  InsertWhere where = InsertWhere::kInto;
+  std::string content_xml;
+
+  // kRename: new element name; kChange: new text value.
+  std::string new_text;
+
+  // kTranspose: where the target subtree moves to (appended as last child).
+  xpath::Path destination;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses the textual form above.
+util::Result<UpdateOp> parse_update(std::string_view text);
+
+// --- convenience constructors ---------------------------------------------
+util::Result<UpdateOp> make_insert(std::string_view target_xpath,
+                                   std::string_view fragment_xml,
+                                   InsertWhere where = InsertWhere::kInto);
+util::Result<UpdateOp> make_remove(std::string_view target_xpath);
+util::Result<UpdateOp> make_rename(std::string_view target_xpath,
+                                   std::string new_name);
+util::Result<UpdateOp> make_change(std::string_view target_xpath,
+                                   std::string new_value);
+util::Result<UpdateOp> make_transpose(std::string_view target_xpath,
+                                      std::string_view destination_xpath);
+
+}  // namespace dtx::xupdate

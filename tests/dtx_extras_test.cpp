@@ -1,0 +1,346 @@
+// Tests for the DTX support components: Catalog, DataManager, the
+// DeadlockDetector probe lifecycle, the Connection retry policy and the
+// file-backed durability path (cluster restart on FileStore).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dtx/catalog.hpp"
+#include "dtx/connection.hpp"
+#include "dtx/data_manager.hpp"
+#include "dtx/deadlock_detector.hpp"
+#include "storage/memory_store.hpp"
+#include "xpath/parser.hpp"
+
+namespace dtx::core {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+using txn::TxnState;
+
+// --- Catalog -----------------------------------------------------------------
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.add_document("d1", {2, 0, 2, 1}).is_ok());
+  EXPECT_TRUE(catalog.has_document("d1"));
+  EXPECT_FALSE(catalog.has_document("d2"));
+  // Sorted and deduplicated.
+  EXPECT_EQ(catalog.sites_of("d1"), (std::vector<SiteId>{0, 1, 2}));
+  EXPECT_TRUE(catalog.sites_of("d2").empty());
+}
+
+TEST(CatalogTest, RejectsEmptyPlacementAndDuplicates) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.add_document("d1", {}).is_ok());
+  ASSERT_TRUE(catalog.add_document("d1", {0}).is_ok());
+  EXPECT_EQ(catalog.add_document("d1", {1}).code(),
+            util::Code::kAlreadyExists);
+}
+
+TEST(CatalogTest, DocumentsAtSite) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.add_document("a", {0, 1}).is_ok());
+  ASSERT_TRUE(catalog.add_document("b", {1}).is_ok());
+  ASSERT_TRUE(catalog.add_document("c", {0}).is_ok());
+  EXPECT_EQ(catalog.documents_at(0), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(catalog.documents_at(1), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(catalog.documents_at(9).empty());
+  EXPECT_EQ(catalog.documents(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+// --- DataManager --------------------------------------------------------------
+
+class DataManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_.store("d1",
+                             "<site><people>"
+                             "<person id=\"p1\"><name>Ana</name></person>"
+                             "</people></site>")
+                    .is_ok());
+    ASSERT_TRUE(store_.store("d2", "<catalog><entry id=\"e1\"/></catalog>")
+                    .is_ok());
+    data_ = std::make_unique<DataManager>(store_);
+    ASSERT_TRUE(data_->load_all().is_ok());
+  }
+
+  storage::MemoryStore store_;
+  std::unique_ptr<DataManager> data_;
+};
+
+TEST_F(DataManagerTest, LoadsEveryStoredDocument) {
+  EXPECT_TRUE(data_->has_document("d1"));
+  EXPECT_TRUE(data_->has_document("d2"));
+  EXPECT_FALSE(data_->has_document("d3"));
+  EXPECT_EQ(data_->documents(), (std::vector<std::string>{"d1", "d2"}));
+  EXPECT_GT(data_->total_nodes(), 0u);
+  EXPECT_GT(data_->total_guide_nodes(), 0u);
+}
+
+TEST_F(DataManagerTest, LoadAllFailsOnMalformedDocument) {
+  storage::MemoryStore bad_store;
+  ASSERT_TRUE(bad_store.store("broken", "<a><b></a>").is_ok());
+  DataManager data(bad_store);
+  EXPECT_FALSE(data.load_all().is_ok());
+}
+
+TEST_F(DataManagerTest, ContextProvidesDistinctScopes) {
+  auto c1 = data_->context_of("d1");
+  auto c2 = data_->context_of("d2");
+  ASSERT_TRUE(c1.is_ok() && c2.is_ok());
+  EXPECT_NE(c1.value().scope, c2.value().scope);
+  EXPECT_FALSE(data_->context_of("nope").is_ok());
+}
+
+TEST_F(DataManagerTest, UpdateUndoPersistCycle) {
+  auto op = xupdate::make_insert("/site/people", "<person id=\"p2\"/>");
+  ASSERT_TRUE(op.is_ok());
+  auto applied = data_->run_update(7, "d1", op.value());
+  ASSERT_TRUE(applied.is_ok());
+  EXPECT_EQ(applied.value(), 1u);
+
+  // Undo everything the txn did: insert disappears.
+  data_->undo_all(7);
+  auto path = xpath::parse("/site/people/person");
+  ASSERT_TRUE(path.is_ok());
+  auto rows = data_->run_query("d1", path.value());
+  ASSERT_TRUE(rows.is_ok());
+  EXPECT_EQ(rows.value().size(), 1u);
+
+  // Apply again and persist: storage reflects the change.
+  ASSERT_TRUE(data_->run_update(8, "d1", op.value()).is_ok());
+  ASSERT_TRUE(data_->persist(8).is_ok());
+  auto stored = store_.load("d1");
+  ASSERT_TRUE(stored.is_ok());
+  EXPECT_NE(stored.value().find("p2"), std::string::npos);
+}
+
+TEST_F(DataManagerTest, PersistOnlyWritesTouchedDocuments) {
+  const auto count_before = store_.store_count();
+  auto op = xupdate::make_insert("/catalog", "<entry id=\"e2\"/>");
+  ASSERT_TRUE(op.is_ok());
+  ASSERT_TRUE(data_->run_update(9, "d2", op.value()).is_ok());
+  ASSERT_TRUE(data_->persist(9).is_ok());
+  EXPECT_EQ(store_.store_count(), count_before + 1);  // d2 only
+}
+
+TEST_F(DataManagerTest, GuideStaysConsistentThroughUpdates) {
+  auto op = xupdate::make_insert("/site/people",
+                                 "<person id=\"p3\"><age>9</age></person>");
+  ASSERT_TRUE(op.is_ok());
+  ASSERT_TRUE(data_->run_update(3, "d1", op.value()).is_ok());
+  auto context = data_->context_of("d1");
+  ASSERT_TRUE(context.is_ok());
+  // New label path appeared in the incrementally maintained guide.
+  EXPECT_NE(context.value().guide.find_path("/site/people/person/age"),
+            nullptr);
+  EXPECT_EQ(
+      context.value().guide.find_path("/site/people/person")->extent(), 2u);
+  data_->undo_all(3);
+  EXPECT_EQ(
+      context.value().guide.find_path("/site/people/person")->extent(), 1u);
+}
+
+// --- DeadlockDetector ------------------------------------------------------------
+
+TEST(DeadlockDetectorTest, ProbeLifecycle) {
+  DeadlockDetector detector(10ms, 100ms);
+  const auto t0 = DeadlockDetector::Clock::now();
+  EXPECT_TRUE(detector.should_start(t0 + 11ms));
+
+  // Local edges t2 -> t1; site 1 will contribute t1 -> t2.
+  const auto probe =
+      detector.begin_probe({wfg::Edge{2, 1}}, {1, 2}, t0 + 11ms);
+  EXPECT_TRUE(detector.probe_active());
+  EXPECT_FALSE(detector.should_start(t0 + 12ms));  // one probe at a time
+
+  // First reply: still collecting.
+  EXPECT_FALSE(detector.add_reply(probe, 1, {wfg::Edge{1, 2}}).has_value());
+  // Second reply completes the probe; union has the cycle; victim = newest.
+  const auto victim = detector.add_reply(probe, 2, {});
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2u);
+  EXPECT_FALSE(detector.probe_active());
+  EXPECT_EQ(detector.cycles_found(), 1u);
+}
+
+TEST(DeadlockDetectorTest, CleanProbeReturnsZero) {
+  DeadlockDetector detector(10ms, 100ms);
+  const auto t0 = DeadlockDetector::Clock::now();
+  const auto probe = detector.begin_probe({wfg::Edge{1, 2}}, {1}, t0);
+  const auto victim = detector.add_reply(probe, 1, {wfg::Edge{2, 3}});
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 0u);  // acyclic union
+  EXPECT_EQ(detector.cycles_found(), 0u);
+}
+
+TEST(DeadlockDetectorTest, StaleRepliesIgnored) {
+  DeadlockDetector detector(10ms, 100ms);
+  const auto t0 = DeadlockDetector::Clock::now();
+  const auto probe = detector.begin_probe({}, {1}, t0);
+  EXPECT_FALSE(detector.add_reply(probe + 99, 1, {wfg::Edge{1, 2}})
+                   .has_value());  // wrong probe id
+  EXPECT_TRUE(detector.probe_active());
+}
+
+TEST(DeadlockDetectorTest, ExpiryResolvesWithPartialReplies) {
+  DeadlockDetector detector(10ms, 50ms);
+  const auto t0 = DeadlockDetector::Clock::now();
+  (void)detector.begin_probe({wfg::Edge{1, 2}, wfg::Edge{2, 1}}, {1, 2}, t0);
+  EXPECT_FALSE(detector.resolve_if_expired(t0 + 10ms).has_value());
+  const auto victim = detector.resolve_if_expired(t0 + 51ms);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2u);  // local edges alone already form the cycle
+}
+
+// --- Connection ----------------------------------------------------------------
+
+ClusterOptions small_options() {
+  ClusterOptions options;
+  options.site_count = 2;
+  options.network.latency = std::chrono::microseconds(50);
+  options.site.detect_period = std::chrono::microseconds(5'000);
+  options.site.retry_interval = std::chrono::microseconds(10'000);
+  options.site.poll_interval = std::chrono::microseconds(500);
+  return options;
+}
+
+TEST(ConnectionTest, ExecutesThroughBoundSite) {
+  Cluster cluster(small_options());
+  ASSERT_TRUE(cluster
+                  .load_document("d1",
+                                 "<site><people><person id=\"p1\">"
+                                 "<name>Ana</name></person></people></site>",
+                                 {0, 1})
+                  .is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+  Connection connection(cluster, 1);
+  auto result =
+      connection.execute({"query d1 /site/people/person[@id='p1']/name"});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().state, TxnState::kCommitted);
+  EXPECT_EQ(result.value().rows[0][0], "Ana");
+  EXPECT_EQ(connection.retries(), 0u);
+}
+
+TEST(ConnectionTest, RetriesDeadlockVictims) {
+  ClusterOptions options = small_options();
+  options.protocol = lock::ProtocolKind::kXdglPlain;
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster
+                  .load_document("a",
+                                 "<site><people><person id=\"1\"/>"
+                                 "</people></site>",
+                                 {0})
+                  .is_ok());
+  ASSERT_TRUE(cluster
+                  .load_document("b",
+                                 "<site><people><person id=\"2\"/>"
+                                 "</people></site>",
+                                 {1})
+                  .is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+
+  RetryPolicy policy;
+  policy.max_deadlock_retries = 50;
+  policy.backoff = std::chrono::microseconds(2'000);
+  std::atomic<int> committed{0};
+  // Two adversarial connections running opposite lock orders repeatedly:
+  // with retries enabled, every transaction eventually commits.
+  std::thread worker([&] {
+    Connection connection(cluster, 0, policy);
+    for (int i = 0; i < 10; ++i) {
+      auto result = connection.execute(
+          {"query a /site/people/person/@id",
+           "update b insert into /site/people ::= <person id=\"w" +
+               std::to_string(i) + "\"/>"});
+      ASSERT_TRUE(result.is_ok());
+      if (result.value().state == TxnState::kCommitted) ++committed;
+    }
+  });
+  Connection connection(cluster, 1, policy);
+  for (int i = 0; i < 10; ++i) {
+    auto result = connection.execute(
+        {"query b /site/people/person/@id",
+         "update a insert into /site/people ::= <person id=\"m" +
+             std::to_string(i) + "\"/>"});
+    ASSERT_TRUE(result.is_ok());
+    if (result.value().state == TxnState::kCommitted) ++committed;
+  }
+  worker.join();
+  EXPECT_EQ(committed.load(), 20);
+}
+
+// --- durability (file-backed cluster restart) --------------------------------------
+
+TEST(DurabilityTest, CommittedStateSurvivesClusterRestart) {
+  const fs::path dir = fs::temp_directory_path() / "dtx_durability_test";
+  fs::remove_all(dir);
+
+  ClusterOptions options = small_options();
+  options.storage_dir = dir.string();
+  {
+    Cluster cluster(options);
+    ASSERT_TRUE(cluster
+                    .load_document("d1",
+                                   "<site><people><person id=\"p1\">"
+                                   "<phone>111</phone></person></people>"
+                                   "</site>",
+                                   {0, 1})
+                    .is_ok());
+    ASSERT_TRUE(cluster.start().is_ok());
+    auto result = cluster.execute(
+        0, {"update d1 change /site/people/person[@id='p1']/phone ::= 999"});
+    ASSERT_TRUE(result.is_ok());
+    ASSERT_EQ(result.value().state, TxnState::kCommitted);
+    cluster.stop();
+  }
+  {
+    // Restart: same directory, placement re-declared, data already there.
+    Cluster cluster(options);
+    ASSERT_TRUE(cluster.declare_document("d1", {0, 1}).is_ok());
+    ASSERT_TRUE(cluster.start().is_ok());
+    auto result = cluster.execute(
+        1, {"query d1 /site/people/person[@id='p1']/phone"});
+    ASSERT_TRUE(result.is_ok());
+    ASSERT_EQ(result.value().state, TxnState::kCommitted);
+    EXPECT_EQ(result.value().rows[0][0], "999");
+    cluster.stop();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(DurabilityTest, DeclareDocumentRejectsMissingData) {
+  const fs::path dir = fs::temp_directory_path() / "dtx_declare_test";
+  fs::remove_all(dir);
+  ClusterOptions options = small_options();
+  options.storage_dir = dir.string();
+  Cluster cluster(options);
+  EXPECT_EQ(cluster.declare_document("ghost", {0}).code(),
+            util::Code::kNotFound);
+  fs::remove_all(dir);
+}
+
+TEST(ErrorReportingTest, AbortedTransactionCarriesReason) {
+  Cluster cluster(small_options());
+  ASSERT_TRUE(cluster
+                  .load_document("d1", "<site><people/></site>", {0})
+                  .is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+  auto result =
+      cluster.execute(0, {"update d1 insert after /site ::= <bad/>"});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().state, TxnState::kAborted);
+  EXPECT_NE(result.value().error.find("operation 0"), std::string::npos)
+      << result.value().error;
+
+  auto missing = cluster.execute(0, {"query nope /site/people"});
+  ASSERT_TRUE(missing.is_ok());
+  EXPECT_NE(missing.value().error.find("not in the catalog"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dtx::core

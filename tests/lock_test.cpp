@@ -1,0 +1,598 @@
+#include <gtest/gtest.h>
+
+#include "dataguide/dataguide.hpp"
+#include "lock/lock_modes.hpp"
+#include "lock/lock_table.hpp"
+#include "lock/protocol.hpp"
+#include "xml/parser.hpp"
+#include "xpath/parser.hpp"
+
+namespace dtx::lock {
+namespace {
+
+// --- compatibility matrix -------------------------------------------------------
+
+TEST(LockModesTest, PaperStatedConflicts) {
+  // The §2.4 worked example hinges on ST blocking IX.
+  EXPECT_FALSE(compatible(LockMode::kST, LockMode::kIX));
+  EXPECT_FALSE(compatible(LockMode::kIX, LockMode::kST));
+  // "XT lock protects a DataGuide sub-tree from read and update operations."
+  for (int i = 0; i < kLockModeCount; ++i) {
+    EXPECT_FALSE(compatible(LockMode::kXT, static_cast<LockMode>(i)));
+    EXPECT_FALSE(compatible(static_cast<LockMode>(i), LockMode::kXT));
+  }
+  // X excludes everything on the node.
+  for (int i = 0; i < kLockModeCount; ++i) {
+    EXPECT_FALSE(compatible(LockMode::kX, static_cast<LockMode>(i)));
+  }
+}
+
+TEST(LockModesTest, SharedInsertLocksAreMutuallyCompatible) {
+  // "SI, SA and SB are used as shared locks on insertion operations" —
+  // concurrent inserts around the same node must not conflict.
+  for (LockMode a : {LockMode::kSI, LockMode::kSA, LockMode::kSB}) {
+    for (LockMode b : {LockMode::kSI, LockMode::kSA, LockMode::kSB}) {
+      EXPECT_TRUE(compatible(a, b))
+          << lock_mode_name(a) << " vs " << lock_mode_name(b);
+    }
+    // ...and they are shared: reads coexist, exclusives do not.
+    EXPECT_TRUE(compatible(a, LockMode::kST));
+    EXPECT_FALSE(compatible(a, LockMode::kX));
+    EXPECT_FALSE(compatible(a, LockMode::kXT));
+  }
+}
+
+TEST(LockModesTest, IntentionModesFollowMultigranularity) {
+  EXPECT_TRUE(compatible(LockMode::kIS, LockMode::kIX));
+  EXPECT_TRUE(compatible(LockMode::kIX, LockMode::kIX));
+  EXPECT_TRUE(compatible(LockMode::kIS, LockMode::kST));
+  EXPECT_FALSE(compatible(LockMode::kIS, LockMode::kX));
+  EXPECT_FALSE(compatible(LockMode::kIX, LockMode::kX));
+}
+
+TEST(LockModesTest, MatrixIsSymmetric) {
+  for (int held = 0; held < kLockModeCount; ++held) {
+    for (int requested = 0; requested < kLockModeCount; ++requested) {
+      EXPECT_EQ(compatible(static_cast<LockMode>(held),
+                           static_cast<LockMode>(requested)),
+                compatible(static_cast<LockMode>(requested),
+                           static_cast<LockMode>(held)))
+          << lock_mode_name(static_cast<LockMode>(held)) << " vs "
+          << lock_mode_name(static_cast<LockMode>(requested));
+    }
+  }
+}
+
+TEST(LockModesTest, EveryModeCoversItself) {
+  for (int i = 0; i < kLockModeCount; ++i) {
+    EXPECT_TRUE(covers(static_cast<LockMode>(i), static_cast<LockMode>(i)));
+  }
+}
+
+TEST(LockModesTest, CoverageIsSoundWrtCompatibility) {
+  // If `held` covers `requested`, any mode that conflicts with `requested`
+  // must also conflict with `held` (a covering lock is at least as strong).
+  for (int held = 0; held < kLockModeCount; ++held) {
+    for (int requested = 0; requested < kLockModeCount; ++requested) {
+      if (!covers(static_cast<LockMode>(held),
+                  static_cast<LockMode>(requested))) {
+        continue;
+      }
+      for (int other = 0; other < kLockModeCount; ++other) {
+        if (!compatible(static_cast<LockMode>(other),
+                        static_cast<LockMode>(requested))) {
+          EXPECT_FALSE(compatible(static_cast<LockMode>(other),
+                                  static_cast<LockMode>(held)))
+              << lock_mode_name(static_cast<LockMode>(held)) << " covers "
+              << lock_mode_name(static_cast<LockMode>(requested))
+              << " but is weaker against "
+              << lock_mode_name(static_cast<LockMode>(other));
+        }
+      }
+    }
+  }
+}
+
+TEST(LockModesTest, MaskHelpers) {
+  const ModeMask mask = mask_of(LockMode::kIS) | mask_of(LockMode::kST);
+  EXPECT_TRUE(mask_compatible(mask, LockMode::kIS));
+  EXPECT_FALSE(mask_compatible(mask, LockMode::kIX));  // ST blocks IX
+  EXPECT_TRUE(mask_covers(mask, LockMode::kIS));
+  EXPECT_TRUE(mask_covers(mask, LockMode::kSI));  // ST covers SI
+  EXPECT_FALSE(mask_covers(mask, LockMode::kX));
+  EXPECT_EQ(mask_to_string(mask), "IS|ST");
+  EXPECT_EQ(mask_to_string(0), "-");
+}
+
+// --- lock table --------------------------------------------------------------------
+
+constexpr LockTarget kNode1{1, 10};
+constexpr LockTarget kNode2{1, 20};
+constexpr LockTarget kOtherDoc{2, 10};
+
+TEST(LockTableTest, GrantAndConflict) {
+  LockTable table;
+  EXPECT_TRUE(table.try_acquire(1, {kNode1, LockMode::kST}).granted);
+  auto outcome = table.try_acquire(2, {kNode1, LockMode::kIX});
+  EXPECT_FALSE(outcome.granted);
+  ASSERT_EQ(outcome.conflicts.size(), 1u);
+  EXPECT_EQ(outcome.conflicts[0], 1u);
+}
+
+TEST(LockTableTest, SameNodeIdDifferentScopeNoConflict) {
+  LockTable table;
+  EXPECT_TRUE(table.try_acquire(1, {kNode1, LockMode::kX}).granted);
+  EXPECT_TRUE(table.try_acquire(2, {kOtherDoc, LockMode::kX}).granted);
+}
+
+TEST(LockTableTest, SharedModesCoexist) {
+  LockTable table;
+  EXPECT_TRUE(table.try_acquire(1, {kNode1, LockMode::kST}).granted);
+  EXPECT_TRUE(table.try_acquire(2, {kNode1, LockMode::kST}).granted);
+  EXPECT_TRUE(table.try_acquire(3, {kNode1, LockMode::kSI}).granted);
+  EXPECT_EQ(table.entry_count(), 3u);
+}
+
+TEST(LockTableTest, ReentrantAcquireGranted) {
+  LockTable table;
+  EXPECT_TRUE(table.try_acquire(1, {kNode1, LockMode::kST}).granted);
+  EXPECT_TRUE(table.try_acquire(1, {kNode1, LockMode::kIX}).granted);
+  EXPECT_TRUE(table.holds(1, kNode1, LockMode::kST));
+  EXPECT_TRUE(table.holds(1, kNode1, LockMode::kIX));
+  EXPECT_EQ(table.entry_count(), 1u);  // one entry, two mode bits
+}
+
+TEST(LockTableTest, CoveredReacquisitionDoesNotBumpCounter) {
+  LockTable table;
+  EXPECT_TRUE(table.try_acquire(1, {kNode1, LockMode::kXT}).granted);
+  const auto count = table.acquisition_count();
+  EXPECT_TRUE(table.try_acquire(1, {kNode1, LockMode::kIS}).granted);
+  EXPECT_EQ(table.acquisition_count(), count);
+}
+
+TEST(LockTableTest, ReleaseAllFreesEverything) {
+  LockTable table;
+  EXPECT_TRUE(table.try_acquire(1, {kNode1, LockMode::kX}).granted);
+  EXPECT_TRUE(table.try_acquire(1, {kNode2, LockMode::kX}).granted);
+  table.release_all(1);
+  EXPECT_EQ(table.entry_count(), 0u);
+  EXPECT_TRUE(table.try_acquire(2, {kNode1, LockMode::kX}).granted);
+  EXPECT_TRUE(table.try_acquire(2, {kNode2, LockMode::kX}).granted);
+}
+
+TEST(LockTableTest, BatchAllOrNothing) {
+  LockTable table;
+  EXPECT_TRUE(table.try_acquire(1, {kNode2, LockMode::kX}).granted);
+
+  // txn 2: first target free, second conflicts -> nothing retained.
+  auto outcome = table.try_acquire_all(
+      2, {{kNode1, LockMode::kST}, {kNode2, LockMode::kST}});
+  EXPECT_FALSE(outcome.granted);
+  EXPECT_EQ(outcome.conflicts, std::vector<TxnId>{1});
+  EXPECT_FALSE(table.holds(2, kNode1, LockMode::kST));
+  EXPECT_EQ(table.entry_count(), 1u);  // only txn 1's lock remains
+}
+
+TEST(LockTableTest, BatchUnwindRestoresUpgradedMasks) {
+  LockTable table;
+  EXPECT_TRUE(table.try_acquire(1, {kNode1, LockMode::kIS}).granted);
+  EXPECT_TRUE(table.try_acquire(2, {kNode2, LockMode::kX}).granted);
+  // txn 1 batch: upgrade on kNode1 succeeds, kNode2 conflicts -> the IX
+  // upgrade must be rolled back so readers are not blocked spuriously.
+  auto outcome = table.try_acquire_all(
+      1, {{kNode1, LockMode::kIX}, {kNode2, LockMode::kST}});
+  EXPECT_FALSE(outcome.granted);
+  EXPECT_FALSE(table.holds(1, kNode1, LockMode::kIX));
+  EXPECT_TRUE(table.holds(1, kNode1, LockMode::kIS));
+  // A reader's ST on kNode1 must be grantable again (IX would block it).
+  EXPECT_TRUE(table.try_acquire(3, {kNode1, LockMode::kST}).granted);
+}
+
+TEST(LockTableTest, BatchSuccessKeepsEverything) {
+  LockTable table;
+  auto outcome = table.try_acquire_all(
+      1, {{kNode1, LockMode::kIS}, {kNode2, LockMode::kST}});
+  EXPECT_TRUE(outcome.granted);
+  EXPECT_TRUE(table.holds(1, kNode1, LockMode::kIS));
+  EXPECT_TRUE(table.holds(1, kNode2, LockMode::kST));
+}
+
+TEST(LockTableTest, ConflictReportsAllBlockers) {
+  LockTable table;
+  EXPECT_TRUE(table.try_acquire(1, {kNode1, LockMode::kST}).granted);
+  EXPECT_TRUE(table.try_acquire(2, {kNode1, LockMode::kST}).granted);
+  auto outcome = table.try_acquire(3, {kNode1, LockMode::kX});
+  EXPECT_FALSE(outcome.granted);
+  EXPECT_EQ(outcome.conflicts.size(), 2u);
+}
+
+TEST(LockTableTest, CountersTrackActivity) {
+  LockTable table;
+  EXPECT_TRUE(table.try_acquire(1, {kNode1, LockMode::kST}).granted);
+  (void)table.try_acquire(2, {kNode1, LockMode::kX});
+  EXPECT_EQ(table.acquisition_count(), 1u);
+  EXPECT_EQ(table.conflict_count(), 1u);
+}
+
+TEST(LockTableTest, HoldersLists) {
+  LockTable table;
+  EXPECT_TRUE(table.try_acquire(5, {kNode1, LockMode::kST}).granted);
+  EXPECT_TRUE(table.try_acquire(9, {kNode2, LockMode::kST}).granted);
+  auto holders = table.holders();
+  std::sort(holders.begin(), holders.end());
+  EXPECT_EQ(holders, (std::vector<TxnId>{5, 9}));
+}
+
+// --- protocols ------------------------------------------------------------------------
+
+struct ProtocolFixture : ::testing::Test {
+  void SetUp() override {
+    auto parsed = xml::parse(R"(
+      <site>
+        <people>
+          <person id="p1"><name>Ana</name></person>
+          <person id="p2"><name>Bruno</name></person>
+        </people>
+        <regions><europe><item id="i1"><name>Clock</name></item></europe></regions>
+      </site>)",
+                             "d");
+    ASSERT_TRUE(parsed.is_ok());
+    document = std::move(parsed).value();
+    guide = dataguide::DataGuide::build(*document);
+  }
+
+  DocContext context() { return DocContext{1, *document, *guide}; }
+
+  static std::vector<LockRequest> query_locks(LockProtocol& protocol,
+                                              const std::string& expr,
+                                              const DocContext& ctx) {
+    auto path = xpath::parse(expr);
+    EXPECT_TRUE(path.is_ok());
+    auto locks = protocol.locks_for_query(path.value(), ctx);
+    EXPECT_TRUE(locks.is_ok()) << locks.status().to_string();
+    return locks.value();
+  }
+
+  bool has_lock(const std::vector<LockRequest>& locks,
+                const std::string& guide_path, LockMode mode) {
+    dataguide::GuideNode* node = guide->find_path(guide_path);
+    if (node == nullptr) return false;
+    for (const auto& lock : locks) {
+      if (lock.target.node == node->id() && lock.mode == mode) return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<xml::Document> document;
+  std::unique_ptr<dataguide::DataGuide> guide;
+};
+
+TEST_F(ProtocolFixture, XdglQueryLocks) {
+  auto protocol = make_protocol(ProtocolKind::kXdgl);
+  auto ctx = context();
+  auto locks = query_locks(*protocol, "/site/people/person", ctx);
+  // ST on the target, IS on /site and /site/people.
+  EXPECT_TRUE(has_lock(locks, "/site/people/person", LockMode::kST));
+  EXPECT_TRUE(has_lock(locks, "/site/people", LockMode::kIS));
+  EXPECT_TRUE(has_lock(locks, "/site", LockMode::kIS));
+}
+
+TEST_F(ProtocolFixture, XdglQueryPredicateLocks) {
+  auto protocol = make_protocol(ProtocolKind::kXdgl);
+  auto ctx = context();
+  auto locks =
+      query_locks(*protocol, "/site/people/person[@id='p1']/name", ctx);
+  EXPECT_TRUE(has_lock(locks, "/site/people/person/name", LockMode::kST));
+  EXPECT_TRUE(has_lock(locks, "/site/people/person/@id", LockMode::kST));
+  EXPECT_TRUE(has_lock(locks, "/site/people/person", LockMode::kIS));
+}
+
+TEST_F(ProtocolFixture, XdglInsertLocks) {
+  auto protocol = make_protocol(ProtocolKind::kXdgl);
+  auto ctx = context();
+  auto op = xupdate::make_insert("/site/people",
+                                 "<person id=\"p9\"><name>Zoe</name></person>");
+  ASSERT_TRUE(op.is_ok());
+  auto locks = protocol->locks_for_update(op.value(), ctx);
+  ASSERT_TRUE(locks.is_ok()) << locks.status().to_string();
+  // SI on the connecting node, X on the inserted guide path, IX above it.
+  EXPECT_TRUE(has_lock(locks.value(), "/site/people", LockMode::kSI));
+  EXPECT_TRUE(has_lock(locks.value(), "/site/people/person", LockMode::kX));
+  EXPECT_TRUE(has_lock(locks.value(), "/site/people", LockMode::kIX));
+  EXPECT_TRUE(has_lock(locks.value(), "/site", LockMode::kIS));
+}
+
+TEST_F(ProtocolFixture, XdglInsertBeforeUsesSB) {
+  auto protocol = make_protocol(ProtocolKind::kXdgl);
+  auto ctx = context();
+  auto op = xupdate::make_insert("/site/people/person[@id='p2']",
+                                 "<person id=\"p0\"/>",
+                                 xupdate::InsertWhere::kBefore);
+  ASSERT_TRUE(op.is_ok());
+  auto locks = protocol->locks_for_update(op.value(), ctx);
+  ASSERT_TRUE(locks.is_ok());
+  // Connecting node = the target's parent (/site/people) locked SB.
+  EXPECT_TRUE(has_lock(locks.value(), "/site/people", LockMode::kSB));
+}
+
+TEST_F(ProtocolFixture, XdglRemoveLocks) {
+  auto protocol = make_protocol(ProtocolKind::kXdgl);
+  auto ctx = context();
+  auto op = xupdate::make_remove("/site/people/person[@id='p1']");
+  ASSERT_TRUE(op.is_ok());
+  auto locks = protocol->locks_for_update(op.value(), ctx);
+  ASSERT_TRUE(locks.is_ok());
+  EXPECT_TRUE(has_lock(locks.value(), "/site/people/person", LockMode::kXT));
+  EXPECT_TRUE(has_lock(locks.value(), "/site/people", LockMode::kIX));
+  EXPECT_TRUE(has_lock(locks.value(), "/site/people/person/@id",
+                       LockMode::kST));
+}
+
+TEST_F(ProtocolFixture, XdglChangeUsesX) {
+  auto protocol = make_protocol(ProtocolKind::kXdgl);
+  auto ctx = context();
+  auto op =
+      xupdate::make_change("/site/people/person[@id='p1']/name", "Anna");
+  ASSERT_TRUE(op.is_ok());
+  auto locks = protocol->locks_for_update(op.value(), ctx);
+  ASSERT_TRUE(locks.is_ok());
+  EXPECT_TRUE(has_lock(locks.value(), "/site/people/person/name",
+                       LockMode::kX));
+  EXPECT_TRUE(has_lock(locks.value(), "/site/people/person", LockMode::kIX));
+}
+
+TEST_F(ProtocolFixture, XdglInsertOfNewLabelPathLockable) {
+  auto protocol = make_protocol(ProtocolKind::kXdgl);
+  auto ctx = context();
+  auto op = xupdate::make_insert("/site/people/person[@id='p1']",
+                                 "<phone>555</phone>");
+  ASSERT_TRUE(op.is_ok());
+  auto locks = protocol->locks_for_update(op.value(), ctx);
+  ASSERT_TRUE(locks.is_ok());
+  // The guide path /site/people/person/phone is created on demand and
+  // locked X.
+  EXPECT_TRUE(has_lock(locks.value(), "/site/people/person/phone",
+                       LockMode::kX));
+}
+
+TEST_F(ProtocolFixture, XdglQueryVsInsertConflictMatchesPaperExample) {
+  // §2.4: a query holding ST on a node blocks an insert needing IX there.
+  auto protocol = make_protocol(ProtocolKind::kXdgl);
+  auto ctx = context();
+  LockTable table;
+
+  auto query = query_locks(*protocol, "/site/people/person", ctx);
+  EXPECT_TRUE(table.try_acquire_all(1, query).granted);
+
+  auto op = xupdate::make_insert("/site/people", "<person id=\"p9\"/>");
+  ASSERT_TRUE(op.is_ok());
+  auto insert_locks = protocol->locks_for_update(op.value(), ctx);
+  ASSERT_TRUE(insert_locks.is_ok());
+  auto outcome = table.try_acquire_all(2, insert_locks.value());
+  EXPECT_FALSE(outcome.granted);
+  EXPECT_EQ(outcome.conflicts, std::vector<TxnId>{1});
+}
+
+TEST_F(ProtocolFixture, XdglConcurrentInsertsDoNotConflict) {
+  // The SI/SA/SB design goal: two inserts into the same node coexist.
+  auto protocol = make_protocol(ProtocolKind::kXdgl);
+  auto ctx = context();
+  LockTable table;
+  auto op1 = xupdate::make_insert("/site/people", "<person id=\"a\"/>");
+  auto op2 = xupdate::make_insert("/site/people", "<person id=\"b\"/>");
+  ASSERT_TRUE(op1.is_ok() && op2.is_ok());
+  auto locks1 = protocol->locks_for_update(op1.value(), ctx);
+  auto locks2 = protocol->locks_for_update(op2.value(), ctx);
+  ASSERT_TRUE(locks1.is_ok() && locks2.is_ok());
+  EXPECT_TRUE(table.try_acquire_all(1, locks1.value()).granted);
+  // Both need X on the same /site/people/person guide node -> in XDGL two
+  // inserts of the *same label path* do conflict on the guide node itself;
+  // inserts of *different* labels coexist. Verify the different-label case:
+  table.release_all(1);
+  auto op3 = xupdate::make_insert("/site/people", "<staff id=\"c\"/>");
+  ASSERT_TRUE(op3.is_ok());
+  auto locks3 = protocol->locks_for_update(op3.value(), ctx);
+  ASSERT_TRUE(locks3.is_ok());
+  EXPECT_TRUE(table.try_acquire_all(1, locks1.value()).granted);
+  EXPECT_TRUE(table.try_acquire_all(2, locks3.value()).granted);
+}
+
+TEST_F(ProtocolFixture, Node2plQueryLocksWholeSubtreePerNode) {
+  auto protocol = make_protocol(ProtocolKind::kNode2pl);
+  auto ctx = context();
+  auto locks = query_locks(*protocol, "/site/people", ctx);
+  // The subtree under /site/people has people + 2*(person, name, #text) = 7
+  // instance nodes, all S-locked, plus IS on the root: >= 8 requests.
+  EXPECT_GE(locks.size(), 8u);
+  // XDGL needs only ST on one guide node + IS on one ancestor.
+  auto xdgl = make_protocol(ProtocolKind::kXdgl);
+  auto xdgl_locks = query_locks(*xdgl, "/site/people", ctx);
+  EXPECT_LT(xdgl_locks.size(), locks.size());
+}
+
+TEST_F(ProtocolFixture, Node2plWriterBlocksSubtreeReader) {
+  auto protocol = make_protocol(ProtocolKind::kNode2pl);
+  auto ctx = context();
+  LockTable table;
+  auto op = xupdate::make_insert("/site/people", "<person id=\"p9\"/>");
+  ASSERT_TRUE(op.is_ok());
+  auto write_locks = protocol->locks_for_update(op.value(), ctx);
+  ASSERT_TRUE(write_locks.is_ok());
+  EXPECT_TRUE(table.try_acquire_all(1, write_locks.value()).granted);
+  // A reader of any person under /site/people is now blocked (coarse).
+  auto read_locks =
+      query_locks(*protocol, "/site/people/person[@id='p1']/name", ctx);
+  EXPECT_FALSE(table.try_acquire_all(2, read_locks).granted);
+}
+
+TEST_F(ProtocolFixture, XdglReaderCoexistsWithDisjointWriter) {
+  // The concurrency XDGL buys: updating an item does not block a person
+  // reader (disjoint guide paths).
+  auto protocol = make_protocol(ProtocolKind::kXdgl);
+  auto ctx = context();
+  LockTable table;
+  auto op = xupdate::make_change("/site/regions/europe/item[@id='i1']/name",
+                                 "Watch");
+  ASSERT_TRUE(op.is_ok());
+  auto write_locks = protocol->locks_for_update(op.value(), ctx);
+  ASSERT_TRUE(write_locks.is_ok());
+  EXPECT_TRUE(table.try_acquire_all(1, write_locks.value()).granted);
+  auto read_locks =
+      query_locks(*protocol, "/site/people/person[@id='p1']/name", ctx);
+  EXPECT_TRUE(table.try_acquire_all(2, read_locks).granted);
+}
+
+TEST_F(ProtocolFixture, DocLockSerializesReadersAndWriters) {
+  auto protocol = make_protocol(ProtocolKind::kDocLock2pl);
+  auto ctx = context();
+  LockTable table;
+  auto read = query_locks(*protocol, "/site/people/person", ctx);
+  ASSERT_EQ(read.size(), 1u);
+  EXPECT_TRUE(table.try_acquire_all(1, read).granted);
+  // A second reader coexists.
+  EXPECT_TRUE(table.try_acquire_all(2, read).granted);
+  // Any writer is blocked by both.
+  auto op = xupdate::make_change("/site/regions/europe/item/name", "x");
+  ASSERT_TRUE(op.is_ok());
+  auto write = protocol->locks_for_update(op.value(), ctx);
+  ASSERT_TRUE(write.is_ok());
+  auto outcome = table.try_acquire_all(3, write.value());
+  EXPECT_FALSE(outcome.granted);
+  EXPECT_EQ(outcome.conflicts.size(), 2u);
+}
+
+
+// --- logical (value-conditioned) locks -----------------------------------------
+
+TEST(ValueLockTest, ConditionHashNeverAny) {
+  EXPECT_NE(value_condition_of(""), kAnyValue);  // even empty text hashes
+  EXPECT_NE(value_condition_of("@id=4"), kAnyValue);
+  EXPECT_EQ(value_condition_of("@id=4"), value_condition_of("@id=4"));
+  EXPECT_NE(value_condition_of("@id=4"), value_condition_of("@id=5"));
+}
+
+TEST(ValueLockTest, DifferentValuesCoexistDespiteModeConflict) {
+  LockTable table;
+  const ValueCondition v4 = value_condition_of("@id=4");
+  const ValueCondition v5 = value_condition_of("@id=5");
+  EXPECT_TRUE(table.try_acquire(1, {{1, 10, v4}, LockMode::kX}).granted);
+  // X vs X would conflict, but the conditions name different instances.
+  EXPECT_TRUE(table.try_acquire(2, {{1, 10, v5}, LockMode::kX}).granted);
+  // Same value does conflict.
+  EXPECT_FALSE(table.try_acquire(3, {{1, 10, v4}, LockMode::kST}).granted);
+}
+
+TEST(ValueLockTest, UnconditionedLockConflictsWithEveryValue) {
+  LockTable table;
+  const ValueCondition v4 = value_condition_of("@id=4");
+  EXPECT_TRUE(table.try_acquire(1, {{1, 10, v4}, LockMode::kX}).granted);
+  // A scan (unconditioned ST) overlaps all instances -> blocked.
+  auto outcome = table.try_acquire(2, {{1, 10, kAnyValue}, LockMode::kST});
+  EXPECT_FALSE(outcome.granted);
+  EXPECT_EQ(outcome.conflicts, std::vector<TxnId>{1});
+  // And vice versa: value lock vs held unconditioned lock.
+  LockTable table2;
+  EXPECT_TRUE(
+      table2.try_acquire(1, {{1, 10, kAnyValue}, LockMode::kST}).granted);
+  EXPECT_FALSE(table2.try_acquire(2, {{1, 10, v4}, LockMode::kX}).granted);
+}
+
+TEST(ValueLockTest, CompatibleModesIgnoreValues) {
+  LockTable table;
+  const ValueCondition v4 = value_condition_of("@id=4");
+  EXPECT_TRUE(table.try_acquire(1, {{1, 10, v4}, LockMode::kIS}).granted);
+  EXPECT_TRUE(
+      table.try_acquire(2, {{1, 10, kAnyValue}, LockMode::kIX}).granted);
+}
+
+TEST(ValueLockTest, SameTxnHoldsMultipleConditionsSeparately) {
+  LockTable table;
+  const ValueCondition v4 = value_condition_of("@id=4");
+  const ValueCondition v5 = value_condition_of("@id=5");
+  EXPECT_TRUE(table.try_acquire(1, {{1, 10, v4}, LockMode::kX}).granted);
+  EXPECT_TRUE(table.try_acquire(1, {{1, 10, v5}, LockMode::kX}).granted);
+  EXPECT_EQ(table.entry_count(), 2u);
+  EXPECT_TRUE(table.holds(1, {1, 10, v4}, LockMode::kX));
+  EXPECT_TRUE(table.holds(1, {1, 10, v5}, LockMode::kX));
+  EXPECT_FALSE(table.holds(1, {1, 10, kAnyValue}, LockMode::kX));
+  table.release_all(1);
+  EXPECT_EQ(table.entry_count(), 0u);
+}
+
+TEST(ValueLockTest, RollbackRestoresValueEntries) {
+  LockTable table;
+  const ValueCondition v4 = value_condition_of("@id=4");
+  EXPECT_TRUE(table.try_acquire(1, {{1, 20, kAnyValue}, LockMode::kX}).granted);
+  AcquisitionJournal journal;
+  auto outcome = table.try_acquire_all(
+      2, {{{1, 10, v4}, LockMode::kX}, {{1, 20, v4}, LockMode::kST}},
+      &journal);
+  EXPECT_FALSE(outcome.granted);  // second request hits txn 1's X
+  EXPECT_EQ(table.entry_count(), 1u);  // the v4 X on node 10 was unwound
+  EXPECT_FALSE(table.holds(2, {1, 10, v4}, LockMode::kX));
+}
+
+TEST_F(ProtocolFixture, XdglPlainConflictsWhereLogicalDoesNot) {
+  auto logical = make_protocol(ProtocolKind::kXdgl);
+  auto plain = make_protocol(ProtocolKind::kXdglPlain);
+  auto ctx = context();
+
+  auto q = xpath::parse("/site/people/person[@id='p1']/name");
+  ASSERT_TRUE(q.is_ok());
+  auto op = xupdate::make_change("/site/people/person[@id='p2']/name", "Bo");
+  ASSERT_TRUE(op.is_ok());
+
+  // Logical locks: point ops on p1 and p2 coexist.
+  {
+    LockTable table;
+    auto read = logical->locks_for_query(q.value(), ctx);
+    auto write = logical->locks_for_update(op.value(), ctx);
+    ASSERT_TRUE(read.is_ok() && write.is_ok());
+    EXPECT_TRUE(table.try_acquire_all(1, read.value()).granted);
+    EXPECT_TRUE(table.try_acquire_all(2, write.value()).granted);
+  }
+  // Plain locks: both target the shared name guide node -> conflict.
+  {
+    LockTable table;
+    auto read = plain->locks_for_query(q.value(), ctx);
+    auto write = plain->locks_for_update(op.value(), ctx);
+    ASSERT_TRUE(read.is_ok() && write.is_ok());
+    EXPECT_TRUE(table.try_acquire_all(1, read.value()).granted);
+    EXPECT_FALSE(table.try_acquire_all(2, write.value()).granted);
+  }
+}
+
+TEST_F(ProtocolFixture, XdglLogicalInsertsOnDistinctIdsCoexist) {
+  auto protocol = make_protocol(ProtocolKind::kXdgl);
+  auto ctx = context();
+  LockTable table;
+  auto op1 = xupdate::make_insert("/site/people", "<person id=\"a\"/>");
+  auto op2 = xupdate::make_insert("/site/people", "<person id=\"b\"/>");
+  ASSERT_TRUE(op1.is_ok() && op2.is_ok());
+  auto locks1 = protocol->locks_for_update(op1.value(), ctx);
+  auto locks2 = protocol->locks_for_update(op2.value(), ctx);
+  ASSERT_TRUE(locks1.is_ok() && locks2.is_ok());
+  EXPECT_TRUE(table.try_acquire_all(1, locks1.value()).granted);
+  EXPECT_TRUE(table.try_acquire_all(2, locks2.value()).granted);
+  // A scan is still excluded while the inserts are pending (no phantoms).
+  auto scan = xpath::parse("/site/people/person/name");
+  ASSERT_TRUE(scan.is_ok());
+  auto scan_locks = protocol->locks_for_query(scan.value(), ctx);
+  ASSERT_TRUE(scan_locks.is_ok());
+  EXPECT_FALSE(table.try_acquire_all(3, scan_locks.value()).granted);
+}
+
+TEST(ProtocolFactoryTest, NamesAndParsing) {
+  EXPECT_STREQ(make_protocol(ProtocolKind::kXdgl)->name(), "xdgl");
+  EXPECT_STREQ(make_protocol(ProtocolKind::kXdglPlain)->name(), "xdgl-plain");
+  EXPECT_TRUE(parse_protocol_kind("xdgl-plain").is_ok());
+  EXPECT_STREQ(make_protocol(ProtocolKind::kNode2pl)->name(), "node2pl");
+  EXPECT_STREQ(make_protocol(ProtocolKind::kDocLock2pl)->name(), "doclock");
+  EXPECT_TRUE(parse_protocol_kind("xdgl").is_ok());
+  EXPECT_TRUE(parse_protocol_kind("node2pl").is_ok());
+  EXPECT_TRUE(parse_protocol_kind("doclock").is_ok());
+  EXPECT_FALSE(parse_protocol_kind("mystery").is_ok());
+}
+
+}  // namespace
+}  // namespace dtx::lock

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "net/sim_network.hpp"
+
+namespace dtx::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+Message make_message(SiteId from, SiteId to, TxnId txn) {
+  return Message{from, to, WakeTxn{txn}};
+}
+
+TEST(MailboxTest, PushPopImmediate) {
+  Mailbox mailbox;
+  mailbox.push(make_message(0, 1, 42), Mailbox::Clock::now());
+  auto message = mailbox.pop(10ms);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(std::get<WakeTxn>(message->payload).txn, 42u);
+}
+
+TEST(MailboxTest, PopTimesOutWhenEmpty) {
+  Mailbox mailbox;
+  const auto start = Mailbox::Clock::now();
+  EXPECT_FALSE(mailbox.pop(20ms).has_value());
+  EXPECT_GE(Mailbox::Clock::now() - start, 18ms);
+}
+
+TEST(MailboxTest, DelayedDeliveryWaitsUntilDue) {
+  Mailbox mailbox;
+  const auto now = Mailbox::Clock::now();
+  mailbox.push(make_message(0, 1, 1), now + 30ms);
+  EXPECT_FALSE(mailbox.pop(5ms).has_value());  // not due yet
+  auto message = mailbox.pop(100ms);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_GE(Mailbox::Clock::now() - now, 28ms);
+}
+
+TEST(MailboxTest, EarlierMessageOvertakesLater) {
+  Mailbox mailbox;
+  const auto now = Mailbox::Clock::now();
+  mailbox.push(make_message(0, 1, 2), now + 50ms);
+  mailbox.push(make_message(0, 1, 1), now);  // due immediately
+  auto first = mailbox.pop(10ms);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(std::get<WakeTxn>(first->payload).txn, 1u);
+}
+
+TEST(MailboxTest, FifoForEqualDeliveryTimes) {
+  Mailbox mailbox;
+  const auto now = Mailbox::Clock::now();
+  for (TxnId i = 1; i <= 5; ++i) mailbox.push(make_message(0, 1, i), now);
+  for (TxnId i = 1; i <= 5; ++i) {
+    auto message = mailbox.pop(10ms);
+    ASSERT_TRUE(message.has_value());
+    EXPECT_EQ(std::get<WakeTxn>(message->payload).txn, i);
+  }
+}
+
+TEST(MailboxTest, InterruptWakesBlockedPop) {
+  Mailbox mailbox;
+  std::thread interrupter([&] {
+    std::this_thread::sleep_for(10ms);
+    mailbox.interrupt();
+  });
+  const auto start = Mailbox::Clock::now();
+  EXPECT_FALSE(mailbox.pop(5000ms).has_value());
+  EXPECT_LT(Mailbox::Clock::now() - start, 1000ms);
+  interrupter.join();
+}
+
+TEST(SimNetworkTest, DeliversBetweenSites) {
+  SimNetwork network({std::chrono::microseconds(100), 0});
+  network.register_site(0);
+  Mailbox& inbox = network.register_site(1);
+  network.send(make_message(0, 1, 7));
+  auto message = inbox.pop(100ms);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->from, 0u);
+  EXPECT_EQ(std::get<WakeTxn>(message->payload).txn, 7u);
+}
+
+TEST(SimNetworkTest, LatencyIsApplied) {
+  NetworkOptions options;
+  options.latency = std::chrono::microseconds(30'000);
+  options.bandwidth_bytes_per_sec = 0;
+  SimNetwork network(options);
+  network.register_site(0);
+  Mailbox& inbox = network.register_site(1);
+  const auto start = Mailbox::Clock::now();
+  network.send(make_message(0, 1, 1));
+  auto message = inbox.pop(500ms);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_GE(Mailbox::Clock::now() - start, 28ms);
+}
+
+TEST(SimNetworkTest, PerLinkFifoUnderBandwidthModel) {
+  NetworkOptions options;
+  options.latency = std::chrono::microseconds(100);
+  options.bandwidth_bytes_per_sec = 1'000'000;
+  SimNetwork network(options);
+  network.register_site(0);
+  Mailbox& inbox = network.register_site(1);
+  // Large then small: without per-link serialization the small message
+  // would overtake the large one.
+  ExecuteOperation big;
+  big.txn = 1;
+  big.op_text = std::string(5000, 'x');
+  network.send(Message{0, 1, big});
+  network.send(make_message(0, 1, 2));
+  auto first = inbox.pop(500ms);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(std::holds_alternative<ExecuteOperation>(first->payload));
+  auto second = inbox.pop(500ms);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(std::holds_alternative<WakeTxn>(second->payload));
+}
+
+TEST(SimNetworkTest, StatsCountMessagesAndBytes) {
+  SimNetwork network({std::chrono::microseconds(1), 0});
+  network.register_site(0);
+  network.register_site(1);
+  network.send(make_message(0, 1, 1));
+  network.send(make_message(1, 0, 2));
+  const NetworkStats stats = network.stats();
+  EXPECT_EQ(stats.messages_sent, 2u);
+  EXPECT_GT(stats.bytes_sent, 0u);
+  EXPECT_EQ(stats.messages_dropped, 0u);
+}
+
+TEST(SimNetworkTest, DropFilterDropsMatching) {
+  SimNetwork network({std::chrono::microseconds(1), 0});
+  network.register_site(0);
+  Mailbox& inbox = network.register_site(1);
+  network.set_drop_filter([](const Message& message) {
+    return std::holds_alternative<AbortRequest>(message.payload);
+  });
+  network.send(Message{0, 1, AbortRequest{5}});
+  network.send(make_message(0, 1, 6));
+  auto message = inbox.pop(100ms);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_TRUE(std::holds_alternative<WakeTxn>(message->payload));
+  EXPECT_EQ(network.stats().messages_dropped, 1u);
+  network.set_drop_filter(nullptr);
+  network.send(Message{0, 1, AbortRequest{7}});
+  EXPECT_TRUE(inbox.pop(100ms).has_value());
+}
+
+TEST(SimNetworkTest, SitesListed) {
+  SimNetwork network;
+  network.register_site(2);
+  network.register_site(0);
+  network.register_site(1);
+  EXPECT_EQ(network.sites(), (std::vector<SiteId>{0, 1, 2}));
+}
+
+
+TEST(SimNetworkTest, ConcurrentSendersAllDelivered) {
+  SimNetwork network({std::chrono::microseconds(10), 0});
+  for (SiteId site = 0; site < 4; ++site) network.register_site(site);
+  Mailbox& inbox = network.register_site(9);
+
+  constexpr int kPerSender = 200;
+  std::vector<std::thread> senders;
+  for (SiteId from = 0; from < 4; ++from) {
+    senders.emplace_back([&network, from] {
+      for (int i = 0; i < kPerSender; ++i) {
+        network.send(Message{from, 9, WakeTxn{from * 1000 + static_cast<TxnId>(i)}});
+      }
+    });
+  }
+  for (auto& sender : senders) sender.join();
+
+  // Drain: every message arrives exactly once, per-sender FIFO preserved.
+  std::map<SiteId, TxnId> last_seen;
+  int received = 0;
+  while (received < 4 * kPerSender) {
+    auto message = inbox.pop(500ms);
+    ASSERT_TRUE(message.has_value()) << "lost messages after " << received;
+    const TxnId id = std::get<WakeTxn>(message->payload).txn;
+    const auto it = last_seen.find(message->from);
+    if (it != last_seen.end()) {
+      EXPECT_LT(it->second, id) << "per-link FIFO violated";
+    }
+    last_seen[message->from] = id;
+    ++received;
+  }
+  EXPECT_EQ(network.stats().messages_sent, 4u * kPerSender);
+}
+
+TEST(MailboxTest, ManyProducersOneConsumer) {
+  Mailbox mailbox;
+  std::atomic<int> produced{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 8; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < 100; ++i) {
+        mailbox.push(Message{static_cast<SiteId>(p), 0,
+                             WakeTxn{static_cast<TxnId>(i)}},
+                     Mailbox::Clock::now());
+        ++produced;
+      }
+    });
+  }
+  int consumed = 0;
+  while (consumed < 800) {
+    if (mailbox.pop(100ms).has_value()) ++consumed;
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(consumed, 800);
+  EXPECT_EQ(mailbox.pending(), 0u);
+}
+
+TEST(MessageTest, PayloadNames) {
+  EXPECT_STREQ(payload_name(Payload{ExecuteOperation{}}), "execute");
+  EXPECT_STREQ(payload_name(Payload{OperationResult{}}), "result");
+  EXPECT_STREQ(payload_name(Payload{CommitRequest{}}), "commit");
+  EXPECT_STREQ(payload_name(Payload{AbortRequest{}}), "abort");
+  EXPECT_STREQ(payload_name(Payload{WfgRequest{}}), "wfg-request");
+  EXPECT_STREQ(payload_name(Payload{VictimAbort{}}), "victim-abort");
+  EXPECT_STREQ(payload_name(Payload{WakeTxn{}}), "wake");
+}
+
+TEST(MessageTest, WireSizeGrowsWithPayload) {
+  ExecuteOperation small;
+  small.op_text = "query d /a";
+  ExecuteOperation large;
+  large.op_text = std::string(1000, 'q');
+  EXPECT_GT(payload_wire_size(Payload{large}),
+            payload_wire_size(Payload{small}));
+}
+
+}  // namespace
+}  // namespace dtx::net

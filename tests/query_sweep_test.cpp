@@ -1,0 +1,166 @@
+// Table-driven XPath sweep over a generated XMark base: every expression
+// the workload generator can emit (and several it cannot) evaluated against
+// ground truth computed structurally, plus the value-condition extraction
+// of guide matching that feeds XDGL's logical locks.
+#include <gtest/gtest.h>
+
+#include "dataguide/guide_match.hpp"
+#include "workload/xmark.hpp"
+#include "xpath/evaluator.hpp"
+#include "xpath/parser.hpp"
+
+namespace dtx {
+namespace {
+
+const workload::XmarkData& xmark() {
+  static workload::XmarkData data = [] {
+    workload::XmarkOptions options;
+    options.target_bytes = 50'000;
+    options.seed = 99;
+    return workload::generate_xmark(options);
+  }();
+  return data;
+}
+
+std::size_t total_items() {
+  std::size_t total = 0;
+  for (const auto& [continent, ids] : xmark().items_by_continent) {
+    (void)continent;
+    total += ids.size();
+  }
+  return total;
+}
+
+struct SweepCase {
+  const char* expression;
+  std::size_t expected;  // SIZE_MAX = computed below
+};
+
+class XmarkQuerySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(XmarkQuerySweep, CountsMatchInventory) {
+  const workload::XmarkData& data = xmark();
+  const std::size_t persons = data.person_ids.size();
+  const std::size_t opens = data.open_auction_ids.size();
+  const std::size_t closeds = data.closed_auction_ids.size();
+  const std::size_t categories = data.category_ids.size();
+  const std::size_t items = total_items();
+  const std::size_t europe_items = data.items_by_continent.at("europe").size();
+
+  const SweepCase cases[] = {
+      {"/site", 1},
+      {"/site/people/person", persons},
+      {"/site/people/person/name", persons},
+      {"/site/people/person/@id", persons},
+      {"/site/people/person/address/city", persons},
+      {"/site/people/person/profile/age", persons},
+      {"//person", persons},
+      {"//person/creditcard", persons},
+      {"/site/open_auctions/open_auction", opens},
+      {"/site/open_auctions/open_auction/current", opens},
+      {"/site/closed_auctions/closed_auction/price", closeds},
+      {"/site/categories/category", categories},
+      {"//item", items},
+      {"//item/price", items},
+      {"/site/regions/europe/item", europe_items},
+      {"/site/regions/*/item", items},
+      {"/site/regions/*/item/name", items},
+      {"//item[quantity]", items},           // every item has a quantity
+      {"/site/people/person[name]", persons},
+      {"/site/nothing", 0},
+      {"//nonexistent", 0},
+      {"/wrong-root/people", 0},
+  };
+  const SweepCase& test_case =
+      cases[static_cast<std::size_t>(GetParam()) % std::size(cases)];
+  auto path = xpath::parse(test_case.expression);
+  ASSERT_TRUE(path.is_ok()) << test_case.expression;
+  EXPECT_EQ(xpath::evaluate(path.value(), *data.document).size(),
+            test_case.expected)
+      << test_case.expression;
+}
+
+INSTANTIATE_TEST_SUITE_P(Expressions, XmarkQuerySweep,
+                         ::testing::Range(0, 22));
+
+TEST(XmarkQueryTest, EveryPersonReachableByIdPredicate) {
+  const workload::XmarkData& data = xmark();
+  for (const std::string& id : data.person_ids) {
+    auto path =
+        xpath::parse("/site/people/person[@id='" + id + "']/name");
+    ASSERT_TRUE(path.is_ok());
+    EXPECT_EQ(xpath::evaluate(path.value(), *data.document).size(), 1u)
+        << id;
+  }
+}
+
+TEST(XmarkQueryTest, EveryOpenAuctionReachable) {
+  const workload::XmarkData& data = xmark();
+  for (const std::string& id : data.open_auction_ids) {
+    auto path = xpath::parse(
+        "/site/open_auctions/open_auction[@id='" + id + "']/current");
+    ASSERT_TRUE(path.is_ok());
+    EXPECT_EQ(xpath::evaluate(path.value(), *data.document).size(), 1u)
+        << id;
+  }
+}
+
+// --- guide condition extraction ------------------------------------------------
+
+TEST(GuideConditionTest, PointPredicateConditionsTargetAndDescendants) {
+  const workload::XmarkData& data = xmark();
+  auto guide = dataguide::DataGuide::build(*data.document);
+  auto path =
+      xpath::parse("/site/people/person[@id='person1']/profile/age");
+  ASSERT_TRUE(path.is_ok());
+  const auto match = dataguide::match(path.value(), *guide);
+  ASSERT_EQ(match.targets.size(), 1u);
+  EXPECT_EQ(match.targets[0].node->label_path(),
+            "/site/people/person/profile/age");
+  // The equality predicate's condition rides down to the final target.
+  EXPECT_EQ(match.targets[0].condition, "@id=person1");
+  // The predicate's own lock target (the @id guide node) carries it too.
+  ASSERT_EQ(match.predicate_targets.size(), 1u);
+  EXPECT_EQ(match.predicate_targets[0].node->label_path(),
+            "/site/people/person/@id");
+}
+
+TEST(GuideConditionTest, ScansAreUnconditioned) {
+  const workload::XmarkData& data = xmark();
+  auto guide = dataguide::DataGuide::build(*data.document);
+  auto path = xpath::parse("/site/people/person/name");
+  ASSERT_TRUE(path.is_ok());
+  const auto match = dataguide::match(path.value(), *guide);
+  ASSERT_EQ(match.targets.size(), 1u);
+  EXPECT_TRUE(match.targets[0].condition.empty());
+}
+
+TEST(GuideConditionTest, NestedPredicatesConcatenate) {
+  const workload::XmarkData& data = xmark();
+  auto guide = dataguide::DataGuide::build(*data.document);
+  auto path = xpath::parse(
+      "/site/people/person[@id='person2'][name='x']/phone");
+  ASSERT_TRUE(path.is_ok());
+  const auto match = dataguide::match(path.value(), *guide);
+  ASSERT_EQ(match.targets.size(), 1u);
+  // Both equality predicates restrict the instance set; the combined key
+  // keeps them in lexical order.
+  EXPECT_EQ(match.targets[0].condition, "@id=person2&name=x");
+}
+
+TEST(GuideConditionTest, ChildValuePredicateConditions) {
+  const workload::XmarkData& data = xmark();
+  auto guide = dataguide::DataGuide::build(*data.document);
+  auto path = xpath::parse("//item[name='Clock']/price");
+  ASSERT_TRUE(path.is_ok());
+  const auto match = dataguide::match(path.value(), *guide);
+  EXPECT_FALSE(match.targets.empty());
+  for (const auto& target : match.targets) {
+    EXPECT_EQ(target.condition, "name=Clock");
+  }
+  // Predicate targets: the name guide nodes under each continent's item.
+  EXPECT_FALSE(match.predicate_targets.empty());
+}
+
+}  // namespace
+}  // namespace dtx

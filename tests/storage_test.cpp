@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/file_store.hpp"
+#include "storage/memory_store.hpp"
+
+namespace dtx::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+template <typename T>
+std::unique_ptr<StorageBackend> make_store(const fs::path& dir);
+
+template <>
+std::unique_ptr<StorageBackend> make_store<MemoryStore>(const fs::path&) {
+  return std::make_unique<MemoryStore>();
+}
+
+template <>
+std::unique_ptr<StorageBackend> make_store<FileStore>(const fs::path& dir) {
+  return std::make_unique<FileStore>(dir);
+}
+
+template <typename T>
+class StorageBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dtx_storage_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    store_ = make_store<T>(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  std::unique_ptr<StorageBackend> store_;
+};
+
+using Backends = ::testing::Types<MemoryStore, FileStore>;
+TYPED_TEST_SUITE(StorageBackendTest, Backends);
+
+TYPED_TEST(StorageBackendTest, StoreThenLoad) {
+  ASSERT_TRUE(this->store_->store("d1", "<people/>").is_ok());
+  auto loaded = this->store_->load("d1");
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value(), "<people/>");
+}
+
+TYPED_TEST(StorageBackendTest, LoadMissingIsNotFound) {
+  auto loaded = this->store_->load("ghost");
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), util::Code::kNotFound);
+}
+
+TYPED_TEST(StorageBackendTest, OverwriteReplaces) {
+  ASSERT_TRUE(this->store_->store("d", "<v1/>").is_ok());
+  ASSERT_TRUE(this->store_->store("d", "<v2/>").is_ok());
+  EXPECT_EQ(this->store_->load("d").value(), "<v2/>");
+}
+
+TYPED_TEST(StorageBackendTest, ExistsAndList) {
+  EXPECT_FALSE(this->store_->exists("a"));
+  ASSERT_TRUE(this->store_->store("b", "<b/>").is_ok());
+  ASSERT_TRUE(this->store_->store("a", "<a/>").is_ok());
+  EXPECT_TRUE(this->store_->exists("a"));
+  EXPECT_EQ(this->store_->list(), (std::vector<std::string>{"a", "b"}));
+}
+
+TYPED_TEST(StorageBackendTest, RemoveWorksOnce) {
+  ASSERT_TRUE(this->store_->store("d", "<d/>").is_ok());
+  EXPECT_TRUE(this->store_->remove("d").is_ok());
+  EXPECT_FALSE(this->store_->exists("d"));
+  EXPECT_FALSE(this->store_->remove("d").is_ok());
+}
+
+TYPED_TEST(StorageBackendTest, LargePayloadRoundTrips) {
+  std::string big = "<doc>";
+  for (int i = 0; i < 5000; ++i) {
+    big += "<item id=\"" + std::to_string(i) + "\">payload</item>";
+  }
+  big += "</doc>";
+  ASSERT_TRUE(this->store_->store("big", big).is_ok());
+  EXPECT_EQ(this->store_->load("big").value(), big);
+}
+
+TEST(MemoryStoreTest, StoreCountTracksPersists) {
+  MemoryStore store;
+  EXPECT_EQ(store.store_count(), 0u);
+  ASSERT_TRUE(store.store("a", "<a/>").is_ok());
+  ASSERT_TRUE(store.store("a", "<a2/>").is_ok());
+  EXPECT_EQ(store.store_count(), 2u);
+}
+
+TEST(FileStoreTest, PersistsAcrossInstances) {
+  const fs::path dir =
+      fs::temp_directory_path() / "dtx_storage_reopen_test";
+  fs::remove_all(dir);
+  {
+    FileStore store(dir);
+    ASSERT_TRUE(store.store("d1", "<people/>").is_ok());
+  }
+  {
+    FileStore store(dir);
+    EXPECT_TRUE(store.exists("d1"));
+    EXPECT_EQ(store.load("d1").value(), "<people/>");
+  }
+  fs::remove_all(dir);
+}
+
+TEST(FileStoreTest, FilesAreNamedAfterDocuments) {
+  const fs::path dir = fs::temp_directory_path() / "dtx_storage_name_test";
+  fs::remove_all(dir);
+  FileStore store(dir);
+  ASSERT_TRUE(store.store("catalog", "<c/>").is_ok());
+  EXPECT_TRUE(fs::exists(dir / "catalog.xml"));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dtx::storage

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "txn/operation.hpp"
+#include "txn/transaction.hpp"
+
+namespace dtx::txn {
+namespace {
+
+TEST(OperationTest, ParseQuery) {
+  auto op = parse_operation("query d1 /site/people/person[@id='p1']/name");
+  ASSERT_TRUE(op.is_ok()) << op.status().to_string();
+  EXPECT_EQ(op.value().type, OpType::kQuery);
+  EXPECT_EQ(op.value().doc, "d1");
+  EXPECT_FALSE(op.value().is_update());
+}
+
+TEST(OperationTest, ParseUpdate) {
+  auto op = parse_operation(
+      "update d2 insert into /products ::= <product><id>13</id></product>");
+  ASSERT_TRUE(op.is_ok()) << op.status().to_string();
+  EXPECT_EQ(op.value().type, OpType::kUpdate);
+  EXPECT_EQ(op.value().doc, "d2");
+  EXPECT_TRUE(op.value().is_update());
+  EXPECT_EQ(op.value().update.kind, xupdate::UpdateKind::kInsert);
+}
+
+TEST(OperationTest, RoundTrip) {
+  for (const char* text :
+       {"query d1 /site/people/person",
+        "query f3 //person[@id='p7']/emailaddress",
+        "update d2 remove /products/product[id='4']",
+        "update d2 change /products/product[id='4']/price ::= 9.99",
+        "update d1 insert after /a/b ::= <c/>"}) {
+    auto op = parse_operation(text);
+    ASSERT_TRUE(op.is_ok()) << text;
+    auto reparsed = parse_operation(op.value().to_string());
+    ASSERT_TRUE(reparsed.is_ok()) << op.value().to_string();
+    EXPECT_EQ(reparsed.value().to_string(), op.value().to_string());
+  }
+}
+
+TEST(OperationTest, ParseErrors) {
+  EXPECT_FALSE(parse_operation("").is_ok());
+  EXPECT_FALSE(parse_operation("query").is_ok());
+  EXPECT_FALSE(parse_operation("query d1").is_ok());
+  EXPECT_FALSE(parse_operation("scan d1 /a").is_ok());
+  EXPECT_FALSE(parse_operation("query d1 not-absolute").is_ok());
+  EXPECT_FALSE(parse_operation("update d1 explode /a ::= x").is_ok());
+}
+
+TEST(TxnIdTest, EncodingRoundTrips) {
+  const TxnId id = make_txn_id(123456789, 42);
+  EXPECT_EQ(txn_coordinator(id), 42u);
+  EXPECT_EQ(txn_begin_micros(id), 123456789u);
+}
+
+TEST(TxnIdTest, NewerBeginsCompareGreater) {
+  // The deadlock victim rule depends on id order == begin order.
+  EXPECT_LT(make_txn_id(1000, 999), make_txn_id(1001, 0));
+  EXPECT_LT(make_txn_id(1000, 0), make_txn_id(1000, 1));  // site tie-break
+}
+
+TEST(TxnStateTest, Names) {
+  EXPECT_STREQ(txn_state_name(TxnState::kActive), "active");
+  EXPECT_STREQ(txn_state_name(TxnState::kWaiting), "waiting");
+  EXPECT_STREQ(txn_state_name(TxnState::kCommitted), "committed");
+  EXPECT_STREQ(txn_state_name(TxnState::kAborted), "aborted");
+  EXPECT_STREQ(txn_state_name(TxnState::kFailed), "failed");
+}
+
+std::vector<Operation> two_ops() {
+  auto a = parse_operation("query d1 /site/people");
+  auto b = parse_operation("query d1 /site/regions");
+  return {a.value(), b.value()};
+}
+
+TEST(TransactionTest, NextOperationAdvancesWithExecution) {
+  Transaction txn(make_txn_id(1, 0), two_ops());
+  EXPECT_EQ(txn.next_operation(), 0u);
+  txn.state_of(0).executed = true;
+  EXPECT_EQ(txn.next_operation(), 1u);
+  txn.state_of(1).executed = true;
+  EXPECT_EQ(txn.next_operation(), 2u);  // == op_count -> commit point
+}
+
+TEST(TransactionTest, SitesAccumulate) {
+  Transaction txn(make_txn_id(1, 0), two_ops());
+  txn.add_sites({1, 2});
+  txn.add_sites({2, 3});
+  EXPECT_EQ(txn.sites(), (std::set<net::SiteId>{1, 2, 3}));
+}
+
+TEST(TransactionTest, CompletionLatchHandsResultToWaiter) {
+  Transaction txn(make_txn_id(1, 0), two_ops());
+  EXPECT_FALSE(txn.completed());
+  std::thread completer([&] {
+    TxnResult result;
+    result.id = txn.id();
+    result.state = TxnState::kCommitted;
+    txn.complete(std::move(result));
+  });
+  const TxnResult result = txn.await();
+  completer.join();
+  EXPECT_EQ(result.state, TxnState::kCommitted);
+  EXPECT_TRUE(txn.completed());
+}
+
+TEST(TransactionTest, FirstCompletionWins) {
+  Transaction txn(make_txn_id(1, 0), two_ops());
+  TxnResult aborted;
+  aborted.state = TxnState::kAborted;
+  txn.complete(std::move(aborted));
+  TxnResult committed;
+  committed.state = TxnState::kCommitted;
+  txn.complete(std::move(committed));  // ignored
+  EXPECT_EQ(txn.await().state, TxnState::kAborted);
+}
+
+}  // namespace
+}  // namespace dtx::txn

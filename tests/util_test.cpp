@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/flags.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace dtx::util {
+namespace {
+
+// --- Status / Result ---------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), Code::kOk);
+  EXPECT_EQ(status.to_string(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status(Code::kConflict, "ST held by t12");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_FALSE(static_cast<bool>(status));
+  EXPECT_EQ(status.code(), Code::kConflict);
+  EXPECT_EQ(status.to_string(), "conflict: ST held by t12");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int i = 0; i <= static_cast<int>(Code::kInternal); ++i) {
+    EXPECT_STRNE(code_name(static_cast<Code>(i)), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status(Code::kNotFound, "nope"));
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), Code::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+// --- Rng -----------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBetweenInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.next_bool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.split();
+  // The child stream should not replay the parent's output.
+  Rng parent_again(42);
+  (void)parent_again.next_u64();  // consumed by split
+  EXPECT_NE(child.next_u64(), parent_again.next_u64());
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(3);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = items;
+  rng.shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, sorted);
+}
+
+TEST(RngTest, WordLengthsRespectBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const std::string word = rng.next_word(2, 9);
+    EXPECT_GE(word.size(), 2u);
+    EXPECT_LE(word.size(), 9u);
+    for (char c : word) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+// --- Histogram -------------------------------------------------------------
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+}
+
+TEST(HistogramTest, Percentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.add(5.0);
+  EXPECT_NE(h.summary("ms").find("n=1"), std::string::npos);
+  Histogram empty;
+  EXPECT_EQ(empty.summary("ms"), "n=0");
+}
+
+TEST(HistogramTest, StddevOfConstantIsZero) {
+  Histogram h;
+  h.add(7.0);
+  h.add(7.0);
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+}
+
+// --- strings ---------------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  const auto pieces = split("a//b/", '/');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[2], "b");
+  EXPECT_EQ(pieces[3], "");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  const std::vector<std::string> pieces{"site", "people", "person"};
+  EXPECT_EQ(join(pieces, "/"), "site/people/person");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("/site/people", "/site"));
+  EXPECT_FALSE(starts_with("/site", "/site/people"));
+  EXPECT_TRUE(ends_with("doc.xml", ".xml"));
+  EXPECT_FALSE(ends_with("doc.xml", ".json"));
+}
+
+TEST(StringsTest, XmlEscapeRoundTrip) {
+  const std::string original = "a<b & c>\"d'e";
+  const std::string escaped = xml_escape(original);
+  EXPECT_EQ(escaped, "a&lt;b &amp; c&gt;&quot;d&apos;e");
+  EXPECT_EQ(xml_unescape(escaped), original);
+}
+
+TEST(StringsTest, UnescapeUnknownEntityPassesThrough) {
+  EXPECT_EQ(xml_unescape("&copy; x"), "&copy; x");
+}
+
+// --- flags -------------------------------------------------------------------
+
+TEST(FlagsTest, ParsesTypes) {
+  const char* argv[] = {"prog",          "--clients=50",   "--ratio=0.25",
+                        "--name=xdgl",   "--verbose",      "--off=false"};
+  Flags flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("clients", 0), 50);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio", 0.0), 0.25);
+  EXPECT_EQ(flags.get_string("name", ""), "xdgl");
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_FALSE(flags.get_bool("off", true));
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+  EXPECT_TRUE(flags.has("clients"));
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+}  // namespace
+}  // namespace dtx::util

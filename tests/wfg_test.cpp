@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "wfg/wait_for_graph.hpp"
+
+namespace dtx::wfg {
+namespace {
+
+TEST(WaitForGraphTest, EmptyGraphHasNoCycle) {
+  WaitForGraph graph;
+  EXPECT_TRUE(graph.empty());
+  EXPECT_FALSE(graph.has_cycle());
+  EXPECT_TRUE(graph.find_cycle().empty());
+  EXPECT_EQ(graph.newest_on_cycle(), 0u);
+}
+
+TEST(WaitForGraphTest, ChainIsAcyclic) {
+  WaitForGraph graph;
+  graph.add_edge(1, 2);
+  graph.add_edge(2, 3);
+  graph.add_edge(3, 4);
+  EXPECT_FALSE(graph.has_cycle());
+  EXPECT_EQ(graph.edge_count(), 3u);
+}
+
+TEST(WaitForGraphTest, SelfEdgeIgnored) {
+  WaitForGraph graph;
+  graph.add_edge(1, 1);
+  EXPECT_TRUE(graph.empty());
+}
+
+TEST(WaitForGraphTest, TwoCycleDetected) {
+  WaitForGraph graph;
+  graph.add_edge(1, 2);
+  graph.add_edge(2, 1);
+  EXPECT_TRUE(graph.has_cycle());
+  auto cycle = graph.find_cycle();
+  ASSERT_EQ(cycle.size(), 2u);
+  EXPECT_EQ(graph.newest_on_cycle(), 2u);
+}
+
+TEST(WaitForGraphTest, LongCycleFound) {
+  WaitForGraph graph;
+  graph.add_edge(1, 2);
+  graph.add_edge(2, 3);
+  graph.add_edge(3, 4);
+  graph.add_edge(4, 1);
+  auto cycle = graph.find_cycle();
+  ASSERT_EQ(cycle.size(), 4u);
+  EXPECT_EQ(graph.newest_on_cycle(), 4u);
+}
+
+TEST(WaitForGraphTest, CycleWithTailExcludesTail) {
+  WaitForGraph graph;
+  graph.add_edge(9, 1);  // tail into the cycle
+  graph.add_edge(1, 2);
+  graph.add_edge(2, 1);
+  auto cycle = graph.find_cycle();
+  std::sort(cycle.begin(), cycle.end());
+  EXPECT_EQ(cycle, (std::vector<TxnId>{1, 2}));
+  EXPECT_EQ(graph.newest_on_cycle(), 2u);  // 9 is not on the cycle
+}
+
+TEST(WaitForGraphTest, NewestIsMaxId) {
+  WaitForGraph graph;
+  graph.add_edge(50, 7);
+  graph.add_edge(7, 12);
+  graph.add_edge(12, 50);
+  EXPECT_EQ(graph.newest_on_cycle(), 50u);
+}
+
+TEST(WaitForGraphTest, ClearWaiterBreaksCycle) {
+  WaitForGraph graph;
+  graph.add_edge(1, 2);
+  graph.add_edge(2, 1);
+  graph.clear_waiter(2);
+  EXPECT_FALSE(graph.has_cycle());
+  EXPECT_EQ(graph.edge_count(), 1u);
+}
+
+TEST(WaitForGraphTest, RemoveTxnDropsBothDirections) {
+  WaitForGraph graph;
+  graph.add_edge(1, 2);
+  graph.add_edge(3, 1);
+  graph.add_edge(2, 3);
+  graph.remove_txn(1);
+  EXPECT_EQ(graph.edge_count(), 1u);  // only 2 -> 3 left
+  EXPECT_FALSE(graph.has_cycle());
+}
+
+TEST(WaitForGraphTest, AddEdgesBatch) {
+  WaitForGraph graph;
+  graph.add_edges(1, {2, 3, 4, 1});  // self ignored
+  EXPECT_EQ(graph.edge_count(), 3u);
+  EXPECT_EQ(graph.holders_blocking(1), (std::vector<TxnId>{2, 3, 4}));
+  EXPECT_TRUE(graph.holders_blocking(2).empty());
+}
+
+TEST(WaitForGraphTest, MergeUnionsEdges) {
+  // The distributed pattern from §2.4: each site sees half the cycle.
+  WaitForGraph site1;
+  site1.add_edge(1, 2);  // t1 waits for t2 at s1
+  WaitForGraph site2;
+  site2.add_edge(2, 1);  // t2 waits for t1 at s2
+  EXPECT_FALSE(site1.has_cycle());
+  EXPECT_FALSE(site2.has_cycle());
+
+  WaitForGraph merged;
+  merged.merge(site1);
+  merged.merge(site2);
+  EXPECT_TRUE(merged.has_cycle());
+  EXPECT_EQ(merged.newest_on_cycle(), 2u);
+}
+
+TEST(WaitForGraphTest, MergeIsIdempotent) {
+  WaitForGraph a;
+  a.add_edge(1, 2);
+  WaitForGraph b;
+  b.add_edge(1, 2);
+  a.merge(b);
+  EXPECT_EQ(a.edge_count(), 1u);
+}
+
+TEST(WaitForGraphTest, EdgesRoundTrip) {
+  WaitForGraph graph;
+  graph.add_edge(3, 1);
+  graph.add_edge(1, 2);
+  graph.add_edge(3, 2);
+  const auto edges = graph.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  // Sorted by (waiter, holder).
+  EXPECT_EQ(edges[0], (Edge{1, 2}));
+  EXPECT_EQ(edges[1], (Edge{3, 1}));
+  EXPECT_EQ(edges[2], (Edge{3, 2}));
+
+  WaitForGraph rebuilt = WaitForGraph::from_edges(edges);
+  EXPECT_EQ(rebuilt.edges(), edges);
+}
+
+TEST(WaitForGraphTest, ToStringListsEdges) {
+  WaitForGraph graph;
+  graph.add_edge(1, 2);
+  EXPECT_EQ(graph.to_string(), "t1 -> t2\n");
+}
+
+// Property: on random graphs, find_cycle() returns an actual cycle (every
+// consecutive pair is an edge, and the last wraps to the first).
+class WfgCycleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WfgCycleProperty, ReportedCycleIsReal) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int round = 0; round < 50; ++round) {
+    WaitForGraph graph;
+    const int nodes = 2 + static_cast<int>(rng.next_below(10));
+    const int edges = static_cast<int>(rng.next_below(25));
+    std::vector<Edge> edge_list;
+    for (int i = 0; i < edges; ++i) {
+      const TxnId waiter = 1 + rng.next_below(static_cast<std::uint64_t>(nodes));
+      const TxnId holder = 1 + rng.next_below(static_cast<std::uint64_t>(nodes));
+      graph.add_edge(waiter, holder);
+    }
+    const auto all_edges = graph.edges();
+    const auto has_edge = [&](TxnId from, TxnId to) {
+      return std::find(all_edges.begin(), all_edges.end(), Edge{from, to}) !=
+             all_edges.end();
+    };
+    const auto cycle = graph.find_cycle();
+    if (cycle.empty()) {
+      EXPECT_FALSE(graph.has_cycle());
+      continue;
+    }
+    ASSERT_GE(cycle.size(), 2u);
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      EXPECT_TRUE(has_edge(cycle[i], cycle[(i + 1) % cycle.size()]))
+          << "edge t" << cycle[i] << " -> t" << cycle[(i + 1) % cycle.size()]
+          << " missing";
+    }
+    // newest_on_cycle must be on the reported cycle.
+    EXPECT_NE(std::find(cycle.begin(), cycle.end(), graph.newest_on_cycle()),
+              cycle.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WfgCycleProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace dtx::wfg

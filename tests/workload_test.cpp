@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dtx/cluster.hpp"
+#include "workload/dtx_tester.hpp"
+#include "workload/fragmentation.hpp"
+#include "workload/workload_gen.hpp"
+#include "workload/xmark.hpp"
+#include "xml/parser.hpp"
+#include "xml/serializer.hpp"
+#include "xpath/evaluator.hpp"
+#include "xpath/parser.hpp"
+
+namespace dtx::workload {
+namespace {
+
+XmarkData small_xmark(std::size_t bytes = 60'000, std::uint64_t seed = 42) {
+  XmarkOptions options;
+  options.target_bytes = bytes;
+  options.seed = seed;
+  return generate_xmark(options);
+}
+
+// --- generator ------------------------------------------------------------------
+
+TEST(XmarkTest, SizeRoughlyMatchesTarget) {
+  const XmarkData data = small_xmark(100'000);
+  const std::size_t actual = xml::serialize(*data.document).size();
+  EXPECT_GT(actual, 50'000u);
+  EXPECT_LT(actual, 220'000u);
+}
+
+TEST(XmarkTest, DeterministicForSeed) {
+  const XmarkData a = small_xmark(30'000, 7);
+  const XmarkData b = small_xmark(30'000, 7);
+  EXPECT_EQ(xml::serialize(*a.document), xml::serialize(*b.document));
+  const XmarkData c = small_xmark(30'000, 8);
+  EXPECT_NE(xml::serialize(*a.document), xml::serialize(*c.document));
+}
+
+TEST(XmarkTest, SchemaSectionsPresent) {
+  const XmarkData data = small_xmark();
+  const xml::Node* root = data.document->root();
+  ASSERT_EQ(root->name(), "site");
+  for (const char* section : {"regions", "categories", "catgraph", "people",
+                              "open_auctions", "closed_auctions"}) {
+    EXPECT_NE(root->first_child_named(section), nullptr) << section;
+  }
+  const xml::Node* regions = root->first_child_named("regions");
+  for (const char* continent : kContinents) {
+    EXPECT_NE(regions->first_child_named(continent), nullptr) << continent;
+  }
+}
+
+TEST(XmarkTest, IdsMatchDocumentContent) {
+  const XmarkData data = small_xmark();
+  auto path = xpath::parse("/site/people/person/@id");
+  ASSERT_TRUE(path.is_ok());
+  const auto ids = xpath::evaluate_strings(path.value(), *data.document);
+  EXPECT_EQ(ids.size(), data.person_ids.size());
+  const std::set<std::string> found(ids.begin(), ids.end());
+  for (const std::string& id : data.person_ids) {
+    EXPECT_EQ(found.count(id), 1u) << id;
+  }
+}
+
+TEST(XmarkTest, ItemsHavePrices) {
+  const XmarkData data = small_xmark();
+  auto path = xpath::parse("//item/price");
+  ASSERT_TRUE(path.is_ok());
+  std::size_t items = 0;
+  for (const auto& [continent, ids] : data.items_by_continent) {
+    (void)continent;
+    items += ids.size();
+  }
+  EXPECT_EQ(xpath::evaluate(path.value(), *data.document).size(), items);
+}
+
+TEST(XmarkTest, LargerTargetMeansMoreEntities) {
+  const XmarkData small = small_xmark(30'000);
+  const XmarkData large = small_xmark(240'000);
+  EXPECT_GT(large.person_ids.size(), 2 * small.person_ids.size());
+  EXPECT_GT(large.open_auction_ids.size(), 2 * small.open_auction_ids.size());
+}
+
+// --- fragmentation ----------------------------------------------------------------
+
+TEST(FragmentationTest, FragmentsCoverAllEntities) {
+  const XmarkData data = small_xmark();
+  const auto fragments = fragment_xmark(data, 6);
+  std::set<std::string> covered;
+  for (const Fragment& fragment : fragments) {
+    for (const std::string& id : fragment.ids) {
+      EXPECT_TRUE(covered.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  for (const std::string& id : data.person_ids) EXPECT_TRUE(covered.count(id));
+  for (const std::string& id : data.open_auction_ids) {
+    EXPECT_TRUE(covered.count(id));
+  }
+}
+
+TEST(FragmentationTest, FragmentsAreParseableAndQueryable) {
+  const XmarkData data = small_xmark();
+  const auto fragments = fragment_xmark(data, 5);
+  for (const Fragment& fragment : fragments) {
+    auto parsed = xml::parse(fragment.xml, fragment.doc_name);
+    ASSERT_TRUE(parsed.is_ok()) << fragment.doc_name;
+    EXPECT_EQ(parsed.value()->root()->name(), "site");
+    if (fragment.section == "people" && !fragment.ids.empty()) {
+      auto path = xpath::parse("/site/people/person[@id='" +
+                               fragment.ids.front() + "']/name");
+      ASSERT_TRUE(path.is_ok());
+      EXPECT_EQ(xpath::evaluate(path.value(), *parsed.value()).size(), 1u);
+    }
+  }
+}
+
+TEST(FragmentationTest, SizesAreBalanced) {
+  const XmarkData data = small_xmark(120'000);
+  const auto fragments = fragment_xmark(data, 8);
+  ASSERT_GE(fragments.size(), 8u);
+  std::size_t min_bytes = SIZE_MAX;
+  std::size_t max_bytes = 0;
+  for (const Fragment& fragment : fragments) {
+    min_bytes = std::min(min_bytes, fragment.bytes);
+    max_bytes = std::max(max_bytes, fragment.bytes);
+  }
+  // Kurita-style "similar size": within a modest factor. Section boundaries
+  // force slack — a small whole section (e.g. categories) becomes one small
+  // fragment no matter the target.
+  EXPECT_LT(max_bytes, min_bytes * 10) << min_bytes << " vs " << max_bytes;
+  // Fragments of the biggest, actually-split sections must be tight.
+  std::map<std::string, std::vector<std::size_t>> by_group;
+  for (const Fragment& fragment : fragments) {
+    by_group[fragment.section + "/" + fragment.continent].push_back(
+        fragment.bytes);
+  }
+  for (const auto& [group, sizes] : by_group) {
+    if (sizes.size() < 2) continue;
+    const auto [lo, hi] = std::minmax_element(sizes.begin(), sizes.end());
+    EXPECT_LT(*hi, *lo * 3) << group;
+  }
+}
+
+TEST(FragmentationTest, TotalReplicationPlacesEverywhere) {
+  const XmarkData data = small_xmark();
+  const auto fragments = fragment_xmark(data, 4);
+  const auto placements =
+      place_fragments(fragments, 3, Replication::kTotal);
+  ASSERT_EQ(placements.size(), fragments.size());
+  for (const Placement& placement : placements) {
+    EXPECT_EQ(placement.sites.size(), 3u);
+  }
+}
+
+TEST(FragmentationTest, PartialReplicationBalancesBytes) {
+  const XmarkData data = small_xmark(120'000);
+  const auto fragments = fragment_xmark(data, 8);
+  const auto placements =
+      place_fragments(fragments, 4, Replication::kPartial, 2);
+  std::map<SiteId, std::size_t> load;
+  std::map<std::string, std::size_t> bytes_by_doc;
+  for (const Fragment& fragment : fragments) {
+    bytes_by_doc[fragment.doc_name] = fragment.bytes;
+  }
+  for (const Placement& placement : placements) {
+    EXPECT_EQ(placement.sites.size(), 2u);
+    for (SiteId site : placement.sites) {
+      load[site] += bytes_by_doc[placement.doc];
+    }
+  }
+  ASSERT_EQ(load.size(), 4u);
+  std::size_t min_load = SIZE_MAX;
+  std::size_t max_load = 0;
+  for (const auto& [site, bytes] : load) {
+    min_load = std::min(min_load, bytes);
+    max_load = std::max(max_load, bytes);
+  }
+  EXPECT_LT(max_load, min_load * 3);
+}
+
+TEST(FragmentationTest, CopiesClampedToSiteCount) {
+  const XmarkData data = small_xmark();
+  const auto fragments = fragment_xmark(data, 3);
+  const auto placements =
+      place_fragments(fragments, 2, Replication::kPartial, 9);
+  for (const Placement& placement : placements) {
+    EXPECT_LE(placement.sites.size(), 2u);
+  }
+}
+
+// --- workload generator -----------------------------------------------------------------
+
+TEST(WorkloadGenTest, TransactionsHaveRequestedShape) {
+  const XmarkData data = small_xmark();
+  const auto fragments = fragment_xmark(data, 4);
+  WorkloadOptions options;
+  options.ops_per_transaction = 5;
+  options.update_txn_fraction = 0.0;
+  WorkloadGenerator generator(fragments, options);
+  util::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto ops = generator.make_transaction(rng);
+    ASSERT_EQ(ops.size(), 5u);
+    for (const std::string& op : ops) {
+      EXPECT_EQ(op.rfind("query ", 0), 0u) << op;  // read-only workload
+    }
+  }
+}
+
+TEST(WorkloadGenTest, AllOperationsParse) {
+  const XmarkData data = small_xmark();
+  const auto fragments = fragment_xmark(data, 4);
+  WorkloadOptions options;
+  options.update_txn_fraction = 0.5;
+  WorkloadGenerator generator(fragments, options);
+  util::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    for (const std::string& text : generator.make_transaction(rng)) {
+      auto op = txn::parse_operation(text);
+      EXPECT_TRUE(op.is_ok()) << text << " -> " << op.status().to_string();
+    }
+  }
+}
+
+TEST(WorkloadGenTest, UpdateTransactionsContainAnUpdate) {
+  const XmarkData data = small_xmark();
+  const auto fragments = fragment_xmark(data, 4);
+  WorkloadOptions options;
+  options.update_txn_fraction = 1.0;
+  options.update_op_fraction = 0.2;
+  WorkloadGenerator generator(fragments, options);
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    bool is_update = false;
+    const auto ops = generator.make_transaction(rng, &is_update);
+    EXPECT_TRUE(is_update);
+    bool found = false;
+    for (const std::string& op : ops) {
+      if (op.rfind("update ", 0) == 0) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(WorkloadGenTest, UpdateFractionRoughlyHonoured) {
+  const XmarkData data = small_xmark();
+  const auto fragments = fragment_xmark(data, 4);
+  WorkloadOptions options;
+  options.update_txn_fraction = 0.4;
+  WorkloadGenerator generator(fragments, options);
+  util::Rng rng(4);
+  int updates = 0;
+  constexpr int kTxns = 2000;
+  for (int i = 0; i < kTxns; ++i) {
+    bool is_update = false;
+    (void)generator.make_transaction(rng, &is_update);
+    if (is_update) ++updates;
+  }
+  EXPECT_NEAR(static_cast<double>(updates) / kTxns, 0.4, 0.05);
+}
+
+TEST(WorkloadGenTest, QueriesTargetExistingDocuments) {
+  const XmarkData data = small_xmark();
+  const auto fragments = fragment_xmark(data, 4);
+  std::set<std::string> docs;
+  for (const Fragment& fragment : fragments) docs.insert(fragment.doc_name);
+  WorkloadGenerator generator(fragments, {});
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    for (const std::string& text : generator.make_transaction(rng)) {
+      auto op = txn::parse_operation(text);
+      ASSERT_TRUE(op.is_ok());
+      EXPECT_EQ(docs.count(op.value().doc), 1u) << text;
+    }
+  }
+}
+
+// --- DTXTester end-to-end ------------------------------------------------------------------
+
+TEST(DtxTesterTest, EndToEndRunReportsAllTransactions) {
+  const XmarkData data = small_xmark(40'000);
+  const auto fragments = fragment_xmark(data, 4);
+  core::ClusterOptions cluster_options;
+  cluster_options.site_count = 2;
+  cluster_options.network.latency = std::chrono::microseconds(50);
+  cluster_options.site.detect_period = std::chrono::microseconds(5'000);
+  cluster_options.site.retry_interval = std::chrono::microseconds(10'000);
+  cluster_options.site.poll_interval = std::chrono::microseconds(500);
+  core::Cluster cluster(cluster_options);
+  for (const auto& placement :
+       place_fragments(fragments, 2, Replication::kPartial, 1)) {
+    const auto it =
+        std::find_if(fragments.begin(), fragments.end(),
+                     [&](const Fragment& f) { return f.doc_name == placement.doc; });
+    ASSERT_NE(it, fragments.end());
+    ASSERT_TRUE(
+        cluster.load_document(placement.doc, it->xml, placement.sites).is_ok());
+  }
+  ASSERT_TRUE(cluster.start().is_ok());
+
+  WorkloadOptions workload;
+  workload.ops_per_transaction = 3;
+  workload.update_txn_fraction = 0.3;
+  TesterOptions tester;
+  tester.clients = 6;
+  tester.txns_per_client = 4;
+  const TesterReport report =
+      run_tester(cluster, fragments, workload, tester);
+
+  EXPECT_EQ(report.submitted, 24u);
+  EXPECT_EQ(report.observations.size(), 24u);
+  EXPECT_EQ(report.committed + report.aborted + report.failed, 24u);
+  EXPECT_GT(report.committed, 0u);
+  EXPECT_GT(report.makespan_s, 0.0);
+  EXPECT_EQ(report.response_ms.count(), report.committed);
+
+  const auto throughput = report.throughput_timeline(0.05);
+  std::size_t total = 0;
+  for (const auto& [t, commits] : throughput) {
+    (void)t;
+    total += commits;
+  }
+  EXPECT_EQ(total, report.committed);
+
+  const auto concurrency = report.concurrency_timeline(0.05);
+  EXPECT_FALSE(concurrency.empty());
+}
+
+}  // namespace
+}  // namespace dtx::workload

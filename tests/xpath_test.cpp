@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "xml/builder.hpp"
+#include "xml/parser.hpp"
+#include "xpath/evaluator.hpp"
+#include "xpath/parser.hpp"
+
+namespace dtx::xpath {
+namespace {
+
+using xml::Document;
+using xml::Node;
+
+std::unique_ptr<Document> auction_sample() {
+  auto result = xml::parse(R"(
+    <site>
+      <people>
+        <person id="p1"><name>Ana</name><age>30</age></person>
+        <person id="p2"><name>Bruno</name><age>41</age>
+          <watches><watch open_auction="a1"/></watches>
+        </person>
+        <person id="p3"><name>Carla</name></person>
+      </people>
+      <regions>
+        <europe>
+          <item id="i1"><name>Clock</name><price>10.30</price></item>
+          <item id="i2"><name>Vase</name><price>99</price></item>
+        </europe>
+        <asia>
+          <item id="i3"><name>Clock</name><price>7</price></item>
+        </asia>
+      </regions>
+    </site>)",
+                           "auction");
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  return std::move(result).value();
+}
+
+// --- parsing ----------------------------------------------------------------
+
+TEST(XPathParseTest, SimpleAbsolutePath) {
+  auto path = parse("/site/people/person");
+  ASSERT_TRUE(path.is_ok()) << path.status().to_string();
+  ASSERT_EQ(path.value().steps.size(), 3u);
+  EXPECT_EQ(path.value().steps[0].name, "site");
+  EXPECT_EQ(path.value().steps[2].axis, Axis::kChild);
+}
+
+TEST(XPathParseTest, DescendantAxis) {
+  auto path = parse("//person/name");
+  ASSERT_TRUE(path.is_ok());
+  EXPECT_EQ(path.value().steps[0].axis, Axis::kDescendant);
+  EXPECT_EQ(path.value().steps[1].axis, Axis::kChild);
+}
+
+TEST(XPathParseTest, PredicatesParsed) {
+  auto path = parse("/site/people/person[@id='p2']/name");
+  ASSERT_TRUE(path.is_ok()) << path.status().to_string();
+  const Step& person = path.value().steps[2];
+  ASSERT_EQ(person.predicates.size(), 1u);
+  EXPECT_EQ(person.predicates[0].kind, PredicateKind::kEquals);
+  EXPECT_EQ(person.predicates[0].literal, "p2");
+  EXPECT_EQ(person.predicates[0].path.steps[0].test, NodeTest::kAttribute);
+}
+
+TEST(XPathParseTest, ChildValuePredicate) {
+  auto path = parse("/site//item[name='Clock']");
+  ASSERT_TRUE(path.is_ok());
+  const Step& item = path.value().steps[1];
+  ASSERT_EQ(item.predicates.size(), 1u);
+  EXPECT_EQ(item.predicates[0].path.steps[0].name, "name");
+}
+
+TEST(XPathParseTest, PositionPredicate) {
+  auto path = parse("/site/people/person[2]");
+  ASSERT_TRUE(path.is_ok());
+  EXPECT_EQ(path.value().steps[2].predicates[0].kind,
+            PredicateKind::kPosition);
+  EXPECT_EQ(path.value().steps[2].predicates[0].position, 2u);
+}
+
+TEST(XPathParseTest, WildcardAndText) {
+  auto path = parse("/site/*/person/text()");
+  ASSERT_TRUE(path.is_ok());
+  EXPECT_EQ(path.value().steps[1].test, NodeTest::kWildcard);
+  EXPECT_EQ(path.value().steps[3].test, NodeTest::kText);
+}
+
+TEST(XPathParseTest, AttributeFinalStep) {
+  auto path = parse("/site/people/person/@id");
+  ASSERT_TRUE(path.is_ok());
+  EXPECT_TRUE(path.value().targets_attribute());
+}
+
+TEST(XPathParseTest, AttributeMidPathRejected) {
+  EXPECT_FALSE(parse("/site/@id/person").is_ok());
+}
+
+TEST(XPathParseTest, RelativePathParsed) {
+  auto rel = parse_relative("watches/watch/@open_auction");
+  ASSERT_TRUE(rel.is_ok()) << rel.status().to_string();
+  EXPECT_EQ(rel.value().steps.size(), 3u);
+}
+
+TEST(XPathParseTest, ErrorCases) {
+  EXPECT_FALSE(parse("").is_ok());
+  EXPECT_FALSE(parse("site/people").is_ok());       // not absolute
+  EXPECT_FALSE(parse("/site[").is_ok());            // unterminated predicate
+  EXPECT_FALSE(parse("/site/people/person[0]").is_ok());  // 0 position
+  EXPECT_FALSE(parse("/site/$bad").is_ok());        // bad character
+  EXPECT_FALSE(parse("/site/people ]").is_ok());    // trailing tokens
+  EXPECT_FALSE(parse("/a[b='unterminated]").is_ok());
+}
+
+TEST(XPathParseTest, ToStringRoundTrips) {
+  for (const char* expr :
+       {"/site/people/person", "//person/name",
+        "/site/people/person[@id='p2']/name", "/site//item[name='Clock']",
+        "/site/people/person[2]", "/site/people/person/@id",
+        "/a/*/text()"}) {
+    auto first = parse(expr);
+    ASSERT_TRUE(first.is_ok()) << expr;
+    auto second = parse(first.value().to_string());
+    ASSERT_TRUE(second.is_ok()) << first.value().to_string();
+    EXPECT_EQ(first.value().to_string(), second.value().to_string());
+  }
+}
+
+// --- evaluation ---------------------------------------------------------------
+
+std::vector<Node*> eval(const std::string& expr, const Document& doc) {
+  auto path = parse(expr);
+  EXPECT_TRUE(path.is_ok()) << path.status().to_string();
+  return evaluate(path.value(), doc);
+}
+
+TEST(XPathEvalTest, RootSelection) {
+  auto doc = auction_sample();
+  auto nodes = eval("/site", *doc);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], doc->root());
+}
+
+TEST(XPathEvalTest, RootNameMismatchSelectsNothing) {
+  auto doc = auction_sample();
+  EXPECT_TRUE(eval("/wrong", *doc).empty());
+}
+
+TEST(XPathEvalTest, ChildChain) {
+  auto doc = auction_sample();
+  EXPECT_EQ(eval("/site/people/person", *doc).size(), 3u);
+}
+
+TEST(XPathEvalTest, DescendantAxisFindsAllDepths) {
+  auto doc = auction_sample();
+  EXPECT_EQ(eval("//item", *doc).size(), 3u);
+  EXPECT_EQ(eval("//name", *doc).size(), 6u);  // 3 person + 3 item names
+  EXPECT_EQ(eval("/site//item", *doc).size(), 3u);
+}
+
+TEST(XPathEvalTest, WildcardStep) {
+  auto doc = auction_sample();
+  EXPECT_EQ(eval("/site/regions/*", *doc).size(), 2u);       // europe, asia
+  EXPECT_EQ(eval("/site/regions/*/item", *doc).size(), 3u);
+}
+
+TEST(XPathEvalTest, AttributeEqualityPredicate) {
+  auto doc = auction_sample();
+  auto nodes = eval("/site/people/person[@id='p2']", *doc);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0]->first_child_named("name")->text(), "Bruno");
+}
+
+TEST(XPathEvalTest, ChildValuePredicate) {
+  auto doc = auction_sample();
+  auto nodes = eval("//item[name='Clock']", *doc);
+  EXPECT_EQ(nodes.size(), 2u);
+}
+
+TEST(XPathEvalTest, NumericLiteralComparison) {
+  auto doc = auction_sample();
+  // "10.30" == 10.3 numerically.
+  EXPECT_EQ(eval("//item[price='10.3']", *doc).size(), 1u);
+  EXPECT_EQ(eval("//item[price='99']", *doc).size(), 1u);
+}
+
+TEST(XPathEvalTest, ExistencePredicate) {
+  auto doc = auction_sample();
+  EXPECT_EQ(eval("/site/people/person[watches]", *doc).size(), 1u);
+  EXPECT_EQ(eval("/site/people/person[age]", *doc).size(), 2u);
+}
+
+TEST(XPathEvalTest, NestedRelativePredicate) {
+  auto doc = auction_sample();
+  auto nodes =
+      eval("/site/people/person[watches/watch/@open_auction='a1']", *doc);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(*nodes[0]->attribute("id"), "p2");
+}
+
+TEST(XPathEvalTest, PositionPredicate) {
+  auto doc = auction_sample();
+  auto nodes = eval("/site/people/person[2]", *doc);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(*nodes[0]->attribute("id"), "p2");
+  EXPECT_TRUE(eval("/site/people/person[9]", *doc).empty());
+}
+
+TEST(XPathEvalTest, TextStep) {
+  auto doc = auction_sample();
+  auto nodes = eval("/site/people/person[@id='p1']/name/text()", *doc);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0]->value(), "Ana");
+}
+
+TEST(XPathEvalTest, AttributeFinalStepReturnsOwners) {
+  auto doc = auction_sample();
+  auto path = parse("/site/people/person/@id");
+  ASSERT_TRUE(path.is_ok());
+  auto values = evaluate_strings(path.value(), *doc);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], "p1");
+  EXPECT_EQ(values[2], "p3");
+}
+
+TEST(XPathEvalTest, EvaluateStringsForElements) {
+  auto doc = auction_sample();
+  auto path = parse("/site/people/person[@id='p1']/name");
+  ASSERT_TRUE(path.is_ok());
+  auto values = evaluate_strings(path.value(), *doc);
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], "Ana");
+}
+
+TEST(XPathEvalTest, NoDuplicatesFromNestedDescendants) {
+  auto result = xml::parse("<a><b><b><c/></b><c/></b></a>", "t");
+  ASSERT_TRUE(result.is_ok());
+  // //b//c: outer b reaches both c's, inner b reaches one — dedupe to 2.
+  EXPECT_EQ(eval("//b//c", *result.value()).size(), 2u);
+}
+
+TEST(XPathEvalTest, EmptyDocumentYieldsNothing) {
+  Document doc("empty");
+  EXPECT_TRUE(eval("/a", doc).empty());
+}
+
+TEST(XPathEvalTest, RelativeEvaluation) {
+  auto doc = auction_sample();
+  auto person = eval("/site/people/person[@id='p2']", *doc);
+  ASSERT_EQ(person.size(), 1u);
+  auto rel = parse_relative("watches/watch");
+  ASSERT_TRUE(rel.is_ok());
+  EXPECT_EQ(evaluate_relative(rel.value(), *person[0]).size(), 1u);
+}
+
+TEST(XPathEvalTest, LiteralEqualsRules) {
+  EXPECT_TRUE(literal_equals("10.30", "10.3"));
+  EXPECT_TRUE(literal_equals("abc", "abc"));
+  EXPECT_FALSE(literal_equals("abc", "abd"));
+  EXPECT_FALSE(literal_equals("10", "10x"));  // not both numeric, unequal text
+  EXPECT_TRUE(literal_equals("007", "7"));
+}
+
+}  // namespace
+}  // namespace dtx::xpath
