@@ -1,13 +1,61 @@
 // Figure 12 — "Throughput and concurrency degree": 50 clients x 5 txns
 // (250 transactions total), 20 % update transactions, partial replication
-// over 4 sites. Prints the committed-transactions-per-interval series and
-// the mean in-flight transaction count per interval, for DTX/XDGL and
-// DTX/Node2PL.
+// over 4 sites — extended into the staged-engine scaling sweep: every
+// protocol is run for each (coordinator workers x lock shards) point and
+// one machine-readable JSON line is emitted per run, so successive PRs have
+// an ops/s trajectory to diff against.
+//
+// Flags:
+//   --workers_list=1,4      coordinator worker counts to sweep
+//   --shards_list=1,16      lock-table shard counts to sweep
+//   --timeline=1            additionally print the paper's commits /
+//                           concurrency-degree time series per run
+// plus every common experiment flag (--clients=, --sites=, ...).
 //
 // Expected shape (paper): DTX commits its transactions roughly an order of
 // magnitude faster (218 txns in 1553 s vs Node2PL's 230 in 16500 s) with a
-// visibly higher concurrency degree throughout.
+// visibly higher concurrency degree throughout. Expected shape (engine):
+// workers=4 x shards=16 clears >= 1.5x the ops/s of workers=1 x shards=1.
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
 #include "workload/experiment.hpp"
+
+namespace {
+
+// Comma-separated positive integers; malformed or negative entries are
+// reported and skipped, values are clamped to [1, 4096] (matching the
+// engine's floor, so the JSON reflects the effective configuration). An
+// empty result falls back to {1}.
+std::vector<std::size_t> parse_list(const char* flag,
+                                    const std::string& text) {
+  std::vector<std::size_t> out;
+  std::string current;
+  for (const char c : text + ",") {
+    if (c != ',') {
+      current.push_back(c);
+      continue;
+    }
+    if (current.empty()) continue;
+    const bool digits_only =
+        std::all_of(current.begin(), current.end(),
+                    [](unsigned char ch) { return std::isdigit(ch) != 0; });
+    if (digits_only && current.size() <= 18) {
+      out.push_back(std::clamp<std::size_t>(
+          static_cast<std::size_t>(std::stoull(current)), 1, 4096));
+    } else {
+      std::fprintf(stderr, "ignoring malformed --%s entry '%s'\n", flag,
+                   current.c_str());
+    }
+    current.clear();
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dtx;
@@ -18,34 +66,51 @@ int main(int argc, char** argv) {
   base.sites = 4;
   base.replication = workload::Replication::kPartial;
   base.update_txn_fraction = 0.2;
+  // One-way message latency of the simulated LAN. The paper's 100 Mbit
+  // Ethernet sat in the sub-millisecond range once the software stack is
+  // counted; 300us makes the scheduler's wait-overlap (workers > 1) visible
+  // instead of burying it under in-process message turnaround.
+  base.latency = std::chrono::microseconds(300);
   apply_common_flags(flags, base);
+  const bool timeline = flags.get_bool("timeline", false);
   const double interval_s = flags.get_double("interval_s", 0.0);
+  const std::vector<std::size_t> workers_list =
+      parse_list("workers_list", flags.get_string("workers_list", "1,4"));
+  const std::vector<std::size_t> shards_list =
+      parse_list("shards_list", flags.get_string("shards_list", "1,16"));
 
-  std::printf("# Figure 12: throughput and concurrency degree\n");
   for (const auto protocol :
        {lock::ProtocolKind::kXdgl, lock::ProtocolKind::kXdglPlain,
-          lock::ProtocolKind::kNode2pl}) {
-    ExperimentConfig config = base;
-    config.protocol = protocol;
-    const ExperimentResult result = run_experiment(config);
+        lock::ProtocolKind::kNode2pl}) {
+    for (const std::size_t workers : workers_list) {
+      for (const std::size_t shards : shards_list) {
+        ExperimentConfig config = base;
+        config.protocol = protocol;
+        config.coordinator_workers = workers;
+        config.participant_workers = workers;
+        config.lock_shards = shards;
+        const ExperimentResult result = run_experiment(config);
+        print_json_row("fig12", config, result);
 
-    const double interval =
-        interval_s > 0.0 ? interval_s : result.makespan_s / 10.0;
-    std::printf("## protocol=%s committed=%zu/%zu makespan=%.2fs "
-                "deadlocks=%zu\n",
-                lock::protocol_kind_name(protocol), result.report.committed,
-                result.report.submitted, result.makespan_s,
-                result.deadlocks);
-    std::printf("%-12s %-14s %-18s\n", "t_end_s", "commits", "concurrency");
-    const auto throughput = result.report.throughput_timeline(interval);
-    const auto concurrency = result.report.concurrency_timeline(interval);
-    for (std::size_t i = 0; i < throughput.size(); ++i) {
-      const double degree =
-          i < concurrency.size() ? concurrency[i].second : 0.0;
-      std::printf("%-12.2f %-14zu %-18.1f\n", throughput[i].first,
-                  throughput[i].second, degree);
+        if (timeline) {
+          const double interval =
+              interval_s > 0.0 ? interval_s : result.makespan_s / 10.0;
+          std::printf("%-12s %-14s %-18s\n", "t_end_s", "commits",
+                      "concurrency");
+          const auto throughput =
+              result.report.throughput_timeline(interval);
+          const auto concurrency =
+              result.report.concurrency_timeline(interval);
+          for (std::size_t i = 0; i < throughput.size(); ++i) {
+            const double degree =
+                i < concurrency.size() ? concurrency[i].second : 0.0;
+            std::printf("%-12.2f %-14zu %-18.1f\n", throughput[i].first,
+                        throughput[i].second, degree);
+          }
+          std::fflush(stdout);
+        }
+      }
     }
-    std::fflush(stdout);
   }
   return 0;
 }

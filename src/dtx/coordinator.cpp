@@ -1,0 +1,433 @@
+#include "dtx/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/log.hpp"
+
+namespace dtx::core {
+
+using lock::TxnId;
+using txn::Transaction;
+using txn::TxnState;
+
+namespace {
+
+void drop_from_ready(std::deque<std::shared_ptr<Transaction>>& ready,
+                     const std::shared_ptr<Transaction>& txn) {
+  ready.erase(std::remove(ready.begin(), ready.end(), txn), ready.end());
+}
+
+}  // namespace
+
+void Coordinator::run() {
+  while (ctx_.running.load()) {
+    TransactionPtr next;
+    {
+      std::unique_lock<std::mutex> lock(ctx_.coord_mutex);
+      ctx_.coord_cv.wait_for(lock, ctx_.options.poll_interval, [&] {
+        return !ctx_.running.load() || !ctx_.ready.empty() ||
+               !ctx_.victim_aborts.empty();
+      });
+      if (!ctx_.running.load()) return;
+
+      // Victim aborts first (Alg. 4 hands them to the scheduler).
+      process_victims(lock);
+      retry_overdue_waiters();
+
+      if (ctx_.ready.empty()) continue;
+      next = ctx_.ready.front();
+      ctx_.ready.pop_front();
+      if (next->completed() || next->state() != TxnState::kActive) continue;
+      ctx_.executing.insert(next->id());
+    }
+    execute_one_operation(next);
+  }
+}
+
+void Coordinator::process_victims(std::unique_lock<std::mutex>& lock) {
+  while (!ctx_.victim_aborts.empty()) {
+    const TxnId victim = ctx_.victim_aborts.front();
+    ctx_.victim_aborts.pop_front();
+    const auto it = ctx_.transactions.find(victim);
+    if (it == ctx_.transactions.end() || it->second->completed()) continue;
+    if (ctx_.executing.count(victim) != 0) {
+      // Another worker is mid-operation on the victim: park the abort; that
+      // worker applies it the moment it hands its claim back.
+      ctx_.deferred_victims.insert(victim);
+      continue;
+    }
+    TransactionPtr txn = it->second;
+    ctx_.waiting.erase(victim);
+    drop_from_ready(ctx_.ready, txn);
+    ctx_.executing.insert(victim);  // claim for the duration of the abort
+    lock.unlock();
+    abort_transaction(txn, /*deadlock_victim=*/true);
+    lock.lock();
+  }
+}
+
+void Coordinator::retry_overdue_waiters() {
+  const auto now = Clock::now();
+  for (auto it = ctx_.waiting.begin(); it != ctx_.waiting.end();) {
+    const auto txn_it = ctx_.transactions.find(it->first);
+    if (txn_it == ctx_.transactions.end()) {
+      it = ctx_.waiting.erase(it);
+      continue;
+    }
+    if (now - it->second >= ctx_.options.retry_interval) {
+      txn_it->second->set_state(TxnState::kActive);
+      ctx_.ready.push_back(txn_it->second);
+      it = ctx_.waiting.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Coordinator::execute_one_operation(const TransactionPtr& txn) {
+  const std::size_t op_index = txn->next_operation();
+  if (op_index == txn->op_count()) {
+    // Alg. 1 l. 24-26: no operation left -> commit.
+    commit_transaction(txn);
+    return;
+  }
+  const txn::Operation& op = txn->ops()[op_index];
+  const std::vector<SiteId> sites = ctx_.catalog.sites_of(op.doc);
+  if (sites.empty()) {
+    txn->state_of(op_index).failed = true;
+    txn->state_of(op_index).error =
+        "document '" + op.doc + "' is not in the catalog";
+    abort_transaction(txn, false);
+    return;
+  }
+  if (sites.size() == 1 && sites.front() == ctx_.options.id) {
+    execute_local(txn, op_index);
+  } else {
+    execute_remote(txn, op_index, sites);
+  }
+}
+
+void Coordinator::execute_local(const TransactionPtr& txn,
+                                std::size_t op_index) {
+  // Alg. 1 l. 6-10.
+  const txn::Operation& op = txn->ops()[op_index];
+  txn::OperationState& state = txn->state_of(op_index);
+  ++state.attempts;
+  state.reset_attempt();
+  OpOutcome outcome = ctx_.locks.process_operation(
+      txn->id(), static_cast<std::uint32_t>(op_index), op, ctx_.options.id);
+  switch (outcome.kind) {
+    case OpOutcome::Kind::kExecuted:
+      state.executed = true;
+      state.rows = std::move(outcome.rows);
+      txn->add_sites({ctx_.options.id});
+      requeue(txn);
+      return;
+    case OpOutcome::Kind::kConflict:
+      enter_wait(txn);
+      return;
+    case OpOutcome::Kind::kDeadlock:
+      state.deadlock = true;
+      abort_transaction(txn, /*deadlock_victim=*/true);
+      return;
+    case OpOutcome::Kind::kFailed:
+      state.failed = true;
+      state.error = std::move(outcome.error);
+      abort_transaction(txn, false);
+      return;
+  }
+}
+
+void Coordinator::execute_remote(const TransactionPtr& txn,
+                                 std::size_t op_index,
+                                 const std::vector<SiteId>& sites) {
+  // Alg. 1 l. 12-22.
+  const txn::Operation& op = txn->ops()[op_index];
+  txn::OperationState& state = txn->state_of(op_index);
+  ++state.attempts;
+  state.reset_attempt();
+  const auto attempt = state.attempts;
+
+  const std::set<SiteId> expected(sites.begin(), sites.end());
+  {
+    std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
+    SiteContext::ResponseSlot& slot =
+        ctx_.responses[{txn->id(), static_cast<std::uint32_t>(op_index)}];
+    slot.attempt = attempt;
+    slot.replies.clear();
+  }
+  for (SiteId site : sites) {
+    ctx_.send(site, net::ExecuteOperation{
+                        txn->id(), static_cast<std::uint32_t>(op_index),
+                        attempt, ctx_.options.id, op.doc, op.to_string()});
+  }
+  const std::map<SiteId, net::OperationResult> replies = await_responses(
+      txn->id(), static_cast<std::uint32_t>(op_index), attempt, expected);
+  {
+    std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
+    ctx_.responses.erase({txn->id(), static_cast<std::uint32_t>(op_index)});
+  }
+  if (!ctx_.running.load()) return;
+
+  bool any_conflict = false;
+  bool any_failed = replies.size() != expected.size();  // timeout == failure
+  bool any_deadlock = false;
+  std::vector<SiteId> executed_at;
+  for (const auto& [site, reply] : replies) {
+    if (reply.executed) executed_at.push_back(site);
+    any_conflict |= reply.lock_conflict;
+    any_failed |= reply.failed;
+    any_deadlock |= reply.deadlock;
+  }
+
+  if (any_failed || any_deadlock) {
+    // Alg. 1 l. 19-21. Sites that executed the operation are cleaned up by
+    // the abort broadcast (it reaches every site of the transaction).
+    txn->add_sites(executed_at);
+    state.failed = any_failed;
+    state.deadlock = any_deadlock;
+    if (replies.size() != expected.size()) {
+      state.error = "participant response timeout";
+    } else if (any_failed) {
+      state.error = "operation failed at a participant site";
+    }
+    abort_transaction(txn, any_deadlock);
+    return;
+  }
+  if (any_conflict) {
+    // Alg. 1 l. 15-17: undo the operation wherever it executed; wait.
+    for (SiteId site : executed_at) {
+      ctx_.send(site, net::UndoOperation{
+                          txn->id(), static_cast<std::uint32_t>(op_index)});
+    }
+    enter_wait(txn);
+    return;
+  }
+
+  // Executed everywhere: adopt the rows of the lowest-id replica.
+  state.executed = true;
+  txn->add_sites(std::vector<SiteId>(expected.begin(), expected.end()));
+  for (const auto& [site, reply] : replies) {
+    if (reply.executed) {
+      state.rows = reply.rows;
+      break;  // map iteration is ordered by site id
+    }
+  }
+  requeue(txn);
+}
+
+void Coordinator::enter_wait(const TransactionPtr& txn) {
+  txn->note_wait_episode();
+  {
+    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    ++ctx_.stats.wait_episodes;
+  }
+  hand_back_claim(txn, /*park=*/true);
+}
+
+void Coordinator::requeue(const TransactionPtr& txn) {
+  hand_back_claim(txn, /*park=*/false);
+}
+
+void Coordinator::hand_back_claim(const TransactionPtr& txn, bool park) {
+  bool abort_now = false;
+  bool requeued = false;
+  {
+    std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+    if (ctx_.deferred_victims.erase(txn->id()) != 0) {
+      abort_now = true;  // claim retained; abort below
+    } else if (park && ctx_.pending_wakes.erase(txn->id()) == 0) {
+      txn->set_state(TxnState::kWaiting);
+      ctx_.executing.erase(txn->id());
+      ctx_.waiting[txn->id()] = Clock::now();
+    } else {
+      // Plain requeue — or a wake overtook the park; retry immediately.
+      txn->set_state(TxnState::kActive);
+      ctx_.executing.erase(txn->id());
+      ctx_.ready.push_back(txn);
+      requeued = true;
+    }
+  }
+  if (abort_now) {
+    abort_transaction(txn, /*deadlock_victim=*/true);
+  } else if (requeued) {
+    ctx_.coord_cv.notify_all();
+  }
+}
+
+std::map<SiteId, net::OperationResult> Coordinator::await_responses(
+    TxnId txn, std::uint32_t op_index, std::uint32_t attempt,
+    const std::set<SiteId>& expected) {
+  const auto deadline = Clock::now() + ctx_.options.response_timeout;
+  std::unique_lock<std::mutex> lock(ctx_.resp_mutex);
+  const auto key = std::make_pair(txn, op_index);
+  for (;;) {
+    const auto it = ctx_.responses.find(key);
+    if (it == ctx_.responses.end() || it->second.attempt != attempt) {
+      return {};
+    }
+    if (it->second.replies.size() >= expected.size()) {
+      return it->second.replies;
+    }
+    if (!ctx_.running.load() || Clock::now() >= deadline) {
+      return it->second.replies;  // partial (timeout / shutdown)
+    }
+    ctx_.resp_cv.wait_until(lock, deadline);
+  }
+}
+
+std::map<SiteId, bool> Coordinator::await_acks(TxnId txn,
+                                               const std::set<SiteId>& expected,
+                                               bool commit) {
+  (void)commit;
+  const auto deadline = Clock::now() + ctx_.options.response_timeout;
+  std::unique_lock<std::mutex> lock(ctx_.ack_mutex);
+  for (;;) {
+    const auto it = ctx_.acks.find(txn);
+    if (it == ctx_.acks.end()) return {};
+    if (it->second.acks.size() >= expected.size()) return it->second.acks;
+    if (!ctx_.running.load() || Clock::now() >= deadline) {
+      return it->second.acks;
+    }
+    ctx_.ack_cv.wait_until(lock, deadline);
+  }
+}
+
+void Coordinator::commit_transaction(const TransactionPtr& txn) {
+  // Algorithm 5.
+  std::set<SiteId> remote = txn->sites();
+  remote.erase(ctx_.options.id);
+  if (!remote.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(ctx_.ack_mutex);
+      SiteContext::AckSlot& slot = ctx_.acks[txn->id()];
+      slot.commit = true;
+      slot.acks.clear();
+    }
+    for (SiteId site : remote) {
+      ctx_.send(site, net::CommitRequest{txn->id()});
+    }
+    const std::map<SiteId, bool> acks =
+        await_acks(txn->id(), remote, /*commit=*/true);
+    {
+      std::lock_guard<std::mutex> lock(ctx_.ack_mutex);
+      ctx_.acks.erase(txn->id());
+    }
+    bool all_ok = acks.size() == remote.size();
+    for (const auto& [site, ok] : acks) all_ok &= ok;
+    if (!all_ok) {
+      // Alg. 5 l. 5-7: a site did not serve the commit -> abort.
+      abort_transaction(txn, false);
+      return;
+    }
+  }
+  // Alg. 5 l. 10-11: persist and release locally.
+  std::vector<WakeNotice> wakes;
+  util::Status status = ctx_.locks.commit(txn->id(), wakes);
+  ctx_.send_wakes(wakes);
+  if (!status) {
+    abort_transaction(txn, false);
+    return;
+  }
+  finish_transaction(txn, TxnState::kCommitted);
+}
+
+void Coordinator::abort_transaction(const TransactionPtr& txn,
+                                    bool deadlock_victim) {
+  // Algorithm 6.
+  if (deadlock_victim) txn->mark_deadlock_victim();
+  std::set<SiteId> remote = txn->sites();
+  remote.erase(ctx_.options.id);
+  if (!remote.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(ctx_.ack_mutex);
+      SiteContext::AckSlot& slot = ctx_.acks[txn->id()];
+      slot.commit = false;
+      slot.acks.clear();
+    }
+    for (SiteId site : remote) {
+      ctx_.send(site, net::AbortRequest{txn->id()});
+    }
+    const std::map<SiteId, bool> acks =
+        await_acks(txn->id(), remote, /*commit=*/false);
+    {
+      std::lock_guard<std::mutex> lock(ctx_.ack_mutex);
+      ctx_.acks.erase(txn->id());
+    }
+    bool all_ok = acks.size() == remote.size();
+    for (const auto& [site, ok] : acks) all_ok &= ok;
+    if (!all_ok && ctx_.running.load()) {
+      // Alg. 6 l. 5-10: the cancellation itself failed somewhere -> the
+      // transaction *fails*; every site is told so.
+      for (SiteId site : remote) {
+        ctx_.send(site, net::FailNotice{txn->id()});
+      }
+      fail_transaction(txn);
+      return;
+    }
+  }
+  // Alg. 6 l. 13-14: undo and release locally.
+  std::vector<WakeNotice> wakes;
+  ctx_.locks.abort(txn->id(), wakes);
+  ctx_.send_wakes(wakes);
+  finish_transaction(txn, TxnState::kAborted);
+}
+
+void Coordinator::fail_transaction(const TransactionPtr& txn) {
+  // Local best-effort cleanup so this site's locks do not leak, then report
+  // failure to the application (paper §2.2: "In case of failure, DTX alerts
+  // the application stating that the transaction has failed").
+  std::vector<WakeNotice> wakes;
+  ctx_.locks.abort(txn->id(), wakes);
+  ctx_.send_wakes(wakes);
+  finish_transaction(txn, TxnState::kFailed);
+}
+
+void Coordinator::finish_transaction(const TransactionPtr& txn,
+                                     TxnState state) {
+  txn->set_state(state);
+  {
+    std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+    ctx_.waiting.erase(txn->id());
+    ctx_.pending_wakes.erase(txn->id());
+    ctx_.deferred_victims.erase(txn->id());
+    ctx_.executing.erase(txn->id());
+    drop_from_ready(ctx_.ready, txn);
+    ctx_.transactions.erase(txn->id());
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    switch (state) {
+      case TxnState::kCommitted: ++ctx_.stats.committed; break;
+      case TxnState::kAborted: ++ctx_.stats.aborted; break;
+      case TxnState::kFailed: ++ctx_.stats.failed; break;
+      default: break;
+    }
+    if (txn->deadlock_victim()) ++ctx_.stats.deadlock_aborts;
+  }
+
+  txn::TxnResult result;
+  result.id = txn->id();
+  result.state = state;
+  result.deadlock_victim = txn->deadlock_victim();
+  result.wait_episodes = txn->wait_episodes();
+  result.response_ms =
+      static_cast<double>(steady_now_micros() -
+                          txn::txn_begin_micros(txn->id())) /
+      1000.0;
+  result.rows.reserve(txn->op_count());
+  for (std::size_t i = 0; i < txn->op_count(); ++i) {
+    result.rows.push_back(txn->state_of(i).rows);
+    if (result.error.empty() && !txn->state_of(i).error.empty()) {
+      result.error = "operation " + std::to_string(i) + ": " +
+                     txn->state_of(i).error;
+    }
+  }
+  if (result.error.empty() && txn->deadlock_victim()) {
+    result.error = "aborted as deadlock victim";
+  }
+  txn->complete(std::move(result));
+}
+
+}  // namespace dtx::core

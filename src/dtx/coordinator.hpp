@@ -1,0 +1,77 @@
+// Coordinator (paper Alg. 1): the scheduler of locally-submitted
+// transactions. One operation of one available transaction at a time per
+// worker — the Site runs `SiteOptions::coordinator_workers` threads over one
+// shared Coordinator, so several local transactions progress concurrently
+// while each individual transaction is still executed one operation at a
+// time by exactly one worker (the `executing` claim in SiteContext).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "dtx/site_context.hpp"
+
+namespace dtx::core {
+
+class Coordinator {
+ public:
+  explicit Coordinator(SiteContext& ctx) : ctx_(ctx) {}
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Worker body. Any number of threads may run it concurrently; every
+  /// shared-state transition goes through ctx_.coord_mutex.
+  void run();
+
+ private:
+  using Clock = SiteContext::Clock;
+  using TransactionPtr = std::shared_ptr<txn::Transaction>;
+
+  /// Drains victim aborts (Alg. 4 hands them to the scheduler). Victims
+  /// claimed by another worker are parked in deferred_victims. Unlocks /
+  /// relocks `lock` around each abort.
+  void process_victims(std::unique_lock<std::mutex>& lock);
+
+  /// Lost-wakeup backstop: re-readies waiting transactions whose retry
+  /// interval elapsed. Expects coord_mutex held.
+  void retry_overdue_waiters();
+
+  void execute_one_operation(const TransactionPtr& txn);
+  void execute_local(const TransactionPtr& txn, std::size_t op_index);
+  void execute_remote(const TransactionPtr& txn, std::size_t op_index,
+                      const std::vector<SiteId>& sites);
+  void commit_transaction(const TransactionPtr& txn);
+  void abort_transaction(const TransactionPtr& txn, bool deadlock_victim);
+  void fail_transaction(const TransactionPtr& txn);
+  void finish_transaction(const TransactionPtr& txn, txn::TxnState state);
+
+  /// Hands the worker's claim back, parking the transaction as waiting. A
+  /// pending wake re-readies it instead; a deferred victim abort runs now.
+  void enter_wait(const TransactionPtr& txn);
+
+  /// Hands the worker's claim back, re-queueing the transaction. A deferred
+  /// victim abort runs now instead.
+  void requeue(const TransactionPtr& txn);
+
+  /// The one claim-handback sequence both of the above go through: consume
+  /// a parked victim abort (claim retained, abort runs), else release the
+  /// claim and park (`park`, unless a wake overtook us) or re-queue.
+  void hand_back_claim(const TransactionPtr& txn, bool park);
+
+  /// Blocks until every site in `expected` answered (txn, op, attempt) or
+  /// the response timeout elapsed. Returns the replies collected.
+  std::map<SiteId, net::OperationResult> await_responses(
+      lock::TxnId txn, std::uint32_t op_index, std::uint32_t attempt,
+      const std::set<SiteId>& expected);
+
+  /// Blocks for commit/abort acks from `expected`. Returns site -> ok.
+  std::map<SiteId, bool> await_acks(lock::TxnId txn,
+                                    const std::set<SiteId>& expected,
+                                    bool commit);
+
+  SiteContext& ctx_;
+};
+
+}  // namespace dtx::core

@@ -8,7 +8,9 @@
 // (transaction, document) an undo log. Committed state is written through to
 // the storage backend at commit time (Alg. 5 l. 10).
 //
-// NOT thread-safe on its own — the owning LockManager serializes access.
+// NOT thread-safe on its own — the owning LockManager guards it behind a
+// reader/writer latch (queries shared, updates / undo / persist exclusive);
+// see the synchronization note in dtx/lock_manager.hpp.
 #pragma once
 
 #include <map>

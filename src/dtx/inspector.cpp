@@ -19,6 +19,16 @@ std::string describe_site(Site& site) {
       << " conflicts=" << stats.lock_manager.conflicts
       << " local_deadlocks=" << stats.lock_manager.local_deadlocks
       << " entries_now=" << site.lock_manager().lock_entries() << "\n";
+  const auto& table = site.lock_manager().table();
+  if (table.shard_count() > 1) {
+    out << "  lock shards (" << table.shard_count() << "):";
+    for (const auto& shard : table.shard_stats()) {
+      out << " " << shard.acquisitions << "/" << shard.conflicts;
+    }
+    out << "  (acquisitions/conflicts per shard)\n";
+  }
+  // NOTE: reading the DataManager requires site quiescence (see
+  // Site::data_manager()); the inspector is a post-run diagnostic.
   out << "  data: documents=" << site.data_manager().documents().size()
       << " nodes=" << site.data_manager().total_nodes()
       << " guide_nodes=" << site.data_manager().total_guide_nodes() << "\n";

@@ -10,18 +10,36 @@ using lock::TxnId;
 using util::Code;
 using util::Status;
 
-LockManager::LockManager(lock::ProtocolKind protocol, DataManager& data)
-    : protocol_(lock::make_protocol(protocol)), data_(data) {}
+LockManager::LockManager(lock::ProtocolKind protocol, DataManager& data,
+                         std::size_t lock_shards)
+    : protocol_(lock::make_protocol(protocol)),
+      data_(data),
+      table_(lock_shards) {}
 
 OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
                                          const txn::Operation& op,
                                          SiteId waiter_coordinator) {
-  std::lock_guard<std::mutex> lock(mutex_);
   OpOutcome outcome;
 
   // A fresh attempt supersedes any recorded wait state of this transaction.
-  graph_.clear_waiter(txn);
-  unsubscribe_waiter(txn);
+  {
+    std::lock_guard<std::mutex> wfg_lock(wfg_mutex_);
+    graph_.clear_waiter(txn);
+    unsubscribe_waiter_locked(txn);
+  }
+
+  // Queries latch the data shared (parallel reads); updates exclusive —
+  // the latch spans lock-set computation AND execution so the tree the
+  // protocol walked is the tree the operation runs on.
+  std::shared_lock<std::shared_mutex> read_latch(data_latch_,
+                                                 std::defer_lock);
+  std::unique_lock<std::shared_mutex> write_latch(data_latch_,
+                                                  std::defer_lock);
+  if (op.is_update()) {
+    write_latch.lock();
+  } else {
+    read_latch.lock();
+  }
 
   auto context = data_.context_of(op.doc);
   if (!context) {
@@ -41,19 +59,20 @@ OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
     return outcome;
   }
 
-  // Acquire all-or-nothing (Alg. 3 l. 4).
+  // Acquire all-or-nothing (Alg. 3 l. 4). The table synchronizes itself.
   OpRecord record;
   record.doc = op.doc;
   lock::AcquireOutcome acquired =
       table_.try_acquire_all(txn, requests.value(), &record.journal);
   if (!acquired.granted) {
     // Alg. 3 l. 8-13: record the wait-for edges; deadlock check; undo.
-    ++stats_.conflicts;
+    conflicts_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> wfg_lock(wfg_mutex_);
     graph_.add_edges(txn, acquired.conflicts);
     if (graph_.has_cycle()) {
       // Granting would deadlock locally; the operation reports it and the
       // scheduler aborts the transaction (Alg. 1 l. 19-20).
-      ++stats_.local_deadlocks;
+      local_deadlocks_.fetch_add(1, std::memory_order_relaxed);
       graph_.clear_waiter(txn);
       outcome.kind = OpOutcome::Kind::kDeadlock;
       outcome.blockers = std::move(acquired.conflicts);
@@ -69,8 +88,8 @@ OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
   }
 
   // Locks held: execute (Alg. 3 l. 6).
-  record.undo_token = data_.undo_checkpoint(txn, op.doc);
   if (op.is_update()) {
+    record.undo_token = data_.undo_checkpoint(txn, op.doc);
     auto applied = data_.run_update(txn, op.doc, op.update);
     if (!applied) {
       // Structural failure: release this operation's locks and report.
@@ -90,70 +109,84 @@ OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
     }
     outcome.rows = std::move(rows).value();
   }
-  op_records_[{txn, op_index}] = std::move(record);
-  ++stats_.operations_executed;
-  stats_.lock_acquisitions = table_.acquisition_count();
+  {
+    std::lock_guard<std::mutex> records_lock(records_mutex_);
+    op_records_[{txn, op_index}] = std::move(record);
+  }
+  operations_executed_.fetch_add(1, std::memory_order_relaxed);
   outcome.kind = OpOutcome::Kind::kExecuted;
   return outcome;
 }
 
 void LockManager::undo_operation(TxnId txn, std::uint32_t op_index) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = op_records_.find({txn, op_index});
-  if (it == op_records_.end()) return;  // never executed here
-  OpRecord& record = it->second;
+  OpRecord record;
+  {
+    std::lock_guard<std::mutex> records_lock(records_mutex_);
+    const auto it = op_records_.find({txn, op_index});
+    if (it == op_records_.end()) return;  // never executed here
+    record = std::move(it->second);
+    op_records_.erase(it);
+  }
   if (record.did_update) {
+    std::unique_lock<std::shared_mutex> write_latch(data_latch_);
     data_.undo_to(txn, record.doc, record.undo_token);
   }
   table_.rollback(txn, record.journal);
-  op_records_.erase(it);
 }
 
 Status LockManager::commit(TxnId txn, std::vector<WakeNotice>& wakes) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Status status = data_.persist(txn);
-  if (!status) return status;
+  {
+    std::unique_lock<std::shared_mutex> write_latch(data_latch_);
+    Status status = data_.persist(txn);
+    if (!status) return status;
+  }
   table_.release_all(txn);
-  graph_.remove_txn(txn);
   drop_op_records(txn);
-  unsubscribe_waiter(txn);
-  collect_wakes(txn, wakes);
+  std::lock_guard<std::mutex> wfg_lock(wfg_mutex_);
+  graph_.remove_txn(txn);
+  unsubscribe_waiter_locked(txn);
+  collect_wakes_locked(txn, wakes);
   return Status::ok();
 }
 
 void LockManager::abort(TxnId txn, std::vector<WakeNotice>& wakes) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  data_.undo_all(txn);
+  {
+    std::unique_lock<std::shared_mutex> write_latch(data_latch_);
+    data_.undo_all(txn);
+  }
   table_.release_all(txn);
-  graph_.remove_txn(txn);
   drop_op_records(txn);
-  unsubscribe_waiter(txn);
-  collect_wakes(txn, wakes);
+  std::lock_guard<std::mutex> wfg_lock(wfg_mutex_);
+  graph_.remove_txn(txn);
+  unsubscribe_waiter_locked(txn);
+  collect_wakes_locked(txn, wakes);
 }
 
 void LockManager::clear_waiter(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> wfg_lock(wfg_mutex_);
   graph_.clear_waiter(txn);
-  unsubscribe_waiter(txn);
+  unsubscribe_waiter_locked(txn);
 }
 
 std::vector<wfg::Edge> LockManager::wfg_edges() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> wfg_lock(wfg_mutex_);
   return graph_.edges();
 }
 
 LockManagerStats LockManager::stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.lock_acquisitions = table_.acquisition_count();
-  return stats_;
+  LockManagerStats out;
+  out.operations_executed =
+      operations_executed_.load(std::memory_order_relaxed);
+  out.conflicts = conflicts_.load(std::memory_order_relaxed);
+  out.local_deadlocks = local_deadlocks_.load(std::memory_order_relaxed);
+  out.lock_acquisitions = table_.acquisition_count();
+  return out;
 }
 
-std::size_t LockManager::lock_entries() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return table_.entry_count();
-}
+std::size_t LockManager::lock_entries() { return table_.entry_count(); }
 
 void LockManager::drop_op_records(TxnId txn) {
+  std::lock_guard<std::mutex> records_lock(records_mutex_);
   for (auto it = op_records_.begin(); it != op_records_.end();) {
     if (it->first.first == txn) {
       it = op_records_.erase(it);
@@ -163,14 +196,14 @@ void LockManager::drop_op_records(TxnId txn) {
   }
 }
 
-void LockManager::collect_wakes(TxnId released,
-                                std::vector<WakeNotice>& wakes) {
+void LockManager::collect_wakes_locked(TxnId released,
+                                       std::vector<WakeNotice>& wakes) {
   const auto [begin, end] = wake_subscriptions_.equal_range(released);
   for (auto it = begin; it != end; ++it) wakes.push_back(it->second);
   wake_subscriptions_.erase(begin, end);
 }
 
-void LockManager::unsubscribe_waiter(TxnId waiter) {
+void LockManager::unsubscribe_waiter_locked(TxnId waiter) {
   for (auto it = wake_subscriptions_.begin();
        it != wake_subscriptions_.end();) {
     if (it->second.waiter == waiter) {

@@ -12,14 +12,31 @@
 //    releases its locks (paper §2.2: waiting transactions "start executing
 //    again" when the holder commits).
 //
-// All public methods are internally synchronized (single monitor — the
-// paper's commit/abort procedures are explicitly atomic with respect to the
-// scheduler and lock manager).
+// Synchronization (multi-worker engine): the historical single monitor is
+// gone. The lock table synchronizes itself (sharded — see
+// lock/lock_table.hpp); this class adds three narrower locks:
+//  * data_latch_   — reader/writer latch over the DataManager. Queries hold
+//                    it shared across {lock-set computation + execution}, so
+//                    compatible reads of the same site run in parallel;
+//                    updates, undo, commit-persist and abort hold it
+//                    exclusive (the XML trees and DataGuides are not
+//                    thread-safe under mutation).
+//  * wfg_mutex_    — wait-for graph + wake subscriptions.
+//  * records_mutex_ — per-operation acquisition journals / undo tokens.
+// Lock order when nested: data_latch_ -> (table shards) -> wfg_mutex_ /
+// records_mutex_; the two leaf mutexes are never held together.
+//
+// One semantic relaxation vs. the monitor: a release may interleave between
+// a waiter's conflict detection and its wake subscription, losing that wake.
+// The scheduler's retry backstop (SiteOptions::retry_interval) bounds the
+// resulting stall; correctness is unaffected.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -63,10 +80,13 @@ struct LockManagerStats {
 
 class LockManager {
  public:
-  LockManager(lock::ProtocolKind protocol, DataManager& data);
+  /// `lock_shards` sizes the sharded lock table (1 = historical behavior).
+  LockManager(lock::ProtocolKind protocol, DataManager& data,
+              std::size_t lock_shards = 1);
 
   /// Algorithm 3. `waiter_coordinator` is the coordinator site of the
-  /// transaction (wake messages go there on conflict).
+  /// transaction (wake messages go there on conflict). Thread-safe; any
+  /// number of scheduler workers may call it concurrently.
   OpOutcome process_operation(lock::TxnId txn, std::uint32_t op_index,
                               const txn::Operation& op,
                               SiteId waiter_coordinator);
@@ -96,6 +116,12 @@ class LockManager {
   /// Current lock-table entry count (diagnostics).
   [[nodiscard]] std::size_t lock_entries();
 
+  /// The sharded lock table (internally synchronized; benches read its
+  /// per-shard stats).
+  [[nodiscard]] const lock::LockTable& table() const noexcept {
+    return table_;
+  }
+
   [[nodiscard]] const char* protocol_name() const noexcept {
     return protocol_->name();
   }
@@ -108,19 +134,30 @@ class LockManager {
     bool did_update = false;
   };
 
-  std::mutex mutex_;
   std::unique_ptr<lock::LockProtocol> protocol_;
   DataManager& data_;
   lock::LockTable table_;
+
+  /// Reader/writer latch over data_ (see file comment).
+  std::shared_mutex data_latch_;
+
+  std::mutex wfg_mutex_;
   wfg::WaitForGraph graph_;
-  std::map<std::pair<lock::TxnId, std::uint32_t>, OpRecord> op_records_;
   // blocker -> subscribers waiting for its release.
   std::multimap<lock::TxnId, WakeNotice> wake_subscriptions_;
-  LockManagerStats stats_;
+
+  std::mutex records_mutex_;
+  std::map<std::pair<lock::TxnId, std::uint32_t>, OpRecord> op_records_;
+
+  std::atomic<std::uint64_t> operations_executed_{0};
+  std::atomic<std::uint64_t> conflicts_{0};
+  std::atomic<std::uint64_t> local_deadlocks_{0};
 
   void drop_op_records(lock::TxnId txn);
-  void collect_wakes(lock::TxnId released, std::vector<WakeNotice>& wakes);
-  void unsubscribe_waiter(lock::TxnId waiter);
+  // The _locked variants expect wfg_mutex_ held.
+  void collect_wakes_locked(lock::TxnId released,
+                            std::vector<WakeNotice>& wakes);
+  void unsubscribe_waiter_locked(lock::TxnId waiter);
 };
 
 }  // namespace dtx::core

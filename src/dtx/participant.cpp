@@ -1,0 +1,145 @@
+#include "dtx/participant.hpp"
+
+#include "util/log.hpp"
+
+namespace dtx::core {
+
+using net::Message;
+
+namespace {
+
+/// Transaction a participant request belongs to (all five request kinds
+/// carry one).
+lock::TxnId request_txn(const Message& message) {
+  return std::visit(
+      [](const auto& payload) -> lock::TxnId {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, net::ExecuteOperation> ||
+                      std::is_same_v<T, net::UndoOperation> ||
+                      std::is_same_v<T, net::CommitRequest> ||
+                      std::is_same_v<T, net::AbortRequest> ||
+                      std::is_same_v<T, net::FailNotice>) {
+          return payload.txn;
+        } else {
+          return 0;
+        }
+      },
+      message.payload);
+}
+
+}  // namespace
+
+void Participant::run() {
+  while (ctx_.running.load()) {
+    Message message;
+    lock::TxnId txn = 0;
+    {
+      std::unique_lock<std::mutex> lock(ctx_.part_mutex);
+      // First message whose transaction no other worker is on: serving in
+      // this order keeps per-transaction requests serial and in arrival
+      // order (see SiteContext::participant_active).
+      const auto serviceable = [&] {
+        auto it = ctx_.participant_queue.begin();
+        for (; it != ctx_.participant_queue.end(); ++it) {
+          if (ctx_.participant_active.count(request_txn(*it)) == 0) break;
+        }
+        return it;
+      };
+      ctx_.part_cv.wait_for(lock, ctx_.options.poll_interval, [&] {
+        return !ctx_.running.load() ||
+               serviceable() != ctx_.participant_queue.end();
+      });
+      if (!ctx_.running.load()) return;
+      const auto it = serviceable();
+      if (it == ctx_.participant_queue.end()) continue;
+      txn = request_txn(*it);
+      message = std::move(*it);
+      ctx_.participant_queue.erase(it);
+      ctx_.participant_active.insert(txn);
+    }
+    std::visit(
+        [&](auto&& payload) {
+          using T = std::decay_t<decltype(payload)>;
+          if constexpr (std::is_same_v<T, net::ExecuteOperation>) {
+            handle_execute(payload);
+          } else if constexpr (std::is_same_v<T, net::UndoOperation>) {
+            handle_undo(payload);
+          } else if constexpr (std::is_same_v<T, net::CommitRequest>) {
+            handle_commit(payload, message.from);
+          } else if constexpr (std::is_same_v<T, net::AbortRequest>) {
+            handle_abort(payload, message.from);
+          } else if constexpr (std::is_same_v<T, net::FailNotice>) {
+            handle_fail(payload);
+          }
+        },
+        message.payload);
+    {
+      std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+      ctx_.participant_active.erase(txn);
+    }
+    ctx_.part_cv.notify_all();
+  }
+}
+
+void Participant::handle_execute(const net::ExecuteOperation& request) {
+  // Alg. 2 l. 4-13.
+  {
+    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    ++ctx_.stats.remote_ops_processed;
+  }
+  net::OperationResult reply;
+  reply.txn = request.txn;
+  reply.op_index = request.op_index;
+  reply.attempt = request.attempt;
+
+  auto op = txn::parse_operation(request.op_text);
+  if (!op) {
+    reply.failed = true;
+  } else {
+    OpOutcome outcome = ctx_.locks.process_operation(
+        request.txn, request.op_index, op.value(), request.coordinator);
+    switch (outcome.kind) {
+      case OpOutcome::Kind::kExecuted:
+        reply.executed = true;
+        reply.rows = std::move(outcome.rows);
+        break;
+      case OpOutcome::Kind::kConflict:
+        reply.lock_conflict = true;
+        break;
+      case OpOutcome::Kind::kDeadlock:
+        reply.deadlock = true;
+        break;
+      case OpOutcome::Kind::kFailed:
+        reply.failed = true;
+        break;
+    }
+  }
+  ctx_.send(request.coordinator, std::move(reply));
+}
+
+void Participant::handle_undo(const net::UndoOperation& request) {
+  ctx_.locks.undo_operation(request.txn, request.op_index);
+}
+
+void Participant::handle_commit(const net::CommitRequest& request,
+                                SiteId from) {
+  std::vector<WakeNotice> wakes;
+  const util::Status status = ctx_.locks.commit(request.txn, wakes);
+  ctx_.send(from, net::CommitAck{request.txn, status.is_ok()});
+  ctx_.send_wakes(wakes);
+}
+
+void Participant::handle_abort(const net::AbortRequest& request, SiteId from) {
+  std::vector<WakeNotice> wakes;
+  ctx_.locks.abort(request.txn, wakes);
+  ctx_.send(from, net::AbortAck{request.txn, true});
+  ctx_.send_wakes(wakes);
+}
+
+void Participant::handle_fail(const net::FailNotice& request) {
+  std::vector<WakeNotice> wakes;
+  ctx_.locks.abort(request.txn, wakes);
+  ctx_.send_wakes(wakes);
+}
+
+}  // namespace dtx::core

@@ -1,0 +1,37 @@
+// Participant (paper Alg. 2): executes remote operations and the commit /
+// abort / fail messages of distributed transactions ("this procedure is also
+// common to the coordinator" — every site runs both roles). The Site runs
+// `SiteOptions::participant_workers` threads over one shared Participant.
+// Workers only pick up a request when no other worker is serving the same
+// transaction (SiteContext::participant_active), so per-transaction
+// requests are processed serially and in arrival order — the ordering the
+// seed's single participant thread provided; requests of *different*
+// transactions run concurrently.
+#pragma once
+
+#include "dtx/site_context.hpp"
+
+namespace dtx::core {
+
+class Participant {
+ public:
+  explicit Participant(SiteContext& ctx) : ctx_(ctx) {}
+
+  Participant(const Participant&) = delete;
+  Participant& operator=(const Participant&) = delete;
+
+  /// Worker body: pops the participant queue and serves requests. Any
+  /// number of threads may run it concurrently.
+  void run();
+
+ private:
+  void handle_execute(const net::ExecuteOperation& request);
+  void handle_undo(const net::UndoOperation& request);
+  void handle_commit(const net::CommitRequest& request, SiteId from);
+  void handle_abort(const net::AbortRequest& request, SiteId from);
+  void handle_fail(const net::FailNotice& request);
+
+  SiteContext& ctx_;
+};
+
+}  // namespace dtx::core

@@ -13,52 +13,53 @@ using net::Payload;
 using txn::Transaction;
 using txn::TxnState;
 
-namespace {
-
-std::uint64_t now_micros() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-}  // namespace
-
 Site::Site(SiteOptions options, net::SimNetwork& network,
            const Catalog& catalog, storage::StorageBackend& store)
-    : options_(options),
-      network_(network),
-      mailbox_(network.register_site(options.id)),
-      catalog_(catalog),
-      data_(store),
-      locks_(options.protocol, data_),
-      detector_(options.detect_period, options.detect_reply_timeout) {}
+    : ctx_(options, network, catalog, store),
+      coordinator_(ctx_),
+      participant_(ctx_) {}
 
 Site::~Site() { stop(); }
 
 util::Status Site::start() {
-  util::Status status = data_.load_all();
+  util::Status status = ctx_.data.load_all();
   if (!status) return status;
-  running_.store(true);
+  ctx_.running.store(true);
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
-  coordinator_ = std::thread([this] { coordinator_loop(); });
-  participant_ = std::thread([this] { participant_loop(); });
+  const std::size_t coordinators =
+      std::max<std::size_t>(1, ctx_.options.coordinator_workers);
+  coordinator_threads_.reserve(coordinators);
+  for (std::size_t i = 0; i < coordinators; ++i) {
+    coordinator_threads_.emplace_back([this] { coordinator_.run(); });
+  }
+  const std::size_t participants =
+      std::max<std::size_t>(1, ctx_.options.participant_workers);
+  participant_threads_.reserve(participants);
+  for (std::size_t i = 0; i < participants; ++i) {
+    participant_threads_.emplace_back([this] { participant_.run(); });
+  }
   return util::Status::ok();
 }
 
 void Site::stop() {
-  if (!running_.exchange(false)) return;
-  mailbox_.interrupt();
-  coord_cv_.notify_all();
-  part_cv_.notify_all();
-  resp_cv_.notify_all();
-  ack_cv_.notify_all();
+  if (!ctx_.running.exchange(false)) return;
+  ctx_.mailbox.interrupt();
+  ctx_.coord_cv.notify_all();
+  ctx_.part_cv.notify_all();
+  ctx_.resp_cv.notify_all();
+  ctx_.ack_cv.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
-  if (coordinator_.joinable()) coordinator_.join();
-  if (participant_.joinable()) participant_.join();
+  for (std::thread& worker : coordinator_threads_) {
+    if (worker.joinable()) worker.join();
+  }
+  coordinator_threads_.clear();
+  for (std::thread& worker : participant_threads_) {
+    if (worker.joinable()) worker.join();
+  }
+  participant_threads_.clear();
   // Unblock any clients still waiting on unfinished transactions.
-  std::lock_guard<std::mutex> lock(coord_mutex_);
-  for (auto& [id, txn] : transactions_) {
+  std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+  for (auto& [id, txn] : ctx_.transactions) {
     if (!txn->completed()) {
       txn::TxnResult result;
       result.id = id;
@@ -70,40 +71,30 @@ void Site::stop() {
 }
 
 TxnId Site::next_txn_id() {
-  std::uint64_t begin = now_micros();
-  if (begin <= last_begin_micros_) begin = last_begin_micros_ + 1;
-  last_begin_micros_ = begin;
-  return txn::make_txn_id(begin, options_.id);
+  std::uint64_t begin = steady_now_micros();
+  if (begin <= ctx_.last_begin_micros) begin = ctx_.last_begin_micros + 1;
+  ctx_.last_begin_micros = begin;
+  return txn::make_txn_id(begin, ctx_.options.id);
 }
 
 std::shared_ptr<Transaction> Site::submit(std::vector<txn::Operation> ops) {
   std::shared_ptr<Transaction> txn;
   {
-    std::lock_guard<std::mutex> lock(coord_mutex_);
+    std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
     txn = std::make_shared<Transaction>(next_txn_id(), std::move(ops));
-    transactions_[txn->id()] = txn;
-    ready_.push_back(txn);
+    ctx_.transactions[txn->id()] = txn;
+    ctx_.ready.push_back(txn);
   }
-  coord_cv_.notify_all();
+  ctx_.coord_cv.notify_all();
   return txn;
 }
 
 SiteStats Site::stats() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  SiteStats out = stats_;
-  out.lock_manager = locks_.stats();
-  out.distributed_cycles_found = detector_.cycles_found();
+  std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+  SiteStats out = ctx_.stats;
+  out.lock_manager = ctx_.locks.stats();
+  out.distributed_cycles_found = ctx_.detector.cycles_found();
   return out;
-}
-
-void Site::send(SiteId to, Payload payload) {
-  network_.send(Message{options_.id, to, std::move(payload)});
-}
-
-void Site::send_wakes(const std::vector<WakeNotice>& wakes) {
-  for (const WakeNotice& wake : wakes) {
-    send(wake.coordinator, net::WakeTxn{wake.waiter});
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -111,8 +102,9 @@ void Site::send_wakes(const std::vector<WakeNotice>& wakes) {
 // ---------------------------------------------------------------------------
 
 void Site::dispatcher_loop() {
-  while (running_.load()) {
-    std::optional<Message> message = mailbox_.pop(options_.poll_interval);
+  while (ctx_.running.load()) {
+    std::optional<Message> message =
+        ctx_.mailbox.pop(ctx_.options.poll_interval);
     const auto now = Clock::now();
     if (message.has_value()) {
       Message& m = *message;
@@ -125,60 +117,61 @@ void Site::dispatcher_loop() {
                           std::is_same_v<T, net::AbortRequest> ||
                           std::is_same_v<T, net::FailNotice>) {
               {
-                std::lock_guard<std::mutex> lock(part_mutex_);
-                participant_queue_.push_back(std::move(m));
+                std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+                ctx_.participant_queue.push_back(std::move(m));
               }
-              part_cv_.notify_all();
+              ctx_.part_cv.notify_all();
             } else if constexpr (std::is_same_v<T, net::OperationResult>) {
               {
-                std::lock_guard<std::mutex> lock(resp_mutex_);
+                std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
                 const auto it =
-                    responses_.find({payload.txn, payload.op_index});
-                if (it != responses_.end() &&
+                    ctx_.responses.find({payload.txn, payload.op_index});
+                if (it != ctx_.responses.end() &&
                     it->second.attempt == payload.attempt) {
                   it->second.replies[m.from] = std::move(payload);
                 }
               }
-              resp_cv_.notify_all();
+              ctx_.resp_cv.notify_all();
             } else if constexpr (std::is_same_v<T, net::CommitAck> ||
                                  std::is_same_v<T, net::AbortAck>) {
               {
-                std::lock_guard<std::mutex> lock(ack_mutex_);
-                const auto it = acks_.find(payload.txn);
-                if (it != acks_.end()) {
+                std::lock_guard<std::mutex> lock(ctx_.ack_mutex);
+                const auto it = ctx_.acks.find(payload.txn);
+                if (it != ctx_.acks.end()) {
                   it->second.acks[m.from] = payload.ok;
                 }
               }
-              ack_cv_.notify_all();
+              ctx_.ack_cv.notify_all();
             } else if constexpr (std::is_same_v<T, net::WfgRequest>) {
-              send(payload.requester,
-                   net::WfgReply{payload.probe, locks_.wfg_edges()});
+              ctx_.send(payload.requester,
+                        net::WfgReply{payload.probe, ctx_.locks.wfg_edges()});
             } else if constexpr (std::is_same_v<T, net::WfgReply>) {
-              const auto victim =
-                  detector_.add_reply(payload.probe, m.from, payload.edges);
+              const auto victim = ctx_.detector.add_reply(payload.probe,
+                                                          m.from,
+                                                          payload.edges);
               if (victim.has_value() && *victim != 0) act_on_victim(*victim);
             } else if constexpr (std::is_same_v<T, net::VictimAbort>) {
               {
-                std::lock_guard<std::mutex> lock(coord_mutex_);
-                victim_aborts_.push_back(payload.txn);
+                std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+                ctx_.victim_aborts.push_back(payload.txn);
               }
-              coord_cv_.notify_all();
+              ctx_.coord_cv.notify_all();
             } else if constexpr (std::is_same_v<T, net::WakeTxn>) {
               {
-                std::lock_guard<std::mutex> lock(coord_mutex_);
-                const auto it = transactions_.find(payload.txn);
-                if (it != transactions_.end() &&
-                    waiting_.count(payload.txn) != 0) {
-                  waiting_.erase(payload.txn);
+                std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+                const auto it = ctx_.transactions.find(payload.txn);
+                if (it != ctx_.transactions.end() &&
+                    ctx_.waiting.count(payload.txn) != 0) {
+                  ctx_.waiting.erase(payload.txn);
                   it->second->set_state(TxnState::kActive);
-                  ready_.push_back(it->second);
+                  ctx_.ready.push_back(it->second);
                 } else {
                   // Wake raced the conflict reply: remember it so the
                   // transaction re-queues instead of parking.
-                  pending_wakes_.insert(payload.txn);
+                  ctx_.pending_wakes.insert(payload.txn);
                 }
               }
-              coord_cv_.notify_all();
+              ctx_.coord_cv.notify_all();
             }
           },
           m.payload);
@@ -188,25 +181,25 @@ void Site::dispatcher_loop() {
 }
 
 void Site::run_deadlock_detection(Clock::time_point now) {
-  if (const auto victim = detector_.resolve_if_expired(now);
+  if (const auto victim = ctx_.detector.resolve_if_expired(now);
       victim.has_value() && *victim != 0) {
     act_on_victim(*victim);
   }
-  if (!detector_.should_start(now)) return;
+  if (!ctx_.detector.should_start(now)) return;
   std::vector<SiteId> others;
-  for (SiteId site : network_.sites()) {
-    if (site != options_.id) others.push_back(site);
+  for (SiteId site : ctx_.network.sites()) {
+    if (site != ctx_.options.id) others.push_back(site);
   }
   const std::uint64_t probe =
-      detector_.begin_probe(locks_.wfg_edges(), others, now);
+      ctx_.detector.begin_probe(ctx_.locks.wfg_edges(), others, now);
   if (others.empty()) {
     // Single-site system: the probe resolves on the local graph alone.
-    const auto victim = detector_.add_reply(probe, options_.id, {});
+    const auto victim = ctx_.detector.add_reply(probe, ctx_.options.id, {});
     if (victim.has_value() && *victim != 0) act_on_victim(*victim);
     return;
   }
   for (SiteId site : others) {
-    send(site, net::WfgRequest{probe, options_.id});
+    ctx_.send(site, net::WfgRequest{probe, ctx_.options.id});
   }
 }
 
@@ -214,492 +207,15 @@ void Site::act_on_victim(TxnId victim) {
   // Alg. 4 l. 7-8: the newest transaction on the cycle is rolled back by
   // its coordinator.
   const SiteId coordinator = txn::txn_coordinator(victim);
-  if (coordinator == options_.id) {
+  if (coordinator == ctx_.options.id) {
     {
-      std::lock_guard<std::mutex> lock(coord_mutex_);
-      victim_aborts_.push_back(victim);
+      std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+      ctx_.victim_aborts.push_back(victim);
     }
-    coord_cv_.notify_all();
+    ctx_.coord_cv.notify_all();
   } else {
-    send(coordinator, net::VictimAbort{victim});
+    ctx_.send(coordinator, net::VictimAbort{victim});
   }
-}
-
-// ---------------------------------------------------------------------------
-// Coordinator: Algorithm 1.
-// ---------------------------------------------------------------------------
-
-void Site::coordinator_loop() {
-  while (running_.load()) {
-    std::shared_ptr<Transaction> next;
-    {
-      std::unique_lock<std::mutex> lock(coord_mutex_);
-      coord_cv_.wait_for(lock, options_.poll_interval, [&] {
-        return !running_.load() || !ready_.empty() || !victim_aborts_.empty();
-      });
-      if (!running_.load()) return;
-
-      // Victim aborts first (Alg. 4 hands them to the scheduler).
-      while (!victim_aborts_.empty()) {
-        const TxnId victim = victim_aborts_.front();
-        victim_aborts_.pop_front();
-        const auto it = transactions_.find(victim);
-        if (it == transactions_.end() || it->second->completed()) continue;
-        std::shared_ptr<Transaction> txn = it->second;
-        waiting_.erase(victim);
-        ready_.erase(std::remove(ready_.begin(), ready_.end(), txn),
-                     ready_.end());
-        lock.unlock();
-        abort_transaction(txn, /*deadlock_victim=*/true);
-        lock.lock();
-      }
-
-      // Lost-wakeup backstop: retry waiting transactions periodically.
-      const auto now = Clock::now();
-      for (auto it = waiting_.begin(); it != waiting_.end();) {
-        const auto txn_it = transactions_.find(it->first);
-        if (txn_it == transactions_.end()) {
-          it = waiting_.erase(it);
-          continue;
-        }
-        if (now - it->second >= options_.retry_interval) {
-          txn_it->second->set_state(TxnState::kActive);
-          ready_.push_back(txn_it->second);
-          it = waiting_.erase(it);
-        } else {
-          ++it;
-        }
-      }
-
-      if (ready_.empty()) continue;
-      next = ready_.front();
-      ready_.pop_front();
-    }
-    if (next->completed() || next->state() != TxnState::kActive) continue;
-    execute_one_operation(next);
-  }
-}
-
-void Site::execute_one_operation(const std::shared_ptr<Transaction>& txn) {
-  const std::size_t op_index = txn->next_operation();
-  if (op_index == txn->op_count()) {
-    // Alg. 1 l. 24-26: no operation left -> commit.
-    commit_transaction(txn);
-    return;
-  }
-  const txn::Operation& op = txn->ops()[op_index];
-  const std::vector<SiteId> sites = catalog_.sites_of(op.doc);
-  if (sites.empty()) {
-    txn->state_of(op_index).failed = true;
-    txn->state_of(op_index).error =
-        "document '" + op.doc + "' is not in the catalog";
-    abort_transaction(txn, false);
-    return;
-  }
-  if (sites.size() == 1 && sites.front() == options_.id) {
-    execute_local(txn, op_index);
-  } else {
-    execute_remote(txn, op_index, sites);
-  }
-}
-
-void Site::execute_local(const std::shared_ptr<Transaction>& txn,
-                         std::size_t op_index) {
-  // Alg. 1 l. 6-10.
-  const txn::Operation& op = txn->ops()[op_index];
-  txn::OperationState& state = txn->state_of(op_index);
-  ++state.attempts;
-  state.reset_attempt();
-  OpOutcome outcome = locks_.process_operation(
-      txn->id(), static_cast<std::uint32_t>(op_index), op, options_.id);
-  switch (outcome.kind) {
-    case OpOutcome::Kind::kExecuted:
-      state.executed = true;
-      state.rows = std::move(outcome.rows);
-      txn->add_sites({options_.id});
-      requeue(txn);
-      return;
-    case OpOutcome::Kind::kConflict:
-      enter_wait(txn);
-      return;
-    case OpOutcome::Kind::kDeadlock:
-      state.deadlock = true;
-      abort_transaction(txn, /*deadlock_victim=*/true);
-      return;
-    case OpOutcome::Kind::kFailed:
-      state.failed = true;
-      state.error = std::move(outcome.error);
-      abort_transaction(txn, false);
-      return;
-  }
-}
-
-void Site::execute_remote(const std::shared_ptr<Transaction>& txn,
-                          std::size_t op_index,
-                          const std::vector<SiteId>& sites) {
-  // Alg. 1 l. 12-22.
-  const txn::Operation& op = txn->ops()[op_index];
-  txn::OperationState& state = txn->state_of(op_index);
-  ++state.attempts;
-  state.reset_attempt();
-  const auto attempt = state.attempts;
-
-  const std::set<SiteId> expected(sites.begin(), sites.end());
-  {
-    std::lock_guard<std::mutex> lock(resp_mutex_);
-    ResponseSlot& slot =
-        responses_[{txn->id(), static_cast<std::uint32_t>(op_index)}];
-    slot.attempt = attempt;
-    slot.replies.clear();
-  }
-  for (SiteId site : sites) {
-    send(site, net::ExecuteOperation{
-                   txn->id(), static_cast<std::uint32_t>(op_index), attempt,
-                   options_.id, op.doc, op.to_string()});
-  }
-  const std::map<SiteId, net::OperationResult> replies = await_responses(
-      txn->id(), static_cast<std::uint32_t>(op_index), attempt, expected);
-  {
-    std::lock_guard<std::mutex> lock(resp_mutex_);
-    responses_.erase({txn->id(), static_cast<std::uint32_t>(op_index)});
-  }
-  if (!running_.load()) return;
-
-  bool any_conflict = false;
-  bool any_failed = replies.size() != expected.size();  // timeout == failure
-  bool any_deadlock = false;
-  std::vector<SiteId> executed_at;
-  for (const auto& [site, reply] : replies) {
-    if (reply.executed) executed_at.push_back(site);
-    any_conflict |= reply.lock_conflict;
-    any_failed |= reply.failed;
-    any_deadlock |= reply.deadlock;
-  }
-
-  if (any_failed || any_deadlock) {
-    // Alg. 1 l. 19-21. Sites that executed the operation are cleaned up by
-    // the abort broadcast (it reaches every site of the transaction).
-    txn->add_sites(executed_at);
-    state.failed = any_failed;
-    state.deadlock = any_deadlock;
-    if (replies.size() != expected.size()) {
-      state.error = "participant response timeout";
-    } else if (any_failed) {
-      state.error = "operation failed at a participant site";
-    }
-    abort_transaction(txn, any_deadlock);
-    return;
-  }
-  if (any_conflict) {
-    // Alg. 1 l. 15-17: undo the operation wherever it executed; wait.
-    for (SiteId site : executed_at) {
-      send(site, net::UndoOperation{txn->id(),
-                                    static_cast<std::uint32_t>(op_index)});
-    }
-    enter_wait(txn);
-    return;
-  }
-
-  // Executed everywhere: adopt the rows of the lowest-id replica.
-  state.executed = true;
-  txn->add_sites(std::vector<SiteId>(expected.begin(), expected.end()));
-  for (const auto& [site, reply] : replies) {
-    if (reply.executed) {
-      state.rows = reply.rows;
-      break;  // map iteration is ordered by site id
-    }
-  }
-  requeue(txn);
-}
-
-void Site::enter_wait(const std::shared_ptr<Transaction>& txn) {
-  txn->note_wait_episode();
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.wait_episodes;
-  }
-  std::lock_guard<std::mutex> lock(coord_mutex_);
-  if (pending_wakes_.erase(txn->id()) != 0) {
-    // A wake overtook us; retry immediately.
-    txn->set_state(TxnState::kActive);
-    ready_.push_back(txn);
-    coord_cv_.notify_all();
-    return;
-  }
-  txn->set_state(TxnState::kWaiting);
-  waiting_[txn->id()] = Clock::now();
-}
-
-void Site::requeue(const std::shared_ptr<Transaction>& txn) {
-  {
-    std::lock_guard<std::mutex> lock(coord_mutex_);
-    ready_.push_back(txn);
-  }
-  coord_cv_.notify_all();
-}
-
-std::map<SiteId, net::OperationResult> Site::await_responses(
-    TxnId txn, std::uint32_t op_index, std::uint32_t attempt,
-    const std::set<SiteId>& expected) {
-  const auto deadline = Clock::now() + options_.response_timeout;
-  std::unique_lock<std::mutex> lock(resp_mutex_);
-  const auto key = std::make_pair(txn, op_index);
-  for (;;) {
-    const auto it = responses_.find(key);
-    if (it == responses_.end() || it->second.attempt != attempt) return {};
-    if (it->second.replies.size() >= expected.size()) {
-      return it->second.replies;
-    }
-    if (!running_.load() || Clock::now() >= deadline) {
-      return it->second.replies;  // partial (timeout / shutdown)
-    }
-    resp_cv_.wait_until(lock, deadline);
-  }
-}
-
-std::map<SiteId, bool> Site::await_acks(TxnId txn,
-                                        const std::set<SiteId>& expected,
-                                        bool commit) {
-  (void)commit;
-  const auto deadline = Clock::now() + options_.response_timeout;
-  std::unique_lock<std::mutex> lock(ack_mutex_);
-  for (;;) {
-    const auto it = acks_.find(txn);
-    if (it == acks_.end()) return {};
-    if (it->second.acks.size() >= expected.size()) return it->second.acks;
-    if (!running_.load() || Clock::now() >= deadline) return it->second.acks;
-    ack_cv_.wait_until(lock, deadline);
-  }
-}
-
-void Site::commit_transaction(const std::shared_ptr<Transaction>& txn) {
-  // Algorithm 5.
-  std::set<SiteId> remote = txn->sites();
-  remote.erase(options_.id);
-  if (!remote.empty()) {
-    {
-      std::lock_guard<std::mutex> lock(ack_mutex_);
-      AckSlot& slot = acks_[txn->id()];
-      slot.commit = true;
-      slot.acks.clear();
-    }
-    for (SiteId site : remote) {
-      send(site, net::CommitRequest{txn->id()});
-    }
-    const std::map<SiteId, bool> acks =
-        await_acks(txn->id(), remote, /*commit=*/true);
-    {
-      std::lock_guard<std::mutex> lock(ack_mutex_);
-      acks_.erase(txn->id());
-    }
-    bool all_ok = acks.size() == remote.size();
-    for (const auto& [site, ok] : acks) all_ok &= ok;
-    if (!all_ok) {
-      // Alg. 5 l. 5-7: a site did not serve the commit -> abort.
-      abort_transaction(txn, false);
-      return;
-    }
-  }
-  // Alg. 5 l. 10-11: persist and release locally.
-  std::vector<WakeNotice> wakes;
-  util::Status status = locks_.commit(txn->id(), wakes);
-  send_wakes(wakes);
-  if (!status) {
-    abort_transaction(txn, false);
-    return;
-  }
-  finish_transaction(txn, TxnState::kCommitted);
-}
-
-void Site::abort_transaction(const std::shared_ptr<Transaction>& txn,
-                             bool deadlock_victim) {
-  // Algorithm 6.
-  if (deadlock_victim) txn->mark_deadlock_victim();
-  std::set<SiteId> remote = txn->sites();
-  remote.erase(options_.id);
-  if (!remote.empty()) {
-    {
-      std::lock_guard<std::mutex> lock(ack_mutex_);
-      AckSlot& slot = acks_[txn->id()];
-      slot.commit = false;
-      slot.acks.clear();
-    }
-    for (SiteId site : remote) {
-      send(site, net::AbortRequest{txn->id()});
-    }
-    const std::map<SiteId, bool> acks =
-        await_acks(txn->id(), remote, /*commit=*/false);
-    {
-      std::lock_guard<std::mutex> lock(ack_mutex_);
-      acks_.erase(txn->id());
-    }
-    bool all_ok = acks.size() == remote.size();
-    for (const auto& [site, ok] : acks) all_ok &= ok;
-    if (!all_ok && running_.load()) {
-      // Alg. 6 l. 5-10: the cancellation itself failed somewhere -> the
-      // transaction *fails*; every site is told so.
-      for (SiteId site : remote) {
-        send(site, net::FailNotice{txn->id()});
-      }
-      fail_transaction(txn);
-      return;
-    }
-  }
-  // Alg. 6 l. 13-14: undo and release locally.
-  std::vector<WakeNotice> wakes;
-  locks_.abort(txn->id(), wakes);
-  send_wakes(wakes);
-  finish_transaction(txn, TxnState::kAborted);
-}
-
-void Site::fail_transaction(const std::shared_ptr<Transaction>& txn) {
-  // Local best-effort cleanup so this site's locks do not leak, then report
-  // failure to the application (paper §2.2: "In case of failure, DTX alerts
-  // the application stating that the transaction has failed").
-  std::vector<WakeNotice> wakes;
-  locks_.abort(txn->id(), wakes);
-  send_wakes(wakes);
-  finish_transaction(txn, TxnState::kFailed);
-}
-
-void Site::finish_transaction(const std::shared_ptr<Transaction>& txn,
-                              TxnState state) {
-  txn->set_state(state);
-  {
-    std::lock_guard<std::mutex> lock(coord_mutex_);
-    waiting_.erase(txn->id());
-    pending_wakes_.erase(txn->id());
-    ready_.erase(std::remove(ready_.begin(), ready_.end(), txn),
-                 ready_.end());
-    transactions_.erase(txn->id());
-  }
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    switch (state) {
-      case TxnState::kCommitted: ++stats_.committed; break;
-      case TxnState::kAborted: ++stats_.aborted; break;
-      case TxnState::kFailed: ++stats_.failed; break;
-      default: break;
-    }
-    if (txn->deadlock_victim()) ++stats_.deadlock_aborts;
-  }
-
-  txn::TxnResult result;
-  result.id = txn->id();
-  result.state = state;
-  result.deadlock_victim = txn->deadlock_victim();
-  result.wait_episodes = txn->wait_episodes();
-  result.response_ms =
-      static_cast<double>(now_micros() - txn::txn_begin_micros(txn->id())) /
-      1000.0;
-  result.rows.reserve(txn->op_count());
-  for (std::size_t i = 0; i < txn->op_count(); ++i) {
-    result.rows.push_back(txn->state_of(i).rows);
-    if (result.error.empty() && !txn->state_of(i).error.empty()) {
-      result.error = "operation " + std::to_string(i) + ": " +
-                     txn->state_of(i).error;
-    }
-  }
-  if (result.error.empty() && txn->deadlock_victim()) {
-    result.error = "aborted as deadlock victim";
-  }
-  txn->complete(std::move(result));
-}
-
-// ---------------------------------------------------------------------------
-// Participant: Algorithm 2.
-// ---------------------------------------------------------------------------
-
-void Site::participant_loop() {
-  while (running_.load()) {
-    Message message;
-    {
-      std::unique_lock<std::mutex> lock(part_mutex_);
-      part_cv_.wait_for(lock, options_.poll_interval, [&] {
-        return !running_.load() || !participant_queue_.empty();
-      });
-      if (!running_.load()) return;
-      if (participant_queue_.empty()) continue;
-      message = std::move(participant_queue_.front());
-      participant_queue_.pop_front();
-    }
-    std::visit(
-        [&](auto&& payload) {
-          using T = std::decay_t<decltype(payload)>;
-          if constexpr (std::is_same_v<T, net::ExecuteOperation>) {
-            handle_execute(payload);
-          } else if constexpr (std::is_same_v<T, net::UndoOperation>) {
-            handle_undo(payload);
-          } else if constexpr (std::is_same_v<T, net::CommitRequest>) {
-            handle_commit(payload, message.from);
-          } else if constexpr (std::is_same_v<T, net::AbortRequest>) {
-            handle_abort(payload, message.from);
-          } else if constexpr (std::is_same_v<T, net::FailNotice>) {
-            handle_fail(payload);
-          }
-        },
-        message.payload);
-  }
-}
-
-void Site::handle_execute(const net::ExecuteOperation& request) {
-  // Alg. 2 l. 4-13.
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.remote_ops_processed;
-  }
-  net::OperationResult reply;
-  reply.txn = request.txn;
-  reply.op_index = request.op_index;
-  reply.attempt = request.attempt;
-
-  auto op = txn::parse_operation(request.op_text);
-  if (!op) {
-    reply.failed = true;
-  } else {
-    OpOutcome outcome = locks_.process_operation(
-        request.txn, request.op_index, op.value(), request.coordinator);
-    switch (outcome.kind) {
-      case OpOutcome::Kind::kExecuted:
-        reply.executed = true;
-        reply.rows = std::move(outcome.rows);
-        break;
-      case OpOutcome::Kind::kConflict:
-        reply.lock_conflict = true;
-        break;
-      case OpOutcome::Kind::kDeadlock:
-        reply.deadlock = true;
-        break;
-      case OpOutcome::Kind::kFailed:
-        reply.failed = true;
-        break;
-    }
-  }
-  send(request.coordinator, std::move(reply));
-}
-
-void Site::handle_undo(const net::UndoOperation& request) {
-  locks_.undo_operation(request.txn, request.op_index);
-}
-
-void Site::handle_commit(const net::CommitRequest& request, SiteId from) {
-  std::vector<WakeNotice> wakes;
-  const util::Status status = locks_.commit(request.txn, wakes);
-  send(from, net::CommitAck{request.txn, status.is_ok()});
-  send_wakes(wakes);
-}
-
-void Site::handle_abort(const net::AbortRequest& request, SiteId from) {
-  std::vector<WakeNotice> wakes;
-  locks_.abort(request.txn, wakes);
-  send(from, net::AbortAck{request.txn, true});
-  send_wakes(wakes);
-}
-
-void Site::handle_fail(const net::FailNotice& request) {
-  std::vector<WakeNotice> wakes;
-  locks_.abort(request.txn, wakes);
-  send_wakes(wakes);
 }
 
 }  // namespace dtx::core

@@ -1,70 +1,32 @@
 // One DTX instance (paper Fig. 1): Listener + TransactionManager (Scheduler
 // + LockManager) + DataManager, attached to a storage backend and the
-// network.
+// network. The engine is staged across three units sharing one SiteContext:
 //
-// Threads per site:
-//  * dispatcher  — drains the mailbox and routes messages; also fires the
-//                  periodic distributed deadlock detector (Alg. 4);
-//  * coordinator — the scheduler loop of Alg. 1: one operation of one
-//                  available transaction at a time, round-robin, with remote
-//                  fan-out and wait handling;
-//  * participant — the loop of Alg. 2: executes remote operations and the
-//                  commit / abort / fail messages of distributed
-//                  transactions ("this procedure is also common to the
-//                  coordinator" — every site runs both roles).
+//  * dispatcher (this file)      — drains the mailbox and routes messages;
+//                                  also fires the periodic distributed
+//                                  deadlock detector (Alg. 4);
+//  * Coordinator (coordinator.*) — the scheduler of Alg. 1, run by a pool of
+//                                  `coordinator_workers` threads pulling
+//                                  ready transactions from a shared queue;
+//  * Participant (participant.*) — the loop of Alg. 2, run by
+//                                  `participant_workers` threads ("this
+//                                  procedure is also common to the
+//                                  coordinator" — every site runs both
+//                                  roles).
 //
 // The client-facing submit() is the Listener: it accepts a transaction and
 // hands back a handle whose await() blocks until commit / abort / fail.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
-#include <deque>
-#include <map>
 #include <memory>
-#include <mutex>
-#include <set>
 #include <thread>
+#include <vector>
 
-#include "dtx/catalog.hpp"
-#include "dtx/data_manager.hpp"
-#include "dtx/deadlock_detector.hpp"
-#include "dtx/lock_manager.hpp"
-#include "net/sim_network.hpp"
-#include "storage/storage.hpp"
-#include "txn/transaction.hpp"
+#include "dtx/coordinator.hpp"
+#include "dtx/participant.hpp"
+#include "dtx/site_context.hpp"
 
 namespace dtx::core {
-
-struct SiteOptions {
-  SiteId id = 0;
-  lock::ProtocolKind protocol = lock::ProtocolKind::kXdgl;
-  /// Distributed deadlock detection period (Alg. 4 cadence).
-  std::chrono::microseconds detect_period{20'000};
-  /// Probe reply collection timeout.
-  std::chrono::microseconds detect_reply_timeout{200'000};
-  /// Fallback retry interval for waiting transactions (wake messages are
-  /// the fast path; this is the lost-wakeup backstop).
-  std::chrono::microseconds retry_interval{50'000};
-  /// How long the coordinator waits for participant replies / acks before
-  /// treating the operation as failed.
-  std::chrono::microseconds response_timeout{10'000'000};
-  /// Mailbox / queue poll granularity.
-  std::chrono::microseconds poll_interval{2'000};
-};
-
-struct SiteStats {
-  std::uint64_t committed = 0;
-  std::uint64_t aborted = 0;
-  std::uint64_t failed = 0;
-  /// Deadlocks this site resolved: victim aborts executed by this
-  /// coordinator (distributed cycles) + local-cycle aborts.
-  std::uint64_t deadlock_aborts = 0;
-  std::uint64_t distributed_cycles_found = 0;
-  std::uint64_t wait_episodes = 0;
-  std::uint64_t remote_ops_processed = 0;
-  LockManagerStats lock_manager;
-};
 
 class Site {
  public:
@@ -75,123 +37,53 @@ class Site {
   Site(const Site&) = delete;
   Site& operator=(const Site&) = delete;
 
-  /// Loads documents from storage and spawns the three threads.
+  /// Loads documents from storage and spawns the dispatcher plus the
+  /// coordinator / participant worker pools.
   util::Status start();
 
   /// Stops and joins the threads. Unfinished transactions abort.
   void stop();
 
-  [[nodiscard]] SiteId id() const noexcept { return options_.id; }
+  [[nodiscard]] SiteId id() const noexcept { return ctx_.options.id; }
 
   /// The Listener: accepts a client transaction for coordination at this
   /// site. Returns the handle; await() blocks until termination.
   std::shared_ptr<txn::Transaction> submit(std::vector<txn::Operation> ops);
 
+  /// Aggregated counters. Safe to call from any thread at any time — this
+  /// is the sanctioned way to observe a running site (the lock-table
+  /// counters are per-shard and aggregated here on read).
   [[nodiscard]] SiteStats stats();
 
-  /// Direct component access for tests / benches (use only when quiescent).
-  DataManager& data_manager() noexcept { return data_; }
-  LockManager& lock_manager() noexcept { return locks_; }
+  /// Direct component access for tests / benches / the inspector.
+  ///
+  /// QUIESCENCE CONTRACT: the DataManager is only internally consistent
+  /// between operations; reading it while coordinator or participant
+  /// workers are executing races with document mutation. Call these only
+  /// when the site is quiescent — before start(), after stop(), or when
+  /// every submitted transaction has completed and no remote traffic is in
+  /// flight. For live monitoring use stats() instead. The LockManager's
+  /// own entry points (stats, wfg_edges, lock_entries) are internally
+  /// synchronized and safe at any time.
+  DataManager& data_manager() noexcept { return ctx_.data; }
+  LockManager& lock_manager() noexcept { return ctx_.locks; }
 
  private:
-  using Clock = std::chrono::steady_clock;
+  using Clock = SiteContext::Clock;
 
-  // --- thread bodies ---------------------------------------------------------
   void dispatcher_loop();
-  void coordinator_loop();
-  void participant_loop();
-
-  // --- coordinator (Alg. 1) ----------------------------------------------------
-  void execute_one_operation(const std::shared_ptr<txn::Transaction>& txn);
-  void execute_local(const std::shared_ptr<txn::Transaction>& txn,
-                     std::size_t op_index);
-  void execute_remote(const std::shared_ptr<txn::Transaction>& txn,
-                      std::size_t op_index, const std::vector<SiteId>& sites);
-  void commit_transaction(const std::shared_ptr<txn::Transaction>& txn);
-  void abort_transaction(const std::shared_ptr<txn::Transaction>& txn,
-                         bool deadlock_victim);
-  void fail_transaction(const std::shared_ptr<txn::Transaction>& txn);
-  void finish_transaction(const std::shared_ptr<txn::Transaction>& txn,
-                          txn::TxnState state);
-  void enter_wait(const std::shared_ptr<txn::Transaction>& txn);
-  void requeue(const std::shared_ptr<txn::Transaction>& txn);
-
-  // --- participant (Alg. 2) -----------------------------------------------------
-  void handle_execute(const net::ExecuteOperation& request);
-  void handle_undo(const net::UndoOperation& request);
-  void handle_commit(const net::CommitRequest& request, SiteId from);
-  void handle_abort(const net::AbortRequest& request, SiteId from);
-  void handle_fail(const net::FailNotice& request);
-
-  // --- messaging helpers ----------------------------------------------------------
-  void send(SiteId to, net::Payload payload);
-  void send_wakes(const std::vector<WakeNotice>& wakes);
-
-  /// Blocks until every site in `expected` answered (txn, op, attempt) or
-  /// the response timeout elapsed. Returns the replies collected.
-  std::map<SiteId, net::OperationResult> await_responses(
-      lock::TxnId txn, std::uint32_t op_index, std::uint32_t attempt,
-      const std::set<SiteId>& expected);
-
-  /// Blocks for commit/abort acks from `expected`. Returns site -> ok.
-  std::map<SiteId, bool> await_acks(lock::TxnId txn,
-                                    const std::set<SiteId>& expected,
-                                    bool commit);
-
   void run_deadlock_detection(Clock::time_point now);
   void act_on_victim(lock::TxnId victim);
 
-  lock::TxnId next_txn_id();
+  lock::TxnId next_txn_id();  // expects coord_mutex held
 
-  SiteOptions options_;
-  net::SimNetwork& network_;
-  net::Mailbox& mailbox_;
-  const Catalog& catalog_;
-  DataManager data_;
-  LockManager locks_;
-  DeadlockDetector detector_;
+  SiteContext ctx_;
+  Coordinator coordinator_;
+  Participant participant_;
 
-  std::atomic<bool> running_{false};
   std::thread dispatcher_;
-  std::thread coordinator_;
-  std::thread participant_;
-
-  // Coordinator state.
-  mutable std::mutex coord_mutex_;
-  std::condition_variable coord_cv_;
-  std::deque<std::shared_ptr<txn::Transaction>> ready_;
-  std::map<lock::TxnId, std::shared_ptr<txn::Transaction>> transactions_;
-  std::map<lock::TxnId, Clock::time_point> waiting_;
-  std::set<lock::TxnId> pending_wakes_;
-  std::deque<lock::TxnId> victim_aborts_;
-  std::uint64_t last_begin_micros_ = 0;
-
-  // Participant work queue.
-  std::mutex part_mutex_;
-  std::condition_variable part_cv_;
-  std::deque<net::Message> participant_queue_;
-
-  // Remote-operation response collection.
-  struct ResponseSlot {
-    std::uint32_t attempt = 0;
-    std::map<SiteId, net::OperationResult> replies;
-  };
-  std::mutex resp_mutex_;
-  std::condition_variable resp_cv_;
-  std::map<std::pair<lock::TxnId, std::uint32_t>, ResponseSlot> responses_;
-
-  // Commit / abort ack collection.
-  struct AckSlot {
-    bool commit = false;
-    std::map<SiteId, bool> acks;
-  };
-  std::mutex ack_mutex_;
-  std::condition_variable ack_cv_;
-  std::map<lock::TxnId, AckSlot> acks_;
-
-  // Stats.
-  mutable std::mutex stats_mutex_;
-  SiteStats stats_;
+  std::vector<std::thread> coordinator_threads_;
+  std::vector<std::thread> participant_threads_;
 };
 
 }  // namespace dtx::core

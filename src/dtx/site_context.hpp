@@ -1,0 +1,170 @@
+// Shared state of one DTX site engine. The Site facade owns exactly one
+// SiteContext; the Coordinator worker pool (Alg. 1), the Participant
+// executors (Alg. 2) and the dispatcher all operate on it.
+//
+// Scheduler-state invariant: an uncompleted transaction coordinated here is
+// in exactly one of
+//   ready      — queued for a coordinator worker,
+//   waiting    — parked on a lock conflict (woken by WakeTxn / the retry
+//                backstop),
+//   executing  — claimed by one coordinator worker for one operation.
+// Transitions happen under coord_mutex, which is what makes a *pool* of
+// coordinator workers safe: no two workers can claim the same transaction,
+// and victim aborts for an executing transaction are parked in
+// deferred_victims until its worker hands the claim back.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "dtx/catalog.hpp"
+#include "dtx/data_manager.hpp"
+#include "dtx/deadlock_detector.hpp"
+#include "dtx/lock_manager.hpp"
+#include "net/sim_network.hpp"
+#include "storage/storage.hpp"
+#include "txn/transaction.hpp"
+
+namespace dtx::core {
+
+/// Microseconds since the steady-clock epoch — the shared timebase of
+/// transaction ids (Site::next_txn_id) and response-time accounting
+/// (Coordinator::finish_transaction). One helper so the two can't drift.
+inline std::uint64_t steady_now_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct SiteOptions {
+  SiteId id = 0;
+  lock::ProtocolKind protocol = lock::ProtocolKind::kXdgl;
+  /// Coordinator (Alg. 1) worker threads pulling ready transactions from the
+  /// shared queue. 1 = the paper's single scheduler loop, preserved
+  /// bit-for-bit; >1 keeps several local transactions in flight at once.
+  std::size_t coordinator_workers = 1;
+  /// Participant (Alg. 2) executor threads. Safe at any count: the
+  /// coordinator's await barriers order every per-transaction message pair.
+  std::size_t participant_workers = 1;
+  /// Shards of the site lock table (1 = single-monitor behavior).
+  std::size_t lock_shards = 1;
+  /// Distributed deadlock detection period (Alg. 4 cadence).
+  std::chrono::microseconds detect_period{20'000};
+  /// Probe reply collection timeout.
+  std::chrono::microseconds detect_reply_timeout{200'000};
+  /// Fallback retry interval for waiting transactions (wake messages are
+  /// the fast path; this is the lost-wakeup backstop).
+  std::chrono::microseconds retry_interval{50'000};
+  /// How long the coordinator waits for participant replies / acks before
+  /// treating the operation as failed.
+  std::chrono::microseconds response_timeout{10'000'000};
+  /// Mailbox / queue poll granularity.
+  std::chrono::microseconds poll_interval{2'000};
+};
+
+struct SiteStats {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t failed = 0;
+  /// Deadlocks this site resolved: victim aborts executed by this
+  /// coordinator (distributed cycles) + local-cycle aborts.
+  std::uint64_t deadlock_aborts = 0;
+  std::uint64_t distributed_cycles_found = 0;
+  std::uint64_t wait_episodes = 0;
+  std::uint64_t remote_ops_processed = 0;
+  LockManagerStats lock_manager;
+};
+
+struct SiteContext {
+  using Clock = std::chrono::steady_clock;
+
+  SiteContext(SiteOptions opts, net::SimNetwork& net, const Catalog& cat,
+              storage::StorageBackend& store)
+      : options(opts),
+        network(net),
+        mailbox(net.register_site(opts.id)),
+        catalog(cat),
+        data(store),
+        locks(opts.protocol, data, opts.lock_shards),
+        detector(opts.detect_period, opts.detect_reply_timeout) {}
+
+  SiteContext(const SiteContext&) = delete;
+  SiteContext& operator=(const SiteContext&) = delete;
+
+  SiteOptions options;
+  net::SimNetwork& network;
+  net::Mailbox& mailbox;
+  const Catalog& catalog;
+  DataManager data;
+  LockManager locks;
+  DeadlockDetector detector;
+
+  std::atomic<bool> running{false};
+
+  // --- scheduler state (coord_mutex) -----------------------------------------
+  mutable std::mutex coord_mutex;
+  std::condition_variable coord_cv;
+  std::deque<std::shared_ptr<txn::Transaction>> ready;
+  std::map<lock::TxnId, std::shared_ptr<txn::Transaction>> transactions;
+  std::map<lock::TxnId, Clock::time_point> waiting;
+  std::set<lock::TxnId> pending_wakes;
+  std::deque<lock::TxnId> victim_aborts;
+  /// Transactions currently claimed by a coordinator worker.
+  std::set<lock::TxnId> executing;
+  /// Victim aborts parked because the transaction was executing.
+  std::set<lock::TxnId> deferred_victims;
+  std::uint64_t last_begin_micros = 0;
+
+  // --- participant work queue (part_mutex) -----------------------------------
+  std::mutex part_mutex;
+  std::condition_variable part_cv;
+  std::deque<net::Message> participant_queue;
+  /// Transactions a participant worker is currently serving. Workers skip
+  /// queued messages of active transactions, so per-transaction requests
+  /// are processed serially and in arrival order even with a pool —
+  /// without this, a stale UndoOperation could undo a newer attempt, or an
+  /// AbortRequest could release locks while an ExecuteOperation of the
+  /// same transaction is still acquiring them (leaking locks forever).
+  std::set<lock::TxnId> participant_active;
+
+  // --- remote-operation response collection (resp_mutex) ---------------------
+  struct ResponseSlot {
+    std::uint32_t attempt = 0;
+    std::map<SiteId, net::OperationResult> replies;
+  };
+  std::mutex resp_mutex;
+  std::condition_variable resp_cv;
+  std::map<std::pair<lock::TxnId, std::uint32_t>, ResponseSlot> responses;
+
+  // --- commit / abort ack collection (ack_mutex) ------------------------------
+  struct AckSlot {
+    bool commit = false;
+    std::map<SiteId, bool> acks;
+  };
+  std::mutex ack_mutex;
+  std::condition_variable ack_cv;
+  std::map<lock::TxnId, AckSlot> acks;
+
+  // --- stats (stats_mutex) ----------------------------------------------------
+  mutable std::mutex stats_mutex;
+  SiteStats stats;
+
+  // --- messaging helpers ------------------------------------------------------
+  void send(SiteId to, net::Payload payload) {
+    network.send(net::Message{options.id, to, std::move(payload)});
+  }
+
+  void send_wakes(const std::vector<WakeNotice>& wakes) {
+    for (const WakeNotice& wake : wakes) {
+      send(wake.coordinator, net::WakeTxn{wake.waiter});
+    }
+  }
+};
+
+}  // namespace dtx::core

@@ -1,6 +1,7 @@
 #include "lock/lock_table.hpp"
 
 #include <algorithm>
+#include <set>
 
 namespace dtx::lock {
 
@@ -24,18 +25,29 @@ bool values_may_overlap(ValueCondition a, ValueCondition b) noexcept {
 
 }  // namespace
 
-AcquireOutcome LockTable::try_acquire(TxnId txn, const LockRequest& request) {
-  Change change = Change::kNone;
-  ModeMask old_mask = 0;
-  return acquire_internal(txn, request, change, old_mask);
+LockTable::LockTable(std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
 
-AcquireOutcome LockTable::acquire_internal(TxnId txn,
-                                           const LockRequest& request,
-                                           Change& change, ModeMask& old_mask) {
+AcquireOutcome LockTable::try_acquire(TxnId txn, const LockRequest& request) {
+  Shard& shard =
+      *shards_[shard_index({request.target.scope, request.target.node})];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Change change = Change::kNone;
+  ModeMask old_mask = 0;
+  return acquire_in(shard, txn, request, change, old_mask);
+}
+
+AcquireOutcome LockTable::acquire_in(Shard& shard, TxnId txn,
+                                     const LockRequest& request,
+                                     Change& change, ModeMask& old_mask) {
   change = Change::kNone;
   const NodeKey key{request.target.scope, request.target.node};
-  TargetState& state = targets_[key];
+  TargetState& state = shard.targets[key];
 
   // Conflict check against other transactions; find our own entry meanwhile.
   Holder* own = nullptr;
@@ -51,8 +63,8 @@ AcquireOutcome LockTable::acquire_internal(TxnId txn,
     }
   }
   if (!conflicts.empty()) {
-    ++conflict_attempts_;
-    if (state.holders.empty()) targets_.erase(key);
+    ++shard.conflict_attempts;
+    if (state.holders.empty()) shard.targets.erase(key);
     return AcquireOutcome{false, std::move(conflicts)};
   }
 
@@ -61,7 +73,7 @@ AcquireOutcome LockTable::acquire_internal(TxnId txn,
     // re-walking shared ancestors must not inflate the overhead metric.
     return AcquireOutcome{true, {}};
   }
-  ++acquisitions_;
+  ++shard.acquisitions;
   if (own != nullptr) {
     change = Change::kUpgrade;
     old_mask = own->mask;
@@ -71,25 +83,52 @@ AcquireOutcome LockTable::acquire_internal(TxnId txn,
   change = Change::kNewEntry;
   state.holders.push_back(
       Holder{txn, request.target.value, mask_of(request.mode)});
-  by_txn_[txn].push_back(request.target);
-  ++entry_count_;
+  shard.by_txn[txn].push_back(request.target);
+  ++shard.entry_count;
   return AcquireOutcome{true, {}};
+}
+
+std::vector<std::unique_lock<std::mutex>> LockTable::lock_shards(
+    std::vector<std::size_t> involved) const {
+  // Ascending index order: concurrent batches always order the same way,
+  // so cross-shard all-or-nothing cannot self-deadlock.
+  std::sort(involved.begin(), involved.end());
+  involved.erase(std::unique(involved.begin(), involved.end()),
+                 involved.end());
+  std::vector<std::unique_lock<std::mutex>> guards;
+  guards.reserve(involved.size());
+  for (const std::size_t index : involved) {
+    guards.emplace_back(shards_[index]->mutex);
+  }
+  return guards;
 }
 
 AcquireOutcome LockTable::try_acquire_all(
     TxnId txn, const std::vector<LockRequest>& requests,
     AcquisitionJournal* journal) {
+  if (requests.empty()) return AcquireOutcome{true, {}};
+
+  std::vector<std::size_t> involved;
+  involved.reserve(requests.size());
+  for (const LockRequest& request : requests) {
+    involved.push_back(
+        shard_index({request.target.scope, request.target.node}));
+  }
+  const auto guards = lock_shards(involved);
+
   // All-or-nothing: on conflict, every change this batch made (new entries
   // and mode upgrades alike) is rolled back before returning.
   AcquisitionJournal local;
   AcquisitionJournal& record = journal != nullptr ? *journal : local;
   const std::size_t record_base = record.items.size();
 
-  for (const LockRequest& request : requests) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const LockRequest& request = requests[i];
+    Shard& shard = *shards_[involved[i]];
     Change change = Change::kNone;
     ModeMask old_mask = 0;
     AcquireOutcome outcome =
-        acquire_internal(txn, request, change, old_mask);
+        acquire_in(shard, txn, request, change, old_mask);
     if (outcome.granted) {
       if (change != Change::kNone) {
         record.items.push_back(AcquisitionJournal::Item{
@@ -97,23 +136,35 @@ AcquireOutcome LockTable::try_acquire_all(
       }
       continue;
     }
-    // Unwind this batch's changes in reverse.
+    // Unwind this batch's changes in reverse (shards still held).
     AcquisitionJournal batch;
     batch.items.assign(record.items.begin() +
                            static_cast<std::ptrdiff_t>(record_base),
                        record.items.end());
     record.items.resize(record_base);
-    rollback(txn, batch);
+    rollback_locked(txn, batch);
     return outcome;
   }
   return AcquireOutcome{true, {}};
 }
 
 void LockTable::rollback(TxnId txn, const AcquisitionJournal& journal) {
+  if (journal.items.empty()) return;
+  std::vector<std::size_t> involved;
+  involved.reserve(journal.items.size());
+  for (const AcquisitionJournal::Item& item : journal.items) {
+    involved.push_back(shard_index({item.target.scope, item.target.node}));
+  }
+  const auto guards = lock_shards(std::move(involved));
+  rollback_locked(txn, journal);
+}
+
+void LockTable::rollback_locked(TxnId txn, const AcquisitionJournal& journal) {
   for (auto it = journal.items.rbegin(); it != journal.items.rend(); ++it) {
     const NodeKey key{it->target.scope, it->target.node};
-    const auto state_it = targets_.find(key);
-    if (state_it == targets_.end()) continue;
+    Shard& shard = *shards_[shard_index(key)];
+    const auto state_it = shard.targets.find(key);
+    if (state_it == shard.targets.end()) continue;
     auto& holders = state_it->second.holders;
     const auto holder =
         std::find_if(holders.begin(), holders.end(), [&](const Holder& h) {
@@ -124,41 +175,48 @@ void LockTable::rollback(TxnId txn, const AcquisitionJournal& journal) {
       holder->mask = it->old_mask;
     } else {
       holders.erase(holder);
-      --entry_count_;
-      auto& owned = by_txn_[txn];
+      --shard.entry_count;
+      auto& owned = shard.by_txn[txn];
       const auto owned_it = std::find(owned.begin(), owned.end(), it->target);
       if (owned_it != owned.end()) owned.erase(owned_it);
-      if (owned.empty()) by_txn_.erase(txn);
-      if (holders.empty()) targets_.erase(state_it);
+      if (owned.empty()) shard.by_txn.erase(txn);
+      if (holders.empty()) shard.targets.erase(state_it);
     }
   }
 }
 
 void LockTable::release_all(TxnId txn) {
-  const auto it = by_txn_.find(txn);
-  if (it == by_txn_.end()) return;
-  for (const LockTarget& target : it->second) {
-    const NodeKey key{target.scope, target.node};
-    const auto state_it = targets_.find(key);
-    if (state_it == targets_.end()) continue;
-    auto& holders = state_it->second.holders;
-    const auto holder =
-        std::find_if(holders.begin(), holders.end(), [&](const Holder& h) {
-          return h.txn == txn && h.value == target.value;
-        });
-    if (holder != holders.end()) {
-      holders.erase(holder);
-      --entry_count_;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.by_txn.find(txn);
+    if (it == shard.by_txn.end()) continue;
+    for (const LockTarget& target : it->second) {
+      const NodeKey key{target.scope, target.node};
+      const auto state_it = shard.targets.find(key);
+      if (state_it == shard.targets.end()) continue;
+      auto& holders = state_it->second.holders;
+      const auto holder =
+          std::find_if(holders.begin(), holders.end(), [&](const Holder& h) {
+            return h.txn == txn && h.value == target.value;
+          });
+      if (holder != holders.end()) {
+        holders.erase(holder);
+        --shard.entry_count;
+      }
+      if (holders.empty()) shard.targets.erase(state_it);
     }
-    if (holders.empty()) targets_.erase(state_it);
+    shard.by_txn.erase(txn);
   }
-  by_txn_.erase(txn);
 }
 
 bool LockTable::holds(TxnId txn, const LockTarget& target,
                       LockMode mode) const {
-  const auto it = targets_.find(NodeKey{target.scope, target.node});
-  if (it == targets_.end()) return false;
+  const NodeKey key{target.scope, target.node};
+  const Shard& shard = *shards_[shard_index(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.targets.find(key);
+  if (it == shard.targets.end()) return false;
   for (const Holder& holder : it->second.holders) {
     if (holder.txn == txn && holder.value == target.value) {
       return (holder.mask & mask_of(mode)) != 0 ||
@@ -169,25 +227,73 @@ bool LockTable::holds(TxnId txn, const LockTarget& target,
 }
 
 std::vector<TxnId> LockTable::holders() const {
-  std::vector<TxnId> out;
-  out.reserve(by_txn_.size());
-  for (const auto& [txn, targets] : by_txn_) out.push_back(txn);
+  std::set<TxnId> unique_holders;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [txn, targets] : shard.by_txn) {
+      (void)targets;
+      unique_holders.insert(txn);
+    }
+  }
+  return std::vector<TxnId>(unique_holders.begin(), unique_holders.end());
+}
+
+std::size_t LockTable::entry_count() const {
+  std::size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    total += shard_ptr->entry_count;
+  }
+  return total;
+}
+
+std::uint64_t LockTable::acquisition_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    total += shard_ptr->acquisitions;
+  }
+  return total;
+}
+
+std::uint64_t LockTable::conflict_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    total += shard_ptr->conflict_attempts;
+  }
+  return total;
+}
+
+std::vector<LockTable::ShardStats> LockTable::shard_stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    out.push_back(ShardStats{shard_ptr->entry_count, shard_ptr->acquisitions,
+                             shard_ptr->conflict_attempts});
+  }
   return out;
 }
 
 std::string LockTable::dump() const {
   std::string out;
-  for (const auto& [key, state] : targets_) {
-    out += "doc " + std::to_string(key.scope) + " node " +
-           std::to_string(key.node) + ":";
-    for (const Holder& holder : state.holders) {
-      out += " t" + std::to_string(holder.txn) + "=" +
-             mask_to_string(holder.mask);
-      if (holder.value != kAnyValue) {
-        out += "@" + std::to_string(holder.value % 997);
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, state] : shard.targets) {
+      out += "doc " + std::to_string(key.scope) + " node " +
+             std::to_string(key.node) + ":";
+      for (const Holder& holder : state.holders) {
+        out += " t" + std::to_string(holder.txn) + "=" +
+               mask_to_string(holder.mask);
+        if (holder.value != kAnyValue) {
+          out += "@" + std::to_string(holder.value % 997);
+        }
       }
+      out += '\n';
     }
-    out += '\n';
   }
   return out;
 }

@@ -6,10 +6,21 @@
 // Acquisition is immediate-or-conflict: DTX never queues a request inside
 // the table — a conflicting operation is undone and its transaction enters
 // wait mode (Alg. 1 l. 9 / l. 17), to be retried after the blockers release.
+//
+// Concurrency: the table is split into `shard_count` independently-locked
+// shards keyed by NodeKeyHash. Single-target calls touch one shard mutex;
+// batch calls (try_acquire_all / rollback) lock every involved shard in
+// ascending index order, so concurrent cross-shard batches stay
+// all-or-nothing without self-deadlock. Counters are kept per shard and
+// aggregated on read — a LockTable is safe to call from any number of
+// threads. The default of one shard reproduces the historical
+// single-monitor behavior exactly.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -92,7 +103,8 @@ struct AcquisitionJournal {
 
 class LockTable {
  public:
-  LockTable() = default;
+  /// `shard_count` independently-locked shards; 0 is clamped to 1.
+  explicit LockTable(std::size_t shard_count = 1);
   LockTable(const LockTable&) = delete;
   LockTable& operator=(const LockTable&) = delete;
 
@@ -103,7 +115,8 @@ class LockTable {
   /// Attempts a batch all-or-nothing: on the first conflict every lock newly
   /// acquired by this call is released and the conflict set is returned.
   /// On success, `journal` (when non-null) records the changes so rollback()
-  /// can revert this batch alone later.
+  /// can revert this batch alone later. Every shard the batch touches is
+  /// held for the duration, so concurrent batches observe it atomically.
   AcquireOutcome try_acquire_all(TxnId txn,
                                  const std::vector<LockRequest>& requests,
                                  AcquisitionJournal* journal = nullptr);
@@ -112,7 +125,8 @@ class LockTable {
   void rollback(TxnId txn, const AcquisitionJournal& journal);
 
   /// Releases everything the transaction holds (commit / abort — Strict
-  /// 2PL releases only at transaction end).
+  /// 2PL releases only at transaction end). Shards are drained one at a
+  /// time; under Strict 2PL a monotone release needs no cross-shard atomicity.
   void release_all(TxnId txn);
 
   /// True when the transaction holds `mode` (or a covering mode) on exactly
@@ -123,20 +137,32 @@ class LockTable {
   /// All transactions currently holding any lock.
   [[nodiscard]] std::vector<TxnId> holders() const;
 
-  /// Number of (transaction, target) lock entries currently held.
-  [[nodiscard]] std::size_t entry_count() const noexcept {
-    return entry_count_;
-  }
+  /// Number of (transaction, target) lock entries currently held
+  /// (aggregated over shards).
+  [[nodiscard]] std::size_t entry_count() const;
 
   /// Total successful acquisitions since construction — the "lock
   /// management overhead" counter reported by the benches.
-  [[nodiscard]] std::uint64_t acquisition_count() const noexcept {
-    return acquisitions_;
-  }
+  [[nodiscard]] std::uint64_t acquisition_count() const;
   /// Total conflicted (denied) acquisition attempts since construction.
-  [[nodiscard]] std::uint64_t conflict_count() const noexcept {
-    return conflict_attempts_;
+  [[nodiscard]] std::uint64_t conflict_count() const;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
   }
+
+  /// Shard a target's conflict state lives in (tests / diagnostics).
+  [[nodiscard]] std::size_t shard_of(const LockTarget& target) const noexcept {
+    return shard_index(NodeKey{target.scope, target.node});
+  }
+
+  /// Per-shard counter snapshot (load-balance diagnostics).
+  struct ShardStats {
+    std::size_t entries = 0;
+    std::uint64_t acquisitions = 0;
+    std::uint64_t conflicts = 0;
+  };
+  [[nodiscard]] std::vector<ShardStats> shard_stats() const;
 
   /// Diagnostic dump ("doc 1 guide 56: t3=ST t7=IX").
   [[nodiscard]] std::string dump() const;
@@ -151,18 +177,38 @@ class LockTable {
     // Few holders per target in practice; linear scan beats a map.
     std::vector<Holder> holders;
   };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<NodeKey, TargetState, NodeKeyHash> targets;
+    std::unordered_map<TxnId, std::vector<LockTarget>> by_txn;
+    std::size_t entry_count = 0;
+    std::uint64_t acquisitions = 0;
+    std::uint64_t conflict_attempts = 0;
+  };
 
   /// What a successful acquisition changed, for batch unwinding.
   enum class Change { kNone, kNewEntry, kUpgrade };
 
-  AcquireOutcome acquire_internal(TxnId txn, const LockRequest& request,
-                                  Change& change, ModeMask& old_mask);
+  [[nodiscard]] std::size_t shard_index(const NodeKey& key) const noexcept {
+    return NodeKeyHash{}(key) % shards_.size();
+  }
 
-  std::unordered_map<NodeKey, TargetState, NodeKeyHash> targets_;
-  std::unordered_map<TxnId, std::vector<LockTarget>> by_txn_;
-  std::size_t entry_count_ = 0;
-  std::uint64_t acquisitions_ = 0;
-  std::uint64_t conflict_attempts_ = 0;
+  /// Core acquisition against one shard; the caller holds its mutex.
+  AcquireOutcome acquire_in(Shard& shard, TxnId txn,
+                            const LockRequest& request, Change& change,
+                            ModeMask& old_mask);
+
+  /// Reverts journal items; the caller holds every involved shard's mutex.
+  void rollback_locked(TxnId txn, const AcquisitionJournal& journal);
+
+  /// Locks the given shard indices (duplicates fine) in ascending order —
+  /// the one shard-ordering rule every cross-shard batch goes through.
+  [[nodiscard]] std::vector<std::unique_lock<std::mutex>> lock_shards(
+      std::vector<std::size_t> involved) const;
+
+  // Shards are heap-allocated so the table stays movable-free but the
+  // mutexes have stable addresses.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace dtx::lock

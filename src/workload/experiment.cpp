@@ -23,6 +23,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   cluster_options.site.detect_period = config.detect_period;
   cluster_options.site.retry_interval = config.retry_interval;
   cluster_options.site.poll_interval = std::chrono::microseconds(500);
+  cluster_options.site.coordinator_workers = config.coordinator_workers;
+  cluster_options.site.participant_workers = config.participant_workers;
+  cluster_options.site.lock_shards = config.lock_shards;
   core::Cluster cluster(cluster_options);
 
   for (const auto& placement : placements) {
@@ -90,6 +93,17 @@ void apply_common_flags(const util::Flags& flags, ExperimentConfig& config) {
       flags.get_double("update_txn_fraction", config.update_txn_fraction);
   config.update_op_fraction =
       flags.get_double("update_op_fraction", config.update_op_fraction);
+  // Clamp the engine knobs: a negative flag value must not wrap into an
+  // absurd thread / shard count through the size_t cast.
+  const auto clamped_knob = [&](const char* name, std::size_t fallback) {
+    return static_cast<std::size_t>(std::clamp<std::int64_t>(
+        flags.get_int(name, static_cast<std::int64_t>(fallback)), 1, 4096));
+  };
+  config.coordinator_workers =
+      clamped_knob("workers", config.coordinator_workers);
+  config.participant_workers =
+      clamped_knob("participant_workers", config.participant_workers);
+  config.lock_shards = clamped_knob("lock_shards", config.lock_shards);
 }
 
 void print_header(const char* figure, const char* x_label) {
@@ -110,6 +124,35 @@ void print_row(const std::string& x_value, const char* protocol,
               result.report.aborted + result.report.failed,
               static_cast<unsigned long long>(result.lock_acquisitions),
               result.makespan_s);
+  std::fflush(stdout);
+}
+
+void print_json_row(const char* figure, const ExperimentConfig& config,
+                    const ExperimentResult& result) {
+  const double makespan =
+      result.makespan_s > 0.0 ? result.makespan_s : 1e-9;
+  const double committed_ops =
+      static_cast<double>(result.report.committed * config.ops_per_txn);
+  const double p95 = result.report.response_ms.empty()
+                         ? 0.0
+                         : result.report.response_ms.percentile(0.95);
+  std::printf(
+      "{\"figure\":\"%s\",\"protocol\":\"%s\",\"workers\":%zu,"
+      "\"participant_workers\":%zu,\"shards\":%zu,\"sites\":%zu,"
+      "\"clients\":%zu,\"ops_per_txn\":%zu,\"update_txn_fraction\":%.3f,"
+      "\"submitted\":%zu,\"committed\":%zu,\"aborted\":%zu,\"failed\":%zu,"
+      "\"deadlocks\":%zu,\"txn_per_s\":%.2f,\"ops_per_s\":%.2f,"
+      "\"resp_mean_ms\":%.3f,\"resp_p95_ms\":%.3f,\"lock_acqs\":%llu,"
+      "\"makespan_s\":%.3f}\n",
+      figure, lock::protocol_kind_name(config.protocol),
+      config.coordinator_workers, config.participant_workers,
+      config.lock_shards, config.sites, config.clients, config.ops_per_txn,
+      config.update_txn_fraction, result.report.submitted,
+      result.report.committed, result.report.aborted, result.report.failed,
+      result.deadlocks,
+      static_cast<double>(result.report.committed) / makespan,
+      committed_ops / makespan, result.mean_response_ms, p95,
+      static_cast<unsigned long long>(result.lock_acquisitions), makespan);
   std::fflush(stdout);
 }
 

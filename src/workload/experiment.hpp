@@ -36,6 +36,13 @@ struct ExperimentConfig {
   double update_txn_fraction = 0.0;
   double update_op_fraction = 0.2;
 
+  /// Staged-engine knobs (see SiteOptions): coordinator / participant worker
+  /// pool sizes and lock-table shard count per site. The defaults of 1
+  /// reproduce the paper's single-threaded scheduler.
+  std::size_t coordinator_workers = 1;
+  std::size_t participant_workers = 1;
+  std::size_t lock_shards = 1;
+
   std::uint64_t seed = 42;
   std::chrono::microseconds latency{100};
   std::chrono::microseconds detect_period{10'000};
@@ -61,5 +68,11 @@ void apply_common_flags(const util::Flags& flags, ExperimentConfig& config);
 void print_header(const char* figure, const char* x_label);
 void print_row(const std::string& x_value, const char* protocol,
                const ExperimentResult& result);
+
+/// Emits one machine-readable JSON line for a run (ops/s, txn/s, full
+/// accounting) so successive PRs have a perf trajectory to diff against.
+/// `figure` tags the emitting bench.
+void print_json_row(const char* figure, const ExperimentConfig& config,
+                    const ExperimentResult& result);
 
 }  // namespace dtx::workload

@@ -1,11 +1,15 @@
 // Tests for the DTX support components: Catalog, DataManager, the
-// DeadlockDetector probe lifecycle, the Connection retry policy and the
-// file-backed durability path (cluster restart on FileStore).
+// DeadlockDetector probe lifecycle, the Connection retry policy, the
+// file-backed durability path (cluster restart on FileStore) and the
+// staged-engine worker pools (coordinator_workers / participant_workers /
+// lock_shards).
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <thread>
 
 #include "dtx/catalog.hpp"
+#include "dtx/cluster.hpp"
 #include "dtx/connection.hpp"
 #include "dtx/data_manager.hpp"
 #include "dtx/deadlock_detector.hpp"
@@ -340,6 +344,143 @@ TEST(ErrorReportingTest, AbortedTransactionCarriesReason) {
   ASSERT_TRUE(missing.is_ok());
   EXPECT_NE(missing.value().error.find("not in the catalog"),
             std::string::npos);
+}
+
+// --- staged engine (coordinator pool + sharded locks) -----------------------
+
+ClusterOptions staged_options() {
+  ClusterOptions options = small_options();
+  options.site.coordinator_workers = 4;
+  options.site.participant_workers = 2;
+  options.site.lock_shards = 8;
+  return options;
+}
+
+constexpr const char* kStagedXml =
+    "<site><people>"
+    "<person id=\"p1\"><name>Ana</name><phone>111</phone></person>"
+    "<person id=\"p2\"><name>Bruno</name><phone>222</phone></person>"
+    "<person id=\"p3\"><name>Carla</name><phone>333</phone></person>"
+    "</people></site>";
+
+// Many clients against a multi-worker site: every transaction must
+// terminate in exactly one of the three states and reads must see
+// committed content (no torn documents under the pool).
+TEST(StagedEngineTest, MultiWorkerSiteAccountsForEveryTransaction) {
+  Cluster cluster(staged_options());
+  ASSERT_TRUE(cluster.load_document("d1", kStagedXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kTxnsPerClient = 6;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  std::atomic<std::size_t> committed{0};
+  std::atomic<std::size_t> terminated{0};
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kTxnsPerClient; ++i) {
+        const SiteId home = static_cast<SiteId>(c % 2);
+        const std::string id = "p" + std::to_string(1 + (c + i) % 3);
+        auto result = cluster.execute(
+            home, {"query d1 /site/people/person[@id='" + id + "']/name",
+                   "update d1 change /site/people/person[@id='" + id +
+                       "']/phone ::= 555" + std::to_string(c),
+                   "query d1 /site/people/person[@id='" + id + "']/phone"});
+        ASSERT_TRUE(result.is_ok());
+        const TxnState state = result.value().state;
+        ASSERT_TRUE(state == TxnState::kCommitted ||
+                    state == TxnState::kAborted || state == TxnState::kFailed)
+            << txn::txn_state_name(state);
+        ++terminated;
+        if (state == TxnState::kCommitted) {
+          ++committed;
+          ASSERT_EQ(result.value().rows.size(), 3u);
+          ASSERT_EQ(result.value().rows[2].size(), 1u);
+          EXPECT_EQ(result.value().rows[2][0], "555" + std::to_string(c));
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(terminated.load(), kClients * kTxnsPerClient);
+  EXPECT_GT(committed.load(), 0u);
+
+  const ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.committed + stats.aborted + stats.failed,
+            kClients * kTxnsPerClient);
+  cluster.stop();
+  // Quiescent now: the lock tables must be fully drained.
+  for (SiteId site = 0; site < 2; ++site) {
+    EXPECT_EQ(cluster.site(site).lock_manager().lock_entries(), 0u);
+  }
+}
+
+// The pool must still serialize conflicting updates correctly: concurrent
+// increments through read-modify-write transactions on one hot node lose no
+// update that committed.
+TEST(StagedEngineTest, MultiWorkerConflictingUpdatesStayConsistent) {
+  Cluster cluster(staged_options());
+  ASSERT_TRUE(cluster.load_document("d1", kStagedXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+
+  constexpr std::size_t kWriters = 6;
+  std::atomic<std::size_t> committed{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto result = cluster.execute(
+          static_cast<SiteId>(w % 2),
+          {"update d1 insert after /site/people/person[@id='p1'] ::= "
+           "<visit writer=\"w" +
+           std::to_string(w) + "\"/>"});
+      ASSERT_TRUE(result.is_ok());
+      if (result.value().state == TxnState::kCommitted) ++committed;
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  cluster.stop();
+
+  // Every committed insert is present at every replica.
+  for (SiteId site = 0; site < 2; ++site) {
+    auto xml_text = cluster.store_of(site).load("d1");
+    ASSERT_TRUE(xml_text.is_ok());
+    std::size_t visits = 0;
+    std::string::size_type pos = 0;
+    while ((pos = xml_text.value().find("<visit", pos)) !=
+           std::string::npos) {
+      ++visits;
+      pos += 6;
+    }
+    EXPECT_EQ(visits, committed.load()) << "site " << site;
+  }
+  EXPECT_GT(committed.load(), 0u);
+}
+
+// Single-worker, single-shard options must behave exactly like the seed
+// engine: a deterministic sequential workload commits everything.
+TEST(StagedEngineTest, DefaultOptionsPreserveSequentialBehavior) {
+  ClusterOptions options = small_options();
+  ASSERT_EQ(options.site.coordinator_workers, 1u);
+  ASSERT_EQ(options.site.participant_workers, 1u);
+  ASSERT_EQ(options.site.lock_shards, 1u);
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster.load_document("d1", kStagedXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+  for (int i = 0; i < 5; ++i) {
+    auto result = cluster.execute(
+        0, {"query d1 /site/people/person/name",
+            "update d1 change /site/people/person[@id='p1']/phone ::= " +
+                std::to_string(1000 + i)});
+    ASSERT_TRUE(result.is_ok());
+    ASSERT_EQ(result.value().state, TxnState::kCommitted);
+    ASSERT_EQ(result.value().rows[0].size(), 3u);
+  }
+  const ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.committed, 5u);
+  EXPECT_EQ(stats.aborted + stats.failed, 0u);
 }
 
 }  // namespace
