@@ -36,6 +36,15 @@ int main(int argc, char** argv) {
         const ExperimentResult result = run_experiment(config);
         print_row(std::to_string(clients) + "/" + replication_name,
                   lock::protocol_kind_name(protocol), result);
+        // Client-observed latency distribution (coordinator-side, every
+        // terminated transaction — ClusterStats::response_ms).
+        const util::Histogram& latency = result.cluster.response_ms;
+        if (!latency.empty()) {
+          std::printf("  client latency: p50=%.2fms p95=%.2fms p99=%.2fms "
+                      "(n=%zu)\n",
+                      latency.percentile(0.50), latency.percentile(0.95),
+                      latency.percentile(0.99), latency.count());
+        }
       }
     }
   }

@@ -5,8 +5,10 @@
 //
 //   ./build/examples/auction_site [--doc_kb=200] [--clients=20]
 //                                 [--protocol=xdgl|xdgl-plain|node2pl|doclock]
+//                                 [--routing=explicit|round-robin|affinity]
 #include <cstdio>
 
+#include "client/client.hpp"
 #include "dtx/cluster.hpp"
 #include "util/flags.hpp"
 #include "workload/dtx_tester.hpp"
@@ -73,6 +75,14 @@ int main(int argc, char** argv) {
   workload::TesterOptions tester;
   tester.clients = static_cast<std::size_t>(flags.get_int("clients", 20));
   tester.txns_per_client = 5;
+  const auto routing =
+      client::parse_routing_kind(flags.get_string("routing", "explicit"));
+  if (!routing) {
+    std::fprintf(stderr, "--routing: %s\n",
+                 routing.status().to_string().c_str());
+    return 1;
+  }
+  tester.routing = routing.value();
   const workload::TesterReport report =
       workload::run_tester(cluster, fragments, workload_options, tester);
 
@@ -91,9 +101,10 @@ int main(int argc, char** argv) {
   }
 
   const core::ClusterStats stats = cluster.stats();
-  std::printf("\nprotocol=%s lock_acquisitions=%llu conflicts=%llu "
-              "deadlock_aborts=%llu messages=%llu\n",
+  std::printf("\nprotocol=%s routing=%s lock_acquisitions=%llu "
+              "conflicts=%llu deadlock_aborts=%llu messages=%llu\n",
               lock::protocol_kind_name(options.protocol),
+              client::routing_kind_name(tester.routing),
               static_cast<unsigned long long>(stats.lock_acquisitions),
               static_cast<unsigned long long>(stats.lock_conflicts),
               static_cast<unsigned long long>(stats.deadlock_aborts),

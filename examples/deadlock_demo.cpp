@@ -5,6 +5,7 @@
 // actually did.
 #include <cstdio>
 
+#include "client/client.hpp"
 #include "dtx/cluster.hpp"
 #include "wfg/wait_for_graph.hpp"
 
@@ -60,19 +61,33 @@ int main() {
       {1});
   if (!cluster.start()) return 1;
 
+  // Two client sessions, one per site, submitting asynchronously through
+  // the typed API. The transactions are built once and resubmitted as-is
+  // every round.
+  client::Client dtx_client(cluster);
+  client::Session c1 = dtx_client.session(
+      {client::RoutingPolicy::explicit_site(0), {}, {}});
+  client::Session c2 = dtx_client.session(
+      {client::RoutingPolicy::explicit_site(1), {}, {}});
+  auto t1 = client::TxnBuilder()
+                .query("a", "/site/people/person/name")
+                .insert("b", "/site/people", "<person id=\"n1\"/>")
+                .build();
+  auto t2 = client::TxnBuilder()
+                .query("b", "/site/people/person/name")
+                .insert("a", "/site/people", "<person id=\"n2\"/>")
+                .build();
+  if (!t1 || !t2) return 1;
+
   std::size_t deadlocks = 0;
   int rounds = 0;
   for (; rounds < 50 && deadlocks == 0; ++rounds) {
     // Opposite lock orders across two documents — the canonical cycle.
-    auto h1 = cluster.submit(
-        0, {"query a /site/people/person/name",
-            "update b insert into /site/people ::= <person id=\"n1\"/>"});
-    auto h2 = cluster.submit(
-        1, {"query b /site/people/person/name",
-            "update a insert into /site/people ::= <person id=\"n2\"/>"});
+    auto h1 = c1.submit(t1.value());
+    auto h2 = c2.submit(t2.value());
     if (!h1 || !h2) return 1;
-    (void)h1.value()->await();
-    (void)h2.value()->await();
+    (void)h1.value().await();
+    (void)h2.value().await();
     deadlocks = cluster.stats().deadlock_aborts;
   }
   const core::ClusterStats stats = cluster.stats();

@@ -41,9 +41,13 @@ void print_result(const util::Result<txn::TxnResult>& result) {
     return;
   }
   const txn::TxnResult& txn = result.value();
-  std::printf("%s (%.2f ms)%s%s\n", txn::txn_state_name(txn.state),
-              txn.response_ms, txn.error.empty() ? "" : " — ",
-              txn.error.c_str());
+  std::printf("%s (%.2f ms)", txn::txn_state_name(txn.state),
+              txn.response_ms);
+  if (txn.state != txn::TxnState::kCommitted) {
+    std::printf(" — %s%s%s", txn::abort_reason_name(txn.reason),
+                txn.detail.empty() ? "" : ": ", txn.detail.c_str());
+  }
+  std::printf("\n");
   for (std::size_t i = 0; i < txn.rows.size(); ++i) {
     for (const std::string& row : txn.rows[i]) {
       std::printf("  [%zu] %s\n", i, row.c_str());
@@ -116,7 +120,7 @@ int main(int argc, char** argv) {
       const std::string op =
           std::string(command == "q" ? "query" : "update") + " " +
           std::string(util::trim(rest));
-      print_result(cluster.execute(home_site, {op}));
+      print_result(cluster.execute_text(home_site, {op}));
       continue;
     }
     if (command == "txn") {
@@ -143,7 +147,7 @@ int main(int argc, char** argv) {
         std::printf("nothing staged\n");
         continue;
       }
-      print_result(cluster.execute(home_site, pending_txn));
+      print_result(cluster.execute_text(home_site, pending_txn));
       collecting = false;
       pending_txn.clear();
       continue;

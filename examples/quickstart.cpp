@@ -1,12 +1,14 @@
-// Quickstart: a two-site DTX deployment in ~60 lines.
+// Quickstart: a two-site DTX deployment driven through the typed client
+// API in ~70 lines.
 //
 //   * site 0 stores d1 (people), site 1 stores d2 (products);
-//   * a client connected to site 0 runs one distributed transaction that
-//     reads d1 locally, updates d2 remotely, and reads its own write back.
+//   * a client session routed by catalog affinity runs one distributed
+//     transaction that reads d1, updates d2, and reads its own write back.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/quickstart
 #include <cstdio>
 
+#include "client/client.hpp"
 #include "dtx/cluster.hpp"
 
 int main() {
@@ -38,27 +40,46 @@ int main() {
     return 1;
   }
 
-  // 4. A client submits one transaction at site 0. Operations are textual:
-  //    "query <doc> <xpath>" / "update <doc> <update-op>".
-  auto result = cluster.execute(
-      /*site=*/0,
-      {
-          "query d1 /site/people/person[@id='p1']/name",
-          "update d2 change /site/regions/europe/item[@id='i1']/price "
-          "::= 12.50",
-          "query d2 /site/regions/europe/item[@id='i1']/price",
-      });
+  // 4. Open a client session: route each transaction to the site hosting
+  //    most of its documents, retry deadlock victims twice.
+  client::Client dtx_client(cluster);
+  client::SessionOptions session_options;
+  session_options.routing = client::RoutingPolicy::catalog_affinity();
+  session_options.retry.max_deadlock_retries = 2;
+  client::Session session = dtx_client.session(session_options);
+
+  // 5. Build the transaction once (each operation parses and validates
+  //    here), then execute the immutable PreparedTxn.
+  auto txn = client::TxnBuilder()
+                 .query("d1", "/site/people/person[@id='p1']/name")
+                 .change("d2", "/site/regions/europe/item[@id='i1']/price",
+                         "12.50")
+                 .query("d2", "/site/regions/europe/item[@id='i1']/price")
+                 .build();
+  if (!txn) {
+    std::fprintf(stderr, "bad transaction: %s\n",
+                 txn.status().to_string().c_str());
+    return 1;
+  }
+  auto result = session.execute(txn.value());
   if (!result) {
     std::fprintf(stderr, "execute failed: %s\n",
                  result.status().to_string().c_str());
     return 1;
   }
 
-  const txn::TxnResult& txn = result.value();
-  std::printf("transaction %s in %.2f ms\n", txn::txn_state_name(txn.state),
-              txn.response_ms);
-  std::printf("  person p1 name   : %s\n", txn.rows[0][0].c_str());
-  std::printf("  new price of i1  : %s\n", txn.rows[2][0].c_str());
+  const txn::TxnResult& outcome = result.value();
+  std::printf("transaction %s in %.2f ms",
+              txn::txn_state_name(outcome.state), outcome.response_ms);
+  if (outcome.state != txn::TxnState::kCommitted) {
+    // Aborted operations have no rows to print.
+    std::printf(" (%s: %s)\n", txn::abort_reason_name(outcome.reason),
+                outcome.detail.c_str());
+    return 1;
+  }
+  std::printf("\n");
+  std::printf("  person p1 name   : %s\n", outcome.rows[0][0].c_str());
+  std::printf("  new price of i1  : %s\n", outcome.rows[2][0].c_str());
 
   const core::ClusterStats stats = cluster.stats();
   std::printf("cluster: %llu committed, %llu messages on the wire\n",

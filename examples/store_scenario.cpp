@@ -21,6 +21,7 @@
 // retries until the deadlock materializes, then narrates it.
 #include <cstdio>
 
+#include "client/client.hpp"
 #include "dtx/cluster.hpp"
 #include "lock/protocol.hpp"
 
@@ -40,26 +41,26 @@ constexpr const char* kProductsD2 =
     "<item id=\"15\"><name>Printer</name><price>55.00</price></item>"
     "</europe></regions></site>";
 
-std::vector<std::string> t1_ops(int round) {
-  return {
+util::Result<client::PreparedTxn> t1_txn(int round) {
+  return client::TxnBuilder()
       // t1op1: query of the client with identifier 4 (d1 at both sites).
-      "query d1 /site/people/person[@id='4']/name",
+      .query("d1", "/site/people/person[@id='4']/name")
       // t1op2: insert of product Mouse, price 10.30, id 13.
-      "update d2 insert into /site/regions/europe ::= "
-      "<item id=\"13-" + std::to_string(round) + "\"><name>Mouse</name>"
-      "<price>10.30</price></item>",
-  };
+      .insert("d2", "/site/regions/europe",
+              "<item id=\"13-" + std::to_string(round) +
+                  "\"><name>Mouse</name><price>10.30</price></item>")
+      .build();
 }
 
-std::vector<std::string> t2_ops(int round) {
-  return {
+util::Result<client::PreparedTxn> t2_txn(int round) {
+  return client::TxnBuilder()
       // t2op1: query that recovers all the store's products.
-      "query d2 /site/regions/europe/item/name",
+      .query("d2", "/site/regions/europe/item/name")
       // t2op2: insert of client Patricia with identifier 22.
-      "update d1 insert into /site/people ::= "
-      "<person id=\"22-" + std::to_string(round) + "\">"
-      "<name>Patricia</name></person>",
-  };
+      .insert("d1", "/site/people",
+              "<person id=\"22-" + std::to_string(round) +
+                  "\"><name>Patricia</name></person>")
+      .build();
 }
 
 }  // namespace
@@ -84,13 +85,23 @@ int main() {
 
   std::printf("sites: s1 {d1}, s2 {d1, d2} — clients c1@s1, c2@s2\n\n");
 
+  // Client c1 is a session pinned to s1, c2 to s2 (the paper's model).
+  client::Client dtx_client(cluster);
+  client::Session c1 = dtx_client.session(
+      {client::RoutingPolicy::explicit_site(0), {}, {}});
+  client::Session c2 = dtx_client.session(
+      {client::RoutingPolicy::explicit_site(1), {}, {}});
+
   bool saw_deadlock = false;
   for (int round = 0; round < 40 && !saw_deadlock; ++round) {
-    auto h1 = cluster.submit(0, t1_ops(round));  // c1 submits t1 at s1
-    auto h2 = cluster.submit(1, t2_ops(round));  // c2 submits t2 at s2
+    auto txn1 = t1_txn(round);
+    auto txn2 = t2_txn(round);
+    if (!txn1 || !txn2) return 1;
+    auto h1 = c1.submit(txn1.value());  // c1 submits t1 at s1
+    auto h2 = c2.submit(txn2.value());  // c2 submits t2 at s2
     if (!h1 || !h2) return 1;
-    const txn::TxnResult r1 = h1.value()->await();
-    const txn::TxnResult r2 = h2.value()->await();
+    const txn::TxnResult r1 = h1.value().await();
+    const txn::TxnResult r2 = h2.value().await();
 
     if (r1.deadlock_victim || r2.deadlock_victim) {
       saw_deadlock = true;
@@ -113,9 +124,10 @@ int main() {
       std::printf("  detected %s\n",
                   local ? "locally at the shared site (Alg. 3 l. 9)"
                         : "by the distributed wait-for-graph union (Alg. 4)");
-      std::printf("  victim  : txn %llu -> %s\n",
+      std::printf("  victim  : txn %llu -> %s (%s)\n",
                   static_cast<unsigned long long>(victim.id),
-                  txn::txn_state_name(victim.state));
+                  txn::txn_state_name(victim.state),
+                  txn::abort_reason_name(victim.reason));
       std::printf("  survivor: txn %llu -> %s (%.2f ms)\n",
                   static_cast<unsigned long long>(survivor.id),
                   txn::txn_state_name(survivor.state), survivor.response_ms);
@@ -131,11 +143,15 @@ int main() {
   }
 
   // "The client discards transaction t2 and decides to execute t3."
-  auto t3 = cluster.execute(
-      1, {"query d2 /site/regions/europe/item[@id='14']/name",
-          "update d2 insert into /site/regions/europe ::= "
-          "<item id=\"32\"><name>Keyboard</name><price>9.90</price></item>",
-          "query d2 /site/regions/europe/item[@id='32']/price"});
+  auto txn3 = client::TxnBuilder()
+                  .query("d2", "/site/regions/europe/item[@id='14']/name")
+                  .insert("d2", "/site/regions/europe",
+                          "<item id=\"32\"><name>Keyboard</name>"
+                          "<price>9.90</price></item>")
+                  .query("d2", "/site/regions/europe/item[@id='32']/price")
+                  .build();
+  if (!txn3) return 1;
+  auto t3 = c2.execute(txn3.value());
   if (!t3) return 1;
   std::printf("\nt3: %s — product 14 is '%s', inserted Keyboard at %s\n",
               txn::txn_state_name(t3.value().state),

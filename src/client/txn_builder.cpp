@@ -1,0 +1,126 @@
+#include "client/txn_builder.hpp"
+
+namespace dtx::client {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+bool PreparedTxn::read_only() const noexcept {
+  for (const txn::Operation& operation : ops()) {
+    if (operation.is_update()) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> PreparedTxn::to_text() const {
+  std::vector<std::string> out;
+  out.reserve(size());
+  for (const txn::Operation& operation : ops()) {
+    out.push_back(operation.to_string());
+  }
+  return out;
+}
+
+Result<PreparedTxn> PreparedTxn::parse(
+    const std::vector<std::string>& op_texts) {
+  TxnBuilder builder;
+  for (const std::string& text : op_texts) builder.op_text(text);
+  return builder.build();
+}
+
+void TxnBuilder::add(Result<txn::Operation> operation) {
+  if (!status_.is_ok()) return;  // first error wins; later calls are no-ops
+  if (!operation) {
+    status_ = Status(operation.status().code(),
+                     "operation " + std::to_string(ops_.size()) + ": " +
+                         operation.status().message());
+    return;
+  }
+  ops_.push_back(std::move(operation).value());
+}
+
+TxnBuilder& TxnBuilder::query(std::string doc, std::string_view xpath) {
+  add(txn::make_query(std::move(doc), xpath));
+  return *this;
+}
+
+TxnBuilder& TxnBuilder::insert(std::string doc, std::string_view target,
+                               std::string_view fragment_xml,
+                               xupdate::InsertWhere where) {
+  auto update = xupdate::make_insert(target, fragment_xml, where);
+  if (!update) {
+    add(update.status());
+    return *this;
+  }
+  add(txn::make_update(std::move(doc), std::move(update).value()));
+  return *this;
+}
+
+TxnBuilder& TxnBuilder::remove(std::string doc, std::string_view target) {
+  auto update = xupdate::make_remove(target);
+  if (!update) {
+    add(update.status());
+    return *this;
+  }
+  add(txn::make_update(std::move(doc), std::move(update).value()));
+  return *this;
+}
+
+TxnBuilder& TxnBuilder::rename(std::string doc, std::string_view target,
+                               std::string new_name) {
+  auto update = xupdate::make_rename(target, std::move(new_name));
+  if (!update) {
+    add(update.status());
+    return *this;
+  }
+  add(txn::make_update(std::move(doc), std::move(update).value()));
+  return *this;
+}
+
+TxnBuilder& TxnBuilder::change(std::string doc, std::string_view target,
+                               std::string new_value) {
+  auto update = xupdate::make_change(target, std::move(new_value));
+  if (!update) {
+    add(update.status());
+    return *this;
+  }
+  add(txn::make_update(std::move(doc), std::move(update).value()));
+  return *this;
+}
+
+TxnBuilder& TxnBuilder::transpose(std::string doc, std::string_view target,
+                                  std::string_view destination) {
+  auto update = xupdate::make_transpose(target, destination);
+  if (!update) {
+    add(update.status());
+    return *this;
+  }
+  add(txn::make_update(std::move(doc), std::move(update).value()));
+  return *this;
+}
+
+TxnBuilder& TxnBuilder::op(txn::Operation operation) {
+  if (status_.is_ok()) ops_.push_back(std::move(operation));
+  return *this;
+}
+
+TxnBuilder& TxnBuilder::op_text(std::string_view text) {
+  add(txn::parse_operation(text));
+  return *this;
+}
+
+Result<PreparedTxn> TxnBuilder::build() {
+  Status status = std::move(status_);
+  std::vector<txn::Operation> ops = std::move(ops_);
+  status_ = Status::ok();
+  ops_.clear();
+  if (!status.is_ok()) return status;
+  if (ops.empty()) {
+    return Status(Code::kInvalidArgument,
+                  "transaction needs at least one operation");
+  }
+  return PreparedTxn(std::move(ops));
+}
+
+}  // namespace dtx::client

@@ -1,0 +1,105 @@
+// Typed transaction construction for the DTX client layer.
+//
+// TxnBuilder parses and validates every operation exactly once, at the
+// point the program states it; build() freezes the list into an immutable
+// PreparedTxn that a Session can submit any number of times (deadlock-abort
+// retries re-send the same parsed operations — no text round trip, the
+// herodb typed-handle idiom). The textual operation form remains available
+// through op_text() / PreparedTxn::parse as a thin adapter for dtxsh and
+// workload files.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "txn/operation.hpp"
+#include "util/status.hpp"
+#include "xupdate/update_op.hpp"
+
+namespace dtx::client {
+
+/// An immutable, pre-validated list of operations. Cheap to copy (shared
+/// storage) and safe to submit concurrently from several sessions.
+class PreparedTxn {
+ public:
+  PreparedTxn() = default;
+
+  [[nodiscard]] const std::vector<txn::Operation>& ops() const noexcept {
+    static const std::vector<txn::Operation> kEmpty;
+    return ops_ != nullptr ? *ops_ : kEmpty;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return ops().size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops().empty(); }
+  [[nodiscard]] bool read_only() const noexcept;
+
+  /// A fresh copy of the operations for one submission (the coordinator
+  /// takes ownership of its operation list).
+  [[nodiscard]] std::vector<txn::Operation> clone_ops() const {
+    return ops();
+  }
+
+  /// Serializes back to the textual form (round-trippable).
+  [[nodiscard]] std::vector<std::string> to_text() const;
+
+  /// Textual adapter: parses each "query <doc> <xpath>" / "update <doc>
+  /// <op>" line. The typed builder below is preferred in application code.
+  static util::Result<PreparedTxn> parse(
+      const std::vector<std::string>& op_texts);
+
+ private:
+  friend class TxnBuilder;
+  explicit PreparedTxn(std::vector<txn::Operation> ops)
+      : ops_(std::make_shared<const std::vector<txn::Operation>>(
+            std::move(ops))) {}
+
+  std::shared_ptr<const std::vector<txn::Operation>> ops_;
+};
+
+/// Fluent builder:
+///
+///   auto txn = TxnBuilder()
+///                  .query("d1", "/site/people/person[@id='p1']/name")
+///                  .change("d2", "/site/regions/europe/item[@id='i1']/price",
+///                          "12.50")
+///                  .build();
+///
+/// Every call validates immediately; the first failure is latched (with the
+/// 0-based operation index) and reported by build(). Calls after a failure
+/// are no-ops, so a chain never dereferences a half-built operation.
+class TxnBuilder {
+ public:
+  TxnBuilder& query(std::string doc, std::string_view xpath);
+  TxnBuilder& insert(std::string doc, std::string_view target,
+                     std::string_view fragment_xml,
+                     xupdate::InsertWhere where = xupdate::InsertWhere::kInto);
+  TxnBuilder& remove(std::string doc, std::string_view target);
+  TxnBuilder& rename(std::string doc, std::string_view target,
+                     std::string new_name);
+  TxnBuilder& change(std::string doc, std::string_view target,
+                     std::string new_value);
+  TxnBuilder& transpose(std::string doc, std::string_view target,
+                        std::string_view destination);
+
+  /// Appends an already-constructed operation (assumed valid).
+  TxnBuilder& op(txn::Operation operation);
+  /// Textual adapter: parses one operation line.
+  TxnBuilder& op_text(std::string_view text);
+
+  [[nodiscard]] bool ok() const noexcept { return status_.is_ok(); }
+  [[nodiscard]] const util::Status& status() const noexcept { return status_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+
+  /// Freezes the transaction. Fails on any recorded operation error or an
+  /// empty transaction; the builder resets either way and can be reused.
+  util::Result<PreparedTxn> build();
+
+ private:
+  void add(util::Result<txn::Operation> operation);
+
+  std::vector<txn::Operation> ops_;
+  util::Status status_;
+};
+
+}  // namespace dtx::client

@@ -88,12 +88,28 @@ void Cluster::stop() {
 }
 
 Result<std::shared_ptr<txn::Transaction>> Cluster::submit(
-    SiteId site, const std::vector<std::string>& op_texts) {
+    SiteId site, std::vector<txn::Operation> ops) {
   if (!started_) return Status(Code::kInternal, "cluster not started");
   if (site >= sites_.size()) {
     return Status(Code::kInvalidArgument,
                   "site " + std::to_string(site) + " out of range");
   }
+  if (ops.empty()) {
+    return Status(Code::kInvalidArgument,
+                  "transaction needs at least one operation");
+  }
+  return sites_[site]->submit(std::move(ops));
+}
+
+Result<txn::TxnResult> Cluster::execute(SiteId site,
+                                        std::vector<txn::Operation> ops) {
+  auto handle = submit(site, std::move(ops));
+  if (!handle) return handle.status();
+  return handle.value()->await();
+}
+
+Result<std::shared_ptr<txn::Transaction>> Cluster::submit_text(
+    SiteId site, const std::vector<std::string>& op_texts) {
   std::vector<txn::Operation> ops;
   ops.reserve(op_texts.size());
   for (const std::string& text : op_texts) {
@@ -101,12 +117,12 @@ Result<std::shared_ptr<txn::Transaction>> Cluster::submit(
     if (!op) return op.status();
     ops.push_back(std::move(op).value());
   }
-  return sites_[site]->submit(std::move(ops));
+  return submit(site, std::move(ops));
 }
 
-Result<txn::TxnResult> Cluster::execute(
+Result<txn::TxnResult> Cluster::execute_text(
     SiteId site, const std::vector<std::string>& op_texts) {
-  auto handle = submit(site, op_texts);
+  auto handle = submit_text(site, op_texts);
   if (!handle) return handle.status();
   return handle.value()->await();
 }
@@ -124,6 +140,7 @@ ClusterStats Cluster::stats() {
     out.lock_acquisitions += s.lock_manager.lock_acquisitions;
     out.lock_conflicts += s.lock_manager.conflicts;
     out.remote_ops += s.remote_ops_processed;
+    out.response_ms.merge(s.response_ms);
   }
   out.network = network_.stats();
   return out;

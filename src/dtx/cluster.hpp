@@ -13,6 +13,7 @@
 #include "dtx/site.hpp"
 #include "net/sim_network.hpp"
 #include "storage/memory_store.hpp"
+#include "util/histogram.hpp"
 
 namespace dtx::core {
 
@@ -38,6 +39,9 @@ struct ClusterStats {
   std::uint64_t lock_acquisitions = 0;
   std::uint64_t lock_conflicts = 0;
   std::uint64_t remote_ops = 0;
+  /// Client-observed response times across all sites (every terminated
+  /// transaction); percentile() gives p50/p95/p99.
+  util::Histogram response_ms;
   net::NetworkStats network;
 };
 
@@ -76,13 +80,26 @@ class Cluster {
     return *stores_.at(id);
   }
 
-  /// Client convenience: submit at `site` (the Listener) and await.
-  /// `op_texts` use the textual operation form ("query d1 /people/...").
-  util::Result<txn::TxnResult> execute(SiteId site,
-                                       const std::vector<std::string>& op_texts);
-
-  /// Async variant returning the transaction handle.
+  /// Submits pre-parsed operations at `site` (the Listener) and returns the
+  /// transaction handle. This is the canonical entry point — the typed
+  /// client layer (dtx::client) parses once via TxnBuilder and feeds
+  /// operations here, so retries never re-parse text.
   util::Result<std::shared_ptr<txn::Transaction>> submit(
+      SiteId site, std::vector<txn::Operation> ops);
+
+  /// Blocking convenience over submit(): awaits the result.
+  util::Result<txn::TxnResult> execute(SiteId site,
+                                       std::vector<txn::Operation> ops);
+
+  /// Textual adapters ("query d1 /people/..."): parse each operation, then
+  /// delegate to the typed entry points. Kept for dtxsh, workload files and
+  /// legacy call sites — application code should use dtx::client instead.
+  /// (Distinct names, not overloads: a braced list of exactly two string
+  /// literals would otherwise ambiguously match vector<Operation>'s
+  /// iterator-pair constructor.)
+  util::Result<txn::TxnResult> execute_text(
+      SiteId site, const std::vector<std::string>& op_texts);
+  util::Result<std::shared_ptr<txn::Transaction>> submit_text(
       SiteId site, const std::vector<std::string>& op_texts);
 
   [[nodiscard]] ClusterStats stats();

@@ -1,27 +1,21 @@
 #include "dtx/connection.hpp"
 
-#include <thread>
-
 namespace dtx::core {
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
 util::Result<txn::TxnResult> Connection::execute(
     const std::vector<std::string>& op_texts) {
-  retries_ = 0;
-  for (;;) {
-    auto result = cluster_.execute(site_, op_texts);
-    if (!result) return result;
-    const txn::TxnResult& txn = result.value();
-    const bool retryable_abort =
-        txn.state == txn::TxnState::kAborted &&
-        (txn.deadlock_victim ? retries_ < policy_.max_deadlock_retries
-                             : (policy_.retry_all_aborts &&
-                                retries_ < policy_.max_deadlock_retries));
-    if (!retryable_abort) return result;
-    ++retries_;
-    if (policy_.backoff.count() > 0) {
-      std::this_thread::sleep_for(policy_.backoff * retries_);
-    }
-  }
+  auto prepared = client::PreparedTxn::parse(op_texts);
+  if (!prepared) return prepared.status();
+  return session_.execute(prepared.value());
 }
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace dtx::core

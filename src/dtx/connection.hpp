@@ -1,39 +1,36 @@
-// Client connection: the application-facing session the paper describes
-// ("to submit a transaction to DTX, the client makes a connection with an
-// instance of DTX and sends the transaction").
-//
-// The paper leaves re-submission after a deadlock abort to the application
-// ("It is the responsibility of the application client c2 to decide if it
-// resubmits transaction t2"); RetryPolicy packages that decision so callers
-// get at-most-N automatic retries of deadlock victims.
+// DEPRECATED client session — superseded by the typed client layer
+// (dtx::client::{Client, Session, TxnBuilder}; see src/client/client.hpp).
+// Kept for one PR as a thin shim so out-of-tree callers migrate on their
+// own schedule: Connection is now a Session pinned to one site by an
+// explicit routing policy, and its textual execute() parses each operation
+// once through PreparedTxn::parse before submission.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "client/client.hpp"
 #include "dtx/cluster.hpp"
 
 namespace dtx::core {
 
-struct RetryPolicy {
-  /// Maximum automatic re-submissions after a deadlock abort (0 = never).
-  std::uint32_t max_deadlock_retries = 0;
-  /// Also retry plain (non-deadlock) aborts.
-  bool retry_all_aborts = false;
-  /// Linear backoff between attempts (attempt N sleeps N * backoff).
-  /// Essential under the paper's newest-transaction victim rule: an
-  /// immediately resubmitted victim re-enters as the newest transaction
-  /// and loses every subsequent cycle against a steady stream of older
-  /// competitors (victim starvation); backing off lets it land in a gap.
-  std::chrono::microseconds backoff{2'000};
-};
+/// The session retry policy now lives in the client layer. Note the old
+/// `retry_all_aborts` flag is gone: it was gated behind
+/// max_deadlock_retries (true with max_deadlock_retries = 0 never retried
+/// anything) — non-deadlock retryable aborts now have their own
+/// independent `max_retries` budget.
+using RetryPolicy = client::RetryPolicy;
 
-class Connection {
+class [[deprecated("use dtx::client::Client / Session")]] Connection {
  public:
   /// Binds the session to one site of the cluster (its Listener).
   Connection(Cluster& cluster, SiteId site, RetryPolicy policy = {})
-      : cluster_(cluster), site_(site), policy_(policy) {}
+      : client_(cluster),
+        session_(client_.session(client::SessionOptions{
+            client::RoutingPolicy::explicit_site(site), policy,
+            std::chrono::microseconds{0}})),
+        site_(site) {}
 
   [[nodiscard]] SiteId site() const noexcept { return site_; }
 
@@ -46,16 +43,17 @@ class Connection {
   /// Fire-and-forget submission (no retry handling).
   util::Result<std::shared_ptr<txn::Transaction>> submit(
       const std::vector<std::string>& op_texts) {
-    return cluster_.submit(site_, op_texts);
+    return client_.cluster().submit_text(site_, op_texts);
   }
 
-  [[nodiscard]] std::uint32_t retries() const noexcept { return retries_; }
+  [[nodiscard]] std::uint32_t retries() const noexcept {
+    return session_.retries();
+  }
 
  private:
-  Cluster& cluster_;
+  client::Client client_;
+  client::Session session_;
   SiteId site_;
-  RetryPolicy policy_;
-  std::uint32_t retries_ = 0;
 };
 
 }  // namespace dtx::core

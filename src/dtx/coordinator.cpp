@@ -96,8 +96,10 @@ void Coordinator::execute_one_operation(const TransactionPtr& txn) {
   const std::vector<SiteId> sites = ctx_.catalog.sites_of(op.doc);
   if (sites.empty()) {
     txn->state_of(op_index).failed = true;
+    txn->state_of(op_index).reason = txn::AbortReason::kParseError;
     txn->state_of(op_index).error =
         "document '" + op.doc + "' is not in the catalog";
+    txn->set_abort_reason(txn::AbortReason::kParseError);
     abort_transaction(txn, false);
     return;
   }
@@ -133,7 +135,9 @@ void Coordinator::execute_local(const TransactionPtr& txn,
       return;
     case OpOutcome::Kind::kFailed:
       state.failed = true;
+      state.reason = txn::AbortReason::kUnprocessableUpdate;
       state.error = std::move(outcome.error);
+      txn->set_abort_reason(txn::AbortReason::kUnprocessableUpdate);
       abort_transaction(txn, false);
       return;
   }
@@ -173,12 +177,19 @@ void Coordinator::execute_remote(const TransactionPtr& txn,
   bool any_conflict = false;
   bool any_failed = replies.size() != expected.size();  // timeout == failure
   bool any_deadlock = false;
+  txn::AbortReason participant_reason = txn::AbortReason::kNone;
+  std::string participant_error;
   std::vector<SiteId> executed_at;
   for (const auto& [site, reply] : replies) {
     if (reply.executed) executed_at.push_back(site);
     any_conflict |= reply.lock_conflict;
     any_failed |= reply.failed;
     any_deadlock |= reply.deadlock;
+    if (reply.failed && participant_reason == txn::AbortReason::kNone) {
+      participant_reason = reply.reason;
+      participant_error =
+          reply.error + " (site " + std::to_string(site) + ")";
+    }
   }
 
   if (any_failed || any_deadlock) {
@@ -188,10 +199,17 @@ void Coordinator::execute_remote(const TransactionPtr& txn,
     state.failed = any_failed;
     state.deadlock = any_deadlock;
     if (replies.size() != expected.size()) {
+      state.reason = txn::AbortReason::kSiteFailure;
       state.error = "participant response timeout";
     } else if (any_failed) {
-      state.error = "operation failed at a participant site";
+      state.reason = participant_reason != txn::AbortReason::kNone
+                         ? participant_reason
+                         : txn::AbortReason::kSiteFailure;
+      state.error = participant_error.empty()
+                        ? "operation failed at a participant site"
+                        : std::move(participant_error);
     }
+    if (any_failed) txn->set_abort_reason(state.reason);
     abort_transaction(txn, any_deadlock);
     return;
   }
@@ -222,6 +240,15 @@ void Coordinator::enter_wait(const TransactionPtr& txn) {
   {
     std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
     ++ctx_.stats.wait_episodes;
+  }
+  if (ctx_.options.max_wait_episodes != 0 &&
+      txn->wait_episodes() > ctx_.options.max_wait_episodes) {
+    // The transaction keeps losing its locks; give up instead of letting
+    // the client wait unboundedly. The claim is still ours, so a plain
+    // abort is safe (finish_transaction clears any deferred victim mark).
+    txn->set_abort_reason(txn::AbortReason::kLockWaitExhausted);
+    abort_transaction(txn, /*deadlock_victim=*/false);
+    return;
   }
   hand_back_claim(txn, /*park=*/true);
 }
@@ -318,6 +345,7 @@ void Coordinator::commit_transaction(const TransactionPtr& txn) {
     for (const auto& [site, ok] : acks) all_ok &= ok;
     if (!all_ok) {
       // Alg. 5 l. 5-7: a site did not serve the commit -> abort.
+      txn->set_abort_reason(txn::AbortReason::kSiteFailure);
       abort_transaction(txn, false);
       return;
     }
@@ -327,6 +355,7 @@ void Coordinator::commit_transaction(const TransactionPtr& txn) {
   util::Status status = ctx_.locks.commit(txn->id(), wakes);
   ctx_.send_wakes(wakes);
   if (!status) {
+    txn->set_abort_reason(txn::AbortReason::kSiteFailure);
     abort_transaction(txn, false);
     return;
   }
@@ -378,6 +407,7 @@ void Coordinator::fail_transaction(const TransactionPtr& txn) {
   // Local best-effort cleanup so this site's locks do not leak, then report
   // failure to the application (paper §2.2: "In case of failure, DTX alerts
   // the application stating that the transaction has failed").
+  txn->set_abort_reason(txn::AbortReason::kSiteFailure);
   std::vector<WakeNotice> wakes;
   ctx_.locks.abort(txn->id(), wakes);
   ctx_.send_wakes(wakes);
@@ -416,16 +446,28 @@ void Coordinator::finish_transaction(const TransactionPtr& txn,
       static_cast<double>(steady_now_micros() -
                           txn::txn_begin_micros(txn->id())) /
       1000.0;
+  if (state != TxnState::kCommitted) {
+    result.reason = txn->deadlock_victim()
+                        ? txn::AbortReason::kDeadlockVictim
+                        : txn->abort_reason();
+    if (result.reason == txn::AbortReason::kNone) {
+      result.reason = txn::AbortReason::kSiteFailure;  // defensive default
+    }
+  }
   result.rows.reserve(txn->op_count());
   for (std::size_t i = 0; i < txn->op_count(); ++i) {
     result.rows.push_back(txn->state_of(i).rows);
-    if (result.error.empty() && !txn->state_of(i).error.empty()) {
-      result.error = "operation " + std::to_string(i) + ": " +
-                     txn->state_of(i).error;
+    if (result.detail.empty() && !txn->state_of(i).error.empty()) {
+      result.detail = "operation " + std::to_string(i) + ": " +
+                      txn->state_of(i).error;
     }
   }
-  if (result.error.empty() && txn->deadlock_victim()) {
-    result.error = "aborted as deadlock victim";
+  if (result.detail.empty() && state != TxnState::kCommitted) {
+    result.detail = txn::abort_reason_name(result.reason);
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    ctx_.stats.response_ms.add(result.response_ms);
   }
   txn->complete(std::move(result));
 }

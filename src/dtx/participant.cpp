@@ -95,6 +95,8 @@ void Participant::handle_execute(const net::ExecuteOperation& request) {
   auto op = txn::parse_operation(request.op_text);
   if (!op) {
     reply.failed = true;
+    reply.reason = txn::AbortReason::kParseError;
+    reply.error = op.status().to_string();
   } else {
     OpOutcome outcome = ctx_.locks.process_operation(
         request.txn, request.op_index, op.value(), request.coordinator);
@@ -111,6 +113,8 @@ void Participant::handle_execute(const net::ExecuteOperation& request) {
         break;
       case OpOutcome::Kind::kFailed:
         reply.failed = true;
+        reply.reason = txn::AbortReason::kUnprocessableUpdate;
+        reply.error = std::move(outcome.error);
         break;
     }
   }

@@ -64,7 +64,8 @@ void Site::stop() {
       txn::TxnResult result;
       result.id = id;
       result.state = TxnState::kAborted;
-      result.error = "site shut down";
+      result.reason = txn::AbortReason::kSiteFailure;
+      result.detail = "site shut down";
       txn->complete(std::move(result));
     }
   }

@@ -29,6 +29,7 @@
 #include "net/sim_network.hpp"
 #include "storage/storage.hpp"
 #include "txn/transaction.hpp"
+#include "util/histogram.hpp"
 
 namespace dtx::core {
 
@@ -61,6 +62,10 @@ struct SiteOptions {
   /// Fallback retry interval for waiting transactions (wake messages are
   /// the fast path; this is the lost-wakeup backstop).
   std::chrono::microseconds retry_interval{50'000};
+  /// Aborts a transaction whose operations entered wait mode more than
+  /// this many times (txn::AbortReason::kLockWaitExhausted) instead of
+  /// letting it wait forever. 0 = unlimited (the paper's behavior).
+  std::uint32_t max_wait_episodes = 0;
   /// How long the coordinator waits for participant replies / acks before
   /// treating the operation as failed.
   std::chrono::microseconds response_timeout{10'000'000};
@@ -79,6 +84,9 @@ struct SiteStats {
   std::uint64_t wait_episodes = 0;
   std::uint64_t remote_ops_processed = 0;
   LockManagerStats lock_manager;
+  /// Client-observed response time of every transaction coordinated here
+  /// (committed and aborted), recorded at completion.
+  util::Histogram response_ms;
 };
 
 struct SiteContext {

@@ -26,7 +26,7 @@ struct SizeVisitor {
     return kHeaderBytes + m.doc.size() + m.op_text.size();
   }
   std::size_t operator()(const OperationResult& m) const {
-    std::size_t total = kHeaderBytes;
+    std::size_t total = kHeaderBytes + m.error.size();
     for (const auto& row : m.rows) total += row.size() + 4;
     return total;
   }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "lock/lock_table.hpp"
+#include "txn/abort_reason.hpp"
 #include "wfg/wait_for_graph.hpp"
 
 namespace dtx::net {
@@ -40,6 +41,10 @@ struct OperationResult {
   bool failed = false;
   bool deadlock = false;       ///< local cycle detected while locking
   std::vector<std::string> rows;  ///< query results (string values)
+  /// Failure taxonomy + detail when `failed` — lets the coordinator report
+  /// a typed abort reason to the client instead of a generic string.
+  txn::AbortReason reason = txn::AbortReason::kNone;
+  std::string error;
 };
 
 /// Coordinator -> participant: undo one operation's effects (Alg. 1 l. 16 —

@@ -1,0 +1,31 @@
+#include "txn/abort_reason.hpp"
+
+namespace dtx::txn {
+
+const char* abort_reason_name(AbortReason reason) noexcept {
+  switch (reason) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kDeadlockVictim: return "deadlock-victim";
+    case AbortReason::kLockWaitExhausted: return "lock-wait-exhausted";
+    case AbortReason::kParseError: return "parse-error";
+    case AbortReason::kSiteFailure: return "site-failure";
+    case AbortReason::kUnprocessableUpdate: return "unprocessable-update";
+  }
+  return "?";
+}
+
+bool abort_reason_retryable(AbortReason reason) noexcept {
+  switch (reason) {
+    case AbortReason::kDeadlockVictim:
+    case AbortReason::kLockWaitExhausted:
+    case AbortReason::kSiteFailure:
+      return true;
+    case AbortReason::kNone:
+    case AbortReason::kParseError:
+    case AbortReason::kUnprocessableUpdate:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace dtx::txn

@@ -1,0 +1,34 @@
+// Structured abort taxonomy: why a transaction terminated without
+// committing. The paper only distinguishes commit / abort / fail (§2.2);
+// production clients need to branch on the *cause* — a deadlock victim is
+// worth resubmitting, a malformed operation never is — so the reason is
+// carried as a code from the participant that observed it, through the
+// coordinator, to the client (txn::TxnResult::reason), instead of a
+// free-form string callers would have to pattern-match.
+#pragma once
+
+#include <cstdint>
+
+namespace dtx::txn {
+
+enum class AbortReason : std::uint8_t {
+  kNone = 0,             ///< committed (or not yet terminated)
+  kDeadlockVictim,       ///< rolled back by deadlock resolution (Alg. 3/4)
+  kLockWaitExhausted,    ///< exceeded SiteOptions::max_wait_episodes
+  kParseError,           ///< parse / validation failure (bad operation text,
+                         ///< unknown document)
+  kSiteFailure,          ///< participant timeout, unacknowledged commit /
+                         ///< abort, site shutdown
+  kUnprocessableUpdate,  ///< data-layer failure applying the operation
+                         ///< (e.g. insert relative to a root node)
+};
+
+/// Stable lowercase name ("deadlock-victim", ...) for logs and shells.
+const char* abort_reason_name(AbortReason reason) noexcept;
+
+/// True for transient causes a client may retry (deadlock victim, lock-wait
+/// exhausted, site failure). Parse and unprocessable-update aborts are
+/// deterministic: resubmitting the same transaction fails the same way.
+bool abort_reason_retryable(AbortReason reason) noexcept;
+
+}  // namespace dtx::txn

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "txn/abort_reason.hpp"
 #include "util/status.hpp"
 #include "xpath/ast.hpp"
 #include "xupdate/update_op.hpp"
@@ -49,13 +50,16 @@ struct OperationState {
   bool deadlock = false;
   std::uint32_t attempts = 0;  ///< execution attempts (wait-mode retries)
   std::vector<std::string> rows;  ///< query result (string values)
-  std::string error;              ///< failure detail (kFailed outcomes)
+  /// Failure taxonomy + human-readable detail (kFailed outcomes).
+  AbortReason reason = AbortReason::kNone;
+  std::string error;
 
   void reset_attempt() noexcept {
     lock_conflict = false;
     failed = false;
     deadlock = false;
     rows.clear();
+    reason = AbortReason::kNone;
     error.clear();
   }
 };

@@ -51,6 +51,15 @@ TxnResult Transaction::await() {
   return result_;
 }
 
+std::optional<TxnResult> Transaction::await_for(
+    std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lock(latch_mutex_);
+  if (!latch_cv_.wait_for(lock, timeout, [&] { return done_; })) {
+    return std::nullopt;
+  }
+  return result_;
+}
+
 bool Transaction::completed() const {
   std::lock_guard<std::mutex> lock(latch_mutex_);
   return done_;

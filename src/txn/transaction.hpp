@@ -12,12 +12,14 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "lock/lock_table.hpp"
 #include "net/message.hpp"
+#include "txn/abort_reason.hpp"
 #include "txn/operation.hpp"
 
 namespace dtx::txn {
@@ -54,8 +56,12 @@ struct TxnResult {
   bool deadlock_victim = false;
   /// How many times an operation entered wait mode before acquiring locks.
   std::uint32_t wait_episodes = 0;
-  /// Failure detail for aborted / failed transactions.
-  std::string error;
+  /// Why the transaction did not commit (kNone when committed). Clients
+  /// branch on this code; `detail` is the human-readable context only.
+  AbortReason reason = AbortReason::kNone;
+  /// Failure detail for aborted / failed transactions (diagnostics only —
+  /// never string-match this; use `reason`).
+  std::string detail;
 };
 
 /// Coordinator-side record. Owned by the coordinator site; the embedded
@@ -101,11 +107,26 @@ class Transaction {
     return deadlock_victim_;
   }
 
+  /// Records why the transaction is being aborted; the first recorded
+  /// reason wins (the root cause, not a cascading cleanup failure). Like
+  /// the other scheduler-side fields, only the claiming coordinator worker
+  /// touches this.
+  void set_abort_reason(AbortReason reason) noexcept {
+    if (abort_reason_ == AbortReason::kNone) abort_reason_ = reason;
+  }
+  [[nodiscard]] AbortReason abort_reason() const noexcept {
+    return abort_reason_;
+  }
+
   // --- completion latch ------------------------------------------------------
   /// Publishes the final result and wakes the client.
   void complete(TxnResult result);
   /// Blocks the client until the transaction terminates.
   TxnResult await();
+  /// Bounded wait: the result, or std::nullopt when `timeout` elapses
+  /// first (the transaction keeps running; call again or abandon the
+  /// handle). Prefer this over await() in anything user-facing.
+  std::optional<TxnResult> await_for(std::chrono::microseconds timeout);
   [[nodiscard]] bool completed() const;
 
  private:
@@ -116,6 +137,7 @@ class Transaction {
   std::set<SiteId> sites_;
   std::uint32_t wait_episodes_ = 0;
   bool deadlock_victim_ = false;
+  AbortReason abort_reason_ = AbortReason::kNone;
 
   mutable std::mutex latch_mutex_;
   std::condition_variable latch_cv_;

@@ -13,6 +13,7 @@ const char* code_name(Code code) noexcept {
     case Code::kAborted: return "aborted";
     case Code::kFailed: return "failed";
     case Code::kUnavailable: return "unavailable";
+    case Code::kTimeout: return "timeout";
     case Code::kInternal: return "internal";
   }
   return "unknown";

@@ -21,6 +21,7 @@ enum class Code {
   kAborted,           ///< transaction was aborted (victim or explicit)
   kFailed,            ///< transaction failed (abort could not be delivered)
   kUnavailable,       ///< site down / message dropped
+  kTimeout,           ///< deadline elapsed before the result was available
   kInternal,          ///< invariant violation
 };
 

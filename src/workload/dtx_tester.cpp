@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
@@ -57,18 +59,26 @@ TesterReport run_tester(core::Cluster& cluster,
                         const WorkloadOptions& workload,
                         const TesterOptions& options) {
   // Pre-generate every client's transactions (deterministic given the
-  // seed; generation must not interleave with the timed run).
+  // seed; generation — including the one-time parse into PreparedTxn —
+  // must not interleave with the timed run).
   WorkloadGenerator generator(fragments, workload);
   util::Rng rng(options.seed);
   struct PlannedTxn {
-    std::vector<std::string> ops;
+    client::PreparedTxn txn;
     bool update = false;
   };
   std::vector<std::vector<PlannedTxn>> plans(options.clients);
   for (std::size_t c = 0; c < options.clients; ++c) {
     plans[c].resize(options.txns_per_client);
     for (std::size_t t = 0; t < options.txns_per_client; ++t) {
-      plans[c][t].ops = generator.make_transaction(rng, &plans[c][t].update);
+      auto prepared = generator.make_prepared(rng, &plans[c][t].update);
+      if (!prepared) {
+        // The generator only emits well-formed operations; this is a bug.
+        std::fprintf(stderr, "workload generation failed: %s\n",
+                     prepared.status().to_string().c_str());
+        std::abort();
+      }
+      plans[c][t].txn = std::move(prepared).value();
     }
   }
 
@@ -76,17 +86,27 @@ TesterReport run_tester(core::Cluster& cluster,
   report.submitted = options.clients * options.txns_per_client;
   std::mutex report_mutex;
 
+  client::Client dtx_client(cluster);
   const util::Stopwatch clock;
   std::vector<std::thread> clients;
   clients.reserve(options.clients);
   const std::size_t sites = cluster.site_count();
   for (std::size_t c = 0; c < options.clients; ++c) {
     clients.emplace_back([&, c] {
-      const auto home = static_cast<net::SiteId>(c % sites);
+      // Per the paper's Fig. 12 accounting aborted transactions are not
+      // resubmitted, so the session runs with the default (no-retry)
+      // RetryPolicy.
+      client::SessionOptions session_options;
+      session_options.routing =
+          options.routing == client::RoutingPolicy::Kind::kExplicit
+              ? client::RoutingPolicy::explicit_site(
+                    static_cast<net::SiteId>(c % sites))
+              : client::RoutingPolicy{options.routing, 0};
+      client::Session session = dtx_client.session(session_options);
       for (const PlannedTxn& planned : plans[c]) {
         const double submit_s = clock.elapsed_seconds();
         util::Stopwatch txn_clock;
-        auto result = cluster.execute(home, planned.ops);
+        auto result = session.execute(planned.txn);
         const double finish_s = clock.elapsed_seconds();
 
         TxnObservation obs;
@@ -96,9 +116,11 @@ TesterReport run_tester(core::Cluster& cluster,
         obs.update_txn = planned.update;
         if (result.is_ok()) {
           obs.state = result.value().state;
+          obs.reason = result.value().reason;
           obs.deadlock_victim = result.value().deadlock_victim;
         } else {
           obs.state = txn::TxnState::kFailed;
+          obs.reason = txn::AbortReason::kSiteFailure;
         }
         std::lock_guard<std::mutex> lock(report_mutex);
         report.observations.push_back(obs);

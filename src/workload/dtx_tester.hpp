@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "client/client.hpp"
 #include "dtx/cluster.hpp"
 #include "util/histogram.hpp"
 #include "workload/workload_gen.hpp"
@@ -20,6 +21,11 @@ struct TesterOptions {
   std::size_t clients = 10;
   std::size_t txns_per_client = 5;
   std::uint64_t seed = 7;
+  /// How each simulated client routes its transactions. kExplicit is the
+  /// paper's model: client c is homed at site c % sites. The other kinds
+  /// are applied as-is through the client::Session routing policies.
+  client::RoutingPolicy::Kind routing =
+      client::RoutingPolicy::Kind::kExplicit;
 };
 
 /// Per-transaction observation.
@@ -28,6 +34,7 @@ struct TxnObservation {
   double finish_s = 0.0;
   double response_ms = 0.0;
   txn::TxnState state = txn::TxnState::kAborted;
+  txn::AbortReason reason = txn::AbortReason::kNone;
   bool deadlock_victim = false;
   bool update_txn = false;
 };

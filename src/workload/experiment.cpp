@@ -1,6 +1,7 @@
 #include "workload/experiment.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace dtx::workload {
 
@@ -56,6 +57,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   tester_options.clients = config.clients;
   tester_options.txns_per_client = config.txns_per_client;
   tester_options.seed = config.seed + 1;
+  tester_options.routing = config.routing;
 
   ExperimentResult result;
   result.report =
@@ -104,6 +106,15 @@ void apply_common_flags(const util::Flags& flags, ExperimentConfig& config) {
   config.participant_workers =
       clamped_knob("participant_workers", config.participant_workers);
   config.lock_shards = clamped_knob("lock_shards", config.lock_shards);
+
+  const auto routing = client::parse_routing_kind(flags.get_string(
+      "routing", client::routing_kind_name(config.routing)));
+  if (!routing) {
+    std::fprintf(stderr, "--routing: %s\n",
+                 routing.status().to_string().c_str());
+    std::abort();
+  }
+  config.routing = routing.value();
 }
 
 void print_header(const char* figure, const char* x_label) {
@@ -137,7 +148,8 @@ void print_json_row(const char* figure, const ExperimentConfig& config,
                          ? 0.0
                          : result.report.response_ms.percentile(0.95);
   std::printf(
-      "{\"figure\":\"%s\",\"protocol\":\"%s\",\"workers\":%zu,"
+      "{\"figure\":\"%s\",\"protocol\":\"%s\",\"routing\":\"%s\","
+      "\"workers\":%zu,"
       "\"participant_workers\":%zu,\"shards\":%zu,\"sites\":%zu,"
       "\"clients\":%zu,\"ops_per_txn\":%zu,\"update_txn_fraction\":%.3f,"
       "\"submitted\":%zu,\"committed\":%zu,\"aborted\":%zu,\"failed\":%zu,"
@@ -145,6 +157,7 @@ void print_json_row(const char* figure, const ExperimentConfig& config,
       "\"resp_mean_ms\":%.3f,\"resp_p95_ms\":%.3f,\"lock_acqs\":%llu,"
       "\"makespan_s\":%.3f}\n",
       figure, lock::protocol_kind_name(config.protocol),
+      client::routing_kind_name(config.routing),
       config.coordinator_workers, config.participant_workers,
       config.lock_shards, config.sites, config.clients, config.ops_per_txn,
       config.update_txn_fraction, result.report.submitted,

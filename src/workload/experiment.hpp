@@ -43,6 +43,12 @@ struct ExperimentConfig {
   std::size_t participant_workers = 1;
   std::size_t lock_shards = 1;
 
+  /// Client routing policy (--routing=explicit|round-robin|affinity):
+  /// explicit = the paper's home-site model, affinity = route each
+  /// transaction to the site hosting most of its documents.
+  client::RoutingPolicy::Kind routing =
+      client::RoutingPolicy::Kind::kExplicit;
+
   std::uint64_t seed = 42;
   std::chrono::microseconds latency{100};
   std::chrono::microseconds detect_period{10'000};

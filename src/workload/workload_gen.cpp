@@ -58,6 +58,15 @@ std::vector<std::string> WorkloadGenerator::make_transaction(
   return ops;
 }
 
+util::Result<client::PreparedTxn> WorkloadGenerator::make_prepared(
+    Rng& rng, bool* is_update) {
+  client::TxnBuilder builder;
+  for (const std::string& text : make_transaction(rng, is_update)) {
+    builder.op_text(text);
+  }
+  return builder.build();
+}
+
 std::string WorkloadGenerator::make_query(Rng& rng) {
   const Target& target = pick_target(rng);
   const bool scan = rng.next_bool(0.25);

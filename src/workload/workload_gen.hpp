@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "client/txn_builder.hpp"
 #include "util/rng.hpp"
 #include "workload/fragmentation.hpp"
 
@@ -31,10 +32,17 @@ class WorkloadGenerator {
   WorkloadGenerator(const std::vector<Fragment>& fragments,
                     WorkloadOptions options);
 
-  /// Builds one transaction (list of textual operations). Deterministic
-  /// given the Rng state. Sets *is_update when non-null.
+  /// Builds one transaction (list of textual operations — the workload
+  /// file format). Deterministic given the Rng state. Sets *is_update when
+  /// non-null.
   std::vector<std::string> make_transaction(util::Rng& rng,
                                             bool* is_update = nullptr);
+
+  /// Typed variant: the same transaction parsed exactly once into an
+  /// immutable client::PreparedTxn (what DTXTester submits). The generator
+  /// only emits well-formed operations, so failure here is a bug.
+  util::Result<client::PreparedTxn> make_prepared(util::Rng& rng,
+                                                  bool* is_update = nullptr);
 
   [[nodiscard]] const WorkloadOptions& options() const noexcept {
     return options_;

@@ -80,7 +80,7 @@ TEST_P(SerialEquivalence, ClusterMatchesReferenceEngine) {
       update = "rename /site/people/person[@id='" + id + "'] ::= vip";
     }
 
-    auto result = cluster.execute(round % 2, {"update d1 " + update});
+    auto result = cluster.execute_text(round % 2, {"update d1 " + update});
     ASSERT_TRUE(result.is_ok());
     if (result.value().state != TxnState::kCommitted) continue;
 
@@ -131,7 +131,7 @@ TEST_P(InsertAccounting, CommittedInsertsAllPresentAbortedAbsent) {
         const std::string id =
             "n" + std::to_string(c) + "_" + std::to_string(t);
         // A read plus the insert: the read makes wait cycles possible.
-        auto result = cluster.execute(
+        auto result = cluster.execute_text(
             static_cast<net::SiteId>(c % 3),
             {"query d1 /site/people/person/name",
              "update d1 insert into /site/people ::= <person id=\"" + id +
@@ -191,7 +191,7 @@ TEST(ConsistencyTest, SingleElementWritersConvergeAcrossReplicas) {
     writers.emplace_back([&, w] {
       for (int i = 0; i < 4; ++i) {
         const std::string value = std::to_string(w * 100 + i);
-        auto result = cluster.execute(
+        auto result = cluster.execute_text(
             static_cast<net::SiteId>(w % 2),
             {"update d1 change /site/people/person[@id='p1']/phone ::= " +
              value});
@@ -240,7 +240,7 @@ TEST(ConsistencyTest, NoDirtyReads) {
     while (!stop.load()) {
       // The change succeeds, then the transaction aborts on a structural
       // error: the dirty value 'DIRTY...' must never escape.
-      auto result = cluster.execute(
+      auto result = cluster.execute_text(
           0, {"update d1 change /site/people/person[@id='p2']/phone ::= "
               "DIRTY" + std::to_string(i++),
               "update d1 insert after /site ::= <bad/>"});
@@ -250,7 +250,7 @@ TEST(ConsistencyTest, NoDirtyReads) {
   });
 
   for (int i = 0; i < 40; ++i) {
-    auto result = cluster.execute(
+    auto result = cluster.execute_text(
         1, {"query d1 /site/people/person[@id='p2']/phone"});
     ASSERT_TRUE(result.is_ok());
     if (result.value().state != TxnState::kCommitted) continue;

@@ -199,7 +199,13 @@ TEST(DeadlockDetectorTest, ExpiryResolvesWithPartialReplies) {
   EXPECT_EQ(*victim, 2u);  // local edges alone already form the cycle
 }
 
-// --- Connection ----------------------------------------------------------------
+// --- Connection (deprecated shim over dtx::client) ---------------------------
+// These tests pin the one-PR compatibility contract: the old Connection
+// surface keeps working, now delegating to client::Session.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
 ClusterOptions small_options() {
   ClusterOptions options;
@@ -277,6 +283,10 @@ TEST(ConnectionTest, RetriesDeadlockVictims) {
   EXPECT_EQ(committed.load(), 20);
 }
 
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
 // --- durability (file-backed cluster restart) --------------------------------------
 
 TEST(DurabilityTest, CommittedStateSurvivesClusterRestart) {
@@ -295,7 +305,7 @@ TEST(DurabilityTest, CommittedStateSurvivesClusterRestart) {
                                    {0, 1})
                     .is_ok());
     ASSERT_TRUE(cluster.start().is_ok());
-    auto result = cluster.execute(
+    auto result = cluster.execute_text(
         0, {"update d1 change /site/people/person[@id='p1']/phone ::= 999"});
     ASSERT_TRUE(result.is_ok());
     ASSERT_EQ(result.value().state, TxnState::kCommitted);
@@ -306,7 +316,7 @@ TEST(DurabilityTest, CommittedStateSurvivesClusterRestart) {
     Cluster cluster(options);
     ASSERT_TRUE(cluster.declare_document("d1", {0, 1}).is_ok());
     ASSERT_TRUE(cluster.start().is_ok());
-    auto result = cluster.execute(
+    auto result = cluster.execute_text(
         1, {"query d1 /site/people/person[@id='p1']/phone"});
     ASSERT_TRUE(result.is_ok());
     ASSERT_EQ(result.value().state, TxnState::kCommitted);
@@ -327,22 +337,25 @@ TEST(DurabilityTest, DeclareDocumentRejectsMissingData) {
   fs::remove_all(dir);
 }
 
-TEST(ErrorReportingTest, AbortedTransactionCarriesReason) {
+TEST(ErrorReportingTest, AbortedTransactionCarriesTypedReason) {
   Cluster cluster(small_options());
   ASSERT_TRUE(cluster
                   .load_document("d1", "<site><people/></site>", {0})
                   .is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
   auto result =
-      cluster.execute(0, {"update d1 insert after /site ::= <bad/>"});
+      cluster.execute_text(0, {"update d1 insert after /site ::= <bad/>"});
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(result.value().state, TxnState::kAborted);
-  EXPECT_NE(result.value().error.find("operation 0"), std::string::npos)
-      << result.value().error;
+  // Tests branch on the code; the detail string is diagnostics only.
+  EXPECT_EQ(result.value().reason, txn::AbortReason::kUnprocessableUpdate);
+  EXPECT_NE(result.value().detail.find("operation 0"), std::string::npos)
+      << result.value().detail;
 
-  auto missing = cluster.execute(0, {"query nope /site/people"});
+  auto missing = cluster.execute_text(0, {"query nope /site/people"});
   ASSERT_TRUE(missing.is_ok());
-  EXPECT_NE(missing.value().error.find("not in the catalog"),
+  EXPECT_EQ(missing.value().reason, txn::AbortReason::kParseError);
+  EXPECT_NE(missing.value().detail.find("not in the catalog"),
             std::string::npos);
 }
 
@@ -382,7 +395,7 @@ TEST(StagedEngineTest, MultiWorkerSiteAccountsForEveryTransaction) {
       for (std::size_t i = 0; i < kTxnsPerClient; ++i) {
         const SiteId home = static_cast<SiteId>(c % 2);
         const std::string id = "p" + std::to_string(1 + (c + i) % 3);
-        auto result = cluster.execute(
+        auto result = cluster.execute_text(
             home, {"query d1 /site/people/person[@id='" + id + "']/name",
                    "update d1 change /site/people/person[@id='" + id +
                        "']/phone ::= 555" + std::to_string(c),
@@ -431,7 +444,7 @@ TEST(StagedEngineTest, MultiWorkerConflictingUpdatesStayConsistent) {
   writers.reserve(kWriters);
   for (std::size_t w = 0; w < kWriters; ++w) {
     writers.emplace_back([&, w] {
-      auto result = cluster.execute(
+      auto result = cluster.execute_text(
           static_cast<SiteId>(w % 2),
           {"update d1 insert after /site/people/person[@id='p1'] ::= "
            "<visit writer=\"w" +
@@ -470,7 +483,7 @@ TEST(StagedEngineTest, DefaultOptionsPreserveSequentialBehavior) {
   ASSERT_TRUE(cluster.load_document("d1", kStagedXml, {0, 1}).is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
   for (int i = 0; i < 5; ++i) {
-    auto result = cluster.execute(
+    auto result = cluster.execute_text(
         0, {"query d1 /site/people/person/name",
             "update d1 change /site/people/person[@id='p1']/phone ::= " +
                 std::to_string(1000 + i)});

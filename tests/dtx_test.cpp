@@ -88,7 +88,7 @@ TEST(ClusterTest, SingleSiteQueryCommits) {
   Cluster cluster(fast_options(1));
   ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0}).is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
-  auto result = cluster.execute(
+  auto result = cluster.execute_text(
       0, {"query d1 /site/people/person[@id='p1']/name"});
   ASSERT_TRUE(result.is_ok()) << result.status().to_string();
   EXPECT_EQ(result.value().state, TxnState::kCommitted);
@@ -101,7 +101,7 @@ TEST(ClusterTest, MultiOperationTransaction) {
   Cluster cluster(fast_options(1));
   ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0}).is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
-  auto result = cluster.execute(
+  auto result = cluster.execute_text(
       0, {"query d1 /site/people/person[@id='p1']/name",
           "query d1 /site/people/person[@id='p2']/phone",
           "query d1 /site/people/person/name"});
@@ -116,7 +116,7 @@ TEST(ClusterTest, UpdatePersistsToStorage) {
   Cluster cluster(fast_options(1));
   ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0}).is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
-  auto result = cluster.execute(
+  auto result = cluster.execute_text(
       0, {"update d1 insert into /site/people ::= "
           "<person id=\"p9\"><name>Zoe</name></person>",
           "query d1 /site/people/person[@id='p9']/name"});
@@ -133,7 +133,7 @@ TEST(ClusterTest, FailedOperationAbortsAndRollsBack) {
   Cluster cluster(fast_options(1));
   ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0}).is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
-  auto result = cluster.execute(
+  auto result = cluster.execute_text(
       0, {"update d1 insert into /site/people ::= "
           "<person id=\"p9\"><name>Zoe</name></person>",
           // Insert beside the root is a structural error -> abort.
@@ -142,7 +142,7 @@ TEST(ClusterTest, FailedOperationAbortsAndRollsBack) {
   EXPECT_EQ(result.value().state, TxnState::kAborted);
   // The first op's effects must be gone.
   auto check =
-      cluster.execute(0, {"query d1 /site/people/person[@id='p9']/name"});
+      cluster.execute_text(0, {"query d1 /site/people/person[@id='p9']/name"});
   ASSERT_TRUE(check.is_ok());
   EXPECT_EQ(check.value().state, TxnState::kCommitted);
   EXPECT_TRUE(check.value().rows[0].empty());
@@ -155,7 +155,7 @@ TEST(ClusterTest, UnknownDocumentAborts) {
   Cluster cluster(fast_options(1));
   ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0}).is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
-  auto result = cluster.execute(0, {"query ghost /site/people"});
+  auto result = cluster.execute_text(0, {"query ghost /site/people"});
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(result.value().state, TxnState::kAborted);
 }
@@ -164,8 +164,8 @@ TEST(ClusterTest, MalformedOperationRejectedAtSubmit) {
   Cluster cluster(fast_options(1));
   ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0}).is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
-  EXPECT_FALSE(cluster.execute(0, {"explode d1 /site"}).is_ok());
-  EXPECT_FALSE(cluster.execute(0, {"query d1 not-a-path"}).is_ok());
+  EXPECT_FALSE(cluster.execute_text(0, {"explode d1 /site"}).is_ok());
+  EXPECT_FALSE(cluster.execute_text(0, {"query d1 not-a-path"}).is_ok());
 }
 
 // --- distributed execution --------------------------------------------------------
@@ -174,7 +174,7 @@ TEST(ClusterTest, DistributedQueryOnReplicatedDocument) {
   Cluster cluster(fast_options(2));
   ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1}).is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
-  auto result = cluster.execute(
+  auto result = cluster.execute_text(
       0, {"query d1 /site/people/person[@id='p2']/name"});
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(result.value().state, TxnState::kCommitted);
@@ -186,7 +186,7 @@ TEST(ClusterTest, QueryOnRemoteOnlyDocument) {
   ASSERT_TRUE(cluster.load_document("d2", kProductsXml, {1}).is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
   // Client connects to site 0; the data lives only at site 1.
-  auto result = cluster.execute(
+  auto result = cluster.execute_text(
       0, {"query d2 /site/regions/europe/item[@id='i1']/price"});
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(result.value().state, TxnState::kCommitted);
@@ -197,7 +197,7 @@ TEST(ClusterTest, DistributedUpdateReachesAllReplicas) {
   Cluster cluster(fast_options(3));
   ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1, 2}).is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
-  auto result = cluster.execute(
+  auto result = cluster.execute_text(
       1, {"update d1 change /site/people/person[@id='p1']/phone ::= 999"});
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(result.value().state, TxnState::kCommitted);
@@ -216,7 +216,7 @@ TEST(ClusterTest, CrossDocumentTransaction) {
   ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0}).is_ok());
   ASSERT_TRUE(cluster.load_document("d2", kProductsXml, {1}).is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
-  auto result = cluster.execute(
+  auto result = cluster.execute_text(
       0, {"query d1 /site/people/person[@id='p1']/name",
           "update d2 change /site/regions/europe/item[@id='i1']/price "
           "::= 42.00",
@@ -231,7 +231,7 @@ TEST(ClusterTest, AbortUndoesAcrossSites) {
   Cluster cluster(fast_options(2));
   ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1}).is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
-  auto result = cluster.execute(
+  auto result = cluster.execute_text(
       0, {"update d1 insert into /site/people ::= <person id=\"px\"/>",
           "update d1 insert after /site ::= <bad/>"});  // forces abort
   ASSERT_TRUE(result.is_ok());
@@ -253,9 +253,9 @@ TEST(ClusterTest, ConcurrentDisjointUpdatesAllCommit) {
   ASSERT_TRUE(cluster.load_document("d2", kProductsXml, {1}).is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
 
-  auto t1 = cluster.submit(
+  auto t1 = cluster.submit_text(
       0, {"update d1 change /site/people/person[@id='p1']/phone ::= 100"});
-  auto t2 = cluster.submit(
+  auto t2 = cluster.submit_text(
       1, {"update d2 change /site/regions/europe/item[@id='i1']/price "
           "::= 1.00"});
   ASSERT_TRUE(t1.is_ok() && t2.is_ok());
@@ -274,7 +274,7 @@ TEST(ClusterTest, ConflictingTransactionsSerializeViaWait) {
   constexpr int kWriters = 12;
   std::vector<std::shared_ptr<txn::Transaction>> handles;
   for (int i = 0; i < kWriters; ++i) {
-    auto handle = cluster.submit(
+    auto handle = cluster.submit_text(
         0, {"update d1 change /site/people/person[@id='p1']/phone ::= " +
             std::to_string(i)});
     ASSERT_TRUE(handle.is_ok());
@@ -301,11 +301,11 @@ TEST(ClusterTest, DistributedDeadlockResolvedByVictimAbort) {
 
   std::uint64_t deadlocks = 0;
   for (int round = 0; round < 20 && deadlocks == 0; ++round) {
-    auto t1 = cluster.submit(
+    auto t1 = cluster.submit_text(
         0, {"query d1 /site/people/person/name",
             "update d2 insert into /site/regions/europe ::= "
             "<item id=\"a" + std::to_string(round) + "\"/>"});
-    auto t2 = cluster.submit(
+    auto t2 = cluster.submit_text(
         1, {"query d2 /site/regions/europe/item/name",
             "update d1 insert into /site/people ::= "
             "<person id=\"b" + std::to_string(round) + "\"/>"});
@@ -351,7 +351,7 @@ TEST(ClusterTest, MixedStressKeepsReplicasConsistent) {
           }
         }
         auto result =
-            cluster.execute(static_cast<net::SiteId>(c % 3), ops);
+            cluster.execute_text(static_cast<net::SiteId>(c % 3), ops);
         ASSERT_TRUE(result.is_ok());
         ++terminated;
       }
@@ -376,10 +376,10 @@ TEST_P(ProtocolSwapTest, BasicWorkloadCommitsUnderEveryProtocol) {
   Cluster cluster(fast_options(2, GetParam()));
   ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1}).is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
-  auto read = cluster.execute(0, {"query d1 /site/people/person/name"});
+  auto read = cluster.execute_text(0, {"query d1 /site/people/person/name"});
   ASSERT_TRUE(read.is_ok());
   EXPECT_EQ(read.value().state, TxnState::kCommitted);
-  auto write = cluster.execute(
+  auto write = cluster.execute_text(
       1, {"update d1 change /site/people/person[@id='p2']/phone ::= 321"});
   ASSERT_TRUE(write.is_ok());
   EXPECT_EQ(write.value().state, TxnState::kCommitted);
@@ -405,7 +405,7 @@ TEST(ClusterTest, DroppedAbortAckFailsTransaction) {
   });
   // op0 executes remotely; op1 fails structurally -> abort; the abort ack
   // never arrives -> Alg. 6 l. 5-10: the transaction *fails*.
-  auto result = cluster.execute(
+  auto result = cluster.execute_text(
       0, {"update d1 change /site/people/person[@id='p1']/phone ::= 7",
           "update d1 insert after /site ::= <bad/>"});
   ASSERT_TRUE(result.is_ok());
@@ -421,7 +421,7 @@ TEST(ClusterTest, DroppedCommitAckAbortsTransaction) {
   cluster.network().set_drop_filter([](const net::Message& message) {
     return std::holds_alternative<net::CommitAck>(message.payload);
   });
-  auto result = cluster.execute(
+  auto result = cluster.execute_text(
       0, {"update d1 change /site/people/person[@id='p1']/phone ::= 7"});
   ASSERT_TRUE(result.is_ok());
   // Alg. 5 l. 5-7: commit not served at a site -> abort path runs. The
@@ -437,7 +437,7 @@ TEST(ClusterTest, StatsAccumulate) {
   ASSERT_TRUE(cluster.start().is_ok());
   for (int i = 0; i < 4; ++i) {
     auto result =
-        cluster.execute(i % 2, {"query d1 /site/people/person/name"});
+        cluster.execute_text(i % 2, {"query d1 /site/people/person/name"});
     ASSERT_TRUE(result.is_ok());
     EXPECT_EQ(result.value().state, TxnState::kCommitted);
   }

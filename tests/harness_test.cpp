@@ -106,7 +106,7 @@ TEST(InspectorTest, DescribesClusterAndSites) {
                   .is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
   ASSERT_TRUE(
-      cluster.execute(0, {"query d1 /site/people/person/name"}).is_ok());
+      cluster.execute_text(0, {"query d1 /site/people/person/name"}).is_ok());
 
   const std::string description = core::describe_cluster(cluster);
   EXPECT_NE(description.find("2 sites"), std::string::npos);
@@ -172,7 +172,7 @@ TEST(AllVerbsStressTest, EveryUpdateKindRunsConcurrentlyAndReplicasAgree) {
                  "']/archive";
             break;
         }
-        auto result = cluster.execute(static_cast<net::SiteId>(c % 3),
+        auto result = cluster.execute_text(static_cast<net::SiteId>(c % 3),
                                       {"update d1 " + op});
         ASSERT_TRUE(result.is_ok());
         if (result.value().state == txn::TxnState::kCommitted) ++committed;

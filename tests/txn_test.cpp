@@ -2,8 +2,11 @@
 
 #include <thread>
 
+#include "txn/abort_reason.hpp"
 #include "txn/operation.hpp"
 #include "txn/transaction.hpp"
+#include "util/rng.hpp"
+#include "workload/workload_gen.hpp"
 
 namespace dtx::txn {
 namespace {
@@ -48,6 +51,106 @@ TEST(OperationTest, ParseErrors) {
   EXPECT_FALSE(parse_operation("scan d1 /a").is_ok());
   EXPECT_FALSE(parse_operation("query d1 not-absolute").is_ok());
   EXPECT_FALSE(parse_operation("update d1 explode /a ::= x").is_ok());
+}
+
+TEST(OperationTest, ParseErrorsCarryInvalidArgumentAndContext) {
+  // Every malformed input fails with kInvalidArgument (never a crash or a
+  // misleading code) and a message naming what was wrong.
+  const struct {
+    const char* text;
+    const char* expect_fragment;
+  } cases[] = {
+      {"", "verb"},
+      {"   ", "verb"},
+      {"query", "verb"},                      // no doc, no body
+      {"query d1", "body"},                   // no body
+      {"update d1", "body"},                  // no update syntax
+      {"scan d1 /a", "verb"},                 // unknown verb
+      {"QUERY d1 /a", "verb"},                // verbs are case-sensitive
+      {"update d1 explode /a ::= x", ""},     // unknown update kind
+      {"update d1 insert sideways /a ::= <x/>", ""},  // bad insert position
+  };
+  for (const auto& c : cases) {
+    auto op = parse_operation(c.text);
+    ASSERT_FALSE(op.is_ok()) << "'" << c.text << "' parsed";
+    EXPECT_EQ(op.status().code(), util::Code::kInvalidArgument)
+        << "'" << c.text << "' -> " << op.status().to_string();
+    if (c.expect_fragment[0] != '\0') {
+      EXPECT_NE(op.status().message().find(c.expect_fragment),
+                std::string::npos)
+          << "'" << c.text << "' -> " << op.status().to_string();
+    }
+  }
+  // Whitespace-tolerant inputs still parse.
+  EXPECT_TRUE(parse_operation("  query d1 /a/b  ").is_ok());
+}
+
+// Property: parse -> to_string -> parse is the identity (on the canonical
+// textual form) for every operation the workload generator can emit. This
+// is what lets operations travel as text between sites and lets
+// PreparedTxn::to_text round-trip workload files.
+TEST(OperationTest, RoundTripPropertyOverGeneratedWorkload) {
+  workload::Fragment people;
+  people.doc_name = "f0";
+  people.section = "people";
+  people.ids = {"p1", "p2", "p3"};
+  workload::Fragment regions;
+  regions.doc_name = "f1";
+  regions.section = "regions";
+  regions.continent = "europe";
+  regions.ids = {"i1", "i2"};
+  workload::Fragment auctions;
+  auctions.doc_name = "f2";
+  auctions.section = "open_auctions";
+  auctions.ids = {"a1", "a2"};
+  workload::Fragment categories;
+  categories.doc_name = "f3";
+  categories.section = "categories";
+  categories.ids = {"c1"};
+
+  workload::WorkloadOptions options;
+  options.ops_per_transaction = 5;
+  options.update_txn_fraction = 0.5;
+  workload::WorkloadGenerator generator(
+      {people, regions, auctions, categories}, options);
+  util::Rng rng(2026);
+
+  std::size_t checked = 0;
+  for (int t = 0; t < 200; ++t) {
+    for (const std::string& text : generator.make_transaction(rng)) {
+      auto op = parse_operation(text);
+      ASSERT_TRUE(op.is_ok()) << text << " -> " << op.status().to_string();
+      const std::string canonical = op.value().to_string();
+      auto reparsed = parse_operation(canonical);
+      ASSERT_TRUE(reparsed.is_ok())
+          << text << " -> '" << canonical << "' failed to reparse";
+      // Fixed point: the canonical form re-serializes to itself.
+      EXPECT_EQ(reparsed.value().to_string(), canonical) << text;
+      EXPECT_EQ(reparsed.value().doc, op.value().doc);
+      EXPECT_EQ(reparsed.value().type, op.value().type);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 200u * 5u);
+}
+
+TEST(AbortReasonTest, NamesAndRetryability) {
+  EXPECT_STREQ(abort_reason_name(AbortReason::kNone), "none");
+  EXPECT_STREQ(abort_reason_name(AbortReason::kDeadlockVictim),
+               "deadlock-victim");
+  EXPECT_STREQ(abort_reason_name(AbortReason::kLockWaitExhausted),
+               "lock-wait-exhausted");
+  EXPECT_STREQ(abort_reason_name(AbortReason::kParseError), "parse-error");
+  EXPECT_STREQ(abort_reason_name(AbortReason::kSiteFailure), "site-failure");
+  EXPECT_STREQ(abort_reason_name(AbortReason::kUnprocessableUpdate),
+               "unprocessable-update");
+
+  EXPECT_TRUE(abort_reason_retryable(AbortReason::kDeadlockVictim));
+  EXPECT_TRUE(abort_reason_retryable(AbortReason::kLockWaitExhausted));
+  EXPECT_TRUE(abort_reason_retryable(AbortReason::kSiteFailure));
+  EXPECT_FALSE(abort_reason_retryable(AbortReason::kNone));
+  EXPECT_FALSE(abort_reason_retryable(AbortReason::kParseError));
+  EXPECT_FALSE(abort_reason_retryable(AbortReason::kUnprocessableUpdate));
 }
 
 TEST(TxnIdTest, EncodingRoundTrips) {
