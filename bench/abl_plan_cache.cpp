@@ -1,0 +1,174 @@
+// Ablation — plan cache: parse-per-execute (cache capacity 0, the seed's
+// behavior of re-lexing and re-parsing every operation on every execution)
+// vs cached-plan resolution, on the fig9 workload (read-only XMark queries
+// over the fragmented database). Both modes resolve the *textual* operation
+// through a query::PlanCache and execute the resulting plan against one
+// site's DataManager; the only difference is the capacity, so the measured
+// gap is exactly the per-execution compile cost the cache removes.
+//
+// One JSON line per mode (like fig12_throughput), e.g.:
+//   {"figure":"abl_plan_cache","mode":"parse_per_execute","capacity":0,...}
+//   {"figure":"abl_plan_cache","mode":"cached","capacity":1024,...}
+//
+// Flags: --doc_kb= --clients= --txns= --ops= --rounds= --capacity=
+//        --shards= --seed=
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "dtx/data_manager.hpp"
+#include "query/plan_cache.hpp"
+#include "storage/memory_store.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "workload/fragmentation.hpp"
+#include "workload/workload_gen.hpp"
+#include "workload/xmark.hpp"
+
+namespace {
+
+using namespace dtx;
+
+struct ModeResult {
+  double ops_per_s = 0.0;
+  double makespan_s = 0.0;
+  std::size_t executed = 0;
+  query::PlanCacheStats cache;
+};
+
+ModeResult run_mode(core::DataManager& data,
+                    const std::vector<std::string>& op_texts,
+                    std::size_t rounds, std::size_t capacity,
+                    std::size_t shards) {
+  query::PlanCache cache(capacity, shards);
+  ModeResult result;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (const std::string& text : op_texts) {
+      auto plan = cache.resolve_text(text);
+      if (!plan) {
+        std::fprintf(stderr, "compile failed: %s\n",
+                     plan.status().to_string().c_str());
+        continue;
+      }
+      if (plan.value()->is_update()) continue;  // fig9 is read-only
+      auto rows = data.run_query(*plan.value());
+      if (!rows) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     rows.status().to_string().c_str());
+        continue;
+      }
+      ++result.executed;
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  result.makespan_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  result.ops_per_s = result.makespan_s > 0.0
+                         ? static_cast<double>(result.executed) /
+                               result.makespan_s
+                         : 0.0;
+  result.cache = cache.stats();
+  return result;
+}
+
+void print_mode(const char* mode, std::size_t capacity, std::size_t shards,
+                std::size_t total_ops, std::size_t distinct_ops,
+                std::size_t rounds, const ModeResult& result) {
+  std::printf(
+      "{\"figure\":\"abl_plan_cache\",\"mode\":\"%s\",\"capacity\":%zu,"
+      "\"shards\":%zu,\"total_ops\":%zu,\"distinct_ops\":%zu,"
+      "\"rounds\":%zu,"
+      "\"executed\":%zu,\"ops_per_s\":%.2f,\"plan_hits\":%llu,"
+      "\"plan_misses\":%llu,\"plan_evictions\":%llu,\"hit_rate\":%.3f,"
+      "\"makespan_s\":%.4f}\n",
+      mode, capacity, shards, total_ops, distinct_ops, rounds,
+      result.executed,
+      result.ops_per_s, static_cast<unsigned long long>(result.cache.hits),
+      static_cast<unsigned long long>(result.cache.misses),
+      static_cast<unsigned long long>(result.cache.evictions),
+      result.cache.hit_rate(), result.makespan_s);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+
+  workload::XmarkOptions xmark;
+  xmark.target_bytes = static_cast<std::size_t>(
+      flags.get_int("doc_kb", 200) * 1024);
+  xmark.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const workload::XmarkData data = workload::generate_xmark(xmark);
+  const auto fragments = workload::fragment_xmark(data, 8);
+
+  // One site holding every fragment: the bench isolates plan resolution +
+  // execution, not the distributed protocol.
+  storage::MemoryStore store;
+  for (const workload::Fragment& fragment : fragments) {
+    if (!store.store(fragment.doc_name, fragment.xml)) {
+      std::fprintf(stderr, "store failed for %s\n",
+                   fragment.doc_name.c_str());
+      return 1;
+    }
+  }
+  core::DataManager manager(store);
+  if (util::Status loaded = manager.load_all(); !loaded) {
+    std::fprintf(stderr, "load_all failed: %s\n",
+                 loaded.to_string().c_str());
+    return 1;
+  }
+
+  // Fig. 9 workload: read-only transactions (5 ops each by default).
+  workload::WorkloadOptions workload_options;
+  workload_options.ops_per_transaction =
+      static_cast<std::size_t>(flags.get_int("ops", 5));
+  workload_options.update_txn_fraction = 0.0;
+  workload::WorkloadGenerator generator(fragments, workload_options);
+  util::Rng rng(xmark.seed + 1);
+  const std::size_t clients =
+      static_cast<std::size_t>(flags.get_int("clients", 50));
+  const std::size_t txns_per_client =
+      static_cast<std::size_t>(flags.get_int("txns", 5));
+  std::vector<std::string> op_texts;
+  op_texts.reserve(clients * txns_per_client *
+                   workload_options.ops_per_transaction);
+  for (std::size_t i = 0; i < clients * txns_per_client; ++i) {
+    for (std::string& text : generator.make_transaction(rng)) {
+      op_texts.push_back(std::move(text));
+    }
+  }
+  const std::size_t distinct_ops =
+      std::unordered_set<std::string>(op_texts.begin(), op_texts.end())
+          .size();
+
+  const std::size_t rounds =
+      static_cast<std::size_t>(flags.get_int("rounds", 20));
+  const std::size_t capacity =
+      static_cast<std::size_t>(flags.get_int("capacity", 1024));
+  const std::size_t shards =
+      static_cast<std::size_t>(flags.get_int("shards", 8));
+
+  // Warm the page cache / branch predictors evenly: one untimed pass.
+  (void)run_mode(manager, op_texts, 1, 0, shards);
+
+  const ModeResult baseline =
+      run_mode(manager, op_texts, rounds, 0, shards);
+  print_mode("parse_per_execute", 0, shards, op_texts.size(), distinct_ops,
+             rounds, baseline);
+
+  const ModeResult cached =
+      run_mode(manager, op_texts, rounds, capacity, shards);
+  print_mode("cached", capacity, shards, op_texts.size(), distinct_ops,
+             rounds, cached);
+
+  if (cached.ops_per_s > 0.0 && baseline.ops_per_s > 0.0) {
+    std::printf("# cached/parse_per_execute speedup: %.2fx\n",
+                cached.ops_per_s / baseline.ops_per_s);
+  }
+  return 0;
+}

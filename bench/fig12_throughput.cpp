@@ -3,7 +3,9 @@
 // over 4 sites — extended into the staged-engine scaling sweep: every
 // protocol is run for each (coordinator workers x lock shards) point and
 // one machine-readable JSON line is emitted per run, so successive PRs have
-// an ops/s trajectory to diff against.
+// an ops/s trajectory to diff against. Rows include the site plan-cache
+// accounting (plan_hits / plan_misses / plan_evictions; --plan_cache=
+// sizes the cache, 0 disables it).
 //
 // Flags:
 //   --workers_list=1,4      coordinator worker counts to sweep

@@ -45,6 +45,14 @@ int main(int argc, char** argv) {
                       latency.percentile(0.50), latency.percentile(0.95),
                       latency.percentile(0.99), latency.count());
         }
+        // Compiled-plan reuse across all sites (hot re-executions hit).
+        const query::PlanCacheStats& plans = result.cluster.plan_cache;
+        std::printf("  plan cache: hits=%llu misses=%llu evictions=%llu "
+                    "hit_rate=%.2f\n",
+                    static_cast<unsigned long long>(plans.hits),
+                    static_cast<unsigned long long>(plans.misses),
+                    static_cast<unsigned long long>(plans.evictions),
+                    plans.hit_rate());
       }
     }
   }

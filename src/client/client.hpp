@@ -68,10 +68,8 @@ util::Result<RoutingPolicy::Kind> parse_routing_kind(std::string_view name);
 /// other *transient* abort reasons (lock-wait exhausted, site failure) have
 /// independent budgets: `max_deadlock_retries` only governs deadlock
 /// victims, `max_retries` only the other retryable reasons — the two never
-/// gate each other (the old Connection::RetryPolicy coupled them: its
-/// `retry_all_aborts = true` with `max_deadlock_retries = 0` retried
-/// nothing). Deterministic aborts (parse/validation, unprocessable update)
-/// are never retried regardless of either budget.
+/// gate each other. Deterministic aborts (parse/validation, unprocessable
+/// update) are never retried regardless of either budget.
 struct RetryPolicy {
   /// Max automatic re-submissions after a deadlock abort (0 = never).
   std::uint32_t max_deadlock_retries = 0;

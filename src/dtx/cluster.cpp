@@ -140,6 +140,7 @@ ClusterStats Cluster::stats() {
     out.lock_acquisitions += s.lock_manager.lock_acquisitions;
     out.lock_conflicts += s.lock_manager.conflicts;
     out.remote_ops += s.remote_ops_processed;
+    out.plan_cache.merge(s.plan_cache);
     out.response_ms.merge(s.response_ms);
   }
   out.network = network_.stats();

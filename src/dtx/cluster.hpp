@@ -12,6 +12,7 @@
 #include "dtx/catalog.hpp"
 #include "dtx/site.hpp"
 #include "net/sim_network.hpp"
+#include "query/plan_cache.hpp"
 #include "storage/memory_store.hpp"
 #include "util/histogram.hpp"
 
@@ -39,6 +40,8 @@ struct ClusterStats {
   std::uint64_t lock_acquisitions = 0;
   std::uint64_t lock_conflicts = 0;
   std::uint64_t remote_ops = 0;
+  /// Plan-cache counters summed over all sites (compiled-operation reuse).
+  query::PlanCacheStats plan_cache;
   /// Client-observed response times across all sites (every terminated
   /// transaction); percentile() gives p50/p95/p99.
   util::Histogram response_ms;

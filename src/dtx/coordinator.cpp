@@ -112,13 +112,24 @@ void Coordinator::execute_one_operation(const TransactionPtr& txn) {
 
 void Coordinator::execute_local(const TransactionPtr& txn,
                                 std::size_t op_index) {
-  // Alg. 1 l. 6-10.
+  // Alg. 1 l. 6-10. The local path resolves through the same site plan
+  // cache as remote executes, so a wait-mode retry reuses its plan.
   const txn::Operation& op = txn->ops()[op_index];
   txn::OperationState& state = txn->state_of(op_index);
   ++state.attempts;
   state.reset_attempt();
+  auto plan = ctx_.plans.resolve(op);
+  if (!plan) {
+    state.failed = true;
+    state.reason = txn::AbortReason::kParseError;
+    state.error = plan.status().to_string();
+    txn->set_abort_reason(txn::AbortReason::kParseError);
+    abort_transaction(txn, false);
+    return;
+  }
   OpOutcome outcome = ctx_.locks.process_operation(
-      txn->id(), static_cast<std::uint32_t>(op_index), op, ctx_.options.id);
+      txn->id(), static_cast<std::uint32_t>(op_index), *plan.value(),
+      ctx_.options.id);
   switch (outcome.kind) {
     case OpOutcome::Kind::kExecuted:
       state.executed = true;
@@ -164,7 +175,7 @@ void Coordinator::execute_remote(const TransactionPtr& txn,
   for (SiteId site : sites) {
     ctx_.send(site, net::ExecuteOperation{
                         txn->id(), static_cast<std::uint32_t>(op_index),
-                        attempt, ctx_.options.id, op.doc, op.to_string()});
+                        attempt, ctx_.options.id, op});
   }
   const std::map<SiteId, net::OperationResult> replies = await_responses(
       txn->id(), static_cast<std::uint32_t>(op_index), attempt, expected);

@@ -57,24 +57,27 @@ Result<lock::DocContext> DataManager::context_of(const std::string& name) {
 }
 
 Result<std::vector<std::string>> DataManager::run_query(
-    const std::string& doc, const xpath::Path& path) {
-  DocEntry* entry = entry_of(doc);
+    const query::Plan& plan) {
+  DocEntry* entry = entry_of(plan.doc());
   if (entry == nullptr) {
-    return Status(Code::kNotFound, "document '" + doc + "' not at this site");
+    return Status(Code::kNotFound,
+                  "document '" + plan.doc() + "' not at this site");
   }
-  return xpath::evaluate_strings(path, *entry->document);
+  return xpath::evaluate_strings(plan.query(), *entry->document);
 }
 
-Result<std::size_t> DataManager::run_update(TxnId txn, const std::string& doc,
-                                            const xupdate::UpdateOp& op) {
-  DocEntry* entry = entry_of(doc);
+Result<std::size_t> DataManager::run_update(TxnId txn,
+                                            const query::Plan& plan) {
+  DocEntry* entry = entry_of(plan.doc());
   if (entry == nullptr) {
-    return Status(Code::kNotFound, "document '" + doc + "' not at this site");
+    return Status(Code::kNotFound,
+                  "document '" + plan.doc() + "' not at this site");
   }
-  xupdate::UndoLog& undo = undo_logs_[{txn, doc}];
-  auto result = xupdate::apply(op, *entry->document, undo, entry->guide.get());
+  xupdate::UndoLog& undo = undo_logs_[{txn, plan.doc()}];
+  auto result = xupdate::apply(plan.update(), *entry->document, undo,
+                               entry->guide.get());
   if (!result) return result.status();
-  touched_[txn].insert(doc);
+  touched_[txn].insert(plan.doc());
   return result.value().affected;
 }
 

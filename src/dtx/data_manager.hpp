@@ -20,6 +20,7 @@
 
 #include "dataguide/dataguide.hpp"
 #include "lock/protocol.hpp"
+#include "query/plan.hpp"
 #include "storage/storage.hpp"
 #include "txn/operation.hpp"
 #include "txn/transaction.hpp"
@@ -46,14 +47,13 @@ class DataManager {
   [[nodiscard]] util::Result<lock::DocContext> context_of(
       const std::string& name);
 
-  /// Runs a query; returns the matched string values.
-  util::Result<std::vector<std::string>> run_query(const std::string& doc,
-                                                   const xpath::Path& path);
+  /// Runs a compiled query plan; returns the matched string values.
+  util::Result<std::vector<std::string>> run_query(const query::Plan& plan);
 
-  /// Applies an update on behalf of `txn`, maintaining the DataGuide and the
-  /// transaction's undo log. Returns the number of affected nodes.
-  util::Result<std::size_t> run_update(TxnId txn, const std::string& doc,
-                                       const xupdate::UpdateOp& op);
+  /// Applies a compiled update plan on behalf of `txn`, maintaining the
+  /// DataGuide and the transaction's undo log. Returns the number of
+  /// affected nodes.
+  util::Result<std::size_t> run_update(TxnId txn, const query::Plan& plan);
 
   /// Checkpoint token of txn's undo log on `doc` (for per-operation undo).
   [[nodiscard]] std::size_t undo_checkpoint(TxnId txn, const std::string& doc);

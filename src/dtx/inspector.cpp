@@ -19,6 +19,10 @@ std::string describe_site(Site& site) {
       << " conflicts=" << stats.lock_manager.conflicts
       << " local_deadlocks=" << stats.lock_manager.local_deadlocks
       << " entries_now=" << site.lock_manager().lock_entries() << "\n";
+  out << "  plan cache: hits=" << stats.plan_cache.hits
+      << " misses=" << stats.plan_cache.misses
+      << " evictions=" << stats.plan_cache.evictions
+      << " entries=" << stats.plan_cache.entries << "\n";
   const auto& table = site.lock_manager().table();
   if (table.shard_count() > 1) {
     out << "  lock shards (" << table.shard_count() << "):";

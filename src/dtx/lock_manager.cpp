@@ -17,7 +17,7 @@ LockManager::LockManager(lock::ProtocolKind protocol, DataManager& data,
       table_(lock_shards) {}
 
 OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
-                                         const txn::Operation& op,
+                                         const query::Plan& plan,
                                          SiteId waiter_coordinator) {
   OpOutcome outcome;
 
@@ -35,24 +35,26 @@ OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
                                                  std::defer_lock);
   std::unique_lock<std::shared_mutex> write_latch(data_latch_,
                                                   std::defer_lock);
-  if (op.is_update()) {
+  if (plan.is_update()) {
     write_latch.lock();
   } else {
     read_latch.lock();
   }
 
-  auto context = data_.context_of(op.doc);
+  auto context = data_.context_of(plan.doc());
   if (!context) {
     outcome.kind = OpOutcome::Kind::kFailed;
     outcome.error = context.status().to_string();
     return outcome;
   }
 
-  // Compute the lock set under the protocol's rules.
+  // Compute the lock set under the protocol's rules. The plan's pre-match
+  // hook spares insert lock-sets the per-execution fragment parse.
   auto requests =
-      op.is_update()
-          ? protocol_->locks_for_update(op.update, context.value())
-          : protocol_->locks_for_query(op.query, context.value());
+      plan.is_update()
+          ? protocol_->locks_for_update(plan.update(), context.value(),
+                                        plan.prematch())
+          : protocol_->locks_for_query(plan.query(), context.value());
   if (!requests) {
     outcome.kind = OpOutcome::Kind::kFailed;
     outcome.error = requests.status().to_string();
@@ -61,7 +63,7 @@ OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
 
   // Acquire all-or-nothing (Alg. 3 l. 4). The table synchronizes itself.
   OpRecord record;
-  record.doc = op.doc;
+  record.doc = plan.doc();
   lock::AcquireOutcome acquired =
       table_.try_acquire_all(txn, requests.value(), &record.journal);
   if (!acquired.granted) {
@@ -88,9 +90,9 @@ OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
   }
 
   // Locks held: execute (Alg. 3 l. 6).
-  if (op.is_update()) {
-    record.undo_token = data_.undo_checkpoint(txn, op.doc);
-    auto applied = data_.run_update(txn, op.doc, op.update);
+  if (plan.is_update()) {
+    record.undo_token = data_.undo_checkpoint(txn, plan.doc());
+    auto applied = data_.run_update(txn, plan);
     if (!applied) {
       // Structural failure: release this operation's locks and report.
       table_.rollback(txn, record.journal);
@@ -100,7 +102,7 @@ OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
     }
     record.did_update = true;
   } else {
-    auto rows = data_.run_query(op.doc, op.query);
+    auto rows = data_.run_query(plan);
     if (!rows) {
       table_.rollback(txn, record.journal);
       outcome.kind = OpOutcome::Kind::kFailed;

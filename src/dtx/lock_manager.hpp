@@ -43,6 +43,7 @@
 #include "dtx/data_manager.hpp"
 #include "lock/lock_table.hpp"
 #include "lock/protocol.hpp"
+#include "query/plan.hpp"
 #include "txn/operation.hpp"
 #include "txn/transaction.hpp"
 #include "wfg/wait_for_graph.hpp"
@@ -84,11 +85,13 @@ class LockManager {
   LockManager(lock::ProtocolKind protocol, DataManager& data,
               std::size_t lock_shards = 1);
 
-  /// Algorithm 3. `waiter_coordinator` is the coordinator site of the
-  /// transaction (wake messages go there on conflict). Thread-safe; any
-  /// number of scheduler workers may call it concurrently.
+  /// Algorithm 3, driven by a compiled plan (the caller resolves the
+  /// operation through the site PlanCache, so retries and wait-mode
+  /// re-executions never re-parse). `waiter_coordinator` is the coordinator
+  /// site of the transaction (wake messages go there on conflict).
+  /// Thread-safe; any number of scheduler workers may call it concurrently.
   OpOutcome process_operation(lock::TxnId txn, std::uint32_t op_index,
-                              const txn::Operation& op,
+                              const query::Plan& plan,
                               SiteId waiter_coordinator);
 
   /// Undoes one operation's effects and releases the locks it acquired

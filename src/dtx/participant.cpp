@@ -92,14 +92,17 @@ void Participant::handle_execute(const net::ExecuteOperation& request) {
   reply.op_index = request.op_index;
   reply.attempt = request.attempt;
 
-  auto op = txn::parse_operation(request.op_text);
-  if (!op) {
+  // Resolve the typed operation through the site plan cache: wait-mode
+  // re-executions (attempt > 1) and repeated workload operations run the
+  // cached plan — no parsing happens on this path.
+  auto plan = ctx_.plans.resolve(request.op);
+  if (!plan) {
     reply.failed = true;
     reply.reason = txn::AbortReason::kParseError;
-    reply.error = op.status().to_string();
+    reply.error = plan.status().to_string();
   } else {
     OpOutcome outcome = ctx_.locks.process_operation(
-        request.txn, request.op_index, op.value(), request.coordinator);
+        request.txn, request.op_index, *plan.value(), request.coordinator);
     switch (outcome.kind) {
       case OpOutcome::Kind::kExecuted:
         reply.executed = true;

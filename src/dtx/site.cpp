@@ -94,6 +94,7 @@ SiteStats Site::stats() {
   std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
   SiteStats out = ctx_.stats;
   out.lock_manager = ctx_.locks.stats();
+  out.plan_cache = ctx_.plans.stats();
   out.distributed_cycles_found = ctx_.detector.cycles_found();
   return out;
 }

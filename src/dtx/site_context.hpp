@@ -27,6 +27,7 @@
 #include "dtx/deadlock_detector.hpp"
 #include "dtx/lock_manager.hpp"
 #include "net/sim_network.hpp"
+#include "query/plan_cache.hpp"
 #include "storage/storage.hpp"
 #include "txn/transaction.hpp"
 #include "util/histogram.hpp"
@@ -55,6 +56,13 @@ struct SiteOptions {
   std::size_t participant_workers = 1;
   /// Shards of the site lock table (1 = single-monitor behavior).
   std::size_t lock_shards = 1;
+  /// Site plan cache: compiled operations shared across transactions and
+  /// workers (participant executes + the coordinator's local path). 0
+  /// disables caching — every execution compiles a private plan, the
+  /// parse-per-execute baseline of bench/abl_plan_cache.
+  std::size_t plan_cache_capacity = 1024;
+  /// Independently-locked LRU shards of the plan cache.
+  std::size_t plan_cache_shards = 8;
   /// Distributed deadlock detection period (Alg. 4 cadence).
   std::chrono::microseconds detect_period{20'000};
   /// Probe reply collection timeout.
@@ -84,6 +92,8 @@ struct SiteStats {
   std::uint64_t wait_episodes = 0;
   std::uint64_t remote_ops_processed = 0;
   LockManagerStats lock_manager;
+  /// Site plan-cache counters (hits / misses / evictions / entries).
+  query::PlanCacheStats plan_cache;
   /// Client-observed response time of every transaction coordinated here
   /// (committed and aborted), recorded at completion.
   util::Histogram response_ms;
@@ -100,6 +110,7 @@ struct SiteContext {
         catalog(cat),
         data(store),
         locks(opts.protocol, data, opts.lock_shards),
+        plans(opts.plan_cache_capacity, opts.plan_cache_shards),
         detector(opts.detect_period, opts.detect_reply_timeout) {}
 
   SiteContext(const SiteContext&) = delete;
@@ -111,6 +122,9 @@ struct SiteContext {
   const Catalog& catalog;
   DataManager data;
   LockManager locks;
+  /// Compiled-plan cache shared by the participant executors and the
+  /// coordinator's local-execution path (internally synchronized).
+  query::PlanCache plans;
   DeadlockDetector detector;
 
   std::atomic<bool> running{false};

@@ -24,7 +24,8 @@ class DocLockProtocol final : public LockProtocol {
   }
 
   util::Result<std::vector<LockRequest>> locks_for_update(
-      const xupdate::UpdateOp& op, const DocContext& context) override {
+      const xupdate::UpdateOp& op, const DocContext& context,
+      const xupdate::FragmentProbe* /*probe*/) override {
     (void)op;
     return std::vector<LockRequest>{
         LockRequest{LockTarget{context.scope, 0}, LockMode::kX}};

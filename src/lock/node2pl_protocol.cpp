@@ -50,7 +50,8 @@ class Node2plProtocol final : public LockProtocol {
   }
 
   Result<std::vector<LockRequest>> locks_for_update(
-      const UpdateOp& op, const DocContext& context) override {
+      const UpdateOp& op, const DocContext& context,
+      const xupdate::FragmentProbe* /*probe*/) override {
     std::vector<LockRequest> requests;
     std::vector<Node*> targets = xpath::evaluate(op.target, context.document);
     switch (op.kind) {

@@ -41,9 +41,20 @@ class LockProtocol {
   virtual util::Result<std::vector<LockRequest>> locks_for_query(
       const xpath::Path& path, const DocContext& context) = 0;
 
-  /// Lock set for an update operation.
+  /// Lock set for an update operation. `probe` optionally carries the
+  /// pre-computed fragment facts of an insert (query::Plan compiles it
+  /// once); when null, protocols that need them probe the fragment
+  /// themselves.
   virtual util::Result<std::vector<LockRequest>> locks_for_update(
-      const xupdate::UpdateOp& op, const DocContext& context) = 0;
+      const xupdate::UpdateOp& op, const DocContext& context,
+      const xupdate::FragmentProbe* probe) = 0;
+
+  /// Probe-less convenience (non-virtual on purpose: a default argument on
+  /// the virtual would bind by static type).
+  util::Result<std::vector<LockRequest>> locks_for_update(
+      const xupdate::UpdateOp& op, const DocContext& context) {
+    return locks_for_update(op, context, nullptr);
+  }
 };
 
 enum class ProtocolKind {

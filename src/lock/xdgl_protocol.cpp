@@ -26,8 +26,6 @@
 
 #include "dataguide/guide_match.hpp"
 #include "lock/protocol.hpp"
-#include "xml/parser.hpp"
-#include "xpath/evaluator.hpp"
 
 namespace dtx::lock {
 
@@ -69,9 +67,10 @@ class XdglProtocol final : public LockProtocol {
   }
 
   Result<std::vector<LockRequest>> locks_for_update(
-      const UpdateOp& op, const DocContext& context) override {
+      const UpdateOp& op, const DocContext& context,
+      const xupdate::FragmentProbe* probe) override {
     switch (op.kind) {
-      case UpdateKind::kInsert: return locks_for_insert(op, context);
+      case UpdateKind::kInsert: return locks_for_insert(op, context, probe);
       case UpdateKind::kRemove:
         return locks_for_tree_write(op, context, LockMode::kXT);
       case UpdateKind::kRename:
@@ -139,24 +138,29 @@ class XdglProtocol final : public LockProtocol {
     return guide.ensure_path(labels);
   }
 
-  Result<std::vector<LockRequest>> locks_for_insert(const UpdateOp& op,
-                                                    const DocContext& context) {
+  Result<std::vector<LockRequest>> locks_for_insert(
+      const UpdateOp& op, const DocContext& context,
+      const xupdate::FragmentProbe* probe) {
     std::vector<LockRequest> requests;
     const dataguide::MatchResult match =
         dataguide::match(op.target, context.guide);
     add_predicate_locks(requests, context.scope, match);
 
-    // Probe the fragment: its root label locates the new guide node; its id
+    // Fragment facts: the root label locates the new guide node; the id
     // attribute (when present) conditions the exclusive lock to the new
-    // instance, so independent inserts do not serialize.
+    // instance, so independent inserts do not serialize. A compiled plan
+    // passes them pre-probed; otherwise parse the fragment here.
     std::string fragment_label;
     std::string fragment_condition;
-    {
-      auto probe = xml::parse(op.content_xml, "probe");
-      if (!probe) return probe.status();
-      fragment_label = probe.value()->root()->name();
-      if (const std::string* id = probe.value()->root()->attribute("id")) {
-        fragment_condition = "@id=" + *id;
+    if (probe != nullptr) {
+      fragment_label = probe->root_label;
+      if (probe->has_id) fragment_condition = "@id=" + probe->id_value;
+    } else {
+      auto probed = xupdate::probe_fragment(op);
+      if (!probed) return probed.status();
+      fragment_label = std::move(probed.value().root_label);
+      if (probed.value().has_id) {
+        fragment_condition = "@id=" + probed.value().id_value;
       }
     }
 

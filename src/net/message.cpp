@@ -21,9 +21,51 @@ struct NameVisitor {
 
 constexpr std::size_t kHeaderBytes = 32;  // ids, flags, framing
 
+// --- structural wire-size model of the typed operation payload --------------
+// The paper ships operations as text; the typed wire carries the parsed
+// form, so the bandwidth model charges a compact binary encoding: per-node
+// framing tags plus the embedded strings (names, literals, fragments).
+
+std::size_t wire_size_steps(const std::vector<xpath::Step>& steps);
+
+std::size_t wire_size(const xpath::Step& step) {
+  std::size_t total = 2 + step.name.size();  // axis + node-test tags, name
+  for (const xpath::Predicate& predicate : step.predicates) {
+    total += 2 + predicate.literal.size() +
+             wire_size_steps(predicate.path.steps);
+  }
+  return total;
+}
+
+std::size_t wire_size_steps(const std::vector<xpath::Step>& steps) {
+  std::size_t total = 2;  // step count
+  for (const xpath::Step& step : steps) total += wire_size(step);
+  return total;
+}
+
+std::size_t wire_size(const xpath::Path& path) {
+  return wire_size_steps(path.steps);
+}
+
+std::size_t wire_size(const xupdate::UpdateOp& op) {
+  return 2 /* kind + position tags */ + wire_size(op.target) +
+         op.content_xml.size() + op.new_text.size() +
+         wire_size(op.destination);
+}
+
+std::size_t wire_size(const txn::Operation& op) {
+  std::size_t total = 1 /* type tag */ + op.doc.size();
+  if (op.is_update()) {
+    total += wire_size(op.update);
+  } else {
+    total += wire_size(op.query);
+  }
+  return total;
+}
+
 struct SizeVisitor {
   std::size_t operator()(const ExecuteOperation& m) const {
-    return kHeaderBytes + m.doc.size() + m.op_text.size();
+    return kHeaderBytes + wire_size(m.op);
   }
   std::size_t operator()(const OperationResult& m) const {
     std::size_t total = kHeaderBytes + m.error.size();

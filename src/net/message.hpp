@@ -1,9 +1,11 @@
 // Message vocabulary between DTX schedulers. In the paper the instances talk
 // over a LAN; here the same conversations run over net::SimNetwork (see
-// DESIGN.md §2 for the substitution rationale). Operations travel as
-// language-level text (XPath / update syntax) and are re-evaluated at each
-// participant — node ids never cross the wire, which is what lets replicas
-// keep independent id spaces.
+// DESIGN.md §2 for the substitution rationale). Operations travel as a
+// *typed* structure (txn::Operation: document name + parsed XPath / update
+// AST) and are re-evaluated at each participant — the receiving site
+// resolves the operation through its plan cache instead of re-parsing text.
+// Node ids still never cross the wire (the payload is label paths and
+// literals only), which is what lets replicas keep independent id spaces.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +15,7 @@
 
 #include "lock/lock_table.hpp"
 #include "txn/abort_reason.hpp"
+#include "txn/operation.hpp"
 #include "wfg/wait_for_graph.hpp"
 
 namespace dtx::net {
@@ -27,8 +30,9 @@ struct ExecuteOperation {
   std::uint32_t op_index = 0;
   std::uint32_t attempt = 0;  ///< retry counter (wait mode re-execution)
   SiteId coordinator = 0;
-  std::string doc;      ///< target document name
-  std::string op_text;  ///< "query <xpath>" or update syntax
+  /// Typed operation payload (target document + parsed query / update).
+  /// Contains no node ids — only label paths and literals.
+  txn::Operation op;
 };
 
 /// Participant -> coordinator: outcome of a remote operation (Alg. 2 l. 13).

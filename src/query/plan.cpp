@@ -1,0 +1,28 @@
+#include "query/plan.hpp"
+
+namespace dtx::query {
+
+util::Result<Plan> compile(txn::Operation op) {
+  std::string text = op.to_string();
+  return compile(std::move(op), std::move(text));
+}
+
+util::Result<Plan> compile(txn::Operation op, std::string canonical_text) {
+  Plan plan;
+  plan.text_ = std::move(canonical_text);
+  if (op.is_update() && op.update.kind == xupdate::UpdateKind::kInsert) {
+    auto probe = xupdate::probe_fragment(op.update);
+    if (!probe) return probe.status();
+    plan.prematch_ = std::move(probe).value();
+  }
+  plan.op_ = std::move(op);
+  return plan;
+}
+
+util::Result<Plan> compile_text(std::string_view text) {
+  auto op = txn::parse_operation(text);
+  if (!op) return op.status();
+  return compile(std::move(op).value());
+}
+
+}  // namespace dtx::query

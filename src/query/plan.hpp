@@ -1,0 +1,72 @@
+// Compiled form of one DTX operation (the plan layer of the execution
+// pipeline: text -> PreparedTxn -> typed wire op -> PlanCache -> Plan).
+//
+// A Plan owns the fully-parsed txn::Operation (XPath AST, compiled update
+// op) plus everything that can be hoisted out of the per-execution hot
+// path: the canonical textual form (the site plan-cache key) and, for
+// inserts, the DataGuide pre-match hook — the fragment's root label and id
+// condition, which the XDGL lock rules previously re-derived by parsing
+// the XML fragment on *every* lock-set computation. Compile once, execute
+// many times: wait-mode re-executions and deadlock retries run the same
+// immutable Plan.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "txn/operation.hpp"
+#include "util/status.hpp"
+#include "xupdate/update_op.hpp"
+
+namespace dtx::query {
+
+class Plan {
+ public:
+  [[nodiscard]] const txn::Operation& op() const noexcept { return op_; }
+  /// Canonical textual form (round-trippable; the plan-cache key).
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  [[nodiscard]] const std::string& doc() const noexcept { return op_.doc; }
+  [[nodiscard]] bool is_update() const noexcept { return op_.is_update(); }
+  [[nodiscard]] const xpath::Path& query() const noexcept {
+    return op_.query;
+  }
+  [[nodiscard]] const xupdate::UpdateOp& update() const noexcept {
+    return op_.update;
+  }
+
+  /// DataGuide pre-match hook: fragment facts the lock protocol needs
+  /// before touching the guide (insert operations only, nullptr otherwise).
+  [[nodiscard]] const xupdate::FragmentProbe* prematch() const noexcept {
+    return prematch_.has_value() ? &*prematch_ : nullptr;
+  }
+
+ private:
+  friend util::Result<Plan> compile(txn::Operation op,
+                                    std::string canonical_text);
+
+  Plan() = default;
+
+  txn::Operation op_;
+  std::string text_;
+  std::optional<xupdate::FragmentProbe> prematch_;
+};
+
+/// Shared handle to an immutable plan (what the PlanCache hands out).
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/// Compiles an already-parsed operation: canonical text plus, for inserts,
+/// the fragment pre-match (which validates the fragment XML once, instead
+/// of at every lock-set computation).
+util::Result<Plan> compile(txn::Operation op);
+
+/// Same, with the canonical text already at hand (the PlanCache computed
+/// it as the cache key) — skips the second serialization on a miss.
+util::Result<Plan> compile(txn::Operation op, std::string canonical_text);
+
+/// Parses the textual form and compiles it (dtxsh / workload files / the
+/// parse-per-execute bench baseline).
+util::Result<Plan> compile_text(std::string_view text);
+
+}  // namespace dtx::query

@@ -1,0 +1,109 @@
+#include "query/plan_cache.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/strings.hpp"
+
+namespace dtx::query {
+
+PlanCache::PlanCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  std::size_t shard_count = std::max<std::size_t>(1, shards);
+  if (capacity_ != 0) shard_count = std::min(shard_count, capacity_);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  per_shard_capacity_ =
+      capacity_ == 0 ? 0 : (capacity_ + shard_count - 1) / shard_count;
+}
+
+PlanCache::Shard& PlanCache::shard_of(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+template <typename CompileFn>
+util::Result<PlanPtr> PlanCache::resolve_key(std::string key,
+                                             CompileFn&& compile_fn) {
+  Shard& shard = shard_of(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->second;
+    }
+    ++shard.misses;
+  }
+
+  // Compile outside the shard lock: misses of different keys on one shard
+  // must not serialize their parses. The callback receives the key so the
+  // typed path reuses it as the plan's canonical text.
+  util::Result<Plan> compiled = compile_fn(key);
+  if (!compiled) return compiled.status();
+  PlanPtr plan = std::make_shared<const Plan>(std::move(compiled).value());
+  if (per_shard_capacity_ == 0) return plan;  // caching disabled
+
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // A racing resolve of the same key inserted first; adopt its plan.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+  }
+  shard.lru.emplace_front(key, plan);
+  shard.index.emplace(std::move(key), shard.lru.begin());
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return plan;
+}
+
+util::Result<PlanPtr> PlanCache::resolve(const txn::Operation& op) {
+  // The key is the canonical serialization — an O(length) string build per
+  // lookup. Deliberate: it is a plain copy-out of the AST, and on a hit it
+  // stands in for the Plan's own Operation deep copy plus (for inserts)
+  // the fragment probe, while keeping the wire payload free of a parallel
+  // textual field and giving every execution path one observable resolve
+  // point. The textual path (resolve_text) is where a hit additionally
+  // skips the full lex + parse (abl_plan_cache quantifies that gap).
+  std::string key = op.to_string();
+  return resolve_key(std::move(key), [&op](const std::string& canonical) {
+    return compile(op, canonical);
+  });
+}
+
+util::Result<PlanPtr> PlanCache::resolve_text(std::string_view text) {
+  std::string key(util::trim(text));
+  return resolve_key(std::move(key), [text](const std::string& /*key*/) {
+    // The raw text is the key; the plan still carries its own canonical
+    // serialization (which may differ in whitespace from the input).
+    return compile_text(text);
+  });
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+void PlanCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace dtx::query

@@ -27,6 +27,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   cluster_options.site.coordinator_workers = config.coordinator_workers;
   cluster_options.site.participant_workers = config.participant_workers;
   cluster_options.site.lock_shards = config.lock_shards;
+  cluster_options.site.plan_cache_capacity = config.plan_cache_capacity;
   core::Cluster cluster(cluster_options);
 
   for (const auto& placement : placements) {
@@ -106,6 +107,12 @@ void apply_common_flags(const util::Flags& flags, ExperimentConfig& config) {
   config.participant_workers =
       clamped_knob("participant_workers", config.participant_workers);
   config.lock_shards = clamped_knob("lock_shards", config.lock_shards);
+  // 0 is meaningful here (plan caching off), so no floor of 1.
+  config.plan_cache_capacity = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(
+          flags.get_int("plan_cache",
+                        static_cast<std::int64_t>(config.plan_cache_capacity)),
+          0, 1 << 20));
 
   const auto routing = client::parse_routing_kind(flags.get_string(
       "routing", client::routing_kind_name(config.routing)));
@@ -155,7 +162,8 @@ void print_json_row(const char* figure, const ExperimentConfig& config,
       "\"submitted\":%zu,\"committed\":%zu,\"aborted\":%zu,\"failed\":%zu,"
       "\"deadlocks\":%zu,\"txn_per_s\":%.2f,\"ops_per_s\":%.2f,"
       "\"resp_mean_ms\":%.3f,\"resp_p95_ms\":%.3f,\"lock_acqs\":%llu,"
-      "\"makespan_s\":%.3f}\n",
+      "\"plan_cache\":%zu,\"plan_hits\":%llu,\"plan_misses\":%llu,"
+      "\"plan_evictions\":%llu,\"makespan_s\":%.3f}\n",
       figure, lock::protocol_kind_name(config.protocol),
       client::routing_kind_name(config.routing),
       config.coordinator_workers, config.participant_workers,
@@ -165,7 +173,12 @@ void print_json_row(const char* figure, const ExperimentConfig& config,
       result.deadlocks,
       static_cast<double>(result.report.committed) / makespan,
       committed_ops / makespan, result.mean_response_ms, p95,
-      static_cast<unsigned long long>(result.lock_acquisitions), makespan);
+      static_cast<unsigned long long>(result.lock_acquisitions),
+      config.plan_cache_capacity,
+      static_cast<unsigned long long>(result.cluster.plan_cache.hits),
+      static_cast<unsigned long long>(result.cluster.plan_cache.misses),
+      static_cast<unsigned long long>(result.cluster.plan_cache.evictions),
+      makespan);
   std::fflush(stdout);
 }
 

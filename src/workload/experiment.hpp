@@ -42,6 +42,9 @@ struct ExperimentConfig {
   std::size_t coordinator_workers = 1;
   std::size_t participant_workers = 1;
   std::size_t lock_shards = 1;
+  /// Per-site compiled-plan cache capacity (--plan_cache=; 0 = compile
+  /// every execution — the parse-per-execute ablation baseline).
+  std::size_t plan_cache_capacity = 1024;
 
   /// Client routing policy (--routing=explicit|round-robin|affinity):
   /// explicit = the paper's home-site model, affinity = route each

@@ -1,6 +1,7 @@
 #include "xupdate/update_op.hpp"
 
 #include "util/strings.hpp"
+#include "xml/parser.hpp"
 #include "xpath/parser.hpp"
 
 namespace dtx::xupdate {
@@ -171,6 +172,22 @@ Result<UpdateOp> make_change(std::string_view target_xpath,
   op.target = std::move(target).value();
   op.new_text = std::move(new_value);
   return op;
+}
+
+Result<FragmentProbe> probe_fragment(const UpdateOp& op) {
+  if (op.kind != UpdateKind::kInsert) {
+    return Status(Code::kInvalidArgument,
+                  "fragment probe only applies to insert operations");
+  }
+  auto probe = xml::parse(op.content_xml, "probe");
+  if (!probe) return probe.status();
+  FragmentProbe out;
+  out.root_label = probe.value()->root()->name();
+  if (const std::string* id = probe.value()->root()->attribute("id")) {
+    out.id_value = *id;
+    out.has_id = true;
+  }
+  return out;
 }
 
 Result<UpdateOp> make_transpose(std::string_view target_xpath,

@@ -56,6 +56,21 @@ struct UpdateOp {
 /// Parses the textual form above.
 util::Result<UpdateOp> parse_update(std::string_view text);
 
+/// Facts about an insert operation's XML fragment that lock protocols need
+/// *before* touching the DataGuide: the root label locates the new guide
+/// node and the root's id attribute (when present) conditions the exclusive
+/// lock to the new instance. Probing parses `content_xml`, so compiled
+/// plans (query::Plan) hoist the probe out of the per-execution path.
+struct FragmentProbe {
+  std::string root_label;
+  std::string id_value;
+  bool has_id = false;
+};
+
+/// Probes the fragment of a kInsert operation (error for other kinds or a
+/// malformed fragment).
+util::Result<FragmentProbe> probe_fragment(const UpdateOp& op);
+
 // --- convenience constructors ---------------------------------------------
 util::Result<UpdateOp> make_insert(std::string_view target_xpath,
                                    std::string_view fragment_xml,

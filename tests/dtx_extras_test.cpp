@@ -1,5 +1,7 @@
-// Tests for the DTX support components: Catalog, DataManager, the
-// DeadlockDetector probe lifecycle, the Connection retry policy, the
+// Tests for the DTX support components: Catalog, the plan-based
+// DataManager, the DeadlockDetector probe lifecycle, the legacy
+// single-site session scenarios (now on client::Session), the site
+// plan-cache integration (remote reuse + wait-mode retry reuse), the
 // file-backed durability path (cluster restart on FileStore) and the
 // staged-engine worker pools (coordinator_workers / participant_workers /
 // lock_shards).
@@ -8,11 +10,13 @@
 #include <filesystem>
 #include <thread>
 
+#include "client/client.hpp"
+#include "client/txn_builder.hpp"
 #include "dtx/catalog.hpp"
 #include "dtx/cluster.hpp"
-#include "dtx/connection.hpp"
 #include "dtx/data_manager.hpp"
 #include "dtx/deadlock_detector.hpp"
+#include "query/plan.hpp"
 #include "storage/memory_store.hpp"
 #include "xpath/parser.hpp"
 
@@ -70,6 +74,13 @@ class DataManagerTest : public ::testing::Test {
     ASSERT_TRUE(data_->load_all().is_ok());
   }
 
+  /// Compiles one textual operation into the plan the DataManager executes.
+  static query::Plan plan_of(const std::string& text) {
+    auto plan = query::compile_text(text);
+    EXPECT_TRUE(plan.is_ok()) << text;
+    return std::move(plan).value();
+  }
+
   storage::MemoryStore store_;
   std::unique_ptr<DataManager> data_;
 };
@@ -99,22 +110,21 @@ TEST_F(DataManagerTest, ContextProvidesDistinctScopes) {
 }
 
 TEST_F(DataManagerTest, UpdateUndoPersistCycle) {
-  auto op = xupdate::make_insert("/site/people", "<person id=\"p2\"/>");
-  ASSERT_TRUE(op.is_ok());
-  auto applied = data_->run_update(7, "d1", op.value());
+  const query::Plan insert = plan_of(
+      "update d1 insert into /site/people ::= <person id=\"p2\"/>");
+  auto applied = data_->run_update(7, insert);
   ASSERT_TRUE(applied.is_ok());
   EXPECT_EQ(applied.value(), 1u);
 
   // Undo everything the txn did: insert disappears.
   data_->undo_all(7);
-  auto path = xpath::parse("/site/people/person");
-  ASSERT_TRUE(path.is_ok());
-  auto rows = data_->run_query("d1", path.value());
+  auto rows = data_->run_query(plan_of("query d1 /site/people/person"));
   ASSERT_TRUE(rows.is_ok());
   EXPECT_EQ(rows.value().size(), 1u);
 
-  // Apply again and persist: storage reflects the change.
-  ASSERT_TRUE(data_->run_update(8, "d1", op.value()).is_ok());
+  // Apply again and persist: storage reflects the change. The same
+  // compiled plan is reused across executions.
+  ASSERT_TRUE(data_->run_update(8, insert).is_ok());
   ASSERT_TRUE(data_->persist(8).is_ok());
   auto stored = store_.load("d1");
   ASSERT_TRUE(stored.is_ok());
@@ -123,18 +133,20 @@ TEST_F(DataManagerTest, UpdateUndoPersistCycle) {
 
 TEST_F(DataManagerTest, PersistOnlyWritesTouchedDocuments) {
   const auto count_before = store_.store_count();
-  auto op = xupdate::make_insert("/catalog", "<entry id=\"e2\"/>");
-  ASSERT_TRUE(op.is_ok());
-  ASSERT_TRUE(data_->run_update(9, "d2", op.value()).is_ok());
+  ASSERT_TRUE(
+      data_->run_update(
+               9, plan_of(
+                      "update d2 insert into /catalog ::= <entry id=\"e2\"/>"))
+          .is_ok());
   ASSERT_TRUE(data_->persist(9).is_ok());
   EXPECT_EQ(store_.store_count(), count_before + 1);  // d2 only
 }
 
 TEST_F(DataManagerTest, GuideStaysConsistentThroughUpdates) {
-  auto op = xupdate::make_insert("/site/people",
-                                 "<person id=\"p3\"><age>9</age></person>");
-  ASSERT_TRUE(op.is_ok());
-  ASSERT_TRUE(data_->run_update(3, "d1", op.value()).is_ok());
+  ASSERT_TRUE(
+      data_->run_update(3, plan_of("update d1 insert into /site/people ::= "
+                                   "<person id=\"p3\"><age>9</age></person>"))
+          .is_ok());
   auto context = data_->context_of("d1");
   ASSERT_TRUE(context.is_ok());
   // New label path appeared in the incrementally maintained guide.
@@ -199,13 +211,10 @@ TEST(DeadlockDetectorTest, ExpiryResolvesWithPartialReplies) {
   EXPECT_EQ(*victim, 2u);  // local edges alone already form the cycle
 }
 
-// --- Connection (deprecated shim over dtx::client) ---------------------------
-// These tests pin the one-PR compatibility contract: the old Connection
-// surface keeps working, now delegating to client::Session.
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
+// --- legacy single-site session scenarios (client::Session) -----------------
+// These were the deprecated Connection shim's tests; the shim is gone (it
+// lived exactly one PR, as promised in PR 2) and the same scenarios now run
+// on the canonical client::Session surface.
 
 ClusterOptions small_options() {
   ClusterOptions options;
@@ -217,7 +226,15 @@ ClusterOptions small_options() {
   return options;
 }
 
-TEST(ConnectionTest, ExecutesThroughBoundSite) {
+/// Site-pinned session, the old Connection shape: explicit routing + policy.
+client::Session site_session(client::Client& client, SiteId site,
+                             client::RetryPolicy policy = {}) {
+  return client.session(client::SessionOptions{
+      client::RoutingPolicy::explicit_site(site), policy,
+      std::chrono::microseconds{0}});
+}
+
+TEST(SessionMigrationTest, ExecutesThroughBoundSite) {
   Cluster cluster(small_options());
   ASSERT_TRUE(cluster
                   .load_document("d1",
@@ -226,16 +243,19 @@ TEST(ConnectionTest, ExecutesThroughBoundSite) {
                                  {0, 1})
                   .is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
-  Connection connection(cluster, 1);
-  auto result =
-      connection.execute({"query d1 /site/people/person[@id='p1']/name"});
+  client::Client client(cluster);
+  client::Session session = site_session(client, 1);
+  auto prepared = client::PreparedTxn::parse(
+      {"query d1 /site/people/person[@id='p1']/name"});
+  ASSERT_TRUE(prepared.is_ok());
+  auto result = session.execute(prepared.value());
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(result.value().state, TxnState::kCommitted);
   EXPECT_EQ(result.value().rows[0][0], "Ana");
-  EXPECT_EQ(connection.retries(), 0u);
+  EXPECT_EQ(session.retries(), 0u);
 }
 
-TEST(ConnectionTest, RetriesDeadlockVictims) {
+TEST(SessionMigrationTest, RetriesDeadlockVictims) {
   ClusterOptions options = small_options();
   options.protocol = lock::ProtocolKind::kXdglPlain;
   Cluster cluster(options);
@@ -252,30 +272,35 @@ TEST(ConnectionTest, RetriesDeadlockVictims) {
                                  {1})
                   .is_ok());
   ASSERT_TRUE(cluster.start().is_ok());
+  client::Client client(cluster);
 
-  RetryPolicy policy;
+  client::RetryPolicy policy;
   policy.max_deadlock_retries = 50;
   policy.backoff = std::chrono::microseconds(2'000);
   std::atomic<int> committed{0};
-  // Two adversarial connections running opposite lock orders repeatedly:
-  // with retries enabled, every transaction eventually commits.
+  // Two adversarial sessions running opposite lock orders repeatedly: with
+  // retries enabled, every transaction eventually commits.
   std::thread worker([&] {
-    Connection connection(cluster, 0, policy);
+    client::Session session = site_session(client, 0, policy);
     for (int i = 0; i < 10; ++i) {
-      auto result = connection.execute(
+      auto prepared = client::PreparedTxn::parse(
           {"query a /site/people/person/@id",
            "update b insert into /site/people ::= <person id=\"w" +
                std::to_string(i) + "\"/>"});
+      ASSERT_TRUE(prepared.is_ok());
+      auto result = session.execute(prepared.value());
       ASSERT_TRUE(result.is_ok());
       if (result.value().state == TxnState::kCommitted) ++committed;
     }
   });
-  Connection connection(cluster, 1, policy);
+  client::Session session = site_session(client, 1, policy);
   for (int i = 0; i < 10; ++i) {
-    auto result = connection.execute(
+    auto prepared = client::PreparedTxn::parse(
         {"query b /site/people/person/@id",
          "update a insert into /site/people ::= <person id=\"m" +
              std::to_string(i) + "\"/>"});
+    ASSERT_TRUE(prepared.is_ok());
+    auto result = session.execute(prepared.value());
     ASSERT_TRUE(result.is_ok());
     if (result.value().state == TxnState::kCommitted) ++committed;
   }
@@ -283,9 +308,86 @@ TEST(ConnectionTest, RetriesDeadlockVictims) {
   EXPECT_EQ(committed.load(), 20);
 }
 
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
+// --- plan cache integration --------------------------------------------------
+
+// A repeated remote operation is compiled once at the participant site:
+// the second execution resolves the cached plan (no re-parse, a hit).
+TEST(PlanCacheIntegrationTest, RemoteExecutionReusesCachedPlan) {
+  Cluster cluster(small_options());
+  ASSERT_TRUE(cluster
+                  .load_document("d1",
+                                 "<site><people><person id=\"p1\">"
+                                 "<name>Ana</name></person></people></site>",
+                                 {1})  // only at site 1 -> remote from site 0
+                  .is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+
+  for (int i = 0; i < 2; ++i) {
+    auto result = cluster.execute_text(
+        0, {"query d1 /site/people/person[@id='p1']/name"});
+    ASSERT_TRUE(result.is_ok());
+    ASSERT_EQ(result.value().state, TxnState::kCommitted);
+    EXPECT_EQ(result.value().rows[0][0], "Ana");
+  }
+
+  const SiteStats participant = cluster.site(1).stats();
+  EXPECT_EQ(participant.remote_ops_processed, 2u);
+  EXPECT_EQ(participant.plan_cache.misses, 1u);  // compiled exactly once
+  EXPECT_GE(participant.plan_cache.hits, 1u);    // second run from cache
+}
+
+// Regression for the wait-mode path: an operation that enters wait mode and
+// re-executes must run from the cached plan of its first attempt. The
+// holder keeps document a's locks for >= 2 x 30 ms (a remote leg per op),
+// the waiter conflicts, parks, is woken by the holder's commit and retries
+// the *same* operation -> its second resolution is a cache hit.
+TEST(PlanCacheIntegrationTest, WaitModeRetryExecutesFromCachedPlan) {
+  ClusterOptions options = small_options();
+  options.protocol = lock::ProtocolKind::kXdglPlain;
+  options.network.latency = std::chrono::milliseconds(30);
+  options.site.coordinator_workers = 2;
+  options.site.detect_period = std::chrono::hours(1);
+  options.site.retry_interval = std::chrono::microseconds(2'000);
+  Cluster cluster(options);
+  constexpr const char* kXml =
+      "<site><people><person id=\"p1\"><name>Ana</name></person>"
+      "</people></site>";
+  ASSERT_TRUE(cluster.load_document("a", kXml, {0}).is_ok());
+  ASSERT_TRUE(cluster.load_document("r", kXml, {1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+  client::Client client(cluster);
+  client::Session session = site_session(client, 0);
+
+  auto holder_txn = client::TxnBuilder()
+                        .query("a", "/site/people/person/name")  // ST on a
+                        .query("r", "/site/people/person/name")  // slow remote
+                        .build();
+  auto waiter_txn = client::TxnBuilder()
+                        .insert("a", "/site/people", "<person id=\"w\"/>")
+                        .build();
+  ASSERT_TRUE(holder_txn.is_ok() && waiter_txn.is_ok());
+
+  bool saw_wait_retry = false;
+  for (int round = 0; round < 10 && !saw_wait_retry; ++round) {
+    auto holder = session.submit(holder_txn.value());
+    ASSERT_TRUE(holder.is_ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    auto waiter = session.execute(waiter_txn.value());
+    ASSERT_TRUE(waiter.is_ok());
+    EXPECT_EQ(holder.value().await().state, TxnState::kCommitted);
+    if (waiter.value().state == TxnState::kCommitted &&
+        waiter.value().wait_episodes > 0) {
+      saw_wait_retry = true;
+    }
+  }
+  ASSERT_TRUE(saw_wait_retry) << "no wait-mode retry observed in 10 rounds";
+
+  // The waiter's insert resolved at least twice (attempt 1 + the retry)
+  // but compiled at most once: the retry was served from the cache.
+  const SiteStats coordinator = cluster.site(0).stats();
+  EXPECT_GE(coordinator.plan_cache.hits, 1u);
+  EXPECT_GT(coordinator.wait_episodes, 0u);
+}
 
 // --- durability (file-backed cluster restart) --------------------------------------
 

@@ -5,6 +5,7 @@
 
 #include "dtx/data_manager.hpp"
 #include "dtx/lock_manager.hpp"
+#include "query/plan.hpp"
 #include "storage/memory_store.hpp"
 #include "xml/parser.hpp"
 
@@ -31,10 +32,12 @@ class LockManagerTest : public ::testing::Test {
                                            *data_);
   }
 
-  static txn::Operation op(const std::string& text) {
-    auto parsed = txn::parse_operation(text);
-    EXPECT_TRUE(parsed.is_ok()) << text;
-    return parsed.value();
+  /// Compiles the textual operation into the plan process_operation now
+  /// consumes (parse + compile happen once, here — never on execution).
+  static query::Plan op(const std::string& text) {
+    auto plan = query::compile_text(text);
+    EXPECT_TRUE(plan.is_ok()) << text;
+    return std::move(plan).value();
   }
 
   storage::MemoryStore store_;
@@ -279,7 +282,7 @@ TEST(LockManagerLogicalTest, PointOpsOnDistinctIdsDoNotConflict) {
   LockManager locks(lock::ProtocolKind::kXdgl, data);
 
   auto op = [](const std::string& text) {
-    return txn::parse_operation(text).value();
+    return query::compile_text(text).value();
   };
   // t1 reads person p1; t2 changes person p2; t3 inserts person p9 — all
   // concurrent under logical locks.

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "net/sim_network.hpp"
+#include "txn/operation.hpp"
 
 namespace dtx::net {
 namespace {
@@ -109,7 +110,9 @@ TEST(SimNetworkTest, PerLinkFifoUnderBandwidthModel) {
   // would overtake the large one.
   ExecuteOperation big;
   big.txn = 1;
-  big.op_text = std::string(5000, 'x');
+  big.op = txn::make_update(
+      "d", xupdate::make_insert("/a", "<x>" + std::string(5000, 'y') + "</x>")
+               .value());
   network.send(Message{0, 1, big});
   network.send(make_message(0, 1, 2));
   auto first = inbox.pop(500ms);
@@ -227,11 +230,51 @@ TEST(MessageTest, PayloadNames) {
 
 TEST(MessageTest, WireSizeGrowsWithPayload) {
   ExecuteOperation small;
-  small.op_text = "query d /a";
+  small.op = txn::parse_operation("query d /a").value();
   ExecuteOperation large;
-  large.op_text = std::string(1000, 'q');
+  large.op = txn::make_update(
+      "d",
+      xupdate::make_insert("/a", "<x>" + std::string(1000, 'q') + "</x>")
+          .value());
   EXPECT_GT(payload_wire_size(Payload{large}),
             payload_wire_size(Payload{small}));
+  // Longer paths cost more than shorter ones.
+  ExecuteOperation deep;
+  deep.op =
+      txn::parse_operation("query d /a/b/c[@id='42']/d//e/text()").value();
+  EXPECT_GT(payload_wire_size(Payload{deep}),
+            payload_wire_size(Payload{small}));
+}
+
+// The wire payload is the typed operation itself: what the coordinator
+// sends is exactly what the participant receives — no textual round trip,
+// and no node ids anywhere in the payload (label paths + literals only).
+TEST(MessageTest, TypedExecuteOperationRoundTripsThroughNetwork) {
+  SimNetwork network({std::chrono::microseconds(1), 0});
+  network.register_site(0);
+  Mailbox& inbox = network.register_site(1);
+
+  const char* kText =
+      "update d1 insert into /site/people ::= <person id=\"p9\"/>";
+  ExecuteOperation request;
+  request.txn = 42;
+  request.op_index = 3;
+  request.attempt = 2;
+  request.coordinator = 0;
+  request.op = txn::parse_operation(kText).value();
+  network.send(Message{0, 1, request});
+
+  auto message = inbox.pop(std::chrono::milliseconds(100));
+  ASSERT_TRUE(message.has_value());
+  ASSERT_TRUE(std::holds_alternative<ExecuteOperation>(message->payload));
+  const auto& received = std::get<ExecuteOperation>(message->payload);
+  EXPECT_EQ(received.txn, 42u);
+  EXPECT_EQ(received.op_index, 3u);
+  EXPECT_EQ(received.attempt, 2u);
+  EXPECT_EQ(received.op.doc, "d1");
+  EXPECT_TRUE(received.op.is_update());
+  EXPECT_EQ(received.op.update.kind, xupdate::UpdateKind::kInsert);
+  EXPECT_EQ(received.op.to_string(), kText);
 }
 
 }  // namespace

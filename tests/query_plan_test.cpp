@@ -1,0 +1,199 @@
+// Tests for the query plan layer (src/query): compile() semantics — the
+// canonical text key and the insert pre-match hook — and the sharded LRU
+// PlanCache (hit/miss/eviction accounting, capacity-0 passthrough, LRU
+// order, typed/textual key sharing, multi-threaded resolution).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "query/plan.hpp"
+#include "query/plan_cache.hpp"
+
+namespace dtx::query {
+namespace {
+
+// --- compile -----------------------------------------------------------------
+
+TEST(PlanCompileTest, QueryPlanCarriesParsedPath) {
+  auto plan = compile_text("query d1 /site/people/person[@id='p1']/name");
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  EXPECT_FALSE(plan.value().is_update());
+  EXPECT_EQ(plan.value().doc(), "d1");
+  EXPECT_EQ(plan.value().query().steps.size(), 4u);
+  EXPECT_EQ(plan.value().prematch(), nullptr);
+  // The canonical text round-trips through the parsed AST.
+  EXPECT_EQ(plan.value().text(),
+            "query d1 /site/people/person[@id='p1']/name");
+  EXPECT_EQ(plan.value().text(), plan.value().op().to_string());
+}
+
+TEST(PlanCompileTest, InsertPlanPrecomputesFragmentPrematch) {
+  auto plan = compile_text(
+      "update d1 insert into /site/people ::= <person id=\"p9\"/>");
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  ASSERT_TRUE(plan.value().is_update());
+  ASSERT_NE(plan.value().prematch(), nullptr);
+  EXPECT_EQ(plan.value().prematch()->root_label, "person");
+  EXPECT_TRUE(plan.value().prematch()->has_id);
+  EXPECT_EQ(plan.value().prematch()->id_value, "p9");
+}
+
+TEST(PlanCompileTest, NonInsertUpdatesHaveNoPrematch) {
+  auto plan = compile_text(
+      "update d1 change /site/people/person[@id='p1']/name ::= Anna");
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_TRUE(plan.value().is_update());
+  EXPECT_EQ(plan.value().prematch(), nullptr);
+}
+
+TEST(PlanCompileTest, MalformedFragmentFailsAtCompileTime) {
+  // The fragment probe runs at compile time, so a broken insert payload is
+  // rejected once — not at every lock-set computation.
+  auto plan =
+      compile_text("update d1 insert into /site/people ::= <broken");
+  EXPECT_FALSE(plan.is_ok());
+}
+
+TEST(PlanCompileTest, ParseErrorsPropagate) {
+  EXPECT_FALSE(compile_text("nonsense").is_ok());
+  EXPECT_FALSE(compile_text("query d1 not-absolute").is_ok());
+}
+
+// --- PlanCache ---------------------------------------------------------------
+
+TEST(PlanCacheTest, CountsHitsAndMisses) {
+  PlanCache cache(/*capacity=*/8, /*shards=*/1);
+  const char* kText = "query d1 /site/people/person/name";
+  ASSERT_TRUE(cache.resolve_text(kText).is_ok());
+  ASSERT_TRUE(cache.resolve_text(kText).is_ok());
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(PlanCacheTest, HitReturnsTheSamePlanObject) {
+  PlanCache cache(8, 1);
+  auto first = cache.resolve_text("query d1 /a/b");
+  auto second = cache.resolve_text("query d1 /a/b");
+  ASSERT_TRUE(first.is_ok() && second.is_ok());
+  EXPECT_EQ(first.value().get(), second.value().get());
+}
+
+TEST(PlanCacheTest, TypedResolveSharesEntriesWithCanonicalText) {
+  PlanCache cache(8, 1);
+  auto op = txn::parse_operation("query d1 /site/people");
+  ASSERT_TRUE(op.is_ok());
+  ASSERT_TRUE(cache.resolve_text("query d1 /site/people").is_ok());
+  // The typed resolve keys by the canonical text -> same entry, a hit.
+  ASSERT_TRUE(cache.resolve(op.value()).is_ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(PlanCacheTest, CapacityZeroCompilesEveryTime) {
+  PlanCache cache(0, 4);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cache.resolve_text("query d1 /a").is_ok());
+  }
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  PlanCache cache(/*capacity=*/2, /*shards=*/1);
+  ASSERT_TRUE(cache.resolve_text("query d1 /a").is_ok());  // A
+  ASSERT_TRUE(cache.resolve_text("query d1 /b").is_ok());  // B
+  ASSERT_TRUE(cache.resolve_text("query d1 /a").is_ok());  // touch A
+  ASSERT_TRUE(cache.resolve_text("query d1 /c").is_ok());  // evicts B (LRU)
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  const std::uint64_t misses_before = cache.stats().misses;
+  ASSERT_TRUE(cache.resolve_text("query d1 /a").is_ok());  // still cached
+  EXPECT_EQ(cache.stats().misses, misses_before);
+  ASSERT_TRUE(cache.resolve_text("query d1 /b").is_ok());  // was evicted
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST(PlanCacheTest, CompileErrorsAreNotCached) {
+  PlanCache cache(8, 1);
+  EXPECT_FALSE(cache.resolve_text("garbage").is_ok());
+  EXPECT_FALSE(cache.resolve_text("garbage").is_ok());
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(PlanCacheTest, ClearDropsEntriesButKeepsCounters) {
+  PlanCache cache(8, 2);
+  ASSERT_TRUE(cache.resolve_text("query d1 /a").is_ok());
+  ASSERT_TRUE(cache.resolve_text("query d1 /b").is_ok());
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(PlanCacheTest, ShardCountClampedToCapacity) {
+  PlanCache cache(/*capacity=*/2, /*shards=*/16);
+  EXPECT_LE(cache.shard_count(), 2u);
+  PlanCache off(/*capacity=*/0, /*shards=*/16);
+  EXPECT_GE(off.shard_count(), 1u);
+}
+
+// Many threads resolving a shared key pool through a small sharded cache:
+// every resolve must return a valid plan, and the counters must account
+// for every lookup exactly once. Run under TSAN in CI.
+TEST(PlanCacheTest, ConcurrentResolutionIsConsistent) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kResolvesPerThread = 500;
+  constexpr std::size_t kKeys = 64;
+
+  std::vector<std::string> texts;
+  std::vector<txn::Operation> ops;
+  texts.reserve(kKeys);
+  ops.reserve(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    std::string text = "query d" + std::to_string(i % 4) +
+                       " /site/people/person[@id='p" + std::to_string(i) +
+                       "']/name";
+    auto op = txn::parse_operation(text);
+    ASSERT_TRUE(op.is_ok());
+    ops.push_back(std::move(op).value());
+    texts.push_back(std::move(text));
+  }
+
+  PlanCache cache(/*capacity=*/32, /*shards=*/4);
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kResolvesPerThread; ++i) {
+        const std::size_t key = (t * 31 + i * 7) % kKeys;
+        // Alternate typed and textual resolution of the same keys.
+        auto plan = (i % 2 == 0) ? cache.resolve(ops[key])
+                                 : cache.resolve_text(texts[key]);
+        if (!plan.is_ok() || plan.value() == nullptr ||
+            plan.value()->doc() != ops[key].doc) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kResolvesPerThread);
+  EXPECT_LE(stats.entries, 32u + 4u);  // capacity, modulo per-shard rounding
+  EXPECT_GT(stats.hits, 0u);
+}
+
+}  // namespace
+}  // namespace dtx::query
