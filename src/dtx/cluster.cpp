@@ -1,5 +1,7 @@
 #include "dtx/cluster.hpp"
 
+#include <algorithm>
+
 #include "storage/file_store.hpp"
 
 namespace dtx::core {
@@ -87,6 +89,120 @@ void Cluster::stop() {
   }
 }
 
+Status Cluster::crash_site(SiteId site) {
+  if (!started_ || site >= sites_.size()) {
+    return Status(Code::kInvalidArgument,
+                  "site " + std::to_string(site) + " out of range");
+  }
+  sites_[site]->crash();
+  return Status::ok();
+}
+
+Status Cluster::restart_site(SiteId site) {
+  if (!started_ || site >= sites_.size()) {
+    return Status(Code::kInvalidArgument,
+                  "site " + std::to_string(site) + " out of range");
+  }
+  if (sites_[site]->running()) {
+    // Refuse BEFORE the recovery sync below: overwriting a running site's
+    // store would race its own persists and rewind fresher state.
+    return Status(Code::kInternal, "site is running");
+  }
+  // Recovery sync: for every document this site hosts, adopt the bytes of
+  // the replica with the highest commit version. Commits are serialized
+  // per document by strict 2PL identically at every replica, so "highest
+  // version" is a total order and equal versions mean equal bytes. Peer
+  // stores are read directly — the in-process stand-in for the state
+  // transfer (or shared storage) a production restart would perform before
+  // rejoining; backends synchronize themselves, so concurrent commits at
+  // live peers are safe.
+  for (const std::string& doc : catalog_.documents()) {
+    const std::vector<SiteId> hosts = catalog_.sites_of(doc);
+    if (std::find(hosts.begin(), hosts.end(), site) == hosts.end()) continue;
+    const std::uint64_t local_version =
+        DataManager::stored_version(*stores_[site], doc);
+    std::uint64_t best_version = local_version;
+    SiteId best_site = site;
+    for (SiteId peer : hosts) {
+      if (peer == site) continue;
+      const std::uint64_t version =
+          DataManager::stored_version(*stores_[peer], doc);
+      if (version > best_version) {
+        best_version = version;
+        best_site = peer;
+      }
+    }
+    if (best_site != site) {
+      // The winning peer may be live and mid-commit: verify the stamp's
+      // content hash against the loaded bytes so a torn (version, bytes)
+      // pair is never adopted — mislabeling v+1 bytes as v would break
+      // "equal versions mean equal bytes" for every later sync.
+      for (int attempt = 0;; ++attempt) {
+        const DataManager::StoredStamp stamp =
+            DataManager::stored_stamp(*stores_[best_site], doc);
+        auto xml = stores_[best_site]->load(doc);
+        if (!xml) return xml.status();
+        if (!stamp.has_hash ||
+            stamp.hash == DataManager::content_hash(xml.value())) {
+          Status stored = stores_[site]->store(doc, xml.value());
+          if (!stored) return stored;
+          stored = stores_[site]->store(
+              DataManager::version_key(doc),
+              std::to_string(stamp.version) + " " +
+                  std::to_string(DataManager::content_hash(xml.value())));
+          if (!stored) return stored;
+          break;
+        }
+        if (attempt >= 50) {
+          return Status(Code::kInternal,
+                        "recovery sync of '" + doc +
+                            "' could not observe a stable peer snapshot");
+        }
+      }
+      continue;
+    }
+    if (best_site == site && best_version == local_version) {
+      // No strictly fresher peer. Still adopt an equal-version peer copy
+      // when the bytes differ: this site's snapshot may hold changes of a
+      // transaction that was rolled back after the snapshot was taken
+      // (a restart adopted a dirty whole-document persist) — at equal
+      // commit version the peers' resolved copy is the truth.
+      for (SiteId peer : hosts) {
+        if (peer == site) continue;
+        if (DataManager::stored_version(*stores_[peer], doc) !=
+            local_version) {
+          continue;
+        }
+        auto peer_xml = stores_[peer]->load(doc);
+        auto local_xml = stores_[site]->load(doc);
+        if (peer_xml && local_xml &&
+            peer_xml.value() != local_xml.value()) {
+          best_site = peer;
+        }
+        break;  // lowest-id equal-version peer decides, deterministically
+      }
+      if (best_site == site) continue;
+    }
+    // Equal-version adoption (quiescent path): stamp with a hash of the
+    // adopted bytes so later syncs can verify consistency.
+    auto xml = stores_[best_site]->load(doc);
+    if (!xml) return xml.status();
+    Status stored = stores_[site]->store(doc, xml.value());
+    if (!stored) return stored;
+    stored = stores_[site]->store(
+        DataManager::version_key(doc),
+        std::to_string(best_version) + " " +
+            std::to_string(DataManager::content_hash(xml.value())));
+    if (!stored) return stored;
+  }
+  return sites_[site]->restart();
+}
+
+bool Cluster::site_running(SiteId site) const {
+  return site < sites_.size() && sites_[site] != nullptr &&
+         sites_[site]->running();
+}
+
 Result<std::shared_ptr<txn::Transaction>> Cluster::submit(
     SiteId site, std::vector<txn::Operation> ops) {
   if (!started_) return Status(Code::kInternal, "cluster not started");
@@ -140,10 +256,16 @@ ClusterStats Cluster::stats() {
     out.lock_acquisitions += s.lock_manager.lock_acquisitions;
     out.lock_conflicts += s.lock_manager.conflicts;
     out.remote_ops += s.remote_ops_processed;
+    out.orphans_committed += s.orphans_committed;
+    out.orphans_aborted += s.orphans_aborted;
+    out.commit_resends += s.commit_resends;
+    out.restarts += s.restarts;
+    out.unclassified_aborts += s.unclassified_aborts;
     out.plan_cache.merge(s.plan_cache);
     out.response_ms.merge(s.response_ms);
   }
   out.network = network_.stats();
+  out.faults = network_.fault_stats();
   return out;
 }
 

@@ -40,6 +40,15 @@ struct ClusterStats {
   std::uint64_t lock_acquisitions = 0;
   std::uint64_t lock_conflicts = 0;
   std::uint64_t remote_ops = 0;
+  /// Crash-recovery accounting summed over all sites (presumed-abort
+  /// orphan resolutions, commit-request resends, completed restarts).
+  std::uint64_t orphans_committed = 0;
+  std::uint64_t orphans_aborted = 0;
+  std::uint64_t commit_resends = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t unclassified_aborts = 0;
+  /// Fault-injection counters of the simulated network.
+  net::FaultStats faults;
   /// Plan-cache counters summed over all sites (compiled-operation reuse).
   query::PlanCacheStats plan_cache;
   /// Client-observed response times across all sites (every terminated
@@ -72,6 +81,22 @@ class Cluster {
 
   /// Stops all sites (idempotent; also run by the destructor).
   void stop();
+
+  /// Crashes one site (see Site::crash): it drops off the network and
+  /// loses all volatile state. Traffic to the remaining sites continues;
+  /// transactions touching this site abort with kSiteFailure until it
+  /// restarts.
+  util::Status crash_site(SiteId site);
+
+  /// Restarts a stopped / crashed site. Before the site reloads, its store
+  /// is caught up from the freshest peer replica of every document it
+  /// hosts (commit-version comparison — the recovery sync a production
+  /// deployment would run as state transfer), so commits that finished
+  /// while the site was down are not resurrected stale.
+  util::Status restart_site(SiteId site);
+
+  /// True when the site's engine threads are running.
+  [[nodiscard]] bool site_running(SiteId site) const;
 
   [[nodiscard]] std::size_t site_count() const noexcept {
     return sites_.size();

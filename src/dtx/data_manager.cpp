@@ -1,5 +1,7 @@
 #include "dtx/data_manager.hpp"
 
+#include <cstdlib>
+
 #include "util/log.hpp"
 #include "xml/parser.hpp"
 #include "xml/serializer.hpp"
@@ -14,14 +16,54 @@ using util::Status;
 
 DataManager::DataManager(storage::StorageBackend& store) : store_(store) {}
 
+bool DataManager::is_internal_key(const std::string& name) {
+  constexpr const char* kSuffix = ".~v";
+  constexpr std::size_t kSuffixLen = 3;
+  if (name.size() > kSuffixLen &&
+      name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) == 0) {
+    return true;  // commit-version sidecar
+  }
+  return !name.empty() && name.front() == '~';  // e.g. "~outcomes"
+}
+
+std::uint64_t DataManager::stored_version(storage::StorageBackend& store,
+                                          const std::string& doc) {
+  return stored_stamp(store, doc).version;
+}
+
+DataManager::StoredStamp DataManager::stored_stamp(
+    storage::StorageBackend& store, const std::string& doc) {
+  StoredStamp stamp;
+  auto text = store.load(version_key(doc));
+  if (!text) return stamp;
+  char* rest = nullptr;
+  stamp.version = std::strtoull(text.value().c_str(), &rest, 10);
+  if (rest != nullptr && *rest == ' ') {
+    stamp.hash = std::strtoull(rest + 1, nullptr, 10);
+    stamp.has_hash = true;
+  }
+  return stamp;
+}
+
+std::uint64_t DataManager::content_hash(const std::string& text) noexcept {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a 64
+  for (const unsigned char byte : text) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
 Status DataManager::load_all() {
   for (const std::string& name : store_.list()) {
+    if (is_internal_key(name)) continue;  // version sidecars
     auto xml_text = store_.load(name);
     if (!xml_text) return xml_text.status();
     auto document = xml::parse(xml_text.value(), name);
     if (!document) return document.status();
     DocEntry entry;
     entry.scope = next_scope_++;
+    entry.version = stored_version(store_, name);
     entry.document = std::move(document).value();
     entry.guide = dataguide::DataGuide::build(*entry.document);
     documents_[name] = std::move(entry);
@@ -78,11 +120,41 @@ Result<std::size_t> DataManager::run_update(TxnId txn,
                                entry->guide.get());
   if (!result) return result.status();
   touched_[txn].insert(plan.doc());
+  first_update_serial_.emplace(std::make_pair(txn, plan.doc()),
+                               entry->persist_serial);
   return result.value().affected;
 }
 
 std::size_t DataManager::undo_checkpoint(TxnId txn, const std::string& doc) {
   return undo_logs_[{txn, doc}].checkpoint();
+}
+
+void DataManager::scrub_snapshot(const std::string& doc, DocEntry& entry) {
+  // No version bump: this is not a commit, it removes rolled-back changes
+  // that a concurrent transaction's whole-document persist captured (the
+  // store must never be able to resurrect aborted state on reload). The
+  // stamp's content hash is refreshed so sync readers still verify.
+  const std::string bytes = xml::serialize(*entry.document);
+  Status stored = store_.store(doc, bytes);
+  if (stored) {
+    stored = store_.store(version_key(doc),
+                          std::to_string(entry.version) + " " +
+                              std::to_string(content_hash(bytes)));
+  }
+  if (!stored) {
+    DTX_ERROR() << "snapshot scrub of '" << doc
+                << "' failed: " << stored.to_string();
+    return;
+  }
+  ++entry.persist_serial;
+}
+
+void DataManager::maybe_scrub(TxnId txn, const std::string& doc) {
+  DocEntry* entry = entry_of(doc);
+  if (entry == nullptr) return;
+  const auto it = first_update_serial_.find({txn, doc});
+  if (it == first_update_serial_.end()) return;
+  if (entry->persist_serial > it->second) scrub_snapshot(doc, *entry);
 }
 
 void DataManager::undo_to(TxnId txn, const std::string& doc,
@@ -91,6 +163,7 @@ void DataManager::undo_to(TxnId txn, const std::string& doc,
   const auto it = undo_logs_.find({txn, doc});
   if (entry == nullptr || it == undo_logs_.end()) return;
   it->second.undo_to(token, *entry->document, entry->guide.get());
+  maybe_scrub(txn, doc);
 }
 
 void DataManager::undo_all(TxnId txn) {
@@ -109,6 +182,14 @@ void DataManager::undo_all(TxnId txn) {
       ++it;
     }
   }
+  for (auto it = first_update_serial_.begin();
+       it != first_update_serial_.end();) {
+    if (it->first.first == txn) {
+      it = first_update_serial_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 Status DataManager::persist(TxnId txn) {
@@ -117,7 +198,19 @@ Status DataManager::persist(TxnId txn) {
     for (const std::string& doc : touched_it->second) {
       DocEntry* entry = entry_of(doc);
       if (entry == nullptr) continue;
-      Status status = store_.store(doc, xml::serialize(*entry->document));
+      const std::string bytes = xml::serialize(*entry->document);
+      Status status = store_.store(doc, bytes);
+      if (!status) return status;
+      // Bump the commit version alongside the bytes. Strict 2PL orders
+      // commits per document identically at every replica, so the counter
+      // is a replica-comparable freshness stamp (recovery sync); the
+      // content hash lets a concurrent sync reader detect a torn
+      // version/bytes pair and retry.
+      ++entry->version;
+      ++entry->persist_serial;
+      status = store_.store(version_key(doc),
+                            std::to_string(entry->version) + " " +
+                                std::to_string(content_hash(bytes)));
       if (!status) return status;
       const auto log_it = undo_logs_.find({txn, doc});
       if (log_it != undo_logs_.end()) {
@@ -129,6 +222,14 @@ Status DataManager::persist(TxnId txn) {
   for (auto it = undo_logs_.begin(); it != undo_logs_.end();) {
     if (it->first.first == txn) {
       it = undo_logs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = first_update_serial_.begin();
+       it != first_update_serial_.end();) {
+    if (it->first.first == txn) {
+      it = first_update_serial_.erase(it);
     } else {
       ++it;
     }
@@ -152,6 +253,11 @@ std::size_t DataManager::total_guide_nodes() const {
     total += entry.guide->node_count();
   }
   return total;
+}
+
+std::uint64_t DataManager::version_of(const std::string& doc) const {
+  const auto it = documents_.find(doc);
+  return it == documents_.end() ? 0 : it->second.version;
 }
 
 }  // namespace dtx::core

@@ -6,7 +6,12 @@
 //
 // Per document it keeps the in-memory tree plus its DataGuide, and per
 // (transaction, document) an undo log. Committed state is written through to
-// the storage backend at commit time (Alg. 5 l. 10).
+// the storage backend at commit time (Alg. 5 l. 10), together with a
+// monotonically increasing per-document *commit version* (a sidecar entry,
+// version_key()). Strict 2PL serializes commits per document identically at
+// every replica, so equal versions mean equal bytes — which is what lets
+// Cluster::restart_site pick the freshest replica when a crashed site
+// rejoins (recovery sync).
 //
 // NOT thread-safe on its own — the owning LockManager guards it behind a
 // reader/writer latch (queries shared, updates / undo / persist exclusive);
@@ -35,6 +40,31 @@ using lock::TxnId;
 class DataManager {
  public:
   explicit DataManager(storage::StorageBackend& store);
+
+  /// Storage key of a document's commit-stamp sidecar ("<version> <hash>";
+  /// the hash is of the document bytes, letting the recovery sync verify
+  /// it read a consistent version/bytes pair from a live peer).
+  [[nodiscard]] static std::string version_key(const std::string& doc) {
+    return doc + ".~v";
+  }
+  /// True for internal sidecar keys (skipped by load_all / replica diffs).
+  [[nodiscard]] static bool is_internal_key(const std::string& name);
+  /// Commit version recorded in a store for `doc` (0 when absent) — usable
+  /// without loading the document (recovery sync reads peers this way).
+  [[nodiscard]] static std::uint64_t stored_version(
+      storage::StorageBackend& store, const std::string& doc);
+  /// Full sidecar stamp; `has_hash` is false for pre-stamp sidecars and
+  /// missing entries.
+  struct StoredStamp {
+    std::uint64_t version = 0;
+    std::uint64_t hash = 0;
+    bool has_hash = false;
+  };
+  [[nodiscard]] static StoredStamp stored_stamp(
+      storage::StorageBackend& store, const std::string& doc);
+  /// Deterministic FNV-1a of the serialized bytes (stable across runs).
+  [[nodiscard]] static std::uint64_t content_hash(
+      const std::string& text) noexcept;
 
   /// Loads and parses every document in the storage backend, building the
   /// DataGuides.
@@ -74,14 +104,36 @@ class DataManager {
   /// Total number of DataGuide nodes at this site.
   [[nodiscard]] std::size_t total_guide_nodes() const;
 
+  /// Commit version of a loaded document (0 when unknown).
+  [[nodiscard]] std::uint64_t version_of(const std::string& doc) const;
+
+  /// Number of live undo logs — the chaos invariant "undo logs drained"
+  /// (every one belongs to an in-flight transaction; 0 when quiescent).
+  [[nodiscard]] std::size_t undo_log_count() const {
+    return undo_logs_.size();
+  }
+
  private:
   struct DocEntry {
     std::uint64_t scope = 0;
+    std::uint64_t version = 0;  ///< commits persisted (replica-identical)
+    /// Store writes of this document (commits + scrub re-writes): lets an
+    /// undo know whether a snapshot taken since the transaction's first
+    /// update might contain its now-rolled-back changes.
+    std::uint64_t persist_serial = 0;
     std::unique_ptr<xml::Document> document;
     std::unique_ptr<dataguide::DataGuide> guide;
   };
 
   DocEntry* entry_of(const std::string& name);
+
+  /// Re-writes the current tree to the store without bumping the commit
+  /// version: scrubs rolled-back changes out of a snapshot that another
+  /// transaction's whole-document persist captured while they were live.
+  void scrub_snapshot(const std::string& doc, DocEntry& entry);
+  /// Scrub when any store write of `doc` happened since `txn` first
+  /// changed it (otherwise no snapshot can contain the undone changes).
+  void maybe_scrub(TxnId txn, const std::string& doc);
 
   storage::StorageBackend& store_;
   std::map<std::string, DocEntry> documents_;
@@ -89,6 +141,8 @@ class DataManager {
   // Undo logs per (transaction, document); dirty set drives persist().
   std::map<std::pair<TxnId, std::string>, xupdate::UndoLog> undo_logs_;
   std::map<TxnId, std::set<std::string>> touched_;
+  /// persist_serial of the document when the transaction first updated it.
+  std::map<std::pair<TxnId, std::string>, std::uint64_t> first_update_serial_;
 };
 
 }  // namespace dtx::core

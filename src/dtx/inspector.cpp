@@ -15,6 +15,10 @@ std::string describe_site(Site& site) {
   out << "  scheduler: wait_episodes=" << stats.wait_episodes
       << " remote_ops=" << stats.remote_ops_processed
       << " distributed_cycles=" << stats.distributed_cycles_found << "\n";
+  out << "  recovery: restarts=" << stats.restarts
+      << " orphans_committed=" << stats.orphans_committed
+      << " orphans_aborted=" << stats.orphans_aborted
+      << " commit_resends=" << stats.commit_resends << "\n";
   out << "  lock manager: acquisitions=" << stats.lock_manager.lock_acquisitions
       << " conflicts=" << stats.lock_manager.conflicts
       << " local_deadlocks=" << stats.lock_manager.local_deadlocks

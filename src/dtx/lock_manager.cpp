@@ -187,6 +187,11 @@ LockManagerStats LockManager::stats() {
 
 std::size_t LockManager::lock_entries() { return table_.entry_count(); }
 
+std::size_t LockManager::undo_log_count() {
+  std::shared_lock<std::shared_mutex> latch(data_latch_);
+  return data_.undo_log_count();
+}
+
 void LockManager::drop_op_records(TxnId txn) {
   std::lock_guard<std::mutex> records_lock(records_mutex_);
   for (auto it = op_records_.begin(); it != op_records_.end();) {

@@ -119,6 +119,11 @@ class LockManager {
   /// Current lock-table entry count (diagnostics).
   [[nodiscard]] std::size_t lock_entries();
 
+  /// Live undo logs in the DataManager, read under the data latch — safe
+  /// at any time (the chaos invariant "undo logs drained": both this and
+  /// lock_entries() must be 0 on a quiescent site).
+  [[nodiscard]] std::size_t undo_log_count();
+
   /// The sharded lock table (internally synchronized; benches read its
   /// per-shard stats).
   [[nodiscard]] const lock::LockTable& table() const noexcept {

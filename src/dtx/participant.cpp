@@ -8,7 +8,7 @@ using net::Message;
 
 namespace {
 
-/// Transaction a participant request belongs to (all five request kinds
+/// Transaction a participant request belongs to (all six request kinds
 /// carry one).
 lock::TxnId request_txn(const Message& message) {
   return std::visit(
@@ -18,7 +18,8 @@ lock::TxnId request_txn(const Message& message) {
                       std::is_same_v<T, net::UndoOperation> ||
                       std::is_same_v<T, net::CommitRequest> ||
                       std::is_same_v<T, net::AbortRequest> ||
-                      std::is_same_v<T, net::FailNotice>) {
+                      std::is_same_v<T, net::FailNotice> ||
+                      std::is_same_v<T, net::TxnStatusReply>) {
           return payload.txn;
         } else {
           return 0;
@@ -70,6 +71,8 @@ void Participant::run() {
             handle_abort(payload, message.from);
           } else if constexpr (std::is_same_v<T, net::FailNotice>) {
             handle_fail(payload);
+          } else if constexpr (std::is_same_v<T, net::TxnStatusReply>) {
+            handle_status_reply(payload);
           }
         },
         message.payload);
@@ -84,9 +87,33 @@ void Participant::run() {
 void Participant::handle_execute(const net::ExecuteOperation& request) {
   // Alg. 2 l. 4-13.
   {
+    // Track the transaction for the presumed-abort orphan sweep, and
+    // answer duplicated deliveries (FaultPlan duplication) from the reply
+    // cache: re-running an already-executed update would apply its effects
+    // twice. Only a *newer* attempt (wait-mode re-execution after an undo)
+    // reaches the lock manager again.
+    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    SiteContext::RemoteTxn& record = ctx_.remote_txns[request.txn];
+    record.coordinator = request.coordinator;
+    record.last_seen = SiteContext::Clock::now();
+    record.unanswered_probes = 0;
+    const auto cached = record.last_replies.find(request.op_index);
+    if (cached != record.last_replies.end() &&
+        cached->second.attempt >= request.attempt) {
+      ctx_.send(request.coordinator, cached->second);
+      return;
+    }
+  }
+  {
     std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
     ++ctx_.stats.remote_ops_processed;
   }
+  // A newer attempt supersedes whatever the previous one left here. The
+  // coordinator does send UndoOperation before re-executing (Alg. 1
+  // l. 16), but that message can be lost — re-applying on top of the
+  // un-undone first attempt would double the operation's effects at this
+  // replica only.
+  ctx_.locks().undo_operation(request.txn, request.op_index);
   net::OperationResult reply;
   reply.txn = request.txn;
   reply.op_index = request.op_index;
@@ -95,13 +122,13 @@ void Participant::handle_execute(const net::ExecuteOperation& request) {
   // Resolve the typed operation through the site plan cache: wait-mode
   // re-executions (attempt > 1) and repeated workload operations run the
   // cached plan — no parsing happens on this path.
-  auto plan = ctx_.plans.resolve(request.op);
+  auto plan = ctx_.plans().resolve(request.op);
   if (!plan) {
     reply.failed = true;
     reply.reason = txn::AbortReason::kParseError;
     reply.error = plan.status().to_string();
   } else {
-    OpOutcome outcome = ctx_.locks.process_operation(
+    OpOutcome outcome = ctx_.locks().process_operation(
         request.txn, request.op_index, *plan.value(), request.coordinator);
     switch (outcome.kind) {
       case OpOutcome::Kind::kExecuted:
@@ -121,32 +148,105 @@ void Participant::handle_execute(const net::ExecuteOperation& request) {
         break;
     }
   }
+  {
+    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    const auto it = ctx_.remote_txns.find(request.txn);
+    if (it != ctx_.remote_txns.end()) {
+      it->second.last_seen = SiteContext::Clock::now();
+      it->second.last_replies[request.op_index] = reply;
+    }
+  }
   ctx_.send(request.coordinator, std::move(reply));
 }
 
 void Participant::handle_undo(const net::UndoOperation& request) {
-  ctx_.locks.undo_operation(request.txn, request.op_index);
+  touch_remote_txn(request.txn);
+  ctx_.locks().undo_operation(request.txn, request.op_index);
 }
 
 void Participant::handle_commit(const net::CommitRequest& request,
                                 SiteId from) {
+  // Idempotent: a duplicated or resent CommitRequest for a transaction
+  // with no state here (already committed, or lost to a crash+restart)
+  // persists nothing and acks ok — the coordinator's commit decision is
+  // final either way.
   std::vector<WakeNotice> wakes;
-  const util::Status status = ctx_.locks.commit(request.txn, wakes);
+  const util::Status status = ctx_.locks().commit(request.txn, wakes);
   ctx_.send(from, net::CommitAck{request.txn, status.is_ok()});
   ctx_.send_wakes(wakes);
+  if (status.is_ok()) {
+    forget_remote_txn(request.txn);
+  } else {
+    // Persist failed: locks and undo log are still held. Keep the
+    // tracking record so the orphan sweep retries the consolidation
+    // (probe -> kCommitted -> commit again) instead of leaking them.
+    touch_remote_txn(request.txn);
+  }
 }
 
 void Participant::handle_abort(const net::AbortRequest& request, SiteId from) {
   std::vector<WakeNotice> wakes;
-  ctx_.locks.abort(request.txn, wakes);
+  ctx_.locks().abort(request.txn, wakes);
   ctx_.send(from, net::AbortAck{request.txn, true});
   ctx_.send_wakes(wakes);
+  forget_remote_txn(request.txn);
 }
 
 void Participant::handle_fail(const net::FailNotice& request) {
   std::vector<WakeNotice> wakes;
-  ctx_.locks.abort(request.txn, wakes);
+  ctx_.locks().abort(request.txn, wakes);
   ctx_.send_wakes(wakes);
+  forget_remote_txn(request.txn);
+}
+
+void Participant::handle_status_reply(const net::TxnStatusReply& reply) {
+  // Presumed-abort resolution for an orphaned transaction. Ignore replies
+  // for transactions no longer tracked (the real commit / abort arrived
+  // while the probe was in flight — those paths already cleaned up).
+  {
+    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    const auto it = ctx_.remote_txns.find(reply.txn);
+    if (it == ctx_.remote_txns.end()) return;
+    if (reply.outcome == net::TxnOutcome::kActive) {
+      // Coordinator is alive and still working: reset the orphan clock.
+      it->second.last_seen = SiteContext::Clock::now();
+      it->second.unanswered_probes = 0;
+      return;
+    }
+  }
+  std::vector<WakeNotice> wakes;
+  if (reply.outcome == net::TxnOutcome::kCommitted) {
+    // The decision was commit and this site missed the CommitRequest:
+    // consolidate now (persist + release), exactly what the lost message
+    // would have done.
+    const util::Status status = ctx_.locks().commit(reply.txn, wakes);
+    if (!status) {
+      DTX_ERROR() << "orphan commit failed: " << status.to_string();
+    }
+    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    ++ctx_.stats.orphans_committed;
+  } else {
+    // kAborted or kUnknown (coordinator lost its state): presumed abort —
+    // undo-log rollback and lock release.
+    ctx_.locks().abort(reply.txn, wakes);
+    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    ++ctx_.stats.orphans_aborted;
+  }
+  ctx_.send_wakes(wakes);
+  forget_remote_txn(reply.txn);
+}
+
+void Participant::touch_remote_txn(lock::TxnId txn) {
+  std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+  const auto it = ctx_.remote_txns.find(txn);
+  if (it != ctx_.remote_txns.end()) {
+    it->second.last_seen = SiteContext::Clock::now();
+  }
+}
+
+void Participant::forget_remote_txn(lock::TxnId txn) {
+  std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+  ctx_.remote_txns.erase(txn);
 }
 
 }  // namespace dtx::core

@@ -30,6 +30,15 @@ class Participant {
   void handle_commit(const net::CommitRequest& request, SiteId from);
   void handle_abort(const net::AbortRequest& request, SiteId from);
   void handle_fail(const net::FailNotice& request);
+  /// Presumed-abort resolution of an orphaned remote transaction: commit
+  /// it (the coordinator decided commit and the CommitRequest was lost) or
+  /// roll it back via the undo log (aborted / coordinator lost its state).
+  void handle_status_reply(const net::TxnStatusReply& reply);
+
+  /// Refreshes the orphan-sweep clock of a tracked remote transaction.
+  void touch_remote_txn(lock::TxnId txn);
+  /// Drops the tracking record (transaction terminated at this site).
+  void forget_remote_txn(lock::TxnId txn);
 
   SiteContext& ctx_;
 };

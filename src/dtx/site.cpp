@@ -22,8 +22,11 @@ Site::Site(SiteOptions options, net::SimNetwork& network,
 Site::~Site() { stop(); }
 
 util::Status Site::start() {
-  util::Status status = ctx_.data.load_all();
+  util::Status status = ctx_.data().load_all();
   if (!status) return status;
+  // Presumed-abort commit log: repopulate the outcome cache with the
+  // durable commit decisions (no-op on a fresh store).
+  ctx_.load_commit_log();
   ctx_.running.store(true);
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
   const std::size_t coordinators =
@@ -41,8 +44,7 @@ util::Status Site::start() {
   return util::Status::ok();
 }
 
-void Site::stop() {
-  if (!ctx_.running.exchange(false)) return;
+void Site::halt() {
   ctx_.mailbox.interrupt();
   ctx_.coord_cv.notify_all();
   ctx_.part_cv.notify_all();
@@ -57,7 +59,10 @@ void Site::stop() {
     if (worker.joinable()) worker.join();
   }
   participant_threads_.clear();
-  // Unblock any clients still waiting on unfinished transactions.
+  // Unblock any clients still waiting on unfinished transactions. Their
+  // outcome is indeterminate: a transaction may have passed its commit
+  // decision moments before the site went down, so callers must treat
+  // kSiteFailure as "maybe committed", not "rolled back".
   std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
   for (auto& [id, txn] : ctx_.transactions) {
     if (!txn->completed()) {
@@ -69,6 +74,76 @@ void Site::stop() {
       txn->complete(std::move(result));
     }
   }
+}
+
+void Site::stop() {
+  if (!ctx_.running.exchange(false)) return;
+  halt();
+}
+
+void Site::wipe_volatile_state() {
+  // Scheduler queues, response/ack collection, participant tracking and
+  // the outcome cache — everything a process crash loses (the durable
+  // commit log is reloaded by start()). Also run before a restart after a
+  // graceful stop(): the queues may still hold transactions that halt()
+  // completed, and new workers must never re-execute those.
+  {
+    std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+    ctx_.ready.clear();
+    ctx_.transactions.clear();
+    ctx_.waiting.clear();
+    ctx_.pending_wakes.clear();
+    ctx_.victim_aborts.clear();
+    ctx_.executing.clear();
+    ctx_.deferred_victims.clear();
+    ctx_.recent_outcomes.clear();
+    ctx_.outcome_fifo.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    ctx_.participant_queue.clear();
+    ctx_.participant_active.clear();
+    ctx_.remote_txns.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
+    ctx_.responses.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx_.ack_mutex);
+    ctx_.acks.clear();
+  }
+}
+
+void Site::crash() {
+  // Drop off the network first: anything sent from now on is lost, as are
+  // the messages still queued in the mailbox.
+  ctx_.network.set_site_down(ctx_.options.id, true);
+  if (ctx_.running.exchange(false)) halt();
+  ctx_.mailbox.reset();
+  ctx_.mailbox.interrupt();  // stay un-poppable until restart()
+  // Committed state lives only in the storage backend.
+  wipe_volatile_state();
+  ctx_.rebuild_engine();
+}
+
+util::Status Site::restart() {
+  if (ctx_.running.load()) {
+    return util::Status(util::Code::kInternal, "site is running");
+  }
+  // Rebuild from the storage backend: committed documents only (a graceful
+  // stop() restart takes the same path — the engine is always rebuilt and
+  // stale queue entries are dropped, exactly as after a crash).
+  wipe_volatile_state();
+  ctx_.rebuild_engine();
+  ctx_.mailbox.reset();
+  ctx_.network.set_site_down(ctx_.options.id, false);
+  util::Status status = start();
+  if (status) {
+    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    ++ctx_.stats.restarts;
+  }
+  return status;
 }
 
 TxnId Site::next_txn_id() {
@@ -83,6 +158,17 @@ std::shared_ptr<Transaction> Site::submit(std::vector<txn::Operation> ops) {
   {
     std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
     txn = std::make_shared<Transaction>(next_txn_id(), std::move(ops));
+    if (!ctx_.running.load()) {
+      // The site is down (stopped or crashed): refuse instead of parking
+      // the transaction on a queue no worker will ever drain.
+      txn::TxnResult result;
+      result.id = txn->id();
+      result.state = TxnState::kAborted;
+      result.reason = txn::AbortReason::kSiteFailure;
+      result.detail = "site is down";
+      txn->complete(std::move(result));
+      return txn;
+    }
     ctx_.transactions[txn->id()] = txn;
     ctx_.ready.push_back(txn);
   }
@@ -93,14 +179,15 @@ std::shared_ptr<Transaction> Site::submit(std::vector<txn::Operation> ops) {
 SiteStats Site::stats() {
   std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
   SiteStats out = ctx_.stats;
-  out.lock_manager = ctx_.locks.stats();
-  out.plan_cache = ctx_.plans.stats();
+  out.lock_manager = ctx_.locks().stats();
+  out.plan_cache = ctx_.plans().stats();
   out.distributed_cycles_found = ctx_.detector.cycles_found();
   return out;
 }
 
 // ---------------------------------------------------------------------------
-// Dispatcher: mailbox routing + deadlock-detector cadence.
+// Dispatcher: mailbox routing, deadlock-detector cadence and the
+// presumed-abort orphan sweep.
 // ---------------------------------------------------------------------------
 
 void Site::dispatcher_loop() {
@@ -117,7 +204,8 @@ void Site::dispatcher_loop() {
                           std::is_same_v<T, net::UndoOperation> ||
                           std::is_same_v<T, net::CommitRequest> ||
                           std::is_same_v<T, net::AbortRequest> ||
-                          std::is_same_v<T, net::FailNotice>) {
+                          std::is_same_v<T, net::FailNotice> ||
+                          std::is_same_v<T, net::TxnStatusReply>) {
               {
                 std::lock_guard<std::mutex> lock(ctx_.part_mutex);
                 ctx_.participant_queue.push_back(std::move(m));
@@ -144,9 +232,11 @@ void Site::dispatcher_loop() {
                 }
               }
               ctx_.ack_cv.notify_all();
+            } else if constexpr (std::is_same_v<T, net::TxnStatusRequest>) {
+              answer_status_request(payload);
             } else if constexpr (std::is_same_v<T, net::WfgRequest>) {
               ctx_.send(payload.requester,
-                        net::WfgReply{payload.probe, ctx_.locks.wfg_edges()});
+                        net::WfgReply{payload.probe, ctx_.locks().wfg_edges()});
             } else if constexpr (std::is_same_v<T, net::WfgReply>) {
               const auto victim = ctx_.detector.add_reply(payload.probe,
                                                           m.from,
@@ -179,6 +269,63 @@ void Site::dispatcher_loop() {
           m.payload);
     }
     run_deadlock_detection(now);
+    sweep_orphans(now);
+  }
+}
+
+void Site::answer_status_request(const net::TxnStatusRequest& request) {
+  net::TxnOutcome outcome = net::TxnOutcome::kUnknown;
+  {
+    std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+    if (ctx_.transactions.count(request.txn) != 0) {
+      outcome = net::TxnOutcome::kActive;
+    } else {
+      const auto it = ctx_.recent_outcomes.find(request.txn);
+      if (it != ctx_.recent_outcomes.end()) {
+        outcome = it->second ? net::TxnOutcome::kCommitted
+                             : net::TxnOutcome::kAborted;
+      }
+      // else: no record — never coordinated here, or the record died with
+      // a crash. kUnknown; the participant presumes abort.
+    }
+  }
+  ctx_.send(request.requester, net::TxnStatusReply{request.txn, outcome});
+}
+
+void Site::sweep_orphans(Clock::time_point now) {
+  if (ctx_.options.orphan_txn_timeout.count() == 0) return;
+  std::vector<std::pair<TxnId, SiteId>> probes;
+  std::size_t rollbacks = 0;
+  {
+    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    for (auto& [txn, record] : ctx_.remote_txns) {
+      if (ctx_.participant_active.count(txn) != 0) continue;  // in service
+      if (now - record.last_seen < ctx_.options.orphan_txn_timeout) continue;
+      if (record.unanswered_probes >= ctx_.options.orphan_query_limit) {
+        // Presumed abort: enqueue a local FailNotice so the rollback runs
+        // on a participant worker under the per-transaction serialization
+        // rule (never concurrently with a late Execute / Commit of the
+        // same transaction).
+        record.last_seen = now;  // don't re-enqueue while this one is queued
+        ctx_.participant_queue.push_back(Message{
+            ctx_.options.id, ctx_.options.id, net::FailNotice{txn}});
+        ++rollbacks;
+      } else {
+        ++record.unanswered_probes;
+        record.last_seen = now;  // next probe one orphan timeout from now
+        probes.push_back({txn, record.coordinator});
+      }
+    }
+  }
+  if (rollbacks != 0) {
+    {
+      std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+      ctx_.stats.orphans_aborted += rollbacks;
+    }
+    ctx_.part_cv.notify_all();
+  }
+  for (const auto& [txn, coordinator] : probes) {
+    ctx_.send(coordinator, net::TxnStatusRequest{txn, ctx_.options.id});
   }
 }
 
@@ -193,7 +340,7 @@ void Site::run_deadlock_detection(Clock::time_point now) {
     if (site != ctx_.options.id) others.push_back(site);
   }
   const std::uint64_t probe =
-      ctx_.detector.begin_probe(ctx_.locks.wfg_edges(), others, now);
+      ctx_.detector.begin_probe(ctx_.locks().wfg_edges(), others, now);
   if (others.empty()) {
     // Single-site system: the probe resolves on the local graph alone.
     const auto victim = ctx_.detector.add_reply(probe, ctx_.options.id, {});

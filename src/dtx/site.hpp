@@ -44,6 +44,29 @@ class Site {
   /// Stops and joins the threads. Unfinished transactions abort.
   void stop();
 
+  /// Simulated site crash: the site drops off the network (messages in
+  /// both directions are discarded, the mailbox is emptied), every
+  /// in-flight transaction coordinated here completes as aborted with
+  /// txn::AbortReason::kSiteFailure, and all volatile engine state —
+  /// documents, locks, undo logs, plan cache, scheduler queues — is
+  /// wiped. Remote participants holding state for this site's
+  /// transactions recover through the presumed-abort orphan sweep.
+  ///
+  /// Lifecycle vs. observation: crash()/restart() swap the engine
+  /// components, so stats() and the component accessors below must not
+  /// race them — observe a site either while it is up or after the
+  /// restart returned (the chaos runner checks invariants only between
+  /// recovery and the next fault for exactly this reason).
+  void crash();
+
+  /// Rejoins after stop() or crash(): rebuilds the DataManager /
+  /// LockManager / plan cache from the storage backend (committed state
+  /// only — exactly what a crash leaves behind), clears the mailbox and
+  /// re-spawns the worker threads.
+  util::Status restart();
+
+  [[nodiscard]] bool running() const noexcept { return ctx_.running.load(); }
+
   [[nodiscard]] SiteId id() const noexcept { return ctx_.options.id; }
 
   /// The Listener: accepts a client transaction for coordination at this
@@ -65,8 +88,8 @@ class Site {
   /// flight. For live monitoring use stats() instead. The LockManager's
   /// own entry points (stats, wfg_edges, lock_entries) are internally
   /// synchronized and safe at any time.
-  DataManager& data_manager() noexcept { return ctx_.data; }
-  LockManager& lock_manager() noexcept { return ctx_.locks; }
+  DataManager& data_manager() noexcept { return ctx_.data(); }
+  LockManager& lock_manager() noexcept { return ctx_.locks(); }
 
  private:
   using Clock = SiteContext::Clock;
@@ -74,6 +97,20 @@ class Site {
   void dispatcher_loop();
   void run_deadlock_detection(Clock::time_point now);
   void act_on_victim(lock::TxnId victim);
+  /// Joins the worker threads and completes in-flight transactions as
+  /// kSiteFailure aborts (shared by stop() and crash()).
+  void halt();
+  /// Clears scheduler queues, response/ack slots, participant tracking
+  /// and the outcome cache (crash, and restart-after-stop — new workers
+  /// must never re-execute transactions halt() already completed).
+  void wipe_volatile_state();
+  /// Answers a presumed-abort status probe from the coordinator-side
+  /// transaction table / outcome cache (dispatcher thread).
+  void answer_status_request(const net::TxnStatusRequest& request);
+  /// Presumed-abort sweep over remote transactions that went silent:
+  /// probes their coordinators, rolls back after orphan_query_limit
+  /// unanswered probes (dispatcher thread).
+  void sweep_orphans(Clock::time_point now);
 
   lock::TxnId next_txn_id();  // expects coord_mutex held
 

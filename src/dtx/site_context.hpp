@@ -12,15 +12,23 @@
 // coordinator workers safe: no two workers can claim the same transaction,
 // and victim aborts for an executing transaction are parked in
 // deferred_victims until its worker hands the claim back.
+//
+// Crash/recovery: the engine components that a crash wipes — DataManager,
+// LockManager, PlanCache — live behind owning pointers so Site::restart()
+// can rebuild them from the storage backend (rebuild_engine()); everything
+// else (stats, txn-id clock, detector) survives the way a monitoring
+// sidecar would.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <string>
 
 #include "dtx/catalog.hpp"
 #include "dtx/data_manager.hpp"
@@ -77,6 +85,19 @@ struct SiteOptions {
   /// How long the coordinator waits for participant replies / acks before
   /// treating the operation as failed.
   std::chrono::microseconds response_timeout{10'000'000};
+  /// Commit fan-out rounds: the first CommitRequest broadcast plus up to
+  /// (commit_ack_rounds - 1) resends to sites that have not acked, each
+  /// waiting response_timeout. Rides a commit decision through partitions
+  /// shorter than the combined window.
+  std::uint32_t commit_ack_rounds = 3;
+  /// Presumed-abort orphan sweep: a remote transaction holding state here
+  /// that has been silent this long gets a TxnStatusRequest to its
+  /// coordinator; after orphan_query_limit unanswered probes its effects
+  /// are rolled back (undo log) and its locks released. 0 disables the
+  /// sweep (the seed behavior: orphans hold locks forever).
+  std::chrono::microseconds orphan_txn_timeout{30'000'000};
+  /// Unanswered status probes before presuming abort.
+  std::uint32_t orphan_query_limit = 3;
   /// Mailbox / queue poll granularity.
   std::chrono::microseconds poll_interval{2'000};
 };
@@ -91,6 +112,17 @@ struct SiteStats {
   std::uint64_t distributed_cycles_found = 0;
   std::uint64_t wait_episodes = 0;
   std::uint64_t remote_ops_processed = 0;
+  /// Crash-recovery accounting: orphaned remote transactions resolved by
+  /// the presumed-abort sweep (committed after a status reply / rolled
+  /// back), commit-request resends, and completed restarts of this site.
+  std::uint64_t orphans_committed = 0;
+  std::uint64_t orphans_aborted = 0;
+  std::uint64_t commit_resends = 0;
+  std::uint64_t restarts = 0;
+  /// Aborts the coordinator could not classify (defensive fallback in
+  /// finish_transaction; audited to be unreachable — see the regression
+  /// test in chaos_test.cpp).
+  std::uint64_t unclassified_aborts = 0;
   LockManagerStats lock_manager;
   /// Site plan-cache counters (hits / misses / evictions / entries).
   query::PlanCacheStats plan_cache;
@@ -103,15 +135,15 @@ struct SiteContext {
   using Clock = std::chrono::steady_clock;
 
   SiteContext(SiteOptions opts, net::SimNetwork& net, const Catalog& cat,
-              storage::StorageBackend& store)
+              storage::StorageBackend& backing_store)
       : options(opts),
         network(net),
         mailbox(net.register_site(opts.id)),
         catalog(cat),
-        data(store),
-        locks(opts.protocol, data, opts.lock_shards),
-        plans(opts.plan_cache_capacity, opts.plan_cache_shards),
-        detector(opts.detect_period, opts.detect_reply_timeout) {}
+        store(backing_store),
+        detector(opts.detect_period, opts.detect_reply_timeout) {
+    rebuild_engine();
+  }
 
   SiteContext(const SiteContext&) = delete;
   SiteContext& operator=(const SiteContext&) = delete;
@@ -120,11 +152,22 @@ struct SiteContext {
   net::SimNetwork& network;
   net::Mailbox& mailbox;
   const Catalog& catalog;
-  DataManager data;
-  LockManager locks;
-  /// Compiled-plan cache shared by the participant executors and the
-  /// coordinator's local-execution path (internally synchronized).
-  query::PlanCache plans;
+  storage::StorageBackend& store;
+
+  /// Wipes and reconstructs the crash-volatile engine components. Only
+  /// valid while no worker thread is running (construction, restart).
+  void rebuild_engine() {
+    data_ = std::make_unique<DataManager>(store);
+    locks_ = std::make_unique<LockManager>(options.protocol, *data_,
+                                           options.lock_shards);
+    plans_ = std::make_unique<query::PlanCache>(options.plan_cache_capacity,
+                                                options.plan_cache_shards);
+  }
+
+  [[nodiscard]] DataManager& data() noexcept { return *data_; }
+  [[nodiscard]] LockManager& locks() noexcept { return *locks_; }
+  [[nodiscard]] query::PlanCache& plans() noexcept { return *plans_; }
+
   DeadlockDetector detector;
 
   std::atomic<bool> running{false};
@@ -143,6 +186,59 @@ struct SiteContext {
   std::set<lock::TxnId> deferred_victims;
   std::uint64_t last_begin_micros = 0;
 
+  /// Recent terminal outcomes of transactions coordinated here, answering
+  /// presumed-abort status probes (TxnStatusRequest) from participants that
+  /// lost contact mid-transaction. Bounded FIFO. Only *commit* decisions
+  /// are durable (the presumed-abort commit log below); everything else
+  /// dies with a crash, which absence-reads as aborted — the contract.
+  std::map<lock::TxnId, bool> recent_outcomes;  // txn -> committed
+  std::deque<lock::TxnId> outcome_fifo;
+  static constexpr std::size_t kOutcomeCacheCapacity = 8192;
+
+  /// Expects coord_mutex held.
+  void record_outcome(lock::TxnId txn, bool committed_outcome) {
+    if (recent_outcomes.emplace(txn, committed_outcome).second) {
+      outcome_fifo.push_back(txn);
+      while (outcome_fifo.size() > kOutcomeCacheCapacity) {
+        recent_outcomes.erase(outcome_fifo.front());
+        outcome_fifo.pop_front();
+      }
+    }
+  }
+
+  /// Presumed-abort commit log: storage key holding one line per committed
+  /// distributed transaction. The coordinator appends *before* the first
+  /// CommitRequest leaves — without this, a coordinator crash inside the
+  /// commit fan-out would answer later status probes kUnknown and a replica
+  /// that already persisted would diverge from one that presumed abort.
+  static constexpr const char* kCommitLogKey = "~outcomes";
+
+  /// Durably records a commit decision — one appended line, O(1) in the
+  /// log size. Expects coord_mutex held.
+  util::Status append_commit_record(lock::TxnId txn) {
+    std::string line = std::to_string(txn);
+    line += '\n';
+    return store.append(kCommitLogKey, line);
+  }
+
+  /// Reloads the commit log into the outcome cache (restart, before the
+  /// worker threads spawn — no locking needed). Only the newest
+  /// kOutcomeCacheCapacity records survive the FIFO, matching what the
+  /// cache would have held; older orphans read kUnknown = presumed abort.
+  void load_commit_log() {
+    auto text = store.load(kCommitLogKey);
+    if (!text) return;
+    const std::string& log = text.value();
+    std::size_t begin = 0;
+    while (begin < log.size()) {
+      const std::size_t end = log.find('\n', begin);
+      if (end == std::string::npos) break;
+      const lock::TxnId txn = std::strtoull(log.c_str() + begin, nullptr, 10);
+      if (txn != 0) record_outcome(txn, /*committed=*/true);
+      begin = end + 1;
+    }
+  }
+
   // --- participant work queue (part_mutex) -----------------------------------
   std::mutex part_mutex;
   std::condition_variable part_cv;
@@ -154,6 +250,20 @@ struct SiteContext {
   /// AbortRequest could release locks while an ExecuteOperation of the
   /// same transaction is still acquiring them (leaking locks forever).
   std::set<lock::TxnId> participant_active;
+
+  /// Participant-side record of every remote transaction with state at
+  /// this site: who coordinates it, when it was last heard from (the
+  /// presumed-abort sweep input), how many status probes went unanswered,
+  /// and the last reply per operation so duplicated ExecuteOperations are
+  /// answered from cache instead of re-executing (exactly-once effects
+  /// under at-least-once delivery).
+  struct RemoteTxn {
+    SiteId coordinator = 0;
+    Clock::time_point last_seen{};
+    std::uint32_t unanswered_probes = 0;
+    std::map<std::uint32_t, net::OperationResult> last_replies;
+  };
+  std::map<lock::TxnId, RemoteTxn> remote_txns;  // guarded by part_mutex
 
   // --- remote-operation response collection (resp_mutex) ---------------------
   struct ResponseSlot {
@@ -187,6 +297,11 @@ struct SiteContext {
       send(wake.coordinator, net::WakeTxn{wake.waiter});
     }
   }
+
+ private:
+  std::unique_ptr<DataManager> data_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<query::PlanCache> plans_;
 };
 
 }  // namespace dtx::core

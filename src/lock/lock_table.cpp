@@ -283,13 +283,21 @@ std::string LockTable::dump() const {
     const Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (const auto& [key, state] : shard.targets) {
-      out += "doc " + std::to_string(key.scope) + " node " +
-             std::to_string(key.node) + ":";
+      // Separate appends (not one operator+ chain): GCC 12's -Wrestrict
+      // false-positives on rvalue string concatenation chains (PR105329).
+      out += "doc ";
+      out += std::to_string(key.scope);
+      out += " node ";
+      out += std::to_string(key.node);
+      out += ':';
       for (const Holder& holder : state.holders) {
-        out += " t" + std::to_string(holder.txn) + "=" +
-               mask_to_string(holder.mask);
+        out += " t";
+        out += std::to_string(holder.txn);
+        out += '=';
+        out += mask_to_string(holder.mask);
         if (holder.value != kAnyValue) {
-          out += "@" + std::to_string(holder.value % 997);
+          out += '@';
+          out += std::to_string(holder.value % 997);
         }
       }
       out += '\n';

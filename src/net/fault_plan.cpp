@@ -1,0 +1,43 @@
+#include "net/fault_plan.hpp"
+
+namespace dtx::net {
+
+FaultPlan::Decision FaultPlan::apply(const Message& message,
+                                     Clock::time_point now) {
+  Decision decision;
+  if (down_sites_.count(message.to) != 0 ||
+      down_sites_.count(message.from) != 0) {
+    ++stats_.dropped_down_site;
+    decision.drop = true;
+    return decision;
+  }
+  if (partitioned(message.from, message.to, now)) {
+    ++stats_.dropped_by_partition;
+    decision.drop = true;
+    return decision;
+  }
+  if (filter_ && filter_(message)) {
+    ++stats_.dropped_by_filter;
+    decision.drop = true;
+    return decision;
+  }
+  const LinkFault& fault = fault_of(message.from, message.to);
+  if (fault.benign()) return decision;
+  if (fault.drop_probability > 0.0 && rng_.next_bool(fault.drop_probability)) {
+    ++stats_.dropped_by_fault;
+    decision.drop = true;
+    return decision;
+  }
+  if (fault.duplicate_probability > 0.0 &&
+      rng_.next_bool(fault.duplicate_probability)) {
+    ++stats_.duplicated;
+    decision.duplicate = true;
+  }
+  if (fault.extra_delay.count() > 0) {
+    ++stats_.delayed;
+    decision.extra_delay = fault.extra_delay;
+  }
+  return decision;
+}
+
+}  // namespace dtx::net

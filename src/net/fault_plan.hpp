@@ -1,0 +1,151 @@
+// FaultPlan: the composable fault model of the simulated LAN. Where the
+// seed had a single global drop filter, a plan describes *how the network
+// misbehaves* as data: per-link (and default) drop probability, extra
+// delivery delay and duplication, timed bidirectional partitions, down
+// (crashed) sites, and an optional message predicate for targeted tests.
+// SimNetwork consults the plan on every send() under its own mutex — the
+// plan itself is plain state plus a seeded Rng, so a fixed seed yields a
+// reproducible decision stream for a fixed message sequence.
+//
+// This is the substrate of the chaos harness (workload::ChaosRunner): a
+// seeded schedule toggles partitions / site crashes / link faults here
+// while transactions run, exercising every Alg. 5/6 failure path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "net/message.hpp"
+#include "util/rng.hpp"
+
+namespace dtx::net {
+
+/// Fault parameters of one directed link (or the default for all links).
+struct LinkFault {
+  /// Probability a message on this link is silently dropped.
+  double drop_probability = 0.0;
+  /// Probability a message is delivered twice (duplicate arrives right
+  /// after the original — per-link FIFO is preserved).
+  double duplicate_probability = 0.0;
+  /// Extra one-way delay added on top of the latency/bandwidth model.
+  std::chrono::microseconds extra_delay{0};
+
+  [[nodiscard]] bool benign() const noexcept {
+    return drop_probability <= 0.0 && duplicate_probability <= 0.0 &&
+           extra_delay.count() == 0;
+  }
+};
+
+struct FaultStats {
+  std::uint64_t dropped_by_fault = 0;      ///< LinkFault probability drops
+  std::uint64_t dropped_by_partition = 0;  ///< active partition on the link
+  std::uint64_t dropped_down_site = 0;     ///< sender or receiver crashed
+  std::uint64_t dropped_by_filter = 0;     ///< message predicate matched
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;               ///< messages given extra delay
+};
+
+class FaultPlan {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// What SimNetwork::send should do with one message.
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    std::chrono::microseconds extra_delay{0};
+  };
+
+  /// Reseeds the fault Rng (drop / duplicate draws).
+  void seed(std::uint64_t value) { rng_ = util::Rng(value); }
+
+  // --- link faults -----------------------------------------------------------
+  /// Fault applied to every link without a specific override.
+  void set_default_fault(LinkFault fault) { default_fault_ = fault; }
+  /// Fault of the directed link `from -> to` (overrides the default).
+  void set_link_fault(SiteId from, SiteId to, LinkFault fault) {
+    link_faults_[{from, to}] = fault;
+  }
+  void clear_link_faults() {
+    link_faults_.clear();
+    default_fault_ = LinkFault{};
+  }
+
+  // --- partitions ------------------------------------------------------------
+  /// Cuts both directions between `a` and `b` until `until` (messages in
+  /// either direction are dropped; already-queued deliveries are not
+  /// recalled, matching a real partition's in-flight packets).
+  void partition_until(SiteId a, SiteId b, Clock::time_point until) {
+    partitions_[ordered(a, b)] = until;
+  }
+  void partition_for(SiteId a, SiteId b, std::chrono::microseconds duration) {
+    partition_until(a, b, Clock::now() + duration);
+  }
+  /// Lifts every partition immediately.
+  void heal() { partitions_.clear(); }
+  [[nodiscard]] bool partitioned(SiteId a, SiteId b,
+                                 Clock::time_point now) const {
+    const auto it = partitions_.find(ordered(a, b));
+    return it != partitions_.end() && now < it->second;
+  }
+
+  // --- down sites ------------------------------------------------------------
+  /// A down (crashed) site neither receives nor sends: messages in either
+  /// direction drop (a dead process has no sockets).
+  void set_site_down(SiteId site, bool down) {
+    if (down) {
+      down_sites_.insert(site);
+    } else {
+      down_sites_.erase(site);
+    }
+  }
+  [[nodiscard]] bool site_down(SiteId site) const {
+    return down_sites_.count(site) != 0;
+  }
+
+  // --- targeted filter -------------------------------------------------------
+  /// Drops every message the predicate matches — the composable successor
+  /// of the seed's global drop filter, for tests that cut one payload kind
+  /// (e.g. "drop every AbortAck"). nullptr clears it.
+  void set_message_filter(std::function<bool(const Message&)> filter) {
+    filter_ = std::move(filter);
+  }
+
+  /// Decides the fate of one message; updates the fault statistics. Called
+  /// by SimNetwork::send under the network mutex.
+  Decision apply(const Message& message, Clock::time_point now);
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+  /// True when no fault of any kind is configured (fast path).
+  [[nodiscard]] bool benign() const noexcept {
+    return default_fault_.benign() && link_faults_.empty() &&
+           partitions_.empty() && down_sites_.empty() && filter_ == nullptr;
+  }
+
+ private:
+  static std::pair<SiteId, SiteId> ordered(SiteId a, SiteId b) noexcept {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  [[nodiscard]] const LinkFault& fault_of(SiteId from, SiteId to) const {
+    const auto it = link_faults_.find({from, to});
+    return it != link_faults_.end() ? it->second : default_fault_;
+  }
+
+  util::Rng rng_{0x5eed5eedULL};
+  LinkFault default_fault_;
+  std::map<std::pair<SiteId, SiteId>, LinkFault> link_faults_;
+  /// Bidirectional cuts keyed by the ordered site pair -> expiry instant.
+  std::map<std::pair<SiteId, SiteId>, Clock::time_point> partitions_;
+  std::set<SiteId> down_sites_;
+  std::function<bool(const Message&)> filter_;
+  FaultStats stats_;
+};
+
+}  // namespace dtx::net

@@ -17,6 +17,12 @@ struct NameVisitor {
   const char* operator()(const WfgReply&) const { return "wfg-reply"; }
   const char* operator()(const VictimAbort&) const { return "victim-abort"; }
   const char* operator()(const WakeTxn&) const { return "wake"; }
+  const char* operator()(const TxnStatusRequest&) const {
+    return "txn-status-request";
+  }
+  const char* operator()(const TxnStatusReply&) const {
+    return "txn-status-reply";
+  }
 };
 
 constexpr std::size_t kHeaderBytes = 32;  // ids, flags, framing
@@ -82,6 +88,16 @@ struct SizeVisitor {
 };
 
 }  // namespace
+
+const char* txn_outcome_name(TxnOutcome outcome) noexcept {
+  switch (outcome) {
+    case TxnOutcome::kUnknown: return "unknown";
+    case TxnOutcome::kActive: return "active";
+    case TxnOutcome::kCommitted: return "committed";
+    case TxnOutcome::kAborted: return "aborted";
+  }
+  return "unknown";
+}
 
 const char* payload_name(const Payload& payload) noexcept {
   return std::visit(NameVisitor{}, payload);

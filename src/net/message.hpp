@@ -108,10 +108,39 @@ struct WakeTxn {
   TxnId txn = 0;
 };
 
+/// Coordinator-known outcome of a transaction, as answered to a status
+/// query. kUnknown means the coordinator has no record — either it never
+/// saw the transaction or it crashed and lost its state; under presumed
+/// abort the querier treats kUnknown as aborted.
+enum class TxnOutcome : std::uint8_t {
+  kUnknown = 0,
+  kActive,     ///< still running at the coordinator
+  kCommitted,
+  kAborted,    ///< aborted or failed
+};
+
+const char* txn_outcome_name(TxnOutcome outcome) noexcept;
+
+/// Participant -> coordinator: presumed-abort recovery probe. Sent when a
+/// transaction holding locks here has gone silent past the orphan timeout —
+/// its coordinator may have crashed or be partitioned away.
+struct TxnStatusRequest {
+  TxnId txn = 0;
+  SiteId requester = 0;
+};
+
+/// Coordinator -> participant: the outcome from the live transaction table
+/// or the recent-outcome cache (kUnknown after a coordinator restart).
+struct TxnStatusReply {
+  TxnId txn = 0;
+  TxnOutcome outcome = TxnOutcome::kUnknown;
+};
+
 using Payload =
     std::variant<ExecuteOperation, OperationResult, UndoOperation,
                  CommitRequest, CommitAck, AbortRequest, AbortAck, FailNotice,
-                 WfgRequest, WfgReply, VictimAbort, WakeTxn>;
+                 WfgRequest, WfgReply, VictimAbort, WakeTxn, TxnStatusRequest,
+                 TxnStatusReply>;
 
 struct Message {
   SiteId from = 0;

@@ -52,6 +52,12 @@ void Mailbox::interrupt() {
   available_.notify_all();
 }
 
+void Mailbox::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_ = {};
+  interrupted_ = false;
+}
+
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
@@ -80,12 +86,16 @@ std::vector<SiteId> SimNetwork::sites() const {
 void SimNetwork::send(Message message) {
   Mailbox* mailbox = nullptr;
   Mailbox::Clock::time_point deliver_at;
+  bool duplicate = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (drop_filter_ && drop_filter_(message)) {
+    const auto now = Mailbox::Clock::now();
+    const FaultPlan::Decision fate = faults_.apply(message, now);
+    if (fate.drop) {
       ++stats_.messages_dropped;
       return;
     }
+    duplicate = fate.duplicate;
     const auto it = mailboxes_.find(message.to);
     assert(it != mailboxes_.end() && "destination site not registered");
     if (it == mailboxes_.end()) return;
@@ -95,29 +105,67 @@ void SimNetwork::send(Message message) {
     ++stats_.messages_sent;
     stats_.bytes_sent += bytes;
 
-    const auto now = Mailbox::Clock::now();
     auto transmit = std::chrono::microseconds(0);
     if (options_.bandwidth_bytes_per_sec > 0) {
       transmit = std::chrono::microseconds(
           bytes * 1'000'000 / options_.bandwidth_bytes_per_sec);
     }
-    // Serialize transmissions per link, then add propagation latency.
-    auto& link_ready = link_ready_at_[{message.from, message.to}];
+    // Serialize transmissions per link, then add propagation latency plus
+    // any fault-injected extra delay.
+    const auto link = std::make_pair(message.from, message.to);
+    auto& link_ready = link_ready_at_[link];
     const auto start = std::max(link_ready, now);
     link_ready = start + transmit;
-    deliver_at = link_ready + options_.latency;
+    deliver_at = link_ready + options_.latency + fate.extra_delay;
+    // Extra delays vary as the fault plan changes; clamp so delivery times
+    // stay monotone per link (the FIFO guarantee survives fault changes).
+    auto& last_delivery = link_last_delivery_[link];
+    deliver_at = std::max(deliver_at, last_delivery);
+    last_delivery = deliver_at;
+  }
+  if (duplicate) {
+    // The duplicate lands immediately after the original (same stamp; the
+    // mailbox sequence number keeps the order stable).
+    Message copy = message;
+    mailbox->push(std::move(copy), deliver_at);
   }
   mailbox->push(std::move(message), deliver_at);
 }
 
-void SimNetwork::set_drop_filter(std::function<bool(const Message&)> filter) {
+void SimNetwork::faults(const std::function<void(FaultPlan&)>& mutate) {
   std::lock_guard<std::mutex> lock(mutex_);
-  drop_filter_ = std::move(filter);
+  mutate(faults_);
+}
+
+void SimNetwork::partition_for(SiteId a, SiteId b,
+                               std::chrono::microseconds duration) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  faults_.partition_for(a, b, duration);
+}
+
+void SimNetwork::heal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  faults_.heal();
+}
+
+void SimNetwork::set_site_down(SiteId site, bool down) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  faults_.set_site_down(site, down);
+}
+
+bool SimNetwork::site_down(SiteId site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_.site_down(site);
 }
 
 NetworkStats SimNetwork::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+FaultStats SimNetwork::fault_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_.stats();
 }
 
 void SimNetwork::interrupt_all() {

@@ -2,11 +2,15 @@
 // LAN. Each site owns a mailbox; send() stamps the message with a delivery
 // time computed from a latency + bandwidth model and the receiver's pop()
 // blocks until the earliest message is due. Per-(sender, receiver) FIFO
-// order is preserved (delivery time is monotone per link), matching TCP's
-// in-order guarantee that the coordinator/participant algorithms rely on.
+// order is preserved (delivery time is kept monotone per link even when
+// fault-injected extra delays vary), matching TCP's in-order guarantee that
+// the coordinator/participant algorithms rely on.
 //
-// Fault injection (drop filters) exists for testing the abort/fail paths
-// (Alg. 6): a dropped request surfaces as a timeout at the waiting peer.
+// Fault injection runs through a composable FaultPlan (fault_plan.hpp):
+// per-link drop / duplication / extra delay, timed bidirectional partitions,
+// down (crashed) sites and a targeted message filter. A dropped request
+// surfaces as a timeout at the waiting peer, exercising the Alg. 5/6
+// abort / fail paths; mutate the plan through faults().
 #pragma once
 
 #include <atomic>
@@ -21,6 +25,7 @@
 #include <queue>
 #include <vector>
 
+#include "net/fault_plan.hpp"
 #include "net/message.hpp"
 
 namespace dtx::net {
@@ -55,6 +60,11 @@ class Mailbox {
   /// Wakes all blocked poppers (shutdown).
   void interrupt();
 
+  /// Drops every queued message and clears the interrupted flag — a site
+  /// restart begins with an empty, serviceable mailbox (a real crash loses
+  /// the socket buffers with the process).
+  void reset();
+
   [[nodiscard]] std::size_t pending() const;
 
  private:
@@ -86,14 +96,23 @@ class SimNetwork {
 
   [[nodiscard]] std::vector<SiteId> sites() const;
 
-  /// Sends a message; applies latency/bandwidth model and drop filter.
+  /// Sends a message; applies the latency/bandwidth model and the fault
+  /// plan (drop / duplicate / delay / partition / down-site).
   void send(Message message);
 
-  /// Installs a fault filter: return true to drop the message. nullptr
-  /// clears it.
-  void set_drop_filter(std::function<bool(const Message&)> filter);
+  /// Mutates the fault plan under the network lock — the only sanctioned
+  /// way to reconfigure faults while traffic flows:
+  ///   network.faults([&](net::FaultPlan& plan) { plan.heal(); });
+  void faults(const std::function<void(FaultPlan&)>& mutate);
+
+  // Convenience wrappers over faults() for the common chaos moves.
+  void partition_for(SiteId a, SiteId b, std::chrono::microseconds duration);
+  void heal();
+  void set_site_down(SiteId site, bool down);
+  [[nodiscard]] bool site_down(SiteId site) const;
 
   [[nodiscard]] NetworkStats stats() const;
+  [[nodiscard]] FaultStats fault_stats() const;
 
   /// Wakes every blocked receiver (shutdown).
   void interrupt_all();
@@ -102,12 +121,16 @@ class SimNetwork {
   NetworkOptions options_;
   mutable std::mutex mutex_;
   std::map<SiteId, std::unique_ptr<Mailbox>> mailboxes_;
-  std::function<bool(const Message&)> drop_filter_;
+  FaultPlan faults_;
   NetworkStats stats_;
   // Per-link clock keeping delivery monotone (FIFO) even when bandwidth
   // delays vary by message size.
   std::map<std::pair<SiteId, SiteId>, Mailbox::Clock::time_point>
       link_ready_at_;
+  // Last stamped delivery time per link: fault-injected extra delays vary
+  // over time, so monotonicity (per-link FIFO) is enforced explicitly.
+  std::map<std::pair<SiteId, SiteId>, Mailbox::Clock::time_point>
+      link_last_delivery_;
 };
 
 }  // namespace dtx::net

@@ -53,6 +53,21 @@ util::Status FileStore::store(const std::string& name, const std::string& xml) {
   return util::Status::ok();
 }
 
+util::Status FileStore::append(const std::string& name,
+                               const std::string& data) {
+  std::ofstream out(path_of(name), std::ios::binary | std::ios::app);
+  if (!out) {
+    return util::Status(util::Code::kUnavailable,
+                        "cannot append to " + path_of(name).string());
+  }
+  out << data;
+  if (!out) {
+    return util::Status(util::Code::kUnavailable,
+                        "short append to " + path_of(name).string());
+  }
+  return util::Status::ok();
+}
+
 bool FileStore::exists(const std::string& name) {
   std::error_code ec;
   return fs::exists(path_of(name), ec);

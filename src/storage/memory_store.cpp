@@ -20,6 +20,14 @@ util::Status MemoryStore::store(const std::string& name,
   return util::Status::ok();
 }
 
+util::Status MemoryStore::append(const std::string& name,
+                                 const std::string& data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  documents_[name] += data;
+  ++store_count_;
+  return util::Status::ok();
+}
+
 bool MemoryStore::exists(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   return documents_.count(name) != 0;

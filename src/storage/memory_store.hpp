@@ -15,6 +15,8 @@ class MemoryStore final : public StorageBackend {
 
   util::Result<std::string> load(const std::string& name) override;
   util::Status store(const std::string& name, const std::string& xml) override;
+  util::Status append(const std::string& name,
+                      const std::string& data) override;
   bool exists(const std::string& name) override;
   std::vector<std::string> list() override;
   util::Status remove(const std::string& name) override;

@@ -26,6 +26,12 @@ class StorageBackend {
   virtual util::Status store(const std::string& name,
                              const std::string& xml) = 0;
 
+  /// Appends to the named entry, creating it when absent — O(appended
+  /// bytes), unlike load+store. Used for log-structured entries (the
+  /// presumed-abort commit log), not for documents.
+  virtual util::Status append(const std::string& name,
+                              const std::string& data) = 0;
+
   virtual bool exists(const std::string& name) = 0;
 
   /// Names of all stored documents, sorted.

@@ -144,8 +144,12 @@ std::vector<TxnId> WaitForGraph::holders_blocking(TxnId waiter) const {
 std::string WaitForGraph::to_string() const {
   std::string out;
   for (const Edge& edge : edges()) {
-    out += "t" + std::to_string(edge.waiter) + " -> t" +
-           std::to_string(edge.holder) + "\n";
+    // Separate appends: GCC 12 -Wrestrict false positive (PR105329).
+    out += 't';
+    out += std::to_string(edge.waiter);
+    out += " -> t";
+    out += std::to_string(edge.holder);
+    out += '\n';
   }
   return out;
 }

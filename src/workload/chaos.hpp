@@ -1,0 +1,89 @@
+// ChaosRunner: seeded fault-schedule soak over a live DTX cluster.
+//
+// The runner drives an insert / change / read workload (the fig9 shape:
+// concurrent clients, a handful of operations per transaction) through a
+// totally-replicated cluster while a schedule derived from one seed
+// crashes sites, partitions links and degrades the LAN (FaultPlan). After
+// every recovery it drains the cluster and asserts the hygiene invariants
+// of consistency_test — no dangling locks, undo logs empty — and at the
+// end, after a final recovery sweep, the strong ones: every replica of
+// every document byte-identical, every committed insert present, nothing
+// present that was neither committed nor left indeterminate by a fault.
+//
+// Outcome bookkeeping: a transaction that terminates with
+// txn::AbortReason::kSiteFailure (or TxnState::kFailed) may have passed
+// its commit decision just before the fault hit, so its effects are
+// tracked as *indeterminate* — allowed but not required in the final
+// state. Every other abort reason is deterministic rollback.
+//
+// Determinism: the fault schedule (which site crashes, which pair
+// partitions, in which round) and every workload stream are pure functions
+// of `seed`. Commit/abort outcomes still depend on thread interleaving —
+// the run is schedule-deterministic, not trace-deterministic.
+//
+// Debugging: set DTX_CHAOS_DUMP=<dir> to write the raw XML of diverging
+// replicas into <dir> and emit one JSONL line per client transaction
+// (site, insert id / change value, state, abort reason) to the `jsonl`
+// sink — the nightly workflow captures both as artifacts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dtx/cluster.hpp"
+#include "net/fault_plan.hpp"
+
+namespace dtx::workload {
+
+struct ChaosOptions {
+  std::size_t sites = 3;
+  lock::ProtocolKind protocol = lock::ProtocolKind::kXdgl;
+  std::uint64_t seed = 1;
+  /// Fault rounds: traffic -> inject -> hold -> heal+restart -> drain+check.
+  std::size_t rounds = 4;
+  std::size_t clients = 4;
+  /// Traffic window before the faults of a round are injected.
+  std::chrono::milliseconds traffic_window{150};
+  /// How long an injected crash / partition holds before recovery.
+  std::chrono::milliseconds fault_hold{150};
+  /// Per-round probability that a random site crashes / a random pair
+  /// partitions (both can fire in the same round).
+  double crash_probability = 0.7;
+  double partition_probability = 0.7;
+  /// Background LAN degradation applied to every link for the whole run.
+  net::LinkFault background_fault;
+  /// Deadline for the post-recovery drain (locks + undo logs reaching 0).
+  std::chrono::milliseconds drain_deadline{10'000};
+  /// Engine timeouts sized so failure detection fits a round. The probe
+  /// budget (orphan_query_limit * orphan_txn_timeout) must comfortably
+  /// outlive fault_hold + restart: a participant that exhausts its probes
+  /// while the coordinator is briefly down would roll back a transaction
+  /// whose durable commit record the restarted coordinator could still
+  /// have served.
+  std::chrono::microseconds response_timeout{250'000};
+  std::chrono::microseconds orphan_txn_timeout{120'000};
+  std::uint32_t orphan_query_limit = 6;
+  std::uint32_t commit_ack_rounds = 3;
+  std::chrono::microseconds latency{100};
+  /// When set, one JSON line per schedule event / round check / summary.
+  std::FILE* jsonl = nullptr;
+};
+
+struct ChaosReport {
+  std::size_t rounds = 0;
+  std::size_t crashes = 0;
+  std::size_t partitions = 0;
+  std::size_t submitted = 0;
+  std::size_t committed = 0;
+  std::size_t aborted = 0;       ///< deterministic rollback
+  std::size_t indeterminate = 0; ///< kSiteFailure / kFailed — maybe applied
+  core::ClusterStats cluster;
+  bool invariants_ok = true;
+  std::vector<std::string> violations;
+};
+
+/// Runs the soak; returns the report (violations listed, never thrown).
+ChaosReport run_chaos(const ChaosOptions& options);
+
+}  // namespace dtx::workload

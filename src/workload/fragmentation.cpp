@@ -114,7 +114,10 @@ std::vector<Fragment> fragment_xmark(const XmarkData& data,
     }
     for (const auto& fragment_units : runs) {
       Fragment fragment;
-      fragment.doc_name = "f" + std::to_string(fragments.size());
+      // Appends, not operator+: GCC 12 -Wrestrict false positive
+      // (PR105329).
+      fragment.doc_name = "f";
+      fragment.doc_name += std::to_string(fragments.size());
       fragment.section = group.section;
       fragment.continent = group.continent;
       fragment.xml = wrap_fragment(group.section, group.continent,

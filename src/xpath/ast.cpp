@@ -45,15 +45,25 @@ std::string RelativePath::to_string() const {
 }
 
 std::string Predicate::to_string() const {
+  // Built by append, not one operator+ chain: GCC 12 -Wrestrict false
+  // positive (PR105329).
+  std::string out = "[";
   switch (kind) {
     case PredicateKind::kPosition:
-      return "[" + std::to_string(position) + "]";
+      out += std::to_string(position);
+      break;
     case PredicateKind::kExists:
-      return "[" + path.to_string() + "]";
+      out += path.to_string();
+      break;
     case PredicateKind::kEquals:
-      return "[" + path.to_string() + "='" + literal + "']";
+      out += path.to_string();
+      out += "='";
+      out += literal;
+      out += '\'';
+      break;
   }
-  return "[?]";
+  out += ']';
+  return out;
 }
 
 std::string Path::to_string() const {

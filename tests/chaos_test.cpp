@@ -1,0 +1,375 @@
+// Fault-injection and crash/recovery behavior of the DTX runtime:
+//
+//  * site crash semantics — in-flight transactions abort with
+//    kSiteFailure, submissions to a down site are refused, restart
+//    rebuilds the engine from the store and serves again;
+//  * presumed-abort orphan handling — a participant holding locks for a
+//    transaction whose coordinator went silent probes for the outcome and
+//    either consolidates (commit decision recorded, durably across a
+//    coordinator crash) or rolls back via its undo log;
+//  * exactly-once effects under at-least-once delivery — duplicated
+//    ExecuteOperations are answered from the reply cache, duplicated
+//    commit/abort requests are idempotent;
+//  * recovery sync — a replica that missed a commit while crashed is
+//    caught up from the freshest peer on restart (commit versions);
+//  * abort taxonomy — every non-committed outcome carries a typed reason
+//    (the "defensive default" in Coordinator::finish_transaction is
+//    audited unreachable: unclassified_aborts stays 0 everywhere);
+//  * a miniature chaos soak (workload::ChaosRunner) holding its
+//    invariants end to end.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dtx/cluster.hpp"
+#include "workload/chaos.hpp"
+#include "xml/parser.hpp"
+#include "xpath/evaluator.hpp"
+#include "xpath/parser.hpp"
+
+namespace dtx::core {
+namespace {
+
+using namespace std::chrono_literals;
+using txn::AbortReason;
+using txn::TxnState;
+
+constexpr const char* kPeopleXml =
+    "<site><people>"
+    "<person id=\"p1\"><name>Ana</name><phone>111</phone></person>"
+    "<person id=\"p2\"><name>Bruno</name><phone>222</phone></person>"
+    "</people></site>";
+
+ClusterOptions fast_options(std::size_t sites) {
+  ClusterOptions options;
+  options.site_count = sites;
+  options.network.latency = std::chrono::microseconds(50);
+  options.site.detect_period = std::chrono::microseconds(5'000);
+  options.site.retry_interval = std::chrono::microseconds(10'000);
+  options.site.poll_interval = std::chrono::microseconds(500);
+  options.site.response_timeout = std::chrono::microseconds(150'000);
+  options.site.orphan_txn_timeout = std::chrono::microseconds(50'000);
+  options.site.orphan_query_limit = 2;
+  options.site.commit_ack_rounds = 2;
+  return options;
+}
+
+/// Polls until the site holds no locks and no undo logs (or fails).
+::testing::AssertionResult drained(Site& site,
+                                   std::chrono::milliseconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  for (;;) {
+    const std::size_t locks = site.lock_manager().lock_entries();
+    const std::size_t undo = site.lock_manager().undo_log_count();
+    if (locks == 0 && undo == 0) return ::testing::AssertionSuccess();
+    if (std::chrono::steady_clock::now() >= until) {
+      return ::testing::AssertionFailure()
+             << "site " << site.id() << " not drained: " << locks
+             << " locks, " << undo << " undo logs";
+    }
+    std::this_thread::sleep_for(5ms);
+  }
+}
+
+std::string stored_phone(Cluster& cluster, net::SiteId site,
+                         const std::string& person) {
+  auto stored = cluster.store_of(site).load("d1");
+  EXPECT_TRUE(stored.is_ok());
+  auto parsed = xml::parse(stored.value(), "d1");
+  EXPECT_TRUE(parsed.is_ok());
+  auto path =
+      xpath::parse("/site/people/person[@id='" + person + "']/phone");
+  EXPECT_TRUE(path.is_ok());
+  const auto values = xpath::evaluate_strings(path.value(), *parsed.value());
+  return values.size() == 1 ? values[0] : "<missing>";
+}
+
+std::uint64_t total_unclassified(Cluster& cluster) {
+  return cluster.stats().unclassified_aborts;
+}
+
+// --- crash / restart lifecycle ------------------------------------------------
+
+TEST(SiteCrashTest, DownSiteRefusesSubmissionsAndRestartServes) {
+  Cluster cluster(fast_options(2));
+  ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+
+  ASSERT_TRUE(cluster.crash_site(1).is_ok());
+  EXPECT_FALSE(cluster.site_running(1));
+
+  // Submitting at the crashed site is refused with a typed reason.
+  auto at_down = cluster.execute_text(1, {"query d1 /site/people/person"});
+  ASSERT_TRUE(at_down.is_ok());
+  EXPECT_EQ(at_down.value().state, TxnState::kAborted);
+  EXPECT_EQ(at_down.value().reason, AbortReason::kSiteFailure);
+
+  // A replicated update from the healthy site cannot reach the down
+  // replica: participant timeout -> kSiteFailure abort.
+  auto through = cluster.execute_text(
+      0, {"update d1 change /site/people/person[@id='p1']/phone ::= 9"});
+  ASSERT_TRUE(through.is_ok());
+  EXPECT_EQ(through.value().state, TxnState::kAborted);
+  EXPECT_EQ(through.value().reason, AbortReason::kSiteFailure);
+
+  ASSERT_TRUE(cluster.restart_site(1).is_ok());
+  EXPECT_TRUE(cluster.site_running(1));
+  auto after = cluster.execute_text(
+      1, {"update d1 change /site/people/person[@id='p1']/phone ::= 777"});
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_EQ(after.value().state, TxnState::kCommitted);
+  EXPECT_EQ(stored_phone(cluster, 0, "p1"), "777");
+  EXPECT_EQ(stored_phone(cluster, 1, "p1"), "777");
+  EXPECT_EQ(cluster.stats().restarts, 1u);
+  EXPECT_EQ(total_unclassified(cluster), 0u);
+}
+
+TEST(SiteCrashTest, CrashFailsInFlightTransactionsWithSiteFailure) {
+  ClusterOptions options = fast_options(2);
+  // Long response timeout: the transaction is guaranteed to still be in
+  // flight (waiting on the dead participant) when the coordinator crashes.
+  options.site.response_timeout = std::chrono::microseconds(5'000'000);
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+
+  // Stall the transaction by cutting all replies to the coordinator.
+  cluster.network().faults([](net::FaultPlan& plan) {
+    plan.set_message_filter([](const net::Message& message) {
+      return std::holds_alternative<net::OperationResult>(message.payload);
+    });
+  });
+  auto handle = cluster.submit_text(
+      0, {"update d1 change /site/people/person[@id='p1']/phone ::= 5"});
+  ASSERT_TRUE(handle.is_ok());
+  std::this_thread::sleep_for(20ms);  // let it reach the participant wait
+  ASSERT_TRUE(cluster.crash_site(0).is_ok());
+
+  const txn::TxnResult result = handle.value()->await();
+  EXPECT_NE(result.state, TxnState::kCommitted);
+  EXPECT_EQ(result.reason, AbortReason::kSiteFailure);
+}
+
+// --- presumed-abort orphan resolution ----------------------------------------
+
+TEST(OrphanTest, ParticipantRollsBackWhenCoordinatorReportsAbort) {
+  Cluster cluster(fast_options(2));
+  ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+
+  // The participant executes and replies, but the reply and the
+  // subsequent abort fan-out never arrive: the coordinator aborts on
+  // timeout while site 1 still holds the operation's locks and undo log.
+  cluster.network().faults([](net::FaultPlan& plan) {
+    plan.set_message_filter([](const net::Message& message) {
+      return message.from == 1 && message.to == 0 &&
+             (std::holds_alternative<net::OperationResult>(message.payload) ||
+              std::holds_alternative<net::AbortAck>(message.payload));
+    });
+  });
+  auto result = cluster.execute_text(
+      0, {"update d1 change /site/people/person[@id='p1']/phone ::= 42"});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_NE(result.value().state, TxnState::kCommitted);
+
+  // The orphan sweep probes the (live) coordinator, learns the abort and
+  // rolls back via the undo log; the dirty value never reaches the store.
+  cluster.network().faults([](net::FaultPlan& plan) {
+    plan.set_message_filter(nullptr);
+  });
+  EXPECT_TRUE(drained(cluster.site(1), 2000ms));
+  EXPECT_EQ(stored_phone(cluster, 1, "p1"), "111");
+  EXPECT_GE(cluster.stats().orphans_aborted, 1u);
+  EXPECT_EQ(total_unclassified(cluster), 0u);
+}
+
+TEST(OrphanTest, ParticipantConsolidatesWhenCommitDecisionRecorded) {
+  Cluster cluster(fast_options(2));
+  ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+
+  // Cut every CommitRequest: the coordinator decides commit (persists
+  // locally, durable record) and reports kCommitted, but site 1 never
+  // hears it and keeps holding the locks.
+  cluster.network().faults([](net::FaultPlan& plan) {
+    plan.set_message_filter([](const net::Message& message) {
+      return std::holds_alternative<net::CommitRequest>(message.payload);
+    });
+  });
+  auto result = cluster.execute_text(
+      0, {"update d1 change /site/people/person[@id='p1']/phone ::= 88"});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().state, TxnState::kCommitted);
+  EXPECT_EQ(stored_phone(cluster, 0, "p1"), "88");
+
+  // Orphan probe -> kCommitted -> the participant consolidates: persists
+  // and releases, exactly what the lost CommitRequest would have done.
+  cluster.network().faults([](net::FaultPlan& plan) {
+    plan.set_message_filter(nullptr);
+  });
+  EXPECT_TRUE(drained(cluster.site(1), 2000ms));
+  EXPECT_EQ(stored_phone(cluster, 1, "p1"), "88");
+  EXPECT_GE(cluster.stats().orphans_committed, 1u);
+}
+
+TEST(OrphanTest, CommitDecisionSurvivesCoordinatorCrash) {
+  Cluster cluster(fast_options(2));
+  ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+
+  cluster.network().faults([](net::FaultPlan& plan) {
+    plan.set_message_filter([](const net::Message& message) {
+      return std::holds_alternative<net::CommitRequest>(message.payload);
+    });
+  });
+  auto result = cluster.execute_text(
+      0, {"update d1 change /site/people/person[@id='p1']/phone ::= 99"});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().state, TxnState::kCommitted);
+
+  // Crash the coordinator after the decision: the in-memory outcome cache
+  // dies with it. The durable commit log must answer the probe after the
+  // restart — a kUnknown reply here would roll back a committed
+  // transaction at site 1 and diverge the replicas forever.
+  ASSERT_TRUE(cluster.crash_site(0).is_ok());
+  cluster.network().faults([](net::FaultPlan& plan) {
+    plan.set_message_filter(nullptr);
+  });
+  ASSERT_TRUE(cluster.restart_site(0).is_ok());
+  EXPECT_TRUE(drained(cluster.site(1), 3000ms));
+  EXPECT_EQ(stored_phone(cluster, 1, "p1"), "99");
+  EXPECT_EQ(stored_phone(cluster, 0, "p1"), "99");
+  EXPECT_GE(cluster.stats().orphans_committed, 1u);
+}
+
+// --- at-least-once delivery --------------------------------------------------
+
+TEST(DuplicationTest, DuplicatedDeliveryIsIdempotent) {
+  ClusterOptions options = fast_options(2);
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+
+  // Every message on every link delivered twice: executes must not apply
+  // twice (reply cache), commits/aborts must ack idempotently.
+  cluster.network().faults([](net::FaultPlan& plan) {
+    plan.seed(11);
+    plan.set_default_fault({.duplicate_probability = 1.0});
+  });
+  for (int i = 0; i < 5; ++i) {
+    auto result = cluster.execute_text(
+        i % 2,
+        {"update d1 insert into /site/people ::= <person id=\"dup" +
+         std::to_string(i) + "\"><name>n</name></person>"});
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_EQ(result.value().state, TxnState::kCommitted) << i;
+  }
+  EXPECT_GT(cluster.stats().faults.duplicated, 0u);
+
+  for (net::SiteId site : {0u, 1u}) {
+    auto stored = cluster.store_of(site).load("d1");
+    ASSERT_TRUE(stored.is_ok());
+    auto parsed = xml::parse(stored.value(), "d1");
+    ASSERT_TRUE(parsed.is_ok());
+    auto path = xpath::parse("/site/people/person/@id");
+    ASSERT_TRUE(path.is_ok());
+    const auto ids = xpath::evaluate_strings(path.value(), *parsed.value());
+    for (int i = 0; i < 5; ++i) {
+      const std::string id = "dup" + std::to_string(i);
+      EXPECT_EQ(std::count(ids.begin(), ids.end(), id), 1)
+          << id << " applied " << std::count(ids.begin(), ids.end(), id)
+          << " times at site " << site;
+    }
+  }
+}
+
+// --- recovery sync -----------------------------------------------------------
+
+TEST(RecoverySyncTest, RestartCatchesUpReplicaFromFreshestPeer) {
+  Cluster cluster(fast_options(2));
+  ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+
+  // Site 1 misses the commit (CommitRequests cut), then crashes — its
+  // executed state and locks are gone, nothing left to probe with.
+  cluster.network().faults([](net::FaultPlan& plan) {
+    plan.set_message_filter([](const net::Message& message) {
+      return std::holds_alternative<net::CommitRequest>(message.payload);
+    });
+  });
+  auto result = cluster.execute_text(
+      0, {"update d1 change /site/people/person[@id='p2']/phone ::= 654"});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().state, TxnState::kCommitted);
+  ASSERT_TRUE(cluster.crash_site(1).is_ok());
+  cluster.network().faults([](net::FaultPlan& plan) {
+    plan.set_message_filter(nullptr);
+  });
+  EXPECT_EQ(stored_phone(cluster, 1, "p2"), "222");  // stale store
+
+  // Restart: the recovery sync sees site 0's higher commit version and
+  // adopts its bytes before the engine reloads.
+  ASSERT_TRUE(cluster.restart_site(1).is_ok());
+  EXPECT_EQ(stored_phone(cluster, 1, "p2"), "654");
+  auto read = cluster.execute_text(
+      1, {"query d1 /site/people/person[@id='p2']/phone"});
+  ASSERT_TRUE(read.is_ok());
+  ASSERT_EQ(read.value().state, TxnState::kCommitted);
+  ASSERT_EQ(read.value().rows[0].size(), 1u);
+  EXPECT_EQ(read.value().rows[0][0], "654");
+}
+
+// --- abort taxonomy (regression for the audited defensive default) -----------
+
+TEST(AbortTaxonomyTest, EveryAbortPathYieldsTypedReason) {
+  Cluster cluster(fast_options(2));
+  ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+
+  // Unknown document -> parse-error class.
+  auto unknown = cluster.execute_text(0, {"query nope /a"});
+  ASSERT_TRUE(unknown.is_ok());
+  EXPECT_EQ(unknown.value().reason, AbortReason::kParseError);
+
+  // Structurally impossible update -> unprocessable.
+  auto bad = cluster.execute_text(
+      0, {"update d1 insert after /site ::= <x/>"});
+  ASSERT_TRUE(bad.is_ok());
+  EXPECT_EQ(bad.value().reason, AbortReason::kUnprocessableUpdate);
+
+  // Down participant -> site failure.
+  ASSERT_TRUE(cluster.crash_site(1).is_ok());
+  auto down = cluster.execute_text(
+      0, {"update d1 change /site/people/person[@id='p1']/phone ::= 1"});
+  ASSERT_TRUE(down.is_ok());
+  EXPECT_EQ(down.value().reason, AbortReason::kSiteFailure);
+  ASSERT_TRUE(cluster.restart_site(1).is_ok());
+
+  // The coordinator's "defensive default" (finish_transaction) is audited
+  // unreachable: nothing above (or in any other suite) may take it.
+  EXPECT_EQ(total_unclassified(cluster), 0u);
+}
+
+// --- miniature soak ----------------------------------------------------------
+
+TEST(ChaosRunnerTest, MiniSoakHoldsInvariants) {
+  workload::ChaosOptions options;
+  options.seed = 5;
+  options.sites = 3;
+  options.clients = 3;
+  options.rounds = 2;
+  options.traffic_window = std::chrono::milliseconds(100);
+  options.fault_hold = std::chrono::milliseconds(100);
+  options.background_fault.drop_probability = 0.01;
+  options.background_fault.duplicate_probability = 0.01;
+  const workload::ChaosReport report = workload::run_chaos(options);
+  for (const std::string& violation : report.violations) {
+    ADD_FAILURE() << violation;
+  }
+  EXPECT_TRUE(report.invariants_ok);
+  EXPECT_GT(report.submitted, 0u);
+  EXPECT_EQ(report.cluster.unclassified_aborts, 0u);
+}
+
+}  // namespace
+}  // namespace dtx::core

@@ -388,8 +388,12 @@ TEST(TxnHandleTest, AwaitForTimesOutOnBlockedTransaction) {
   // returns promptly (bounded), which is the property under test.
   auto r1 = h1.value().await_for(150ms);
   auto r2 = h2.value().await_for(150ms);
-  if (!r1.is_ok()) EXPECT_EQ(r1.status().code(), util::Code::kTimeout);
-  if (!r2.is_ok()) EXPECT_EQ(r2.status().code(), util::Code::kTimeout);
+  if (!r1.is_ok()) {
+    EXPECT_EQ(r1.status().code(), util::Code::kTimeout);
+  }
+  if (!r2.is_ok()) {
+    EXPECT_EQ(r2.status().code(), util::Code::kTimeout);
+  }
 
   // Shutdown completes the stragglers ("site shut down" = kSiteFailure).
   cluster.stop();

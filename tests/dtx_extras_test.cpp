@@ -139,7 +139,11 @@ TEST_F(DataManagerTest, PersistOnlyWritesTouchedDocuments) {
                       "update d2 insert into /catalog ::= <entry id=\"e2\"/>"))
           .is_ok());
   ASSERT_TRUE(data_->persist(9).is_ok());
-  EXPECT_EQ(store_.store_count(), count_before + 1);  // d2 only
+  // d2 only: its bytes plus its commit-version sidecar — d1 untouched.
+  EXPECT_EQ(store_.store_count(), count_before + 2);
+  EXPECT_EQ(data_->version_of("d2"), 1u);
+  EXPECT_EQ(data_->version_of("d1"), 0u);
+  EXPECT_EQ(DataManager::stored_version(store_, "d2"), 1u);
 }
 
 TEST_F(DataManagerTest, GuideStaysConsistentThroughUpdates) {

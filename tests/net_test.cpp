@@ -135,12 +135,16 @@ TEST(SimNetworkTest, StatsCountMessagesAndBytes) {
   EXPECT_EQ(stats.messages_dropped, 0u);
 }
 
-TEST(SimNetworkTest, DropFilterDropsMatching) {
+// --- fault plan -------------------------------------------------------------
+
+TEST(FaultPlanTest, MessageFilterDropsMatching) {
   SimNetwork network({std::chrono::microseconds(1), 0});
   network.register_site(0);
   Mailbox& inbox = network.register_site(1);
-  network.set_drop_filter([](const Message& message) {
-    return std::holds_alternative<AbortRequest>(message.payload);
+  network.faults([](FaultPlan& plan) {
+    plan.set_message_filter([](const Message& message) {
+      return std::holds_alternative<AbortRequest>(message.payload);
+    });
   });
   network.send(Message{0, 1, AbortRequest{5}});
   network.send(make_message(0, 1, 6));
@@ -148,9 +152,139 @@ TEST(SimNetworkTest, DropFilterDropsMatching) {
   ASSERT_TRUE(message.has_value());
   EXPECT_TRUE(std::holds_alternative<WakeTxn>(message->payload));
   EXPECT_EQ(network.stats().messages_dropped, 1u);
-  network.set_drop_filter(nullptr);
+  EXPECT_EQ(network.fault_stats().dropped_by_filter, 1u);
+  network.faults([](FaultPlan& plan) { plan.set_message_filter(nullptr); });
   network.send(Message{0, 1, AbortRequest{7}});
   EXPECT_TRUE(inbox.pop(100ms).has_value());
+}
+
+TEST(FaultPlanTest, DropProbabilityOneDropsEverythingOnThatLinkOnly) {
+  SimNetwork network({std::chrono::microseconds(1), 0});
+  network.register_site(0);
+  Mailbox& inbox1 = network.register_site(1);
+  Mailbox& inbox2 = network.register_site(2);
+  network.faults([](FaultPlan& plan) {
+    plan.set_link_fault(0, 1, {.drop_probability = 1.0});
+  });
+  for (TxnId i = 0; i < 5; ++i) network.send(make_message(0, 1, i));
+  network.send(make_message(0, 2, 9));
+  EXPECT_FALSE(inbox1.pop(20ms).has_value());
+  EXPECT_TRUE(inbox2.pop(100ms).has_value());  // other links unaffected
+  EXPECT_EQ(network.fault_stats().dropped_by_fault, 5u);
+}
+
+TEST(FaultPlanTest, PartitionCutsBothDirectionsThenHeals) {
+  SimNetwork network({std::chrono::microseconds(1), 0});
+  Mailbox& inbox0 = network.register_site(0);
+  Mailbox& inbox1 = network.register_site(1);
+  network.partition_for(0, 1, std::chrono::microseconds(60'000'000));
+  network.send(make_message(0, 1, 1));
+  network.send(make_message(1, 0, 2));
+  EXPECT_FALSE(inbox1.pop(20ms).has_value());
+  EXPECT_FALSE(inbox0.pop(20ms).has_value());
+  EXPECT_EQ(network.fault_stats().dropped_by_partition, 2u);
+  network.heal();
+  network.send(make_message(0, 1, 3));
+  network.send(make_message(1, 0, 4));
+  auto to1 = inbox1.pop(100ms);
+  auto to0 = inbox0.pop(100ms);
+  ASSERT_TRUE(to1.has_value());
+  ASSERT_TRUE(to0.has_value());
+  EXPECT_EQ(std::get<WakeTxn>(to1->payload).txn, 3u);
+  EXPECT_EQ(std::get<WakeTxn>(to0->payload).txn, 4u);
+}
+
+TEST(FaultPlanTest, TimedPartitionExpiresOnItsOwn) {
+  SimNetwork network({std::chrono::microseconds(1), 0});
+  network.register_site(0);
+  Mailbox& inbox = network.register_site(1);
+  network.partition_for(0, 1, std::chrono::microseconds(30'000));
+  network.send(make_message(0, 1, 1));  // inside the window: dropped
+  std::this_thread::sleep_for(60ms);
+  network.send(make_message(0, 1, 2));  // expired: delivered
+  auto message = inbox.pop(100ms);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(std::get<WakeTxn>(message->payload).txn, 2u);
+}
+
+TEST(FaultPlanTest, FifoPreservedAcrossPartitionHeal) {
+  // A message stamped with extra delay before the partition must not be
+  // overtaken by one sent after the heal: delivery times stay monotone
+  // per link even as the fault plan changes.
+  NetworkOptions options;
+  options.latency = std::chrono::microseconds(100);
+  options.bandwidth_bytes_per_sec = 0;
+  SimNetwork network(options);
+  network.register_site(0);
+  Mailbox& inbox = network.register_site(1);
+  network.faults([](FaultPlan& plan) {
+    plan.set_link_fault(0, 1, {.extra_delay = std::chrono::microseconds(40'000)});
+  });
+  network.send(make_message(0, 1, 1));  // due in ~40ms
+  network.faults([](FaultPlan& plan) { plan.clear_link_faults(); });
+  network.send(make_message(0, 1, 2));  // no extra delay — must NOT overtake
+  auto first = inbox.pop(200ms);
+  auto second = inbox.pop(200ms);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(std::get<WakeTxn>(first->payload).txn, 1u);
+  EXPECT_EQ(std::get<WakeTxn>(second->payload).txn, 2u);
+}
+
+TEST(FaultPlanTest, DuplicateDeliversTwiceBackToBack) {
+  SimNetwork network({std::chrono::microseconds(1), 0});
+  network.register_site(0);
+  Mailbox& inbox = network.register_site(1);
+  network.faults([](FaultPlan& plan) {
+    plan.set_link_fault(0, 1, {.duplicate_probability = 1.0});
+  });
+  network.send(Message{0, 1, CommitAck{7, true}});
+  network.send(make_message(0, 1, 8));
+  // Original + duplicate arrive adjacently; per-link order is preserved.
+  for (int copy = 0; copy < 2; ++copy) {
+    auto message = inbox.pop(100ms);
+    ASSERT_TRUE(message.has_value());
+    ASSERT_TRUE(std::holds_alternative<CommitAck>(message->payload));
+    EXPECT_EQ(std::get<CommitAck>(message->payload).txn, 7u);
+  }
+  for (int copy = 0; copy < 2; ++copy) {
+    auto message = inbox.pop(100ms);
+    ASSERT_TRUE(message.has_value());
+    EXPECT_EQ(std::get<WakeTxn>(message->payload).txn, 8u);
+  }
+  EXPECT_EQ(network.fault_stats().duplicated, 2u);
+}
+
+TEST(FaultPlanTest, DownSiteDropsInboundUntilUp) {
+  SimNetwork network({std::chrono::microseconds(1), 0});
+  network.register_site(0);
+  Mailbox& inbox = network.register_site(1);
+  network.set_site_down(1, true);
+  EXPECT_TRUE(network.site_down(1));
+  network.send(make_message(0, 1, 1));
+  EXPECT_FALSE(inbox.pop(20ms).has_value());
+  EXPECT_EQ(network.fault_stats().dropped_down_site, 1u);
+  // Outbound from a down site drops too (a dead process has no sockets).
+  network.send(make_message(1, 0, 3));
+  EXPECT_EQ(network.fault_stats().dropped_down_site, 2u);
+  network.set_site_down(1, false);
+  network.send(make_message(0, 1, 2));
+  auto message = inbox.pop(100ms);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(std::get<WakeTxn>(message->payload).txn, 2u);
+}
+
+TEST(MailboxTest, ResetClearsQueueAndInterruptFlag) {
+  Mailbox mailbox;
+  mailbox.push(make_message(0, 1, 1), Mailbox::Clock::now());
+  mailbox.interrupt();
+  mailbox.reset();
+  EXPECT_EQ(mailbox.pending(), 0u);
+  // No longer interrupted: a fresh push is poppable again.
+  mailbox.push(make_message(0, 1, 2), Mailbox::Clock::now());
+  auto message = mailbox.pop(100ms);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(std::get<WakeTxn>(message->payload).txn, 2u);
 }
 
 TEST(SimNetworkTest, SitesListed) {
@@ -226,6 +360,11 @@ TEST(MessageTest, PayloadNames) {
   EXPECT_STREQ(payload_name(Payload{WfgRequest{}}), "wfg-request");
   EXPECT_STREQ(payload_name(Payload{VictimAbort{}}), "victim-abort");
   EXPECT_STREQ(payload_name(Payload{WakeTxn{}}), "wake");
+  EXPECT_STREQ(payload_name(Payload{TxnStatusRequest{}}),
+               "txn-status-request");
+  EXPECT_STREQ(payload_name(Payload{TxnStatusReply{}}), "txn-status-reply");
+  EXPECT_STREQ(txn_outcome_name(TxnOutcome::kCommitted), "committed");
+  EXPECT_STREQ(txn_outcome_name(TxnOutcome::kUnknown), "unknown");
 }
 
 TEST(MessageTest, WireSizeGrowsWithPayload) {

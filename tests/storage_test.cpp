@@ -61,6 +61,18 @@ TYPED_TEST(StorageBackendTest, OverwriteReplaces) {
   EXPECT_EQ(this->store_->load("d").value(), "<v2/>");
 }
 
+TYPED_TEST(StorageBackendTest, AppendCreatesAndExtends) {
+  // append() is the log-structured write path (the presumed-abort commit
+  // log): creates on first use, extends in place afterwards.
+  ASSERT_TRUE(this->store_->append("log", "1\n").is_ok());
+  ASSERT_TRUE(this->store_->append("log", "2\n").is_ok());
+  EXPECT_EQ(this->store_->load("log").value(), "1\n2\n");
+  // Appending after a full store extends the stored value.
+  ASSERT_TRUE(this->store_->store("log", "7\n").is_ok());
+  ASSERT_TRUE(this->store_->append("log", "8\n").is_ok());
+  EXPECT_EQ(this->store_->load("log").value(), "7\n8\n");
+}
+
 TYPED_TEST(StorageBackendTest, ExistsAndList) {
   EXPECT_FALSE(this->store_->exists("a"));
   ASSERT_TRUE(this->store_->store("b", "<b/>").is_ok());
