@@ -1,0 +1,119 @@
+// WAL ablation — commit durability cost vs. document size.
+//
+// The redo-log commit path appends one O(delta) record per commit; the
+// historical durability re-serialized the whole document every commit
+// (reproduced here as --modes including checkpoint_interval=1, which
+// snapshots after every logged operation). Sweeping the base size shows
+// the separation: snapshot-per-commit persist cost climbs with the
+// document, WAL-mode persist cost stays flat.
+//
+//   abl_wal --doc_kb_list=100,200,400,800 --commits=200
+//
+// JSONL per (mode, size) point: persist-call latency percentiles plus the
+// end-of-run checkpoint cost, so the compaction price is visible too.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dtx/data_manager.hpp"
+#include "query/plan.hpp"
+#include "storage/memory_store.hpp"
+#include "util/flags.hpp"
+#include "util/histogram.hpp"
+#include "workload/xmark.hpp"
+#include "xml/serializer.hpp"
+
+namespace {
+
+std::vector<std::size_t> parse_list(const std::string& csv,
+                                    std::vector<std::size_t> fallback) {
+  if (csv.empty()) return fallback;
+  std::vector<std::size_t> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t end = csv.find(',', begin);
+    const std::string part =
+        csv.substr(begin, end == std::string::npos ? end : end - begin);
+    if (!part.empty()) out.push_back(std::stoul(part));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return out.empty() ? fallback : out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dtx;
+  using Clock = std::chrono::steady_clock;
+  util::Flags flags(argc, argv);
+
+  const std::vector<std::size_t> doc_kbs = parse_list(
+      flags.get_string("doc_kb_list", ""), {100, 200, 400, 800});
+  const std::size_t commits =
+      static_cast<std::size_t>(flags.get_int("commits", 200));
+  // checkpoint_interval per mode: 1 = snapshot-per-commit (the historical
+  // whole-document persist shape), 64 = the engine default, 0 = pure log.
+  const std::vector<std::size_t> modes =
+      parse_list(flags.get_string("modes", ""), {1, 64, 0});
+
+  for (const std::size_t doc_kb : doc_kbs) {
+    workload::XmarkOptions xmark;
+    xmark.target_bytes = doc_kb * 1024;
+    xmark.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+    const workload::XmarkData data = workload::generate_xmark(xmark);
+    const std::string xml_bytes = xml::serialize(*data.document);
+
+    for (const std::size_t interval : modes) {
+      storage::MemoryStore store;
+      if (!store.store("d", xml_bytes).is_ok()) return 1;
+      core::DataManager manager(store, interval, /*checkpoint_log_bytes=*/0);
+      if (!manager.load_all().is_ok()) return 1;
+
+      util::Histogram persist_us;
+      double persist_total_us = 0.0;
+      double checkpoint_us = 0.0;
+      std::size_t checkpoints = 0;
+      for (std::size_t i = 0; i < commits; ++i) {
+        const std::string person =
+            data.person_ids[i % data.person_ids.size()];
+        auto plan = query::compile_text(
+            "update d change /site/people/person[@id='" + person +
+            "']/name ::= v" + std::to_string(i));
+        if (!plan.is_ok()) return 1;
+        const core::TxnId txn = 1000 + i;
+        if (!manager.run_update(txn, plan.value()).is_ok()) return 1;
+        std::vector<std::string> due;
+        const auto t0 = Clock::now();
+        if (!manager.persist(txn, &due).is_ok()) return 1;
+        const auto t1 = Clock::now();
+        manager.run_checkpoints(due);
+        const auto t2 = Clock::now();
+        const double persisted =
+            std::chrono::duration<double, std::micro>(t1 - t0).count();
+        persist_us.add(persisted);
+        persist_total_us += persisted;
+        if (!due.empty()) {
+          checkpoint_us +=
+              std::chrono::duration<double, std::micro>(t2 - t1).count();
+          ++checkpoints;
+        }
+      }
+      std::printf(
+          "{\"figure\":\"abl_wal\",\"doc_kb\":%zu,"
+          "\"checkpoint_interval\":%zu,\"commits\":%zu,"
+          "\"persist_p50_us\":%.2f,\"persist_p95_us\":%.2f,"
+          "\"persist_mean_us\":%.2f,\"checkpoints\":%zu,"
+          "\"checkpoint_mean_us\":%.2f,\"commit_mean_us\":%.2f}\n",
+          doc_kb, interval, commits, persist_us.percentile(0.5),
+          persist_us.percentile(0.95), persist_us.mean(), checkpoints,
+          checkpoints == 0 ? 0.0
+                           : checkpoint_us / static_cast<double>(checkpoints),
+          (persist_total_us + checkpoint_us) /
+              static_cast<double>(commits));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

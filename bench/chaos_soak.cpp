@@ -36,6 +36,12 @@ int main(int argc, char** argv) {
       flags.get_double("dup_pct", 1.0) / 100.0;
   options.background_fault.extra_delay =
       std::chrono::microseconds(flags.get_int("extra_delay_us", 0));
+  // Redo-log compaction cadence: 0 = never (pure log replay), 1 ≈ the
+  // historical snapshot-per-commit durability, default 8 keeps crashes
+  // landing around live compactions.
+  options.checkpoint_interval = static_cast<std::size_t>(flags.get_int(
+      "checkpoint_interval",
+      static_cast<std::int64_t>(options.checkpoint_interval)));
 
   const workload::ChaosReport report = workload::run_chaos(options);
   for (const std::string& violation : report.violations) {

@@ -1,7 +1,9 @@
 #include "dtx/cluster.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "dtx/wal.hpp"
 #include "storage/file_store.hpp"
 
 namespace dtx::core {
@@ -108,92 +110,109 @@ Status Cluster::restart_site(SiteId site) {
     // store would race its own persists and rewind fresher state.
     return Status(Code::kInternal, "site is running");
   }
-  // Recovery sync: for every document this site hosts, adopt the bytes of
-  // the replica with the highest commit version. Commits are serialized
-  // per document by strict 2PL identically at every replica, so "highest
-  // version" is a total order and equal versions mean equal bytes. Peer
-  // stores are read directly — the in-process stand-in for the state
-  // transfer (or shared storage) a production restart would perform before
-  // rejoining; backends synchronize themselves, so concurrent commits at
-  // live peers are safe.
+  // Recovery sync: for every document this site hosts, catch the local
+  // redo log up to the freshest peer replica. A record's version number
+  // is a per-replica position (commits of non-conflicting transactions
+  // may land in different orders at different replicas), so replicas are
+  // compared by committed-transaction-id *set* — checkpoint-marker ids
+  // plus tail record ids enumerate exactly which commits a replica
+  // holds. The normal path appends the peer records this replica is
+  // missing, renumbered onto the local tail — O(missed commits), not
+  // O(document); their operations commute with everything already here
+  // (conflicting commits are identically ordered everywhere). Only when
+  // the freshest peer compacted a missing commit into its snapshot is
+  // its whole checkpoint + log adopted. Peer stores are read directly —
+  // the in-process stand-in for the state transfer a production restart
+  // would perform; backends synchronize per call, and
+  // wal::read_durable_doc flags a read that straddled a live peer's
+  // checkpoint so it is simply retried.
   for (const std::string& doc : catalog_.documents()) {
     const std::vector<SiteId> hosts = catalog_.sites_of(doc);
     if (std::find(hosts.begin(), hosts.end(), site) == hosts.end()) continue;
-    const std::uint64_t local_version =
-        DataManager::stored_version(*stores_[site], doc);
-    std::uint64_t best_version = local_version;
-    SiteId best_site = site;
+    auto local = wal::read_durable_doc(*stores_[site], doc);
+    if (!local) return local.status();
+    if (local.value().needs_repair) {
+      // Drop the crash's torn tail / interrupted-checkpoint leftovers
+      // before anything is appended after them.
+      Status repaired = wal::repair(*stores_[site], doc, local.value());
+      if (!repaired) return repaired;
+    }
+    std::set<lock::TxnId> local_ids(local.value().checkpoint_ids.begin(),
+                                    local.value().checkpoint_ids.end());
+    for (const wal::LogEntry& record : local.value().tail) {
+      local_ids.insert(record.txn);
+    }
+
+    std::optional<wal::DurableDoc> best;
     for (SiteId peer : hosts) {
       if (peer == site) continue;
-      const std::uint64_t version =
-          DataManager::stored_version(*stores_[peer], doc);
-      if (version > best_version) {
-        best_version = version;
-        best_site = peer;
+      util::Result<wal::DurableDoc> state =
+          wal::read_durable_doc(*stores_[peer], doc);
+      for (int attempt = 0;
+           state && !state.value().consistent && attempt < 50; ++attempt) {
+        state = wal::read_durable_doc(*stores_[peer], doc);
+      }
+      if (!state) return state.status();
+      if (!state.value().consistent) {
+        return Status(Code::kInternal,
+                      "recovery sync of '" + doc +
+                          "' could not observe a stable replica at site " +
+                          std::to_string(peer));
+      }
+      if (!best.has_value() ||
+          state.value().version > best.value().version) {
+        best = std::move(state).value();
       }
     }
-    if (best_site != site) {
-      // The winning peer may be live and mid-commit: verify the stamp's
-      // content hash against the loaded bytes so a torn (version, bytes)
-      // pair is never adopted — mislabeling v+1 bytes as v would break
-      // "equal versions mean equal bytes" for every later sync.
-      for (int attempt = 0;; ++attempt) {
-        const DataManager::StoredStamp stamp =
-            DataManager::stored_stamp(*stores_[best_site], doc);
-        auto xml = stores_[best_site]->load(doc);
-        if (!xml) return xml.status();
-        if (!stamp.has_hash ||
-            stamp.hash == DataManager::content_hash(xml.value())) {
-          Status stored = stores_[site]->store(doc, xml.value());
-          if (!stored) return stored;
-          stored = stores_[site]->store(
-              DataManager::version_key(doc),
-              std::to_string(stamp.version) + " " +
-                  std::to_string(DataManager::content_hash(xml.value())));
-          if (!stored) return stored;
-          break;
-        }
-        if (attempt >= 50) {
-          return Status(Code::kInternal,
-                        "recovery sync of '" + doc +
-                            "' could not observe a stable peer snapshot");
-        }
+    if (!best.has_value()) continue;  // unreplicated document
+
+    const bool hidden_missing = [&] {
+      for (const lock::TxnId id : best.value().checkpoint_ids) {
+        if (local_ids.count(id) == 0) return true;
       }
+      return false;
+    }();
+    if (hidden_missing) {
+      // A commit this replica is missing sits inside the peer's compacted
+      // snapshot — its record is gone, so adopt checkpoint + log
+      // wholesale (regardless of which side counts more commits: the
+      // record cannot be recovered any other way). Local tail records
+      // whose commit the peer does not hold anywhere are re-appended on
+      // top — the marker ids prove the adopted snapshot cannot already
+      // contain them, so replaying them is safe, and dropping them would
+      // lose a durable commit decision.
+      std::set<lock::TxnId> peer_ids(best.value().checkpoint_ids.begin(),
+                                     best.value().checkpoint_ids.end());
+      std::uint64_t next_version = best.value().version;
+      std::string log = best.value().marker_raw;
+      for (const wal::LogEntry& record : best.value().tail) {
+        log += record.raw;
+        peer_ids.insert(record.txn);
+      }
+      for (const wal::LogEntry& record : local.value().tail) {
+        if (peer_ids.count(record.txn) != 0) continue;
+        log += wal::encode_record(++next_version, record.txn, record.ops);
+      }
+      Status stored = stores_[site]->store(doc, best.value().snapshot);
+      if (!stored) return stored;
+      stored = log.empty() ? stores_[site]->truncate(wal::log_key(doc))
+                           : stores_[site]->store(wal::log_key(doc), log);
+      if (!stored) return stored;
+      full_syncs_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    if (best_site == site && best_version == local_version) {
-      // No strictly fresher peer. Still adopt an equal-version peer copy
-      // when the bytes differ: this site's snapshot may hold changes of a
-      // transaction that was rolled back after the snapshot was taken
-      // (a restart adopted a dirty whole-document persist) — at equal
-      // commit version the peers' resolved copy is the truth.
-      for (SiteId peer : hosts) {
-        if (peer == site) continue;
-        if (DataManager::stored_version(*stores_[peer], doc) !=
-            local_version) {
-          continue;
-        }
-        auto peer_xml = stores_[peer]->load(doc);
-        auto local_xml = stores_[site]->load(doc);
-        if (peer_xml && local_xml &&
-            peer_xml.value() != local_xml.value()) {
-          best_site = peer;
-        }
-        break;  // lowest-id equal-version peer decides, deterministically
-      }
-      if (best_site == site) continue;
+    // Log-suffix shipping: append the peer records this replica lacks, in
+    // peer commit order, renumbered to continue the local tail.
+    std::string suffix;
+    std::uint64_t next_version = local.value().version;
+    for (const wal::LogEntry& record : best.value().tail) {
+      if (local_ids.count(record.txn) != 0) continue;
+      suffix += wal::encode_record(++next_version, record.txn, record.ops);
     }
-    // Equal-version adoption (quiescent path): stamp with a hash of the
-    // adopted bytes so later syncs can verify consistency.
-    auto xml = stores_[best_site]->load(doc);
-    if (!xml) return xml.status();
-    Status stored = stores_[site]->store(doc, xml.value());
-    if (!stored) return stored;
-    stored = stores_[site]->store(
-        DataManager::version_key(doc),
-        std::to_string(best_version) + " " +
-            std::to_string(DataManager::content_hash(xml.value())));
-    if (!stored) return stored;
+    if (suffix.empty()) continue;  // nothing missing (or peer is behind)
+    Status appended = stores_[site]->append(wal::log_key(doc), suffix);
+    if (!appended) return appended;
+    log_suffix_syncs_.fetch_add(1, std::memory_order_relaxed);
   }
   return sites_[site]->restart();
 }
@@ -264,6 +283,8 @@ ClusterStats Cluster::stats() {
     out.plan_cache.merge(s.plan_cache);
     out.response_ms.merge(s.response_ms);
   }
+  out.log_suffix_syncs = log_suffix_syncs_.load(std::memory_order_relaxed);
+  out.full_syncs = full_syncs_.load(std::memory_order_relaxed);
   out.network = network_.stats();
   out.faults = network_.fault_stats();
   return out;

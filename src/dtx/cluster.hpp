@@ -5,6 +5,7 @@
 // paper deployment would run one Site per machine instead.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,11 @@ struct ClusterStats {
   std::uint64_t commit_resends = 0;
   std::uint64_t restarts = 0;
   std::uint64_t unclassified_aborts = 0;
+  /// Recovery-sync accounting: documents caught up by shipping a peer's
+  /// redo-log suffix (the O(missed commits) path) vs. by adopting a whole
+  /// peer checkpoint (the peer had compacted past the local version).
+  std::uint64_t log_suffix_syncs = 0;
+  std::uint64_t full_syncs = 0;
   /// Fault-injection counters of the simulated network.
   net::FaultStats faults;
   /// Plan-cache counters summed over all sites (compiled-operation reuse).
@@ -88,11 +94,13 @@ class Cluster {
   /// restarts.
   util::Status crash_site(SiteId site);
 
-  /// Restarts a stopped / crashed site. Before the site reloads, its store
-  /// is caught up from the freshest peer replica of every document it
-  /// hosts (commit-version comparison — the recovery sync a production
-  /// deployment would run as state transfer), so commits that finished
-  /// while the site was down are not resurrected stale.
+  /// Restarts a stopped / crashed site. Before the site reloads, its
+  /// redo logs are caught up from the freshest peer replica of every
+  /// document it hosts: normally by appending the peer's record *suffix*
+  /// after the local commit version (O(missed commits)), falling back to
+  /// whole checkpoint + log adoption only when the peer already compacted
+  /// past it. Commits that finished while the site was down are therefore
+  /// never resurrected stale.
   util::Status restart_site(SiteId site);
 
   /// True when the site's engine threads are running.
@@ -139,6 +147,9 @@ class Cluster {
   std::vector<std::unique_ptr<storage::StorageBackend>> stores_;
   std::vector<std::unique_ptr<Site>> sites_;
   bool started_ = false;
+  /// Recovery-sync counters (restart_site; read concurrently by stats()).
+  std::atomic<std::uint64_t> log_suffix_syncs_{0};
+  std::atomic<std::uint64_t> full_syncs_{0};
 };
 
 }  // namespace dtx::core

@@ -1,7 +1,5 @@
 #include "dtx/data_manager.hpp"
 
-#include <cstdlib>
-
 #include "util/log.hpp"
 #include "xml/parser.hpp"
 #include "xml/serializer.hpp"
@@ -14,59 +12,69 @@ using util::Code;
 using util::Result;
 using util::Status;
 
-DataManager::DataManager(storage::StorageBackend& store) : store_(store) {}
+DataManager::DataManager(storage::StorageBackend& store,
+                         std::size_t checkpoint_interval,
+                         std::size_t checkpoint_log_bytes)
+    : store_(store),
+      checkpoint_interval_(checkpoint_interval),
+      checkpoint_log_bytes_(checkpoint_log_bytes) {}
 
 bool DataManager::is_internal_key(const std::string& name) {
-  constexpr const char* kSuffix = ".~v";
-  constexpr std::size_t kSuffixLen = 3;
-  if (name.size() > kSuffixLen &&
-      name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) == 0) {
-    return true;  // commit-version sidecar
+  for (const char* suffix : {".~log", ".~v"}) {
+    const std::size_t len = std::char_traits<char>::length(suffix);
+    if (name.size() > len &&
+        name.compare(name.size() - len, len, suffix) == 0) {
+      return true;  // redo log / legacy commit-version sidecar
+    }
   }
   return !name.empty() && name.front() == '~';  // e.g. "~outcomes"
 }
 
-std::uint64_t DataManager::stored_version(storage::StorageBackend& store,
-                                          const std::string& doc) {
-  return stored_stamp(store, doc).version;
-}
-
-DataManager::StoredStamp DataManager::stored_stamp(
-    storage::StorageBackend& store, const std::string& doc) {
-  StoredStamp stamp;
-  auto text = store.load(version_key(doc));
-  if (!text) return stamp;
-  char* rest = nullptr;
-  stamp.version = std::strtoull(text.value().c_str(), &rest, 10);
-  if (rest != nullptr && *rest == ' ') {
-    stamp.hash = std::strtoull(rest + 1, nullptr, 10);
-    stamp.has_hash = true;
-  }
-  return stamp;
-}
-
-std::uint64_t DataManager::content_hash(const std::string& text) noexcept {
-  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a 64
-  for (const unsigned char byte : text) {
-    hash ^= byte;
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
-
 Status DataManager::load_all() {
   for (const std::string& name : store_.list()) {
-    if (is_internal_key(name)) continue;  // version sidecars
-    auto xml_text = store_.load(name);
-    if (!xml_text) return xml_text.status();
-    auto document = xml::parse(xml_text.value(), name);
+    if (is_internal_key(name)) continue;
+    auto durable = wal::read_durable_doc(store_, name);
+    if (!durable) return durable.status();
+    // First reader after a crash: physically drop torn appends and
+    // already-checkpointed entries before anything new is logged (the
+    // snapshot-version resolution is only exact while the log still ends
+    // where the crash left it).
+    if (durable.value().needs_repair) {
+      Status repaired = wal::repair(store_, name, durable.value());
+      if (!repaired) return repaired;
+      if (durable.value().torn_tail) {
+        DTX_WARN() << "redo log of '" << name
+                   << "' had a torn tail; recovered to v"
+                   << durable.value().version;
+      }
+    }
+    auto document = xml::parse(durable.value().snapshot, name);
     if (!document) return document.status();
     DocEntry entry;
     entry.scope = next_scope_++;
-    entry.version = stored_version(store_, name);
     entry.document = std::move(document).value();
     entry.guide = dataguide::DataGuide::build(*entry.document);
-    documents_[name] = std::move(entry);
+    entry.history = durable.value().checkpoint_ids;
+    // Replay the record tail exactly as run_update applied it, guide
+    // maintained incrementally (the same replay the store-side
+    // materialization runs — one implementation, wal::apply_records).
+    Status replayed = wal::apply_records(durable.value().tail,
+                                         *entry.document, entry.guide.get(),
+                                         name);
+    if (!replayed) return replayed;
+    for (const wal::LogEntry& record : durable.value().tail) {
+      entry.history.push_back(record.txn);
+      entry.log_ops += record.ops.size();
+      entry.log_bytes += record.raw.size();
+    }
+    entry.version = durable.value().version;
+    auto [it, inserted] = documents_.emplace(name, std::move(entry));
+    (void)inserted;
+    // Bound the next recovery's replay: compact a long tail right here,
+    // while nothing runs concurrently.
+    DocEntry& loaded = it->second;
+    note_checkpoint_policy(name, loaded, nullptr);
+    if (loaded.checkpoint_pending) checkpoint_doc(name, loaded);
   }
   return Status::ok();
 }
@@ -88,6 +96,16 @@ std::vector<std::string> DataManager::documents() const {
 DataManager::DocEntry* DataManager::entry_of(const std::string& name) {
   const auto it = documents_.find(name);
   return it == documents_.end() ? nullptr : &it->second;
+}
+
+DataManager::TxnDocState& DataManager::state_of(TxnId txn,
+                                                const std::string& doc) {
+  auto [it, inserted] = txn_states_.try_emplace({txn, doc});
+  if (inserted) {
+    docs_of_txn_[txn].insert(doc);
+    ++live_writers_[doc];
+  }
+  return it->second;
 }
 
 Result<lock::DocContext> DataManager::context_of(const std::string& name) {
@@ -115,126 +133,149 @@ Result<std::size_t> DataManager::run_update(TxnId txn,
     return Status(Code::kNotFound,
                   "document '" + plan.doc() + "' not at this site");
   }
-  xupdate::UndoLog& undo = undo_logs_[{txn, plan.doc()}];
-  auto result = xupdate::apply(plan.update(), *entry->document, undo,
+  TxnDocState& state = state_of(txn, plan.doc());
+  auto result = xupdate::apply(plan.update(), *entry->document, state.undo,
                                entry->guide.get());
   if (!result) return result.status();
-  touched_[txn].insert(plan.doc());
-  first_update_serial_.emplace(std::make_pair(txn, plan.doc()),
-                               entry->persist_serial);
+  state.redo.push_back(plan.text());  // committed-at-commit redo delta
   return result.value().affected;
 }
 
 std::size_t DataManager::undo_checkpoint(TxnId txn, const std::string& doc) {
-  return undo_logs_[{txn, doc}].checkpoint();
-}
-
-void DataManager::scrub_snapshot(const std::string& doc, DocEntry& entry) {
-  // No version bump: this is not a commit, it removes rolled-back changes
-  // that a concurrent transaction's whole-document persist captured (the
-  // store must never be able to resurrect aborted state on reload). The
-  // stamp's content hash is refreshed so sync readers still verify.
-  const std::string bytes = xml::serialize(*entry.document);
-  Status stored = store_.store(doc, bytes);
-  if (stored) {
-    stored = store_.store(version_key(doc),
-                          std::to_string(entry.version) + " " +
-                              std::to_string(content_hash(bytes)));
-  }
-  if (!stored) {
-    DTX_ERROR() << "snapshot scrub of '" << doc
-                << "' failed: " << stored.to_string();
-    return;
-  }
-  ++entry.persist_serial;
-}
-
-void DataManager::maybe_scrub(TxnId txn, const std::string& doc) {
-  DocEntry* entry = entry_of(doc);
-  if (entry == nullptr) return;
-  const auto it = first_update_serial_.find({txn, doc});
-  if (it == first_update_serial_.end()) return;
-  if (entry->persist_serial > it->second) scrub_snapshot(doc, *entry);
+  TxnDocState& state = state_of(txn, doc);
+  const std::size_t token = state.undo.checkpoint();
+  // Last-wins on purpose: only the most recent operation is individually
+  // undoable, and a no-effect predecessor can share its undo position.
+  state.redo_marks[token] = state.redo.size();
+  return token;
 }
 
 void DataManager::undo_to(TxnId txn, const std::string& doc,
                           std::size_t token) {
   DocEntry* entry = entry_of(doc);
-  const auto it = undo_logs_.find({txn, doc});
-  if (entry == nullptr || it == undo_logs_.end()) return;
-  it->second.undo_to(token, *entry->document, entry->guide.get());
-  maybe_scrub(txn, doc);
+  const auto it = txn_states_.find({txn, doc});
+  if (entry == nullptr || it == txn_states_.end()) return;
+  TxnDocState& state = it->second;
+  state.undo.undo_to(token, *entry->document, entry->guide.get());
+  const auto mark = state.redo_marks.find(token);
+  const std::size_t redo_len = mark != state.redo_marks.end()
+                                   ? mark->second
+                                   : (token == 0 ? 0 : state.redo.size());
+  if (redo_len < state.redo.size()) state.redo.resize(redo_len);
+  state.redo_marks.erase(state.redo_marks.upper_bound(token),
+                         state.redo_marks.end());
 }
 
-void DataManager::undo_all(TxnId txn) {
-  const auto touched_it = touched_.find(txn);
-  if (touched_it != touched_.end()) {
-    for (const std::string& doc : touched_it->second) {
-      undo_to(txn, doc, 0);
+void DataManager::undo_all(TxnId txn,
+                           std::vector<std::string>* checkpoint_due) {
+  const auto docs_it = docs_of_txn_.find(txn);
+  if (docs_it == docs_of_txn_.end()) return;
+  for (const std::string& doc : docs_it->second) {
+    const auto state_it = txn_states_.find({txn, doc});
+    if (state_it == txn_states_.end()) continue;
+    DocEntry* entry = entry_of(doc);
+    if (entry != nullptr) {
+      state_it->second.undo.undo_to(0, *entry->document, entry->guide.get());
     }
-    touched_.erase(touched_it);
-  }
-  // Drop any (possibly empty) undo logs of this transaction.
-  for (auto it = undo_logs_.begin(); it != undo_logs_.end();) {
-    if (it->first.first == txn) {
-      it = undo_logs_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  for (auto it = first_update_serial_.begin();
-       it != first_update_serial_.end();) {
-    if (it->first.first == txn) {
-      it = first_update_serial_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-Status DataManager::persist(TxnId txn) {
-  const auto touched_it = touched_.find(txn);
-  if (touched_it != touched_.end()) {
-    for (const std::string& doc : touched_it->second) {
-      DocEntry* entry = entry_of(doc);
-      if (entry == nullptr) continue;
-      const std::string bytes = xml::serialize(*entry->document);
-      Status status = store_.store(doc, bytes);
-      if (!status) return status;
-      // Bump the commit version alongside the bytes. Strict 2PL orders
-      // commits per document identically at every replica, so the counter
-      // is a replica-comparable freshness stamp (recovery sync); the
-      // content hash lets a concurrent sync reader detect a torn
-      // version/bytes pair and retry.
-      ++entry->version;
-      ++entry->persist_serial;
-      status = store_.store(version_key(doc),
-                            std::to_string(entry->version) + " " +
-                                std::to_string(content_hash(bytes)));
-      if (!status) return status;
-      const auto log_it = undo_logs_.find({txn, doc});
-      if (log_it != undo_logs_.end()) {
-        log_it->second.commit(*entry->document);
+    txn_states_.erase(state_it);
+    const auto writers = live_writers_.find(doc);
+    if (writers != live_writers_.end() && --writers->second == 0) {
+      live_writers_.erase(writers);
+      if (entry != nullptr && entry->checkpoint_pending &&
+          checkpoint_due != nullptr) {
+        checkpoint_due->push_back(doc);  // deferred compaction unblocked
       }
     }
-    touched_.erase(touched_it);
   }
-  for (auto it = undo_logs_.begin(); it != undo_logs_.end();) {
-    if (it->first.first == txn) {
-      it = undo_logs_.erase(it);
-    } else {
-      ++it;
+  docs_of_txn_.erase(docs_it);
+}
+
+Status DataManager::persist(TxnId txn,
+                            std::vector<std::string>* checkpoint_due) {
+  const auto docs_it = docs_of_txn_.find(txn);
+  if (docs_it == docs_of_txn_.end()) return Status::ok();
+  for (const std::string& doc : docs_it->second) {
+    const auto state_it = txn_states_.find({txn, doc});
+    if (state_it == txn_states_.end()) continue;
+    TxnDocState& state = state_it->second;
+    DocEntry* entry = entry_of(doc);
+    if (entry != nullptr && !state.redo.empty()) {
+      // The durability point: one O(delta) append of the transaction's
+      // committed operations. Append-before-bookkeeping so a store
+      // failure leaves memory unchanged and the abort path rolls back.
+      const std::string record =
+          wal::encode_record(entry->version + 1, txn, state.redo);
+      Status appended = store_.append(wal::log_key(doc), record);
+      if (!appended) return appended;
+      ++entry->version;
+      entry->history.push_back(txn);
+      entry->log_ops += state.redo.size();
+      entry->log_bytes += record.size();
+      note_checkpoint_policy(doc, *entry, nullptr);
+    }
+    if (entry != nullptr) state.undo.commit(*entry->document);
+    txn_states_.erase(state_it);
+    const auto writers = live_writers_.find(doc);
+    if (writers != live_writers_.end() && --writers->second == 0) {
+      live_writers_.erase(writers);
+      if (entry != nullptr && entry->checkpoint_pending &&
+          checkpoint_due != nullptr) {
+        checkpoint_due->push_back(doc);
+      }
     }
   }
-  for (auto it = first_update_serial_.begin();
-       it != first_update_serial_.end();) {
-    if (it->first.first == txn) {
-      it = first_update_serial_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  docs_of_txn_.erase(docs_it);
   return Status::ok();
+}
+
+void DataManager::note_checkpoint_policy(const std::string& doc,
+                                         DocEntry& entry,
+                                         std::vector<std::string>* due) {
+  const bool over_ops =
+      checkpoint_interval_ != 0 && entry.log_ops >= checkpoint_interval_;
+  const bool over_bytes =
+      checkpoint_log_bytes_ != 0 && entry.log_bytes >= checkpoint_log_bytes_;
+  if (!over_ops && !over_bytes) return;
+  entry.checkpoint_pending = true;
+  if (due != nullptr && live_writers_.count(doc) == 0) due->push_back(doc);
+}
+
+void DataManager::run_checkpoints(const std::vector<std::string>& docs) {
+  std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+  for (const std::string& doc : docs) {
+    DocEntry* entry = entry_of(doc);
+    if (entry == nullptr || !entry->checkpoint_pending) continue;
+    // Deferred while any live transaction holds an undo log on the
+    // document: the snapshot must only ever contain committed state.
+    // (live_writers_ is stable here: its writers hold the data latch
+    // exclusive, the caller holds it shared.)
+    if (live_writers_.count(doc) != 0) continue;
+    checkpoint_doc(doc, *entry);
+  }
+}
+
+void DataManager::checkpoint_doc(const std::string& doc, DocEntry& entry) {
+  // Three ordered writes; every crash window between them resolves (see
+  // dtx/wal.hpp): 1. marker append ties version+hash to the coming
+  // snapshot, 2. atomic snapshot replace, 3. log compaction to the
+  // marker.
+  const std::string bytes = xml::serialize(*entry.document);
+  const std::uint64_t hash = wal::fnv1a(bytes);
+  const std::string marker =
+      wal::encode_checkpoint(entry.version, hash, entry.history);
+  Status status = store_.append(wal::log_key(doc), marker);
+  if (status) status = store_.store(doc, bytes);
+  if (status) status = store_.store(wal::log_key(doc), marker);
+  if (!status) {
+    // checkpoint_pending stays set; the next commit/abort retries. The
+    // log remains authoritative whichever write failed.
+    DTX_ERROR() << "checkpoint of '" << doc
+                << "' failed: " << status.to_string();
+    return;
+  }
+  entry.checkpoint_pending = false;
+  entry.log_ops = 0;
+  entry.log_bytes = 0;
 }
 
 std::size_t DataManager::total_nodes() const {

@@ -137,10 +137,18 @@ void LockManager::undo_operation(TxnId txn, std::uint32_t op_index) {
 }
 
 Status LockManager::commit(TxnId txn, std::vector<WakeNotice>& wakes) {
+  std::vector<std::string> checkpoints;
   {
     std::unique_lock<std::shared_mutex> write_latch(data_latch_);
-    Status status = data_.persist(txn);
+    Status status = data_.persist(txn, &checkpoints);
     if (!status) return status;
+  }
+  if (!checkpoints.empty()) {
+    // Compaction runs under the *shared* latch: updates are excluded (the
+    // committed tree is stable while it serializes) but same-site readers
+    // proceed — the commit hot path itself stays O(delta).
+    std::shared_lock<std::shared_mutex> read_latch(data_latch_);
+    data_.run_checkpoints(checkpoints);
   }
   table_.release_all(txn);
   drop_op_records(txn);
@@ -152,9 +160,16 @@ Status LockManager::commit(TxnId txn, std::vector<WakeNotice>& wakes) {
 }
 
 void LockManager::abort(TxnId txn, std::vector<WakeNotice>& wakes) {
+  std::vector<std::string> checkpoints;
   {
     std::unique_lock<std::shared_mutex> write_latch(data_latch_);
-    data_.undo_all(txn);
+    data_.undo_all(txn, &checkpoints);
+  }
+  if (!checkpoints.empty()) {
+    // This rollback may have been the last live writer blocking a
+    // deferred compaction.
+    std::shared_lock<std::shared_mutex> read_latch(data_latch_);
+    data_.run_checkpoints(checkpoints);
   }
   table_.release_all(txn);
   drop_op_records(txn);
@@ -194,13 +209,12 @@ std::size_t LockManager::undo_log_count() {
 
 void LockManager::drop_op_records(TxnId txn) {
   std::lock_guard<std::mutex> records_lock(records_mutex_);
-  for (auto it = op_records_.begin(); it != op_records_.end();) {
-    if (it->first.first == txn) {
-      it = op_records_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  // Keyed (txn, op_index): the transaction's records are one contiguous
+  // range — O(log + own ops), not a scan of every live record.
+  const auto begin = op_records_.lower_bound({txn, 0});
+  auto end = begin;
+  while (end != op_records_.end() && end->first.first == txn) ++end;
+  op_records_.erase(begin, end);
 }
 
 void LockManager::collect_wakes_locked(TxnId released,

@@ -18,9 +18,13 @@
 //  * data_latch_   — reader/writer latch over the DataManager. Queries hold
 //                    it shared across {lock-set computation + execution}, so
 //                    compatible reads of the same site run in parallel;
-//                    updates, undo, commit-persist and abort hold it
-//                    exclusive (the XML trees and DataGuides are not
-//                    thread-safe under mutation).
+//                    updates, undo, commit-persist (an O(delta) redo-log
+//                    append) and abort hold it exclusive (the XML trees and
+//                    DataGuides are not thread-safe under mutation).
+//                    Checkpoint compaction — the only whole-document
+//                    serialization left — runs under the *shared* latch
+//                    (updates excluded, readers not), ordered internally by
+//                    the DataManager's checkpoint mutex.
 //  * wfg_mutex_    — wait-for graph + wake subscriptions.
 //  * records_mutex_ — per-operation acquisition journals / undo tokens.
 // Lock order when nested: data_latch_ -> (table shards) -> wfg_mutex_ /

@@ -71,6 +71,14 @@ struct SiteOptions {
   std::size_t plan_cache_capacity = 1024;
   /// Independently-locked LRU shards of the plan cache.
   std::size_t plan_cache_shards = 8;
+  /// Redo-log checkpoint policy (dtx/wal.hpp): compact a document's log
+  /// into a fresh snapshot after this many logged update operations. 1 ≈
+  /// the historical snapshot-per-commit durability (the O(document) bench
+  /// baseline); 0 disables the op-count trigger.
+  std::size_t checkpoint_interval = 64;
+  /// ... or after this many appended log bytes (0 disables; both 0 =
+  /// never compact, restart replays the whole log).
+  std::size_t checkpoint_log_bytes = 1 << 20;
   /// Distributed deadlock detection period (Alg. 4 cadence).
   std::chrono::microseconds detect_period{20'000};
   /// Probe reply collection timeout.
@@ -157,7 +165,8 @@ struct SiteContext {
   /// Wipes and reconstructs the crash-volatile engine components. Only
   /// valid while no worker thread is running (construction, restart).
   void rebuild_engine() {
-    data_ = std::make_unique<DataManager>(store);
+    data_ = std::make_unique<DataManager>(store, options.checkpoint_interval,
+                                          options.checkpoint_log_bytes);
     locks_ = std::make_unique<LockManager>(options.protocol, *data_,
                                            options.lock_shards);
     plans_ = std::make_unique<query::PlanCache>(options.plan_cache_capacity,

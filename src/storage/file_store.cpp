@@ -68,6 +68,31 @@ util::Status FileStore::append(const std::string& name,
   return util::Status::ok();
 }
 
+util::Result<std::string> FileStore::read_log(const std::string& name) {
+  std::ifstream in(path_of(name), std::ios::binary);
+  if (!in) {
+    // Only true absence reads as an empty log; any other open failure
+    // (permissions, fd exhaustion, I/O error) must surface — treating it
+    // as empty would silently drop the log tail from recovery.
+    std::error_code ec;
+    if (!fs::exists(path_of(name), ec) && !ec) return std::string();
+    return util::Status(util::Code::kUnavailable,
+                        "cannot read log " + path_of(name).string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+util::Status FileStore::truncate(const std::string& name) {
+  std::ofstream out(path_of(name), std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return util::Status(util::Code::kUnavailable,
+                        "cannot truncate " + path_of(name).string());
+  }
+  return util::Status::ok();
+}
+
 bool FileStore::exists(const std::string& name) {
   std::error_code ec;
   return fs::exists(path_of(name), ec);

@@ -28,6 +28,18 @@ util::Status MemoryStore::append(const std::string& name,
   return util::Status::ok();
 }
 
+util::Result<std::string> MemoryStore::read_log(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = documents_.find(name);
+  return it == documents_.end() ? std::string() : it->second;
+}
+
+util::Status MemoryStore::truncate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  documents_[name].clear();
+  return util::Status::ok();
+}
+
 bool MemoryStore::exists(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   return documents_.count(name) != 0;

@@ -17,6 +17,8 @@ class MemoryStore final : public StorageBackend {
   util::Status store(const std::string& name, const std::string& xml) override;
   util::Status append(const std::string& name,
                       const std::string& data) override;
+  util::Result<std::string> read_log(const std::string& name) override;
+  util::Status truncate(const std::string& name) override;
   bool exists(const std::string& name) override;
   std::vector<std::string> list() override;
   util::Status remove(const std::string& name) override;

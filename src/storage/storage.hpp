@@ -27,10 +27,21 @@ class StorageBackend {
                              const std::string& xml) = 0;
 
   /// Appends to the named entry, creating it when absent — O(appended
-  /// bytes), unlike load+store. Used for log-structured entries (the
-  /// presumed-abort commit log), not for documents.
+  /// bytes), unlike load+store. This is the write path of log-structured
+  /// entries: the per-document redo logs and the presumed-abort commit
+  /// log. Appends are atomic per call at the backend's synchronization
+  /// granularity; a *process* crash may still leave a torn tail, which
+  /// the log framing detects (wal::scan_log).
   virtual util::Status append(const std::string& name,
                               const std::string& data) = 0;
+
+  /// Reads a log-structured entry in full. Unlike load(), a missing entry
+  /// is not an error — it reads as empty (a log that was never written).
+  virtual util::Result<std::string> read_log(const std::string& name) = 0;
+
+  /// Resets a log-structured entry to empty (log compaction dropped every
+  /// record). Creates the entry when absent; never an error.
+  virtual util::Status truncate(const std::string& name) = 0;
 
   virtual bool exists(const std::string& name) = 0;
 

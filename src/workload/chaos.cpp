@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "client/client.hpp"
+#include "dtx/wal.hpp"
 #include "util/rng.hpp"
 #include "xml/parser.hpp"
 #include "xpath/evaluator.hpp"
@@ -21,6 +22,7 @@ using core::Cluster;
 using core::ClusterOptions;
 using net::SiteId;
 using txn::TxnState;
+namespace wal = core::wal;
 
 constexpr const char* kSharedDoc = "d0";
 constexpr const char* kBaseXml =
@@ -259,14 +261,15 @@ std::string fingerprint(const xml::Node& node) {
   return out;
 }
 
-/// Compares every replica of every document structurally (stores are the
-/// committed truth; callers ensure quiescence).
+/// Compares every replica of every document structurally. The committed
+/// truth of a replica is its checkpoint snapshot + replayed redo-log tail
+/// (wal::materialize); callers ensure quiescence.
 std::string check_replica_agreement(Cluster& cluster) {
   for (const std::string& doc : cluster.catalog().documents()) {
     std::string reference;
     SiteId reference_site = 0;
     for (SiteId site : cluster.catalog().sites_of(doc)) {
-      auto xml_text = cluster.store_of(site).load(doc);
+      auto xml_text = wal::materialize(cluster.store_of(site), doc);
       auto parsed = xml_text
                         ? xml::parse(xml_text.value(), doc)
                         : util::Result<std::unique_ptr<xml::Document>>(
@@ -285,13 +288,13 @@ std::string check_replica_agreement(Cluster& cluster) {
                              std::to_string(reference_site) + " (versions";
         for (SiteId peer : cluster.catalog().sites_of(doc)) {
           detail += " s" + std::to_string(peer) + "=v" +
-                    std::to_string(core::DataManager::stored_version(
-                        cluster.store_of(peer), doc));
+                    std::to_string(
+                        wal::durable_version(cluster.store_of(peer), doc));
         }
         detail += ")";
         if (const char* dump = std::getenv("DTX_CHAOS_DUMP")) {
           for (SiteId peer : cluster.catalog().sites_of(doc)) {
-            auto bytes = cluster.store_of(peer).load(doc);
+            auto bytes = wal::materialize(cluster.store_of(peer), doc);
             if (!bytes) continue;
             const std::string path = std::string(dump) + "/chaos_" + doc +
                                      "_s" + std::to_string(peer) + ".xml";
@@ -348,6 +351,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   cluster_options.site.orphan_txn_timeout = options.orphan_txn_timeout;
   cluster_options.site.orphan_query_limit = options.orphan_query_limit;
   cluster_options.site.commit_ack_rounds = options.commit_ack_rounds;
+  cluster_options.site.checkpoint_interval = options.checkpoint_interval;
   Cluster cluster(cluster_options);
 
   std::vector<SiteId> all_sites;
@@ -490,7 +494,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
 
   // Insert / change accounting against the (now agreed) replica state.
   {
-    auto stored = cluster.store_of(0).load(kSharedDoc);
+    auto stored = wal::materialize(cluster.store_of(0), kSharedDoc);
     auto parsed = stored ? xml::parse(stored.value(), kSharedDoc)
                          : util::Result<std::unique_ptr<xml::Document>>(
                                stored.status());
@@ -562,6 +566,9 @@ ChaosReport run_chaos(const ChaosOptions& options) {
            std::to_string(report.cluster.orphans_aborted) +
            ",\"commit_resends\":" +
            std::to_string(report.cluster.commit_resends) +
+           ",\"log_suffix_syncs\":" +
+           std::to_string(report.cluster.log_suffix_syncs) +
+           ",\"full_syncs\":" + std::to_string(report.cluster.full_syncs) +
            ",\"unclassified_aborts\":" +
            std::to_string(report.cluster.unclassified_aborts) +
            ",\"messages_dropped\":" +

@@ -65,6 +65,11 @@ struct ChaosOptions {
   std::chrono::microseconds orphan_txn_timeout{120'000};
   std::uint32_t orphan_query_limit = 6;
   std::uint32_t commit_ack_rounds = 3;
+  /// Redo-log compaction cadence (SiteOptions::checkpoint_interval). The
+  /// soak default of 8 forces frequent checkpoints so crashes land inside
+  /// and around compactions; 0 = never compact (pure log replay), 1 ≈ the
+  /// historical snapshot-per-commit shape.
+  std::size_t checkpoint_interval = 8;
   std::chrono::microseconds latency{100};
   /// When set, one JSON line per schedule event / round check / summary.
   std::FILE* jsonl = nullptr;

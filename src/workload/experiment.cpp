@@ -28,6 +28,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   cluster_options.site.participant_workers = config.participant_workers;
   cluster_options.site.lock_shards = config.lock_shards;
   cluster_options.site.plan_cache_capacity = config.plan_cache_capacity;
+  cluster_options.site.checkpoint_interval = config.checkpoint_interval;
   core::Cluster cluster(cluster_options);
 
   for (const auto& placement : placements) {
@@ -112,6 +113,12 @@ void apply_common_flags(const util::Flags& flags, ExperimentConfig& config) {
       std::clamp<std::int64_t>(
           flags.get_int("plan_cache",
                         static_cast<std::int64_t>(config.plan_cache_capacity)),
+          0, 1 << 20));
+  // 0 is meaningful here too (never compact the redo logs).
+  config.checkpoint_interval = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(
+          flags.get_int("checkpoint_interval",
+                        static_cast<std::int64_t>(config.checkpoint_interval)),
           0, 1 << 20));
 
   const auto routing = client::parse_routing_kind(flags.get_string(

@@ -45,6 +45,10 @@ struct ExperimentConfig {
   /// Per-site compiled-plan cache capacity (--plan_cache=; 0 = compile
   /// every execution — the parse-per-execute ablation baseline).
   std::size_t plan_cache_capacity = 1024;
+  /// Redo-log checkpoint cadence in logged update ops
+  /// (--checkpoint_interval=; 1 ≈ the historical snapshot-per-commit
+  /// durability, 0 = never compact).
+  std::size_t checkpoint_interval = 64;
 
   /// Client routing policy (--routing=explicit|round-robin|affinity):
   /// explicit = the paper's home-site model, affinity = route each

@@ -22,6 +22,7 @@
 #include <thread>
 
 #include "dtx/cluster.hpp"
+#include "dtx/wal.hpp"
 #include "workload/chaos.hpp"
 #include "xml/parser.hpp"
 #include "xpath/evaluator.hpp"
@@ -73,7 +74,7 @@ ClusterOptions fast_options(std::size_t sites) {
 
 std::string stored_phone(Cluster& cluster, net::SiteId site,
                          const std::string& person) {
-  auto stored = cluster.store_of(site).load("d1");
+  auto stored = wal::materialize(cluster.store_of(site), "d1");
   EXPECT_TRUE(stored.is_ok());
   auto parsed = xml::parse(stored.value(), "d1");
   EXPECT_TRUE(parsed.is_ok());
@@ -267,7 +268,7 @@ TEST(DuplicationTest, DuplicatedDeliveryIsIdempotent) {
   EXPECT_GT(cluster.stats().faults.duplicated, 0u);
 
   for (net::SiteId site : {0u, 1u}) {
-    auto stored = cluster.store_of(site).load("d1");
+    auto stored = wal::materialize(cluster.store_of(site), "d1");
     ASSERT_TRUE(stored.is_ok());
     auto parsed = xml::parse(stored.value(), "d1");
     ASSERT_TRUE(parsed.is_ok());
@@ -307,9 +308,12 @@ TEST(RecoverySyncTest, RestartCatchesUpReplicaFromFreshestPeer) {
   });
   EXPECT_EQ(stored_phone(cluster, 1, "p2"), "222");  // stale store
 
-  // Restart: the recovery sync sees site 0's higher commit version and
-  // adopts its bytes before the engine reloads.
+  // Restart: the recovery sync sees the commit missing from site 1's log
+  // and ships site 0's record *suffix* — not the whole document — before
+  // the engine reloads and replays it.
   ASSERT_TRUE(cluster.restart_site(1).is_ok());
+  EXPECT_EQ(cluster.stats().log_suffix_syncs, 1u);
+  EXPECT_EQ(cluster.stats().full_syncs, 0u);
   EXPECT_EQ(stored_phone(cluster, 1, "p2"), "654");
   auto read = cluster.execute_text(
       1, {"query d1 /site/people/person[@id='p2']/phone"});
@@ -317,6 +321,117 @@ TEST(RecoverySyncTest, RestartCatchesUpReplicaFromFreshestPeer) {
   ASSERT_EQ(read.value().state, TxnState::kCommitted);
   ASSERT_EQ(read.value().rows[0].size(), 1u);
   EXPECT_EQ(read.value().rows[0][0], "654");
+}
+
+TEST(RecoverySyncTest, FullAdoptionWhenPeerCompactedPastLocalVersion) {
+  // The peer checkpoints aggressively (every commit), so by restart time
+  // the record site 1 is missing has been compacted into the peer's
+  // snapshot — the sync must fall back to whole checkpoint + log
+  // adoption.
+  ClusterOptions options = fast_options(2);
+  options.site.checkpoint_interval = 1;
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+  cluster.network().faults([](net::FaultPlan& plan) {
+    plan.set_message_filter([](const net::Message& message) {
+      return std::holds_alternative<net::CommitRequest>(message.payload);
+    });
+  });
+  auto result = cluster.execute_text(
+      0, {"update d1 change /site/people/person[@id='p1']/phone ::= 777"});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().state, TxnState::kCommitted);
+  ASSERT_TRUE(cluster.crash_site(1).is_ok());
+  cluster.network().faults([](net::FaultPlan& plan) {
+    plan.set_message_filter(nullptr);
+  });
+  ASSERT_TRUE(cluster.restart_site(1).is_ok());
+  EXPECT_EQ(cluster.stats().full_syncs, 1u);
+  EXPECT_EQ(stored_phone(cluster, 1, "p1"), "777");
+}
+
+TEST(RecoverySyncTest, DivergentCheckpointAdoptionKeepsLocalUniqueCommits) {
+  // The nasty corner: the peer compacted a commit this replica is missing
+  // (its record is unrecoverable) while this replica's log holds a commit
+  // the peer never saw. Equal version counts — position comparison is
+  // useless. The sync must adopt the peer's checkpoint AND re-apply the
+  // local-unique record on top (the marker ids prove the adopted snapshot
+  // cannot already contain it).
+  ClusterOptions options = fast_options(2);
+  options.site.checkpoint_interval = 1;
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+  // Site 0 commits + compacts alone (CommitRequests to site 1 cut).
+  cluster.network().faults([](net::FaultPlan& plan) {
+    plan.set_message_filter([](const net::Message& message) {
+      return std::holds_alternative<net::CommitRequest>(message.payload);
+    });
+  });
+  auto result = cluster.execute_text(
+      0, {"update d1 change /site/people/person[@id='p1']/phone ::= 777"});
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_EQ(result.value().state, TxnState::kCommitted);
+  ASSERT_TRUE(cluster.crash_site(1).is_ok());
+  cluster.network().faults([](net::FaultPlan& plan) {
+    plan.set_message_filter(nullptr);
+  });
+  // Manufacture site 1's local-unique durable commit (as if it persisted
+  // a commit whose CommitRequest never reached site 0 before the crash).
+  ASSERT_TRUE(
+      cluster.store_of(1)
+          .append(wal::log_key("d1"),
+                  wal::encode_record(
+                      1, 12345,
+                      {"update d1 change "
+                       "/site/people/person[@id='p2']/phone ::= 888"}))
+          .is_ok());
+
+  ASSERT_TRUE(cluster.restart_site(1).is_ok());
+  EXPECT_EQ(cluster.stats().full_syncs, 1u);
+  // Site 1 holds the union: the peer's compacted commit AND its own.
+  EXPECT_EQ(stored_phone(cluster, 1, "p1"), "777");
+  EXPECT_EQ(stored_phone(cluster, 1, "p2"), "888");
+}
+
+TEST(RecoverySyncTest, CrashMidCheckpointRecoversAndAgrees) {
+  // Manufacture the checkpoint crash windows on a crashed site's store —
+  // a marker appended without its snapshot, plus a torn record append —
+  // then restart and require the replicas to agree.
+  Cluster cluster(fast_options(2));
+  ASSERT_TRUE(cluster.load_document("d1", kPeopleXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+  auto result = cluster.execute_text(
+      0, {"update d1 change /site/people/person[@id='p1']/phone ::= 42"});
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_EQ(result.value().state, TxnState::kCommitted);
+  ASSERT_TRUE(cluster.crash_site(1).is_ok());
+
+  // Crash window 1: checkpoint marker appended, snapshot never written.
+  storage::StorageBackend& store = cluster.store_of(1);
+  ASSERT_TRUE(store
+                  .append(wal::log_key("d1"),
+                          wal::encode_checkpoint(
+                              1, wal::fnv1a("<never-written/>"), {99}))
+                  .is_ok());
+  // Crash window 2: a torn record append behind it.
+  const std::string torn =
+      wal::encode_record(2, 77, {"update d1 change /site/a ::= x"});
+  ASSERT_TRUE(store
+                  .append(wal::log_key("d1"),
+                          torn.substr(0, torn.size() / 2))
+                  .is_ok());
+
+  ASSERT_TRUE(cluster.restart_site(1).is_ok());
+  for (net::SiteId site : {0u, 1u}) {
+    EXPECT_EQ(stored_phone(cluster, site, "p1"), "42") << "site " << site;
+  }
+  auto read = cluster.execute_text(
+      1, {"query d1 /site/people/person[@id='p1']/phone"});
+  ASSERT_TRUE(read.is_ok());
+  ASSERT_EQ(read.value().state, TxnState::kCommitted);
+  EXPECT_EQ(read.value().rows[0][0], "42");
 }
 
 // --- abort taxonomy (regression for the audited defensive default) -----------
@@ -369,6 +484,28 @@ TEST(ChaosRunnerTest, MiniSoakHoldsInvariants) {
   EXPECT_TRUE(report.invariants_ok);
   EXPECT_GT(report.submitted, 0u);
   EXPECT_EQ(report.cluster.unclassified_aborts, 0u);
+}
+
+TEST(ChaosRunnerTest, MiniSoakHoldsInvariantsUnderAggressiveCheckpoints) {
+  // checkpoint_interval=2 keeps a compaction in flight almost every
+  // commit, so crashes land inside and around the checkpoint write
+  // sequence; the replicas must still agree after log-suffix recovery.
+  workload::ChaosOptions options;
+  options.seed = 11;
+  options.sites = 3;
+  options.clients = 3;
+  options.rounds = 2;
+  options.checkpoint_interval = 2;
+  options.traffic_window = std::chrono::milliseconds(100);
+  options.fault_hold = std::chrono::milliseconds(100);
+  options.background_fault.drop_probability = 0.01;
+  options.background_fault.duplicate_probability = 0.01;
+  const workload::ChaosReport report = workload::run_chaos(options);
+  for (const std::string& violation : report.violations) {
+    ADD_FAILURE() << violation;
+  }
+  EXPECT_TRUE(report.invariants_ok);
+  EXPECT_GT(report.submitted, 0u);
 }
 
 }  // namespace

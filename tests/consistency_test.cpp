@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "dtx/cluster.hpp"
+#include "dtx/wal.hpp"
 #include "util/rng.hpp"
 #include "xml/parser.hpp"
 #include "xml/serializer.hpp"
@@ -96,7 +97,7 @@ TEST_P(SerialEquivalence, ClusterMatchesReferenceEngine) {
   cluster.stop();
   const std::string expected = xml::serialize(*reference);
   for (net::SiteId site : {0u, 1u}) {
-    auto stored = cluster.store_of(site).load("d1");
+    auto stored = wal::materialize(cluster.store_of(site), "d1");
     ASSERT_TRUE(stored.is_ok());
     EXPECT_EQ(stored.value(), expected) << "site " << site << " diverged";
   }
@@ -148,7 +149,7 @@ TEST_P(InsertAccounting, CommittedInsertsAllPresentAbortedAbsent) {
   cluster.stop();
 
   for (net::SiteId site : {0u, 1u, 2u}) {
-    auto stored = cluster.store_of(site).load("d1");
+    auto stored = wal::materialize(cluster.store_of(site), "d1");
     ASSERT_TRUE(stored.is_ok());
     auto parsed = xml::parse(stored.value(), "d1");
     ASSERT_TRUE(parsed.is_ok());
@@ -208,7 +209,7 @@ TEST(ConsistencyTest, SingleElementWritersConvergeAcrossReplicas) {
 
   std::string final_value;
   for (net::SiteId site : {0u, 1u}) {
-    auto stored = cluster.store_of(site).load("d1");
+    auto stored = wal::materialize(cluster.store_of(site), "d1");
     ASSERT_TRUE(stored.is_ok());
     auto parsed = xml::parse(stored.value(), "d1");
     ASSERT_TRUE(parsed.is_ok());

@@ -16,6 +16,7 @@
 #include "dtx/cluster.hpp"
 #include "dtx/data_manager.hpp"
 #include "dtx/deadlock_detector.hpp"
+#include "dtx/wal.hpp"
 #include "query/plan.hpp"
 #include "storage/memory_store.hpp"
 #include "xpath/parser.hpp"
@@ -122,11 +123,12 @@ TEST_F(DataManagerTest, UpdateUndoPersistCycle) {
   ASSERT_TRUE(rows.is_ok());
   EXPECT_EQ(rows.value().size(), 1u);
 
-  // Apply again and persist: storage reflects the change. The same
-  // compiled plan is reused across executions.
+  // Apply again and persist: the durable state (checkpoint snapshot +
+  // replayed redo-log tail) reflects the change. The same compiled plan
+  // is reused across executions.
   ASSERT_TRUE(data_->run_update(8, insert).is_ok());
   ASSERT_TRUE(data_->persist(8).is_ok());
-  auto stored = store_.load("d1");
+  auto stored = wal::materialize(store_, "d1");
   ASSERT_TRUE(stored.is_ok());
   EXPECT_NE(stored.value().find("p2"), std::string::npos);
 }
@@ -139,11 +141,126 @@ TEST_F(DataManagerTest, PersistOnlyWritesTouchedDocuments) {
                       "update d2 insert into /catalog ::= <entry id=\"e2\"/>"))
           .is_ok());
   ASSERT_TRUE(data_->persist(9).is_ok());
-  // d2 only: its bytes plus its commit-version sidecar — d1 untouched.
-  EXPECT_EQ(store_.store_count(), count_before + 2);
+  // One O(delta) redo-record append to d2's log — d1 and the document
+  // snapshots untouched.
+  EXPECT_EQ(store_.store_count(), count_before + 1);
   EXPECT_EQ(data_->version_of("d2"), 1u);
   EXPECT_EQ(data_->version_of("d1"), 0u);
-  EXPECT_EQ(DataManager::stored_version(store_, "d2"), 1u);
+  EXPECT_EQ(wal::durable_version(store_, "d2"), 1u);
+  EXPECT_EQ(wal::durable_version(store_, "d1"), 0u);
+}
+
+TEST_F(DataManagerTest, ReplayIsIdempotentAcrossReloads) {
+  // Three commits land three redo records; rebuilding the engine from the
+  // store any number of times must replay to the same state and never
+  // re-persist (reload is a pure read of snapshot + log).
+  for (int i = 0; i < 3; ++i) {
+    const auto txn = static_cast<TxnId>(100 + i);
+    ASSERT_TRUE(
+        data_->run_update(txn, plan_of("update d1 insert into /site/people "
+                                       "::= <person id=\"r" +
+                                       std::to_string(i) + "\"/>"))
+            .is_ok());
+    ASSERT_TRUE(data_->persist(txn).is_ok());
+  }
+  auto first = wal::materialize(store_, "d1");
+  ASSERT_TRUE(first.is_ok());
+  const auto writes_after_commits = store_.store_count();
+  for (int reload = 0; reload < 2; ++reload) {
+    DataManager rebuilt(store_);
+    ASSERT_TRUE(rebuilt.load_all().is_ok());
+    EXPECT_EQ(rebuilt.version_of("d1"), 3u);
+    auto rows =
+        rebuilt.run_query(plan_of("query d1 /site/people/person/@id"));
+    ASSERT_TRUE(rows.is_ok());
+    EXPECT_EQ(rows.value().size(), 4u);  // p1 + r0..r2, applied once each
+  }
+  EXPECT_EQ(store_.store_count(), writes_after_commits);
+  EXPECT_EQ(wal::materialize(store_, "d1").value(), first.value());
+}
+
+TEST_F(DataManagerTest, CheckpointCompactsLogAndRoundTrips) {
+  // checkpoint_interval=2: the second commit flags the compaction, which
+  // runs via run_checkpoints and rewrites snapshot + marker-only log.
+  DataManager data(store_, /*checkpoint_interval=*/2);
+  ASSERT_TRUE(data.load_all().is_ok());
+  std::vector<std::string> due;
+  ASSERT_TRUE(
+      data.run_update(21, plan_of("update d1 insert into /site/people ::= "
+                                  "<person id=\"c1\"/>"))
+          .is_ok());
+  ASSERT_TRUE(data.persist(21, &due).is_ok());
+  EXPECT_TRUE(due.empty());  // below the threshold
+  ASSERT_TRUE(
+      data.run_update(22, plan_of("update d1 insert into /site/people ::= "
+                                  "<person id=\"c2\"/>"))
+          .is_ok());
+  ASSERT_TRUE(data.persist(22, &due).is_ok());
+  ASSERT_EQ(due, (std::vector<std::string>{"d1"}));
+  data.run_checkpoints(due);
+
+  // Snapshot now carries both inserts; the log is exactly one marker
+  // holding the commit-id history.
+  auto snapshot = store_.load("d1");
+  ASSERT_TRUE(snapshot.is_ok());
+  EXPECT_NE(snapshot.value().find("c2"), std::string::npos);
+  auto durable = wal::read_durable_doc(store_, "d1");
+  ASSERT_TRUE(durable.is_ok());
+  EXPECT_EQ(durable.value().checkpoint_version, 2u);
+  EXPECT_TRUE(durable.value().tail.empty());
+  EXPECT_FALSE(durable.value().needs_repair);
+  EXPECT_EQ(durable.value().checkpoint_ids,
+            (std::vector<TxnId>{21, 22}));
+
+  // Post-compaction commits append after the marker; a rebuild replays
+  // checkpoint + tail.
+  ASSERT_TRUE(
+      data.run_update(23, plan_of("update d1 insert into /site/people ::= "
+                                  "<person id=\"c3\"/>"))
+          .is_ok());
+  ASSERT_TRUE(data.persist(23).is_ok());
+  DataManager rebuilt(store_);
+  ASSERT_TRUE(rebuilt.load_all().is_ok());
+  EXPECT_EQ(rebuilt.version_of("d1"), 3u);
+  auto rows = rebuilt.run_query(plan_of("query d1 /site/people/person/@id"));
+  ASSERT_TRUE(rows.is_ok());
+  EXPECT_EQ(rows.value().size(), 4u);
+}
+
+TEST_F(DataManagerTest, CheckpointDeferredWhileAnotherTxnIsLive) {
+  // Snapshots must only ever contain committed state: a due checkpoint is
+  // deferred while any live transaction holds an undo log on the
+  // document, and unblocks when that transaction finishes.
+  DataManager data(store_, /*checkpoint_interval=*/1);
+  ASSERT_TRUE(data.load_all().is_ok());
+  ASSERT_TRUE(
+      data.run_update(31, plan_of("update d1 insert into /site/people ::= "
+                                  "<person id=\"live\"/>"))
+          .is_ok());
+  std::vector<std::string> due;
+  ASSERT_TRUE(
+      data.run_update(30, plan_of("update d1 change "
+                                  "/site/people/person[@id='p1']/name "
+                                  "::= Zed"))
+          .is_ok());
+  ASSERT_TRUE(data.persist(30, &due).is_ok());
+  EXPECT_TRUE(due.empty());  // txn 31 still holds an undo log on d1
+  data.run_checkpoints({"d1"});  // must refuse for the same reason
+  EXPECT_EQ(store_.load("d1").value().find("live"), std::string::npos);
+
+  // Rolling txn 31 back unblocks the deferred compaction — and the
+  // snapshot it writes contains only committed state.
+  data.undo_all(31, &due);
+  ASSERT_EQ(due, (std::vector<std::string>{"d1"}));
+  data.run_checkpoints(due);
+  auto snapshot = store_.load("d1");
+  ASSERT_TRUE(snapshot.is_ok());
+  EXPECT_NE(snapshot.value().find("Zed"), std::string::npos);
+  EXPECT_EQ(snapshot.value().find("live"), std::string::npos);
+  auto durable = wal::read_durable_doc(store_, "d1");
+  ASSERT_TRUE(durable.is_ok());
+  EXPECT_EQ(durable.value().checkpoint_version, 1u);
+  EXPECT_TRUE(durable.value().tail.empty());
 }
 
 TEST_F(DataManagerTest, GuideStaysConsistentThroughUpdates) {
@@ -564,7 +681,7 @@ TEST(StagedEngineTest, MultiWorkerConflictingUpdatesStayConsistent) {
 
   // Every committed insert is present at every replica.
   for (SiteId site = 0; site < 2; ++site) {
-    auto xml_text = cluster.store_of(site).load("d1");
+    auto xml_text = wal::materialize(cluster.store_of(site), "d1");
     ASSERT_TRUE(xml_text.is_ok());
     std::size_t visits = 0;
     std::string::size_type pos = 0;

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "dtx/cluster.hpp"
+#include "dtx/wal.hpp"
 #include "dtx/lock_manager.hpp"
 #include "util/rng.hpp"
 #include "xml/parser.hpp"
@@ -67,7 +68,7 @@ void expect_replicas_consistent(Cluster& cluster) {
   for (const std::string& doc : cluster.catalog().documents()) {
     std::string reference;
     for (net::SiteId site : cluster.catalog().sites_of(doc)) {
-      auto xml_text = cluster.store_of(site).load(doc);
+      auto xml_text = wal::materialize(cluster.store_of(site), doc);
       ASSERT_TRUE(xml_text.is_ok());
       auto parsed = xml::parse(xml_text.value(), doc);
       ASSERT_TRUE(parsed.is_ok());
@@ -124,7 +125,7 @@ TEST(ClusterTest, UpdatePersistsToStorage) {
   EXPECT_EQ(result.value().state, TxnState::kCommitted);
   EXPECT_EQ(result.value().rows[1][0], "Zoe");  // own write visible
   cluster.stop();
-  auto stored = cluster.store_of(0).load("d1");
+  auto stored = wal::materialize(cluster.store_of(0), "d1");
   ASSERT_TRUE(stored.is_ok());
   EXPECT_NE(stored.value().find("Zoe"), std::string::npos);
 }
@@ -147,7 +148,7 @@ TEST(ClusterTest, FailedOperationAbortsAndRollsBack) {
   EXPECT_EQ(check.value().state, TxnState::kCommitted);
   EXPECT_TRUE(check.value().rows[0].empty());
   cluster.stop();
-  auto stored = cluster.store_of(0).load("d1");
+  auto stored = wal::materialize(cluster.store_of(0), "d1");
   EXPECT_EQ(stored.value().find("Zoe"), std::string::npos);
 }
 
@@ -203,7 +204,7 @@ TEST(ClusterTest, DistributedUpdateReachesAllReplicas) {
   EXPECT_EQ(result.value().state, TxnState::kCommitted);
   cluster.stop();
   for (net::SiteId site : {0u, 1u, 2u}) {
-    auto stored = cluster.store_of(site).load("d1");
+    auto stored = wal::materialize(cluster.store_of(site), "d1");
     ASSERT_TRUE(stored.is_ok());
     EXPECT_NE(stored.value().find("999"), std::string::npos)
         << "site " << site << " missed the update";
@@ -238,7 +239,7 @@ TEST(ClusterTest, AbortUndoesAcrossSites) {
   EXPECT_EQ(result.value().state, TxnState::kAborted);
   cluster.stop();
   for (net::SiteId site : {0u, 1u}) {
-    auto stored = cluster.store_of(site).load("d1");
+    auto stored = wal::materialize(cluster.store_of(site), "d1");
     EXPECT_EQ(stored.value().find("px"), std::string::npos)
         << "aborted insert leaked at site " << site;
   }

@@ -5,6 +5,7 @@
 
 #include "dtx/data_manager.hpp"
 #include "dtx/lock_manager.hpp"
+#include "dtx/wal.hpp"
 #include "query/plan.hpp"
 #include "storage/memory_store.hpp"
 #include "xml/parser.hpp"
@@ -193,7 +194,7 @@ TEST_F(LockManagerTest, CommitPersistsToStorage) {
             OpOutcome::Kind::kExecuted);
   std::vector<WakeNotice> wakes;
   ASSERT_TRUE(locks_->commit(1, wakes).is_ok());
-  auto stored = store_.load("d1");
+  auto stored = wal::materialize(store_, "d1");
   ASSERT_TRUE(stored.is_ok());
   EXPECT_NE(stored.value().find("Anna"), std::string::npos);
   EXPECT_EQ(locks_->lock_entries(), 0u);  // Strict 2PL released at commit

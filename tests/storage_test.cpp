@@ -2,11 +2,14 @@
 
 #include <filesystem>
 
+#include "dtx/wal.hpp"
 #include "storage/file_store.hpp"
 #include "storage/memory_store.hpp"
 
 namespace dtx::storage {
 namespace {
+
+namespace wal = core::wal;
 
 namespace fs = std::filesystem;
 
@@ -96,6 +99,200 @@ TYPED_TEST(StorageBackendTest, LargePayloadRoundTrips) {
   big += "</doc>";
   ASSERT_TRUE(this->store_->store("big", big).is_ok());
   EXPECT_EQ(this->store_->load("big").value(), big);
+}
+
+TYPED_TEST(StorageBackendTest, ReadLogOfMissingEntryIsEmpty) {
+  auto log = this->store_->read_log("never-written");
+  ASSERT_TRUE(log.is_ok());
+  EXPECT_TRUE(log.value().empty());
+  // Unlike load(), which reports kNotFound.
+  EXPECT_EQ(this->store_->load("never-written").status().code(),
+            util::Code::kNotFound);
+}
+
+TYPED_TEST(StorageBackendTest, TruncateResetsAndCreates) {
+  ASSERT_TRUE(this->store_->append("log", "abc").is_ok());
+  ASSERT_TRUE(this->store_->truncate("log").is_ok());
+  EXPECT_EQ(this->store_->read_log("log").value(), "");
+  ASSERT_TRUE(this->store_->append("log", "d").is_ok());
+  EXPECT_EQ(this->store_->read_log("log").value(), "d");
+  // Truncating a never-written entry is not an error.
+  EXPECT_TRUE(this->store_->truncate("fresh").is_ok());
+}
+
+// --- WAL framing and crash-window recovery (dtx/wal.hpp) ---------------------
+//
+// Storage-level fault injection: the torn tails and half-finished
+// checkpoints below are byte states a process crash can leave behind; the
+// log framing must resolve every one of them exactly.
+
+class WalFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_.store("d", kBase).is_ok());
+  }
+
+  /// Appends a commit record and returns its encoded bytes.
+  std::string append_record(std::uint64_t version, std::uint64_t txn,
+                            const std::vector<std::string>& ops) {
+    const std::string raw = wal::encode_record(version, txn, ops);
+    EXPECT_TRUE(store_.append(wal::log_key("d"), raw).is_ok());
+    return raw;
+  }
+
+  static constexpr const char* kBase = "<r><a>1</a></r>";
+  MemoryStore store_;
+};
+
+TEST_F(WalFormatTest, RecordAndMarkerRoundTrip) {
+  const std::vector<std::string> ops = {
+      "update d change /r/a ::= 2", "update d insert into /r ::= <b/>"};
+  const std::string raw = wal::encode_record(7, 42, ops) +
+                          wal::encode_checkpoint(7, 123, {40, 41, 42});
+  const wal::LogScan scan = wal::scan_log(raw);
+  ASSERT_EQ(scan.entries.size(), 2u);
+  EXPECT_FALSE(scan.torn);
+  EXPECT_EQ(scan.entries[0].kind, wal::LogEntry::Kind::kRecord);
+  EXPECT_EQ(scan.entries[0].version, 7u);
+  EXPECT_EQ(scan.entries[0].txn, 42u);
+  EXPECT_EQ(scan.entries[0].ops, ops);
+  EXPECT_EQ(scan.entries[1].kind, wal::LogEntry::Kind::kCheckpoint);
+  EXPECT_EQ(scan.entries[1].hash, 123u);
+  EXPECT_EQ(scan.entries[1].ids,
+            (std::vector<lock::TxnId>{40, 41, 42}));
+  // The captured raw spans re-concatenate to the input.
+  EXPECT_EQ(scan.entries[0].raw + scan.entries[1].raw, raw);
+}
+
+TEST_F(WalFormatTest, TornTailIsDetectedAndDropped) {
+  const std::string good =
+      append_record(1, 10, {"update d change /r/a ::= 2"});
+  // A crash mid-append leaves a prefix of the next record.
+  const std::string torn =
+      wal::encode_record(2, 11, {"update d change /r/a ::= 3"});
+  ASSERT_TRUE(
+      store_.append(wal::log_key("d"), torn.substr(0, torn.size() - 4))
+          .is_ok());
+
+  const wal::LogScan scan =
+      wal::scan_log(store_.read_log(wal::log_key("d")).value());
+  EXPECT_TRUE(scan.torn);
+  ASSERT_EQ(scan.entries.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, good.size());
+
+  auto durable = wal::read_durable_doc(store_, "d");
+  ASSERT_TRUE(durable.is_ok());
+  EXPECT_TRUE(durable.value().torn_tail);
+  EXPECT_TRUE(durable.value().needs_repair);
+  EXPECT_EQ(durable.value().version, 1u);  // the valid prefix survives
+  ASSERT_TRUE(wal::repair(store_, "d", durable.value()).is_ok());
+  EXPECT_EQ(store_.read_log(wal::log_key("d")).value(), good);
+  auto again = wal::read_durable_doc(store_, "d");
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_FALSE(again.value().needs_repair);
+}
+
+TEST_F(WalFormatTest, PayloadCorruptionInvalidatesTheFrame) {
+  std::string raw = wal::encode_record(1, 10, {"update d change /r/a ::= 2"});
+  raw[raw.size() - 3] ^= 0x1;  // flip a payload byte under the hash
+  ASSERT_TRUE(store_.append(wal::log_key("d"), raw).is_ok());
+  auto durable = wal::read_durable_doc(store_, "d");
+  ASSERT_TRUE(durable.is_ok());
+  EXPECT_EQ(durable.value().version, 0u);
+  EXPECT_TRUE(durable.value().needs_repair);
+}
+
+TEST_F(WalFormatTest, CrashBetweenMarkerAndSnapshotReplaysTheTail) {
+  // Two commits, then a checkpoint that crashed after the marker append
+  // but before the snapshot store: bytes are still the version-0 base.
+  append_record(1, 10, {"update d change /r/a ::= 2"});
+  append_record(2, 11, {"update d change /r/a ::= 3"});
+  const std::string new_bytes = "<r><a>3</a></r>";
+  ASSERT_TRUE(store_
+                  .append(wal::log_key("d"),
+                          wal::encode_checkpoint(
+                              2, wal::fnv1a(new_bytes), {10, 11}))
+                  .is_ok());
+
+  auto durable = wal::read_durable_doc(store_, "d");
+  ASSERT_TRUE(durable.is_ok());
+  EXPECT_TRUE(durable.value().consistent);
+  EXPECT_EQ(durable.value().checkpoint_version, 0u);  // base unmoved
+  EXPECT_EQ(durable.value().version, 2u);
+  ASSERT_EQ(durable.value().tail.size(), 2u);
+  auto materialized = wal::materialize(store_, "d");
+  ASSERT_TRUE(materialized.is_ok());
+  EXPECT_NE(materialized.value().find(">3<"), std::string::npos);
+  // Repair drops the unfulfilled marker; the records stay.
+  ASSERT_TRUE(wal::repair(store_, "d", durable.value()).is_ok());
+  auto again = wal::read_durable_doc(store_, "d");
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_FALSE(again.value().needs_repair);
+  EXPECT_EQ(again.value().version, 2u);
+}
+
+TEST_F(WalFormatTest, CrashBetweenSnapshotAndCompactionSkipsCoveredRecords) {
+  // The checkpoint wrote marker + snapshot but crashed before compacting:
+  // the log still holds records the snapshot already contains.
+  append_record(1, 10, {"update d change /r/a ::= 2"});
+  const std::string new_bytes = "<r><a>2</a></r>";
+  ASSERT_TRUE(
+      store_
+          .append(wal::log_key("d"),
+                  wal::encode_checkpoint(1, wal::fnv1a(new_bytes), {10}))
+          .is_ok());
+  ASSERT_TRUE(store_.store("d", new_bytes).is_ok());
+
+  auto durable = wal::read_durable_doc(store_, "d");
+  ASSERT_TRUE(durable.is_ok());
+  EXPECT_EQ(durable.value().checkpoint_version, 1u);
+  EXPECT_EQ(durable.value().version, 1u);
+  EXPECT_TRUE(durable.value().tail.empty());  // record 1 is in the bytes
+  EXPECT_EQ(durable.value().checkpoint_ids, (std::vector<lock::TxnId>{10}));
+  EXPECT_TRUE(durable.value().needs_repair);
+  ASSERT_TRUE(wal::repair(store_, "d", durable.value()).is_ok());
+  // Compacted down to exactly the marker.
+  EXPECT_EQ(store_.read_log(wal::log_key("d")).value(),
+            durable.value().marker_raw);
+  auto materialized = wal::materialize(store_, "d");
+  ASSERT_TRUE(materialized.is_ok());
+  EXPECT_NE(materialized.value().find(">2<"), std::string::npos);
+}
+
+TEST_F(WalFormatTest, RecordsAfterACompletedCheckpointReplay) {
+  // Full checkpoint at v1, then two more commits: replay starts at the
+  // marker, not the base.
+  append_record(1, 10, {"update d change /r/a ::= 2"});
+  const std::string snap = "<r><a>2</a></r>";
+  const std::string marker =
+      wal::encode_checkpoint(1, wal::fnv1a(snap), {10});
+  ASSERT_TRUE(store_.store("d", snap).is_ok());
+  ASSERT_TRUE(store_.store(wal::log_key("d"), marker).is_ok());
+  append_record(2, 11, {"update d change /r/a ::= 3"});
+  append_record(3, 12, {"update d insert into /r ::= <b>x</b>"});
+
+  auto durable = wal::read_durable_doc(store_, "d");
+  ASSERT_TRUE(durable.is_ok());
+  EXPECT_FALSE(durable.value().needs_repair);
+  EXPECT_EQ(durable.value().checkpoint_version, 1u);
+  EXPECT_EQ(durable.value().version, 3u);
+  ASSERT_EQ(durable.value().tail.size(), 2u);
+  auto materialized = wal::materialize(store_, "d");
+  ASSERT_TRUE(materialized.is_ok());
+  EXPECT_NE(materialized.value().find(">3<"), std::string::npos);
+  EXPECT_NE(materialized.value().find("<b>x</b>"), std::string::npos);
+}
+
+TEST_F(WalFormatTest, VersionGapStopsTheTail) {
+  append_record(1, 10, {"update d change /r/a ::= 2"});
+  append_record(3, 12, {"update d change /r/a ::= 9"});  // 2 is missing
+  auto durable = wal::read_durable_doc(store_, "d");
+  ASSERT_TRUE(durable.is_ok());
+  EXPECT_EQ(durable.value().version, 1u);
+  EXPECT_TRUE(durable.value().needs_repair);
+  auto materialized = wal::materialize(store_, "d");
+  ASSERT_TRUE(materialized.is_ok());
+  EXPECT_NE(materialized.value().find(">2<"), std::string::npos);
 }
 
 TEST(MemoryStoreTest, StoreCountTracksPersists) {
