@@ -42,6 +42,11 @@ int main(int argc, char** argv) {
   options.checkpoint_interval = static_cast<std::size_t>(flags.get_int(
       "checkpoint_interval",
       static_cast<std::int64_t>(options.checkpoint_interval)));
+  // Read-heavy mixes (--read_pct=80) soak the MVCC snapshot path across
+  // crash / recovery; every read-only transaction doubles as a torn-read
+  // probe (see ChaosOptions::read_fraction).
+  options.read_fraction = flags.get_double("read_pct", 20.0) / 100.0;
+  options.snapshot_reads = flags.get_int("snapshot_reads", 1) != 0;
 
   const workload::ChaosReport report = workload::run_chaos(options);
   for (const std::string& violation : report.violations) {

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
       const ExperimentResult result = run_experiment(config);
       print_row(std::to_string(pct) + "%",
                 lock::protocol_kind_name(protocol), result);
+      print_json_row("fig10_update_pct", config, result);
     }
   }
   return 0;

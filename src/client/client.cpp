@@ -100,6 +100,14 @@ SiteId Session::route_impl(const PreparedTxn& txn, bool advance_cursor) const {
                                  : client_.round_robin_.load();
     return static_cast<SiteId>(at % client_.cluster_.site_count());
   };
+  if (options_.read_only_affinity &&
+      options_.routing.kind != RoutingPolicy::Kind::kCatalogAffinity &&
+      txn.read_only()) {
+    bool resolved = false;
+    const SiteId site = affinity_site(client_.cluster_, txn, &resolved);
+    if (resolved) return site;
+    // Unknown documents: fall through to the configured policy.
+  }
   switch (options_.routing.kind) {
     case RoutingPolicy::Kind::kExplicit:
       return options_.routing.site;

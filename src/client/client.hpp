@@ -91,6 +91,12 @@ struct SessionOptions {
   /// On expiry execute() returns util::Code::kTimeout; the transaction
   /// keeps running in the cluster.
   std::chrono::microseconds await_timeout{0};
+  /// Route *read-only* transactions by catalog affinity regardless of the
+  /// routing policy. A read-only transaction coordinated at a site hosting
+  /// its documents is served from that site's MVCC snapshots in a single
+  /// local round — no ExecuteOperation / SnapshotReadRequest fan-out at
+  /// all. Update transactions keep the configured policy.
+  bool read_only_affinity = false;
 };
 
 /// Future-like handle on one submitted transaction.

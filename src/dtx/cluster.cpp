@@ -281,6 +281,8 @@ ClusterStats Cluster::stats() {
     out.restarts += s.restarts;
     out.unclassified_aborts += s.unclassified_aborts;
     out.plan_cache.merge(s.plan_cache);
+    out.snapshot_txns += s.snapshot_txns;
+    out.snapshots.merge(s.snapshots);
     out.response_ms.merge(s.response_ms);
   }
   out.log_suffix_syncs = log_suffix_syncs_.load(std::memory_order_relaxed);

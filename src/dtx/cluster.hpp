@@ -57,6 +57,12 @@ struct ClusterStats {
   net::FaultStats faults;
   /// Plan-cache counters summed over all sites (compiled-operation reuse).
   query::PlanCacheStats plan_cache;
+  /// Read-only transactions served by the MVCC snapshot path (no locks, no
+  /// wait-for entries, no 2PC), summed over all coordinators.
+  std::uint64_t snapshot_txns = 0;
+  /// Snapshot-store counters summed over all sites; the byte gauges add up
+  /// to the cluster-wide version-chain memory (see dtx/snapshot_store.hpp).
+  SnapshotStats snapshots;
   /// Client-observed response times across all sites (every terminated
   /// transaction); percentile() gives p50/p95/p99.
   util::Histogram response_ms;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "dtx/snapshot_read.hpp"
 #include "util/log.hpp"
 
 namespace dtx::core {
@@ -41,7 +42,11 @@ void Coordinator::run() {
       if (next->completed() || next->state() != TxnState::kActive) continue;
       ctx_.executing.insert(next->id());
     }
-    execute_one_operation(next);
+    if (ctx_.options.snapshot_reads && next->read_only()) {
+      execute_snapshot(next);
+    } else {
+      execute_one_operation(next);
+    }
   }
 }
 
@@ -108,6 +113,120 @@ void Coordinator::execute_one_operation(const TransactionPtr& txn) {
   } else {
     execute_remote(txn, op_index, sites);
   }
+}
+
+void Coordinator::execute_snapshot(const TransactionPtr& txn) {
+  // The snapshot path never touches the LockManager and never populates
+  // txn->sites(), so every exit is a bare finish_transaction: there are no
+  // locks to release, no undo logs, no abort fan-out, no durable outcome
+  // record needed (nothing a crash could leave half-applied).
+  //
+  // Operations are grouped per serving site — the local site whenever it
+  // hosts the document, else the lowest-id replica — and each site
+  // evaluates its whole group against one consistent cut, so a
+  // transaction's view is consistent per serving site (the per-replica
+  // version semantics of dtx/wal.hpp; cross-site cuts are independent).
+  std::map<SiteId, net::SnapshotReadRequest> groups;
+  for (std::size_t i = 0; i < txn->op_count(); ++i) {
+    const txn::Operation& op = txn->ops()[i];
+    txn::OperationState& state = txn->state_of(i);
+    ++state.attempts;
+    const std::vector<SiteId> sites = ctx_.catalog.sites_of(op.doc);
+    if (sites.empty()) {
+      state.failed = true;
+      state.reason = txn::AbortReason::kParseError;
+      state.error = "document '" + op.doc + "' is not in the catalog";
+      txn->set_abort_reason(txn::AbortReason::kParseError);
+      finish_transaction(txn, TxnState::kAborted);
+      return;
+    }
+    const bool local =
+        std::find(sites.begin(), sites.end(), ctx_.options.id) != sites.end();
+    net::SnapshotReadRequest& request =
+        groups[local ? ctx_.options.id : sites.front()];
+    request.txn = txn->id();
+    request.coordinator = ctx_.options.id;
+    request.op_indices.push_back(static_cast<std::uint32_t>(i));
+    request.ops.push_back(op);
+  }
+
+  std::set<SiteId> remote;
+  for (const auto& [site, request] : groups) {
+    (void)request;
+    if (site != ctx_.options.id) remote.insert(site);
+  }
+  if (!remote.empty()) {
+    std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
+    ctx_.snapshot_replies[txn->id()].clear();
+  }
+  for (const auto& [site, request] : groups) {
+    if (site != ctx_.options.id) ctx_.send(site, request);
+  }
+
+  // Serve the local group inline while remote sites work in parallel.
+  std::vector<net::SnapshotReadReply> replies;
+  const auto local_group = groups.find(ctx_.options.id);
+  if (local_group != groups.end()) {
+    replies.push_back(serve_snapshot_read(ctx_, txn->id(),
+                                          local_group->second.op_indices,
+                                          local_group->second.ops));
+  }
+  if (!remote.empty()) {
+    std::map<SiteId, net::SnapshotReadReply> collected =
+        await_snapshot_replies(txn->id(), remote);
+    {
+      std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
+      ctx_.snapshot_replies.erase(txn->id());
+    }
+    if (!ctx_.running.load()) return;  // halt() completes the txn
+    if (collected.size() != remote.size()) {
+      txn->set_abort_reason(txn::AbortReason::kSiteFailure);
+      for (const auto& [site, request] : groups) {
+        if (site != ctx_.options.id && collected.count(site) == 0) {
+          txn::OperationState& state =
+              txn->state_of(request.op_indices.front());
+          state.failed = true;
+          state.reason = txn::AbortReason::kSiteFailure;
+          state.error = "snapshot-read timeout (site " +
+                        std::to_string(site) + ")";
+          break;
+        }
+      }
+      finish_transaction(txn, TxnState::kAborted);
+      return;
+    }
+    for (auto& [site, reply] : collected) {
+      (void)site;
+      replies.push_back(std::move(reply));
+    }
+  }
+
+  for (net::SnapshotReadReply& reply : replies) {
+    if (!reply.ok) {
+      const txn::AbortReason reason = reply.reason != txn::AbortReason::kNone
+                                          ? reply.reason
+                                          : txn::AbortReason::kSiteFailure;
+      txn->set_abort_reason(reason);
+      if (!reply.op_indices.empty()) {
+        txn::OperationState& state = txn->state_of(reply.op_indices.front());
+        state.failed = true;
+        state.reason = reason;
+        state.error = std::move(reply.error);
+      }
+      finish_transaction(txn, TxnState::kAborted);
+      return;
+    }
+    for (std::size_t k = 0; k < reply.op_indices.size(); ++k) {
+      txn::OperationState& state = txn->state_of(reply.op_indices[k]);
+      state.executed = true;
+      state.rows = std::move(reply.rows[k]);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    ++ctx_.stats.snapshot_txns;
+  }
+  finish_transaction(txn, TxnState::kCommitted);
 }
 
 void Coordinator::execute_local(const TransactionPtr& txn,
@@ -329,6 +448,21 @@ std::map<SiteId, bool> Coordinator::await_acks(TxnId txn,
       return it->second.acks;
     }
     ctx_.ack_cv.wait_until(lock, deadline);
+  }
+}
+
+std::map<SiteId, net::SnapshotReadReply> Coordinator::await_snapshot_replies(
+    TxnId txn, const std::set<SiteId>& expected) {
+  const auto deadline = Clock::now() + ctx_.options.response_timeout;
+  std::unique_lock<std::mutex> lock(ctx_.resp_mutex);
+  for (;;) {
+    const auto it = ctx_.snapshot_replies.find(txn);
+    if (it == ctx_.snapshot_replies.end()) return {};
+    if (it->second.size() >= expected.size()) return it->second;
+    if (!ctx_.running.load() || Clock::now() >= deadline) {
+      return it->second;  // partial (timeout / shutdown)
+    }
+    ctx_.resp_cv.wait_until(lock, deadline);
   }
 }
 

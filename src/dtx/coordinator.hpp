@@ -39,6 +39,14 @@ class Coordinator {
   void retry_overdue_waiters();
 
   void execute_one_operation(const TransactionPtr& txn);
+
+  /// MVCC fast path for read-only transactions: every operation is a
+  /// query, so the whole transaction executes in one round against
+  /// versioned snapshots — zero locks, zero wait-for entries, no 2PC
+  /// (nothing was written anywhere, so commit is trivial and abort
+  /// requires no remote cleanup). See dtx/snapshot_store.hpp.
+  void execute_snapshot(const TransactionPtr& txn);
+
   void execute_local(const TransactionPtr& txn, std::size_t op_index);
   void execute_remote(const TransactionPtr& txn, std::size_t op_index,
                       const std::vector<SiteId>& sites);
@@ -70,6 +78,11 @@ class Coordinator {
   std::map<SiteId, bool> await_acks(lock::TxnId txn,
                                     const std::set<SiteId>& expected,
                                     bool commit);
+
+  /// Blocks until every serving site answered the snapshot read or the
+  /// response timeout elapsed. Returns the replies collected.
+  std::map<SiteId, net::SnapshotReadReply> await_snapshot_replies(
+      lock::TxnId txn, const std::set<SiteId>& expected);
 
   SiteContext& ctx_;
 };

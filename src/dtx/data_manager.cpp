@@ -1,5 +1,6 @@
 #include "dtx/data_manager.hpp"
 
+#include "dtx/snapshot_store.hpp"
 #include "util/log.hpp"
 #include "xml/parser.hpp"
 #include "xml/serializer.hpp"
@@ -14,10 +15,12 @@ using util::Status;
 
 DataManager::DataManager(storage::StorageBackend& store,
                          std::size_t checkpoint_interval,
-                         std::size_t checkpoint_log_bytes)
+                         std::size_t checkpoint_log_bytes,
+                         SnapshotStore* snapshots)
     : store_(store),
       checkpoint_interval_(checkpoint_interval),
-      checkpoint_log_bytes_(checkpoint_log_bytes) {}
+      checkpoint_log_bytes_(checkpoint_log_bytes),
+      snapshots_(snapshots) {}
 
 bool DataManager::is_internal_key(const std::string& name) {
   for (const char* suffix : {".~log", ".~v"}) {
@@ -75,6 +78,9 @@ Status DataManager::load_all() {
     DocEntry& loaded = it->second;
     note_checkpoint_policy(name, loaded, nullptr);
     if (loaded.checkpoint_pending) checkpoint_doc(name, loaded);
+    if (snapshots_ != nullptr) {
+      snapshots_->register_doc(name, loaded.version);
+    }
   }
   return Status::ok();
 }
@@ -194,6 +200,10 @@ Status DataManager::persist(TxnId txn,
                             std::vector<std::string>* checkpoint_due) {
   const auto docs_it = docs_of_txn_.find(txn);
   if (docs_it == docs_of_txn_.end()) return Status::ok();
+  // The transaction's committed deltas, published into the MVCC layer in
+  // one atomic batch after the appends — snapshot cuts either see all of
+  // this commit or none of it.
+  std::vector<SnapshotStore::Delta> published;
   for (const std::string& doc : docs_it->second) {
     const auto state_it = txn_states_.find({txn, doc});
     if (state_it == txn_states_.end()) continue;
@@ -206,12 +216,22 @@ Status DataManager::persist(TxnId txn,
       const std::string record =
           wal::encode_record(entry->version + 1, txn, state.redo);
       Status appended = store_.append(wal::log_key(doc), record);
-      if (!appended) return appended;
+      if (!appended) {
+        // Publish what was durably appended so far: those versions exist.
+        if (snapshots_ != nullptr && !published.empty()) {
+          snapshots_->publish(std::move(published));
+        }
+        return appended;
+      }
       ++entry->version;
       entry->history.push_back(txn);
       entry->log_ops += state.redo.size();
       entry->log_bytes += record.size();
       note_checkpoint_policy(doc, *entry, nullptr);
+      if (snapshots_ != nullptr && snapshots_->enabled()) {
+        published.push_back(
+            SnapshotStore::Delta{doc, entry->version, state.redo});
+      }
     }
     if (entry != nullptr) state.undo.commit(*entry->document);
     txn_states_.erase(state_it);
@@ -225,6 +245,9 @@ Status DataManager::persist(TxnId txn,
     }
   }
   docs_of_txn_.erase(docs_it);
+  if (snapshots_ != nullptr && !published.empty()) {
+    snapshots_->publish(std::move(published));
+  }
   return Status::ok();
 }
 
@@ -276,6 +299,9 @@ void DataManager::checkpoint_doc(const std::string& doc, DocEntry& entry) {
   entry.checkpoint_pending = false;
   entry.log_ops = 0;
   entry.log_bytes = 0;
+  if (snapshots_ != nullptr) {
+    snapshots_->on_checkpoint(doc, entry.version);
+  }
 }
 
 std::size_t DataManager::total_nodes() const {

@@ -49,15 +49,21 @@ namespace dtx::core {
 
 using lock::TxnId;
 
+class SnapshotStore;
+
 class DataManager {
  public:
   /// `checkpoint_interval` / `checkpoint_log_bytes`: compact a document's
   /// redo log into a fresh snapshot after this many logged update
   /// operations / appended log bytes (0 disables that trigger; both 0 =
-  /// never checkpoint, recovery replays the whole log).
+  /// never checkpoint, recovery replays the whole log). `snapshots`, when
+  /// given, is the site's MVCC read layer: persist publishes every
+  /// committed delta into it and checkpoints prune its version chains
+  /// (dtx/snapshot_store.hpp).
   explicit DataManager(storage::StorageBackend& store,
                        std::size_t checkpoint_interval = 64,
-                       std::size_t checkpoint_log_bytes = 1 << 20);
+                       std::size_t checkpoint_log_bytes = 1 << 20,
+                       SnapshotStore* snapshots = nullptr);
 
   /// True for internal store keys (redo logs, the commit log, legacy
   /// version sidecars) — skipped by load_all / replica diffs.
@@ -171,6 +177,7 @@ class DataManager {
   storage::StorageBackend& store_;
   const std::size_t checkpoint_interval_;
   const std::size_t checkpoint_log_bytes_;
+  SnapshotStore* const snapshots_;  ///< MVCC read layer; may be null
   std::map<std::string, DocEntry> documents_;
   std::uint64_t next_scope_ = 1;
   std::map<std::pair<TxnId, std::string>, TxnDocState> txn_states_;

@@ -27,6 +27,13 @@ std::string describe_site(Site& site) {
       << " misses=" << stats.plan_cache.misses
       << " evictions=" << stats.plan_cache.evictions
       << " entries=" << stats.plan_cache.entries << "\n";
+  out << "  mvcc: snapshot_txns=" << stats.snapshot_txns
+      << " views=" << stats.snapshots.reads
+      << " chain_hits=" << stats.snapshots.chain_hits
+      << " clones=" << stats.snapshots.clones
+      << " materializes=" << stats.snapshots.materializes
+      << " cut_retries=" << stats.snapshots.cut_retries
+      << " chain_bytes_peak=" << stats.snapshots.chain_bytes_peak << "\n";
   const auto& table = site.lock_manager().table();
   if (table.shard_count() > 1) {
     out << "  lock shards (" << table.shard_count() << "):";

@@ -34,6 +34,14 @@
 // a waiter's conflict detection and its wake subscription, losing that wake.
 // The scheduler's retry backstop (SiteOptions::retry_interval) bounds the
 // resulting stall; correctness is unaffected.
+//
+// MVCC bypass: read-only transactions never reach this class at all. The
+// coordinator routes them to the snapshot path (dtx/snapshot_store.hpp),
+// which serves immutable versioned trees published at commit — no lock-set
+// computation, no table entries, no wait-for edges, so a read-only
+// transaction can neither block an update nor appear in a deadlock cycle.
+// Everything below concerns update transactions (and read-only ones only
+// when SiteOptions::snapshot_reads is off).
 #pragma once
 
 #include <atomic>

@@ -1,5 +1,6 @@
 #include "dtx/participant.hpp"
 
+#include "dtx/snapshot_read.hpp"
 #include "util/log.hpp"
 
 namespace dtx::core {
@@ -15,6 +16,7 @@ lock::TxnId request_txn(const Message& message) {
       [](const auto& payload) -> lock::TxnId {
         using T = std::decay_t<decltype(payload)>;
         if constexpr (std::is_same_v<T, net::ExecuteOperation> ||
+                      std::is_same_v<T, net::SnapshotReadRequest> ||
                       std::is_same_v<T, net::UndoOperation> ||
                       std::is_same_v<T, net::CommitRequest> ||
                       std::is_same_v<T, net::AbortRequest> ||
@@ -63,6 +65,8 @@ void Participant::run() {
           using T = std::decay_t<decltype(payload)>;
           if constexpr (std::is_same_v<T, net::ExecuteOperation>) {
             handle_execute(payload);
+          } else if constexpr (std::is_same_v<T, net::SnapshotReadRequest>) {
+            handle_snapshot_read(payload);
           } else if constexpr (std::is_same_v<T, net::UndoOperation>) {
             handle_undo(payload);
           } else if constexpr (std::is_same_v<T, net::CommitRequest>) {
@@ -82,6 +86,15 @@ void Participant::run() {
     }
     ctx_.part_cv.notify_all();
   }
+}
+
+void Participant::handle_snapshot_read(const net::SnapshotReadRequest& request) {
+  // No remote_txns entry and no reply cache: the read leaves no state at
+  // this site, so there is nothing for a lost reply to double-apply — the
+  // coordinator simply times out and aborts (retryable, kSiteFailure).
+  ctx_.send(request.coordinator,
+            serve_snapshot_read(ctx_, request.txn, request.op_indices,
+                                request.ops));
 }
 
 void Participant::handle_execute(const net::ExecuteOperation& request) {

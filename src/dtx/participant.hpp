@@ -26,6 +26,11 @@ class Participant {
 
  private:
   void handle_execute(const net::ExecuteOperation& request);
+  /// MVCC serving path: evaluates a read-only transaction's queries
+  /// against this site's versioned snapshots. Stateless single round — no
+  /// locks, no undo logs, no remote-transaction tracking, so the orphan
+  /// sweep and the commit/abort fan-out never see these transactions.
+  void handle_snapshot_read(const net::SnapshotReadRequest& request);
   void handle_undo(const net::UndoOperation& request);
   void handle_commit(const net::CommitRequest& request, SiteId from);
   void handle_abort(const net::AbortRequest& request, SiteId from);

@@ -108,6 +108,7 @@ void Site::wipe_volatile_state() {
   {
     std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
     ctx_.responses.clear();
+    ctx_.snapshot_replies.clear();
   }
   {
     std::lock_guard<std::mutex> lock(ctx_.ack_mutex);
@@ -181,6 +182,7 @@ SiteStats Site::stats() {
   SiteStats out = ctx_.stats;
   out.lock_manager = ctx_.locks().stats();
   out.plan_cache = ctx_.plans().stats();
+  out.snapshots = ctx_.snaps().stats();
   out.distributed_cycles_found = ctx_.detector.cycles_found();
   return out;
 }
@@ -201,6 +203,7 @@ void Site::dispatcher_loop() {
           [&](auto&& payload) {
             using T = std::decay_t<decltype(payload)>;
             if constexpr (std::is_same_v<T, net::ExecuteOperation> ||
+                          std::is_same_v<T, net::SnapshotReadRequest> ||
                           std::is_same_v<T, net::UndoOperation> ||
                           std::is_same_v<T, net::CommitRequest> ||
                           std::is_same_v<T, net::AbortRequest> ||
@@ -219,6 +222,15 @@ void Site::dispatcher_loop() {
                 if (it != ctx_.responses.end() &&
                     it->second.attempt == payload.attempt) {
                   it->second.replies[m.from] = std::move(payload);
+                }
+              }
+              ctx_.resp_cv.notify_all();
+            } else if constexpr (std::is_same_v<T, net::SnapshotReadReply>) {
+              {
+                std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
+                const auto it = ctx_.snapshot_replies.find(payload.txn);
+                if (it != ctx_.snapshot_replies.end()) {
+                  it->second[m.from] = std::move(payload);
                 }
               }
               ctx_.resp_cv.notify_all();

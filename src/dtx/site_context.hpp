@@ -34,6 +34,7 @@
 #include "dtx/data_manager.hpp"
 #include "dtx/deadlock_detector.hpp"
 #include "dtx/lock_manager.hpp"
+#include "dtx/snapshot_store.hpp"
 #include "net/sim_network.hpp"
 #include "query/plan_cache.hpp"
 #include "storage/storage.hpp"
@@ -106,6 +107,19 @@ struct SiteOptions {
   std::chrono::microseconds orphan_txn_timeout{30'000'000};
   /// Unanswered status probes before presuming abort.
   std::uint32_t orphan_query_limit = 3;
+  /// MVCC snapshot reads (dtx/snapshot_store.hpp): read-only transactions
+  /// are served from versioned document snapshots — zero locks, zero
+  /// wait-for entries, no 2PC round. false = the locked baseline (read-only
+  /// transactions take the normal Alg. 1 path); the ablation bench flips
+  /// this.
+  bool snapshot_reads = true;
+  /// Per-document version-chain bound: how many committed deltas stay in
+  /// memory for advancing cached snapshot trees (0 = unlimited). Targets
+  /// that age out fall back to wal::materialize_at.
+  std::size_t snapshot_chain_depth = 32;
+  /// Byte bound on the total delta text of one document's chain
+  /// (0 = unlimited).
+  std::size_t snapshot_chain_bytes = 1 << 22;
   /// Mailbox / queue poll granularity.
   std::chrono::microseconds poll_interval{2'000};
 };
@@ -131,9 +145,15 @@ struct SiteStats {
   /// finish_transaction; audited to be unreachable — see the regression
   /// test in chaos_test.cpp).
   std::uint64_t unclassified_aborts = 0;
+  /// Read-only transactions this coordinator served via the MVCC
+  /// snapshot-read path (they also count in `committed`).
+  std::uint64_t snapshot_txns = 0;
   LockManagerStats lock_manager;
   /// Site plan-cache counters (hits / misses / evictions / entries).
   query::PlanCacheStats plan_cache;
+  /// MVCC snapshot-store counters (views served, chain hits vs
+  /// materialize fallbacks, chain memory high-water).
+  SnapshotStats snapshots;
   /// Client-observed response time of every transaction coordinated here
   /// (committed and aborted), recorded at completion.
   util::Histogram response_ms;
@@ -163,10 +183,16 @@ struct SiteContext {
   storage::StorageBackend& store;
 
   /// Wipes and reconstructs the crash-volatile engine components. Only
-  /// valid while no worker thread is running (construction, restart).
+  /// valid while no worker thread is running (construction, restart). The
+  /// SnapshotStore is built first: DataManager::load_all registers every
+  /// recovered document into it and persist publishes committed deltas.
   void rebuild_engine() {
+    snaps_ = std::make_unique<SnapshotStore>(
+        store, options.snapshot_reads, options.snapshot_chain_depth,
+        options.snapshot_chain_bytes);
     data_ = std::make_unique<DataManager>(store, options.checkpoint_interval,
-                                          options.checkpoint_log_bytes);
+                                          options.checkpoint_log_bytes,
+                                          snaps_.get());
     locks_ = std::make_unique<LockManager>(options.protocol, *data_,
                                            options.lock_shards);
     plans_ = std::make_unique<query::PlanCache>(options.plan_cache_capacity,
@@ -176,6 +202,7 @@ struct SiteContext {
   [[nodiscard]] DataManager& data() noexcept { return *data_; }
   [[nodiscard]] LockManager& locks() noexcept { return *locks_; }
   [[nodiscard]] query::PlanCache& plans() noexcept { return *plans_; }
+  [[nodiscard]] SnapshotStore& snaps() noexcept { return *snaps_; }
 
   DeadlockDetector detector;
 
@@ -282,6 +309,11 @@ struct SiteContext {
   std::mutex resp_mutex;
   std::condition_variable resp_cv;
   std::map<std::pair<lock::TxnId, std::uint32_t>, ResponseSlot> responses;
+  /// Snapshot-read reply collection (also resp_mutex / resp_cv): one slot
+  /// per in-flight read-only transaction, filled by the dispatcher with
+  /// each serving site's SnapshotReadReply.
+  std::map<lock::TxnId, std::map<SiteId, net::SnapshotReadReply>>
+      snapshot_replies;
 
   // --- commit / abort ack collection (ack_mutex) ------------------------------
   struct AckSlot {
@@ -308,6 +340,7 @@ struct SiteContext {
   }
 
  private:
+  std::unique_ptr<SnapshotStore> snaps_;
   std::unique_ptr<DataManager> data_;
   std::unique_ptr<LockManager> locks_;
   std::unique_ptr<query::PlanCache> plans_;

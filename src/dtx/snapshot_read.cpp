@@ -1,0 +1,60 @@
+#include "dtx/snapshot_read.hpp"
+
+#include <algorithm>
+
+#include "xpath/evaluator.hpp"
+
+namespace dtx::core {
+
+net::SnapshotReadReply serve_snapshot_read(
+    SiteContext& ctx, lock::TxnId txn,
+    const std::vector<std::uint32_t>& op_indices,
+    const std::vector<txn::Operation>& ops) {
+  net::SnapshotReadReply reply;
+  reply.txn = txn;
+  reply.op_indices = op_indices;
+
+  // Compile every query first (plan-cache hit in the steady state) and
+  // collect the distinct documents of the cut.
+  std::vector<query::PlanPtr> plans;
+  plans.reserve(ops.size());
+  std::vector<std::string> docs;
+  for (const txn::Operation& op : ops) {
+    if (op.is_update()) {
+      reply.reason = txn::AbortReason::kParseError;
+      reply.error = "snapshot read carries an update operation";
+      return reply;
+    }
+    auto plan = ctx.plans().resolve(op);
+    if (!plan) {
+      reply.reason = txn::AbortReason::kParseError;
+      reply.error = plan.status().to_string();
+      return reply;
+    }
+    if (std::find(docs.begin(), docs.end(), op.doc) == docs.end()) {
+      docs.push_back(op.doc);
+    }
+    plans.push_back(std::move(plan).value());
+  }
+
+  auto cut = ctx.snaps().snapshot(docs);
+  if (!cut) {
+    // Unknown document matches the locked path's taxonomy (kParseError);
+    // anything else — e.g. a cut that lost the checkpoint race three
+    // times — is transient and retryable.
+    reply.reason = cut.status().code() == util::Code::kNotFound
+                       ? txn::AbortReason::kParseError
+                       : txn::AbortReason::kSiteFailure;
+    reply.error = cut.status().to_string();
+    return reply;
+  }
+  reply.rows.reserve(plans.size());
+  for (const query::PlanPtr& plan : plans) {
+    const SnapshotStore::DocView& view = cut.value().at(plan->doc());
+    reply.rows.push_back(xpath::evaluate_strings(plan->query(), *view.tree));
+  }
+  reply.ok = true;
+  return reply;
+}
+
+}  // namespace dtx::core

@@ -1,0 +1,21 @@
+// Site-side execution of one snapshot-read request: resolve the query
+// plans through the site plan cache, capture one consistent cut from the
+// SnapshotStore and evaluate every query against the immutable trees.
+// Zero LockManager involvement — no locks, no wait-for entries, no undo
+// logs. Shared by the Participant handler (remote serving) and the
+// Coordinator's local snapshot path, so both execute identically.
+#pragma once
+
+#include "dtx/site_context.hpp"
+
+namespace dtx::core {
+
+/// Serves `ops` (all queries, positions `op_indices` in transaction `txn`)
+/// against this site's versioned snapshots. Never throws; failures come
+/// back as `ok = false` with a typed reason.
+[[nodiscard]] net::SnapshotReadReply serve_snapshot_read(
+    SiteContext& ctx, lock::TxnId txn,
+    const std::vector<std::uint32_t>& op_indices,
+    const std::vector<txn::Operation>& ops);
+
+}  // namespace dtx::core

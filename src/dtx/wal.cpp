@@ -295,6 +295,39 @@ Result<std::string> materialize(storage::StorageBackend& store,
   return xml::serialize(*document.value());
 }
 
+Result<std::unique_ptr<xml::Document>> replay_to(const DurableDoc& durable,
+                                                 std::uint64_t version,
+                                                 const std::string& doc) {
+  if (durable.checkpoint_version > version || durable.version < version) {
+    return Status(Code::kNotFound,
+                  "version " + std::to_string(version) + " of '" + doc +
+                      "' is not durable (checkpoint v" +
+                      std::to_string(durable.checkpoint_version) + ", head v" +
+                      std::to_string(durable.version) + ")");
+  }
+  auto document = xml::parse(durable.snapshot, doc);
+  if (!document) return document.status();
+  // The tail is contiguous from checkpoint_version + 1, so the prefix that
+  // replays to `version` is exactly its first version - checkpoint_version
+  // records.
+  const auto count =
+      static_cast<std::size_t>(version - durable.checkpoint_version);
+  const std::vector<LogEntry> prefix(durable.tail.begin(),
+                                     durable.tail.begin() +
+                                         static_cast<std::ptrdiff_t>(count));
+  Status applied = apply_records(prefix, *document.value(), nullptr, doc);
+  if (!applied) return applied;
+  return document;
+}
+
+Result<std::unique_ptr<xml::Document>> materialize_at(
+    storage::StorageBackend& store, const std::string& doc,
+    std::uint64_t version) {
+  auto durable = read_durable_doc(store, doc);
+  if (!durable) return durable.status();
+  return replay_to(durable.value(), version, doc);
+}
+
 std::uint64_t durable_version(storage::StorageBackend& store,
                               const std::string& doc) {
   auto durable = read_durable_doc(store, doc);

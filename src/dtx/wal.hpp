@@ -168,6 +168,22 @@ util::Status apply_records(const std::vector<LogEntry>& records,
 [[nodiscard]] util::Result<std::string> materialize(
     storage::StorageBackend& store, const std::string& doc);
 
+/// Like replay(), but stops at commit `version`: parses the snapshot and
+/// replays only the tail records at or below it — the document exactly as
+/// it stood after that commit. kNotFound when the state is no longer
+/// durable: a checkpoint compacted past `version`, or `version` is ahead
+/// of the log head (stale read of a live log).
+[[nodiscard]] util::Result<std::unique_ptr<xml::Document>> replay_to(
+    const DurableDoc& durable, std::uint64_t version, const std::string& doc);
+
+/// One historical committed version rebuilt from the store: snapshot +
+/// replayed records up to `version`. The MVCC fallback for snapshot reads
+/// whose target aged out of the in-memory version chain
+/// (dtx/snapshot_store.hpp).
+[[nodiscard]] util::Result<std::unique_ptr<xml::Document>> materialize_at(
+    storage::StorageBackend& store, const std::string& doc,
+    std::uint64_t version);
+
 /// Durable commit version of `doc` in `store` (0 when absent) — the
 /// replica-freshness comparison of the recovery sync.
 [[nodiscard]] std::uint64_t durable_version(storage::StorageBackend& store,

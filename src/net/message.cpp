@@ -23,6 +23,12 @@ struct NameVisitor {
   const char* operator()(const TxnStatusReply&) const {
     return "txn-status-reply";
   }
+  const char* operator()(const SnapshotReadRequest&) const {
+    return "snapshot-read";
+  }
+  const char* operator()(const SnapshotReadReply&) const {
+    return "snapshot-reply";
+  }
 };
 
 constexpr std::size_t kHeaderBytes = 32;  // ids, flags, framing
@@ -80,6 +86,19 @@ struct SizeVisitor {
   }
   std::size_t operator()(const WfgReply& m) const {
     return kHeaderBytes + m.edges.size() * 16;
+  }
+  std::size_t operator()(const SnapshotReadRequest& m) const {
+    std::size_t total = kHeaderBytes + m.op_indices.size() * 4;
+    for (const txn::Operation& op : m.ops) total += wire_size(op);
+    return total;
+  }
+  std::size_t operator()(const SnapshotReadReply& m) const {
+    std::size_t total =
+        kHeaderBytes + m.error.size() + m.op_indices.size() * 4;
+    for (const auto& rows : m.rows) {
+      for (const auto& row : rows) total += row.size() + 4;
+    }
+    return total;
   }
   template <typename T>
   std::size_t operator()(const T&) const {

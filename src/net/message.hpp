@@ -136,11 +136,34 @@ struct TxnStatusReply {
   TxnOutcome outcome = TxnOutcome::kUnknown;
 };
 
+/// Coordinator -> serving site: evaluate a read-only transaction's queries
+/// against that site's versioned snapshots (the MVCC read path — zero
+/// locks, no 2PC; dtx/snapshot_store.hpp). One request carries every
+/// operation the site serves for the transaction; the site captures one
+/// consistent cut over their documents and answers with one reply.
+struct SnapshotReadRequest {
+  TxnId txn = 0;
+  SiteId coordinator = 0;
+  std::vector<std::uint32_t> op_indices;  ///< positions in the transaction
+  std::vector<txn::Operation> ops;        ///< parallel to op_indices
+};
+
+/// Serving site -> coordinator: the snapshot-read rows (parallel to the
+/// request's op_indices), or a typed failure.
+struct SnapshotReadReply {
+  TxnId txn = 0;
+  bool ok = false;
+  txn::AbortReason reason = txn::AbortReason::kNone;
+  std::string error;
+  std::vector<std::uint32_t> op_indices;
+  std::vector<std::vector<std::string>> rows;
+};
+
 using Payload =
     std::variant<ExecuteOperation, OperationResult, UndoOperation,
                  CommitRequest, CommitAck, AbortRequest, AbortAck, FailNotice,
                  WfgRequest, WfgReply, VictimAbort, WakeTxn, TxnStatusRequest,
-                 TxnStatusReply>;
+                 TxnStatusReply, SnapshotReadRequest, SnapshotReadReply>;
 
 struct Message {
   SiteId from = 0;

@@ -81,6 +81,16 @@ class Transaction {
     return states_.at(index);
   }
 
+  /// True when no operation is an update — eligible for the MVCC
+  /// snapshot-read path (the engine-side mirror of the client's
+  /// PreparedTxn::read_only()).
+  [[nodiscard]] bool read_only() const noexcept {
+    for (const Operation& op : ops_) {
+      if (op.is_update()) return false;
+    }
+    return true;
+  }
+
   /// Index of the first non-executed operation, or op_count() when done
   /// (the paper's transaction.next_operation()).
   [[nodiscard]] std::size_t next_operation() const;

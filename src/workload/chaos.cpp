@@ -55,6 +55,9 @@ struct Tracker {
   std::size_t committed = 0;
   std::size_t aborted = 0;
   std::size_t indeterminate = 0;
+  /// Snapshot-consistency failures observed by read-only clients (the
+  /// repeated query of one transaction returned different rows).
+  std::vector<std::string> torn_reads;
 };
 
 /// Traffic gate: clients run only while open; pause() blocks until every
@@ -146,12 +149,16 @@ void client_loop(std::size_t index, const ChaosOptions& options,
     client::TxnBuilder builder;
     std::string insert_id;
     std::string change_value;
-    if (roll < 0.5) {
+    bool read_only = false;
+    // Write share split 62.5 / 37.5 into inserts / changes, so the default
+    // read_fraction of 0.2 reproduces the historical 0.5 / 0.3 / 0.2 mix.
+    const double write_span = 1.0 - options.read_fraction;
+    if (roll < write_span * 0.625) {
       insert_id = "c" + std::to_string(index) + "_" + std::to_string(serial);
       builder.query(kSharedDoc, "/site/people/person/name")
           .insert(kSharedDoc, "/site/people",
                   "<person id=\"" + insert_id + "\"><name>x</name></person>");
-    } else if (roll < 0.8) {
+    } else if (roll < write_span) {
       const std::string person =
           "p" + std::to_string(1 + rng.next_index(3));
       change_value =
@@ -160,7 +167,13 @@ void client_loop(std::size_t index, const ChaosOptions& options,
                      "/site/people/person[@id='" + person + "']/phone",
                      change_value);
     } else {
-      builder.query(kSharedDoc, "/site/people/person/phone");
+      // Torn-read probe: the same query twice in one read-only
+      // transaction. Both executions must see the identical rows — the
+      // snapshot path serves one consistent cut, the locked path holds
+      // the read locks across the transaction.
+      read_only = true;
+      builder.query(kSharedDoc, "/site/people/person/phone")
+          .query(kSharedDoc, "/site/people/person/phone");
     }
     auto prepared = builder.build();
     const SiteId site = up_sites.pick(rng, cluster.site_count());
@@ -197,6 +210,14 @@ void client_loop(std::size_t index, const ChaosOptions& options,
       ++tracker.committed;
       if (!insert_id.empty()) tracker.committed_inserts.insert(insert_id);
       if (!change_value.empty()) tracker.committed_values.insert(change_value);
+      if (read_only && result.value().rows.size() == 2 &&
+          result.value().rows[0] != result.value().rows[1]) {
+        tracker.torn_reads.push_back(
+            "torn read: txn " + std::to_string(result.value().id) +
+            " saw different rows for the same query (" +
+            std::to_string(result.value().rows[0].size()) + " vs " +
+            std::to_string(result.value().rows[1].size()) + " rows)");
+      }
     } else if (result.value().state == TxnState::kFailed ||
                result.value().reason == txn::AbortReason::kSiteFailure) {
       ++tracker.indeterminate;
@@ -352,6 +373,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   cluster_options.site.orphan_query_limit = options.orphan_query_limit;
   cluster_options.site.commit_ack_rounds = options.commit_ack_rounds;
   cluster_options.site.checkpoint_interval = options.checkpoint_interval;
+  cluster_options.site.snapshot_reads = options.snapshot_reads;
   Cluster cluster(cluster_options);
 
   std::vector<SiteId> all_sites;
@@ -474,6 +496,13 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   gate.stop();
   for (std::thread& thread : clients) thread.join();
 
+  {
+    std::lock_guard<std::mutex> lock(tracker.mutex);
+    for (const std::string& torn : tracker.torn_reads) {
+      record_violation(torn);
+    }
+  }
+
   // --- final recovery sweep + strong invariants ------------------------------
   // Restarting every site one at a time runs the recovery sync for each,
   // converging any replica that a fault left stale (e.g. a participant
@@ -566,6 +595,12 @@ ChaosReport run_chaos(const ChaosOptions& options) {
            std::to_string(report.cluster.orphans_aborted) +
            ",\"commit_resends\":" +
            std::to_string(report.cluster.commit_resends) +
+           ",\"snapshot_txns\":" +
+           std::to_string(report.cluster.snapshot_txns) +
+           ",\"snapshot_chain_hits\":" +
+           std::to_string(report.cluster.snapshots.chain_hits) +
+           ",\"snapshot_materializes\":" +
+           std::to_string(report.cluster.snapshots.materializes) +
            ",\"log_suffix_syncs\":" +
            std::to_string(report.cluster.log_suffix_syncs) +
            ",\"full_syncs\":" + std::to_string(report.cluster.full_syncs) +

@@ -70,6 +70,17 @@ struct ChaosOptions {
   /// and around compactions; 0 = never compact (pure log replay), 1 ≈ the
   /// historical snapshot-per-commit shape.
   std::size_t checkpoint_interval = 8;
+  /// Fraction of client transactions that are pure read-only — the MVCC
+  /// snapshot path when snapshot_reads is on. The write share keeps the
+  /// historical 62.5 / 37.5 insert / change split, so the default 0.2
+  /// reproduces the original 0.5 / 0.3 / 0.2 mix exactly. Read-only
+  /// transactions run the same query twice and the runner asserts both
+  /// executions saw identical rows (one consistent cut, never torn —
+  /// including across crash / recovery).
+  double read_fraction = 0.2;
+  /// MVCC snapshot reads (SiteOptions::snapshot_reads); false = locked
+  /// read baseline.
+  bool snapshot_reads = true;
   std::chrono::microseconds latency{100};
   /// When set, one JSON line per schedule event / round check / summary.
   std::FILE* jsonl = nullptr;

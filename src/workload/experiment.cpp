@@ -29,6 +29,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   cluster_options.site.lock_shards = config.lock_shards;
   cluster_options.site.plan_cache_capacity = config.plan_cache_capacity;
   cluster_options.site.checkpoint_interval = config.checkpoint_interval;
+  cluster_options.site.snapshot_reads = config.snapshot_reads;
+  cluster_options.site.snapshot_chain_depth = config.snapshot_chain_depth;
   core::Cluster cluster(cluster_options);
 
   for (const auto& placement : placements) {
@@ -121,6 +123,15 @@ void apply_common_flags(const util::Flags& flags, ExperimentConfig& config) {
                         static_cast<std::int64_t>(config.checkpoint_interval)),
           0, 1 << 20));
 
+  config.snapshot_reads =
+      flags.get_int("snapshot_reads", config.snapshot_reads ? 1 : 0) != 0;
+  // 0 is meaningful (unbounded chain until checkpoint pruning).
+  config.snapshot_chain_depth = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(
+          flags.get_int("snapshot_chain",
+                        static_cast<std::int64_t>(config.snapshot_chain_depth)),
+          0, 1 << 20));
+
   const auto routing = client::parse_routing_kind(flags.get_string(
       "routing", client::routing_kind_name(config.routing)));
   if (!routing) {
@@ -170,7 +181,10 @@ void print_json_row(const char* figure, const ExperimentConfig& config,
       "\"deadlocks\":%zu,\"txn_per_s\":%.2f,\"ops_per_s\":%.2f,"
       "\"resp_mean_ms\":%.3f,\"resp_p95_ms\":%.3f,\"lock_acqs\":%llu,"
       "\"plan_cache\":%zu,\"plan_hits\":%llu,\"plan_misses\":%llu,"
-      "\"plan_evictions\":%llu,\"makespan_s\":%.3f}\n",
+      "\"plan_evictions\":%llu,\"snapshot_reads\":%d,"
+      "\"snapshot_txns\":%llu,\"snapshot_views\":%llu,"
+      "\"snapshot_chain_hits\":%llu,\"snapshot_materializes\":%llu,"
+      "\"snapshot_chain_bytes_peak\":%llu,\"makespan_s\":%.3f}\n",
       figure, lock::protocol_kind_name(config.protocol),
       client::routing_kind_name(config.routing),
       config.coordinator_workers, config.participant_workers,
@@ -185,6 +199,12 @@ void print_json_row(const char* figure, const ExperimentConfig& config,
       static_cast<unsigned long long>(result.cluster.plan_cache.hits),
       static_cast<unsigned long long>(result.cluster.plan_cache.misses),
       static_cast<unsigned long long>(result.cluster.plan_cache.evictions),
+      config.snapshot_reads ? 1 : 0,
+      static_cast<unsigned long long>(result.cluster.snapshot_txns),
+      static_cast<unsigned long long>(result.cluster.snapshots.reads),
+      static_cast<unsigned long long>(result.cluster.snapshots.chain_hits),
+      static_cast<unsigned long long>(result.cluster.snapshots.materializes),
+      static_cast<unsigned long long>(result.cluster.snapshots.chain_bytes_peak),
       makespan);
   std::fflush(stdout);
 }

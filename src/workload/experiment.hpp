@@ -49,6 +49,14 @@ struct ExperimentConfig {
   /// (--checkpoint_interval=; 1 ≈ the historical snapshot-per-commit
   /// durability, 0 = never compact).
   std::size_t checkpoint_interval = 64;
+  /// MVCC snapshot reads (--snapshot_reads=0|1): read-only transactions
+  /// served lock-free from versioned snapshots. 0 = locked baseline (every
+  /// query goes through the lock manager) — the ablation axis of
+  /// bench/abl_snapshot_reads.
+  bool snapshot_reads = true;
+  /// Per-document version-chain depth bound (--snapshot_chain=; 0 = keep
+  /// every version until checkpoint pruning).
+  std::size_t snapshot_chain_depth = 32;
 
   /// Client routing policy (--routing=explicit|round-robin|affinity):
   /// explicit = the paper's home-site model, affinity = route each

@@ -239,6 +239,10 @@ TEST(AbortReasonTest, LockWaitExhaustionIsTyped) {
   options.site.detect_period = std::chrono::hours(1);
   options.site.retry_interval = std::chrono::microseconds(2'000);
   options.site.max_wait_episodes = 1;
+  // The holder must take read locks for the waiter to block on: force the
+  // read-only transaction down the locked path (MVCC would serve it from
+  // a snapshot and never conflict).
+  options.site.snapshot_reads = false;
   Cluster cluster(options);
   ASSERT_TRUE(cluster.load_document("a", kPeopleXml, {0}).is_ok());
   ASSERT_TRUE(cluster.load_document("r", kPeopleXml, {1}).is_ok());

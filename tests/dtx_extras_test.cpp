@@ -434,7 +434,11 @@ TEST(SessionMigrationTest, RetriesDeadlockVictims) {
 // A repeated remote operation is compiled once at the participant site:
 // the second execution resolves the cached plan (no re-parse, a hit).
 TEST(PlanCacheIntegrationTest, RemoteExecutionReusesCachedPlan) {
-  Cluster cluster(small_options());
+  // Locked path on purpose: with MVCC on, a read-only transaction would be
+  // served as a SnapshotReadRequest and never reach handle_execute.
+  ClusterOptions remote_options = small_options();
+  remote_options.site.snapshot_reads = false;
+  Cluster cluster(remote_options);
   ASSERT_TRUE(cluster
                   .load_document("d1",
                                  "<site><people><person id=\"p1\">"
@@ -469,6 +473,9 @@ TEST(PlanCacheIntegrationTest, WaitModeRetryExecutesFromCachedPlan) {
   options.site.coordinator_workers = 2;
   options.site.detect_period = std::chrono::hours(1);
   options.site.retry_interval = std::chrono::microseconds(2'000);
+  // The read-only holder must take locks for the waiter to conflict; MVCC
+  // would serve it from a snapshot and no wait episode could ever happen.
+  options.site.snapshot_reads = false;
   Cluster cluster(options);
   constexpr const char* kXml =
       "<site><people><person id=\"p1\"><name>Ana</name></person>"

@@ -452,8 +452,16 @@ TEST(ClusterTest, StatsAccumulate) {
     ASSERT_TRUE(result.is_ok());
     EXPECT_EQ(result.value().state, TxnState::kCommitted);
   }
+  // Read-only transactions ride the MVCC snapshot path: no locks, no
+  // remote operations. A replicated update exercises the locked pipeline.
+  auto update = cluster.execute_text(
+      0, {"update d1 change /site/people/person[@id='p1']/phone ::= 7"});
+  ASSERT_TRUE(update.is_ok());
+  EXPECT_EQ(update.value().state, TxnState::kCommitted);
   const ClusterStats stats = cluster.stats();
-  EXPECT_EQ(stats.committed, 4u);
+  EXPECT_EQ(stats.committed, 5u);
+  EXPECT_EQ(stats.snapshot_txns, 4u);
+  EXPECT_GE(stats.snapshots.reads, 4u);
   EXPECT_GT(stats.lock_acquisitions, 0u);
   EXPECT_GT(stats.remote_ops, 0u);
   EXPECT_GT(stats.network.messages_sent, 0u);

@@ -59,6 +59,9 @@ TEST(HarnessTest, TotalReplicationCostsMoreThanPartial) {
   ExperimentConfig config = tiny_config();
   config.clients = 8;
   config.update_txn_fraction = 0.0;
+  // Locked read path on purpose: MVCC serves a read-only load without any
+  // messages at all under total replication, which would invert the claim.
+  config.snapshot_reads = false;
   config.replication = Replication::kTotal;
   const ExperimentResult total = run_experiment(config);
   config.replication = Replication::kPartial;
