@@ -21,11 +21,16 @@
 //   q d1 /site/people/person[@id='p1']/name
 //   stats
 //   EOF
+//
+// Remote mode: `dtxsh --connect=host:port` skips the in-process cluster and
+// drives a live dtxd site over TCP with the same q/u/txn/+q/+u/run surface
+// (load/start/inspect/stats are cluster-side and unavailable remotely).
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "client/remote_session.hpp"
 #include "dtx/cluster.hpp"
 #include "dtx/inspector.hpp"
 #include "util/flags.hpp"
@@ -55,10 +60,103 @@ void print_result(const util::Result<txn::TxnResult>& result) {
   }
 }
 
+void print_remote_result(const util::Result<client::RemoteResult>& result) {
+  if (!result) {
+    std::printf("error: %s\n", result.status().to_string().c_str());
+    return;
+  }
+  const client::RemoteResult& txn = result.value();
+  if (!txn.accepted) {
+    std::printf("rejected — %s\n", txn.detail.c_str());
+    return;
+  }
+  std::printf("%s (%.2f ms)", txn::txn_state_name(txn.state),
+              txn.response_ms);
+  if (txn.state != txn::TxnState::kCommitted) {
+    std::printf(" — %s%s%s", txn::abort_reason_name(txn.reason),
+                txn.detail.empty() ? "" : ": ", txn.detail.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < txn.rows.size(); ++i) {
+    for (const std::string& row : txn.rows[i]) {
+      std::printf("  [%zu] %s\n", i, row.c_str());
+    }
+  }
+}
+
+int run_remote(const std::string& address) {
+  client::RemoteSession session;
+  const util::Status connected = session.connect(address);
+  if (!connected) {
+    std::fprintf(stderr, "%s\n", connected.to_string().c_str());
+    return 1;
+  }
+  std::printf("dtxsh — connected to site %u at %s. Type commands "
+              "('quit' ends).\n",
+              session.site(), address.c_str());
+  std::vector<std::string> pending_txn;
+  bool collecting = false;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream in{std::string(trimmed)};
+    std::string command;
+    in >> command;
+
+    if (command == "quit" || command == "exit") break;
+    if (command == "q" || command == "u") {
+      std::string rest;
+      std::getline(in, rest);
+      const std::string op =
+          std::string(command == "q" ? "query" : "update") + " " +
+          std::string(util::trim(rest));
+      print_remote_result(session.execute_text({op}));
+      continue;
+    }
+    if (command == "txn") {
+      collecting = true;
+      pending_txn.clear();
+      std::printf("collecting — add with +q/+u, execute with 'run'\n");
+      continue;
+    }
+    if (command == "+q" || command == "+u") {
+      if (!collecting) {
+        std::printf("no open transaction — use 'txn' first\n");
+        continue;
+      }
+      std::string rest;
+      std::getline(in, rest);
+      pending_txn.push_back(
+          std::string(command == "+q" ? "query" : "update") + " " +
+          std::string(util::trim(rest)));
+      std::printf("  op %zu staged\n", pending_txn.size());
+      continue;
+    }
+    if (command == "run") {
+      if (!collecting || pending_txn.empty()) {
+        std::printf("nothing staged\n");
+        continue;
+      }
+      print_remote_result(session.execute_text(pending_txn));
+      collecting = false;
+      pending_txn.clear();
+      continue;
+    }
+    std::printf("unknown remote command '%s' (q/u/txn/+q/+u/run/quit)\n",
+                command.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+
+  if (flags.has("connect")) {
+    return run_remote(flags.get_string("connect", ""));
+  }
 
   core::ClusterOptions options;
   options.site_count =

@@ -1,0 +1,99 @@
+// RemoteSession: the client side of the real transport — a blocking TCP
+// connection to one dtxd site daemon, speaking the binary codec. The
+// network analogue of Cluster::submit/execute: operations are parsed once
+// on the client, travel typed (canonical text on the wire, re-parsed and
+// plan-cached at the site), and results come back as flattened TxnResults.
+//
+// The session identifies itself with a random endpoint id in the client
+// range (>= net::kClientIdBase — see net/network.hpp), learned by the
+// server from the Hello handshake; replies route back over this
+// connection. Submissions are correlated by `seq`, so submit()/await()
+// pipelines: several transactions can be in flight before the first result
+// is read. Not thread-safe — one session per thread, like client::Session.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "net/network.hpp"
+#include "txn/abort_reason.hpp"
+#include "txn/operation.hpp"
+#include "txn/transaction.hpp"
+#include "util/status.hpp"
+
+namespace dtx::client {
+
+/// A ClientReply with the enum bytes widened back to their types.
+struct RemoteResult {
+  bool accepted = false;  ///< false: rejected at submission (see detail)
+  lock::TxnId txn = 0;
+  txn::TxnState state = txn::TxnState::kAborted;
+  txn::AbortReason reason = txn::AbortReason::kNone;
+  bool deadlock_victim = false;
+  std::uint32_t wait_episodes = 0;
+  double response_ms = 0.0;
+  std::string detail;
+  std::vector<std::vector<std::string>> rows;
+};
+
+class RemoteSession {
+ public:
+  RemoteSession() = default;
+  ~RemoteSession();
+
+  RemoteSession(const RemoteSession&) = delete;
+  RemoteSession& operator=(const RemoteSession&) = delete;
+
+  /// Connects to a dtxd at "host:port" and completes the Hello handshake
+  /// (both directions) within `timeout`.
+  util::Status connect(const std::string& address,
+                       std::chrono::milliseconds timeout =
+                           std::chrono::milliseconds(5000));
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// The server's site id, from its Hello.
+  [[nodiscard]] net::SiteId site() const noexcept { return server_; }
+  /// This session's client-range endpoint id.
+  [[nodiscard]] net::SiteId client_id() const noexcept { return id_; }
+
+  /// Sends one transaction; returns its correlation seq immediately
+  /// (pipelining: submit several, then await each).
+  util::Result<std::uint64_t> submit(std::vector<txn::Operation> ops);
+
+  /// Blocks until the reply for `seq` arrives or `timeout` elapses
+  /// (kTimeout; the transaction keeps running at the site — await again
+  /// or abandon). Replies arriving out of order are buffered.
+  util::Result<RemoteResult> await(std::uint64_t seq,
+                                   std::chrono::milliseconds timeout);
+
+  /// submit + await in one call.
+  util::Result<RemoteResult> execute(std::vector<txn::Operation> ops,
+                                     std::chrono::milliseconds timeout =
+                                         std::chrono::milliseconds(30'000));
+
+  /// Textual adapter ("query d1 /a/b"): parse, then execute.
+  util::Result<RemoteResult> execute_text(
+      const std::vector<std::string>& op_texts,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(30'000));
+
+ private:
+  util::Status send_frame(const net::Message& message);
+  /// Reads frames until one passes `done`; respects the absolute deadline.
+  util::Status pump(std::chrono::steady_clock::time_point deadline,
+                    const std::function<bool(net::Message&)>& done);
+
+  int fd_ = -1;
+  net::SiteId id_ = 0;
+  net::SiteId server_ = 0;
+  std::uint64_t next_seq_ = 1;
+  net::codec::FrameReader reader_;
+  std::map<std::uint64_t, RemoteResult> ready_;  ///< out-of-order replies
+};
+
+}  // namespace dtx::client

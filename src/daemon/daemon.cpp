@@ -1,0 +1,399 @@
+#include "daemon/daemon.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <variant>
+
+#include "dtx/recovery.hpp"
+#include "dtx/wal.hpp"
+#include "lock/protocol.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace dtx::daemon {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+namespace {
+
+Result<net::SiteId> parse_site_id(const std::string& text) {
+  try {
+    const unsigned long value = std::stoul(text);
+    if (value >= net::kClientIdBase) {
+      return Status(Code::kInvalidArgument,
+                    "site id " + text + " is in the client range");
+    }
+    return static_cast<net::SiteId>(value);
+  } catch (const std::exception&) {
+    return Status(Code::kInvalidArgument, "bad site id '" + text + "'");
+  }
+}
+
+/// "0=host:port,1=host:port" -> address book.
+Result<std::map<net::SiteId, std::string>> parse_peers(
+    const std::string& text) {
+  std::map<net::SiteId, std::string> out;
+  for (const std::string& entry : util::split(text, ',')) {
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq + 1 == entry.size()) {
+      return Status(Code::kInvalidArgument,
+                    "--peers entry must be id=host:port, got '" + entry + "'");
+    }
+    auto id = parse_site_id(entry.substr(0, eq));
+    if (!id) return id.status();
+    out[id.value()] = entry.substr(eq + 1);
+  }
+  return out;
+}
+
+/// "d1:0,1,2;d2:0,2" -> catalog entries.
+Result<std::vector<std::pair<std::string, std::vector<net::SiteId>>>>
+parse_docs(const std::string& text) {
+  std::vector<std::pair<std::string, std::vector<net::SiteId>>> out;
+  for (const std::string& entry : util::split(text, ';')) {
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == entry.size()) {
+      return Status(Code::kInvalidArgument,
+                    "--docs entry must be name:site,site..., got '" + entry +
+                        "'");
+    }
+    std::vector<net::SiteId> sites;
+    for (const std::string& id_text :
+         util::split(entry.substr(colon + 1), ',')) {
+      if (id_text.empty()) continue;
+      auto id = parse_site_id(id_text);
+      if (!id) return id.status();
+      sites.push_back(id.value());
+    }
+    if (sites.empty()) {
+      return Status(Code::kInvalidArgument,
+                    "--docs entry '" + entry + "' lists no sites");
+    }
+    out.emplace_back(entry.substr(0, colon), std::move(sites));
+  }
+  return out;
+}
+
+/// "d1:/path.xml;d2:/other.xml" -> seed list (first ':' separates).
+Result<std::vector<std::pair<std::string, std::string>>> parse_loads(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const std::string& entry : util::split(text, ';')) {
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == entry.size()) {
+      return Status(Code::kInvalidArgument,
+                    "--load entry must be name:path, got '" + entry + "'");
+    }
+    out.emplace_back(entry.substr(0, colon), entry.substr(colon + 1));
+  }
+  return out;
+}
+
+net::TcpOptions make_tcp_options(const DaemonConfig& config) {
+  net::TcpOptions options;  // keep the default reconnect backoff window
+  options.listen = config.listen;
+  options.peers = config.peers;
+  return options;
+}
+
+}  // namespace
+
+Result<DaemonConfig> config_from_flags(const util::Flags& flags) {
+  DaemonConfig config;
+  if (!flags.has("site") || !flags.has("listen") || !flags.has("store")) {
+    return Status(Code::kInvalidArgument,
+                  "dtxd needs --site=N --listen=host:port --store=DIR");
+  }
+  auto site_id = parse_site_id(flags.get_string("site", "0"));
+  if (!site_id) return site_id.status();
+  config.site.id = site_id.value();
+  config.listen = flags.get_string("listen", "");
+  config.store_dir = flags.get_string("store", "");
+
+  auto peers = parse_peers(flags.get_string("peers", ""));
+  if (!peers) return peers.status();
+  config.peers = std::move(peers).value();
+  config.peers.erase(config.site.id);
+
+  auto docs = parse_docs(flags.get_string("docs", ""));
+  if (!docs) return docs.status();
+  config.docs = std::move(docs).value();
+
+  auto loads = parse_loads(flags.get_string("load", ""));
+  if (!loads) return loads.status();
+  config.loads = std::move(loads).value();
+
+  config.connect_wait = std::chrono::milliseconds(
+      flags.get_int("connect_wait_ms", config.connect_wait.count()));
+  config.sync_timeout = std::chrono::milliseconds(
+      flags.get_int("sync_timeout_ms", config.sync_timeout.count()));
+
+  auto protocol =
+      lock::parse_protocol_kind(flags.get_string("protocol", "xdgl"));
+  if (!protocol) return protocol.status();
+  config.site.protocol = protocol.value();
+  config.site.coordinator_workers = static_cast<std::size_t>(flags.get_int(
+      "coordinator_workers",
+      static_cast<std::int64_t>(config.site.coordinator_workers)));
+  config.site.participant_workers = static_cast<std::size_t>(flags.get_int(
+      "participant_workers",
+      static_cast<std::int64_t>(config.site.participant_workers)));
+  config.site.lock_shards = static_cast<std::size_t>(flags.get_int(
+      "lock_shards", static_cast<std::int64_t>(config.site.lock_shards)));
+  config.site.checkpoint_interval = static_cast<std::size_t>(
+      flags.get_int("checkpoint_interval",
+                    static_cast<std::int64_t>(config.site.checkpoint_interval)));
+  config.site.max_wait_episodes = static_cast<std::uint32_t>(flags.get_int(
+      "max_wait_episodes",
+      static_cast<std::int64_t>(config.site.max_wait_episodes)));
+  config.site.snapshot_reads =
+      flags.get_bool("snapshot_reads", config.site.snapshot_reads);
+  config.site.orphan_txn_timeout = std::chrono::microseconds(
+      flags.get_int("orphan_timeout_ms",
+                    config.site.orphan_txn_timeout.count() / 1000) *
+      1000);
+  config.site.response_timeout = std::chrono::microseconds(
+      flags.get_int("response_timeout_ms",
+                    config.site.response_timeout.count() / 1000) *
+      1000);
+  config.site.commit_ack_rounds = static_cast<std::uint32_t>(flags.get_int(
+      "commit_ack_rounds",
+      static_cast<std::int64_t>(config.site.commit_ack_rounds)));
+  config.site.detect_period = std::chrono::microseconds(
+      flags.get_int("detect_period_us", config.site.detect_period.count()));
+  return config;
+}
+
+Daemon::Daemon(DaemonConfig config)
+    : config_(std::move(config)),
+      store_(std::filesystem::path(config_.store_dir)),
+      network_(config_.site.id, make_tcp_options(config_)) {}
+
+Daemon::~Daemon() { stop(); }
+
+Status Daemon::start() {
+  for (const auto& [name, sites] : config_.docs) {
+    Status placed = catalog_.add_document(name, sites);
+    if (!placed) return placed;
+  }
+  Status up = network_.start();
+  if (!up) return up;
+  Status seeded = seed_documents();
+  if (!seeded) return seeded;
+  Status recovered = recover_documents();
+  if (!recovered) return recovered;
+  site_ = std::make_unique<core::Site>(config_.site, network_, catalog_,
+                                       store_);
+  Status started = site_->start();
+  if (!started) return started;
+  DTX_INFO() << "dtxd: site " + std::to_string(config_.site.id) +
+                     " serving on port " +
+                     std::to_string(network_.listen_port());
+  return Status::ok();
+}
+
+void Daemon::stop() {
+  if (site_ != nullptr) site_->stop();
+  network_.interrupt_all();
+}
+
+Status Daemon::seed_documents() {
+  for (const auto& [name, path] : config_.loads) {
+    if (!catalog_.has_document(name)) {
+      return Status(Code::kInvalidArgument,
+                    "--load document '" + name + "' is not in --docs");
+    }
+    const std::vector<net::SiteId> hosts = catalog_.sites_of(name);
+    if (std::find(hosts.begin(), hosts.end(), config_.site.id) ==
+        hosts.end()) {
+      continue;  // seeded by its hosting daemons
+    }
+    if (store_.exists(name)) continue;  // restart — durable state wins
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status(Code::kNotFound,
+                    "cannot read --load file '" + path + "'");
+    }
+    std::ostringstream xml;
+    xml << in.rdbuf();
+    Status stored = store_.store(name, xml.str());
+    if (!stored) return stored;
+  }
+  return Status::ok();
+}
+
+void Daemon::answer_pull(const net::RecoveryPullRequest& request) {
+  net::RecoveryPullReply reply;
+  reply.doc = request.doc;
+  const std::vector<net::SiteId> hosts = catalog_.sites_of(request.doc);
+  const bool hosted = std::find(hosts.begin(), hosts.end(),
+                                config_.site.id) != hosts.end();
+  if (hosted && store_.exists(request.doc)) {
+    // No engine is running locally yet, so one read is already stable.
+    auto durable = core::recovery::read_stable(store_, request.doc, 1);
+    if (durable) {
+      reply.ok = true;
+      reply.version = durable.value().version;
+      reply.snapshot = std::move(durable.value().snapshot);
+      reply.log = core::recovery::flatten_log(durable.value());
+    }
+  }
+  network_.send(net::Message{config_.site.id, request.requester,
+                             std::move(reply)});
+}
+
+Status Daemon::recover_documents() {
+  using Clock = std::chrono::steady_clock;
+
+  // Which documents are hosted here, and which peers replicate them.
+  std::vector<std::string> hosted;
+  std::set<net::SiteId> relevant_peers;
+  for (const std::string& doc : catalog_.documents()) {
+    const std::vector<net::SiteId> hosts = catalog_.sites_of(doc);
+    if (std::find(hosts.begin(), hosts.end(), config_.site.id) ==
+        hosts.end()) {
+      continue;
+    }
+    hosted.push_back(doc);
+    for (net::SiteId peer : hosts) {
+      if (peer != config_.site.id && config_.peers.count(peer) != 0) {
+        relevant_peers.insert(peer);
+      }
+    }
+  }
+  if (hosted.empty()) return Status::ok();
+
+  // The daemon pops its own mailbox during recovery, before the Site
+  // exists; SiteContext's register_site later returns this same mailbox.
+  // Anything popped here that is not recovery traffic (a client already
+  // connected through the transport, an engine message from a running
+  // peer) is parked and re-queued for the dispatcher before Site::start —
+  // dropping it would time out a client whose connect raced our startup.
+  net::Mailbox& mailbox = network_.register_site(config_.site.id);
+  std::vector<net::Message> deferred;
+
+  // Bounded wait for the replicating peers to connect. Peers that stay
+  // down simply contribute no state — the engine serves what it has and
+  // they recover from us later.
+  const Clock::time_point connect_deadline =
+      Clock::now() + config_.connect_wait;
+  auto all_connected = [&] {
+    return std::all_of(relevant_peers.begin(), relevant_peers.end(),
+                       [&](net::SiteId p) { return network_.peer_connected(p); });
+  };
+  while (!all_connected() && Clock::now() < connect_deadline) {
+    // Answer early pulls from peers restarting alongside us.
+    while (auto message = mailbox.try_pop()) {
+      if (const auto* pull = std::get_if<net::RecoveryPullRequest>(
+              &message->payload)) {
+        answer_pull(*pull);
+      } else if (!std::holds_alternative<net::RecoveryPullReply>(
+                     message->payload)) {
+        deferred.push_back(std::move(*message));
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // Fan the pulls out and collect replies; keep answering peer pulls
+  // meanwhile so simultaneous restarts cannot starve each other.
+  std::map<std::string, std::set<net::SiteId>> outstanding;
+  std::map<std::string, std::vector<core::wal::DurableDoc>> states;
+  std::size_t waiting = 0;
+  for (const std::string& doc : hosted) {
+    for (net::SiteId peer : catalog_.sites_of(doc)) {
+      if (peer == config_.site.id || !network_.peer_connected(peer)) continue;
+      network_.send(net::Message{
+          config_.site.id, peer,
+          net::RecoveryPullRequest{doc, config_.site.id}});
+      outstanding[doc].insert(peer);
+      ++waiting;
+    }
+  }
+  const Clock::time_point sync_deadline = Clock::now() + config_.sync_timeout;
+  while (waiting > 0 && Clock::now() < sync_deadline) {
+    auto message = mailbox.pop(std::chrono::microseconds(50'000));
+    if (!message) continue;
+    if (const auto* pull =
+            std::get_if<net::RecoveryPullRequest>(&message->payload)) {
+      answer_pull(*pull);
+      continue;
+    }
+    auto* reply = std::get_if<net::RecoveryPullReply>(&message->payload);
+    if (reply == nullptr) {
+      deferred.push_back(std::move(*message));  // for the dispatcher
+      continue;
+    }
+    auto pending = outstanding.find(reply->doc);
+    if (pending == outstanding.end() ||
+        pending->second.erase(message->from) == 0) {
+      continue;  // duplicate or unsolicited
+    }
+    --waiting;
+    if (!reply->ok) continue;  // peer has no stable state of this doc
+    auto durable = core::recovery::from_wire(reply->doc, reply->snapshot,
+                                             reply->log);
+    if (!durable) {
+      DTX_WARN() << "dtxd: discarding recovery pull of '" + reply->doc +
+                         "' from site " + std::to_string(message->from) +
+                         ": " + durable.status().message();
+      continue;
+    }
+    states[reply->doc].push_back(std::move(durable).value());
+  }
+
+  core::recovery::SyncStats sync_stats;
+  for (const std::string& doc : hosted) {
+    std::vector<core::wal::DurableDoc>& peer_states = states[doc];
+    if (!store_.exists(doc)) {
+      // Nothing local at all (fresh store, no --load seed): adopt the
+      // freshest peer wholesale; with no peer state either, the document
+      // cannot be served.
+      const core::wal::DurableDoc* best = nullptr;
+      for (const core::wal::DurableDoc& peer : peer_states) {
+        if (best == nullptr || peer.version > best->version) best = &peer;
+      }
+      if (best == nullptr) {
+        return Status(Code::kNotFound,
+                      "document '" + doc +
+                          "' is hosted here but neither the store, --load "
+                          "nor any peer supplied it");
+      }
+      Status stored = store_.store(doc, best->snapshot);
+      if (!stored) return stored;
+      const std::string log = core::recovery::flatten_log(*best);
+      if (!log.empty()) {
+        stored = store_.store(core::wal::log_key(doc), log);
+        if (!stored) return stored;
+      }
+      ++sync_stats.full_syncs;
+      continue;
+    }
+    Status synced =
+        core::recovery::sync_document(store_, doc, peer_states, sync_stats);
+    if (!synced) return synced;
+  }
+  if (sync_stats.log_suffix_syncs + sync_stats.full_syncs > 0) {
+    DTX_INFO() << "dtxd: recovery synced " +
+            std::to_string(sync_stats.log_suffix_syncs) + " log suffix(es), " +
+            std::to_string(sync_stats.full_syncs) + " full adoption(s)";
+  }
+  // Re-queue the traffic that arrived while we were recovering; the Site's
+  // dispatcher picks it up as soon as it starts.
+  for (net::Message& message : deferred) {
+    mailbox.push(std::move(message), Clock::now());
+  }
+  return Status::ok();
+}
+
+}  // namespace dtx::daemon

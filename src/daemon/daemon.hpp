@@ -1,0 +1,98 @@
+// dtxd: one DTX site as a standalone OS process. The daemon wires the real
+// transport (net::TcpNetwork) under the unchanged engine (core::Site): a
+// FileStore for durability, a catalog parsed from flags, startup recovery
+// that pulls peer replica state over the wire (RecoveryPullRequest — the
+// network form of Cluster::restart_site's store-to-store sync), and then
+// the ordinary Site lifecycle. Remote clients (client::RemoteSession,
+// `dtxsh --connect`) submit transactions over the same connections the
+// sites use among themselves.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dtx/site.hpp"
+#include "net/tcp_network.hpp"
+#include "storage/file_store.hpp"
+#include "util/flags.hpp"
+#include "util/status.hpp"
+
+namespace dtx::daemon {
+
+struct DaemonConfig {
+  /// Engine knobs; `site.id` is this daemon's site id.
+  core::SiteOptions site;
+  /// Listen address "host:port" (port 0 = kernel-assigned).
+  std::string listen;
+  /// Peer address book: site id -> "host:port" (own id ignored).
+  std::map<net::SiteId, std::string> peers;
+  /// FileStore root for this site's replicas, logs and commit log.
+  std::string store_dir;
+  /// Catalog: document name -> hosting sites (identical on every daemon).
+  std::vector<std::pair<std::string, std::vector<net::SiteId>>> docs;
+  /// Seed data: document name -> XML file, stored only when the local
+  /// store does not already hold the document (first boot, not restart).
+  std::vector<std::pair<std::string, std::string>> loads;
+  /// Startup bound on waiting for peer connections before recovery pulls.
+  std::chrono::milliseconds connect_wait{3000};
+  /// Startup bound on collecting RecoveryPullReplies.
+  std::chrono::milliseconds sync_timeout{3000};
+};
+
+/// Builds a config from --key=value flags:
+///   --site=N --listen=host:port --store=DIR           (required)
+///   --peers=0=host:port,1=host:port                   (other sites)
+///   --docs=name:0,1,2;name2:0,2                       (the catalog)
+///   --load=name:/path.xml;name2:/path2.xml            (first-boot seeds)
+///   --connect_wait_ms=N --sync_timeout_ms=N
+/// plus engine knobs: --protocol=xdgl|node2pl|doclock, --coordinator_workers,
+/// --participant_workers, --lock_shards, --checkpoint_interval,
+/// --max_wait_episodes, --snapshot_reads, --orphan_timeout_ms,
+/// --response_timeout_ms, --commit_ack_rounds, --detect_period_us.
+util::Result<DaemonConfig> config_from_flags(const util::Flags& flags);
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Full startup: catalog, transport, seed loads, recovery pulls from
+  /// live peers, then Site::start(). Returns the first failure.
+  util::Status start();
+
+  /// Stops the site and the transport. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return site_ != nullptr && site_->running();
+  }
+  [[nodiscard]] core::Site& site() { return *site_; }
+  [[nodiscard]] net::TcpNetwork& network() noexcept { return network_; }
+  [[nodiscard]] std::uint16_t listen_port() const {
+    return network_.listen_port();
+  }
+
+ private:
+  /// Stores --load seeds that are hosted here and not yet present.
+  util::Status seed_documents();
+  /// Pulls peer replica state for every hosted document and runs
+  /// recovery::sync_document. Answers peers' own pulls while waiting, so
+  /// simultaneously (re)starting daemons cannot deadlock each other.
+  util::Status recover_documents();
+  void answer_pull(const net::RecoveryPullRequest& request);
+
+  DaemonConfig config_;
+  storage::FileStore store_;
+  core::Catalog catalog_;
+  net::TcpNetwork network_;
+  std::unique_ptr<core::Site> site_;
+};
+
+}  // namespace dtx::daemon

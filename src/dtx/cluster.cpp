@@ -1,8 +1,8 @@
 #include "dtx/cluster.hpp"
 
 #include <algorithm>
-#include <optional>
 
+#include "dtx/recovery.hpp"
 #include "dtx/wal.hpp"
 #include "storage/file_store.hpp"
 
@@ -110,110 +110,30 @@ Status Cluster::restart_site(SiteId site) {
     // store would race its own persists and rewind fresher state.
     return Status(Code::kInternal, "site is running");
   }
-  // Recovery sync: for every document this site hosts, catch the local
-  // redo log up to the freshest peer replica. A record's version number
-  // is a per-replica position (commits of non-conflicting transactions
-  // may land in different orders at different replicas), so replicas are
-  // compared by committed-transaction-id *set* — checkpoint-marker ids
-  // plus tail record ids enumerate exactly which commits a replica
-  // holds. The normal path appends the peer records this replica is
-  // missing, renumbered onto the local tail — O(missed commits), not
-  // O(document); their operations commute with everything already here
-  // (conflicting commits are identically ordered everywhere). Only when
-  // the freshest peer compacted a missing commit into its snapshot is
-  // its whole checkpoint + log adopted. Peer stores are read directly —
-  // the in-process stand-in for the state transfer a production restart
-  // would perform; backends synchronize per call, and
-  // wal::read_durable_doc flags a read that straddled a live peer's
-  // checkpoint so it is simply retried.
+  // Recovery sync (recovery::sync_document): for every document this site
+  // hosts, catch the local redo log up to the freshest peer replica. Peer
+  // stores are read directly — the in-process stand-in for the
+  // RecoveryPullRequest state transfer a dtxd restart performs over the
+  // network; backends synchronize per call, and read_stable retries reads
+  // that straddled a live peer's checkpoint.
+  recovery::SyncStats sync_stats;
   for (const std::string& doc : catalog_.documents()) {
     const std::vector<SiteId> hosts = catalog_.sites_of(doc);
     if (std::find(hosts.begin(), hosts.end(), site) == hosts.end()) continue;
-    auto local = wal::read_durable_doc(*stores_[site], doc);
-    if (!local) return local.status();
-    if (local.value().needs_repair) {
-      // Drop the crash's torn tail / interrupted-checkpoint leftovers
-      // before anything is appended after them.
-      Status repaired = wal::repair(*stores_[site], doc, local.value());
-      if (!repaired) return repaired;
-    }
-    std::set<lock::TxnId> local_ids(local.value().checkpoint_ids.begin(),
-                                    local.value().checkpoint_ids.end());
-    for (const wal::LogEntry& record : local.value().tail) {
-      local_ids.insert(record.txn);
-    }
-
-    std::optional<wal::DurableDoc> best;
+    std::vector<wal::DurableDoc> peers;
     for (SiteId peer : hosts) {
       if (peer == site) continue;
-      util::Result<wal::DurableDoc> state =
-          wal::read_durable_doc(*stores_[peer], doc);
-      for (int attempt = 0;
-           state && !state.value().consistent && attempt < 50; ++attempt) {
-        state = wal::read_durable_doc(*stores_[peer], doc);
-      }
+      auto state = recovery::read_stable(*stores_[peer], doc);
       if (!state) return state.status();
-      if (!state.value().consistent) {
-        return Status(Code::kInternal,
-                      "recovery sync of '" + doc +
-                          "' could not observe a stable replica at site " +
-                          std::to_string(peer));
-      }
-      if (!best.has_value() ||
-          state.value().version > best.value().version) {
-        best = std::move(state).value();
-      }
+      peers.push_back(std::move(state).value());
     }
-    if (!best.has_value()) continue;  // unreplicated document
-
-    const bool hidden_missing = [&] {
-      for (const lock::TxnId id : best.value().checkpoint_ids) {
-        if (local_ids.count(id) == 0) return true;
-      }
-      return false;
-    }();
-    if (hidden_missing) {
-      // A commit this replica is missing sits inside the peer's compacted
-      // snapshot — its record is gone, so adopt checkpoint + log
-      // wholesale (regardless of which side counts more commits: the
-      // record cannot be recovered any other way). Local tail records
-      // whose commit the peer does not hold anywhere are re-appended on
-      // top — the marker ids prove the adopted snapshot cannot already
-      // contain them, so replaying them is safe, and dropping them would
-      // lose a durable commit decision.
-      std::set<lock::TxnId> peer_ids(best.value().checkpoint_ids.begin(),
-                                     best.value().checkpoint_ids.end());
-      std::uint64_t next_version = best.value().version;
-      std::string log = best.value().marker_raw;
-      for (const wal::LogEntry& record : best.value().tail) {
-        log += record.raw;
-        peer_ids.insert(record.txn);
-      }
-      for (const wal::LogEntry& record : local.value().tail) {
-        if (peer_ids.count(record.txn) != 0) continue;
-        log += wal::encode_record(++next_version, record.txn, record.ops);
-      }
-      Status stored = stores_[site]->store(doc, best.value().snapshot);
-      if (!stored) return stored;
-      stored = log.empty() ? stores_[site]->truncate(wal::log_key(doc))
-                           : stores_[site]->store(wal::log_key(doc), log);
-      if (!stored) return stored;
-      full_syncs_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    // Log-suffix shipping: append the peer records this replica lacks, in
-    // peer commit order, renumbered to continue the local tail.
-    std::string suffix;
-    std::uint64_t next_version = local.value().version;
-    for (const wal::LogEntry& record : best.value().tail) {
-      if (local_ids.count(record.txn) != 0) continue;
-      suffix += wal::encode_record(++next_version, record.txn, record.ops);
-    }
-    if (suffix.empty()) continue;  // nothing missing (or peer is behind)
-    Status appended = stores_[site]->append(wal::log_key(doc), suffix);
-    if (!appended) return appended;
-    log_suffix_syncs_.fetch_add(1, std::memory_order_relaxed);
+    Status synced =
+        recovery::sync_document(*stores_[site], doc, peers, sync_stats);
+    if (!synced) return synced;
   }
+  log_suffix_syncs_.fetch_add(sync_stats.log_suffix_syncs,
+                              std::memory_order_relaxed);
+  full_syncs_.fetch_add(sync_stats.full_syncs, std::memory_order_relaxed);
   return sites_[site]->restart();
 }
 

@@ -1,0 +1,132 @@
+#include "dtx/recovery.hpp"
+
+#include <optional>
+#include <set>
+
+#include "storage/memory_store.hpp"
+
+namespace dtx::core::recovery {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+Result<wal::DurableDoc> read_stable(storage::StorageBackend& store,
+                                    const std::string& doc, int attempts) {
+  Result<wal::DurableDoc> state = wal::read_durable_doc(store, doc);
+  for (int attempt = 1;
+       state && !state.value().consistent && attempt < attempts; ++attempt) {
+    state = wal::read_durable_doc(store, doc);
+  }
+  if (!state) return state.status();
+  if (!state.value().consistent) {
+    return Status(Code::kInternal,
+                  "recovery sync of '" + doc +
+                      "' could not observe a stable replica");
+  }
+  return state;
+}
+
+std::string flatten_log(const wal::DurableDoc& durable) {
+  std::string log = durable.marker_raw;
+  for (const wal::LogEntry& record : durable.tail) log += record.raw;
+  return log;
+}
+
+Result<wal::DurableDoc> from_wire(const std::string& doc,
+                                  const std::string& snapshot,
+                                  const std::string& log) {
+  // Round the wire form through a scratch backend so the one durable-state
+  // resolver (wal::read_durable_doc) validates it — a truncated or
+  // tampered pull fails here instead of poisoning the local store.
+  storage::MemoryStore scratch;
+  Status stored = scratch.store(doc, snapshot);
+  if (!stored) return stored;
+  if (!log.empty()) {
+    stored = scratch.store(wal::log_key(doc), log);
+    if (!stored) return stored;
+  }
+  auto durable = wal::read_durable_doc(scratch, doc);
+  if (!durable) return durable.status();
+  if (durable.value().needs_repair || !durable.value().consistent) {
+    return Status(Code::kInvalidArgument,
+                  "pulled state of '" + doc +
+                      "' is not a repaired durable document");
+  }
+  return durable;
+}
+
+Status sync_document(storage::StorageBackend& store, const std::string& doc,
+                     const std::vector<wal::DurableDoc>& peers,
+                     SyncStats& stats) {
+  auto local = wal::read_durable_doc(store, doc);
+  if (!local) return local.status();
+  if (local.value().needs_repair) {
+    // Drop the crash's torn tail / interrupted-checkpoint leftovers
+    // before anything is appended after them.
+    Status repaired = wal::repair(store, doc, local.value());
+    if (!repaired) return repaired;
+  }
+  std::set<lock::TxnId> local_ids(local.value().checkpoint_ids.begin(),
+                                  local.value().checkpoint_ids.end());
+  for (const wal::LogEntry& record : local.value().tail) {
+    local_ids.insert(record.txn);
+  }
+
+  const wal::DurableDoc* best = nullptr;
+  for (const wal::DurableDoc& peer : peers) {
+    if (best == nullptr || peer.version > best->version) best = &peer;
+  }
+  if (best == nullptr) return Status::ok();  // unreplicated document
+
+  const bool hidden_missing = [&] {
+    for (const lock::TxnId id : best->checkpoint_ids) {
+      if (local_ids.count(id) == 0) return true;
+    }
+    return false;
+  }();
+  if (hidden_missing) {
+    // A commit this replica is missing sits inside the peer's compacted
+    // snapshot — its record is gone, so adopt checkpoint + log wholesale
+    // (regardless of which side counts more commits: the record cannot be
+    // recovered any other way). Local tail records whose commit the peer
+    // does not hold anywhere are re-appended on top — the marker ids
+    // prove the adopted snapshot cannot already contain them, so
+    // replaying them is safe, and dropping them would lose a durable
+    // commit decision.
+    std::set<lock::TxnId> peer_ids(best->checkpoint_ids.begin(),
+                                   best->checkpoint_ids.end());
+    std::uint64_t next_version = best->version;
+    std::string log = best->marker_raw;
+    for (const wal::LogEntry& record : best->tail) {
+      log += record.raw;
+      peer_ids.insert(record.txn);
+    }
+    for (const wal::LogEntry& record : local.value().tail) {
+      if (peer_ids.count(record.txn) != 0) continue;
+      log += wal::encode_record(++next_version, record.txn, record.ops);
+    }
+    Status stored = store.store(doc, best->snapshot);
+    if (!stored) return stored;
+    stored = log.empty() ? store.truncate(wal::log_key(doc))
+                         : store.store(wal::log_key(doc), log);
+    if (!stored) return stored;
+    ++stats.full_syncs;
+    return Status::ok();
+  }
+  // Log-suffix shipping: append the peer records this replica lacks, in
+  // peer commit order, renumbered to continue the local tail.
+  std::string suffix;
+  std::uint64_t next_version = local.value().version;
+  for (const wal::LogEntry& record : best->tail) {
+    if (local_ids.count(record.txn) != 0) continue;
+    suffix += wal::encode_record(++next_version, record.txn, record.ops);
+  }
+  if (suffix.empty()) return Status::ok();  // nothing missing / peer behind
+  Status appended = store.append(wal::log_key(doc), suffix);
+  if (!appended) return appended;
+  ++stats.log_suffix_syncs;
+  return Status::ok();
+}
+
+}  // namespace dtx::core::recovery

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "dtx/recovery.hpp"
 #include "util/log.hpp"
 
 namespace dtx::core {
@@ -13,7 +14,7 @@ using net::Payload;
 using txn::Transaction;
 using txn::TxnState;
 
-Site::Site(SiteOptions options, net::SimNetwork& network,
+Site::Site(SiteOptions options, net::Network& network,
            const Catalog& catalog, storage::StorageBackend& store)
     : ctx_(options, network, catalog, store),
       coordinator_(ctx_),
@@ -244,6 +245,10 @@ void Site::dispatcher_loop() {
                 }
               }
               ctx_.ack_cv.notify_all();
+            } else if constexpr (std::is_same_v<T, net::ClientSubmit>) {
+              handle_client_submit(m.from, std::move(payload));
+            } else if constexpr (std::is_same_v<T, net::RecoveryPullRequest>) {
+              answer_recovery_pull(payload);
             } else if constexpr (std::is_same_v<T, net::TxnStatusRequest>) {
               answer_status_request(payload);
             } else if constexpr (std::is_same_v<T, net::WfgRequest>) {
@@ -283,6 +288,55 @@ void Site::dispatcher_loop() {
     run_deadlock_detection(now);
     sweep_orphans(now);
   }
+}
+
+void Site::handle_client_submit(SiteId client, net::ClientSubmit submit) {
+  const std::uint64_t seq = submit.seq;
+  if (submit.ops.empty()) {
+    net::ClientReply reply;
+    reply.seq = seq;
+    reply.accepted = false;
+    reply.detail = "transaction needs at least one operation";
+    ctx_.send(client, std::move(reply));
+    return;
+  }
+  std::shared_ptr<Transaction> txn = this->submit(std::move(submit.ops));
+  // The hook fires on whichever thread completes the transaction (a
+  // coordinator worker, or halt() on shutdown) — ctx_ outlives every
+  // transaction, so capturing it is safe.
+  SiteContext* ctx = &ctx_;
+  txn->set_on_complete([ctx, client, seq](const txn::TxnResult& result) {
+    net::ClientReply reply;
+    reply.seq = seq;
+    reply.accepted = true;
+    reply.txn = result.id;
+    reply.state = static_cast<std::uint8_t>(result.state);
+    reply.reason = static_cast<std::uint8_t>(result.reason);
+    reply.deadlock_victim = result.deadlock_victim;
+    reply.wait_episodes = result.wait_episodes;
+    reply.response_ms = result.response_ms;
+    reply.detail = result.detail;
+    reply.rows = result.rows;
+    ctx->send(client, std::move(reply));
+  });
+}
+
+void Site::answer_recovery_pull(const net::RecoveryPullRequest& request) {
+  net::RecoveryPullReply reply;
+  reply.doc = request.doc;
+  const std::vector<SiteId> hosts = ctx_.catalog.sites_of(request.doc);
+  const bool hosted = std::find(hosts.begin(), hosts.end(),
+                                ctx_.options.id) != hosts.end();
+  if (hosted) {
+    auto durable = recovery::read_stable(ctx_.store, request.doc);
+    if (durable) {
+      reply.ok = true;
+      reply.version = durable.value().version;
+      reply.snapshot = std::move(durable.value().snapshot);
+      reply.log = recovery::flatten_log(durable.value());
+    }
+  }
+  ctx_.send(request.requester, std::move(reply));
 }
 
 void Site::answer_status_request(const net::TxnStatusRequest& request) {

@@ -30,7 +30,7 @@ namespace dtx::core {
 
 class Site {
  public:
-  Site(SiteOptions options, net::SimNetwork& network, const Catalog& catalog,
+  Site(SiteOptions options, net::Network& network, const Catalog& catalog,
        storage::StorageBackend& store);
   ~Site();
 
@@ -111,6 +111,12 @@ class Site {
   /// probes their coordinators, rolls back after orphan_query_limit
   /// unanswered probes (dispatcher thread).
   void sweep_orphans(Clock::time_point now);
+  /// The Listener's network face: accepts a remote client's transaction
+  /// and wires its completion back into a ClientReply (dispatcher thread).
+  void handle_client_submit(SiteId client, net::ClientSubmit submit);
+  /// Serves a restarting peer's recovery pull with this site's stable
+  /// durable state of the document (dispatcher thread).
+  void answer_recovery_pull(const net::RecoveryPullRequest& request);
 
   lock::TxnId next_txn_id();  // expects coord_mutex held
 

@@ -35,7 +35,7 @@
 #include "dtx/deadlock_detector.hpp"
 #include "dtx/lock_manager.hpp"
 #include "dtx/snapshot_store.hpp"
-#include "net/sim_network.hpp"
+#include "net/network.hpp"
 #include "query/plan_cache.hpp"
 #include "storage/storage.hpp"
 #include "txn/transaction.hpp"
@@ -162,7 +162,7 @@ struct SiteStats {
 struct SiteContext {
   using Clock = std::chrono::steady_clock;
 
-  SiteContext(SiteOptions opts, net::SimNetwork& net, const Catalog& cat,
+  SiteContext(SiteOptions opts, net::Network& net, const Catalog& cat,
               storage::StorageBackend& backing_store)
       : options(opts),
         network(net),
@@ -177,7 +177,7 @@ struct SiteContext {
   SiteContext& operator=(const SiteContext&) = delete;
 
   SiteOptions options;
-  net::SimNetwork& network;
+  net::Network& network;
   net::Mailbox& mailbox;
   const Catalog& catalog;
   storage::StorageBackend& store;

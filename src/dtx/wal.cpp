@@ -4,6 +4,7 @@
 #include <charconv>
 
 #include "txn/operation.hpp"
+#include "util/hash.hpp"
 #include "xml/parser.hpp"
 #include "xml/serializer.hpp"
 #include "xupdate/applier.hpp"
@@ -16,12 +17,7 @@ using util::Result;
 using util::Status;
 
 std::uint64_t fnv1a(const std::string& text) noexcept {
-  std::uint64_t hash = 1469598103934665603ULL;
-  for (const unsigned char byte : text) {
-    hash ^= byte;
-    hash *= 1099511628211ULL;
-  }
-  return hash;
+  return util::fnv1a64(text);
 }
 
 namespace {

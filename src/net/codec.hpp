@@ -1,0 +1,80 @@
+// Binary wire codec: the serialization layer under TcpNetwork and the
+// authoritative wire-size model of SimNetwork.
+//
+// Frame layout (all integers little-endian):
+//
+//   u32 magic     "DTX1" (0x31585444) — stream desync detector
+//   u32 length    byte count of `body` (bounded by kMaxFrameBytes)
+//   u64 checksum  FNV-1a 64 of `body` (the WAL's framing idiom, wal.hpp)
+//   body:
+//     u32 from | u32 to | u8 tag | payload
+//
+// `tag` is the payload's position in net::Payload plus one; unknown tags,
+// truncated bodies, trailing bytes and checksum mismatches all reject the
+// frame. Strings are u32-length-prefixed; vectors are u32-count-prefixed;
+// bools are exactly 0 or 1 (anything else rejects — keeps decode(encode(x))
+// re-encodable byte-exactly). Typed operations (txn::Operation) travel as
+// their canonical text — the same round-trippable form the WAL logs — and
+// are re-parsed on decode, so a frame that decodes always carries a
+// well-formed operation and node ids still never cross the wire.
+//
+// Decoding a TCP byte stream goes through FrameReader: feed() appended
+// bytes, next() yields complete messages. A corrupt frame poisons the
+// reader (framing is lost — the connection must be dropped), which is
+// exactly how TcpNetwork treats it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/message.hpp"
+#include "util/status.hpp"
+
+namespace dtx::net::codec {
+
+inline constexpr std::uint32_t kMagic = 0x31585444u;  // "DTX1"
+/// Bumped on any incompatible frame change; carried in the Hello handshake.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Upper bound on one frame's body — a stream whose length field exceeds
+/// this is corrupt (or hostile), not merely large.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/// Appends one encoded frame for `message` to `out`.
+void encode(const Message& message, std::string& out);
+
+[[nodiscard]] std::string encode(const Message& message);
+
+/// Decodes exactly one frame (header + body). Rejects truncated input,
+/// checksum mismatches, unknown tags, malformed payloads and trailing
+/// bytes after the frame.
+[[nodiscard]] util::Result<Message> decode(std::string_view frame);
+
+/// Exact encoded frame size of a payload (from/to contribute a fixed 8
+/// bytes regardless of value). This is net::payload_wire_size's backend.
+[[nodiscard]] std::size_t encoded_payload_size(const Payload& payload);
+
+/// Incremental frame extraction over a TCP byte stream.
+class FrameReader {
+ public:
+  /// Appends raw bytes received from the stream.
+  void feed(std::string_view bytes);
+
+  /// One decoded message, std::nullopt when the buffer holds no complete
+  /// frame yet, or an error when the stream is corrupt. After an error the
+  /// reader stays poisoned — framing is unrecoverable; drop the connection.
+  [[nodiscard]] util::Result<std::optional<Message>> next();
+
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - offset_;
+  }
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+
+ private:
+  std::string buffer_;
+  std::size_t offset_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace dtx::net::codec

@@ -1,5 +1,7 @@
 #include "net/message.hpp"
 
+#include "net/codec.hpp"
+
 namespace dtx::net {
 
 namespace {
@@ -29,80 +31,14 @@ struct NameVisitor {
   const char* operator()(const SnapshotReadReply&) const {
     return "snapshot-reply";
   }
-};
-
-constexpr std::size_t kHeaderBytes = 32;  // ids, flags, framing
-
-// --- structural wire-size model of the typed operation payload --------------
-// The paper ships operations as text; the typed wire carries the parsed
-// form, so the bandwidth model charges a compact binary encoding: per-node
-// framing tags plus the embedded strings (names, literals, fragments).
-
-std::size_t wire_size_steps(const std::vector<xpath::Step>& steps);
-
-std::size_t wire_size(const xpath::Step& step) {
-  std::size_t total = 2 + step.name.size();  // axis + node-test tags, name
-  for (const xpath::Predicate& predicate : step.predicates) {
-    total += 2 + predicate.literal.size() +
-             wire_size_steps(predicate.path.steps);
+  const char* operator()(const Hello&) const { return "hello"; }
+  const char* operator()(const ClientSubmit&) const { return "client-submit"; }
+  const char* operator()(const ClientReply&) const { return "client-reply"; }
+  const char* operator()(const RecoveryPullRequest&) const {
+    return "recovery-pull";
   }
-  return total;
-}
-
-std::size_t wire_size_steps(const std::vector<xpath::Step>& steps) {
-  std::size_t total = 2;  // step count
-  for (const xpath::Step& step : steps) total += wire_size(step);
-  return total;
-}
-
-std::size_t wire_size(const xpath::Path& path) {
-  return wire_size_steps(path.steps);
-}
-
-std::size_t wire_size(const xupdate::UpdateOp& op) {
-  return 2 /* kind + position tags */ + wire_size(op.target) +
-         op.content_xml.size() + op.new_text.size() +
-         wire_size(op.destination);
-}
-
-std::size_t wire_size(const txn::Operation& op) {
-  std::size_t total = 1 /* type tag */ + op.doc.size();
-  if (op.is_update()) {
-    total += wire_size(op.update);
-  } else {
-    total += wire_size(op.query);
-  }
-  return total;
-}
-
-struct SizeVisitor {
-  std::size_t operator()(const ExecuteOperation& m) const {
-    return kHeaderBytes + wire_size(m.op);
-  }
-  std::size_t operator()(const OperationResult& m) const {
-    std::size_t total = kHeaderBytes + m.error.size();
-    for (const auto& row : m.rows) total += row.size() + 4;
-    return total;
-  }
-  std::size_t operator()(const WfgReply& m) const {
-    return kHeaderBytes + m.edges.size() * 16;
-  }
-  std::size_t operator()(const SnapshotReadRequest& m) const {
-    std::size_t total = kHeaderBytes + m.op_indices.size() * 4;
-    for (const txn::Operation& op : m.ops) total += wire_size(op);
-    return total;
-  }
-  std::size_t operator()(const SnapshotReadReply& m) const {
-    std::size_t total =
-        kHeaderBytes + m.error.size() + m.op_indices.size() * 4;
-    for (const auto& rows : m.rows) {
-      for (const auto& row : rows) total += row.size() + 4;
-    }
-    return total;
-  }
-  template <typename T>
-  std::size_t operator()(const T&) const {
-    return kHeaderBytes;
+  const char* operator()(const RecoveryPullReply&) const {
+    return "recovery-pull-reply";
   }
 };
 
@@ -123,7 +59,7 @@ const char* payload_name(const Payload& payload) noexcept {
 }
 
 std::size_t payload_wire_size(const Payload& payload) noexcept {
-  return std::visit(SizeVisitor{}, payload);
+  return codec::encoded_payload_size(payload);
 }
 
 }  // namespace dtx::net

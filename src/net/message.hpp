@@ -159,11 +159,69 @@ struct SnapshotReadReply {
   std::vector<std::vector<std::string>> rows;
 };
 
+/// Transport handshake: the first frame on every TCP connection, in both
+/// directions, identifying the sender endpoint (a site id, or a client id
+/// at/above kClientIdBase — see net/network.hpp). TcpNetwork consumes it
+/// internally to bind the connection to its peer; it never reaches a
+/// mailbox. SimNetwork endpoints are pre-registered, so it is never sent
+/// there.
+struct Hello {
+  SiteId id = 0;
+  std::uint32_t protocol = 0;  ///< codec::kProtocolVersion of the sender
+};
+
+/// Remote client -> site (the Listener, paper Fig. 1): submit one
+/// transaction for coordination. `seq` is the client's correlation id;
+/// operations arrive typed, exactly like Cluster::submit.
+struct ClientSubmit {
+  std::uint64_t seq = 0;
+  std::vector<txn::Operation> ops;
+};
+
+/// Site -> remote client: the terminal result of a submitted transaction
+/// (a flattened txn::TxnResult — `state` and `reason` carry the
+/// txn::TxnState / txn::AbortReason values as bytes; TxnResult itself
+/// lives above the wire layer).
+struct ClientReply {
+  std::uint64_t seq = 0;
+  bool accepted = false;  ///< false: rejected at submission (see detail)
+  TxnId txn = 0;
+  std::uint8_t state = 0;   ///< txn::TxnState
+  std::uint8_t reason = 0;  ///< txn::AbortReason
+  bool deadlock_victim = false;
+  std::uint32_t wait_episodes = 0;
+  double response_ms = 0.0;
+  std::string detail;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Restarting site -> live replica: ship me your durable state of `doc`
+/// (the network form of the recovery sync Cluster::restart_site performs
+/// by reading peer stores directly — dtx/recovery.hpp).
+struct RecoveryPullRequest {
+  std::string doc;
+  SiteId requester = 0;
+};
+
+/// Live replica -> restarting site: the resolved durable document —
+/// checkpoint snapshot bytes plus the repaired log (marker + record tail),
+/// exactly what wal::read_durable_doc resolves locally. ok=false when the
+/// document is not hosted here or no stable read was possible.
+struct RecoveryPullReply {
+  std::string doc;
+  bool ok = false;
+  std::uint64_t version = 0;  ///< durable commit version of the shipped state
+  std::string snapshot;
+  std::string log;
+};
+
 using Payload =
     std::variant<ExecuteOperation, OperationResult, UndoOperation,
                  CommitRequest, CommitAck, AbortRequest, AbortAck, FailNotice,
                  WfgRequest, WfgReply, VictimAbort, WakeTxn, TxnStatusRequest,
-                 TxnStatusReply, SnapshotReadRequest, SnapshotReadReply>;
+                 TxnStatusReply, SnapshotReadRequest, SnapshotReadReply,
+                 Hello, ClientSubmit, ClientReply, RecoveryPullRequest,
+                 RecoveryPullReply>;
 
 struct Message {
   SiteId from = 0;
@@ -174,8 +232,9 @@ struct Message {
 /// Payload type name for logging / network statistics.
 const char* payload_name(const Payload& payload) noexcept;
 
-/// Approximate wire size in bytes, used by the bandwidth model and the
-/// message-volume statistics (text payloads dominate).
+/// Exact wire size in bytes: the length of the frame the binary codec
+/// (net/codec.hpp) emits for this payload. One source of truth — the
+/// SimNetwork bandwidth model charges exactly what TcpNetwork transmits.
 std::size_t payload_wire_size(const Payload& payload) noexcept;
 
 }  // namespace dtx::net

@@ -5,64 +5,6 @@
 
 namespace dtx::net {
 
-void Mailbox::push(Message message, Clock::time_point deliver_at) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(Timed{deliver_at, next_sequence_++, std::move(message)});
-  }
-  available_.notify_all();
-}
-
-std::optional<Message> Mailbox::pop(std::chrono::microseconds timeout) {
-  const auto deadline = Clock::now() + timeout;
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    if (interrupted_) return std::nullopt;
-    const auto now = Clock::now();
-    auto wake = deadline;
-    if (!queue_.empty()) {
-      const auto due = queue_.top().deliver_at;
-      if (due <= now) {
-        Message message = std::move(const_cast<Timed&>(queue_.top()).message);
-        queue_.pop();
-        return message;
-      }
-      wake = std::min(due, deadline);
-    }
-    if (now >= deadline) return std::nullopt;
-    available_.wait_until(lock, wake);
-  }
-}
-
-std::optional<Message> Mailbox::try_pop() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (queue_.empty() || queue_.top().deliver_at > Clock::now()) {
-    return std::nullopt;
-  }
-  Message message = std::move(const_cast<Timed&>(queue_.top()).message);
-  queue_.pop();
-  return message;
-}
-
-void Mailbox::interrupt() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    interrupted_ = true;
-  }
-  available_.notify_all();
-}
-
-void Mailbox::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  queue_ = {};
-  interrupted_ = false;
-}
-
-std::size_t Mailbox::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
-}
-
 SimNetwork::SimNetwork(NetworkOptions options) : options_(options) {}
 
 Mailbox& SimNetwork::register_site(SiteId site) {
@@ -78,7 +20,7 @@ std::vector<SiteId> SimNetwork::sites() const {
   out.reserve(mailboxes_.size());
   for (const auto& [site, mailbox] : mailboxes_) {
     (void)mailbox;
-    out.push_back(site);
+    if (!is_client_id(site)) out.push_back(site);
   }
   return out;
 }

@@ -15,18 +15,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
-#include <queue>
 #include <vector>
 
 #include "net/fault_plan.hpp"
-#include "net/message.hpp"
+#include "net/network.hpp"
 
 namespace dtx::net {
 
@@ -38,67 +35,21 @@ struct NetworkOptions {
   std::uint64_t bandwidth_bytes_per_sec = 12'500'000;
 };
 
-struct NetworkStats {
-  std::uint64_t messages_sent = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t messages_dropped = 0;
-};
-
-class Mailbox {
- public:
-  using Clock = std::chrono::steady_clock;
-
-  /// Enqueues a message due at `deliver_at`.
-  void push(Message message, Clock::time_point deliver_at);
-
-  /// Blocks until a message is deliverable or `timeout` elapses.
-  std::optional<Message> pop(std::chrono::microseconds timeout);
-
-  /// Non-blocking variant.
-  std::optional<Message> try_pop();
-
-  /// Wakes all blocked poppers (shutdown).
-  void interrupt();
-
-  /// Drops every queued message and clears the interrupted flag — a site
-  /// restart begins with an empty, serviceable mailbox (a real crash loses
-  /// the socket buffers with the process).
-  void reset();
-
-  [[nodiscard]] std::size_t pending() const;
-
- private:
-  struct Timed {
-    Clock::time_point deliver_at;
-    std::uint64_t sequence;  // tie-break keeps per-link FIFO
-    Message message;
-  };
-  struct Later {
-    bool operator()(const Timed& a, const Timed& b) const {
-      return a.deliver_at != b.deliver_at ? a.deliver_at > b.deliver_at
-                                          : a.sequence > b.sequence;
-    }
-  };
-
-  mutable std::mutex mutex_;
-  std::condition_variable available_;
-  std::priority_queue<Timed, std::vector<Timed>, Later> queue_;
-  std::uint64_t next_sequence_ = 0;
-  bool interrupted_ = false;
-};
-
-class SimNetwork {
+class SimNetwork final : public Network {
  public:
   explicit SimNetwork(NetworkOptions options = {});
 
-  /// Registers a site and returns its mailbox (stable address).
-  Mailbox& register_site(SiteId site);
+  /// Registers a site (or a client endpoint) and returns its mailbox
+  /// (stable address).
+  Mailbox& register_site(SiteId site) override;
 
-  [[nodiscard]] std::vector<SiteId> sites() const;
+  /// Registered site endpoints; client ids are filtered out per the
+  /// Network contract.
+  [[nodiscard]] std::vector<SiteId> sites() const override;
 
   /// Sends a message; applies the latency/bandwidth model and the fault
   /// plan (drop / duplicate / delay / partition / down-site).
-  void send(Message message);
+  void send(Message message) override;
 
   /// Mutates the fault plan under the network lock — the only sanctioned
   /// way to reconfigure faults while traffic flows:
@@ -108,14 +59,14 @@ class SimNetwork {
   // Convenience wrappers over faults() for the common chaos moves.
   void partition_for(SiteId a, SiteId b, std::chrono::microseconds duration);
   void heal();
-  void set_site_down(SiteId site, bool down);
+  void set_site_down(SiteId site, bool down) override;
   [[nodiscard]] bool site_down(SiteId site) const;
 
-  [[nodiscard]] NetworkStats stats() const;
+  [[nodiscard]] NetworkStats stats() const override;
   [[nodiscard]] FaultStats fault_stats() const;
 
   /// Wakes every blocked receiver (shutdown).
-  void interrupt_all();
+  void interrupt_all() override;
 
  private:
   NetworkOptions options_;

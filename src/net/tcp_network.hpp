@@ -1,0 +1,135 @@
+// TcpNetwork: the real transport — a net::Network over non-blocking TCP
+// sockets driven by one epoll event-loop thread, speaking the binary codec
+// (codec.hpp).
+//
+// Topology: every endpoint may listen (sites do, clients don't) and eagerly
+// dials every peer in its address book, so a pair of sites typically holds
+// two connections (one dialed by each side) — normal and harmless; each
+// side prefers its own dialed connection for sending and falls back to an
+// accepted one. The first frame on every connection, in both directions, is
+// a Hello identifying the sender endpoint and its protocol version; it is
+// consumed internally to bind the connection to its peer id (this is how
+// replies reach remote clients: their accepted connection is bound to the
+// client id from their Hello).
+//
+// Delivery contract (matches SimNetwork-with-faults, so the engine's
+// timeout/recovery paths need no transport-specific cases): send() is
+// fire-and-forget and *lossy* — no reachable connection means the message
+// is dropped and counted, and a connection loss discards its queued bytes
+// (a partial frame must never be followed by a fresh one). Dialed
+// connections reconnect with capped exponential backoff; a corrupt frame
+// (codec poison) drops the connection.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/status.hpp"
+
+namespace dtx::net {
+
+struct TcpOptions {
+  /// Listen address "host:port" (port 0 = kernel-assigned, see
+  /// listen_port()). Empty = no listener (a pure client endpoint).
+  std::string listen;
+  /// Address book: peer site id -> "host:port". Dialed eagerly and
+  /// redialed forever with backoff.
+  std::map<SiteId, std::string> peers;
+  std::chrono::milliseconds reconnect_min{50};
+  std::chrono::milliseconds reconnect_max{2000};
+};
+
+/// Transport-level counters (the logical ones — messages/bytes/drops — are
+/// NetworkStats via stats()).
+struct TcpStats {
+  std::uint64_t dials = 0;        ///< connection attempts started
+  std::uint64_t connects = 0;     ///< dialed connections established
+  std::uint64_t accepts = 0;      ///< inbound connections accepted
+  std::uint64_t disconnects = 0;  ///< established connections lost
+  std::uint64_t reconnects = 0;   ///< re-dials after an established loss
+  std::uint64_t frames_rejected = 0;  ///< corrupt frames (connection dropped)
+};
+
+class TcpNetwork final : public Network {
+ public:
+  TcpNetwork(SiteId local, TcpOptions options);
+  ~TcpNetwork() override;
+
+  TcpNetwork(const TcpNetwork&) = delete;
+  TcpNetwork& operator=(const TcpNetwork&) = delete;
+
+  /// Binds the listener (when configured) and spawns the event loop.
+  /// Must be called (successfully) before send(); returns the bind /
+  /// socket error otherwise.
+  [[nodiscard]] util::Status start();
+
+  /// Port actually bound (resolves a port-0 listen). 0 when not listening.
+  [[nodiscard]] std::uint16_t listen_port() const;
+
+  Mailbox& register_site(SiteId site) override;
+  [[nodiscard]] std::vector<SiteId> sites() const override;
+  void send(Message message) override;
+  [[nodiscard]] NetworkStats stats() const override;
+  void interrupt_all() override;
+
+  [[nodiscard]] TcpStats tcp_stats() const;
+
+  /// True when the dialed connection to `peer` is established (handshake
+  /// done in both directions).
+  [[nodiscard]] bool peer_connected(SiteId peer) const;
+
+  /// Test hook: severs every live connection (as a network blip would).
+  /// Dialed peers re-enter the backoff/reconnect path.
+  void drop_connections();
+
+ private:
+  struct Conn;
+  struct DialState {
+    std::chrono::milliseconds backoff;
+    std::chrono::steady_clock::time_point next_at;
+    bool was_established = false;
+  };
+
+  void loop();
+  void wake();
+  void maybe_dial_locked(std::chrono::steady_clock::time_point now);
+  void dial_locked(SiteId peer);
+  void accept_all_locked();
+  void handle_event_locked(int fd, std::uint32_t events);
+  void handle_readable_locked(Conn& conn);
+  void handle_writable_locked(Conn& conn);
+  void deliver_locked(Message message);
+  bool handshake_locked(Conn& conn, const Message& message);
+  void close_conn_locked(int fd, bool lost);
+  void update_interest_locked(Conn& conn);
+
+  const SiteId local_;
+  const TcpOptions options_;
+
+  mutable std::mutex mutex_;
+  std::map<SiteId, std::unique_ptr<Mailbox>> mailboxes_;
+  std::map<int, std::unique_ptr<Conn>> conns_;  // keyed by fd
+  std::map<SiteId, int> dialed_;    // peer -> fd (alive, maybe connecting)
+  std::map<SiteId, int> accepted_;  // peer/client -> fd (post-Hello)
+  std::map<SiteId, DialState> dial_state_;
+  NetworkStats stats_;
+  TcpStats tcp_stats_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace dtx::net

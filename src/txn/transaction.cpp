@@ -36,13 +36,31 @@ std::size_t Transaction::next_operation() const {
 }
 
 void Transaction::complete(TxnResult result) {
+  std::function<void(const TxnResult&)> hook;
   {
     std::lock_guard<std::mutex> lock(latch_mutex_);
     if (done_) return;  // first completion wins (e.g. abort vs late commit)
     done_ = true;
     result_ = std::move(result);
+    hook = std::move(on_complete_);
+    on_complete_ = nullptr;
   }
   latch_cv_.notify_all();
+  if (hook) hook(result_);
+}
+
+void Transaction::set_on_complete(
+    std::function<void(const TxnResult&)> hook) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(latch_mutex_);
+    if (done_) {
+      fire = true;
+    } else {
+      on_complete_ = std::move(hook);
+    }
+  }
+  if (fire && hook) hook(result_);
 }
 
 TxnResult Transaction::await() {

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -131,6 +132,14 @@ class Transaction {
   // --- completion latch ------------------------------------------------------
   /// Publishes the final result and wakes the client.
   void complete(TxnResult result);
+  /// Registers a hook fired once, with the final result, when the
+  /// transaction terminates — the push-style counterpart of await() (the
+  /// remote-client path: the dispatcher turns the result into a
+  /// ClientReply without parking a thread). Fires immediately when the
+  /// transaction already completed. At most one hook; it runs on the
+  /// completing thread, outside the latch, so it may call back into the
+  /// engine but must not block.
+  void set_on_complete(std::function<void(const TxnResult&)> hook);
   /// Blocks the client until the transaction terminates.
   TxnResult await();
   /// Bounded wait: the result, or std::nullopt when `timeout` elapses
@@ -153,6 +162,7 @@ class Transaction {
   std::condition_variable latch_cv_;
   bool done_ = false;
   TxnResult result_;
+  std::function<void(const TxnResult&)> on_complete_;
 };
 
 }  // namespace dtx::txn

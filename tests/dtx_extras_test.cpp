@@ -702,6 +702,80 @@ TEST(StagedEngineTest, MultiWorkerConflictingUpdatesStayConsistent) {
   EXPECT_GT(committed.load(), 0u);
 }
 
+// The client wire protocol works over ANY Network — here SimNetwork: a
+// mailbox registered in the client id range sends ClientSubmit to a running
+// site and pops the ClientReply, exactly the exchange dtxd serves over TCP.
+TEST(StagedEngineTest, ClientProtocolRunsOverSimNetwork) {
+  Cluster cluster(small_options());
+  ASSERT_TRUE(cluster.load_document("d1", kStagedXml, {0, 1}).is_ok());
+  ASSERT_TRUE(cluster.start().is_ok());
+
+  const SiteId client_id = net::kClientIdBase + 7;
+  net::Mailbox& inbox = cluster.network().register_site(client_id);
+
+  auto submit_and_await = [&](std::uint64_t seq,
+                              std::vector<std::string> texts) {
+    net::ClientSubmit submit;
+    submit.seq = seq;
+    for (const std::string& text : texts) {
+      auto op = txn::parse_operation(text);
+      EXPECT_TRUE(op.is_ok()) << text;
+      submit.ops.push_back(std::move(op).value());
+    }
+    net::Message message;
+    message.from = client_id;
+    message.to = 0;
+    message.payload = std::move(submit);
+    cluster.network().send(std::move(message));
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (std::chrono::steady_clock::now() < deadline) {
+      auto reply = inbox.pop(100ms);
+      if (!reply.has_value()) continue;
+      auto* payload = std::get_if<net::ClientReply>(&reply->payload);
+      if (payload != nullptr && payload->seq == seq) return *payload;
+    }
+    return net::ClientReply{};  // seq 0: never sent, fails the asserts below
+  };
+
+  const net::ClientReply write = submit_and_await(
+      1, {"update d1 change /site/people/person[@id='p1']/phone ::= 4242"});
+  ASSERT_EQ(write.seq, 1u);
+  ASSERT_TRUE(write.accepted) << write.detail;
+  EXPECT_EQ(static_cast<TxnState>(write.state), TxnState::kCommitted);
+  EXPECT_GT(write.txn, 0u);
+
+  const net::ClientReply read = submit_and_await(
+      2, {"query d1 /site/people/person[@id='p1']/phone"});
+  ASSERT_EQ(read.seq, 2u);
+  ASSERT_TRUE(read.accepted) << read.detail;
+  EXPECT_EQ(static_cast<TxnState>(read.state), TxnState::kCommitted);
+  ASSERT_EQ(read.rows.size(), 1u);
+  ASSERT_EQ(read.rows[0].size(), 1u);
+  EXPECT_NE(read.rows[0][0].find("4242"), std::string::npos);
+
+  // An empty submission is rejected at the door, not silently dropped.
+  net::Message empty;
+  empty.from = client_id;
+  empty.to = 0;
+  empty.payload = net::ClientSubmit{3, {}};
+  cluster.network().send(std::move(empty));
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  bool rejected = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto reply = inbox.pop(100ms);
+    if (!reply.has_value()) continue;
+    auto* payload = std::get_if<net::ClientReply>(&reply->payload);
+    if (payload != nullptr && payload->seq == 3) {
+      EXPECT_FALSE(payload->accepted);
+      EXPECT_FALSE(payload->detail.empty());
+      rejected = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(rejected) << "empty submit got no rejection reply";
+  cluster.stop();
+}
+
 // Single-worker, single-shard options must behave exactly like the seed
 // engine: a deterministic sequential workload commits everything.
 TEST(StagedEngineTest, DefaultOptionsPreserveSequentialBehavior) {

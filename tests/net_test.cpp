@@ -2,8 +2,12 @@
 
 #include <atomic>
 #include <map>
+#include <set>
+#include <string_view>
 #include <thread>
+#include <variant>
 
+#include "net/codec.hpp"
 #include "net/sim_network.hpp"
 #include "txn/operation.hpp"
 
@@ -414,6 +418,294 @@ TEST(MessageTest, TypedExecuteOperationRoundTripsThroughNetwork) {
   EXPECT_TRUE(received.op.is_update());
   EXPECT_EQ(received.op.update.kind, xupdate::UpdateKind::kInsert);
   EXPECT_EQ(received.op.to_string(), kText);
+}
+
+// --- binary codec ------------------------------------------------------------
+
+// One exemplar per payload variant, with edge-case fields exercised:
+// empty strings and vectors, huge ids, doubles, multi-row results.
+std::vector<Message> codec_corpus() {
+  std::vector<Message> corpus;
+  auto add = [&corpus](Payload payload) {
+    corpus.push_back(Message{7, 12, std::move(payload)});
+  };
+
+  ExecuteOperation exec;
+  exec.txn = 0xffff'ffff'ffff'fffeull;
+  exec.op_index = 3;
+  exec.attempt = 9;
+  exec.coordinator = 2;
+  exec.op = txn::parse_operation(
+                "update d1 insert into /site/people ::= <person id=\"p9\"/>")
+                .value();
+  add(exec);
+
+  OperationResult result;
+  result.txn = 42;
+  result.op_index = 1;
+  result.executed = true;
+  result.rows = {"", "two", std::string(300, 'x')};
+  result.reason = txn::AbortReason::kUnprocessableUpdate;
+  result.error = "boom";
+  add(result);
+  add(OperationResult{});  // all defaults / empty vectors
+
+  add(UndoOperation{42, 7});
+  add(CommitRequest{9000});
+  add(CommitAck{9000, true});
+  add(AbortRequest{1});
+  add(AbortAck{1, false});
+  add(FailNotice{77});
+
+  add(WfgRequest{123456789, 3});
+  WfgReply wfg_reply;
+  wfg_reply.probe = 5;
+  wfg_reply.edges = {{1, 2}, {2, 3}, {0xffffffffull, 1}};
+  add(wfg_reply);
+  add(WfgReply{});
+
+  add(VictimAbort{13});
+  add(WakeTxn{14});
+  add(TxnStatusRequest{15, 2});
+  add(TxnStatusReply{15, TxnOutcome::kCommitted});
+
+  SnapshotReadRequest snap_req;
+  snap_req.txn = 16;
+  snap_req.coordinator = 1;
+  snap_req.op_indices = {0, 2};
+  snap_req.ops = {txn::parse_operation("query d1 /a/b").value(),
+                  txn::parse_operation("query d2 //c[@k='v']").value()};
+  add(snap_req);
+  SnapshotReadReply snap_reply;
+  snap_reply.txn = 16;
+  snap_reply.ok = true;
+  snap_reply.op_indices = {0, 2};
+  snap_reply.rows = {{"r1", "r2"}, {}};
+  add(snap_reply);
+
+  add(Hello{kClientIdBase + 5, codec::kProtocolVersion});
+
+  ClientSubmit submit;
+  submit.seq = 99;
+  submit.ops = {txn::parse_operation("query d1 /a").value(),
+                txn::parse_operation("update d1 remove /a/b").value()};
+  add(submit);
+
+  ClientReply reply;
+  reply.seq = 99;
+  reply.accepted = true;
+  reply.txn = 4242;
+  reply.state = 2;
+  reply.reason = 1;
+  reply.deadlock_victim = true;
+  reply.wait_episodes = 3;
+  reply.response_ms = 12.75;
+  reply.detail = "deadlock victim";
+  reply.rows = {{"a"}, {"b", ""}};
+  add(reply);
+
+  add(RecoveryPullRequest{"d1", 2});
+  RecoveryPullReply pull;
+  pull.doc = "d1";
+  pull.ok = true;
+  pull.version = 31;
+  pull.snapshot = std::string("<site>\x01\x02\xff binary-ish</site>", 28);
+  pull.log = "v=1 t=5 n=1\nupdate d1 delete /a\n";
+  add(pull);
+
+  return corpus;
+}
+
+TEST(CodecTest, EveryPayloadVariantRoundTripsByteExactly) {
+  // The corpus must cover the whole variant (futureproofing: extending
+  // Payload without extending the corpus fails here).
+  std::set<std::size_t> covered;
+  for (const Message& message : codec_corpus()) {
+    covered.insert(message.payload.index());
+  }
+  EXPECT_EQ(covered.size(), std::variant_size_v<Payload>);
+
+  for (const Message& message : codec_corpus()) {
+    const std::string frame = codec::encode(message);
+    auto decoded = codec::decode(frame);
+    ASSERT_TRUE(decoded.is_ok()) << payload_name(message.payload) << ": "
+                              << decoded.status().to_string();
+    EXPECT_EQ(decoded.value().from, message.from);
+    EXPECT_EQ(decoded.value().to, message.to);
+    EXPECT_EQ(decoded.value().payload.index(), message.payload.index());
+    // Byte-exact: re-encoding the decoded message reproduces the frame.
+    EXPECT_EQ(codec::encode(decoded.value()), frame)
+        << payload_name(message.payload);
+  }
+}
+
+TEST(CodecTest, DecodedFieldsMatch) {
+  ClientReply reply;
+  reply.seq = 7;
+  reply.accepted = true;
+  reply.txn = 99;
+  reply.state = 3;
+  reply.reason = 2;
+  reply.wait_episodes = 11;
+  reply.response_ms = 0.125;
+  reply.detail = "d";
+  reply.rows = {{"x", "y"}};
+  auto decoded = codec::decode(codec::encode(Message{1, 2, reply}));
+  ASSERT_TRUE(decoded.is_ok());
+  const auto& got = std::get<ClientReply>(decoded.value().payload);
+  EXPECT_EQ(got.seq, 7u);
+  EXPECT_TRUE(got.accepted);
+  EXPECT_EQ(got.txn, 99u);
+  EXPECT_EQ(got.state, 3);
+  EXPECT_EQ(got.reason, 2);
+  EXPECT_EQ(got.wait_episodes, 11u);
+  EXPECT_EQ(got.response_ms, 0.125);
+  EXPECT_EQ(got.detail, "d");
+  ASSERT_EQ(got.rows.size(), 1u);
+  EXPECT_EQ(got.rows[0], (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(CodecTest, OperationsSurviveTheTextRoundTrip) {
+  const char* kText = "update d2 change /site/a[@id='1']/name ::= Anna";
+  ClientSubmit submit;
+  submit.seq = 1;
+  submit.ops = {txn::parse_operation(kText).value()};
+  auto decoded = codec::decode(codec::encode(Message{1, 0, submit}));
+  ASSERT_TRUE(decoded.is_ok());
+  const auto& got = std::get<ClientSubmit>(decoded.value().payload);
+  ASSERT_EQ(got.ops.size(), 1u);
+  EXPECT_EQ(got.ops[0].to_string(), kText);
+  EXPECT_TRUE(got.ops[0].is_update());
+}
+
+TEST(CodecTest, TruncationAtEveryLengthRejects) {
+  OperationResult result;
+  result.txn = 5;
+  result.rows = {"row1", "row2"};
+  result.error = "some error";
+  const std::string frame = codec::encode(Message{1, 2, result});
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    auto decoded = codec::decode(std::string_view(frame.data(), cut));
+    EXPECT_FALSE(decoded.is_ok()) << "prefix of length " << cut << " decoded";
+  }
+}
+
+TEST(CodecTest, EveryFlippedByteRejects) {
+  // FNV-64 over the body + validated header: no single-byte corruption
+  // anywhere in the frame may pass.
+  const std::string frame =
+      codec::encode(Message{1, 2, CommitAck{77, true}});
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::string corrupt = frame;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x20);
+    auto decoded = codec::decode(corrupt);
+    EXPECT_FALSE(decoded.is_ok()) << "flip at byte " << i << " decoded";
+  }
+}
+
+TEST(CodecTest, TrailingBytesReject) {
+  std::string frame = codec::encode(Message{1, 2, WakeTxn{3}});
+  frame += '\0';
+  EXPECT_FALSE(codec::decode(frame).is_ok());
+}
+
+TEST(CodecTest, UnknownTagRejects) {
+  // Body: from | to | tag | payload. Tag 0 and tags past the variant are
+  // both invalid. Rebuild the checksum so only the tag is at fault.
+  std::string frame = codec::encode(Message{1, 2, WakeTxn{3}});
+  auto with_tag = [&frame](std::uint8_t tag) {
+    std::string forged = frame;
+    forged[16 + 8] = static_cast<char>(tag);  // header + from + to
+    // Recompute FNV-1a 64 of the body.
+    std::uint64_t hash = 1469598103934665603ull;
+    for (std::size_t i = 16; i < forged.size(); ++i) {
+      hash ^= static_cast<unsigned char>(forged[i]);
+      hash *= 1099511628211ull;
+    }
+    for (int i = 0; i < 8; ++i) {
+      forged[8 + i] = static_cast<char>((hash >> (8 * i)) & 0xff);
+    }
+    return forged;
+  };
+  EXPECT_FALSE(codec::decode(with_tag(0)).is_ok());
+  EXPECT_FALSE(codec::decode(with_tag(22)).is_ok());
+  EXPECT_FALSE(codec::decode(with_tag(255)).is_ok());
+  // Sanity: the forgery helper preserves valid frames.
+  EXPECT_TRUE(codec::decode(with_tag(12)).is_ok());  // WakeTxn's own tag
+}
+
+TEST(CodecTest, BadMagicRejects) {
+  std::string frame = codec::encode(Message{1, 2, WakeTxn{3}});
+  frame[0] = 'X';
+  EXPECT_FALSE(codec::decode(frame).is_ok());
+}
+
+TEST(CodecTest, OversizedLengthRejects) {
+  std::string frame = codec::encode(Message{1, 2, WakeTxn{3}});
+  // length field = bytes 4..8; claim something absurd.
+  frame[4] = '\xff';
+  frame[5] = '\xff';
+  frame[6] = '\xff';
+  frame[7] = '\x7f';
+  EXPECT_FALSE(codec::decode(frame).is_ok());
+}
+
+TEST(CodecTest, WireSizeMatchesEncodedFrame) {
+  for (const Message& message : codec_corpus()) {
+    EXPECT_EQ(payload_wire_size(message.payload),
+              codec::encode(message).size())
+        << payload_name(message.payload);
+  }
+}
+
+TEST(FrameReaderTest, ReassemblesFramesFedByteByByte) {
+  std::string stream;
+  for (const Message& message : codec_corpus()) {
+    codec::encode(message, stream);
+  }
+  codec::FrameReader reader;
+  std::vector<Message> got;
+  for (char byte : stream) {
+    reader.feed(std::string_view(&byte, 1));
+    while (true) {
+      auto next = reader.next();
+      ASSERT_TRUE(next.is_ok());
+      if (!next.value().has_value()) break;
+      got.push_back(std::move(*next.value()));
+    }
+  }
+  const std::vector<Message> expected = codec_corpus();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(codec::encode(got[i]), codec::encode(expected[i])) << i;
+  }
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderTest, CorruptFramePoisonsTheReader) {
+  std::string stream = codec::encode(Message{1, 2, WakeTxn{3}});
+  std::string corrupt = codec::encode(Message{1, 2, WakeTxn{4}});
+  corrupt[corrupt.size() - 1] ^= 0x01;  // body corruption
+  std::string good = codec::encode(Message{1, 2, WakeTxn{5}});
+  codec::FrameReader reader;
+  reader.feed(stream + corrupt + good);
+
+  auto first = reader.next();
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(first.value().has_value());
+
+  EXPECT_FALSE(reader.next().is_ok());
+  EXPECT_TRUE(reader.poisoned());
+  // Poison is sticky — the good frame after the corrupt one is
+  // unreachable (framing is lost; the connection must drop).
+  EXPECT_FALSE(reader.next().is_ok());
+}
+
+TEST(FrameReaderTest, GarbagePrefixPoisonsImmediately) {
+  codec::FrameReader reader;
+  reader.feed("this is not a DTX frame at all............");
+  EXPECT_FALSE(reader.next().is_ok());
+  EXPECT_TRUE(reader.poisoned());
 }
 
 }  // namespace

@@ -1,0 +1,324 @@
+// TcpNetwork loopback tests: two in-process endpoints over 127.0.0.1
+// exercising the real transport — handshake, request/reply in both
+// directions, every payload shape, dropped connections, reconnect with
+// backoff, and corrupt-frame rejection. Skipped (GTEST_SKIP) when the
+// sandbox forbids binding a loopback socket; CI runs them with the
+// "socket" ctest label.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+
+#include "net/codec.hpp"
+#include "net/tcp_network.hpp"
+#include "txn/operation.hpp"
+
+namespace dtx::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Binding loopback may be forbidden in sandboxes; probe once.
+bool loopback_available() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  const bool ok =
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  ::close(fd);
+  return ok;
+}
+
+#define REQUIRE_LOOPBACK()                                         \
+  if (!loopback_available()) {                                     \
+    GTEST_SKIP() << "cannot bind 127.0.0.1 in this environment";   \
+  }
+
+/// A listening endpoint (site 0) and a dialing endpoint (`dialer_id`)
+/// connected to it over loopback.
+struct LoopbackPair {
+  std::unique_ptr<TcpNetwork> listener;  // site 0
+  std::unique_ptr<TcpNetwork> dialer;
+  Mailbox* listener_box = nullptr;
+  Mailbox* dialer_box = nullptr;
+
+  static std::unique_ptr<LoopbackPair> make(SiteId dialer_id = 1) {
+    auto pair = std::make_unique<LoopbackPair>();
+    TcpOptions listen_options;
+    listen_options.listen = "127.0.0.1:0";
+    pair->listener = std::make_unique<TcpNetwork>(0, listen_options);
+    pair->listener_box = &pair->listener->register_site(0);
+    if (!pair->listener->start()) return nullptr;
+
+    TcpOptions dial_options;
+    dial_options.peers[0] =
+        "127.0.0.1:" + std::to_string(pair->listener->listen_port());
+    dial_options.reconnect_min = 10ms;
+    dial_options.reconnect_max = 100ms;
+    pair->dialer = std::make_unique<TcpNetwork>(dialer_id, dial_options);
+    pair->dialer_box = &pair->dialer->register_site(dialer_id);
+    if (!pair->dialer->start()) return nullptr;
+    return pair;
+  }
+
+  bool wait_connected(std::chrono::milliseconds timeout = 3000ms) const {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (dialer->peer_connected(0)) return true;
+      std::this_thread::sleep_for(5ms);
+    }
+    return false;
+  }
+};
+
+TEST(TcpNetworkTest, PortZeroResolvesToARealPort) {
+  REQUIRE_LOOPBACK();
+  TcpOptions options;
+  options.listen = "127.0.0.1:0";
+  TcpNetwork network(0, options);
+  ASSERT_TRUE(static_cast<bool>(network.start()));
+  EXPECT_NE(network.listen_port(), 0);
+}
+
+TEST(TcpNetworkTest, RequestReplyBothDirections) {
+  REQUIRE_LOOPBACK();
+  auto pair = LoopbackPair::make();
+  ASSERT_NE(pair, nullptr);
+  ASSERT_TRUE(pair->wait_connected());
+
+  // Dialer -> listener over the dialed connection.
+  pair->dialer->send(Message{1, 0, WakeTxn{11}});
+  auto request = pair->listener_box->pop(3s);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->from, 1u);
+  EXPECT_EQ(std::get<WakeTxn>(request->payload).txn, 11u);
+
+  // Listener -> dialer over the accepted connection (bound by the Hello
+  // that necessarily preceded the message above).
+  pair->listener->send(Message{0, 1, CommitAck{11, true}});
+  auto reply = pair->dialer_box->pop(3s);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(std::get<CommitAck>(reply->payload).ok);
+}
+
+TEST(TcpNetworkTest, AllPayloadShapesSurviveTheWire) {
+  REQUIRE_LOOPBACK();
+  auto pair = LoopbackPair::make();
+  ASSERT_NE(pair, nullptr);
+  ASSERT_TRUE(pair->wait_connected());
+
+  std::vector<Payload> payloads;
+  ExecuteOperation exec;
+  exec.txn = 7;
+  exec.coordinator = 1;
+  exec.op = txn::parse_operation(
+                "update d1 insert into /site/people ::= <person id=\"p9\"/>")
+                .value();
+  payloads.emplace_back(exec);
+  OperationResult result;
+  result.txn = 7;
+  result.executed = true;
+  result.rows = {"a", "", std::string(5000, 'z')};
+  payloads.emplace_back(result);
+  WfgReply wfg;
+  wfg.probe = 3;
+  wfg.edges = {{1, 2}, {3, 4}};
+  payloads.emplace_back(wfg);
+  SnapshotReadRequest snap;
+  snap.txn = 9;
+  snap.op_indices = {0};
+  snap.ops = {txn::parse_operation("query d1 /a/b").value()};
+  payloads.emplace_back(snap);
+  ClientReply client_reply;
+  client_reply.seq = 4;
+  client_reply.accepted = true;
+  client_reply.response_ms = 1.5;
+  client_reply.rows = {{"x"}};
+  payloads.emplace_back(client_reply);
+  RecoveryPullReply pull;
+  pull.doc = "d1";
+  pull.ok = true;
+  pull.snapshot = "<site/>";
+  pull.log = "v=1 t=2 n=0\n";
+  payloads.emplace_back(pull);
+
+  for (const Payload& payload : payloads) {
+    pair->dialer->send(Message{1, 0, payload});
+    auto got = pair->listener_box->pop(3s);
+    ASSERT_TRUE(got.has_value()) << payload_name(payload);
+    // Byte-exact arrival: same codec frame on both ends.
+    EXPECT_EQ(codec::encode(*got), codec::encode(Message{1, 0, payload}))
+        << payload_name(payload);
+  }
+}
+
+TEST(TcpNetworkTest, SitesListsPeersButNeverClients) {
+  REQUIRE_LOOPBACK();
+  auto pair = LoopbackPair::make(kClientIdBase + 42);
+  ASSERT_NE(pair, nullptr);
+  ASSERT_TRUE(pair->wait_connected());
+
+  // The client endpoint appears in neither side's site list.
+  for (SiteId site : pair->listener->sites()) EXPECT_FALSE(is_client_id(site));
+  for (SiteId site : pair->dialer->sites()) EXPECT_FALSE(is_client_id(site));
+
+  // ... but replies still route to it: submit/reply as a remote client.
+  pair->dialer->send(Message{kClientIdBase + 42, 0, WakeTxn{5}});
+  auto request = pair->listener_box->pop(3s);
+  ASSERT_TRUE(request.has_value());
+  pair->listener->send(
+      Message{0, kClientIdBase + 42, CommitAck{5, true}});
+  auto reply = pair->dialer_box->pop(3s);
+  ASSERT_TRUE(reply.has_value());
+}
+
+TEST(TcpNetworkTest, ReconnectsAfterDroppedConnectionsWithBackoff) {
+  REQUIRE_LOOPBACK();
+  auto pair = LoopbackPair::make();
+  ASSERT_NE(pair, nullptr);
+  ASSERT_TRUE(pair->wait_connected());
+  const TcpStats before = pair->dialer->tcp_stats();
+
+  pair->dialer->drop_connections();
+  ASSERT_TRUE(pair->wait_connected());
+
+  const TcpStats after = pair->dialer->tcp_stats();
+  EXPECT_GT(after.disconnects, before.disconnects);
+  EXPECT_GT(after.reconnects, before.reconnects);
+  EXPECT_GT(after.connects, before.connects);
+
+  // The healed connection carries traffic again.
+  pair->dialer->send(Message{1, 0, WakeTxn{21}});
+  auto got = pair->listener_box->pop(3s);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(std::get<WakeTxn>(got->payload).txn, 21u);
+}
+
+TEST(TcpNetworkTest, BackoffCapsWhilePeerStaysDown) {
+  REQUIRE_LOOPBACK();
+  // Dial a port nobody listens on: every attempt fails, the dial counter
+  // keeps growing, and the backoff cap keeps the rate bounded.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  const std::uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);  // nothing listens here now
+
+  TcpOptions options;
+  options.peers[0] = "127.0.0.1:" + std::to_string(dead_port);
+  options.reconnect_min = 5ms;
+  options.reconnect_max = 40ms;
+  TcpNetwork network(1, options);
+  network.register_site(1);
+  ASSERT_TRUE(static_cast<bool>(network.start()));
+
+  std::this_thread::sleep_for(300ms);
+  const TcpStats stats = network.tcp_stats();
+  EXPECT_GE(stats.dials, 3u);   // it kept trying
+  EXPECT_LE(stats.dials, 70u);  // ... but backoff bounded the rate
+  EXPECT_EQ(stats.connects, 0u);
+  EXPECT_FALSE(network.peer_connected(0));
+
+  // Messages toward the unreachable peer are dropped and counted, not
+  // queued forever.
+  const std::uint64_t dropped_before = network.stats().messages_dropped;
+  network.send(Message{1, 0, WakeTxn{1}});
+  EXPECT_GE(network.stats().messages_dropped + 1, dropped_before + 1);
+}
+
+TEST(TcpNetworkTest, CorruptFrameDropsTheConnection) {
+  REQUIRE_LOOPBACK();
+  TcpOptions options;
+  options.listen = "127.0.0.1:0";
+  TcpNetwork network(0, options);
+  network.register_site(0);
+  ASSERT_TRUE(static_cast<bool>(network.start()));
+
+  // Raw TCP client: a valid Hello, then garbage.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(network.listen_port());
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string hello = codec::encode(
+      Message{kClientIdBase + 1, 0, Hello{kClientIdBase + 1,
+                                          codec::kProtocolVersion}});
+  ASSERT_EQ(::send(fd, hello.data(), hello.size(), 0),
+            static_cast<ssize_t>(hello.size()));
+  const std::string garbage = "definitely not a DTX frame";
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+
+  // The server must reject the frame and close the connection: recv sees
+  // EOF and the rejection counter moves.
+  char buffer[64];
+  const auto deadline = std::chrono::steady_clock::now() + 3s;
+  ssize_t n = -1;
+  while (std::chrono::steady_clock::now() < deadline) {
+    n = ::recv(fd, buffer, sizeof(buffer), MSG_DONTWAIT);
+    if (n == 0) break;
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(n, 0) << "server did not close the poisoned connection";
+  ::close(fd);
+  EXPECT_GE(network.tcp_stats().frames_rejected, 1u);
+}
+
+TEST(TcpNetworkTest, MessagesToThePastPeerDropAfterItsConnectionDies) {
+  REQUIRE_LOOPBACK();
+  auto pair = LoopbackPair::make();
+  ASSERT_NE(pair, nullptr);
+  ASSERT_TRUE(pair->wait_connected());
+
+  // Kill the dialer entirely; the listener's accepted route dies with it.
+  pair->dialer.reset();
+  std::this_thread::sleep_for(50ms);
+
+  const std::uint64_t dropped_before =
+      pair->listener->stats().messages_dropped;
+  pair->listener->send(Message{0, 1, WakeTxn{9}});
+  // Either the route was already torn down (counted drop) or the bytes
+  // vanish with the dead socket — in both cases nothing explodes and no
+  // reply ever comes. The send must at least not crash; when the route is
+  // gone the drop is counted.
+  EXPECT_GE(pair->listener->stats().messages_dropped, dropped_before);
+}
+
+TEST(TcpNetworkTest, LocalSendsBypassTheWire) {
+  REQUIRE_LOOPBACK();
+  TcpOptions options;
+  options.listen = "127.0.0.1:0";
+  TcpNetwork network(0, options);
+  Mailbox& box = network.register_site(0);
+  ASSERT_TRUE(static_cast<bool>(network.start()));
+  network.send(Message{0, 0, WakeTxn{33}});
+  auto got = box.pop(1s);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(std::get<WakeTxn>(got->payload).txn, 33u);
+  EXPECT_EQ(network.stats().messages_sent, 1u);
+  EXPECT_GT(network.stats().bytes_sent, 0u);  // codec-sized accounting
+}
+
+}  // namespace
+}  // namespace dtx::net
