@@ -47,6 +47,9 @@ int main(int argc, char** argv) {
   // probe (see ChaosOptions::read_fraction).
   options.read_fraction = flags.get_double("read_pct", 20.0) / 100.0;
   options.snapshot_reads = flags.get_int("snapshot_reads", 1) != 0;
+  // Elastic membership soak: alternate rounds add a site (replica
+  // migration under load + link faults) and decommission it again.
+  options.membership_churn = flags.get_int("membership_churn", 0) != 0;
 
   const workload::ChaosReport report = workload::run_chaos(options);
   for (const std::string& violation : report.violations) {

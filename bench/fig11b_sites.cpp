@@ -18,8 +18,13 @@ int main(int argc, char** argv) {
   base.replication = workload::Replication::kPartial;
   base.update_txn_fraction = 0.2;
   apply_common_flags(flags, base);
+  // --json: one machine-readable line per point (the partial-replication
+  // scaling evidence: --replication=2 --json at 6+ sites vs --replication=0).
+  const bool json = flags.get_bool("json", false);
 
-  print_header("Figure 11(b): variation in the number of sites", "sites");
+  if (!json) {
+    print_header("Figure 11(b): variation in the number of sites", "sites");
+  }
   for (std::int64_t sites = 2; sites <= 8; sites += 2) {
     for (const auto protocol :
          {lock::ProtocolKind::kXdgl, lock::ProtocolKind::kXdglPlain,
@@ -29,8 +34,12 @@ int main(int argc, char** argv) {
       config.fragment_count = 2 * config.sites;
       config.protocol = protocol;
       const ExperimentResult result = run_experiment(config);
-      print_row(std::to_string(sites), lock::protocol_kind_name(protocol),
-                result);
+      if (json) {
+        print_json_row("fig11b_sites", config, result);
+      } else {
+        print_row(std::to_string(sites), lock::protocol_kind_name(protocol),
+                  result);
+      }
     }
   }
   return 0;

@@ -72,8 +72,11 @@ namespace {
 SiteId affinity_site(const Cluster& cluster, const PreparedTxn& txn,
                      bool* resolved) {
   std::map<SiteId, std::size_t> scores;
+  // One pinned view for the whole scoring pass: hosting sets come back by
+  // const reference instead of a fresh vector per operation.
+  const core::Catalog::View view = cluster.catalog().view();
   for (const txn::Operation& op : txn.ops()) {
-    for (SiteId site : cluster.catalog().sites_of(op.doc)) {
+    for (SiteId site : view->sites_of(op.doc)) {
       ++scores[site];
     }
   }

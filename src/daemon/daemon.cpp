@@ -7,6 +7,7 @@
 #include <thread>
 #include <variant>
 
+#include "dtx/inspector.hpp"
 #include "dtx/recovery.hpp"
 #include "dtx/wal.hpp"
 #include "lock/protocol.hpp"
@@ -103,7 +104,44 @@ net::TcpOptions make_tcp_options(const DaemonConfig& config) {
   net::TcpOptions options;  // keep the default reconnect backoff window
   options.listen = config.listen;
   options.peers = config.peers;
+  if (config.join) options.peers[config.join_seed] = config.join_seed_address;
   return options;
+}
+
+/// Boot-flag catalog: the --docs placement plus the flag address book, at
+/// epoch 0 so any membership-managed epoch (durable record, CatalogUpdate,
+/// JoinReply) strictly wins.
+placement::CatalogEpoch boot_epoch(const DaemonConfig& config) {
+  placement::CatalogEpoch epoch;
+  auto add_member = [&epoch](net::SiteId site) {
+    if (!epoch.is_member(site)) epoch.members.push_back(site);
+  };
+  for (const auto& [name, sites] : config.docs) {
+    std::vector<net::SiteId> sorted = sites;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (const net::SiteId site : sorted) add_member(site);
+    epoch.placement[name] = std::move(sorted);
+  }
+  for (const auto& [site, address] : config.peers) {
+    add_member(site);
+    epoch.addresses[site] = address;
+  }
+  if (!config.join) {
+    // A joiner is NOT a boot member — it enters via the join protocol.
+    add_member(config.site.id);
+    // Own dialable address, when knowable before the listener binds
+    // (explicit --advertise, or a --listen with a real port). Rebalances
+    // carry it into every distributed epoch.
+    std::string advertise = config.advertise;
+    if (advertise.empty() && config.listen.rfind(":0") !=
+                                 config.listen.size() - 2) {
+      advertise = config.listen;
+    }
+    if (!advertise.empty()) epoch.addresses[config.site.id] = advertise;
+  }
+  std::sort(epoch.members.begin(), epoch.members.end());
+  return epoch;
 }
 
 }  // namespace
@@ -132,6 +170,34 @@ Result<DaemonConfig> config_from_flags(const util::Flags& flags) {
   auto loads = parse_loads(flags.get_string("load", ""));
   if (!loads) return loads.status();
   config.loads = std::move(loads).value();
+
+  config.advertise = flags.get_string("advertise", "");
+  const std::string join = flags.get_string("join", "");
+  if (!join.empty()) {
+    const std::size_t eq = join.find('=');
+    if (eq == std::string::npos || eq + 1 == join.size()) {
+      return Status(Code::kInvalidArgument,
+                    "--join must be seed_id=host:port, got '" + join + "'");
+    }
+    auto seed = parse_site_id(join.substr(0, eq));
+    if (!seed) return seed.status();
+    if (seed.value() == config.site.id) {
+      return Status(Code::kInvalidArgument,
+                    "--join seed must be another site");
+    }
+    config.join = true;
+    config.join_seed = seed.value();
+    config.join_seed_address = join.substr(eq + 1);
+  }
+
+  auto policy = placement::parse_placement_policy(
+      flags.get_string("policy",
+                       placement::placement_policy_name(
+                           config.site.placement_policy)));
+  if (!policy) return policy.status();
+  config.site.placement_policy = policy.value();
+  config.site.replication = static_cast<std::size_t>(flags.get_int(
+      "replication", static_cast<std::int64_t>(config.site.replication)));
 
   config.connect_wait = std::chrono::milliseconds(
       flags.get_int("connect_wait_ms", config.connect_wait.count()));
@@ -177,21 +243,28 @@ Result<DaemonConfig> config_from_flags(const util::Flags& flags) {
 Daemon::Daemon(DaemonConfig config)
     : config_(std::move(config)),
       store_(std::filesystem::path(config_.store_dir)),
+      catalog_(boot_epoch(config_)),
       network_(config_.site.id, make_tcp_options(config_)) {}
 
 Daemon::~Daemon() { stop(); }
 
 Status Daemon::start() {
-  for (const auto& [name, sites] : config_.docs) {
-    Status placed = catalog_.add_document(name, sites);
-    if (!placed) return placed;
-  }
   Status up = network_.start();
   if (!up) return up;
-  Status seeded = seed_documents();
-  if (!seeded) return seeded;
-  Status recovered = recover_documents();
-  if (!recovered) return recovered;
+  Status cataloged = load_or_boot_catalog();
+  if (!cataloged) return cataloged;
+  if (config_.join && catalog_.epoch() == 0) {
+    // First boot of a joiner: no durable catalog yet — run the handshake.
+    // (A restart resumes from the durable epoch instead; the engine's
+    // fence + pull path finishes any interrupted migration.)
+    Status joined = run_join_handshake();
+    if (!joined) return joined;
+  } else {
+    Status seeded = seed_documents();
+    if (!seeded) return seeded;
+    Status recovered = recover_documents();
+    if (!recovered) return recovered;
+  }
   site_ = std::make_unique<core::Site>(config_.site, network_, catalog_,
                                        store_);
   Status started = site_->start();
@@ -203,8 +276,130 @@ Status Daemon::start() {
 }
 
 void Daemon::stop() {
-  if (site_ != nullptr) site_->stop();
+  if (site_ != nullptr && !stopped_) {
+    stopped_ = true;
+    site_->stop();
+    const core::SiteStats stats = site_->stats();
+    DTX_INFO() << "dtxd: site " + std::to_string(config_.site.id) + " " +
+                      core::describe_tcp(network_.tcp_stats()) +
+                      " | placement: catalog_epoch=" +
+                      std::to_string(stats.catalog_epoch) +
+                      " stale_catalog_aborts=" +
+                      std::to_string(stats.stale_catalog_aborts) +
+                      " migrations=" + std::to_string(stats.migrations) +
+                      " migrated_bytes=" + std::to_string(stats.migrated_bytes);
+  }
   network_.interrupt_all();
+}
+
+void Daemon::begin_decommission() {
+  if (site_ == nullptr) return;
+  // The decommission order is a JoinRequest naming the site itself,
+  // self-sent through the transport so it runs on the dispatcher like any
+  // operator-issued admin message.
+  network_.send(net::Message{config_.site.id, config_.site.id,
+                             net::JoinRequest{config_.site.id, ""}});
+}
+
+Status Daemon::load_or_boot_catalog() {
+  // The boot-flag catalog (epoch 0) is already installed; a durable
+  // `~catalog` record from a previous membership change strictly wins.
+  auto text = store_.load(core::SiteContext::kCatalogKey);
+  if (!text) return Status::ok();  // fresh store — boot flags stand
+  auto parsed = placement::CatalogEpoch::parse(text.value());
+  if (!parsed) {
+    return Status(Code::kInternal,
+                  "durable catalog unreadable: " + parsed.status().message());
+  }
+  placement::CatalogEpoch durable = std::move(parsed).value();
+  // The durable address book supersedes (and extends) the --peers flags:
+  // members admitted after this daemon's flags were written live only here.
+  for (const auto& [site, address] : durable.addresses) {
+    if (site == config_.site.id || address.empty()) continue;
+    config_.peers[site] = address;
+    network_.add_peer(site, address);
+  }
+  catalog_.install(std::move(durable));
+  DTX_INFO() << "dtxd: site " + std::to_string(config_.site.id) +
+                     " resuming from durable catalog epoch " +
+                     std::to_string(catalog_.epoch());
+  return Status::ok();
+}
+
+Status Daemon::run_join_handshake() {
+  using Clock = std::chrono::steady_clock;
+  // Advertised address: --advertise, else the listen host with the
+  // actually-bound port (resolves a port-0 listen).
+  std::string advertise = config_.advertise;
+  if (advertise.empty()) {
+    const std::size_t colon = config_.listen.rfind(':');
+    advertise = config_.listen.substr(0, colon) + ":" +
+                std::to_string(network_.listen_port());
+  }
+  net::Mailbox& mailbox = network_.register_site(config_.site.id);
+  std::vector<net::Message> deferred;
+  const Clock::time_point deadline =
+      Clock::now() + config_.connect_wait + std::chrono::seconds(30);
+  Clock::time_point last_sent{};
+  std::string last_refusal;
+  while (Clock::now() < deadline) {
+    const Clock::time_point now = Clock::now();
+    if (now - last_sent >= std::chrono::milliseconds(500)) {
+      // Resend until admitted: the transport is lossy while the seed
+      // connection establishes, and the seed defers the reply until the
+      // old epoch drained at every member.
+      network_.send(net::Message{
+          config_.site.id, config_.join_seed,
+          net::JoinRequest{config_.site.id, advertise}});
+      last_sent = now;
+    }
+    auto message = mailbox.pop(std::chrono::microseconds(50'000));
+    if (!message) continue;
+    const auto* reply = std::get_if<net::JoinReply>(&message->payload);
+    if (reply == nullptr) {
+      // Early migration pushes and client traffic: park for the
+      // dispatcher — the Site picks them up the moment it starts.
+      deferred.push_back(std::move(*message));
+      continue;
+    }
+    if (!reply->ok) {
+      last_refusal = reply->error;  // transient (another change in flight)
+      continue;
+    }
+    auto parsed = placement::CatalogEpoch::parse(reply->catalog);
+    if (!parsed) {
+      return Status(Code::kInternal,
+                    "join reply catalog unreadable: " +
+                        parsed.status().message());
+    }
+    placement::CatalogEpoch admitted = std::move(parsed).value();
+    if (!admitted.is_member(config_.site.id)) {
+      return Status(Code::kInternal, "join reply catalog omits this site");
+    }
+    for (const auto& [site, address] : admitted.addresses) {
+      if (site == config_.site.id || address.empty()) continue;
+      config_.peers[site] = address;
+      network_.add_peer(site, address);
+    }
+    // Persist before installing (mirrors Site::install_epoch): a crash
+    // right after admission must restart as a member, not re-join.
+    Status saved =
+        store_.store(core::SiteContext::kCatalogKey, admitted.to_text());
+    if (!saved) return saved;
+    catalog_.install(std::move(admitted));
+    DTX_INFO() << "dtxd: site " + std::to_string(config_.site.id) +
+                       " joined at catalog epoch " +
+                       std::to_string(catalog_.epoch());
+    for (net::Message& parked : deferred) {
+      mailbox.push(std::move(parked), Clock::now());
+    }
+    return Status::ok();
+  }
+  std::string detail = last_refusal.empty()
+                           ? "no JoinReply from seed site " +
+                                 std::to_string(config_.join_seed)
+                           : "seed refused: " + last_refusal;
+  return Status(Code::kUnavailable, "join timed out: " + detail);
 }
 
 Status Daemon::seed_documents() {
@@ -364,6 +559,12 @@ Status Daemon::recover_documents() {
         if (best == nullptr || peer.version > best->version) best = &peer;
       }
       if (best == nullptr) {
+        if (catalog_.epoch() > 0) {
+          // Membership-managed cluster: the replica is still migrating to
+          // this site — Site::start() fences it and the pull path
+          // converges once the sources come up.
+          continue;
+        }
         return Status(Code::kNotFound,
                       "document '" + doc +
                           "' is hosted here but neither the store, --load "

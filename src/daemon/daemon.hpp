@@ -24,19 +24,33 @@
 namespace dtx::daemon {
 
 struct DaemonConfig {
-  /// Engine knobs; `site.id` is this daemon's site id.
+  /// Engine knobs; `site.id` is this daemon's site id. `placement_policy`
+  /// and `replication` (flags --policy / --replication) govern every
+  /// rebalance this daemon seeds.
   core::SiteOptions site;
   /// Listen address "host:port" (port 0 = kernel-assigned).
   std::string listen;
+  /// Address other members should dial; defaults to `listen` with the
+  /// actually-bound port substituted (resolves port 0).
+  std::string advertise;
   /// Peer address book: site id -> "host:port" (own id ignored).
   std::map<net::SiteId, std::string> peers;
   /// FileStore root for this site's replicas, logs and commit log.
   std::string store_dir;
   /// Catalog: document name -> hosting sites (identical on every daemon).
+  /// Ignored when the store holds a durable `~catalog` record — a
+  /// membership-managed cluster's own epoch always wins over boot flags.
   std::vector<std::pair<std::string, std::vector<net::SiteId>>> docs;
   /// Seed data: document name -> XML file, stored only when the local
   /// store does not already hold the document (first boot, not restart).
   std::vector<std::pair<std::string, std::string>> loads;
+  /// --join=ID=host:port: boot as a NEW member. The daemon dials the seed
+  /// site, runs the join protocol (JoinRequest/JoinReply), installs the
+  /// rebalanced catalog and lets the engine's migration machinery pull its
+  /// replicas. A restart with a durable catalog skips the handshake.
+  bool join = false;
+  net::SiteId join_seed = 0;
+  std::string join_seed_address;
   /// Startup bound on waiting for peer connections before recovery pulls.
   std::chrono::milliseconds connect_wait{3000};
   /// Startup bound on collecting RecoveryPullReplies.
@@ -48,6 +62,9 @@ struct DaemonConfig {
 ///   --peers=0=host:port,1=host:port                   (other sites)
 ///   --docs=name:0,1,2;name2:0,2                       (the catalog)
 ///   --load=name:/path.xml;name2:/path2.xml            (first-boot seeds)
+///   --join=ID=host:port                               (join via seed site)
+///   --advertise=host:port                             (dialable address)
+///   --policy=fixed|round_robin|hash_ring --replication=N
 ///   --connect_wait_ms=N --sync_timeout_ms=N
 /// plus engine knobs: --protocol=xdgl|node2pl|doclock, --coordinator_workers,
 /// --participant_workers, --lock_shards, --checkpoint_interval,
@@ -70,6 +87,14 @@ class Daemon {
   /// Stops the site and the transport. Idempotent.
   void stop();
 
+  /// Starts an orderly leave (SIGUSR1): the site rebalances the catalog
+  /// without itself and migrates its replicas away. Poll decommissioned()
+  /// for completion, then stop().
+  void begin_decommission();
+  [[nodiscard]] bool decommissioned() const noexcept {
+    return site_ != nullptr && site_->decommissioned();
+  }
+
   [[nodiscard]] bool running() const noexcept {
     return site_ != nullptr && site_->running();
   }
@@ -80,6 +105,13 @@ class Daemon {
   }
 
  private:
+  /// Seeds catalog_: the durable `~catalog` record when the store holds
+  /// one, the --docs boot layout (with the address book baked in)
+  /// otherwise.
+  util::Status load_or_boot_catalog();
+  /// First-boot --join handshake: JoinRequest to the seed, install the
+  /// JoinReply catalog, dial every member.
+  util::Status run_join_handshake();
   /// Stores --load seeds that are hosted here and not yet present.
   util::Status seed_documents();
   /// Pulls peer replica state for every hosted document and runs
@@ -93,6 +125,7 @@ class Daemon {
   core::Catalog catalog_;
   net::TcpNetwork network_;
   std::unique_ptr<core::Site> site_;
+  bool stopped_ = false;
 };
 
 }  // namespace dtx::daemon

@@ -7,9 +7,14 @@
 //        --load=catalog:seed.xml
 //
 // (one line in the shell; the same with site/listen/store rotated for
-// sites 1 and 2).
-// SIGTERM / SIGINT stop the site cleanly; kill -9 is the crash the
-// recovery path exists for.
+// sites 1 and 2). A new site joins a running cluster with
+//
+//   dtxd --site=3 --listen=127.0.0.1:7103 --store=/tmp/dtx/site3
+//        --join=0=127.0.0.1:7100
+//
+// SIGTERM / SIGINT stop the site cleanly; SIGUSR1 decommissions it
+// (replicas migrate away, then the process exits); kill -9 is the crash
+// the recovery path exists for.
 #include <csignal>
 #include <cstdio>
 
@@ -23,8 +28,10 @@
 namespace {
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_leave{false};
 
 void on_signal(int /*signum*/) { g_stop.store(true); }
+void on_leave(int /*signum*/) { g_leave.store(true); }
 
 }  // namespace
 
@@ -54,7 +61,20 @@ int main(int argc, char** argv) {
 
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
+  std::signal(SIGUSR1, on_leave);
+  bool leaving = false;
   while (!g_stop.load()) {
+    if (g_leave.load() && !leaving) {
+      leaving = true;
+      daemon.begin_decommission();
+    }
+    if (leaving && daemon.decommissioned()) {
+      // Every replica migrated to the surviving members; exiting now
+      // loses nothing.
+      std::printf("dtxd decommissioned\n");
+      std::fflush(stdout);
+      break;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   daemon.stop();

@@ -4,6 +4,15 @@
 
 namespace dtx::core {
 
+Catalog::Catalog()
+    : current_(std::make_shared<const placement::CatalogEpoch>()) {}
+
+Catalog::Catalog(placement::CatalogEpoch epoch)
+    : current_(std::make_shared<const placement::CatalogEpoch>(
+          std::move(epoch))) {}
+
+Catalog::Catalog(const Catalog& other) : current_(other.view()) {}
+
 util::Status Catalog::add_document(const std::string& name,
                                    std::vector<SiteId> sites) {
   if (sites.empty()) {
@@ -12,41 +21,52 @@ util::Status Catalog::add_document(const std::string& name,
   }
   std::sort(sites.begin(), sites.end());
   sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
-  if (placement_.count(name) != 0) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (current_->has_document(name)) {
     return util::Status(util::Code::kAlreadyExists,
                         "document '" + name + "' already placed");
   }
-  placement_[name] = std::move(sites);
+  placement::CatalogEpoch next = *current_;
+  for (const SiteId site : sites) {
+    if (!next.is_member(site)) next.members.push_back(site);
+  }
+  std::sort(next.members.begin(), next.members.end());
+  next.placement[name] = std::move(sites);
+  current_ = std::make_shared<const placement::CatalogEpoch>(std::move(next));
   return util::Status::ok();
 }
 
+Catalog::View Catalog::view() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint64_t Catalog::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_->epoch;
+}
+
+bool Catalog::install(placement::CatalogEpoch next) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (next.epoch <= current_->epoch) return false;
+  current_ = std::make_shared<const placement::CatalogEpoch>(std::move(next));
+  return true;
+}
+
 std::vector<SiteId> Catalog::sites_of(const std::string& name) const {
-  const auto it = placement_.find(name);
-  return it == placement_.end() ? std::vector<SiteId>{} : it->second;
+  return view()->sites_of(name);
 }
 
 bool Catalog::has_document(const std::string& name) const {
-  return placement_.count(name) != 0;
+  return view()->has_document(name);
 }
 
 std::vector<std::string> Catalog::documents() const {
-  std::vector<std::string> names;
-  names.reserve(placement_.size());
-  for (const auto& [name, sites] : placement_) {
-    (void)sites;
-    names.push_back(name);
-  }
-  return names;
+  return view()->documents();
 }
 
 std::vector<std::string> Catalog::documents_at(SiteId site) const {
-  std::vector<std::string> names;
-  for (const auto& [name, sites] : placement_) {
-    if (std::find(sites.begin(), sites.end(), site) != sites.end()) {
-      names.push_back(name);
-    }
-  }
-  return names;
+  return view()->documents_at(site);
 }
 
 }  // namespace dtx::core

@@ -1,16 +1,23 @@
-// Placement catalog: which sites host a replica / fragment of each document.
+// Versioned placement catalog. Each site owns a mutable `Catalog` holding an
+// immutable `placement::CatalogEpoch` snapshot behind a shared_ptr; hot paths
+// take a `view()` once per decision (one ref-count bump) and read hosting
+// sets by const reference from the pinned epoch, so routing is never torn
+// across a catalog change and never copies a site vector per operation.
+// `install()` replaces the snapshot only with a strictly newer epoch —
+// duplicated or reordered `CatalogUpdate` deliveries are no-ops.
+//
 // DTX routes an operation to every hosting site (paper §2.2: "in order to
 // carry out an operation, a transaction must obtain the necessary locks at
-// all the target sites"). The catalog is static configuration shared by all
-// sites, set up by the Cluster from the chosen replication / fragmentation
-// scheme.
+// all the target sites"); with partial replication the hosting set is the
+// epoch's per-document placement rather than the full member list.
 #pragma once
 
-#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
-#include "net/message.hpp"
+#include "placement/placement.hpp"
 #include "util/status.hpp"
 
 namespace dtx::core {
@@ -19,23 +26,38 @@ using net::SiteId;
 
 class Catalog {
  public:
-  /// Registers a document hosted at `sites` (deduplicated, sorted).
+  using View = std::shared_ptr<const placement::CatalogEpoch>;
+
+  Catalog();
+  explicit Catalog(placement::CatalogEpoch epoch);
+  Catalog(const Catalog& other);
+  Catalog& operator=(const Catalog& other) = delete;
+
+  /// Registers a document hosted at `sites` (deduplicated, sorted) in the
+  /// current epoch. Pre-start configuration only — does not bump the epoch.
   util::Status add_document(const std::string& name,
                             std::vector<SiteId> sites);
 
-  /// Hosting sites of a document; empty when unknown.
+  /// The current epoch snapshot. Hold the view across one routing decision
+  /// (or one transaction) and read `view->sites_of(doc)` by const reference.
+  [[nodiscard]] View view() const;
+
+  /// Current epoch number.
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  /// Installs a newer epoch; returns false (and keeps the current one) when
+  /// `next.epoch` is not strictly greater.
+  bool install(placement::CatalogEpoch next);
+
+  // Cold-path conveniences (inspector, harnesses). Hot paths use view().
   [[nodiscard]] std::vector<SiteId> sites_of(const std::string& name) const;
-
   [[nodiscard]] bool has_document(const std::string& name) const;
-
-  /// All registered document names, sorted.
   [[nodiscard]] std::vector<std::string> documents() const;
-
-  /// Documents hosted by one site, sorted.
   [[nodiscard]] std::vector<std::string> documents_at(SiteId site) const;
 
  private:
-  std::map<std::string, std::vector<SiteId>> placement_;
+  mutable std::mutex mutex_;
+  View current_;
 };
 
 }  // namespace dtx::core

@@ -1,6 +1,7 @@
 #include "dtx/cluster.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "dtx/recovery.hpp"
 #include "dtx/wal.hpp"
@@ -70,12 +71,16 @@ Status Cluster::declare_document(const std::string& name,
 Status Cluster::start() {
   if (started_) return Status::ok();
   sites_.reserve(options_.site_count);
+  catalogs_.reserve(options_.site_count);
   for (std::size_t i = 0; i < options_.site_count; ++i) {
     SiteOptions site_options = options_.site;
     site_options.id = static_cast<SiteId>(i);
     site_options.protocol = options_.protocol;
-    sites_.push_back(std::make_unique<Site>(site_options, network_, catalog_,
-                                            *stores_[i]));
+    // Each site evolves its own catalog replica (membership installs),
+    // exactly like real daemons — the configured placement is the seed.
+    catalogs_.push_back(std::make_unique<Catalog>(catalog_));
+    sites_.push_back(std::make_unique<Site>(site_options, network_,
+                                            *catalogs_[i], *stores_[i]));
   }
   for (auto& site : sites_) {
     Status status = site->start();
@@ -86,21 +91,29 @@ Status Cluster::start() {
 }
 
 void Cluster::stop() {
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
   for (auto& site : sites_) {
     if (site != nullptr) site->stop();
   }
 }
 
+Site* Cluster::site_ptr(SiteId site) const {
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  return site < sites_.size() ? sites_[site].get() : nullptr;
+}
+
 Status Cluster::crash_site(SiteId site) {
-  if (!started_ || site >= sites_.size()) {
+  Site* target = site_ptr(site);
+  if (!started_ || target == nullptr) {
     return Status(Code::kInvalidArgument,
                   "site " + std::to_string(site) + " out of range");
   }
-  sites_[site]->crash();
+  target->crash();
   return Status::ok();
 }
 
 Status Cluster::restart_site(SiteId site) {
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
   if (!started_ || site >= sites_.size()) {
     return Status(Code::kInvalidArgument,
                   "site " + std::to_string(site) + " out of range");
@@ -115,17 +128,25 @@ Status Cluster::restart_site(SiteId site) {
   // stores are read directly — the in-process stand-in for the
   // RecoveryPullRequest state transfer a dtxd restart performs over the
   // network; backends synchronize per call, and read_stable retries reads
-  // that straddled a live peer's checkpoint.
+  // that straddled a live peer's checkpoint. Hosting sets come from the
+  // restarting site's own catalog replica (it matches the durable
+  // ~catalog the site resumes under); peers without the bytes (already
+  // dropped after a placement flip) are skipped.
   recovery::SyncStats sync_stats;
-  for (const std::string& doc : catalog_.documents()) {
-    const std::vector<SiteId> hosts = catalog_.sites_of(doc);
-    if (std::find(hosts.begin(), hosts.end(), site) == hosts.end()) continue;
+  const Catalog::View view = catalogs_[site]->view();
+  for (const std::string& doc : view->documents_at(site)) {
     std::vector<wal::DurableDoc> peers;
-    for (SiteId peer : hosts) {
-      if (peer == site) continue;
+    for (SiteId peer : view->sites_of(doc)) {
+      if (peer == site || peer >= stores_.size()) continue;
+      if (!stores_[peer]->exists(doc)) continue;
       auto state = recovery::read_stable(*stores_[peer], doc);
       if (!state) return state.status();
       peers.push_back(std::move(state).value());
+    }
+    if (!stores_[site]->exists(doc)) {
+      // Never adopted here (a kill mid-join): leave it to the importing
+      // fence + pull path after restart.
+      continue;
     }
     Status synced =
         recovery::sync_document(*stores_[site], doc, peers, sync_stats);
@@ -138,14 +159,163 @@ Status Cluster::restart_site(SiteId site) {
 }
 
 bool Cluster::site_running(SiteId site) const {
-  return site < sites_.size() && sites_[site] != nullptr &&
-         sites_[site]->running();
+  Site* target = site_ptr(site);
+  return target != nullptr && target->running();
+}
+
+Result<SiteId> Cluster::add_site() {
+  if (!started_) return Status(Code::kInternal, "cluster not started");
+  // Grow the membership vectors under the exclusive lock, then run the
+  // join protocol on raw element pointers — elements never move again, so
+  // client threads resolving site ids (shared lock) are unaffected by the
+  // wait below.
+  SiteId id = 0;
+  SiteId seed = 0;
+  Site* joiner = nullptr;
+  Catalog* joiner_catalog = nullptr;
+  storage::StorageBackend* joiner_store = nullptr;
+  {
+    std::unique_lock<std::shared_mutex> lock(membership_mutex_);
+    bool have_seed = false;
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      if (sites_[i] != nullptr && sites_[i]->running()) {
+        seed = static_cast<SiteId>(i);
+        have_seed = true;
+        break;
+      }
+    }
+    if (!have_seed) return Status(Code::kInternal, "no running seed site");
+
+    id = static_cast<SiteId>(sites_.size());
+    if (options_.storage_dir.empty()) {
+      stores_.push_back(std::make_unique<storage::MemoryStore>());
+    } else {
+      stores_.push_back(std::make_unique<storage::FileStore>(
+          std::filesystem::path(options_.storage_dir) /
+          ("site" + std::to_string(id))));
+    }
+    // The joiner bootstraps from the seed's current view (it is not a member
+    // of that epoch — the join flip admits it) and is constructed before the
+    // JoinRequest so migration pushes queue in its mailbox.
+    catalogs_.push_back(std::make_unique<Catalog>(*catalogs_[seed]));
+    SiteOptions site_options = options_.site;
+    site_options.id = id;
+    site_options.protocol = options_.protocol;
+    sites_.push_back(std::make_unique<Site>(site_options, network_,
+                                            *catalogs_[id], *stores_[id]));
+    joiner = sites_[id].get();
+    joiner_catalog = catalogs_[id].get();
+    joiner_store = stores_[id].get();
+  }
+
+  // Join protocol over the sim LAN, via a transient admin endpoint. The
+  // request is re-sent on a timer: the request, the reply, or the seed's
+  // own drain round-trips may all be dropped by an injected fault, and a
+  // transient refusal (another change in flight, drain timeout) clears
+  // once the seed's previous change settles — so keep asking until the
+  // deadline.
+  const SiteId admin = kAdminIdBase + 2 * id;
+  net::Mailbox& mailbox = network_.register_site(admin);
+  const auto deadline = net::Mailbox::Clock::now() +
+                        8 * options_.site.response_timeout;
+  auto next_send = net::Mailbox::Clock::now();
+  net::JoinReply reply;
+  bool replied = false;
+  std::string last_refusal = "join timed out";
+  while (!replied && net::Mailbox::Clock::now() < deadline) {
+    if (net::Mailbox::Clock::now() >= next_send) {
+      next_send = net::Mailbox::Clock::now() + options_.site.response_timeout;
+      network_.send(net::Message{admin, seed, net::JoinRequest{id, ""}});
+    }
+    auto message = mailbox.pop(std::chrono::microseconds(20'000));
+    if (!message) continue;
+    if (const auto* join = std::get_if<net::JoinReply>(&message->payload)) {
+      if (join->ok) {
+        reply = *join;
+        replied = true;
+      } else {
+        last_refusal = "join refused: " + join->error;
+      }
+    }
+  }
+  if (!replied) return Status(Code::kInternal, last_refusal);
+  auto parsed = placement::CatalogEpoch::parse(reply.catalog);
+  if (!parsed) return parsed.status();
+  joiner_catalog->install(parsed.value());
+  catalog_.install(std::move(parsed).value());
+
+  Status status = joiner->start();
+  if (!status) return status;
+
+  // Block until every replica the new epoch hosts at the joiner is durable
+  // there (adopted from a migration push or its own pull).
+  const Catalog::View view = joiner_catalog->view();
+  const std::vector<std::string> gained = view->documents_at(id);
+  const auto migrated = [&] {
+    for (const std::string& doc : gained) {
+      if (!joiner_store->exists(doc)) return false;
+    }
+    return true;
+  };
+  while (!migrated()) {
+    if (net::Mailbox::Clock::now() >= deadline) {
+      return Status(Code::kInternal, "replica migration to joiner timed out");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return id;
+}
+
+Status Cluster::remove_site(SiteId site) {
+  Site* victim = site_ptr(site);
+  if (!started_ || victim == nullptr) {
+    return Status(Code::kInvalidArgument,
+                  "site " + std::to_string(site) + " out of range");
+  }
+  if (!victim->running()) {
+    return Status(Code::kInternal, "site is not running");
+  }
+  // The decommission order is a JoinRequest naming the victim itself; the
+  // victim computes the post-departure epoch, broadcasts it, ships every
+  // replica it holds to the new hosts and flips decommissioned().
+  const SiteId admin = kAdminIdBase + 2 * site + 1;
+  (void)network_.register_site(admin);
+  const auto deadline = net::Mailbox::Clock::now() +
+                        std::chrono::seconds(30) +
+                        4 * options_.site.response_timeout;
+  // Re-send the order on a timer: the single self-addressed message may be
+  // dropped by an injected fault, and begin_leave() is idempotent.
+  auto next_send = net::Mailbox::Clock::now();
+  while (!victim->decommissioned()) {
+    if (net::Mailbox::Clock::now() >= next_send) {
+      next_send = net::Mailbox::Clock::now() + options_.site.response_timeout;
+      network_.send(net::Message{admin, site, net::JoinRequest{site, ""}});
+    }
+    if (net::Mailbox::Clock::now() >= deadline) {
+      return Status(Code::kInternal, "decommission timed out");
+    }
+    if (!victim->running()) {
+      return Status(Code::kInternal, "site stopped before draining");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  victim->stop();
+  // Refresh the admin view from a survivor's replica.
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (i != site && sites_[i] != nullptr && sites_[i]->running()) {
+      catalog_.install(placement::CatalogEpoch(*catalogs_[i]->view()));
+      break;
+    }
+  }
+  return Status::ok();
 }
 
 Result<std::shared_ptr<txn::Transaction>> Cluster::submit(
     SiteId site, std::vector<txn::Operation> ops) {
   if (!started_) return Status(Code::kInternal, "cluster not started");
-  if (site >= sites_.size()) {
+  Site* target = site_ptr(site);
+  if (target == nullptr) {
     return Status(Code::kInvalidArgument,
                   "site " + std::to_string(site) + " out of range");
   }
@@ -153,7 +323,7 @@ Result<std::shared_ptr<txn::Transaction>> Cluster::submit(
     return Status(Code::kInvalidArgument,
                   "transaction needs at least one operation");
   }
-  return sites_[site]->submit(std::move(ops));
+  return target->submit(std::move(ops));
 }
 
 Result<txn::TxnResult> Cluster::execute(SiteId site,
@@ -184,6 +354,7 @@ Result<txn::TxnResult> Cluster::execute_text(
 
 ClusterStats Cluster::stats() {
   ClusterStats out;
+  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
   for (auto& site : sites_) {
     if (site == nullptr) continue;
     const SiteStats s = site->stats();
@@ -200,6 +371,10 @@ ClusterStats Cluster::stats() {
     out.commit_resends += s.commit_resends;
     out.restarts += s.restarts;
     out.unclassified_aborts += s.unclassified_aborts;
+    out.catalog_epoch = std::max(out.catalog_epoch, s.catalog_epoch);
+    out.stale_catalog_aborts += s.stale_catalog_aborts;
+    out.migrations += s.migrations;
+    out.migrated_bytes += s.migrated_bytes;
     out.plan_cache.merge(s.plan_cache);
     out.snapshot_txns += s.snapshot_txns;
     out.snapshots.merge(s.snapshots);

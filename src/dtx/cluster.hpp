@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,13 @@ struct ClusterStats {
   std::uint64_t commit_resends = 0;
   std::uint64_t restarts = 0;
   std::uint64_t unclassified_aborts = 0;
+  /// Placement & membership: the newest installed catalog epoch across
+  /// sites, retryable stale-catalog rejections, and replica migrations
+  /// (adoptions + bytes shipped) summed over all sites.
+  std::uint64_t catalog_epoch = 0;
+  std::uint64_t stale_catalog_aborts = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t migrated_bytes = 0;
   /// Recovery-sync accounting: documents caught up by shipping a peer's
   /// redo-log suffix (the O(missed commits) path) vs. by adopting a whole
   /// peer checkpoint (the peer had compacted past the local version).
@@ -112,13 +121,32 @@ class Cluster {
   /// True when the site's engine threads are running.
   [[nodiscard]] bool site_running(SiteId site) const;
 
-  [[nodiscard]] std::size_t site_count() const noexcept {
+  /// Elastic membership: admits a brand-new site into the running cluster.
+  /// Creates its store and Site, runs the join protocol against a seed
+  /// member (catalog rebalance under SiteOptions::placement_policy /
+  /// replication, drain of the old epoch, replica migration) and blocks
+  /// until every document the new epoch hosts at the joiner is durable
+  /// there. Returns the new site's id.
+  util::Result<SiteId> add_site();
+
+  /// Decommissions a member: orders it to leave (rebalance without it),
+  /// blocks until every replica it held migrated to the surviving hosts,
+  /// then stops it. The slot stays (site ids are stable); the site can not
+  /// be restarted.
+  util::Status remove_site(SiteId site);
+
+  [[nodiscard]] std::size_t site_count() const {
+    std::shared_lock<std::shared_mutex> lock(membership_mutex_);
     return sites_.size();
   }
-  [[nodiscard]] Site& site(SiteId id) { return *sites_.at(id); }
+  [[nodiscard]] Site& site(SiteId id) {
+    std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+    return *sites_.at(id);
+  }
   [[nodiscard]] const Catalog& catalog() const noexcept { return catalog_; }
   [[nodiscard]] net::SimNetwork& network() noexcept { return network_; }
   [[nodiscard]] storage::StorageBackend& store_of(SiteId id) {
+    std::shared_lock<std::shared_mutex> lock(membership_mutex_);
     return *stores_.at(id);
   }
 
@@ -147,10 +175,30 @@ class Cluster {
   [[nodiscard]] ClusterStats stats();
 
  private:
+  /// First admin endpoint id used for the join / decommission protocol
+  /// (one transient mailbox per membership operation, in the client range).
+  static constexpr SiteId kAdminIdBase = net::kClientIdBase + 0x100u;
+
+  /// Site pointer by id, or nullptr when out of range. The membership lock
+  /// only covers the vector lookup — the Site itself is internally
+  /// synchronized and lives until the Cluster dies (remove_site stops a
+  /// site but keeps the slot), so the returned pointer stays valid.
+  [[nodiscard]] Site* site_ptr(SiteId site) const;
+
   ClusterOptions options_;
   net::SimNetwork network_;
+  /// The admin's own view: seeded by load_document/declare_document,
+  /// refreshed after every membership change. Site routing never reads it —
+  /// each site owns a replica in catalogs_ (membership changes evolve the
+  /// replicas independently, exactly like real daemons).
   Catalog catalog_;
+  /// Guards the three membership vectors below: add_site() grows them at
+  /// runtime (exclusive) while client threads resolve site ids (shared).
+  /// Elements themselves never move or die before the Cluster does.
+  mutable std::shared_mutex membership_mutex_;
   std::vector<std::unique_ptr<storage::StorageBackend>> stores_;
+  /// Per-site catalog replicas; must outlive sites_ (declared before it).
+  std::vector<std::unique_ptr<Catalog>> catalogs_;
   std::vector<std::unique_ptr<Site>> sites_;
   bool started_ = false;
   /// Recovery-sync counters (restart_site; read concurrently by stats()).

@@ -97,8 +97,19 @@ void Coordinator::execute_one_operation(const TransactionPtr& txn) {
     commit_transaction(txn);
     return;
   }
+  // Pin the catalog for this routing decision. The transaction was stamped
+  // with the epoch current at submit; if the catalog moved since, its
+  // earlier operations executed at old-epoch replicas — abort retryably
+  // (kStaleCatalog) so the client resubmits routed under the new epoch.
+  // This is also what makes the membership drain fast: no old-epoch
+  // transaction starts new work after the flip.
+  const Catalog::View view = ctx_.catalog.view();
+  if (view->epoch != txn->catalog_epoch()) {
+    abort_stale_catalog(txn);
+    return;
+  }
   const txn::Operation& op = txn->ops()[op_index];
-  const std::vector<SiteId> sites = ctx_.catalog.sites_of(op.doc);
+  const std::vector<SiteId>& sites = view->sites_of(op.doc);
   if (sites.empty()) {
     txn->state_of(op_index).failed = true;
     txn->state_of(op_index).reason = txn::AbortReason::kParseError;
@@ -109,10 +120,24 @@ void Coordinator::execute_one_operation(const TransactionPtr& txn) {
     return;
   }
   if (sites.size() == 1 && sites.front() == ctx_.options.id) {
+    if (ctx_.is_importing(op.doc)) {
+      // This replica is still being migrated in; the data is not here yet.
+      abort_stale_catalog(txn);
+      return;
+    }
     execute_local(txn, op_index);
   } else {
     execute_remote(txn, op_index, sites);
   }
+}
+
+void Coordinator::abort_stale_catalog(const TransactionPtr& txn) {
+  txn->set_abort_reason(txn::AbortReason::kStaleCatalog);
+  {
+    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    ++ctx_.stats.stale_catalog_aborts;
+  }
+  abort_transaction(txn, false);
 }
 
 void Coordinator::execute_snapshot(const TransactionPtr& txn) {
@@ -126,12 +151,23 @@ void Coordinator::execute_snapshot(const TransactionPtr& txn) {
   // evaluates its whole group against one consistent cut, so a
   // transaction's view is consistent per serving site (the per-replica
   // version semantics of dtx/wal.hpp; cross-site cuts are independent).
+  const Catalog::View view = ctx_.catalog.view();
+  if (view->epoch != txn->catalog_epoch()) {
+    // Snapshot reads hold no locks; a bare stale-catalog finish suffices.
+    txn->set_abort_reason(txn::AbortReason::kStaleCatalog);
+    {
+      std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+      ++ctx_.stats.stale_catalog_aborts;
+    }
+    finish_transaction(txn, TxnState::kAborted);
+    return;
+  }
   std::map<SiteId, net::SnapshotReadRequest> groups;
   for (std::size_t i = 0; i < txn->op_count(); ++i) {
     const txn::Operation& op = txn->ops()[i];
     txn::OperationState& state = txn->state_of(i);
     ++state.attempts;
-    const std::vector<SiteId> sites = ctx_.catalog.sites_of(op.doc);
+    const std::vector<SiteId>& sites = view->sites_of(op.doc);
     if (sites.empty()) {
       state.failed = true;
       state.reason = txn::AbortReason::kParseError;
@@ -146,6 +182,7 @@ void Coordinator::execute_snapshot(const TransactionPtr& txn) {
         groups[local ? ctx_.options.id : sites.front()];
     request.txn = txn->id();
     request.coordinator = ctx_.options.id;
+    request.epoch = view->epoch;
     request.op_indices.push_back(static_cast<std::uint32_t>(i));
     request.ops.push_back(op);
   }
@@ -167,7 +204,7 @@ void Coordinator::execute_snapshot(const TransactionPtr& txn) {
   std::vector<net::SnapshotReadReply> replies;
   const auto local_group = groups.find(ctx_.options.id);
   if (local_group != groups.end()) {
-    replies.push_back(serve_snapshot_read(ctx_, txn->id(),
+    replies.push_back(serve_snapshot_read(ctx_, txn->id(), view->epoch,
                                           local_group->second.op_indices,
                                           local_group->second.ops));
   }
@@ -294,7 +331,7 @@ void Coordinator::execute_remote(const TransactionPtr& txn,
   for (SiteId site : sites) {
     ctx_.send(site, net::ExecuteOperation{
                         txn->id(), static_cast<std::uint32_t>(op_index),
-                        attempt, ctx_.options.id, op});
+                        attempt, ctx_.options.id, txn->catalog_epoch(), op});
   }
   const std::map<SiteId, net::OperationResult> replies = await_responses(
       txn->id(), static_cast<std::uint32_t>(op_index), attempt, expected);
@@ -485,6 +522,15 @@ void Coordinator::commit_transaction(const TransactionPtr& txn) {
   // the request — partitioned, or briefly down — are served by the
   // resends and, past those, by the presumed-abort status probe their
   // orphan sweep sends (answered "committed" from the record of step 2).
+  // Epoch re-validation: never take a commit decision under a catalog the
+  // cluster has moved past. Participants fence new-epoch executes, but
+  // CommitRequests carry no epoch — this check is what keeps a flip from
+  // racing a commit into a replica that is being migrated away, and it
+  // bounds the membership drain (see Site::epoch_drained).
+  if (ctx_.catalog.epoch() != txn->catalog_epoch()) {
+    abort_stale_catalog(txn);
+    return;
+  }
   std::set<SiteId> remote = txn->sites();
   remote.erase(ctx_.options.id);
 

@@ -52,6 +52,9 @@ class Coordinator {
                       const std::vector<SiteId>& sites);
   void commit_transaction(const TransactionPtr& txn);
   void abort_transaction(const TransactionPtr& txn, bool deadlock_victim);
+  /// Retryable abort because the catalog moved under the transaction (or a
+  /// replica it needs is still importing); counts stale_catalog_aborts.
+  void abort_stale_catalog(const TransactionPtr& txn);
   void fail_transaction(const TransactionPtr& txn);
   void finish_transaction(const TransactionPtr& txn, txn::TxnState state);
 

@@ -36,53 +36,65 @@ bool DataManager::is_internal_key(const std::string& name) {
 Status DataManager::load_all() {
   for (const std::string& name : store_.list()) {
     if (is_internal_key(name)) continue;
-    auto durable = wal::read_durable_doc(store_, name);
-    if (!durable) return durable.status();
-    // First reader after a crash: physically drop torn appends and
-    // already-checkpointed entries before anything new is logged (the
-    // snapshot-version resolution is only exact while the log still ends
-    // where the crash left it).
-    if (durable.value().needs_repair) {
-      Status repaired = wal::repair(store_, name, durable.value());
-      if (!repaired) return repaired;
-      if (durable.value().torn_tail) {
-        DTX_WARN() << "redo log of '" << name
-                   << "' had a torn tail; recovered to v"
-                   << durable.value().version;
-      }
-    }
-    auto document = xml::parse(durable.value().snapshot, name);
-    if (!document) return document.status();
-    DocEntry entry;
-    entry.scope = next_scope_++;
-    entry.document = std::move(document).value();
-    entry.guide = dataguide::DataGuide::build(*entry.document);
-    entry.history = durable.value().checkpoint_ids;
-    // Replay the record tail exactly as run_update applied it, guide
-    // maintained incrementally (the same replay the store-side
-    // materialization runs — one implementation, wal::apply_records).
-    Status replayed = wal::apply_records(durable.value().tail,
-                                         *entry.document, entry.guide.get(),
-                                         name);
-    if (!replayed) return replayed;
-    for (const wal::LogEntry& record : durable.value().tail) {
-      entry.history.push_back(record.txn);
-      entry.log_ops += record.ops.size();
-      entry.log_bytes += record.raw.size();
-    }
-    entry.version = durable.value().version;
-    auto [it, inserted] = documents_.emplace(name, std::move(entry));
-    (void)inserted;
-    // Bound the next recovery's replay: compact a long tail right here,
-    // while nothing runs concurrently.
-    DocEntry& loaded = it->second;
-    note_checkpoint_policy(name, loaded, nullptr);
-    if (loaded.checkpoint_pending) checkpoint_doc(name, loaded);
-    if (snapshots_ != nullptr) {
-      snapshots_->register_doc(name, loaded.version);
-    }
+    Status loaded = load_document(name);
+    if (!loaded) return loaded;
   }
   return Status::ok();
+}
+
+Status DataManager::load_document(const std::string& name) {
+  auto durable = wal::read_durable_doc(store_, name);
+  if (!durable) return durable.status();
+  // First reader after a crash: physically drop torn appends and
+  // already-checkpointed entries before anything new is logged (the
+  // snapshot-version resolution is only exact while the log still ends
+  // where the crash left it).
+  if (durable.value().needs_repair) {
+    Status repaired = wal::repair(store_, name, durable.value());
+    if (!repaired) return repaired;
+    if (durable.value().torn_tail) {
+      DTX_WARN() << "redo log of '" << name
+                 << "' had a torn tail; recovered to v"
+                 << durable.value().version;
+    }
+  }
+  auto document = xml::parse(durable.value().snapshot, name);
+  if (!document) return document.status();
+  DocEntry entry;
+  entry.scope = next_scope_++;
+  entry.document = std::move(document).value();
+  entry.guide = dataguide::DataGuide::build(*entry.document);
+  entry.history = durable.value().checkpoint_ids;
+  // Replay the record tail exactly as run_update applied it, guide
+  // maintained incrementally (the same replay the store-side
+  // materialization runs — one implementation, wal::apply_records).
+  Status replayed = wal::apply_records(durable.value().tail,
+                                       *entry.document, entry.guide.get(),
+                                       name);
+  if (!replayed) return replayed;
+  for (const wal::LogEntry& record : durable.value().tail) {
+    entry.history.push_back(record.txn);
+    entry.log_ops += record.ops.size();
+    entry.log_bytes += record.raw.size();
+  }
+  entry.version = durable.value().version;
+  // Replace any stale entry (replica re-adoption after a migration).
+  documents_.erase(name);
+  auto [it, inserted] = documents_.emplace(name, std::move(entry));
+  (void)inserted;
+  // Bound the next recovery's replay: compact a long tail right here,
+  // while nothing runs concurrently.
+  DocEntry& loaded = it->second;
+  note_checkpoint_policy(name, loaded, nullptr);
+  if (loaded.checkpoint_pending) checkpoint_doc(name, loaded);
+  if (snapshots_ != nullptr) {
+    snapshots_->register_doc(name, loaded.version);
+  }
+  return Status::ok();
+}
+
+void DataManager::drop_document(const std::string& name) {
+  documents_.erase(name);
 }
 
 bool DataManager::has_document(const std::string& name) const {

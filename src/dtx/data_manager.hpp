@@ -74,6 +74,18 @@ class DataManager {
   /// resolves every checkpoint crash window), builds the DataGuides.
   util::Status load_all();
 
+  /// (Re)loads one document from the storage backend — the replica-adoption
+  /// hook of the migration protocol. Same recovery path as load_all for a
+  /// single name; an already-loaded entry is replaced (stale bytes from a
+  /// pre-migration epoch). Call under the exclusive data latch with no live
+  /// transaction state on the document (it must be fenced).
+  util::Status load_document(const std::string& name);
+
+  /// Drops one document from memory (replica dropped after migration).
+  /// Same preconditions as load_document. The storage keys are the
+  /// caller's to remove.
+  void drop_document(const std::string& name);
+
   [[nodiscard]] bool has_document(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> documents() const;
 

@@ -27,6 +27,10 @@ std::string describe_site(Site& site) {
       << " misses=" << stats.plan_cache.misses
       << " evictions=" << stats.plan_cache.evictions
       << " entries=" << stats.plan_cache.entries << "\n";
+  out << "  placement: catalog_epoch=" << stats.catalog_epoch
+      << " stale_catalog_aborts=" << stats.stale_catalog_aborts
+      << " migrations=" << stats.migrations
+      << " migrated_bytes=" << stats.migrated_bytes << "\n";
   out << "  mvcc: snapshot_txns=" << stats.snapshot_txns
       << " views=" << stats.snapshots.reads
       << " chain_hits=" << stats.snapshots.chain_hits
@@ -61,11 +65,14 @@ std::string describe_site(Site& site) {
 
 std::string describe_cluster(Cluster& cluster) {
   std::ostringstream out;
+  // One pinned view: document list and hosting sets from the same epoch.
+  const Catalog::View view = cluster.catalog().view();
   out << "cluster: " << cluster.site_count() << " sites, "
-      << cluster.catalog().documents().size() << " documents\n";
-  for (const std::string& doc : cluster.catalog().documents()) {
+      << view->placement.size() << " documents (catalog epoch "
+      << view->epoch << ")\n";
+  for (const auto& [doc, sites] : view->placement) {
     out << "  " << doc << " @ sites";
-    for (SiteId site : cluster.catalog().sites_of(doc)) out << " " << site;
+    for (SiteId site : sites) out << " " << site;
     out << "\n";
   }
   for (std::size_t i = 0; i < cluster.site_count(); ++i) {
@@ -75,6 +82,16 @@ std::string describe_cluster(Cluster& cluster) {
   out << "network: messages=" << stats.network.messages_sent
       << " bytes=" << stats.network.bytes_sent
       << " dropped=" << stats.network.messages_dropped << "\n";
+  return out.str();
+}
+
+std::string describe_tcp(const net::TcpStats& stats) {
+  std::ostringstream out;
+  out << "tcp: dials=" << stats.dials << " connects=" << stats.connects
+      << " accepts=" << stats.accepts
+      << " disconnects=" << stats.disconnects
+      << " reconnects=" << stats.reconnects
+      << " frames_rejected=" << stats.frames_rejected;
   return out.str();
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "dtx/cluster.hpp"
+#include "net/tcp_network.hpp"
 
 namespace dtx::core {
 
@@ -16,5 +17,9 @@ std::string describe_site(Site& site);
 /// Multi-line description of the whole cluster: per-site summaries plus the
 /// aggregate statistics and network counters.
 std::string describe_cluster(Cluster& cluster);
+
+/// One-line summary of a real-transport site's socket counters (dials,
+/// connects, reconnects, rejected frames) — what dtxd logs at shutdown.
+std::string describe_tcp(const net::TcpStats& stats);
 
 }  // namespace dtx::core

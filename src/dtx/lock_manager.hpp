@@ -142,6 +142,15 @@ class LockManager {
     return table_;
   }
 
+  /// Exclusive hold on the data latch, for replica migration: adopting or
+  /// dropping a document mutates the DataManager's document map, which no
+  /// query or update may observe mid-change. The document itself is fenced
+  /// (SiteContext::importing_docs) so no transaction state exists on it;
+  /// the latch only excludes concurrent access to the shared containers.
+  [[nodiscard]] std::unique_lock<std::shared_mutex> exclusive_data_latch() {
+    return std::unique_lock<std::shared_mutex>(data_latch_);
+  }
+
   [[nodiscard]] const char* protocol_name() const noexcept {
     return protocol_->name();
   }

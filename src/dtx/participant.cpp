@@ -89,16 +89,54 @@ void Participant::run() {
 }
 
 void Participant::handle_snapshot_read(const net::SnapshotReadRequest& request) {
+  gossip_catalog(request.coordinator, request.epoch);
   // No remote_txns entry and no reply cache: the read leaves no state at
   // this site, so there is nothing for a lost reply to double-apply — the
   // coordinator simply times out and aborts (retryable, kSiteFailure).
   ctx_.send(request.coordinator,
-            serve_snapshot_read(ctx_, request.txn, request.op_indices,
-                                request.ops));
+            serve_snapshot_read(ctx_, request.txn, request.epoch,
+                                request.op_indices, request.ops));
+}
+
+void Participant::gossip_catalog(SiteId peer, std::uint64_t peer_epoch) {
+  const std::uint64_t local = ctx_.catalog.epoch();
+  if (peer_epoch == local || net::is_client_id(peer) ||
+      peer == ctx_.options.id) {
+    return;
+  }
+  if (peer_epoch < local) {
+    const Catalog::View view = ctx_.catalog.view();
+    ctx_.send(peer, net::CatalogUpdate{view->epoch, view->to_text(),
+                                       ctx_.options.id});
+  } else {
+    ctx_.send(peer, net::JoinRequest{ctx_.options.id, ""});
+  }
 }
 
 void Participant::handle_execute(const net::ExecuteOperation& request) {
   // Alg. 2 l. 4-13.
+  // Membership fence first, before any state is created for the
+  // transaction: a request routed under a different catalog epoch — or one
+  // targeting a replica this site is still importing — is rejected
+  // retryably, leaving nothing for the orphan sweep to clean up.
+  if (request.epoch != ctx_.catalog.epoch() ||
+      ctx_.is_importing(request.op.doc)) {
+    net::OperationResult reply;
+    reply.txn = request.txn;
+    reply.op_index = request.op_index;
+    reply.attempt = request.attempt;
+    reply.failed = true;
+    reply.reason = txn::AbortReason::kStaleCatalog;
+    reply.error = "catalog epoch " + std::to_string(request.epoch) +
+                  " is stale at site " + std::to_string(ctx_.options.id);
+    {
+      std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+      ++ctx_.stats.stale_catalog_aborts;
+    }
+    ctx_.send(request.coordinator, std::move(reply));
+    gossip_catalog(request.coordinator, request.epoch);
+    return;
+  }
   {
     // Track the transaction for the presumed-abort orphan sweep, and
     // answer duplicated deliveries (FaultPlan duplication) from the reply
@@ -108,6 +146,7 @@ void Participant::handle_execute(const net::ExecuteOperation& request) {
     std::lock_guard<std::mutex> lock(ctx_.part_mutex);
     SiteContext::RemoteTxn& record = ctx_.remote_txns[request.txn];
     record.coordinator = request.coordinator;
+    record.epoch = request.epoch;
     record.last_seen = SiteContext::Clock::now();
     record.unanswered_probes = 0;
     const auto cached = record.last_replies.find(request.op_index);

@@ -40,6 +40,13 @@ class Participant {
   /// roll it back via the undo log (aborted / coordinator lost its state).
   void handle_status_reply(const net::TxnStatusReply& reply);
 
+  /// Catalog anti-entropy, piggybacked on epoch-mismatched requests: a
+  /// peer behind this site's epoch is sent the current catalog
+  /// (CatalogUpdate); a peer ahead is asked for its catalog
+  /// (JoinRequest{self} — answered with a JoinReply by the idempotent
+  /// already-member path). No-op when the epochs agree.
+  void gossip_catalog(SiteId peer, std::uint64_t peer_epoch);
+
   /// Refreshes the orphan-sweep clock of a tracked remote transaction.
   void touch_remote_txn(lock::TxnId txn);
   /// Drops the tracking record (transaction terminated at this site).

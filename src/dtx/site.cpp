@@ -15,7 +15,7 @@ using txn::Transaction;
 using txn::TxnState;
 
 Site::Site(SiteOptions options, net::Network& network,
-           const Catalog& catalog, storage::StorageBackend& store)
+           Catalog& catalog, storage::StorageBackend& store)
     : ctx_(options, network, catalog, store),
       coordinator_(ctx_),
       participant_(ctx_) {}
@@ -23,11 +23,37 @@ Site::Site(SiteOptions options, net::Network& network,
 Site::~Site() { stop(); }
 
 util::Status Site::start() {
+  // Membership resume: the durable ~catalog record wins over the configured
+  // bootstrap catalog, and an interrupted departure continues (leaving_).
+  // Everything else of the membership machinery is derived fresh — ship
+  // states reappear through the reconcile scan, fences through the
+  // hosted-but-absent check below.
+  pending_acks_.clear();
+  pending_join_.reset();
+  ship_states_.clear();
+  last_pull_.clear();
+  decommissioned_.store(false);
+  load_durable_catalog();
   util::Status status = ctx_.data().load_all();
   if (!status) return status;
   // Presumed-abort commit log: repopulate the outcome cache with the
   // durable commit decisions (no-op on a fresh store).
   ctx_.load_commit_log();
+  {
+    // Importing fence: documents this epoch hosts here whose replica never
+    // arrived (join, or a kill -9 before the migration push landed) reject
+    // traffic until adopted via MigrateDoc / a recovery pull.
+    const Catalog::View view = ctx_.catalog.view();
+    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    ctx_.importing_docs.clear();
+    for (const std::string& doc : view->documents_at(ctx_.options.id)) {
+      if (!ctx_.store.exists(doc)) ctx_.importing_docs.insert(doc);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    ctx_.stats.catalog_epoch = ctx_.catalog.epoch();
+  }
   ctx_.running.store(true);
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
   const std::size_t coordinators =
@@ -105,6 +131,7 @@ void Site::wipe_volatile_state() {
     ctx_.participant_queue.clear();
     ctx_.participant_active.clear();
     ctx_.remote_txns.clear();
+    ctx_.importing_docs.clear();  // recomputed from the store by start()
   }
   {
     std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
@@ -160,6 +187,10 @@ std::shared_ptr<Transaction> Site::submit(std::vector<txn::Operation> ops) {
   {
     std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
     txn = std::make_shared<Transaction>(next_txn_id(), std::move(ops));
+    // The routing generation is fixed at admission and never re-stamped: a
+    // catalog flip mid-transaction aborts it (kStaleCatalog, retryable)
+    // rather than tearing it across two placements.
+    txn->set_catalog_epoch(ctx_.catalog.epoch());
     if (!ctx_.running.load()) {
       // The site is down (stopped or crashed): refuse instead of parking
       // the transaction on a queue no worker will ever drain.
@@ -265,6 +296,33 @@ void Site::dispatcher_loop() {
                 ctx_.victim_aborts.push_back(payload.txn);
               }
               ctx_.coord_cv.notify_all();
+            } else if constexpr (std::is_same_v<T, net::CatalogUpdate>) {
+              handle_catalog_update(payload);
+            } else if constexpr (std::is_same_v<T, net::CatalogAck>) {
+              handle_catalog_ack(payload);
+            } else if constexpr (std::is_same_v<T, net::JoinRequest>) {
+              handle_join_request(m.from, payload);
+            } else if constexpr (std::is_same_v<T, net::JoinReply>) {
+              // Anti-entropy: a catalog fetched from a fresher member (see
+              // Participant::gossip_catalog). Joins proper consume their
+              // JoinReply before Site::start, never here.
+              if (payload.ok && payload.epoch > ctx_.catalog.epoch()) {
+                auto parsed = placement::CatalogEpoch::parse(payload.catalog);
+                if (parsed) install_epoch(std::move(parsed).value());
+              }
+            } else if constexpr (std::is_same_v<T, net::MigrateDoc>) {
+              handle_migrate_doc(m.from, payload);
+            } else if constexpr (std::is_same_v<T, net::MigrateAck>) {
+              handle_migrate_ack(payload);
+            } else if constexpr (std::is_same_v<T, net::DropDoc>) {
+              handle_drop_doc(payload);
+            } else if constexpr (std::is_same_v<T, net::RecoveryPullReply>) {
+              // Import pull answered: adopt if the fence is still up (a
+              // concurrent MigrateDoc push may have won — idempotent).
+              if (payload.ok && ctx_.is_importing(payload.doc)) {
+                adopt_replica(payload.doc, payload.version, payload.snapshot,
+                              payload.log);
+              }
             } else if constexpr (std::is_same_v<T, net::WakeTxn>) {
               {
                 std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
@@ -287,6 +345,7 @@ void Site::dispatcher_loop() {
     }
     run_deadlock_detection(now);
     sweep_orphans(now);
+    membership_tick(now);
   }
 }
 
@@ -324,10 +383,11 @@ void Site::handle_client_submit(SiteId client, net::ClientSubmit submit) {
 void Site::answer_recovery_pull(const net::RecoveryPullRequest& request) {
   net::RecoveryPullReply reply;
   reply.doc = request.doc;
-  const std::vector<SiteId> hosts = ctx_.catalog.sites_of(request.doc);
-  const bool hosted = std::find(hosts.begin(), hosts.end(),
-                                ctx_.options.id) != hosts.end();
-  if (hosted) {
+  // Serve from the store, not the catalog: after a placement flip the old
+  // hosts keep their bytes until every gaining replica acked — exactly the
+  // copies a mid-migration puller needs. A fenced import never serves (its
+  // bytes, if any, are the stale pre-adoption ones).
+  if (ctx_.store.exists(request.doc) && !ctx_.is_importing(request.doc)) {
     auto durable = recovery::read_stable(ctx_.store, request.doc);
     if (durable) {
       reply.ok = true;
@@ -416,6 +476,453 @@ void Site::run_deadlock_detection(Clock::time_point now) {
   for (SiteId site : others) {
     ctx_.send(site, net::WfgRequest{probe, ctx_.options.id});
   }
+}
+
+// ---------------------------------------------------------------------------
+// Placement & membership (src/placement). Dispatcher thread only.
+//
+// Correctness rests on two orderings:
+//  * Epoch fences — every remote request carries the epoch its coordinator
+//    routed under, participants reject mismatches, and newly-gained
+//    replicas stay fenced until adopted. So no transaction's effects ever
+//    straddle two placements.
+//  * Local drain before shipping — a source ships a replica only once no
+//    transaction of an older epoch still has state *at this site*
+//    (pending_acks_ empty). That local condition suffices: any commit
+//    reaching this replica must first execute here (creating remote_txns
+//    state the drain observes), new old-epoch executes are fenced out, and
+//    new-epoch writes also land on the gaining hosts (which are fenced
+//    until they adopt a shipped state at least this fresh).
+// ---------------------------------------------------------------------------
+
+void Site::load_durable_catalog() {
+  leaving_ = false;
+  auto text = ctx_.store.load(SiteContext::kCatalogKey);
+  if (!text) return;  // fresh store — the configured bootstrap catalog stands
+  auto parsed = placement::CatalogEpoch::parse(text.value());
+  if (!parsed) {
+    DTX_ERROR() << "site " << ctx_.options.id << ": durable catalog unreadable: "
+                << parsed.status().to_string();
+    return;
+  }
+  placement::CatalogEpoch durable = std::move(parsed).value();
+  const bool member = durable.is_member(ctx_.options.id);
+  const bool empty = durable.members.empty();
+  ctx_.catalog.install(std::move(durable));  // no-op if the bootstrap is newer
+  // A durable epoch that excludes this site is a departure that a crash
+  // interrupted: resume shipping replicas away instead of serving.
+  leaving_ = !member && !empty;
+}
+
+void Site::install_epoch(placement::CatalogEpoch next) {
+  const Catalog::View before = ctx_.catalog.view();
+  if (!ctx_.catalog.install(std::move(next))) return;  // not strictly newer
+  const Catalog::View view = ctx_.catalog.view();
+  if (util::Status saved =
+          ctx_.store.store(SiteContext::kCatalogKey, view->to_text());
+      !saved) {
+    DTX_ERROR() << "site " << ctx_.options.id
+                << ": persisting catalog epoch " << view->epoch
+                << " failed: " << saved.to_string();
+  }
+  for (const auto& [site, address] : view->addresses) {
+    if (site != ctx_.options.id && !address.empty()) {
+      ctx_.network.add_peer(site, address);
+    }
+  }
+  const placement::MigrationPlan plan = placement::plan_migration(*before,
+                                                                 *view);
+  for (const placement::MigrationPlan::Move& move : plan.moves) {
+    const bool gaining =
+        std::find(move.gains.begin(), move.gains.end(), ctx_.options.id) !=
+        move.gains.end();
+    const bool source =
+        std::find(move.sources.begin(), move.sources.end(), ctx_.options.id) !=
+        move.sources.end();
+    const bool dropping =
+        std::find(move.drops.begin(), move.drops.end(), ctx_.options.id) !=
+        move.drops.end();
+    if (gaining) {
+      // Fence unconditionally, even over lingering local bytes: only an
+      // adoption (which merges any local-unique commits) may unfence.
+      std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+      ctx_.importing_docs.insert(move.doc);
+    }
+    if (source && (dropping || !move.gains.empty())) {
+      ShipState& state = ship_states_[move.doc];
+      state.drop_when_done = dropping;
+      for (SiteId gain : move.gains) state.pending.insert(gain);
+    }
+  }
+  if (leaving_ && view->is_member(ctx_.options.id)) {
+    // Re-admitted while departing (an operator reversal): serve again.
+    leaving_ = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    ctx_.stats.catalog_epoch = view->epoch;
+  }
+}
+
+void Site::handle_catalog_update(const net::CatalogUpdate& update) {
+  auto parsed = placement::CatalogEpoch::parse(update.catalog);
+  if (!parsed) {
+    DTX_ERROR() << "site " << ctx_.options.id << ": bad catalog update: "
+                << parsed.status().to_string();
+    return;
+  }
+  // Record the ack debt before installing: duplicates re-ack (the admin
+  // resends updates it never got an ack for), and the ack only leaves once
+  // every older-epoch transaction at this site terminated.
+  pending_acks_[update.epoch] = update.admin;
+  install_epoch(std::move(parsed).value());
+}
+
+bool Site::epoch_drained(std::uint64_t epoch) {
+  {
+    std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+    for (const auto& [id, txn] : ctx_.transactions) {
+      if (!txn->completed() && txn->catalog_epoch() < epoch) return false;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    for (const auto& [id, record] : ctx_.remote_txns) {
+      if (record.epoch < epoch) return false;
+    }
+  }
+  return true;
+}
+
+void Site::maybe_send_catalog_acks() {
+  for (auto it = pending_acks_.begin(); it != pending_acks_.end();) {
+    if (epoch_drained(it->first)) {
+      ctx_.send(it->second, net::CatalogAck{it->first, ctx_.options.id});
+      it = pending_acks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Site::handle_catalog_ack(const net::CatalogAck& ack) {
+  if (!pending_join_ || ack.epoch != pending_join_->epoch) return;
+  pending_join_->waiting.erase(ack.site);
+  if (!pending_join_->waiting.empty()) return;
+  // Every old member drained the pre-join epoch: admit the joiner. The
+  // JoinReply carries the catalog — the joiner installs it and pulls any
+  // replica the migration pushes have not delivered yet.
+  const Catalog::View view = ctx_.catalog.view();
+  ctx_.send(pending_join_->reply_to,
+            net::JoinReply{true, view->epoch, view->to_text(), ""});
+  pending_join_.reset();
+}
+
+void Site::handle_join_request(net::SiteId from,
+                               const net::JoinRequest& request) {
+  if (request.site == ctx_.options.id) {
+    // A JoinRequest naming the receiving site is the decommission order.
+    begin_leave();
+    return;
+  }
+  const Catalog::View view = ctx_.catalog.view();
+  if (view->is_member(request.site)) {
+    // Idempotent admit — also the catalog-fetch path of a lagging member
+    // (Participant::gossip_catalog sends JoinRequest{self} to refresh).
+    if (!request.address.empty()) {
+      ctx_.network.add_peer(request.site, request.address);
+    }
+    ctx_.send(from, net::JoinReply{true, view->epoch, view->to_text(), ""});
+    return;
+  }
+  const auto refuse = [&](const char* why) {
+    ctx_.send(from, net::JoinReply{false, view->epoch, "", why});
+  };
+  if (leaving_) return refuse("seed site is decommissioning");
+  if (pending_join_ && pending_join_->joiner == request.site) {
+    // The joiner's own retry while its admission drains — the eventual
+    // JoinReply answers it; refusing here would fail a join that is
+    // actually progressing.
+    pending_join_->reply_to = from;
+    return;
+  }
+  if (pending_join_) return refuse("another membership change is in flight");
+  std::vector<SiteId> members = view->members;
+  members.push_back(request.site);
+  std::map<SiteId, std::string> addresses;
+  if (!request.address.empty()) addresses[request.site] = request.address;
+  const placement::CatalogEpoch next =
+      placement::rebalance(*view, std::move(members), addresses,
+                           ctx_.options.placement_policy,
+                           ctx_.options.replication);
+  const std::string text = next.to_text();
+  PendingJoin pending;
+  pending.epoch = next.epoch;
+  pending.joiner = request.site;
+  pending.reply_to = from;
+  pending.catalog = text;
+  pending.deadline = Clock::now() + 4 * ctx_.options.response_timeout;
+  pending.next_resend = Clock::now() + ctx_.options.response_timeout;
+  pending.waiting.insert(view->members.begin(), view->members.end());
+  pending_join_ = std::move(pending);
+  if (!request.address.empty()) {
+    ctx_.network.add_peer(request.site, request.address);
+  }
+  // Broadcast to every OLD member, this site included (the self-send keeps
+  // the install path uniform). The joiner is told via the JoinReply once
+  // the old epoch drained everywhere.
+  for (SiteId member : pending_join_->waiting) {
+    ctx_.send(member, net::CatalogUpdate{next.epoch, text, ctx_.options.id});
+  }
+}
+
+void Site::begin_leave() {
+  if (leaving_) return;
+  const Catalog::View view = ctx_.catalog.view();
+  if (!view->is_member(ctx_.options.id)) {
+    leaving_ = true;  // epoch already excludes us — just finish shipping
+    return;
+  }
+  if (view->members.size() <= 1) {
+    DTX_ERROR() << "site " << ctx_.options.id
+                << ": refusing to decommission the last member";
+    return;
+  }
+  std::vector<SiteId> members;
+  for (SiteId member : view->members) {
+    if (member != ctx_.options.id) members.push_back(member);
+  }
+  const placement::CatalogEpoch next =
+      placement::rebalance(*view, std::move(members), {},
+                           ctx_.options.placement_policy,
+                           ctx_.options.replication);
+  const std::string text = next.to_text();
+  leaving_ = true;
+  for (SiteId member : view->members) {  // includes self
+    ctx_.send(member, net::CatalogUpdate{next.epoch, text, ctx_.options.id});
+  }
+}
+
+std::optional<std::uint64_t> Site::adopt_replica(const std::string& doc,
+                                                 std::uint64_t /*version*/,
+                                                 const std::string& snapshot,
+                                                 const std::string& log) {
+  const Catalog::View view = ctx_.catalog.view();
+  if (!view->hosts(ctx_.options.id, doc)) return std::nullopt;
+  if (!ctx_.is_importing(doc) && ctx_.data().has_document(doc)) {
+    // Already serving a replica (duplicate ship) — durable as-is.
+    return wal::durable_version(ctx_.store, doc);
+  }
+  auto shipped = recovery::from_wire(doc, snapshot, log);
+  if (!shipped) {
+    DTX_ERROR() << "site " << ctx_.options.id << ": shipped replica of '"
+                << doc << "' invalid: " << shipped.status().to_string();
+    return std::nullopt;
+  }
+  util::Status durable = util::Status::ok();
+  if (ctx_.store.exists(doc)) {
+    // Lingering pre-migration bytes: merge by committed-id set, so any
+    // local-unique commit survives the adoption.
+    recovery::SyncStats sync_stats;
+    durable = recovery::sync_document(ctx_.store, doc, {shipped.value()},
+                                      sync_stats);
+  } else {
+    // Fresh replica. Log before snapshot: a crash between the two leaves
+    // no document key, which restart re-fences and re-pulls — never a
+    // snapshot whose log (and thus version identity) is missing.
+    durable = ctx_.store.truncate(wal::log_key(doc));
+    if (durable) durable = ctx_.store.append(wal::log_key(doc), log);
+    if (durable) durable = ctx_.store.store(doc, snapshot);
+  }
+  if (!durable) {
+    DTX_ERROR() << "site " << ctx_.options.id << ": adopting '" << doc
+                << "' failed: " << durable.to_string();
+    return std::nullopt;
+  }
+  {
+    // The fence guarantees no engine activity on the document; the
+    // exclusive latch orders the (re)load against concurrent readers of
+    // *other* documents walking the DataManager.
+    auto latch = ctx_.locks().exclusive_data_latch();
+    if (util::Status loaded = ctx_.data().load_document(doc); !loaded) {
+      DTX_ERROR() << "site " << ctx_.options.id << ": loading adopted '"
+                  << doc << "' failed: " << loaded.to_string();
+      return std::nullopt;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    ctx_.importing_docs.erase(doc);
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    ++ctx_.stats.migrations;
+    ctx_.stats.migrated_bytes += snapshot.size() + log.size();
+  }
+  last_pull_.erase(doc);
+  return wal::durable_version(ctx_.store, doc);
+}
+
+void Site::handle_migrate_doc(net::SiteId from, const net::MigrateDoc& migrate) {
+  net::MigrateAck ack;
+  ack.doc = migrate.doc;
+  ack.site = ctx_.options.id;
+  if (const auto adopted = adopt_replica(migrate.doc, migrate.version,
+                                         migrate.snapshot, migrate.log)) {
+    ack.ok = true;
+    ack.version = *adopted;
+  }
+  ctx_.send(from, std::move(ack));
+}
+
+void Site::handle_migrate_ack(const net::MigrateAck& ack) {
+  const auto it = ship_states_.find(ack.doc);
+  if (it == ship_states_.end() || !ack.ok) return;
+  it->second.pending.erase(ack.site);
+  // An empty pending set is resolved by the next reconcile pass (drop the
+  // replica if this site left the hosting set).
+}
+
+void Site::handle_drop_doc(const net::DropDoc& drop) {
+  const Catalog::View view = ctx_.catalog.view();
+  if (drop.epoch != view->epoch) return;
+  if (view->hosts(ctx_.options.id, drop.doc)) return;
+  ship_states_.erase(drop.doc);
+  drop_replica(drop.doc);
+}
+
+void Site::drop_replica(const std::string& doc) {
+  {
+    auto latch = ctx_.locks().exclusive_data_latch();
+    ctx_.data().drop_document(doc);
+  }
+  ctx_.snaps().drop_doc(doc);
+  if (ctx_.store.exists(doc)) {
+    if (util::Status removed = ctx_.store.remove(doc); !removed) {
+      DTX_ERROR() << "site " << ctx_.options.id << ": dropping '" << doc
+                  << "' failed: " << removed.to_string();
+    }
+  }
+  if (ctx_.store.exists(wal::log_key(doc))) {
+    (void)ctx_.store.remove(wal::log_key(doc));
+  }
+  std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+  ctx_.importing_docs.erase(doc);
+}
+
+void Site::reconcile_replicas(Clock::time_point now) {
+  // Local drain gates every ship (see the block comment above): while an
+  // older-epoch transaction still has state here, this replica may yet
+  // change.
+  if (!pending_acks_.empty()) return;
+  if (now - last_reconcile_ < std::chrono::milliseconds(25)) return;
+  last_reconcile_ = now;
+  const auto retry = std::min<Clock::duration>(
+      ctx_.options.response_timeout, std::chrono::milliseconds(250));
+  const Catalog::View view = ctx_.catalog.view();
+
+  // Restart resume / lingering cleanup: any stored replica this epoch
+  // hosts elsewhere must be shipped to the current hosts, even when the
+  // install-time diff died with the process.
+  for (const std::string& key : ctx_.store.list()) {
+    if (DataManager::is_internal_key(key)) continue;
+    if (!view->has_document(key)) continue;
+    if (view->hosts(ctx_.options.id, key)) continue;
+    if (ship_states_.count(key) != 0) continue;
+    ShipState state;
+    state.drop_when_done = true;
+    for (SiteId host : view->sites_of(key)) state.pending.insert(host);
+    ship_states_.emplace(key, std::move(state));
+  }
+
+  for (auto it = ship_states_.begin(); it != ship_states_.end();) {
+    const std::string& doc = it->first;
+    ShipState& state = it->second;
+    // Targets that left the hosting set in a later epoch never ack.
+    for (auto target = state.pending.begin(); target != state.pending.end();) {
+      if (view->hosts(*target, doc)) {
+        ++target;
+      } else {
+        target = state.pending.erase(target);
+      }
+    }
+    if (state.pending.empty()) {
+      if (state.drop_when_done && !view->hosts(ctx_.options.id, doc)) {
+        drop_replica(doc);
+      }
+      it = ship_states_.erase(it);
+      continue;
+    }
+    if (!ctx_.store.exists(doc)) {  // bytes already gone — nothing to ship
+      it = ship_states_.erase(it);
+      continue;
+    }
+    auto durable = recovery::read_stable(ctx_.store, doc);
+    if (durable) {
+      const std::string log = recovery::flatten_log(durable.value());
+      for (SiteId target : state.pending) {
+        Clock::time_point& last = state.last_sent[target];
+        if (now - last < retry) continue;
+        last = now;
+        ctx_.send(target, net::MigrateDoc{doc, view->epoch,
+                                          durable.value().version,
+                                          durable.value().snapshot, log});
+      }
+    }
+    ++it;
+  }
+
+  // Fenced imports pull from the other current hosts — the push may have
+  // died with a crashed source, and either side alone completes the move.
+  std::vector<std::string> importing;
+  {
+    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    importing.assign(ctx_.importing_docs.begin(), ctx_.importing_docs.end());
+  }
+  for (const std::string& doc : importing) {
+    Clock::time_point& last = last_pull_[doc];
+    if (now - last < retry) continue;
+    last = now;
+    for (SiteId host : view->sites_of(doc)) {
+      if (host != ctx_.options.id) {
+        ctx_.send(host, net::RecoveryPullRequest{doc, ctx_.options.id});
+      }
+    }
+  }
+
+  if (leaving_ && ship_states_.empty() && !decommissioned_.load()) {
+    // Departure complete once no catalog document remains in the store.
+    bool replicas_left = false;
+    for (const std::string& key : ctx_.store.list()) {
+      if (!DataManager::is_internal_key(key) && view->has_document(key)) {
+        replicas_left = true;
+        break;
+      }
+    }
+    if (!replicas_left) decommissioned_.store(true);
+  }
+}
+
+void Site::membership_tick(Clock::time_point now) {
+  if (!pending_acks_.empty()) maybe_send_catalog_acks();
+  if (pending_join_ && now >= pending_join_->deadline) {
+    ctx_.send(pending_join_->reply_to,
+              net::JoinReply{false, ctx_.catalog.epoch(), "",
+                             "catalog drain timed out"});
+    pending_join_.reset();
+  }
+  if (pending_join_ && now >= pending_join_->next_resend) {
+    // The update and its acks travel over the lossy transport with no
+    // other retry path — re-push to every member still owing a drain ack
+    // (handle_catalog_update re-acks duplicates).
+    pending_join_->next_resend = now + ctx_.options.response_timeout;
+    for (const SiteId member : pending_join_->waiting) {
+      ctx_.send(member, net::CatalogUpdate{pending_join_->epoch,
+                                           pending_join_->catalog,
+                                           ctx_.options.id});
+    }
+  }
+  reconcile_replicas(now);
 }
 
 void Site::act_on_victim(TxnId victim) {

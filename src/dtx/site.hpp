@@ -18,7 +18,9 @@
 // hands back a handle whose await() blocks until commit / abort / fail.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -30,7 +32,11 @@ namespace dtx::core {
 
 class Site {
  public:
-  Site(SiteOptions options, net::Network& network, const Catalog& catalog,
+  /// `catalog` is this site's own mutable catalog replica — membership
+  /// changes install newer epochs into it at runtime (CatalogUpdate), so
+  /// the referenced object must outlive the Site and must not be shared
+  /// with another site (each member evolves its replica independently).
+  Site(SiteOptions options, net::Network& network, Catalog& catalog,
        storage::StorageBackend& store);
   ~Site();
 
@@ -78,6 +84,14 @@ class Site {
   /// counters are per-shard and aggregated here on read).
   [[nodiscard]] SiteStats stats();
 
+  /// True once a decommission (a JoinRequest naming this site, or
+  /// begin_leave via the daemon's signal handler) fully drained: every
+  /// replica shipped to its new hosts and dropped here. The admin polls
+  /// this before stopping the site for good.
+  [[nodiscard]] bool decommissioned() const noexcept {
+    return decommissioned_.load();
+  }
+
   /// Direct component access for tests / benches / the inspector.
   ///
   /// QUIESCENCE CONTRACT: the DataManager is only internally consistent
@@ -119,6 +133,84 @@ class Site {
   void answer_recovery_pull(const net::RecoveryPullRequest& request);
 
   lock::TxnId next_txn_id();  // expects coord_mutex held
+
+  // --- placement & membership (src/placement) ------------------------------
+  // All handlers and the tick run on the dispatcher thread only; the one
+  // cross-thread signal is the decommissioned_ atomic. The protocol is
+  // push+pull convergent: sources of a rehomed document ship MigrateDoc
+  // until every gaining host acked, gaining hosts pull (RecoveryPull) while
+  // fenced — either side alone completes a migration, which is what makes a
+  // kill -9 on any single site restartable.
+
+  /// Installs a newer epoch: catalog replica + durable ~catalog record,
+  /// address book, importing fences for newly-gained documents, ship states
+  /// for documents this site must hand off. Queues the drained CatalogAck.
+  void handle_catalog_update(const net::CatalogUpdate& update);
+  /// The install itself (shared with the JoinReply anti-entropy path):
+  /// no-op unless `next` is strictly newer than the current epoch.
+  void install_epoch(placement::CatalogEpoch next);
+  void handle_catalog_ack(const net::CatalogAck& ack);
+  /// Seed side of a join — or, when `request.site` names this site, the
+  /// decommission order (begin_leave).
+  void handle_join_request(net::SiteId from, const net::JoinRequest& request);
+  void handle_migrate_doc(net::SiteId from, const net::MigrateDoc& migrate);
+  void handle_migrate_ack(const net::MigrateAck& ack);
+  void handle_drop_doc(const net::DropDoc& drop);
+  /// Periodic membership work (dispatcher cadence): send drained
+  /// CatalogAcks, time out a pending join, reconcile replicas (ship /
+  /// pull / drop), complete a decommission.
+  void membership_tick(Clock::time_point now);
+  /// True when no transaction routed under an epoch older than `epoch`
+  /// still has state at this site (coordinator table + remote_txns).
+  [[nodiscard]] bool epoch_drained(std::uint64_t epoch);
+  void maybe_send_catalog_acks();
+  /// Computes the post-departure epoch and broadcasts it; reconcile then
+  /// ships every replica away and flips decommissioned_.
+  void begin_leave();
+  /// Ship / pull / drop pass: resends MigrateDoc for pending handoffs,
+  /// scans the store for replicas this site no longer hosts (restart
+  /// resume), pulls fenced imports from current hosts.
+  void reconcile_replicas(Clock::time_point now);
+  /// Adopts a shipped durable state for a fenced document: write it (or
+  /// keep the fresher local bytes), load into the engine, unfence.
+  /// Returns the adopted durable version, or nullopt on failure.
+  std::optional<std::uint64_t> adopt_replica(const std::string& doc,
+                                             std::uint64_t version,
+                                             const std::string& snapshot,
+                                             const std::string& log);
+  /// Removes a replica end to end: engine, snapshots, store bytes + log.
+  void drop_replica(const std::string& doc);
+  /// Loads the durable ~catalog record (if any) into the catalog replica
+  /// and derives the membership resume state (leaving_). start() only.
+  void load_durable_catalog();
+
+  /// One handoff in flight: gaining hosts that have not acked durability,
+  /// with per-target resend pacing.
+  struct ShipState {
+    std::set<net::SiteId> pending;
+    std::map<net::SiteId, Clock::time_point> last_sent;
+    bool drop_when_done = false;  ///< this site leaves the hosting set
+  };
+
+  /// Drained-ack debt: epoch -> admin that wants the CatalogAck.
+  std::map<std::uint64_t, net::SiteId> pending_acks_;
+  /// Seed-side state of one admission in progress.
+  struct PendingJoin {
+    std::uint64_t epoch = 0;
+    net::SiteId joiner = 0;
+    net::SiteId reply_to = 0;
+    std::set<net::SiteId> waiting;  ///< old members yet to ack the drain
+    std::string catalog;            ///< epoch text, for update resends
+    Clock::time_point deadline{};
+    Clock::time_point next_resend{};
+  };
+  std::optional<PendingJoin> pending_join_;
+  std::map<std::string, ShipState> ship_states_;
+  /// Pull pacing per fenced document.
+  std::map<std::string, Clock::time_point> last_pull_;
+  Clock::time_point last_reconcile_{};
+  bool leaving_ = false;
+  std::atomic<bool> decommissioned_{false};
 
   SiteContext ctx_;
   Coordinator coordinator_;

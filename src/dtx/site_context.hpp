@@ -122,6 +122,14 @@ struct SiteOptions {
   std::size_t snapshot_chain_bytes = 1 << 22;
   /// Mailbox / queue poll granularity.
   std::chrono::microseconds poll_interval{2'000};
+  /// Placement policy + replication factor this site uses when it *drives*
+  /// a membership change (seeding a join, computing its own departure).
+  /// Every member of one cluster must agree on these — the rebalance is
+  /// deterministic, but only the driving site computes it.
+  placement::PlacementPolicy placement_policy =
+      placement::PlacementPolicy::kHashRing;
+  /// Replicas per document after a rebalance (0 = full replication).
+  std::size_t replication = 0;
 };
 
 struct SiteStats {
@@ -148,6 +156,13 @@ struct SiteStats {
   /// Read-only transactions this coordinator served via the MVCC
   /// snapshot-read path (they also count in `committed`).
   std::uint64_t snapshot_txns = 0;
+  /// Placement & membership (src/placement): the installed catalog epoch
+  /// (snapshot, not a counter), requests rejected for epoch mismatch or a
+  /// still-importing replica, and replica migrations adopted here.
+  std::uint64_t catalog_epoch = 0;
+  std::uint64_t stale_catalog_aborts = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t migrated_bytes = 0;
   LockManagerStats lock_manager;
   /// Site plan-cache counters (hits / misses / evictions / entries).
   query::PlanCacheStats plan_cache;
@@ -162,7 +177,7 @@ struct SiteStats {
 struct SiteContext {
   using Clock = std::chrono::steady_clock;
 
-  SiteContext(SiteOptions opts, net::Network& net, const Catalog& cat,
+  SiteContext(SiteOptions opts, net::Network& net, Catalog& cat,
               storage::StorageBackend& backing_store)
       : options(opts),
         network(net),
@@ -179,7 +194,9 @@ struct SiteContext {
   SiteOptions options;
   net::Network& network;
   net::Mailbox& mailbox;
-  const Catalog& catalog;
+  /// This site's own catalog replica: updated by CatalogUpdate messages
+  /// (membership changes), read by every routing / serving decision.
+  Catalog& catalog;
   storage::StorageBackend& store;
 
   /// Wipes and reconstructs the crash-volatile engine components. Only
@@ -249,6 +266,12 @@ struct SiteContext {
   /// that already persisted would diverge from one that presumed abort.
   static constexpr const char* kCommitLogKey = "~outcomes";
 
+  /// Durable catalog record: the text form of the newest installed epoch
+  /// (CatalogEpoch::to_text), written at every install. A restarting site
+  /// resumes under the epoch it had accepted — a kill -9 mid-migration
+  /// cannot roll the membership view back to a pre-flip generation.
+  static constexpr const char* kCatalogKey = "~catalog";
+
   /// Durably records a commit decision — one appended line, O(1) in the
   /// log size. Expects coord_mutex held.
   util::Status append_commit_record(lock::TxnId txn) {
@@ -297,9 +320,25 @@ struct SiteContext {
     SiteId coordinator = 0;
     Clock::time_point last_seen{};
     std::uint32_t unanswered_probes = 0;
+    /// Catalog epoch the transaction was routed under (its first
+    /// ExecuteOperation here) — the catalog drain (CatalogAck) waits until
+    /// no remote transaction of an older epoch still has state at this site.
+    std::uint64_t epoch = 0;
     std::map<std::uint32_t, net::OperationResult> last_replies;
   };
   std::map<lock::TxnId, RemoteTxn> remote_txns;  // guarded by part_mutex
+
+  /// Importing fence (guarded by part_mutex): documents this site hosts
+  /// under the current epoch but whose replica has not been adopted yet
+  /// (awaiting MigrateDoc / a recovery pull). Participant executes,
+  /// snapshot serving and the coordinator's local path reject fenced
+  /// documents with the retryable kStaleCatalog until adoption unfences.
+  std::set<std::string> importing_docs;
+
+  [[nodiscard]] bool is_importing(const std::string& doc) {
+    std::lock_guard<std::mutex> lock(part_mutex);
+    return importing_docs.count(doc) != 0;
+  }
 
   // --- remote-operation response collection (resp_mutex) ---------------------
   struct ResponseSlot {

@@ -7,12 +7,29 @@
 namespace dtx::core {
 
 net::SnapshotReadReply serve_snapshot_read(
-    SiteContext& ctx, lock::TxnId txn,
+    SiteContext& ctx, lock::TxnId txn, std::uint64_t epoch,
     const std::vector<std::uint32_t>& op_indices,
     const std::vector<txn::Operation>& ops) {
   net::SnapshotReadReply reply;
   reply.txn = txn;
   reply.op_indices = op_indices;
+
+  // Membership fences: serve only under the epoch the coordinator routed
+  // by, only documents this replica hosts right now, and never a replica
+  // still being migrated in. All retryable (kStaleCatalog) — the client
+  // resubmits once the catalogs converge.
+  const Catalog::View catalog = ctx.catalog.view();
+  const auto fence = [&](const std::string& detail) {
+    reply.reason = txn::AbortReason::kStaleCatalog;
+    reply.error = detail;
+    std::lock_guard<std::mutex> lock(ctx.stats_mutex);
+    ++ctx.stats.stale_catalog_aborts;
+    return reply;
+  };
+  if (epoch != catalog->epoch) {
+    return fence("catalog epoch mismatch (request " + std::to_string(epoch) +
+                 ", site " + std::to_string(catalog->epoch) + ")");
+  }
 
   // Compile every query first (plan-cache hit in the steady state) and
   // collect the distinct documents of the cut.
@@ -24,6 +41,12 @@ net::SnapshotReadReply serve_snapshot_read(
       reply.reason = txn::AbortReason::kParseError;
       reply.error = "snapshot read carries an update operation";
       return reply;
+    }
+    if (!catalog->hosts(ctx.options.id, op.doc)) {
+      return fence("document '" + op.doc + "' is not hosted here");
+    }
+    if (ctx.is_importing(op.doc)) {
+      return fence("replica of '" + op.doc + "' is still importing");
     }
     auto plan = ctx.plans().resolve(op);
     if (!plan) {

@@ -11,10 +11,13 @@
 namespace dtx::core {
 
 /// Serves `ops` (all queries, positions `op_indices` in transaction `txn`)
-/// against this site's versioned snapshots. Never throws; failures come
-/// back as `ok = false` with a typed reason.
+/// against this site's versioned snapshots. `epoch` is the catalog epoch
+/// the coordinator routed under — a mismatch with the local catalog, a
+/// document this site no longer hosts, or a replica still importing all
+/// reject with retryable kStaleCatalog. Never throws; failures come back
+/// as `ok = false` with a typed reason.
 [[nodiscard]] net::SnapshotReadReply serve_snapshot_read(
-    SiteContext& ctx, lock::TxnId txn,
+    SiteContext& ctx, lock::TxnId txn, std::uint64_t epoch,
     const std::vector<std::uint32_t>& op_indices,
     const std::vector<txn::Operation>& ops);
 

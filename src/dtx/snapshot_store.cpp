@@ -32,8 +32,35 @@ void SnapshotStore::register_doc(const std::string& doc,
   auto it = docs_.find(doc);
   if (it == docs_.end()) {
     it = docs_.emplace(doc, std::make_unique<DocState>()).first;
+  } else {
+    // Re-registration (replica adoption): the cached trees and deltas
+    // describe the replaced copy's version history, not the adopted one's.
+    std::lock_guard<std::mutex> doc_lock(it->second->mutex);
+    it->second->trees.clear();
+    it->second->deltas.clear();
+    total_chain_bytes_ -= it->second->delta_bytes;
+    it->second->delta_bytes = 0;
   }
   it->second->committed = version;
+}
+
+void SnapshotStore::drop_doc(const std::string& doc) {
+  std::unique_ptr<DocState> victim;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = docs_.find(doc);
+    if (it == docs_.end()) return;
+    victim = std::move(it->second);
+    docs_.erase(it);
+    {
+      std::lock_guard<std::mutex> doc_lock(victim->mutex);
+      victim->trees.clear();
+      victim->deltas.clear();
+      total_chain_bytes_ -= victim->delta_bytes;
+      victim->delta_bytes = 0;
+    }
+    retired_.push_back(std::move(victim));
+  }
 }
 
 void SnapshotStore::publish(std::vector<Delta> deltas) {

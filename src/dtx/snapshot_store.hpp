@@ -107,8 +107,17 @@ class SnapshotStore {
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
   /// Registers a loaded document at its recovered version (DataManager::
-  /// load_all). Trees are materialized lazily on first read.
+  /// load_all). Trees are materialized lazily on first read. Re-registering
+  /// an adopted replica resets its chain (the old deltas belong to the
+  /// dropped copy).
   void register_doc(const std::string& doc, std::uint64_t version);
+
+  /// Unregisters a dropped replica. The state shell is retired, not
+  /// destroyed — snapshot() captures raw DocState pointers outside the
+  /// store mutex, so an in-flight cut may still resolve against it (and
+  /// falls back to the WAL when the cleared cache misses). Trees and
+  /// deltas are released immediately.
+  void drop_doc(const std::string& doc);
 
   /// Publishes one committed transaction's deltas — every document it
   /// updated, in one atomic step. Called by DataManager::persist under the
@@ -164,6 +173,10 @@ class SnapshotStore {
 
   mutable std::mutex mutex_;  ///< doc map + every committed counter
   std::map<std::string, std::unique_ptr<DocState>> docs_;
+  /// Dropped replicas' state shells, kept alive for stray in-flight cuts
+  /// (see drop_doc). Cleared of trees/deltas, so each is a few hundred
+  /// bytes; membership changes are rare enough that this never matters.
+  std::vector<std::unique_ptr<DocState>> retired_;
   std::uint64_t total_chain_bytes_ = 0;  ///< guarded by mutex_
   std::uint64_t chain_bytes_peak_ = 0;   ///< guarded by mutex_
 

@@ -38,9 +38,16 @@ enum Tag : std::uint8_t {
   kTagClientReply = 19,
   kTagRecoveryPullRequest = 20,
   kTagRecoveryPullReply = 21,
+  kTagCatalogUpdate = 22,
+  kTagCatalogAck = 23,
+  kTagJoinRequest = 24,
+  kTagJoinReply = 25,
+  kTagMigrateDoc = 26,
+  kTagMigrateAck = 27,
+  kTagDropDoc = 28,
 };
 
-static_assert(std::variant_size_v<Payload> == 21,
+static_assert(std::variant_size_v<Payload> == 28,
               "new Payload alternative: assign its Tag and add an encoder, "
               "a decoder case and a payload_name entry");
 
@@ -217,7 +224,7 @@ class Reader {
 };
 
 constexpr std::uint8_t kMaxAbortReason =
-    static_cast<std::uint8_t>(txn::AbortReason::kUnprocessableUpdate);
+    static_cast<std::uint8_t>(txn::AbortReason::kStaleCatalog);
 constexpr std::uint8_t kMaxTxnOutcome =
     static_cast<std::uint8_t>(TxnOutcome::kAborted);
 // txn::TxnState tops out at kFailed = 4; transaction.hpp is above the wire
@@ -235,6 +242,7 @@ struct EncodeVisitor {
     w.u32(m.op_index);
     w.u32(m.attempt);
     w.u32(m.coordinator);
+    w.u64(m.epoch);
     w.op(m.op);
   }
   void operator()(const OperationResult& m) const {
@@ -313,6 +321,7 @@ struct EncodeVisitor {
     w.u8(kTagSnapshotReadRequest);
     w.u64(m.txn);
     w.u32(m.coordinator);
+    w.u64(m.epoch);
     w.u32_vec(m.op_indices);
     w.op_vec(m.ops);
   }
@@ -361,6 +370,49 @@ struct EncodeVisitor {
     w.str(m.snapshot);
     w.str(m.log);
   }
+  void operator()(const CatalogUpdate& m) const {
+    w.u8(kTagCatalogUpdate);
+    w.u64(m.epoch);
+    w.str(m.catalog);
+    w.u32(m.admin);
+  }
+  void operator()(const CatalogAck& m) const {
+    w.u8(kTagCatalogAck);
+    w.u64(m.epoch);
+    w.u32(m.site);
+  }
+  void operator()(const JoinRequest& m) const {
+    w.u8(kTagJoinRequest);
+    w.u32(m.site);
+    w.str(m.address);
+  }
+  void operator()(const JoinReply& m) const {
+    w.u8(kTagJoinReply);
+    w.boolean(m.ok);
+    w.u64(m.epoch);
+    w.str(m.catalog);
+    w.str(m.error);
+  }
+  void operator()(const MigrateDoc& m) const {
+    w.u8(kTagMigrateDoc);
+    w.str(m.doc);
+    w.u64(m.epoch);
+    w.u64(m.version);
+    w.str(m.snapshot);
+    w.str(m.log);
+  }
+  void operator()(const MigrateAck& m) const {
+    w.u8(kTagMigrateAck);
+    w.str(m.doc);
+    w.u32(m.site);
+    w.boolean(m.ok);
+    w.u64(m.version);
+  }
+  void operator()(const DropDoc& m) const {
+    w.u8(kTagDropDoc);
+    w.str(m.doc);
+    w.u64(m.epoch);
+  }
 };
 
 // --- per-payload decoders ---------------------------------------------------
@@ -373,6 +425,7 @@ Payload decode_payload(std::uint8_t tag, Reader& r) {
       m.op_index = r.u32();
       m.attempt = r.u32();
       m.coordinator = r.u32();
+      m.epoch = r.u64();
       m.op = r.op();
       return m;
     }
@@ -449,6 +502,7 @@ Payload decode_payload(std::uint8_t tag, Reader& r) {
       SnapshotReadRequest m;
       m.txn = r.u64();
       m.coordinator = r.u32();
+      m.epoch = r.u64();
       m.op_indices = r.u32_vec();
       m.ops = r.op_vec();
       return m;
@@ -503,6 +557,56 @@ Payload decode_payload(std::uint8_t tag, Reader& r) {
       m.version = r.u64();
       m.snapshot = r.str();
       m.log = r.str();
+      return m;
+    }
+    case kTagCatalogUpdate: {
+      CatalogUpdate m;
+      m.epoch = r.u64();
+      m.catalog = r.str();
+      m.admin = r.u32();
+      return m;
+    }
+    case kTagCatalogAck: {
+      CatalogAck m;
+      m.epoch = r.u64();
+      m.site = r.u32();
+      return m;
+    }
+    case kTagJoinRequest: {
+      JoinRequest m;
+      m.site = r.u32();
+      m.address = r.str();
+      return m;
+    }
+    case kTagJoinReply: {
+      JoinReply m;
+      m.ok = r.boolean();
+      m.epoch = r.u64();
+      m.catalog = r.str();
+      m.error = r.str();
+      return m;
+    }
+    case kTagMigrateDoc: {
+      MigrateDoc m;
+      m.doc = r.str();
+      m.epoch = r.u64();
+      m.version = r.u64();
+      m.snapshot = r.str();
+      m.log = r.str();
+      return m;
+    }
+    case kTagMigrateAck: {
+      MigrateAck m;
+      m.doc = r.str();
+      m.site = r.u32();
+      m.ok = r.boolean();
+      m.version = r.u64();
+      return m;
+    }
+    case kTagDropDoc: {
+      DropDoc m;
+      m.doc = r.str();
+      m.epoch = r.u64();
       return m;
     }
     default:

@@ -36,7 +36,13 @@ namespace dtx::net::codec {
 
 inline constexpr std::uint32_t kMagic = 0x31585444u;  // "DTX1"
 /// Bumped on any incompatible frame change; carried in the Hello handshake.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: ExecuteOperation / SnapshotReadRequest carry the catalog epoch, plus
+/// the placement & membership payloads (CatalogUpdate .. DropDoc).
+inline constexpr std::uint32_t kProtocolVersion = 2;
+/// Number of payload tags the codec knows (tags run 1..kPayloadTagCount).
+/// net_test keeps a hand-written tag-name list asserted against this, so a
+/// new Payload alternative without codec + corpus coverage fails the suite.
+inline constexpr std::size_t kPayloadTagCount = std::variant_size_v<Payload>;
 /// Upper bound on one frame's body — a stream whose length field exceeds
 /// this is corrupt (or hostile), not merely large.
 inline constexpr std::size_t kMaxFrameBytes = 64u << 20;

@@ -40,6 +40,15 @@ struct NameVisitor {
   const char* operator()(const RecoveryPullReply&) const {
     return "recovery-pull-reply";
   }
+  const char* operator()(const CatalogUpdate&) const {
+    return "catalog-update";
+  }
+  const char* operator()(const CatalogAck&) const { return "catalog-ack"; }
+  const char* operator()(const JoinRequest&) const { return "join-request"; }
+  const char* operator()(const JoinReply&) const { return "join-reply"; }
+  const char* operator()(const MigrateDoc&) const { return "migrate-doc"; }
+  const char* operator()(const MigrateAck&) const { return "migrate-ack"; }
+  const char* operator()(const DropDoc&) const { return "drop-doc"; }
 };
 
 }  // namespace

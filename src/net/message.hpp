@@ -30,6 +30,9 @@ struct ExecuteOperation {
   std::uint32_t op_index = 0;
   std::uint32_t attempt = 0;  ///< retry counter (wait mode re-execution)
   SiteId coordinator = 0;
+  /// Catalog epoch the coordinator routed under; a participant on a
+  /// different epoch rejects with the retryable AbortReason::kStaleCatalog.
+  std::uint64_t epoch = 0;
   /// Typed operation payload (target document + parsed query / update).
   /// Contains no node ids — only label paths and literals.
   txn::Operation op;
@@ -144,6 +147,7 @@ struct TxnStatusReply {
 struct SnapshotReadRequest {
   TxnId txn = 0;
   SiteId coordinator = 0;
+  std::uint64_t epoch = 0;  ///< routing epoch (see ExecuteOperation::epoch)
   std::vector<std::uint32_t> op_indices;  ///< positions in the transaction
   std::vector<txn::Operation> ops;        ///< parallel to op_indices
 };
@@ -215,13 +219,78 @@ struct RecoveryPullReply {
   std::string log;
 };
 
+/// Admin / seed -> member: install this catalog epoch (placement &
+/// membership — src/placement/placement.hpp). `catalog` is the epoch's
+/// line-based text form (CatalogEpoch::to_text). The receiver installs it
+/// immediately — fencing new old-epoch requests — but withholds its
+/// CatalogAck until every transaction it started or participates in under
+/// an older epoch has terminated (the drain), so the sender knows when the
+/// old routing generation is fully quiesced.
+struct CatalogUpdate {
+  std::uint64_t epoch = 0;
+  std::string catalog;
+  SiteId admin = 0;  ///< where to send the drained CatalogAck
+};
+
+/// Member -> admin: `epoch` is installed here and older-epoch transactions
+/// have drained.
+struct CatalogAck {
+  std::uint64_t epoch = 0;
+  SiteId site = 0;
+};
+
+/// Joining daemon -> seed member: admit me. `address` is the joiner's
+/// listen endpoint, distributed to every member through the next epoch's
+/// address book (dtxd --join).
+struct JoinRequest {
+  SiteId site = 0;
+  std::string address;
+};
+
+/// Seed -> joiner: the new catalog (sent only after every old member acked
+/// the flip, i.e. the pre-join epoch drained). ok=false carries a reason.
+struct JoinReply {
+  bool ok = false;
+  std::uint64_t epoch = 0;
+  std::string catalog;
+  std::string error;
+};
+
+/// Migration source -> gaining site: adopt this durable document state
+/// (checkpoint snapshot + repaired log, as RecoveryPullReply ships it).
+/// Idempotent: re-delivery with an equal-or-older version is a no-op ack,
+/// which is what makes a kill -9 mid-migration restartable.
+struct MigrateDoc {
+  std::string doc;
+  std::uint64_t epoch = 0;    ///< epoch that rehomed the document
+  std::uint64_t version = 0;  ///< durable commit version of the shipped state
+  std::string snapshot;
+  std::string log;
+};
+
+/// Gaining site -> source: the document is durable here (or was already).
+struct MigrateAck {
+  std::string doc;
+  SiteId site = 0;
+  bool ok = false;
+  std::uint64_t version = 0;
+};
+
+/// Admin -> former host: the hosting set of `epoch` no longer includes you
+/// and every gaining replica is durable — drop your replica.
+struct DropDoc {
+  std::string doc;
+  std::uint64_t epoch = 0;
+};
+
 using Payload =
     std::variant<ExecuteOperation, OperationResult, UndoOperation,
                  CommitRequest, CommitAck, AbortRequest, AbortAck, FailNotice,
                  WfgRequest, WfgReply, VictimAbort, WakeTxn, TxnStatusRequest,
                  TxnStatusReply, SnapshotReadRequest, SnapshotReadReply,
                  Hello, ClientSubmit, ClientReply, RecoveryPullRequest,
-                 RecoveryPullReply>;
+                 RecoveryPullReply, CatalogUpdate, CatalogAck, JoinRequest,
+                 JoinReply, MigrateDoc, MigrateAck, DropDoc>;
 
 struct Message {
   SiteId from = 0;

@@ -114,6 +114,12 @@ class Network {
   /// processes with kill -9 instead); the default is a no-op.
   virtual void set_site_down(SiteId site, bool down);
 
+  /// Membership hook: makes `site` reachable at `address` from now on
+  /// (a joined peer). TcpNetwork grows its address book and starts
+  /// dialing; SimNetwork needs nothing — registration creates mailboxes —
+  /// so the default is a no-op. Idempotent.
+  virtual void add_peer(SiteId site, const std::string& address);
+
   [[nodiscard]] virtual NetworkStats stats() const = 0;
 
   /// Wakes every blocked receiver (shutdown).
@@ -121,5 +127,8 @@ class Network {
 };
 
 inline void Network::set_site_down(SiteId /*site*/, bool /*down*/) {}
+
+inline void Network::add_peer(SiteId /*site*/, const std::string& /*address*/) {
+}
 
 }  // namespace dtx::net

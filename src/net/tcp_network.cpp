@@ -77,7 +77,7 @@ struct TcpNetwork::Conn {
 };
 
 TcpNetwork::TcpNetwork(SiteId local, TcpOptions options)
-    : local_(local), options_(std::move(options)) {}
+    : local_(local), options_(std::move(options)), peers_(options_.peers) {}
 
 TcpNetwork::~TcpNetwork() {
   if (running_.exchange(false)) {
@@ -132,7 +132,7 @@ Status TcpNetwork::start() {
   }
 
   const auto now = Clock::now();
-  for (const auto& [peer, address] : options_.peers) {
+  for (const auto& [peer, address] : peers_) {
     (void)address;
     if (peer == local_) continue;  // never dial self
     dial_state_[peer] = DialState{options_.reconnect_min, now, false};
@@ -149,6 +149,21 @@ std::uint16_t TcpNetwork::listen_port() const {
   return listen_port_;
 }
 
+void TcpNetwork::add_peer(SiteId site, const std::string& address) {
+  bool need_wake = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = peers_.emplace(site, address);
+    if (!inserted) it->second = address;  // rejoin with a new endpoint
+    if (site != local_ && started_ && dial_state_.count(site) == 0) {
+      dial_state_[site] = DialState{options_.reconnect_min, Clock::now(),
+                                    false};
+      need_wake = true;
+    }
+  }
+  if (need_wake) wake();
+}
+
 Mailbox& TcpNetwork::register_site(SiteId site) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = mailboxes_[site];
@@ -163,7 +178,7 @@ std::vector<SiteId> TcpNetwork::sites() const {
     (void)mailbox;
     if (!is_client_id(site)) out.push_back(site);
   }
-  for (const auto& [peer, address] : options_.peers) {
+  for (const auto& [peer, address] : peers_) {
     (void)address;
     if (!is_client_id(peer)) out.push_back(peer);
   }
@@ -314,7 +329,7 @@ void TcpNetwork::dial_locked(SiteId peer) {
   dial.backoff = std::min(dial.backoff * 2, options_.reconnect_max);
 
   sockaddr_in addr{};
-  if (!parse_hostport(options_.peers.at(peer), addr).ok()) return;
+  if (!parse_hostport(peers_.at(peer), addr).ok()) return;
   const int fd =
       ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return;

@@ -80,6 +80,11 @@ class TcpNetwork final : public Network {
   [[nodiscard]] NetworkStats stats() const override;
   void interrupt_all() override;
 
+  /// Grows the address book at runtime (a joined member) and starts
+  /// dialing. Re-adding an existing peer updates its address (a rejoin at
+  /// a new endpoint — takes effect on the next redial).
+  void add_peer(SiteId site, const std::string& address) override;
+
   [[nodiscard]] TcpStats tcp_stats() const;
 
   /// True when the dialed connection to `peer` is established (handshake
@@ -115,6 +120,8 @@ class TcpNetwork final : public Network {
   const TcpOptions options_;
 
   mutable std::mutex mutex_;
+  /// Live address book (options_.peers + runtime add_peer joins).
+  std::map<SiteId, std::string> peers_;
   std::map<SiteId, std::unique_ptr<Mailbox>> mailboxes_;
   std::map<int, std::unique_ptr<Conn>> conns_;  // keyed by fd
   std::map<SiteId, int> dialed_;    // peer -> fd (alive, maybe connecting)

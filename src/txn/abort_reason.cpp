@@ -10,6 +10,7 @@ const char* abort_reason_name(AbortReason reason) noexcept {
     case AbortReason::kParseError: return "parse-error";
     case AbortReason::kSiteFailure: return "site-failure";
     case AbortReason::kUnprocessableUpdate: return "unprocessable-update";
+    case AbortReason::kStaleCatalog: return "stale-catalog";
   }
   return "?";
 }
@@ -19,6 +20,7 @@ bool abort_reason_retryable(AbortReason reason) noexcept {
     case AbortReason::kDeadlockVictim:
     case AbortReason::kLockWaitExhausted:
     case AbortReason::kSiteFailure:
+    case AbortReason::kStaleCatalog:
       return true;
     case AbortReason::kNone:
     case AbortReason::kParseError:

@@ -21,6 +21,8 @@ enum class AbortReason : std::uint8_t {
                          ///< abort, site shutdown
   kUnprocessableUpdate,  ///< data-layer failure applying the operation
                          ///< (e.g. insert relative to a root node)
+  kStaleCatalog,         ///< routed under an outdated catalog epoch (or to a
+                         ///< replica still importing) — retry re-routes
 };
 
 /// Stable lowercase name ("deadlock-victim", ...) for logs and shells.

@@ -118,6 +118,16 @@ class Transaction {
     return deadlock_victim_;
   }
 
+  /// Catalog epoch the coordinator routed this transaction under. Stamped
+  /// once at claim time; the coordinator re-validates it before commit and
+  /// the catalog drain waits for older-epoch transactions to terminate.
+  void set_catalog_epoch(std::uint64_t epoch) noexcept {
+    catalog_epoch_ = epoch;
+  }
+  [[nodiscard]] std::uint64_t catalog_epoch() const noexcept {
+    return catalog_epoch_;
+  }
+
   /// Records why the transaction is being aborted; the first recorded
   /// reason wins (the root cause, not a cascading cleanup failure). Like
   /// the other scheduler-side fields, only the claiming coordinator worker
@@ -156,6 +166,7 @@ class Transaction {
   std::set<SiteId> sites_;
   std::uint32_t wait_episodes_ = 0;
   bool deadlock_victim_ = false;
+  std::uint64_t catalog_epoch_ = 0;
   AbortReason abort_reason_ = AbortReason::kNone;
 
   mutable std::mutex latch_mutex_;

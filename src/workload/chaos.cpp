@@ -242,6 +242,9 @@ std::string await_drain(Cluster& cluster, std::chrono::milliseconds deadline) {
   for (;;) {
     last.clear();
     for (SiteId site = 0; site < cluster.site_count(); ++site) {
+      // Decommissioned joiners (membership churn) stay stopped; their
+      // lock tables were drained as part of the leave.
+      if (!cluster.site_running(site)) continue;
       const std::size_t locks = cluster.site(site).lock_manager().lock_entries();
       const std::size_t undo =
           cluster.site(site).lock_manager().undo_log_count();
@@ -424,9 +427,46 @@ ChaosReport run_chaos(const ChaosOptions& options) {
   };
 
   // --- rounds ---------------------------------------------------------------
+  std::vector<SiteId> joiners;  // membership churn: joiners still in
   for (std::size_t round = 0; round < schedule.size(); ++round) {
     const RoundPlan& plan = schedule[round];
     gate.resume();
+
+    // Membership churn runs at the start of the traffic window, while
+    // clients write and the background link faults apply — but before this
+    // round's crash / partition land, so the blocking join / decommission
+    // protocols face lossy links, not dead members.
+    if (options.membership_churn) {
+      if (round % 2 == 0) {
+        auto added = cluster.add_site();
+        if (added.is_ok()) {
+          joiners.push_back(added.value());
+          up_sites.set(added.value(), true);
+          ++report.joins;
+          emit(options.jsonl,
+               "{\"event\":\"join\",\"round\":" + std::to_string(round) +
+                   ",\"site\":" + std::to_string(added.value()) + "}");
+        } else {
+          record_violation("round " + std::to_string(round) + ": add_site: " +
+                           added.status().to_string());
+        }
+      } else if (!joiners.empty()) {
+        const SiteId leaver = joiners.back();
+        joiners.pop_back();
+        up_sites.set(leaver, false);
+        const util::Status removed = cluster.remove_site(leaver);
+        if (removed.is_ok()) {
+          ++report.leaves;
+          emit(options.jsonl,
+               "{\"event\":\"leave\",\"round\":" + std::to_string(round) +
+                   ",\"site\":" + std::to_string(leaver) + "}");
+        } else {
+          record_violation("round " + std::to_string(round) +
+                           ": remove_site(" + std::to_string(leaver) +
+                           "): " + removed.to_string());
+        }
+      }
+    }
     std::this_thread::sleep_for(options.traffic_window);
 
     // Inject.
@@ -588,6 +628,15 @@ ChaosReport run_chaos(const ChaosOptions& options) {
            ",\"indeterminate\":" + std::to_string(report.indeterminate) +
            ",\"crashes\":" + std::to_string(report.crashes) +
            ",\"partitions\":" + std::to_string(report.partitions) +
+           ",\"joins\":" + std::to_string(report.joins) +
+           ",\"leaves\":" + std::to_string(report.leaves) +
+           ",\"catalog_epoch\":" +
+           std::to_string(report.cluster.catalog_epoch) +
+           ",\"stale_catalog_aborts\":" +
+           std::to_string(report.cluster.stale_catalog_aborts) +
+           ",\"migrations\":" + std::to_string(report.cluster.migrations) +
+           ",\"migrated_bytes\":" +
+           std::to_string(report.cluster.migrated_bytes) +
            ",\"restarts\":" + std::to_string(report.cluster.restarts) +
            ",\"orphans_committed\":" +
            std::to_string(report.cluster.orphans_committed) +

@@ -81,6 +81,11 @@ struct ChaosOptions {
   /// MVCC snapshot reads (SiteOptions::snapshot_reads); false = locked
   /// read baseline.
   bool snapshot_reads = true;
+  /// Membership churn: alternate rounds add a site (replica migration onto
+  /// the joiner) and decommission the newest joiner again, while traffic
+  /// flows and the background faults apply. The original sites never
+  /// leave, so the final accounting still reads site 0's store.
+  bool membership_churn = false;
   std::chrono::microseconds latency{100};
   /// When set, one JSON line per schedule event / round check / summary.
   std::FILE* jsonl = nullptr;
@@ -90,6 +95,8 @@ struct ChaosReport {
   std::size_t rounds = 0;
   std::size_t crashes = 0;
   std::size_t partitions = 0;
+  std::size_t joins = 0;   ///< membership churn: sites added
+  std::size_t leaves = 0;  ///< membership churn: joiners decommissioned
   std::size_t submitted = 0;
   std::size_t committed = 0;
   std::size_t aborted = 0;       ///< deterministic rollback

@@ -140,6 +140,17 @@ void apply_common_flags(const util::Flags& flags, ExperimentConfig& config) {
     std::abort();
   }
   config.routing = routing.value();
+
+  // --replication=N: N replicas per fragment (partial replication);
+  // 0 = a copy at every site (full replication). Unset keeps the bench's
+  // own default.
+  const std::int64_t replication = flags.get_int("replication", -1);
+  if (replication == 0) {
+    config.replication = workload::Replication::kTotal;
+  } else if (replication > 0) {
+    config.replication = workload::Replication::kPartial;
+    config.copies = static_cast<std::size_t>(replication);
+  }
 }
 
 void print_header(const char* figure, const char* x_label) {
@@ -184,7 +195,11 @@ void print_json_row(const char* figure, const ExperimentConfig& config,
       "\"plan_evictions\":%llu,\"snapshot_reads\":%d,"
       "\"snapshot_txns\":%llu,\"snapshot_views\":%llu,"
       "\"snapshot_chain_hits\":%llu,\"snapshot_materializes\":%llu,"
-      "\"snapshot_chain_bytes_peak\":%llu,\"makespan_s\":%.3f}\n",
+      "\"snapshot_chain_bytes_peak\":%llu,"
+      "\"replication\":%zu,\"catalog_epoch\":%llu,"
+      "\"stale_catalog_aborts\":%llu,\"migrations\":%llu,"
+      "\"migrated_bytes\":%llu,\"net_messages\":%llu,\"net_bytes\":%llu,"
+      "\"net_dropped\":%llu,\"makespan_s\":%.3f}\n",
       figure, lock::protocol_kind_name(config.protocol),
       client::routing_kind_name(config.routing),
       config.coordinator_workers, config.participant_workers,
@@ -205,6 +220,15 @@ void print_json_row(const char* figure, const ExperimentConfig& config,
       static_cast<unsigned long long>(result.cluster.snapshots.chain_hits),
       static_cast<unsigned long long>(result.cluster.snapshots.materializes),
       static_cast<unsigned long long>(result.cluster.snapshots.chain_bytes_peak),
+      config.replication == workload::Replication::kTotal ? config.sites
+                                                         : config.copies,
+      static_cast<unsigned long long>(result.cluster.catalog_epoch),
+      static_cast<unsigned long long>(result.cluster.stale_catalog_aborts),
+      static_cast<unsigned long long>(result.cluster.migrations),
+      static_cast<unsigned long long>(result.cluster.migrated_bytes),
+      static_cast<unsigned long long>(result.cluster.network.messages_sent),
+      static_cast<unsigned long long>(result.cluster.network.bytes_sent),
+      static_cast<unsigned long long>(result.cluster.network.messages_dropped),
       makespan);
   std::fflush(stdout);
 }

@@ -26,7 +26,9 @@
 #include <vector>
 
 #include "client/remote_session.hpp"
+#include "dtx/site_context.hpp"
 #include "dtx/wal.hpp"
+#include "placement/placement.hpp"
 #include "storage/file_store.hpp"
 
 namespace dtx {
@@ -62,14 +64,15 @@ std::uint16_t reserve_port(std::vector<int>& held) {
   return ntohs(addr.sin_port);
 }
 
-constexpr int kSites = 3;
+constexpr int kSites = 3;      ///< boot members
+constexpr int kMaxSites = 4;   ///< boot members + one elastic joiner
 constexpr const char* kDoc = "catalog";
 
 class ProcCluster {
  public:
   explicit ProcCluster(std::filesystem::path root) : root_(std::move(root)) {
     std::vector<int> held;
-    for (int i = 0; i < kSites; ++i) ports_[i] = reserve_port(held);
+    for (int i = 0; i < kMaxSites; ++i) ports_[i] = reserve_port(held);
     for (int fd : held) ::close(fd);
     std::filesystem::create_directories(root_);
     seed_path_ = root_ / "seed.xml";
@@ -77,7 +80,7 @@ class ProcCluster {
   }
 
   ~ProcCluster() {
-    for (int i = 0; i < kSites; ++i) {
+    for (int i = 0; i < kMaxSites; ++i) {
       if (pids_[i] > 0) {
         ::kill(pids_[i], SIGKILL);
         ::waitpid(pids_[i], nullptr, 0);
@@ -129,6 +132,35 @@ class ProcCluster {
     pids_[site] = pid;
   }
 
+  /// Spawns an elastic joiner: no --docs / --load — membership, catalog
+  /// and replicas all arrive over the wire via the --join handshake.
+  void spawn_join(int site, int seed_site) {
+    std::vector<std::string> args = {
+        DTXD_BIN,
+        "--site=" + std::to_string(site),
+        "--listen=" + address(site),
+        "--join=" + std::to_string(seed_site) + "=" + address(seed_site),
+        "--store=" + store_dir(site).string(),
+        "--connect_wait_ms=1500",
+        "--sync_timeout_ms=2000",
+        "--response_timeout_ms=2000",
+        "--orphan_timeout_ms=1000",
+        "--log_level=4",
+    };
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(DTXD_BIN, argv.data());
+      std::perror("execv dtxd");
+      _exit(127);
+    }
+    pids_[site] = pid;
+  }
+
   void kill9(int site) {
     ASSERT_GT(pids_[site], 0);
     ::kill(pids_[site], SIGKILL);
@@ -137,10 +169,10 @@ class ProcCluster {
   }
 
   void terminate_all() {
-    for (int i = 0; i < kSites; ++i) {
+    for (int i = 0; i < kMaxSites; ++i) {
       if (pids_[i] > 0) ::kill(pids_[i], SIGTERM);
     }
-    for (int i = 0; i < kSites; ++i) {
+    for (int i = 0; i < kMaxSites; ++i) {
       if (pids_[i] > 0) {
         // Bounded wait; escalate to SIGKILL if the daemon wedged.
         for (int spin = 0; spin < 200; ++spin) {
@@ -175,8 +207,8 @@ class ProcCluster {
  private:
   std::filesystem::path root_;
   std::filesystem::path seed_path_;
-  std::uint16_t ports_[kSites] = {};
-  pid_t pids_[kSites] = {-1, -1, -1};
+  std::uint16_t ports_[kMaxSites] = {};
+  pid_t pids_[kMaxSites] = {-1, -1, -1, -1};
 };
 
 std::string insert_op(int n) {
@@ -279,6 +311,101 @@ TEST(ProcClusterTest, SurvivesKillNineAndRestart) {
   }
   EXPECT_EQ(replicas[0], replicas[1]);
   EXPECT_EQ(replicas[0], replicas[2]);
+}
+
+// Membership chaos on the real transport: a 4th dtxd joins via --join while
+// writes flow, a migration-source site is kill -9ed right after the join
+// starts (the drain + replica ship must ride out the dead member), the
+// source restarts, and the cluster converges — the joiner serves writes and
+// every hosting replica named by the final durable catalog materializes to
+// the same bytes.
+TEST(ProcClusterTest, MembershipJoinSurvivesKillNine) {
+  if (!loopback_available()) {
+    GTEST_SKIP() << "cannot bind 127.0.0.1 in this environment";
+  }
+
+  ProcCluster cluster(std::filesystem::temp_directory_path() /
+                      ("dtx_join_" + std::to_string(::getpid())));
+  for (int site = 0; site < kSites; ++site) cluster.spawn(site);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  client::RemoteSession session;
+  ASSERT_TRUE(cluster.connect(session, 0)) << "site 0 never came up";
+  int committed = 0;
+  int n = 0;
+  for (; n < 6; ++n) {
+    auto result = session.execute_text({insert_op(n)}, 10s);
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    if (result.value().state == txn::TxnState::kCommitted) ++committed;
+  }
+  EXPECT_EQ(committed, 6);
+
+  // Grow under load: the joiner dials site 0, and immediately afterwards a
+  // migration source dies. The join handshake retries until site 2 is back
+  // (the drain needs every old member's ack), so the admission itself is
+  // what rides out the kill.
+  cluster.spawn_join(3, /*seed_site=*/0);
+  if (::testing::Test::HasFatalFailure()) return;
+  cluster.kill9(2);
+  if (::testing::Test::HasFatalFailure()) return;
+  for (int i = 0; i < 4; ++i) {
+    // Writes may abort while the member is dead — only liveness of the
+    // coordinator matters here.
+    auto result = session.execute_text({insert_op(n++)}, 10s);
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  }
+  std::this_thread::sleep_for(2s);
+  cluster.spawn(2);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // The joiner finishes the handshake, adopts its replicas and serves
+  // writes of its own.
+  client::RemoteSession joiner;
+  ASSERT_TRUE(cluster.connect(joiner, 3, 60000ms))
+      << "joiner never started serving";
+  const auto deadline = std::chrono::steady_clock::now() + 60s;
+  bool converged = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto via_joiner = joiner.execute_text({insert_op(1000 + n++)}, 10s);
+    if (via_joiner.is_ok() && via_joiner.value().accepted &&
+        via_joiner.value().state == txn::TxnState::kCommitted) {
+      converged = true;
+      break;
+    }
+    std::this_thread::sleep_for(250ms);
+  }
+  EXPECT_TRUE(converged) << "joiner never committed a write";
+
+  session.close();
+  joiner.close();
+  cluster.terminate_all();
+
+  // The durable catalog names the final placement; every hosting replica
+  // of every document must materialize identically.
+  storage::FileStore catalog_store(cluster.store_dir(0));
+  auto text = catalog_store.load(core::SiteContext::kCatalogKey);
+  ASSERT_TRUE(text.is_ok()) << "site 0 holds no durable catalog";
+  auto epoch = placement::CatalogEpoch::parse(text.value());
+  ASSERT_TRUE(epoch.is_ok()) << epoch.status().to_string();
+  EXPECT_GE(epoch.value().epoch, 1u);
+  EXPECT_TRUE(epoch.value().is_member(3)) << "joiner missing from catalog";
+  for (const auto& [doc, hosts] : epoch.value().placement) {
+    ASSERT_FALSE(hosts.empty());
+    std::string reference;
+    for (const net::SiteId host : hosts) {
+      storage::FileStore store(cluster.store_dir(static_cast<int>(host)));
+      auto bytes = core::wal::materialize(store, doc);
+      ASSERT_TRUE(bytes.is_ok())
+          << doc << " unreadable at site " << host << ": "
+          << bytes.status().to_string();
+      if (reference.empty()) {
+        reference = std::move(bytes).value();
+      } else {
+        EXPECT_EQ(reference, bytes.value())
+            << doc << " diverges at site " << host;
+      }
+    }
+  }
 }
 
 }  // namespace
