@@ -21,7 +21,7 @@ util::Status Catalog::add_document(const std::string& name,
   }
   std::sort(sites.begin(), sites.end());
   sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   if (current_->has_document(name)) {
     return util::Status(util::Code::kAlreadyExists,
                         "document '" + name + "' already placed");
@@ -37,17 +37,17 @@ util::Status Catalog::add_document(const std::string& name,
 }
 
 Catalog::View Catalog::view() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return current_;
 }
 
 std::uint64_t Catalog::epoch() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return current_->epoch;
 }
 
 bool Catalog::install(placement::CatalogEpoch next) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   if (next.epoch <= current_->epoch) return false;
   current_ = std::make_shared<const placement::CatalogEpoch>(std::move(next));
   return true;

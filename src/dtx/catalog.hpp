@@ -13,12 +13,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "placement/placement.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace dtx::core {
 
@@ -56,8 +56,8 @@ class Catalog {
   [[nodiscard]] std::vector<std::string> documents_at(SiteId site) const;
 
  private:
-  mutable std::mutex mutex_;
-  View current_;
+  mutable sync::Mutex mutex_{sync::LockRank::kCatalog};
+  View current_ DTX_GUARDED_BY(mutex_);
 };
 
 }  // namespace dtx::core

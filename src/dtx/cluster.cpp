@@ -31,6 +31,7 @@ Cluster::~Cluster() { stop(); }
 
 Status Cluster::load_document(const std::string& name, const std::string& xml,
                               const std::vector<SiteId>& sites) {
+  sync::ExclusiveLock lock(membership_mutex_);
   if (started_) {
     return Status(Code::kInternal, "load documents before start()");
   }
@@ -51,6 +52,7 @@ Status Cluster::load_document(const std::string& name, const std::string& xml,
 
 Status Cluster::declare_document(const std::string& name,
                                  const std::vector<SiteId>& sites) {
+  sync::ExclusiveLock lock(membership_mutex_);
   if (started_) {
     return Status(Code::kInternal, "declare documents before start()");
   }
@@ -69,6 +71,7 @@ Status Cluster::declare_document(const std::string& name,
 }
 
 Status Cluster::start() {
+  sync::ExclusiveLock lock(membership_mutex_);
   if (started_) return Status::ok();
   sites_.reserve(options_.site_count);
   catalogs_.reserve(options_.site_count);
@@ -91,20 +94,24 @@ Status Cluster::start() {
 }
 
 void Cluster::stop() {
-  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  sync::SharedLock lock(membership_mutex_);
   for (auto& site : sites_) {
     if (site != nullptr) site->stop();
   }
 }
 
 Site* Cluster::site_ptr(SiteId site) const {
-  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  sync::SharedLock lock(membership_mutex_);
   return site < sites_.size() ? sites_[site].get() : nullptr;
 }
 
 Status Cluster::crash_site(SiteId site) {
-  Site* target = site_ptr(site);
-  if (!started_ || target == nullptr) {
+  Site* target = nullptr;
+  {
+    sync::SharedLock lock(membership_mutex_);
+    if (started_ && site < sites_.size()) target = sites_[site].get();
+  }
+  if (target == nullptr) {
     return Status(Code::kInvalidArgument,
                   "site " + std::to_string(site) + " out of range");
   }
@@ -113,7 +120,7 @@ Status Cluster::crash_site(SiteId site) {
 }
 
 Status Cluster::restart_site(SiteId site) {
-  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  sync::SharedLock lock(membership_mutex_);
   if (!started_ || site >= sites_.size()) {
     return Status(Code::kInvalidArgument,
                   "site " + std::to_string(site) + " out of range");
@@ -164,7 +171,6 @@ bool Cluster::site_running(SiteId site) const {
 }
 
 Result<SiteId> Cluster::add_site() {
-  if (!started_) return Status(Code::kInternal, "cluster not started");
   // Grow the membership vectors under the exclusive lock, then run the
   // join protocol on raw element pointers — elements never move again, so
   // client threads resolving site ids (shared lock) are unaffected by the
@@ -175,7 +181,8 @@ Result<SiteId> Cluster::add_site() {
   Catalog* joiner_catalog = nullptr;
   storage::StorageBackend* joiner_store = nullptr;
   {
-    std::unique_lock<std::shared_mutex> lock(membership_mutex_);
+    sync::ExclusiveLock lock(membership_mutex_);
+    if (!started_) return Status(Code::kInternal, "cluster not started");
     bool have_seed = false;
     for (std::size_t i = 0; i < sites_.size(); ++i) {
       if (sites_[i] != nullptr && sites_[i]->running()) {
@@ -267,8 +274,12 @@ Result<SiteId> Cluster::add_site() {
 }
 
 Status Cluster::remove_site(SiteId site) {
-  Site* victim = site_ptr(site);
-  if (!started_ || victim == nullptr) {
+  Site* victim = nullptr;
+  {
+    sync::SharedLock lock(membership_mutex_);
+    if (started_ && site < sites_.size()) victim = sites_[site].get();
+  }
+  if (victim == nullptr) {
     return Status(Code::kInvalidArgument,
                   "site " + std::to_string(site) + " out of range");
   }
@@ -301,7 +312,7 @@ Status Cluster::remove_site(SiteId site) {
   }
   victim->stop();
   // Refresh the admin view from a survivor's replica.
-  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  sync::SharedLock lock(membership_mutex_);
   for (std::size_t i = 0; i < sites_.size(); ++i) {
     if (i != site && sites_[i] != nullptr && sites_[i]->running()) {
       catalog_.install(placement::CatalogEpoch(*catalogs_[i]->view()));
@@ -313,8 +324,11 @@ Status Cluster::remove_site(SiteId site) {
 
 Result<std::shared_ptr<txn::Transaction>> Cluster::submit(
     SiteId site, std::vector<txn::Operation> ops) {
-  if (!started_) return Status(Code::kInternal, "cluster not started");
-  Site* target = site_ptr(site);
+  Site* target = nullptr;
+  {
+    sync::SharedLock lock(membership_mutex_);
+    if (started_ && site < sites_.size()) target = sites_[site].get();
+  }
   if (target == nullptr) {
     return Status(Code::kInvalidArgument,
                   "site " + std::to_string(site) + " out of range");
@@ -354,7 +368,7 @@ Result<txn::TxnResult> Cluster::execute_text(
 
 ClusterStats Cluster::stats() {
   ClusterStats out;
-  std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+  sync::SharedLock lock(membership_mutex_);
   for (auto& site : sites_) {
     if (site == nullptr) continue;
     const SiteStats s = site->stats();

@@ -7,8 +7,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +16,7 @@
 #include "query/plan_cache.hpp"
 #include "storage/memory_store.hpp"
 #include "util/histogram.hpp"
+#include "util/sync.hpp"
 
 namespace dtx::core {
 
@@ -136,17 +135,17 @@ class Cluster {
   util::Status remove_site(SiteId site);
 
   [[nodiscard]] std::size_t site_count() const {
-    std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+    sync::SharedLock lock(membership_mutex_);
     return sites_.size();
   }
   [[nodiscard]] Site& site(SiteId id) {
-    std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+    sync::SharedLock lock(membership_mutex_);
     return *sites_.at(id);
   }
   [[nodiscard]] const Catalog& catalog() const noexcept { return catalog_; }
   [[nodiscard]] net::SimNetwork& network() noexcept { return network_; }
   [[nodiscard]] storage::StorageBackend& store_of(SiteId id) {
-    std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+    sync::SharedLock lock(membership_mutex_);
     return *stores_.at(id);
   }
 
@@ -195,12 +194,16 @@ class Cluster {
   /// Guards the three membership vectors below: add_site() grows them at
   /// runtime (exclusive) while client threads resolve site ids (shared).
   /// Elements themselves never move or die before the Cluster does.
-  mutable std::shared_mutex membership_mutex_;
-  std::vector<std::unique_ptr<storage::StorageBackend>> stores_;
+  mutable sync::SharedMutex membership_mutex_{
+      sync::LockRank::kClusterMembership};
+  std::vector<std::unique_ptr<storage::StorageBackend>> stores_
+      DTX_GUARDED_BY(membership_mutex_);
   /// Per-site catalog replicas; must outlive sites_ (declared before it).
-  std::vector<std::unique_ptr<Catalog>> catalogs_;
-  std::vector<std::unique_ptr<Site>> sites_;
-  bool started_ = false;
+  std::vector<std::unique_ptr<Catalog>> catalogs_
+      DTX_GUARDED_BY(membership_mutex_);
+  std::vector<std::unique_ptr<Site>> sites_
+      DTX_GUARDED_BY(membership_mutex_);
+  bool started_ DTX_GUARDED_BY(membership_mutex_) = false;
   /// Recovery-sync counters (restart_site; read concurrently by stats()).
   std::atomic<std::uint64_t> log_suffix_syncs_{0};
   std::atomic<std::uint64_t> full_syncs_{0};

@@ -25,8 +25,8 @@ void Coordinator::run() {
   while (ctx_.running.load()) {
     TransactionPtr next;
     {
-      std::unique_lock<std::mutex> lock(ctx_.coord_mutex);
-      ctx_.coord_cv.wait_for(lock, ctx_.options.poll_interval, [&] {
+      sync::UniqueLock lock(ctx_.coord_mutex);
+      ctx_.coord_cv.wait_for(ctx_.coord_mutex, ctx_.options.poll_interval, [&] {
         return !ctx_.running.load() || !ctx_.ready.empty() ||
                !ctx_.victim_aborts.empty();
       });
@@ -50,7 +50,7 @@ void Coordinator::run() {
   }
 }
 
-void Coordinator::process_victims(std::unique_lock<std::mutex>& lock) {
+void Coordinator::process_victims(sync::UniqueLock& lock) {
   while (!ctx_.victim_aborts.empty()) {
     const TxnId victim = ctx_.victim_aborts.front();
     ctx_.victim_aborts.pop_front();
@@ -134,7 +134,7 @@ void Coordinator::execute_one_operation(const TransactionPtr& txn) {
 void Coordinator::abort_stale_catalog(const TransactionPtr& txn) {
   txn->set_abort_reason(txn::AbortReason::kStaleCatalog);
   {
-    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    sync::MutexLock lock(ctx_.stats_mutex);
     ++ctx_.stats.stale_catalog_aborts;
   }
   abort_transaction(txn, false);
@@ -156,7 +156,7 @@ void Coordinator::execute_snapshot(const TransactionPtr& txn) {
     // Snapshot reads hold no locks; a bare stale-catalog finish suffices.
     txn->set_abort_reason(txn::AbortReason::kStaleCatalog);
     {
-      std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+      sync::MutexLock lock(ctx_.stats_mutex);
       ++ctx_.stats.stale_catalog_aborts;
     }
     finish_transaction(txn, TxnState::kAborted);
@@ -193,7 +193,7 @@ void Coordinator::execute_snapshot(const TransactionPtr& txn) {
     if (site != ctx_.options.id) remote.insert(site);
   }
   if (!remote.empty()) {
-    std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
+    sync::MutexLock lock(ctx_.resp_mutex);
     ctx_.snapshot_replies[txn->id()].clear();
   }
   for (const auto& [site, request] : groups) {
@@ -212,7 +212,7 @@ void Coordinator::execute_snapshot(const TransactionPtr& txn) {
     std::map<SiteId, net::SnapshotReadReply> collected =
         await_snapshot_replies(txn->id(), remote);
     {
-      std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
+      sync::MutexLock lock(ctx_.resp_mutex);
       ctx_.snapshot_replies.erase(txn->id());
     }
     if (!ctx_.running.load()) return;  // halt() completes the txn
@@ -260,7 +260,7 @@ void Coordinator::execute_snapshot(const TransactionPtr& txn) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    sync::MutexLock lock(ctx_.stats_mutex);
     ++ctx_.stats.snapshot_txns;
   }
   finish_transaction(txn, TxnState::kCommitted);
@@ -322,7 +322,7 @@ void Coordinator::execute_remote(const TransactionPtr& txn,
 
   const std::set<SiteId> expected(sites.begin(), sites.end());
   {
-    std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
+    sync::MutexLock lock(ctx_.resp_mutex);
     SiteContext::ResponseSlot& slot =
         ctx_.responses[{txn->id(), static_cast<std::uint32_t>(op_index)}];
     slot.attempt = attempt;
@@ -336,7 +336,7 @@ void Coordinator::execute_remote(const TransactionPtr& txn,
   const std::map<SiteId, net::OperationResult> replies = await_responses(
       txn->id(), static_cast<std::uint32_t>(op_index), attempt, expected);
   {
-    std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
+    sync::MutexLock lock(ctx_.resp_mutex);
     ctx_.responses.erase({txn->id(), static_cast<std::uint32_t>(op_index)});
   }
   if (!ctx_.running.load()) return;
@@ -405,7 +405,7 @@ void Coordinator::execute_remote(const TransactionPtr& txn,
 void Coordinator::enter_wait(const TransactionPtr& txn) {
   txn->note_wait_episode();
   {
-    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    sync::MutexLock lock(ctx_.stats_mutex);
     ++ctx_.stats.wait_episodes;
   }
   if (ctx_.options.max_wait_episodes != 0 &&
@@ -428,7 +428,7 @@ void Coordinator::hand_back_claim(const TransactionPtr& txn, bool park) {
   bool abort_now = false;
   bool requeued = false;
   {
-    std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+    sync::MutexLock lock(ctx_.coord_mutex);
     if (ctx_.deferred_victims.erase(txn->id()) != 0) {
       abort_now = true;  // claim retained; abort below
     } else if (park && ctx_.pending_wakes.erase(txn->id()) == 0) {
@@ -454,7 +454,7 @@ std::map<SiteId, net::OperationResult> Coordinator::await_responses(
     TxnId txn, std::uint32_t op_index, std::uint32_t attempt,
     const std::set<SiteId>& expected) {
   const auto deadline = Clock::now() + ctx_.options.response_timeout;
-  std::unique_lock<std::mutex> lock(ctx_.resp_mutex);
+  sync::MutexLock lock(ctx_.resp_mutex);
   const auto key = std::make_pair(txn, op_index);
   for (;;) {
     const auto it = ctx_.responses.find(key);
@@ -467,7 +467,7 @@ std::map<SiteId, net::OperationResult> Coordinator::await_responses(
     if (!ctx_.running.load() || Clock::now() >= deadline) {
       return it->second.replies;  // partial (timeout / shutdown)
     }
-    ctx_.resp_cv.wait_until(lock, deadline);
+    ctx_.resp_cv.wait_until(ctx_.resp_mutex, deadline);
   }
 }
 
@@ -476,7 +476,7 @@ std::map<SiteId, bool> Coordinator::await_acks(TxnId txn,
                                                bool commit) {
   (void)commit;
   const auto deadline = Clock::now() + ctx_.options.response_timeout;
-  std::unique_lock<std::mutex> lock(ctx_.ack_mutex);
+  sync::MutexLock lock(ctx_.ack_mutex);
   for (;;) {
     const auto it = ctx_.acks.find(txn);
     if (it == ctx_.acks.end()) return {};
@@ -484,14 +484,14 @@ std::map<SiteId, bool> Coordinator::await_acks(TxnId txn,
     if (!ctx_.running.load() || Clock::now() >= deadline) {
       return it->second.acks;
     }
-    ctx_.ack_cv.wait_until(lock, deadline);
+    ctx_.ack_cv.wait_until(ctx_.ack_mutex, deadline);
   }
 }
 
 std::map<SiteId, net::SnapshotReadReply> Coordinator::await_snapshot_replies(
     TxnId txn, const std::set<SiteId>& expected) {
   const auto deadline = Clock::now() + ctx_.options.response_timeout;
-  std::unique_lock<std::mutex> lock(ctx_.resp_mutex);
+  sync::MutexLock lock(ctx_.resp_mutex);
   for (;;) {
     const auto it = ctx_.snapshot_replies.find(txn);
     if (it == ctx_.snapshot_replies.end()) return {};
@@ -499,7 +499,7 @@ std::map<SiteId, net::SnapshotReadReply> Coordinator::await_snapshot_replies(
     if (!ctx_.running.load() || Clock::now() >= deadline) {
       return it->second;  // partial (timeout / shutdown)
     }
-    ctx_.resp_cv.wait_until(lock, deadline);
+    ctx_.resp_cv.wait_until(ctx_.resp_mutex, deadline);
   }
 }
 
@@ -551,7 +551,7 @@ void Coordinator::commit_transaction(const TransactionPtr& txn) {
 
   // Step 2 — the decision outlives this worker and this site.
   {
-    std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+    sync::MutexLock lock(ctx_.coord_mutex);
     ctx_.record_outcome(txn->id(), /*committed=*/true);
     const util::Status logged = ctx_.append_commit_record(txn->id());
     if (!logged) {
@@ -562,7 +562,7 @@ void Coordinator::commit_transaction(const TransactionPtr& txn) {
 
   // Step 3 — fan-out with resends.
   {
-    std::lock_guard<std::mutex> lock(ctx_.ack_mutex);
+    sync::MutexLock lock(ctx_.ack_mutex);
     SiteContext::AckSlot& slot = ctx_.acks[txn->id()];
     slot.commit = true;
     slot.acks.clear();
@@ -574,7 +574,7 @@ void Coordinator::commit_transaction(const TransactionPtr& txn) {
   for (std::uint32_t round = 0; round < rounds && !pending.empty();
        ++round) {
     if (round > 0) {
-      std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+      sync::MutexLock lock(ctx_.stats_mutex);
       ctx_.stats.commit_resends += pending.size();
     }
     for (SiteId site : pending) {
@@ -588,7 +588,7 @@ void Coordinator::commit_transaction(const TransactionPtr& txn) {
     if (!ctx_.running.load()) break;
   }
   {
-    std::lock_guard<std::mutex> lock(ctx_.ack_mutex);
+    sync::MutexLock lock(ctx_.ack_mutex);
     ctx_.acks.erase(txn->id());
   }
   // Unacked or not-ok sites hold a stale replica until their orphan probe
@@ -615,7 +615,7 @@ void Coordinator::abort_transaction(const TransactionPtr& txn,
   remote.erase(ctx_.options.id);
   if (!remote.empty()) {
     {
-      std::lock_guard<std::mutex> lock(ctx_.ack_mutex);
+      sync::MutexLock lock(ctx_.ack_mutex);
       SiteContext::AckSlot& slot = ctx_.acks[txn->id()];
       slot.commit = false;
       slot.acks.clear();
@@ -626,7 +626,7 @@ void Coordinator::abort_transaction(const TransactionPtr& txn,
     const std::map<SiteId, bool> acks =
         await_acks(txn->id(), remote, /*commit=*/false);
     {
-      std::lock_guard<std::mutex> lock(ctx_.ack_mutex);
+      sync::MutexLock lock(ctx_.ack_mutex);
       ctx_.acks.erase(txn->id());
     }
     bool all_ok = acks.size() == remote.size();
@@ -663,7 +663,7 @@ void Coordinator::finish_transaction(const TransactionPtr& txn,
                                      TxnState state) {
   txn->set_state(state);
   {
-    std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+    sync::MutexLock lock(ctx_.coord_mutex);
     ctx_.waiting.erase(txn->id());
     ctx_.pending_wakes.erase(txn->id());
     ctx_.deferred_victims.erase(txn->id());
@@ -676,7 +676,7 @@ void Coordinator::finish_transaction(const TransactionPtr& txn,
     ctx_.record_outcome(txn->id(), state == TxnState::kCommitted);
   }
   {
-    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    sync::MutexLock lock(ctx_.stats_mutex);
     switch (state) {
       case TxnState::kCommitted: ++ctx_.stats.committed; break;
       case TxnState::kAborted: ++ctx_.stats.aborted; break;
@@ -711,7 +711,7 @@ void Coordinator::finish_transaction(const TransactionPtr& txn,
       result.reason = txn::AbortReason::kSiteFailure;
       DTX_ERROR() << "txn " << txn->id() << ": abort without a recorded "
                   << "reason (state " << txn::txn_state_name(state) << ")";
-      std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+      sync::MutexLock lock(ctx_.stats_mutex);
       ++ctx_.stats.unclassified_aborts;
     }
   }
@@ -727,7 +727,7 @@ void Coordinator::finish_transaction(const TransactionPtr& txn,
     result.detail = txn::abort_reason_name(result.reason);
   }
   {
-    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    sync::MutexLock lock(ctx_.stats_mutex);
     ctx_.stats.response_ms.add(result.response_ms);
   }
   txn->complete(std::move(result));

@@ -31,12 +31,14 @@ class Coordinator {
 
   /// Drains victim aborts (Alg. 4 hands them to the scheduler). Victims
   /// claimed by another worker are parked in deferred_victims. Unlocks /
-  /// relocks `lock` around each abort.
-  void process_victims(std::unique_lock<std::mutex>& lock);
+  /// relocks `lock` around each abort (coord_mutex is held again on
+  /// return, which is all the REQUIRES clause promises).
+  void process_victims(sync::UniqueLock& lock)
+      DTX_REQUIRES(ctx_.coord_mutex);
 
   /// Lost-wakeup backstop: re-readies waiting transactions whose retry
-  /// interval elapsed. Expects coord_mutex held.
-  void retry_overdue_waiters();
+  /// interval elapsed.
+  void retry_overdue_waiters() DTX_REQUIRES(ctx_.coord_mutex);
 
   void execute_one_operation(const TransactionPtr& txn);
 

@@ -276,7 +276,7 @@ void DataManager::note_checkpoint_policy(const std::string& doc,
 }
 
 void DataManager::run_checkpoints(const std::vector<std::string>& docs) {
-  std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+  sync::MutexLock lock(checkpoint_mutex_);
   for (const std::string& doc : docs) {
     DocEntry* entry = entry_of(doc);
     if (entry == nullptr || !entry->checkpoint_pending) continue;

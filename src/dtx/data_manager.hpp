@@ -29,7 +29,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -42,6 +41,7 @@
 #include "txn/operation.hpp"
 #include "txn/transaction.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 #include "xml/document.hpp"
 #include "xupdate/undo_log.hpp"
 
@@ -199,8 +199,9 @@ class DataManager {
   std::map<TxnId, std::set<std::string>> docs_of_txn_;
   std::map<std::string, std::size_t> live_writers_;
   /// Orders concurrent run_checkpoints callers (each holds the data latch
-  /// shared). Leaf lock: nothing else is acquired under it.
-  std::mutex checkpoint_mutex_;
+  /// shared). Storage and snapshot-store mutexes are acquired under it
+  /// (checkpoint_doc compacts the log and prunes the version chains).
+  sync::Mutex checkpoint_mutex_{sync::LockRank::kCheckpoint};
 };
 
 }  // namespace dtx::core

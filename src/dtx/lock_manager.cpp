@@ -23,7 +23,7 @@ OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
 
   // A fresh attempt supersedes any recorded wait state of this transaction.
   {
-    std::lock_guard<std::mutex> wfg_lock(wfg_mutex_);
+    sync::MutexLock wfg_lock(wfg_mutex_);
     graph_.clear_waiter(txn);
     unsubscribe_waiter_locked(txn);
   }
@@ -31,15 +31,9 @@ OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
   // Queries latch the data shared (parallel reads); updates exclusive —
   // the latch spans lock-set computation AND execution so the tree the
   // protocol walked is the tree the operation runs on.
-  std::shared_lock<std::shared_mutex> read_latch(data_latch_,
-                                                 std::defer_lock);
-  std::unique_lock<std::shared_mutex> write_latch(data_latch_,
-                                                  std::defer_lock);
-  if (plan.is_update()) {
-    write_latch.lock();
-  } else {
-    read_latch.lock();
-  }
+  const sync::ConditionalLatch latch(
+      data_latch_, plan.is_update() ? sync::ConditionalLatch::Mode::kExclusive
+                                    : sync::ConditionalLatch::Mode::kShared);
 
   auto context = data_.context_of(plan.doc());
   if (!context) {
@@ -69,7 +63,7 @@ OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
   if (!acquired.granted) {
     // Alg. 3 l. 8-13: record the wait-for edges; deadlock check; undo.
     conflicts_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> wfg_lock(wfg_mutex_);
+    sync::MutexLock wfg_lock(wfg_mutex_);
     graph_.add_edges(txn, acquired.conflicts);
     if (graph_.has_cycle()) {
       // Granting would deadlock locally; the operation reports it and the
@@ -112,7 +106,7 @@ OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
     outcome.rows = std::move(rows).value();
   }
   {
-    std::lock_guard<std::mutex> records_lock(records_mutex_);
+    sync::MutexLock records_lock(records_mutex_);
     op_records_[{txn, op_index}] = std::move(record);
   }
   operations_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -123,14 +117,14 @@ OpOutcome LockManager::process_operation(TxnId txn, std::uint32_t op_index,
 void LockManager::undo_operation(TxnId txn, std::uint32_t op_index) {
   OpRecord record;
   {
-    std::lock_guard<std::mutex> records_lock(records_mutex_);
+    sync::MutexLock records_lock(records_mutex_);
     const auto it = op_records_.find({txn, op_index});
     if (it == op_records_.end()) return;  // never executed here
     record = std::move(it->second);
     op_records_.erase(it);
   }
   if (record.did_update) {
-    std::unique_lock<std::shared_mutex> write_latch(data_latch_);
+    sync::ExclusiveLock write_latch(data_latch_);
     data_.undo_to(txn, record.doc, record.undo_token);
   }
   table_.rollback(txn, record.journal);
@@ -139,7 +133,7 @@ void LockManager::undo_operation(TxnId txn, std::uint32_t op_index) {
 Status LockManager::commit(TxnId txn, std::vector<WakeNotice>& wakes) {
   std::vector<std::string> checkpoints;
   {
-    std::unique_lock<std::shared_mutex> write_latch(data_latch_);
+    sync::ExclusiveLock write_latch(data_latch_);
     Status status = data_.persist(txn, &checkpoints);
     if (!status) return status;
   }
@@ -147,12 +141,12 @@ Status LockManager::commit(TxnId txn, std::vector<WakeNotice>& wakes) {
     // Compaction runs under the *shared* latch: updates are excluded (the
     // committed tree is stable while it serializes) but same-site readers
     // proceed — the commit hot path itself stays O(delta).
-    std::shared_lock<std::shared_mutex> read_latch(data_latch_);
+    sync::SharedLock read_latch(data_latch_);
     data_.run_checkpoints(checkpoints);
   }
   table_.release_all(txn);
   drop_op_records(txn);
-  std::lock_guard<std::mutex> wfg_lock(wfg_mutex_);
+  sync::MutexLock wfg_lock(wfg_mutex_);
   graph_.remove_txn(txn);
   unsubscribe_waiter_locked(txn);
   collect_wakes_locked(txn, wakes);
@@ -162,31 +156,31 @@ Status LockManager::commit(TxnId txn, std::vector<WakeNotice>& wakes) {
 void LockManager::abort(TxnId txn, std::vector<WakeNotice>& wakes) {
   std::vector<std::string> checkpoints;
   {
-    std::unique_lock<std::shared_mutex> write_latch(data_latch_);
+    sync::ExclusiveLock write_latch(data_latch_);
     data_.undo_all(txn, &checkpoints);
   }
   if (!checkpoints.empty()) {
     // This rollback may have been the last live writer blocking a
     // deferred compaction.
-    std::shared_lock<std::shared_mutex> read_latch(data_latch_);
+    sync::SharedLock read_latch(data_latch_);
     data_.run_checkpoints(checkpoints);
   }
   table_.release_all(txn);
   drop_op_records(txn);
-  std::lock_guard<std::mutex> wfg_lock(wfg_mutex_);
+  sync::MutexLock wfg_lock(wfg_mutex_);
   graph_.remove_txn(txn);
   unsubscribe_waiter_locked(txn);
   collect_wakes_locked(txn, wakes);
 }
 
 void LockManager::clear_waiter(TxnId txn) {
-  std::lock_guard<std::mutex> wfg_lock(wfg_mutex_);
+  sync::MutexLock wfg_lock(wfg_mutex_);
   graph_.clear_waiter(txn);
   unsubscribe_waiter_locked(txn);
 }
 
 std::vector<wfg::Edge> LockManager::wfg_edges() {
-  std::lock_guard<std::mutex> wfg_lock(wfg_mutex_);
+  sync::MutexLock wfg_lock(wfg_mutex_);
   return graph_.edges();
 }
 
@@ -203,12 +197,12 @@ LockManagerStats LockManager::stats() {
 std::size_t LockManager::lock_entries() { return table_.entry_count(); }
 
 std::size_t LockManager::undo_log_count() {
-  std::shared_lock<std::shared_mutex> latch(data_latch_);
+  sync::SharedLock latch(data_latch_);
   return data_.undo_log_count();
 }
 
 void LockManager::drop_op_records(TxnId txn) {
-  std::lock_guard<std::mutex> records_lock(records_mutex_);
+  sync::MutexLock records_lock(records_mutex_);
   // Keyed (txn, op_index): the transaction's records are one contiguous
   // range — O(log + own ops), not a scan of every live record.
   const auto begin = op_records_.lower_bound({txn, 0});

@@ -28,7 +28,9 @@
 //  * wfg_mutex_    — wait-for graph + wake subscriptions.
 //  * records_mutex_ — per-operation acquisition journals / undo tokens.
 // Lock order when nested: data_latch_ -> (table shards) -> wfg_mutex_ /
-// records_mutex_; the two leaf mutexes are never held together.
+// records_mutex_; the two leaf mutexes are never held together. The order
+// is enforced by the lock-rank lattice in util/sync.hpp (ranks 50, 80, 90,
+// 100).
 //
 // One semantic relaxation vs. the monitor: a release may interleave between
 // a waiter's conflict detection and its wake subscription, losing that wake.
@@ -47,8 +49,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -58,6 +58,7 @@
 #include "query/plan.hpp"
 #include "txn/operation.hpp"
 #include "txn/transaction.hpp"
+#include "util/sync.hpp"
 #include "wfg/wait_for_graph.hpp"
 
 namespace dtx::core {
@@ -147,8 +148,8 @@ class LockManager {
   /// query or update may observe mid-change. The document itself is fenced
   /// (SiteContext::importing_docs) so no transaction state exists on it;
   /// the latch only excludes concurrent access to the shared containers.
-  [[nodiscard]] std::unique_lock<std::shared_mutex> exclusive_data_latch() {
-    return std::unique_lock<std::shared_mutex>(data_latch_);
+  [[nodiscard]] sync::MovableExclusiveLock exclusive_data_latch() {
+    return sync::MovableExclusiveLock(data_latch_);
   }
 
   [[nodiscard]] const char* protocol_name() const noexcept {
@@ -167,26 +168,31 @@ class LockManager {
   DataManager& data_;
   lock::LockTable table_;
 
-  /// Reader/writer latch over data_ (see file comment).
-  std::shared_mutex data_latch_;
+  /// Reader/writer latch over data_ (see file comment). The DataManager
+  /// is guarded by convention, not GUARDED_BY: it is a separate class that
+  /// cannot name this latch. The rank checker still orders it.
+  sync::SharedMutex data_latch_{sync::LockRank::kDataLatch};
 
-  std::mutex wfg_mutex_;
-  wfg::WaitForGraph graph_;
+  sync::Mutex wfg_mutex_{sync::LockRank::kWaitForGraph};
+  wfg::WaitForGraph graph_ DTX_GUARDED_BY(wfg_mutex_);
   // blocker -> subscribers waiting for its release.
-  std::multimap<lock::TxnId, WakeNotice> wake_subscriptions_;
+  std::multimap<lock::TxnId, WakeNotice> wake_subscriptions_
+      DTX_GUARDED_BY(wfg_mutex_);
 
-  std::mutex records_mutex_;
-  std::map<std::pair<lock::TxnId, std::uint32_t>, OpRecord> op_records_;
+  sync::Mutex records_mutex_{sync::LockRank::kLockRecords};
+  std::map<std::pair<lock::TxnId, std::uint32_t>, OpRecord> op_records_
+      DTX_GUARDED_BY(records_mutex_);
 
   std::atomic<std::uint64_t> operations_executed_{0};
   std::atomic<std::uint64_t> conflicts_{0};
   std::atomic<std::uint64_t> local_deadlocks_{0};
 
   void drop_op_records(lock::TxnId txn);
-  // The _locked variants expect wfg_mutex_ held.
   void collect_wakes_locked(lock::TxnId released,
-                            std::vector<WakeNotice>& wakes);
-  void unsubscribe_waiter_locked(lock::TxnId waiter);
+                            std::vector<WakeNotice>& wakes)
+      DTX_REQUIRES(wfg_mutex_);
+  void unsubscribe_waiter_locked(lock::TxnId waiter)
+      DTX_REQUIRES(wfg_mutex_);
 };
 
 }  // namespace dtx::core

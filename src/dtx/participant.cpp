@@ -37,7 +37,7 @@ void Participant::run() {
     Message message;
     lock::TxnId txn = 0;
     {
-      std::unique_lock<std::mutex> lock(ctx_.part_mutex);
+      sync::UniqueLock lock(ctx_.part_mutex);
       // First message whose transaction no other worker is on: serving in
       // this order keeps per-transaction requests serial and in arrival
       // order (see SiteContext::participant_active).
@@ -48,7 +48,7 @@ void Participant::run() {
         }
         return it;
       };
-      ctx_.part_cv.wait_for(lock, ctx_.options.poll_interval, [&] {
+      ctx_.part_cv.wait_for(ctx_.part_mutex, ctx_.options.poll_interval, [&] {
         return !ctx_.running.load() ||
                serviceable() != ctx_.participant_queue.end();
       });
@@ -81,7 +81,7 @@ void Participant::run() {
         },
         message.payload);
     {
-      std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+      sync::MutexLock lock(ctx_.part_mutex);
       ctx_.participant_active.erase(txn);
     }
     ctx_.part_cv.notify_all();
@@ -130,7 +130,7 @@ void Participant::handle_execute(const net::ExecuteOperation& request) {
     reply.error = "catalog epoch " + std::to_string(request.epoch) +
                   " is stale at site " + std::to_string(ctx_.options.id);
     {
-      std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+      sync::MutexLock lock(ctx_.stats_mutex);
       ++ctx_.stats.stale_catalog_aborts;
     }
     ctx_.send(request.coordinator, std::move(reply));
@@ -143,7 +143,7 @@ void Participant::handle_execute(const net::ExecuteOperation& request) {
     // cache: re-running an already-executed update would apply its effects
     // twice. Only a *newer* attempt (wait-mode re-execution after an undo)
     // reaches the lock manager again.
-    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    sync::MutexLock lock(ctx_.part_mutex);
     SiteContext::RemoteTxn& record = ctx_.remote_txns[request.txn];
     record.coordinator = request.coordinator;
     record.epoch = request.epoch;
@@ -157,7 +157,7 @@ void Participant::handle_execute(const net::ExecuteOperation& request) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    sync::MutexLock lock(ctx_.stats_mutex);
     ++ctx_.stats.remote_ops_processed;
   }
   // A newer attempt supersedes whatever the previous one left here. The
@@ -201,7 +201,7 @@ void Participant::handle_execute(const net::ExecuteOperation& request) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    sync::MutexLock lock(ctx_.part_mutex);
     const auto it = ctx_.remote_txns.find(request.txn);
     if (it != ctx_.remote_txns.end()) {
       it->second.last_seen = SiteContext::Clock::now();
@@ -256,7 +256,7 @@ void Participant::handle_status_reply(const net::TxnStatusReply& reply) {
   // for transactions no longer tracked (the real commit / abort arrived
   // while the probe was in flight — those paths already cleaned up).
   {
-    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    sync::MutexLock lock(ctx_.part_mutex);
     const auto it = ctx_.remote_txns.find(reply.txn);
     if (it == ctx_.remote_txns.end()) return;
     if (reply.outcome == net::TxnOutcome::kActive) {
@@ -275,13 +275,13 @@ void Participant::handle_status_reply(const net::TxnStatusReply& reply) {
     if (!status) {
       DTX_ERROR() << "orphan commit failed: " << status.to_string();
     }
-    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    sync::MutexLock lock(ctx_.stats_mutex);
     ++ctx_.stats.orphans_committed;
   } else {
     // kAborted or kUnknown (coordinator lost its state): presumed abort —
     // undo-log rollback and lock release.
     ctx_.locks().abort(reply.txn, wakes);
-    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    sync::MutexLock lock(ctx_.stats_mutex);
     ++ctx_.stats.orphans_aborted;
   }
   ctx_.send_wakes(wakes);
@@ -289,7 +289,7 @@ void Participant::handle_status_reply(const net::TxnStatusReply& reply) {
 }
 
 void Participant::touch_remote_txn(lock::TxnId txn) {
-  std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+  sync::MutexLock lock(ctx_.part_mutex);
   const auto it = ctx_.remote_txns.find(txn);
   if (it != ctx_.remote_txns.end()) {
     it->second.last_seen = SiteContext::Clock::now();
@@ -297,7 +297,7 @@ void Participant::touch_remote_txn(lock::TxnId txn) {
 }
 
 void Participant::forget_remote_txn(lock::TxnId txn) {
-  std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+  sync::MutexLock lock(ctx_.part_mutex);
   ctx_.remote_txns.erase(txn);
 }
 

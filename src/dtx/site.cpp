@@ -44,14 +44,14 @@ util::Status Site::start() {
     // arrived (join, or a kill -9 before the migration push landed) reject
     // traffic until adopted via MigrateDoc / a recovery pull.
     const Catalog::View view = ctx_.catalog.view();
-    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    sync::MutexLock lock(ctx_.part_mutex);
     ctx_.importing_docs.clear();
     for (const std::string& doc : view->documents_at(ctx_.options.id)) {
       if (!ctx_.store.exists(doc)) ctx_.importing_docs.insert(doc);
     }
   }
   {
-    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    sync::MutexLock lock(ctx_.stats_mutex);
     ctx_.stats.catalog_epoch = ctx_.catalog.epoch();
   }
   ctx_.running.store(true);
@@ -90,7 +90,7 @@ void Site::halt() {
   // outcome is indeterminate: a transaction may have passed its commit
   // decision moments before the site went down, so callers must treat
   // kSiteFailure as "maybe committed", not "rolled back".
-  std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+  sync::MutexLock lock(ctx_.coord_mutex);
   for (auto& [id, txn] : ctx_.transactions) {
     if (!txn->completed()) {
       txn::TxnResult result;
@@ -115,7 +115,7 @@ void Site::wipe_volatile_state() {
   // graceful stop(): the queues may still hold transactions that halt()
   // completed, and new workers must never re-execute those.
   {
-    std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+    sync::MutexLock lock(ctx_.coord_mutex);
     ctx_.ready.clear();
     ctx_.transactions.clear();
     ctx_.waiting.clear();
@@ -127,19 +127,19 @@ void Site::wipe_volatile_state() {
     ctx_.outcome_fifo.clear();
   }
   {
-    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    sync::MutexLock lock(ctx_.part_mutex);
     ctx_.participant_queue.clear();
     ctx_.participant_active.clear();
     ctx_.remote_txns.clear();
     ctx_.importing_docs.clear();  // recomputed from the store by start()
   }
   {
-    std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
+    sync::MutexLock lock(ctx_.resp_mutex);
     ctx_.responses.clear();
     ctx_.snapshot_replies.clear();
   }
   {
-    std::lock_guard<std::mutex> lock(ctx_.ack_mutex);
+    sync::MutexLock lock(ctx_.ack_mutex);
     ctx_.acks.clear();
   }
 }
@@ -169,7 +169,7 @@ util::Status Site::restart() {
   ctx_.network.set_site_down(ctx_.options.id, false);
   util::Status status = start();
   if (status) {
-    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    sync::MutexLock lock(ctx_.stats_mutex);
     ++ctx_.stats.restarts;
   }
   return status;
@@ -185,7 +185,7 @@ TxnId Site::next_txn_id() {
 std::shared_ptr<Transaction> Site::submit(std::vector<txn::Operation> ops) {
   std::shared_ptr<Transaction> txn;
   {
-    std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+    sync::MutexLock lock(ctx_.coord_mutex);
     txn = std::make_shared<Transaction>(next_txn_id(), std::move(ops));
     // The routing generation is fixed at admission and never re-stamped: a
     // catalog flip mid-transaction aborts it (kStaleCatalog, retryable)
@@ -210,7 +210,7 @@ std::shared_ptr<Transaction> Site::submit(std::vector<txn::Operation> ops) {
 }
 
 SiteStats Site::stats() {
-  std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+  sync::MutexLock lock(ctx_.stats_mutex);
   SiteStats out = ctx_.stats;
   out.lock_manager = ctx_.locks().stats();
   out.plan_cache = ctx_.plans().stats();
@@ -242,13 +242,13 @@ void Site::dispatcher_loop() {
                           std::is_same_v<T, net::FailNotice> ||
                           std::is_same_v<T, net::TxnStatusReply>) {
               {
-                std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+                sync::MutexLock lock(ctx_.part_mutex);
                 ctx_.participant_queue.push_back(std::move(m));
               }
               ctx_.part_cv.notify_all();
             } else if constexpr (std::is_same_v<T, net::OperationResult>) {
               {
-                std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
+                sync::MutexLock lock(ctx_.resp_mutex);
                 const auto it =
                     ctx_.responses.find({payload.txn, payload.op_index});
                 if (it != ctx_.responses.end() &&
@@ -259,7 +259,7 @@ void Site::dispatcher_loop() {
               ctx_.resp_cv.notify_all();
             } else if constexpr (std::is_same_v<T, net::SnapshotReadReply>) {
               {
-                std::lock_guard<std::mutex> lock(ctx_.resp_mutex);
+                sync::MutexLock lock(ctx_.resp_mutex);
                 const auto it = ctx_.snapshot_replies.find(payload.txn);
                 if (it != ctx_.snapshot_replies.end()) {
                   it->second[m.from] = std::move(payload);
@@ -269,7 +269,7 @@ void Site::dispatcher_loop() {
             } else if constexpr (std::is_same_v<T, net::CommitAck> ||
                                  std::is_same_v<T, net::AbortAck>) {
               {
-                std::lock_guard<std::mutex> lock(ctx_.ack_mutex);
+                sync::MutexLock lock(ctx_.ack_mutex);
                 const auto it = ctx_.acks.find(payload.txn);
                 if (it != ctx_.acks.end()) {
                   it->second.acks[m.from] = payload.ok;
@@ -292,7 +292,7 @@ void Site::dispatcher_loop() {
               if (victim.has_value() && *victim != 0) act_on_victim(*victim);
             } else if constexpr (std::is_same_v<T, net::VictimAbort>) {
               {
-                std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+                sync::MutexLock lock(ctx_.coord_mutex);
                 ctx_.victim_aborts.push_back(payload.txn);
               }
               ctx_.coord_cv.notify_all();
@@ -325,7 +325,7 @@ void Site::dispatcher_loop() {
               }
             } else if constexpr (std::is_same_v<T, net::WakeTxn>) {
               {
-                std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+                sync::MutexLock lock(ctx_.coord_mutex);
                 const auto it = ctx_.transactions.find(payload.txn);
                 if (it != ctx_.transactions.end() &&
                     ctx_.waiting.count(payload.txn) != 0) {
@@ -402,7 +402,7 @@ void Site::answer_recovery_pull(const net::RecoveryPullRequest& request) {
 void Site::answer_status_request(const net::TxnStatusRequest& request) {
   net::TxnOutcome outcome = net::TxnOutcome::kUnknown;
   {
-    std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+    sync::MutexLock lock(ctx_.coord_mutex);
     if (ctx_.transactions.count(request.txn) != 0) {
       outcome = net::TxnOutcome::kActive;
     } else {
@@ -423,7 +423,7 @@ void Site::sweep_orphans(Clock::time_point now) {
   std::vector<std::pair<TxnId, SiteId>> probes;
   std::size_t rollbacks = 0;
   {
-    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    sync::MutexLock lock(ctx_.part_mutex);
     for (auto& [txn, record] : ctx_.remote_txns) {
       if (ctx_.participant_active.count(txn) != 0) continue;  // in service
       if (now - record.last_seen < ctx_.options.orphan_txn_timeout) continue;
@@ -445,7 +445,7 @@ void Site::sweep_orphans(Clock::time_point now) {
   }
   if (rollbacks != 0) {
     {
-      std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+      sync::MutexLock lock(ctx_.stats_mutex);
       ctx_.stats.orphans_aborted += rollbacks;
     }
     ctx_.part_cv.notify_all();
@@ -545,7 +545,7 @@ void Site::install_epoch(placement::CatalogEpoch next) {
     if (gaining) {
       // Fence unconditionally, even over lingering local bytes: only an
       // adoption (which merges any local-unique commits) may unfence.
-      std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+      sync::MutexLock lock(ctx_.part_mutex);
       ctx_.importing_docs.insert(move.doc);
     }
     if (source && (dropping || !move.gains.empty())) {
@@ -559,7 +559,7 @@ void Site::install_epoch(placement::CatalogEpoch next) {
     leaving_ = false;
   }
   {
-    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    sync::MutexLock lock(ctx_.stats_mutex);
     ctx_.stats.catalog_epoch = view->epoch;
   }
 }
@@ -580,13 +580,13 @@ void Site::handle_catalog_update(const net::CatalogUpdate& update) {
 
 bool Site::epoch_drained(std::uint64_t epoch) {
   {
-    std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+    sync::MutexLock lock(ctx_.coord_mutex);
     for (const auto& [id, txn] : ctx_.transactions) {
       if (!txn->completed() && txn->catalog_epoch() < epoch) return false;
     }
   }
   {
-    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    sync::MutexLock lock(ctx_.part_mutex);
     for (const auto& [id, record] : ctx_.remote_txns) {
       if (record.epoch < epoch) return false;
     }
@@ -751,11 +751,11 @@ std::optional<std::uint64_t> Site::adopt_replica(const std::string& doc,
     }
   }
   {
-    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    sync::MutexLock lock(ctx_.part_mutex);
     ctx_.importing_docs.erase(doc);
   }
   {
-    std::lock_guard<std::mutex> lock(ctx_.stats_mutex);
+    sync::MutexLock lock(ctx_.stats_mutex);
     ++ctx_.stats.migrations;
     ctx_.stats.migrated_bytes += snapshot.size() + log.size();
   }
@@ -806,7 +806,7 @@ void Site::drop_replica(const std::string& doc) {
   if (ctx_.store.exists(wal::log_key(doc))) {
     (void)ctx_.store.remove(wal::log_key(doc));
   }
-  std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+  sync::MutexLock lock(ctx_.part_mutex);
   ctx_.importing_docs.erase(doc);
 }
 
@@ -876,7 +876,7 @@ void Site::reconcile_replicas(Clock::time_point now) {
   // died with a crashed source, and either side alone completes the move.
   std::vector<std::string> importing;
   {
-    std::lock_guard<std::mutex> lock(ctx_.part_mutex);
+    sync::MutexLock lock(ctx_.part_mutex);
     importing.assign(ctx_.importing_docs.begin(), ctx_.importing_docs.end());
   }
   for (const std::string& doc : importing) {
@@ -931,7 +931,7 @@ void Site::act_on_victim(TxnId victim) {
   const SiteId coordinator = txn::txn_coordinator(victim);
   if (coordinator == ctx_.options.id) {
     {
-      std::lock_guard<std::mutex> lock(ctx_.coord_mutex);
+      sync::MutexLock lock(ctx_.coord_mutex);
       ctx_.victim_aborts.push_back(victim);
     }
     ctx_.coord_cv.notify_all();

@@ -21,12 +21,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 
@@ -40,6 +38,7 @@
 #include "storage/storage.hpp"
 #include "txn/transaction.hpp"
 #include "util/histogram.hpp"
+#include "util/sync.hpp"
 
 namespace dtx::core {
 
@@ -226,30 +225,34 @@ struct SiteContext {
   std::atomic<bool> running{false};
 
   // --- scheduler state (coord_mutex) -----------------------------------------
-  mutable std::mutex coord_mutex;
-  std::condition_variable coord_cv;
-  std::deque<std::shared_ptr<txn::Transaction>> ready;
-  std::map<lock::TxnId, std::shared_ptr<txn::Transaction>> transactions;
-  std::map<lock::TxnId, Clock::time_point> waiting;
-  std::set<lock::TxnId> pending_wakes;
-  std::deque<lock::TxnId> victim_aborts;
+  mutable sync::Mutex coord_mutex{sync::LockRank::kSiteCoordinator};
+  sync::CondVar coord_cv;
+  std::deque<std::shared_ptr<txn::Transaction>> ready
+      DTX_GUARDED_BY(coord_mutex);
+  std::map<lock::TxnId, std::shared_ptr<txn::Transaction>> transactions
+      DTX_GUARDED_BY(coord_mutex);
+  std::map<lock::TxnId, Clock::time_point> waiting
+      DTX_GUARDED_BY(coord_mutex);
+  std::set<lock::TxnId> pending_wakes DTX_GUARDED_BY(coord_mutex);
+  std::deque<lock::TxnId> victim_aborts DTX_GUARDED_BY(coord_mutex);
   /// Transactions currently claimed by a coordinator worker.
-  std::set<lock::TxnId> executing;
+  std::set<lock::TxnId> executing DTX_GUARDED_BY(coord_mutex);
   /// Victim aborts parked because the transaction was executing.
-  std::set<lock::TxnId> deferred_victims;
-  std::uint64_t last_begin_micros = 0;
+  std::set<lock::TxnId> deferred_victims DTX_GUARDED_BY(coord_mutex);
+  std::uint64_t last_begin_micros DTX_GUARDED_BY(coord_mutex) = 0;
 
   /// Recent terminal outcomes of transactions coordinated here, answering
   /// presumed-abort status probes (TxnStatusRequest) from participants that
   /// lost contact mid-transaction. Bounded FIFO. Only *commit* decisions
   /// are durable (the presumed-abort commit log below); everything else
   /// dies with a crash, which absence-reads as aborted — the contract.
-  std::map<lock::TxnId, bool> recent_outcomes;  // txn -> committed
-  std::deque<lock::TxnId> outcome_fifo;
+  std::map<lock::TxnId, bool> recent_outcomes
+      DTX_GUARDED_BY(coord_mutex);  // txn -> committed
+  std::deque<lock::TxnId> outcome_fifo DTX_GUARDED_BY(coord_mutex);
   static constexpr std::size_t kOutcomeCacheCapacity = 8192;
 
-  /// Expects coord_mutex held.
-  void record_outcome(lock::TxnId txn, bool committed_outcome) {
+  void record_outcome(lock::TxnId txn, bool committed_outcome)
+      DTX_REQUIRES(coord_mutex) {
     if (recent_outcomes.emplace(txn, committed_outcome).second) {
       outcome_fifo.push_back(txn);
       while (outcome_fifo.size() > kOutcomeCacheCapacity) {
@@ -273,20 +276,23 @@ struct SiteContext {
   static constexpr const char* kCatalogKey = "~catalog";
 
   /// Durably records a commit decision — one appended line, O(1) in the
-  /// log size. Expects coord_mutex held.
-  util::Status append_commit_record(lock::TxnId txn) {
+  /// log size.
+  util::Status append_commit_record(lock::TxnId txn)
+      DTX_REQUIRES(coord_mutex) {
     std::string line = std::to_string(txn);
     line += '\n';
     return store.append(kCommitLogKey, line);
   }
 
   /// Reloads the commit log into the outcome cache (restart, before the
-  /// worker threads spawn — no locking needed). Only the newest
-  /// kOutcomeCacheCapacity records survive the FIFO, matching what the
-  /// cache would have held; older orphans read kUnknown = presumed abort.
+  /// worker threads spawn — the mutex is uncontended and taken only for
+  /// the annotations' sake). Only the newest kOutcomeCacheCapacity records
+  /// survive the FIFO, matching what the cache would have held; older
+  /// orphans read kUnknown = presumed abort.
   void load_commit_log() {
     auto text = store.load(kCommitLogKey);
     if (!text) return;
+    sync::MutexLock lock(coord_mutex);
     const std::string& log = text.value();
     std::size_t begin = 0;
     while (begin < log.size()) {
@@ -299,16 +305,16 @@ struct SiteContext {
   }
 
   // --- participant work queue (part_mutex) -----------------------------------
-  std::mutex part_mutex;
-  std::condition_variable part_cv;
-  std::deque<net::Message> participant_queue;
+  sync::Mutex part_mutex{sync::LockRank::kSiteParticipant};
+  sync::CondVar part_cv;
+  std::deque<net::Message> participant_queue DTX_GUARDED_BY(part_mutex);
   /// Transactions a participant worker is currently serving. Workers skip
   /// queued messages of active transactions, so per-transaction requests
   /// are processed serially and in arrival order even with a pool —
   /// without this, a stale UndoOperation could undo a newer attempt, or an
   /// AbortRequest could release locks while an ExecuteOperation of the
   /// same transaction is still acquiring them (leaking locks forever).
-  std::set<lock::TxnId> participant_active;
+  std::set<lock::TxnId> participant_active DTX_GUARDED_BY(part_mutex);
 
   /// Participant-side record of every remote transaction with state at
   /// this site: who coordinates it, when it was last heard from (the
@@ -326,17 +332,17 @@ struct SiteContext {
     std::uint64_t epoch = 0;
     std::map<std::uint32_t, net::OperationResult> last_replies;
   };
-  std::map<lock::TxnId, RemoteTxn> remote_txns;  // guarded by part_mutex
+  std::map<lock::TxnId, RemoteTxn> remote_txns DTX_GUARDED_BY(part_mutex);
 
-  /// Importing fence (guarded by part_mutex): documents this site hosts
+  /// Importing fence: documents this site hosts
   /// under the current epoch but whose replica has not been adopted yet
   /// (awaiting MigrateDoc / a recovery pull). Participant executes,
   /// snapshot serving and the coordinator's local path reject fenced
   /// documents with the retryable kStaleCatalog until adoption unfences.
-  std::set<std::string> importing_docs;
+  std::set<std::string> importing_docs DTX_GUARDED_BY(part_mutex);
 
   [[nodiscard]] bool is_importing(const std::string& doc) {
-    std::lock_guard<std::mutex> lock(part_mutex);
+    sync::MutexLock lock(part_mutex);
     return importing_docs.count(doc) != 0;
   }
 
@@ -345,27 +351,28 @@ struct SiteContext {
     std::uint32_t attempt = 0;
     std::map<SiteId, net::OperationResult> replies;
   };
-  std::mutex resp_mutex;
-  std::condition_variable resp_cv;
-  std::map<std::pair<lock::TxnId, std::uint32_t>, ResponseSlot> responses;
+  sync::Mutex resp_mutex{sync::LockRank::kSiteResponses};
+  sync::CondVar resp_cv;
+  std::map<std::pair<lock::TxnId, std::uint32_t>, ResponseSlot> responses
+      DTX_GUARDED_BY(resp_mutex);
   /// Snapshot-read reply collection (also resp_mutex / resp_cv): one slot
   /// per in-flight read-only transaction, filled by the dispatcher with
   /// each serving site's SnapshotReadReply.
   std::map<lock::TxnId, std::map<SiteId, net::SnapshotReadReply>>
-      snapshot_replies;
+      snapshot_replies DTX_GUARDED_BY(resp_mutex);
 
   // --- commit / abort ack collection (ack_mutex) ------------------------------
   struct AckSlot {
     bool commit = false;
     std::map<SiteId, bool> acks;
   };
-  std::mutex ack_mutex;
-  std::condition_variable ack_cv;
-  std::map<lock::TxnId, AckSlot> acks;
+  sync::Mutex ack_mutex{sync::LockRank::kSiteAcks};
+  sync::CondVar ack_cv;
+  std::map<lock::TxnId, AckSlot> acks DTX_GUARDED_BY(ack_mutex);
 
   // --- stats (stats_mutex) ----------------------------------------------------
-  mutable std::mutex stats_mutex;
-  SiteStats stats;
+  mutable sync::Mutex stats_mutex{sync::LockRank::kSiteStats};
+  SiteStats stats DTX_GUARDED_BY(stats_mutex);
 
   // --- messaging helpers ------------------------------------------------------
   void send(SiteId to, net::Payload payload) {

@@ -22,7 +22,7 @@ net::SnapshotReadReply serve_snapshot_read(
   const auto fence = [&](const std::string& detail) {
     reply.reason = txn::AbortReason::kStaleCatalog;
     reply.error = detail;
-    std::lock_guard<std::mutex> lock(ctx.stats_mutex);
+    sync::MutexLock lock(ctx.stats_mutex);
     ++ctx.stats.stale_catalog_aborts;
     return reply;
   };

@@ -28,14 +28,14 @@ SnapshotStore::SnapshotStore(storage::StorageBackend& store, bool enabled,
 
 void SnapshotStore::register_doc(const std::string& doc,
                                  std::uint64_t version) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   auto it = docs_.find(doc);
   if (it == docs_.end()) {
     it = docs_.emplace(doc, std::make_unique<DocState>()).first;
   } else {
     // Re-registration (replica adoption): the cached trees and deltas
     // describe the replaced copy's version history, not the adopted one's.
-    std::lock_guard<std::mutex> doc_lock(it->second->mutex);
+    sync::MutexLock doc_lock(it->second->mutex);
     it->second->trees.clear();
     it->second->deltas.clear();
     total_chain_bytes_ -= it->second->delta_bytes;
@@ -47,13 +47,13 @@ void SnapshotStore::register_doc(const std::string& doc,
 void SnapshotStore::drop_doc(const std::string& doc) {
   std::unique_ptr<DocState> victim;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     const auto it = docs_.find(doc);
     if (it == docs_.end()) return;
     victim = std::move(it->second);
     docs_.erase(it);
     {
-      std::lock_guard<std::mutex> doc_lock(victim->mutex);
+      sync::MutexLock doc_lock(victim->mutex);
       victim->trees.clear();
       victim->deltas.clear();
       total_chain_bytes_ -= victim->delta_bytes;
@@ -65,14 +65,14 @@ void SnapshotStore::drop_doc(const std::string& doc) {
 
 void SnapshotStore::publish(std::vector<Delta> deltas) {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   for (Delta& delta : deltas) {
     auto it = docs_.find(delta.doc);
     if (it == docs_.end()) {
       it = docs_.emplace(delta.doc, std::make_unique<DocState>()).first;
     }
     DocState& state = *it->second;
-    std::lock_guard<std::mutex> doc_lock(state.mutex);
+    sync::MutexLock doc_lock(state.mutex);
     std::size_t bytes = 0;
     for (const std::string& op : delta.ops) bytes += op.size();
     state.deltas[delta.version] = DeltaRec{std::move(delta.ops), bytes};
@@ -106,11 +106,11 @@ void SnapshotStore::prune_chain(DocState& state) {
 void SnapshotStore::on_checkpoint(const std::string& doc,
                                   std::uint64_t version) {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   const auto it = docs_.find(doc);
   if (it == docs_.end()) return;
   DocState& state = *it->second;
-  std::lock_guard<std::mutex> doc_lock(state.mutex);
+  sync::MutexLock doc_lock(state.mutex);
   // The log was compacted to `version`: trees below it can no longer be
   // rebuilt from the store, and deltas at or below it can only extend
   // bases that are being pruned with them — drop both. Handed-out cuts
@@ -139,7 +139,7 @@ SnapshotStore::TreePtr SnapshotStore::insert_tree(
 Result<SnapshotStore::TreePtr> SnapshotStore::resolve(const std::string& doc,
                                                       DocState& state,
                                                       std::uint64_t version) {
-  std::lock_guard<std::mutex> lock(state.mutex);
+  sync::MutexLock lock(state.mutex);
   const auto exact = state.trees.find(version);
   if (exact != state.trees.end()) {
     chain_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -207,7 +207,7 @@ Result<SnapshotStore::Cut> SnapshotStore::snapshot(
     // a transaction-consistent cut.
     std::map<std::string, std::pair<DocState*, std::uint64_t>> targets;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      sync::MutexLock lock(mutex_);
       for (const std::string& doc : docs) {
         const auto it = docs_.find(doc);
         if (it == docs_.end()) {
@@ -246,7 +246,7 @@ SnapshotStats SnapshotStore::stats() const {
   out.clones = clones_.load(std::memory_order_relaxed);
   out.cut_retries = cut_retries_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     out.chain_bytes = total_chain_bytes_;
     out.chain_bytes_peak = chain_bytes_peak_;
   }

@@ -44,12 +44,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "storage/storage.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 #include "xml/document.hpp"
 
 namespace dtx::core {
@@ -143,42 +143,49 @@ class SnapshotStore {
   };
   struct DocState {
     /// Committed version — guarded by the store-wide mutex_ so a cut's
-    /// capture phase sees every document at one instant.
+    /// capture phase sees every document at one instant. (Annotated at
+    /// the use sites: a nested struct cannot name the owner's mutex_.)
     std::uint64_t committed = 0;
     /// Guards trees / deltas below. Taken after mutex_ (or alone).
-    std::mutex mutex;
+    sync::Mutex mutex{sync::LockRank::kSnapshotDoc};
     /// Materialized immutable trees by version. Mutable only while the
     /// map is the sole owner; once handed out a tree is frozen.
-    std::map<std::uint64_t, std::shared_ptr<xml::Document>> trees;
-    std::map<std::uint64_t, DeltaRec> deltas;
-    std::size_t delta_bytes = 0;
+    std::map<std::uint64_t, std::shared_ptr<xml::Document>> trees
+        DTX_GUARDED_BY(mutex);
+    std::map<std::uint64_t, DeltaRec> deltas DTX_GUARDED_BY(mutex);
+    std::size_t delta_bytes DTX_GUARDED_BY(mutex) = 0;
   };
 
   /// Resolves an immutable tree of `doc` at exactly `version`; takes the
   /// doc mutex. Caches the result.
   util::Result<TreePtr> resolve(const std::string& doc, DocState& state,
-                                std::uint64_t version);
+                                std::uint64_t version)
+      DTX_EXCLUDES(mutex_);
   /// Inserts a resolved tree into the cache, evicting the oldest versions
   /// past the cache cap, and returns the handout pointer.
   TreePtr insert_tree(DocState& state, std::uint64_t version,
-                      std::shared_ptr<xml::Document> tree);
+                      std::shared_ptr<xml::Document> tree)
+      DTX_REQUIRES(state.mutex);
   /// Drops the oldest deltas until the depth / byte bounds hold. Both
   /// mutexes held.
-  void prune_chain(DocState& state);
+  void prune_chain(DocState& state)
+      DTX_REQUIRES(mutex_, state.mutex);
 
   storage::StorageBackend& store_;
   const bool enabled_;
   const std::size_t chain_depth_;
   const std::size_t chain_bytes_;
 
-  mutable std::mutex mutex_;  ///< doc map + every committed counter
-  std::map<std::string, std::unique_ptr<DocState>> docs_;
+  mutable sync::Mutex mutex_{
+      sync::LockRank::kSnapshotStore};  ///< doc map + every committed counter
+  std::map<std::string, std::unique_ptr<DocState>> docs_
+      DTX_GUARDED_BY(mutex_);
   /// Dropped replicas' state shells, kept alive for stray in-flight cuts
   /// (see drop_doc). Cleared of trees/deltas, so each is a few hundred
   /// bytes; membership changes are rare enough that this never matters.
-  std::vector<std::unique_ptr<DocState>> retired_;
-  std::uint64_t total_chain_bytes_ = 0;  ///< guarded by mutex_
-  std::uint64_t chain_bytes_peak_ = 0;   ///< guarded by mutex_
+  std::vector<std::unique_ptr<DocState>> retired_ DTX_GUARDED_BY(mutex_);
+  std::uint64_t total_chain_bytes_ DTX_GUARDED_BY(mutex_) = 0;
+  std::uint64_t chain_bytes_peak_ DTX_GUARDED_BY(mutex_) = 0;
 
   std::atomic<std::uint64_t> reads_{0};
   std::atomic<std::uint64_t> chain_hits_{0};

@@ -36,7 +36,7 @@ LockTable::LockTable(std::size_t shard_count) {
 AcquireOutcome LockTable::try_acquire(TxnId txn, const LockRequest& request) {
   Shard& shard =
       *shards_[shard_index({request.target.scope, request.target.node})];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  sync::MutexLock lock(shard.mutex);
   Change change = Change::kNone;
   ModeMask old_mask = 0;
   return acquire_in(shard, txn, request, change, old_mask);
@@ -88,14 +88,16 @@ AcquireOutcome LockTable::acquire_in(Shard& shard, TxnId txn,
   return AcquireOutcome{true, {}};
 }
 
-std::vector<std::unique_lock<std::mutex>> LockTable::lock_shards(
+std::vector<sync::MovableMutexLock> LockTable::lock_shards(
     std::vector<std::size_t> involved) const {
   // Ascending index order: concurrent batches always order the same way,
-  // so cross-shard all-or-nothing cannot self-deadlock.
+  // so cross-shard all-or-nothing cannot self-deadlock. (The rank checker
+  // admits the equal-rank re-acquisitions because the shard mutexes are
+  // constructed multi-acquire.)
   std::sort(involved.begin(), involved.end());
   involved.erase(std::unique(involved.begin(), involved.end()),
                  involved.end());
-  std::vector<std::unique_lock<std::mutex>> guards;
+  std::vector<sync::MovableMutexLock> guards;
   guards.reserve(involved.size());
   for (const std::size_t index : involved) {
     guards.emplace_back(shards_[index]->mutex);
@@ -125,6 +127,7 @@ AcquireOutcome LockTable::try_acquire_all(
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const LockRequest& request = requests[i];
     Shard& shard = *shards_[involved[i]];
+    shard.mutex.AssertHeld();  // held via `guards`
     Change change = Change::kNone;
     ModeMask old_mask = 0;
     AcquireOutcome outcome =
@@ -163,6 +166,7 @@ void LockTable::rollback_locked(TxnId txn, const AcquisitionJournal& journal) {
   for (auto it = journal.items.rbegin(); it != journal.items.rend(); ++it) {
     const NodeKey key{it->target.scope, it->target.node};
     Shard& shard = *shards_[shard_index(key)];
+    shard.mutex.AssertHeld();  // held via the caller's lock_shards guards
     const auto state_it = shard.targets.find(key);
     if (state_it == shard.targets.end()) continue;
     auto& holders = state_it->second.holders;
@@ -188,7 +192,7 @@ void LockTable::rollback_locked(TxnId txn, const AcquisitionJournal& journal) {
 void LockTable::release_all(TxnId txn) {
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    sync::MutexLock lock(shard.mutex);
     const auto it = shard.by_txn.find(txn);
     if (it == shard.by_txn.end()) continue;
     for (const LockTarget& target : it->second) {
@@ -214,7 +218,7 @@ bool LockTable::holds(TxnId txn, const LockTarget& target,
                       LockMode mode) const {
   const NodeKey key{target.scope, target.node};
   const Shard& shard = *shards_[shard_index(key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  sync::MutexLock lock(shard.mutex);
   const auto it = shard.targets.find(key);
   if (it == shard.targets.end()) return false;
   for (const Holder& holder : it->second.holders) {
@@ -230,7 +234,7 @@ std::vector<TxnId> LockTable::holders() const {
   std::set<TxnId> unique_holders;
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    sync::MutexLock lock(shard.mutex);
     for (const auto& [txn, targets] : shard.by_txn) {
       (void)targets;
       unique_holders.insert(txn);
@@ -242,7 +246,7 @@ std::vector<TxnId> LockTable::holders() const {
 std::size_t LockTable::entry_count() const {
   std::size_t total = 0;
   for (const auto& shard_ptr : shards_) {
-    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    sync::MutexLock lock(shard_ptr->mutex);
     total += shard_ptr->entry_count;
   }
   return total;
@@ -251,7 +255,7 @@ std::size_t LockTable::entry_count() const {
 std::uint64_t LockTable::acquisition_count() const {
   std::uint64_t total = 0;
   for (const auto& shard_ptr : shards_) {
-    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    sync::MutexLock lock(shard_ptr->mutex);
     total += shard_ptr->acquisitions;
   }
   return total;
@@ -260,7 +264,7 @@ std::uint64_t LockTable::acquisition_count() const {
 std::uint64_t LockTable::conflict_count() const {
   std::uint64_t total = 0;
   for (const auto& shard_ptr : shards_) {
-    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    sync::MutexLock lock(shard_ptr->mutex);
     total += shard_ptr->conflict_attempts;
   }
   return total;
@@ -270,7 +274,7 @@ std::vector<LockTable::ShardStats> LockTable::shard_stats() const {
   std::vector<ShardStats> out;
   out.reserve(shards_.size());
   for (const auto& shard_ptr : shards_) {
-    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    sync::MutexLock lock(shard_ptr->mutex);
     out.push_back(ShardStats{shard_ptr->entry_count, shard_ptr->acquisitions,
                              shard_ptr->conflict_attempts});
   }
@@ -281,7 +285,7 @@ std::string LockTable::dump() const {
   std::string out;
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    sync::MutexLock lock(shard.mutex);
     for (const auto& [key, state] : shard.targets) {
       // Separate appends (not one operator+ chain): GCC 12's -Wrestrict
       // false-positives on rvalue string concatenation chains (PR105329).

@@ -20,12 +20,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "lock/lock_modes.hpp"
+#include "util/sync.hpp"
 
 namespace dtx::lock {
 
@@ -178,12 +178,17 @@ class LockTable {
     std::vector<Holder> holders;
   };
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<NodeKey, TargetState, NodeKeyHash> targets;
-    std::unordered_map<TxnId, std::vector<LockTarget>> by_txn;
-    std::size_t entry_count = 0;
-    std::uint64_t acquisitions = 0;
-    std::uint64_t conflict_attempts = 0;
+    /// Multi-acquire: batch calls hold several shard mutexes at once, all
+    /// at the same rank, ordered by ascending shard index (lock_shards).
+    mutable sync::Mutex mutex{sync::LockRank::kLockTableShard,
+                              sync::kMultiAcquire};
+    std::unordered_map<NodeKey, TargetState, NodeKeyHash> targets
+        DTX_GUARDED_BY(mutex);
+    std::unordered_map<TxnId, std::vector<LockTarget>> by_txn
+        DTX_GUARDED_BY(mutex);
+    std::size_t entry_count DTX_GUARDED_BY(mutex) = 0;
+    std::uint64_t acquisitions DTX_GUARDED_BY(mutex) = 0;
+    std::uint64_t conflict_attempts DTX_GUARDED_BY(mutex) = 0;
   };
 
   /// What a successful acquisition changed, for batch unwinding.
@@ -196,14 +201,18 @@ class LockTable {
   /// Core acquisition against one shard; the caller holds its mutex.
   AcquireOutcome acquire_in(Shard& shard, TxnId txn,
                             const LockRequest& request, Change& change,
-                            ModeMask& old_mask);
+                            ModeMask& old_mask) DTX_REQUIRES(shard.mutex);
 
   /// Reverts journal items; the caller holds every involved shard's mutex.
+  /// The hold set is data-dependent, so it is re-established per item with
+  /// AssertHeld rather than a REQUIRES clause.
   void rollback_locked(TxnId txn, const AcquisitionJournal& journal);
 
   /// Locks the given shard indices (duplicates fine) in ascending order —
   /// the one shard-ordering rule every cross-shard batch goes through.
-  [[nodiscard]] std::vector<std::unique_lock<std::mutex>> lock_shards(
+  /// The guards travel through the returned vector, which the static
+  /// analysis cannot follow; callers AssertHeld per shard they touch.
+  [[nodiscard]] std::vector<sync::MovableMutexLock> lock_shards(
       std::vector<std::size_t> involved) const;
 
   // Shards are heap-allocated so the table stays movable-free but the

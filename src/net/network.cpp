@@ -6,7 +6,7 @@ namespace dtx::net {
 
 void Mailbox::push(Message message, Clock::time_point deliver_at) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     queue_.push(Timed{deliver_at, next_sequence_++, std::move(message)});
   }
   available_.notify_all();
@@ -14,7 +14,7 @@ void Mailbox::push(Message message, Clock::time_point deliver_at) {
 
 std::optional<Message> Mailbox::pop(std::chrono::microseconds timeout) {
   const auto deadline = Clock::now() + timeout;
-  std::unique_lock<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   for (;;) {
     if (interrupted_) return std::nullopt;
     const auto now = Clock::now();
@@ -29,12 +29,12 @@ std::optional<Message> Mailbox::pop(std::chrono::microseconds timeout) {
       wake = std::min(due, deadline);
     }
     if (now >= deadline) return std::nullopt;
-    available_.wait_until(lock, wake);
+    available_.wait_until(mutex_, wake);
   }
 }
 
 std::optional<Message> Mailbox::try_pop() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   if (queue_.empty() || queue_.top().deliver_at > Clock::now()) {
     return std::nullopt;
   }
@@ -45,20 +45,20 @@ std::optional<Message> Mailbox::try_pop() {
 
 void Mailbox::interrupt() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     interrupted_ = true;
   }
   available_.notify_all();
 }
 
 void Mailbox::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   queue_ = {};
   interrupted_ = false;
 }
 
 std::size_t Mailbox::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return queue_.size();
 }
 

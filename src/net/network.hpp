@@ -19,14 +19,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <vector>
 
 #include "net/message.hpp"
+#include "util/sync.hpp"
 
 namespace dtx::net {
 
@@ -82,11 +81,12 @@ class Mailbox {
     }
   };
 
-  mutable std::mutex mutex_;
-  std::condition_variable available_;
-  std::priority_queue<Timed, std::vector<Timed>, Later> queue_;
-  std::uint64_t next_sequence_ = 0;
-  bool interrupted_ = false;
+  mutable sync::Mutex mutex_{sync::LockRank::kMailbox};
+  sync::CondVar available_;
+  std::priority_queue<Timed, std::vector<Timed>, Later> queue_
+      DTX_GUARDED_BY(mutex_);
+  std::uint64_t next_sequence_ DTX_GUARDED_BY(mutex_) = 0;
+  bool interrupted_ DTX_GUARDED_BY(mutex_) = false;
 };
 
 /// The substrate contract. Implementations are internally synchronized:

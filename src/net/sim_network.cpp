@@ -8,14 +8,14 @@ namespace dtx::net {
 SimNetwork::SimNetwork(NetworkOptions options) : options_(options) {}
 
 Mailbox& SimNetwork::register_site(SiteId site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   auto& slot = mailboxes_[site];
   if (slot == nullptr) slot = std::make_unique<Mailbox>();
   return *slot;
 }
 
 std::vector<SiteId> SimNetwork::sites() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   std::vector<SiteId> out;
   out.reserve(mailboxes_.size());
   for (const auto& [site, mailbox] : mailboxes_) {
@@ -30,7 +30,7 @@ void SimNetwork::send(Message message) {
   Mailbox::Clock::time_point deliver_at;
   bool duplicate = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     const auto now = Mailbox::Clock::now();
     const FaultPlan::Decision fate = faults_.apply(message, now);
     if (fate.drop) {
@@ -75,43 +75,43 @@ void SimNetwork::send(Message message) {
 }
 
 void SimNetwork::faults(const std::function<void(FaultPlan&)>& mutate) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   mutate(faults_);
 }
 
 void SimNetwork::partition_for(SiteId a, SiteId b,
                                std::chrono::microseconds duration) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   faults_.partition_for(a, b, duration);
 }
 
 void SimNetwork::heal() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   faults_.heal();
 }
 
 void SimNetwork::set_site_down(SiteId site, bool down) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   faults_.set_site_down(site, down);
 }
 
 bool SimNetwork::site_down(SiteId site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return faults_.site_down(site);
 }
 
 NetworkStats SimNetwork::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return stats_;
 }
 
 FaultStats SimNetwork::fault_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return faults_.stats();
 }
 
 void SimNetwork::interrupt_all() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   for (auto& [site, mailbox] : mailboxes_) {
     (void)site;
     mailbox->interrupt();

@@ -19,11 +19,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "net/fault_plan.hpp"
 #include "net/network.hpp"
+#include "util/sync.hpp"
 
 namespace dtx::net {
 
@@ -70,18 +70,21 @@ class SimNetwork final : public Network {
 
  private:
   NetworkOptions options_;
-  mutable std::mutex mutex_;
-  std::map<SiteId, std::unique_ptr<Mailbox>> mailboxes_;
-  FaultPlan faults_;
-  NetworkStats stats_;
+  mutable sync::Mutex mutex_{sync::LockRank::kNetwork};
+  // Mailbox pointers are stable; pushes happen after mutex_ is dropped
+  // (the mailbox has its own, deeper-ranked lock).
+  std::map<SiteId, std::unique_ptr<Mailbox>> mailboxes_
+      DTX_GUARDED_BY(mutex_);
+  FaultPlan faults_ DTX_GUARDED_BY(mutex_);
+  NetworkStats stats_ DTX_GUARDED_BY(mutex_);
   // Per-link clock keeping delivery monotone (FIFO) even when bandwidth
   // delays vary by message size.
   std::map<std::pair<SiteId, SiteId>, Mailbox::Clock::time_point>
-      link_ready_at_;
+      link_ready_at_ DTX_GUARDED_BY(mutex_);
   // Last stamped delivery time per link: fault-injected extra delays vary
   // over time, so monotonicity (per-link FIFO) is enforced explicitly.
   std::map<std::pair<SiteId, SiteId>, Mailbox::Clock::time_point>
-      link_last_delivery_;
+      link_last_delivery_ DTX_GUARDED_BY(mutex_);
 };
 
 }  // namespace dtx::net

@@ -84,7 +84,7 @@ TcpNetwork::~TcpNetwork() {
     wake();
     thread_.join();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   for (auto& [fd, conn] : conns_) {
     (void)conn;
     ::close(fd);
@@ -96,7 +96,7 @@ TcpNetwork::~TcpNetwork() {
 }
 
 Status TcpNetwork::start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   if (started_) return Status::ok();
 
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
@@ -145,14 +145,14 @@ Status TcpNetwork::start() {
 }
 
 std::uint16_t TcpNetwork::listen_port() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return listen_port_;
 }
 
 void TcpNetwork::add_peer(SiteId site, const std::string& address) {
   bool need_wake = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     auto [it, inserted] = peers_.emplace(site, address);
     if (!inserted) it->second = address;  // rejoin with a new endpoint
     if (site != local_ && started_ && dial_state_.count(site) == 0) {
@@ -165,14 +165,14 @@ void TcpNetwork::add_peer(SiteId site, const std::string& address) {
 }
 
 Mailbox& TcpNetwork::register_site(SiteId site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   auto& slot = mailboxes_[site];
   if (slot == nullptr) slot = std::make_unique<Mailbox>();
   return *slot;
 }
 
 std::vector<SiteId> TcpNetwork::sites() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   std::vector<SiteId> out;
   for (const auto& [site, mailbox] : mailboxes_) {
     (void)mailbox;
@@ -190,7 +190,7 @@ std::vector<SiteId> TcpNetwork::sites() const {
 void TcpNetwork::send(Message message) {
   bool need_wake = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     // Local endpoints short-circuit the sockets entirely (a site's
     // coordinator messaging its own participant).
     const auto local = mailboxes_.find(message.to);
@@ -226,17 +226,17 @@ void TcpNetwork::send(Message message) {
 }
 
 NetworkStats TcpNetwork::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return stats_;
 }
 
 TcpStats TcpNetwork::tcp_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return tcp_stats_;
 }
 
 bool TcpNetwork::peer_connected(SiteId peer) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   const auto it = dialed_.find(peer);
   if (it == dialed_.end()) return false;
   const Conn& conn = *conns_.at(it->second);
@@ -245,7 +245,7 @@ bool TcpNetwork::peer_connected(SiteId peer) const {
 
 void TcpNetwork::drop_connections() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     std::vector<int> fds;
     fds.reserve(conns_.size());
     for (const auto& [fd, conn] : conns_) {
@@ -258,7 +258,7 @@ void TcpNetwork::drop_connections() {
 }
 
 void TcpNetwork::interrupt_all() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   for (auto& [site, mailbox] : mailboxes_) {
     (void)site;
     mailbox->interrupt();
@@ -278,7 +278,7 @@ void TcpNetwork::loop() {
   while (running_.load()) {
     int timeout_ms = 200;  // upper bound; dial deadlines shorten it
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      sync::MutexLock lock(mutex_);
       const auto now = Clock::now();
       maybe_dial_locked(now);
       for (auto& [fd, conn] : conns_) {
@@ -298,7 +298,7 @@ void TcpNetwork::loop() {
       if (errno == EINTR) continue;
       break;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {

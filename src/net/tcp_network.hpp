@@ -26,13 +26,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/network.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace dtx::net {
 
@@ -105,36 +105,45 @@ class TcpNetwork final : public Network {
 
   void loop();
   void wake();
-  void maybe_dial_locked(std::chrono::steady_clock::time_point now);
-  void dial_locked(SiteId peer);
-  void accept_all_locked();
-  void handle_event_locked(int fd, std::uint32_t events);
-  void handle_readable_locked(Conn& conn);
-  void handle_writable_locked(Conn& conn);
-  void deliver_locked(Message message);
-  bool handshake_locked(Conn& conn, const Message& message);
-  void close_conn_locked(int fd, bool lost);
-  void update_interest_locked(Conn& conn);
+  void maybe_dial_locked(std::chrono::steady_clock::time_point now)
+      DTX_REQUIRES(mutex_);
+  void dial_locked(SiteId peer) DTX_REQUIRES(mutex_);
+  void accept_all_locked() DTX_REQUIRES(mutex_);
+  void handle_event_locked(int fd, std::uint32_t events) DTX_REQUIRES(mutex_);
+  void handle_readable_locked(Conn& conn) DTX_REQUIRES(mutex_);
+  void handle_writable_locked(Conn& conn) DTX_REQUIRES(mutex_);
+  void deliver_locked(Message message) DTX_REQUIRES(mutex_);
+  bool handshake_locked(Conn& conn, const Message& message)
+      DTX_REQUIRES(mutex_);
+  void close_conn_locked(int fd, bool lost) DTX_REQUIRES(mutex_);
+  void update_interest_locked(Conn& conn) DTX_REQUIRES(mutex_);
 
   const SiteId local_;
   const TcpOptions options_;
 
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{sync::LockRank::kNetwork};
   /// Live address book (options_.peers + runtime add_peer joins).
-  std::map<SiteId, std::string> peers_;
-  std::map<SiteId, std::unique_ptr<Mailbox>> mailboxes_;
-  std::map<int, std::unique_ptr<Conn>> conns_;  // keyed by fd
-  std::map<SiteId, int> dialed_;    // peer -> fd (alive, maybe connecting)
-  std::map<SiteId, int> accepted_;  // peer/client -> fd (post-Hello)
-  std::map<SiteId, DialState> dial_state_;
-  NetworkStats stats_;
-  TcpStats tcp_stats_;
+  std::map<SiteId, std::string> peers_ DTX_GUARDED_BY(mutex_);
+  std::map<SiteId, std::unique_ptr<Mailbox>> mailboxes_
+      DTX_GUARDED_BY(mutex_);
+  std::map<int, std::unique_ptr<Conn>> conns_
+      DTX_GUARDED_BY(mutex_);  // keyed by fd
+  std::map<SiteId, int> dialed_
+      DTX_GUARDED_BY(mutex_);  // peer -> fd (alive, maybe connecting)
+  std::map<SiteId, int> accepted_
+      DTX_GUARDED_BY(mutex_);  // peer/client -> fd (post-Hello)
+  std::map<SiteId, DialState> dial_state_ DTX_GUARDED_BY(mutex_);
+  NetworkStats stats_ DTX_GUARDED_BY(mutex_);
+  TcpStats tcp_stats_ DTX_GUARDED_BY(mutex_);
 
+  // Set once in start() before the loop thread exists, then read by the
+  // loop thread and wake() without the lock — effectively const while the
+  // thread runs, so deliberately not guarded.
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   int listen_fd_ = -1;
-  std::uint16_t listen_port_ = 0;
-  bool started_ = false;
+  std::uint16_t listen_port_ DTX_GUARDED_BY(mutex_) = 0;
+  bool started_ DTX_GUARDED_BY(mutex_) = false;
   std::atomic<bool> running_{false};
   std::thread thread_;
 };

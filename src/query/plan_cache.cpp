@@ -28,7 +28,7 @@ util::Result<PlanPtr> PlanCache::resolve_key(std::string key,
                                              CompileFn&& compile_fn) {
   Shard& shard = shard_of(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    sync::MutexLock lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       ++shard.hits;
@@ -46,7 +46,7 @@ util::Result<PlanPtr> PlanCache::resolve_key(std::string key,
   PlanPtr plan = std::make_shared<const Plan>(std::move(compiled).value());
   if (per_shard_capacity_ == 0) return plan;  // caching disabled
 
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  sync::MutexLock lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // A racing resolve of the same key inserted first; adopt its plan.
@@ -89,7 +89,7 @@ util::Result<PlanPtr> PlanCache::resolve_text(std::string_view text) {
 PlanCacheStats PlanCache::stats() const {
   PlanCacheStats out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    sync::MutexLock lock(shard->mutex);
     out.hits += shard->hits;
     out.misses += shard->misses;
     out.evictions += shard->evictions;
@@ -100,7 +100,7 @@ PlanCacheStats PlanCache::stats() const {
 
 void PlanCache::clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    sync::MutexLock lock(shard->mutex);
     shard->lru.clear();
     shard->index.clear();
   }

@@ -17,13 +17,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "query/plan.hpp"
+#include "util/sync.hpp"
 
 namespace dtx::query {
 
@@ -82,15 +82,15 @@ class PlanCache {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
+    mutable sync::Mutex mutex{sync::LockRank::kPlanCacheShard};
     /// Front = most recently used. The map indexes list entries by key.
-    std::list<std::pair<std::string, PlanPtr>> lru;
+    std::list<std::pair<std::string, PlanPtr>> lru DTX_GUARDED_BY(mutex);
     std::unordered_map<std::string,
                        std::list<std::pair<std::string, PlanPtr>>::iterator>
-        index;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+        index DTX_GUARDED_BY(mutex);
+    std::uint64_t hits DTX_GUARDED_BY(mutex) = 0;
+    std::uint64_t misses DTX_GUARDED_BY(mutex) = 0;
+    std::uint64_t evictions DTX_GUARDED_BY(mutex) = 0;
   };
 
   template <typename CompileFn>

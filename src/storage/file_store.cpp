@@ -18,6 +18,7 @@ fs::path FileStore::path_of(const std::string& name) const {
 }
 
 util::Result<std::string> FileStore::load(const std::string& name) {
+  sync::MutexLock lock(mutex_);
   std::ifstream in(path_of(name), std::ios::binary);
   if (!in) {
     return util::Status(util::Code::kNotFound,
@@ -29,7 +30,9 @@ util::Result<std::string> FileStore::load(const std::string& name) {
 }
 
 util::Status FileStore::store(const std::string& name, const std::string& xml) {
-  // Write-then-rename for atomicity against concurrent readers.
+  // Write-then-rename for atomicity against crashes; the mutex keeps two
+  // writers of one document from clobbering each other's .tmp staging file.
+  sync::MutexLock lock(mutex_);
   const fs::path final_path = path_of(name);
   const fs::path temp_path = final_path.string() + ".tmp";
   {
@@ -55,6 +58,7 @@ util::Status FileStore::store(const std::string& name, const std::string& xml) {
 
 util::Status FileStore::append(const std::string& name,
                                const std::string& data) {
+  sync::MutexLock lock(mutex_);
   std::ofstream out(path_of(name), std::ios::binary | std::ios::app);
   if (!out) {
     return util::Status(util::Code::kUnavailable,
@@ -69,6 +73,7 @@ util::Status FileStore::append(const std::string& name,
 }
 
 util::Result<std::string> FileStore::read_log(const std::string& name) {
+  sync::MutexLock lock(mutex_);
   std::ifstream in(path_of(name), std::ios::binary);
   if (!in) {
     // Only true absence reads as an empty log; any other open failure
@@ -85,6 +90,7 @@ util::Result<std::string> FileStore::read_log(const std::string& name) {
 }
 
 util::Status FileStore::truncate(const std::string& name) {
+  sync::MutexLock lock(mutex_);
   std::ofstream out(path_of(name), std::ios::binary | std::ios::trunc);
   if (!out) {
     return util::Status(util::Code::kUnavailable,
@@ -94,11 +100,13 @@ util::Status FileStore::truncate(const std::string& name) {
 }
 
 bool FileStore::exists(const std::string& name) {
+  sync::MutexLock lock(mutex_);
   std::error_code ec;
   return fs::exists(path_of(name), ec);
 }
 
 std::vector<std::string> FileStore::list() {
+  sync::MutexLock lock(mutex_);
   std::vector<std::string> names;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(directory_, ec)) {
@@ -111,6 +119,7 @@ std::vector<std::string> FileStore::list() {
 }
 
 util::Status FileStore::remove(const std::string& name) {
+  sync::MutexLock lock(mutex_);
   std::error_code ec;
   if (!fs::remove(path_of(name), ec) || ec) {
     return util::Status(util::Code::kNotFound,

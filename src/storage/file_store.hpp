@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "storage/storage.hpp"
+#include "util/sync.hpp"
 
 namespace dtx::storage {
 
@@ -33,7 +34,17 @@ class FileStore final : public StorageBackend {
  private:
   [[nodiscard]] std::filesystem::path path_of(const std::string& name) const;
 
-  std::filesystem::path directory_;
+  // Serializes every filesystem operation. The annotation sweep surfaced
+  // that FileStore, unlike MemoryStore, had no internal synchronization at
+  // all, yet is called concurrently (WAL appends under the data latch,
+  // commit-log appends under the coordinator mutex, recovery reads from
+  // the dispatcher thread): two store() calls for one document raced on
+  // the shared "<name>.xml.tmp" staging file, so the rename could publish
+  // a torn snapshot. The interface contract ("appends are atomic per call
+  // at the backend's synchronization granularity") also requires ofstream
+  // appends not to interleave. storage_test covers the regression.
+  mutable sync::Mutex mutex_{sync::LockRank::kStorage};
+  const std::filesystem::path directory_;
 };
 
 }  // namespace dtx::storage

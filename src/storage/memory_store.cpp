@@ -3,7 +3,7 @@
 namespace dtx::storage {
 
 util::Result<std::string> MemoryStore::load(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   const auto it = documents_.find(name);
   if (it == documents_.end()) {
     return util::Status(util::Code::kNotFound,
@@ -14,7 +14,7 @@ util::Result<std::string> MemoryStore::load(const std::string& name) {
 
 util::Status MemoryStore::store(const std::string& name,
                                 const std::string& xml) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   documents_[name] = xml;
   ++store_count_;
   return util::Status::ok();
@@ -22,31 +22,31 @@ util::Status MemoryStore::store(const std::string& name,
 
 util::Status MemoryStore::append(const std::string& name,
                                  const std::string& data) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   documents_[name] += data;
   ++store_count_;
   return util::Status::ok();
 }
 
 util::Result<std::string> MemoryStore::read_log(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   const auto it = documents_.find(name);
   return it == documents_.end() ? std::string() : it->second;
 }
 
 util::Status MemoryStore::truncate(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   documents_[name].clear();
   return util::Status::ok();
 }
 
 bool MemoryStore::exists(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return documents_.count(name) != 0;
 }
 
 std::vector<std::string> MemoryStore::list() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(documents_.size());
   for (const auto& [name, xml] : documents_) {
@@ -57,7 +57,7 @@ std::vector<std::string> MemoryStore::list() {
 }
 
 util::Status MemoryStore::remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   if (documents_.erase(name) == 0) {
     return util::Status(util::Code::kNotFound,
                         "document '" + name + "' not in memory store");
@@ -66,7 +66,7 @@ util::Status MemoryStore::remove(const std::string& name) {
 }
 
 std::uint64_t MemoryStore::store_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return store_count_;
 }
 

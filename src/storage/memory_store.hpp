@@ -3,9 +3,9 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 
 #include "storage/storage.hpp"
+#include "util/sync.hpp"
 
 namespace dtx::storage {
 
@@ -27,9 +27,9 @@ class MemoryStore final : public StorageBackend {
   [[nodiscard]] std::uint64_t store_count() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::string> documents_;
-  std::uint64_t store_count_ = 0;
+  mutable sync::Mutex mutex_{sync::LockRank::kStorage};
+  std::map<std::string, std::string> documents_ DTX_GUARDED_BY(mutex_);
+  std::uint64_t store_count_ DTX_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dtx::storage

@@ -38,7 +38,7 @@ std::size_t Transaction::next_operation() const {
 void Transaction::complete(TxnResult result) {
   std::function<void(const TxnResult&)> hook;
   {
-    std::lock_guard<std::mutex> lock(latch_mutex_);
+    sync::MutexLock lock(latch_mutex_);
     if (done_) return;  // first completion wins (e.g. abort vs late commit)
     done_ = true;
     result_ = std::move(result);
@@ -53,7 +53,7 @@ void Transaction::set_on_complete(
     std::function<void(const TxnResult&)> hook) {
   bool fire = false;
   {
-    std::lock_guard<std::mutex> lock(latch_mutex_);
+    sync::MutexLock lock(latch_mutex_);
     if (done_) {
       fire = true;
     } else {
@@ -64,22 +64,22 @@ void Transaction::set_on_complete(
 }
 
 TxnResult Transaction::await() {
-  std::unique_lock<std::mutex> lock(latch_mutex_);
-  latch_cv_.wait(lock, [&] { return done_; });
+  sync::MutexLock lock(latch_mutex_);
+  latch_cv_.wait(latch_mutex_, [&] { return done_; });
   return result_;
 }
 
 std::optional<TxnResult> Transaction::await_for(
     std::chrono::microseconds timeout) {
-  std::unique_lock<std::mutex> lock(latch_mutex_);
-  if (!latch_cv_.wait_for(lock, timeout, [&] { return done_; })) {
+  sync::MutexLock lock(latch_mutex_);
+  if (!latch_cv_.wait_for(latch_mutex_, timeout, [&] { return done_; })) {
     return std::nullopt;
   }
   return result_;
 }
 
 bool Transaction::completed() const {
-  std::lock_guard<std::mutex> lock(latch_mutex_);
+  sync::MutexLock lock(latch_mutex_);
   return done_;
 }
 

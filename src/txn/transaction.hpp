@@ -8,11 +8,9 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -22,6 +20,7 @@
 #include "net/message.hpp"
 #include "txn/abort_reason.hpp"
 #include "txn/operation.hpp"
+#include "util/sync.hpp"
 
 namespace dtx::txn {
 
@@ -169,11 +168,14 @@ class Transaction {
   std::uint64_t catalog_epoch_ = 0;
   AbortReason abort_reason_ = AbortReason::kNone;
 
-  mutable std::mutex latch_mutex_;
-  std::condition_variable latch_cv_;
-  bool done_ = false;
+  mutable sync::Mutex latch_mutex_{sync::LockRank::kTxnLatch};
+  sync::CondVar latch_cv_;
+  bool done_ DTX_GUARDED_BY(latch_mutex_) = false;
+  // Written once under the latch by complete(); read lock-free afterwards
+  // (await returns it after observing done_, the hook runs post-publish).
   TxnResult result_;
-  std::function<void(const TxnResult&)> on_complete_;
+  std::function<void(const TxnResult&)> on_complete_
+      DTX_GUARDED_BY(latch_mutex_);
 };
 
 }  // namespace dtx::txn

@@ -2,14 +2,16 @@
 
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace dtx::util {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
+// Absolute leaf of the lock lattice: DTX_LOG may fire under any engine lock.
+sync::Mutex g_mutex{sync::LockRank::kLog};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -38,7 +40,7 @@ void log_line(LogLevel level, const std::string& message) {
   const auto now = duration_cast<microseconds>(
                        steady_clock::now().time_since_epoch())
                        .count();
-  std::lock_guard<std::mutex> lock(g_mutex);
+  sync::MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%10lld.%06lld %s] %s\n",
                static_cast<long long>(now / 1000000),
                static_cast<long long>(now % 1000000), level_tag(level),

@@ -1,0 +1,109 @@
+#include "util/sync.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace dtx::sync {
+
+const char* lock_rank_name(LockRank rank) noexcept {
+  switch (rank) {
+    case LockRank::kClusterMembership: return "cluster-membership";
+    case LockRank::kSiteCoordinator: return "site-coordinator";
+    case LockRank::kSiteResponses: return "site-responses";
+    case LockRank::kSiteAcks: return "site-acks";
+    case LockRank::kDataLatch: return "data-latch";
+    case LockRank::kSiteParticipant: return "site-participant";
+    case LockRank::kSiteStats: return "site-stats";
+    case LockRank::kLockTableShard: return "lock-table-shard";
+    case LockRank::kWaitForGraph: return "wait-for-graph";
+    case LockRank::kLockRecords: return "lock-records";
+    case LockRank::kCheckpoint: return "checkpoint";
+    case LockRank::kPlanCacheShard: return "plan-cache-shard";
+    case LockRank::kSnapshotStore: return "snapshot-store";
+    case LockRank::kSnapshotDoc: return "snapshot-doc";
+    case LockRank::kTxnLatch: return "txn-latch";
+    case LockRank::kCatalog: return "catalog";
+    case LockRank::kNetwork: return "network";
+    case LockRank::kMailbox: return "mailbox";
+    case LockRank::kStorage: return "storage";
+    case LockRank::kLog: return "log";
+  }
+  return "?";
+}
+
+#if DTX_LOCK_RANK
+
+namespace rank_check {
+namespace {
+
+struct Hold {
+  const void* mutex;
+  LockRank rank;
+};
+
+/// Per-thread held set. A plain vector: hold counts are single digits
+/// (the deepest engine chain is ~5), and releases are not LIFO —
+/// LockTable::lock_shards drops its guards in vector-destruction order.
+thread_local std::vector<Hold> g_held;
+
+[[noreturn]] void violation(const char* what, const void* mutex,
+                            LockRank rank) {
+  std::fprintf(stderr,
+               "dtx: lock rank violation: %s %s (rank %d, mutex %p); held:",
+               what, lock_rank_name(rank), static_cast<int>(rank), mutex);
+  for (const Hold& hold : g_held) {
+    std::fprintf(stderr, " %s(%d)", lock_rank_name(hold.rank),
+                 static_cast<int>(hold.rank));
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void note_acquire(const void* mutex, LockRank rank, bool multi) {
+  LockRank max_rank = LockRank{0};
+  for (const Hold& hold : g_held) {
+    if (hold.mutex == mutex) violation("recursive acquisition of", mutex, rank);
+    if (hold.rank > max_rank) max_rank = hold.rank;
+  }
+  if (rank < max_rank || (rank == max_rank && !multi)) {
+    violation("acquiring", mutex, rank);
+  }
+  g_held.push_back(Hold{mutex, rank});
+}
+
+void note_release(const void* mutex) noexcept {
+  for (auto it = g_held.rbegin(); it != g_held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      g_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Releasing a lock that was never recorded: acquired before the checker
+  // was in play (impossible — the wrappers record every acquire) — abort
+  // loudly rather than let the held set drift.
+  std::fprintf(stderr, "dtx: lock rank violation: releasing unheld mutex %p\n",
+               mutex);
+  std::fflush(stderr);
+  std::abort();
+}
+
+bool is_held(const void* mutex) noexcept {
+  for (const Hold& hold : g_held) {
+    if (hold.mutex == mutex) return true;
+  }
+  return false;
+}
+
+void assert_held(const void* mutex, LockRank rank) {
+  if (!is_held(mutex)) violation("AssertHeld without holding", mutex, rank);
+}
+
+}  // namespace rank_check
+
+#endif  // DTX_LOCK_RANK
+
+}  // namespace dtx::sync

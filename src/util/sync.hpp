@@ -1,0 +1,475 @@
+// Annotated synchronization primitives: dtx::sync::Mutex / SharedMutex /
+// CondVar wrap the std primitives with
+//   1. Clang Thread Safety Analysis capability annotations, so guarded
+//      fields and REQUIRES-taking helpers are compile-time checked
+//      (util/thread_annotations.hpp; enforced by the CI clang build), and
+//   2. an optional runtime lock-rank checker (DTX_LOCK_RANK=1): every
+//      mutex is constructed with a rank from the single lattice below and
+//      a thread-local held-set flags any out-of-order acquisition
+//      deterministically on first occurrence — unlike TSAN, which needs
+//      to witness the two orders racing. Release builds compile the
+//      checker out entirely; the wrappers are then zero-cost shims.
+//
+// The lattice (outer first — a thread may only acquire ranks strictly
+// greater than everything it already holds; equal ranks only for mutexes
+// constructed multi-acquire, which impose their own internal order):
+//
+//   rank | mutex                                  | multi
+//   -----+----------------------------------------+------
+//    10  | Cluster membership                     |
+//    20  | SiteContext coord_mutex                |
+//    30  | SiteContext resp_mutex                 |
+//    40  | SiteContext ack_mutex                  |
+//    50  | LockManager data latch (SharedMutex)   |
+//    60  | SiteContext part_mutex                 |
+//    70  | SiteContext stats_mutex                |
+//    80  | LockTable shard                        | yes (ascending index)
+//    90  | LockManager wait-for graph             |
+//   100  | LockManager wait records               |
+//   110  | DataManager checkpoint                 |
+//   120  | PlanCache shard                        |
+//   130  | SnapshotStore (store-wide)             |
+//   140  | SnapshotStore per-document             |
+//   150  | Transaction completion latch           |
+//   160  | Catalog                                |
+//   170  | Network (SimNetwork / TcpNetwork)      |
+//   180  | Mailbox                                |
+//   190  | Storage backend                        |
+//   200  | util::log sink (absolute leaf)         |
+//
+// Keep this table in sync with the README "Correctness tooling" section.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.hpp"
+
+#if !defined(DTX_LOCK_RANK)
+#define DTX_LOCK_RANK 0
+#endif
+
+namespace dtx::sync {
+
+/// Global acquisition order. A thread holding rank R may only acquire
+/// ranks > R (or == R on a multi-acquire mutex). Values are spaced so a
+/// future layer can slot in without renumbering.
+enum class LockRank : int {
+  kClusterMembership = 10,
+  kSiteCoordinator = 20,
+  kSiteResponses = 30,
+  kSiteAcks = 40,
+  kDataLatch = 50,
+  kSiteParticipant = 60,
+  kSiteStats = 70,
+  kLockTableShard = 80,
+  kWaitForGraph = 90,
+  kLockRecords = 100,
+  kCheckpoint = 110,
+  kPlanCacheShard = 120,
+  kSnapshotStore = 130,
+  kSnapshotDoc = 140,
+  kTxnLatch = 150,
+  kCatalog = 160,
+  kNetwork = 170,
+  kMailbox = 180,
+  kStorage = 190,
+  kLog = 200,
+};
+
+[[nodiscard]] const char* lock_rank_name(LockRank rank) noexcept;
+
+/// Tag for mutexes that may be acquired several times at the same rank by
+/// one thread (e.g. lock-table shards, taken in ascending shard index).
+struct MultiAcquireT {
+  explicit MultiAcquireT() = default;
+};
+inline constexpr MultiAcquireT kMultiAcquire{};
+
+#if DTX_LOCK_RANK
+namespace rank_check {
+/// Validates the lattice order and records the hold; aborts with a
+/// diagnostic on the first out-of-order or recursive acquisition.
+void note_acquire(const void* mutex, LockRank rank, bool multi);
+/// Removes the hold (holds form a set, not a stack: lock_shards releases
+/// its guards in vector-destruction order).
+void note_release(const void* mutex) noexcept;
+/// True when the calling thread recorded an acquire of `mutex`.
+[[nodiscard]] bool is_held(const void* mutex) noexcept;
+/// Aborts unless the calling thread holds `mutex`.
+void assert_held(const void* mutex, LockRank rank);
+}  // namespace rank_check
+#endif
+
+/// std::mutex with TSA capability annotations and (under DTX_LOCK_RANK)
+/// rank-order enforcement.
+class DTX_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank) noexcept { set_rank(rank, false); }
+  Mutex(LockRank rank, MultiAcquireT) noexcept { set_rank(rank, true); }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DTX_ACQUIRE() {
+    // Validate before blocking: a recursive or out-of-order acquisition
+    // must abort with its diagnostic, not sit in a silent deadlock.
+    note_acquire();
+    raw_.lock();
+  }
+
+  bool try_lock() DTX_TRY_ACQUIRE(true) {
+    // A failed try_lock cannot deadlock, but a succeeding one still joins
+    // the thread's held set and must respect the lattice.
+    if (!raw_.try_lock()) return false;
+    note_acquire();
+    return true;
+  }
+
+  void unlock() DTX_RELEASE() {
+    note_release();
+    raw_.unlock();
+  }
+
+  /// Aborts (under DTX_LOCK_RANK) unless the calling thread holds this
+  /// mutex; always tells the static analysis the lock is held.
+  void AssertHeld() const DTX_ASSERT_CAPABILITY(this) {
+#if DTX_LOCK_RANK
+    rank_check::assert_held(this, rank_);
+#endif
+  }
+
+ private:
+  friend class CondVar;
+
+  void set_rank([[maybe_unused]] LockRank rank,
+                [[maybe_unused]] bool multi) noexcept {
+#if DTX_LOCK_RANK
+    rank_ = rank;
+    multi_ = multi;
+#endif
+  }
+  void note_acquire() {
+#if DTX_LOCK_RANK
+    rank_check::note_acquire(this, rank_, multi_);
+#endif
+  }
+  void note_release() noexcept {
+#if DTX_LOCK_RANK
+    rank_check::note_release(this);
+#endif
+  }
+
+  std::mutex raw_;
+#if DTX_LOCK_RANK
+  LockRank rank_;
+  bool multi_ = false;
+#endif
+};
+
+/// std::shared_mutex with TSA annotations and rank enforcement. Shared and
+/// exclusive holds occupy the same lattice slot.
+class DTX_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(LockRank rank) noexcept { set_rank(rank, false); }
+  SharedMutex(LockRank rank, MultiAcquireT) noexcept { set_rank(rank, true); }
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() DTX_ACQUIRE() {
+    note_acquire();  // validate before blocking (see Mutex::lock)
+    raw_.lock();
+  }
+  bool try_lock() DTX_TRY_ACQUIRE(true) {
+    if (!raw_.try_lock()) return false;
+    note_acquire();
+    return true;
+  }
+  void unlock() DTX_RELEASE() {
+    note_release();
+    raw_.unlock();
+  }
+
+  void lock_shared() DTX_ACQUIRE_SHARED() {
+    note_acquire();  // validate before blocking (see Mutex::lock)
+    raw_.lock_shared();
+  }
+  bool try_lock_shared() DTX_TRY_ACQUIRE_SHARED(true) {
+    if (!raw_.try_lock_shared()) return false;
+    note_acquire();
+    return true;
+  }
+  void unlock_shared() DTX_RELEASE_SHARED() {
+    note_release();
+    raw_.unlock_shared();
+  }
+
+  void AssertHeld() const DTX_ASSERT_CAPABILITY(this) {
+#if DTX_LOCK_RANK
+    rank_check::assert_held(this, rank_);
+#endif
+  }
+  void AssertReaderHeld() const DTX_ASSERT_SHARED_CAPABILITY(this) {
+#if DTX_LOCK_RANK
+    rank_check::assert_held(this, rank_);
+#endif
+  }
+
+ private:
+  void set_rank([[maybe_unused]] LockRank rank,
+                [[maybe_unused]] bool multi) noexcept {
+#if DTX_LOCK_RANK
+    rank_ = rank;
+    multi_ = multi;
+#endif
+  }
+  void note_acquire() {
+#if DTX_LOCK_RANK
+    rank_check::note_acquire(this, rank_, multi_);
+#endif
+  }
+  void note_release() noexcept {
+#if DTX_LOCK_RANK
+    rank_check::note_release(this);
+#endif
+  }
+
+  std::shared_mutex raw_;
+#if DTX_LOCK_RANK
+  LockRank rank_;
+  bool multi_ = false;
+#endif
+};
+
+/// Scoped exclusive hold of a Mutex for the full scope (the lock_guard
+/// idiom, visible to the static analysis).
+class DTX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) DTX_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() DTX_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Scoped exclusive hold that can be dropped and retaken inside the scope
+/// (the std::unique_lock idiom: CondVar waits, unlock-around-blocking-call).
+/// Must be locked again before destruction or explicitly left unlocked via
+/// a final unlock() — the destructor releases only when held.
+class DTX_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) DTX_ACQUIRE(mutex)
+      : mutex_(mutex), held_(true) {
+    mutex_.lock();
+  }
+  ~UniqueLock() DTX_RELEASE() {
+    if (held_) mutex_.unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() DTX_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+  void unlock() DTX_RELEASE() {
+    held_ = false;
+    mutex_.unlock();
+  }
+  [[nodiscard]] bool owns_lock() const noexcept { return held_; }
+  [[nodiscard]] Mutex& mutex() noexcept { return mutex_; }
+
+ private:
+  Mutex& mutex_;
+  bool held_;
+};
+
+/// Movable exclusive hold, for the places where guards travel through a
+/// container (LockTable::lock_shards returns one per involved shard). The
+/// static analysis cannot track capabilities through moves or vectors, so
+/// this type is deliberately invisible to it; call sites re-establish the
+/// fact with Mutex::AssertHeld(), which the rank checker verifies at
+/// runtime.
+class MovableMutexLock {
+ public:
+  explicit MovableMutexLock(Mutex& mutex) DTX_NO_THREAD_SAFETY_ANALYSIS
+      : mutex_(&mutex) {
+    mutex_->lock();
+  }
+  MovableMutexLock(MovableMutexLock&& other) noexcept
+      : mutex_(other.mutex_) {
+    other.mutex_ = nullptr;
+  }
+  MovableMutexLock(const MovableMutexLock&) = delete;
+  MovableMutexLock& operator=(const MovableMutexLock&) = delete;
+  MovableMutexLock& operator=(MovableMutexLock&&) = delete;
+  ~MovableMutexLock() DTX_NO_THREAD_SAFETY_ANALYSIS {
+    if (mutex_ != nullptr) mutex_->unlock();
+  }
+
+ private:
+  Mutex* mutex_;
+};
+
+/// Scoped shared (reader) hold of a SharedMutex.
+class DTX_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mutex) DTX_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~SharedLock() DTX_RELEASE_SHARED() { mutex_.unlock_shared(); }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Scoped exclusive (writer) hold of a SharedMutex.
+class DTX_SCOPED_CAPABILITY ExclusiveLock {
+ public:
+  explicit ExclusiveLock(SharedMutex& mutex) DTX_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~ExclusiveLock() DTX_RELEASE() { mutex_.unlock(); }
+  ExclusiveLock(const ExclusiveLock&) = delete;
+  ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Movable exclusive hold of a SharedMutex, for guards returned across a
+/// function boundary (LockManager::exclusive_data_latch). Invisible to the
+/// static analysis for the same reason as MovableMutexLock.
+class MovableExclusiveLock {
+ public:
+  explicit MovableExclusiveLock(SharedMutex& mutex)
+      DTX_NO_THREAD_SAFETY_ANALYSIS : mutex_(&mutex) {
+    mutex_->lock();
+  }
+  MovableExclusiveLock(MovableExclusiveLock&& other) noexcept
+      : mutex_(other.mutex_) {
+    other.mutex_ = nullptr;
+  }
+  MovableExclusiveLock(const MovableExclusiveLock&) = delete;
+  MovableExclusiveLock& operator=(const MovableExclusiveLock&) = delete;
+  MovableExclusiveLock& operator=(MovableExclusiveLock&&) = delete;
+  ~MovableExclusiveLock() DTX_NO_THREAD_SAFETY_ANALYSIS {
+    if (mutex_ != nullptr) mutex_->unlock();
+  }
+
+ private:
+  SharedMutex* mutex_;
+};
+
+/// Shared-or-exclusive hold of a SharedMutex picked at runtime
+/// (LockManager::process_operation latches shared for queries, exclusive
+/// for updates, around one code path). A conditional hold cannot be
+/// expressed to the static analysis, so this guard is invisible to it; the
+/// rank checker still sees both modes.
+class ConditionalLatch {
+ public:
+  enum class Mode { kShared, kExclusive };
+
+  ConditionalLatch(SharedMutex& mutex, Mode mode)
+      DTX_NO_THREAD_SAFETY_ANALYSIS : mutex_(mutex), mode_(mode) {
+    if (mode_ == Mode::kExclusive) {
+      mutex_.lock();
+    } else {
+      mutex_.lock_shared();
+    }
+  }
+  ConditionalLatch(const ConditionalLatch&) = delete;
+  ConditionalLatch& operator=(const ConditionalLatch&) = delete;
+  ~ConditionalLatch() DTX_NO_THREAD_SAFETY_ANALYSIS {
+    if (mode_ == Mode::kExclusive) {
+      mutex_.unlock();
+    } else {
+      mutex_.unlock_shared();
+    }
+  }
+
+ private:
+  SharedMutex& mutex_;
+  const Mode mode_;
+};
+
+/// Condition variable whose waits name the Mutex directly, the one shape
+/// the static analysis can follow (std::condition_variable over a bare
+/// std::unique_lock is invisible to it). Waits keep the rank checker's
+/// bookkeeping honest across the block: the hold is dropped while blocked
+/// and re-recorded on wakeup.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mutex) DTX_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> native(mutex.raw_, std::adopt_lock);
+    mutex.note_release();
+    cv_.wait(native);
+    mutex.note_acquire();
+    native.release();
+  }
+
+  template <typename Predicate>
+  void wait(Mutex& mutex, Predicate predicate) DTX_REQUIRES(mutex) {
+    while (!predicate()) wait(mutex);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mutex,
+                            const std::chrono::time_point<Clock, Duration>&
+                                deadline) DTX_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> native(mutex.raw_, std::adopt_lock);
+    mutex.note_release();
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    mutex.note_acquire();
+    native.release();
+    return status;
+  }
+
+  template <typename Clock, typename Duration, typename Predicate>
+  bool wait_until(Mutex& mutex,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Predicate predicate) DTX_REQUIRES(mutex) {
+    while (!predicate()) {
+      if (wait_until(mutex, deadline) == std::cv_status::timeout) {
+        return predicate();
+      }
+    }
+    return true;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mutex,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      DTX_REQUIRES(mutex) {
+    return wait_until(mutex, std::chrono::steady_clock::now() + timeout);
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(Mutex& mutex,
+                const std::chrono::duration<Rep, Period>& timeout,
+                Predicate predicate) DTX_REQUIRES(mutex) {
+    return wait_until(mutex, std::chrono::steady_clock::now() + timeout,
+                      std::move(predicate));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dtx::sync

@@ -1,0 +1,92 @@
+// Clang Thread Safety Analysis macros (no-ops under other compilers).
+//
+// These wrap the attribute spellings documented in
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so the engine's
+// locking discipline is machine-checked: fields name their mutex with
+// DTX_GUARDED_BY, internal helpers that expect a lock held say so with
+// DTX_REQUIRES, and `clang++ -Wthread-safety -Werror` (the CI
+// static-analysis job) proves every access site. GCC builds compile the
+// annotations away entirely.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DTX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DTX_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Marks a class as a capability (lockable) type.
+#define DTX_CAPABILITY(x) DTX_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define DTX_SCOPED_CAPABILITY DTX_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the named mutex(es).
+#define DTX_GUARDED_BY(x) DTX_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the named mutex.
+#define DTX_PT_GUARDED_BY(x) DTX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// This mutex must be acquired before the listed ones.
+#define DTX_ACQUIRED_BEFORE(...) \
+  DTX_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// This mutex must be acquired after the listed ones.
+#define DTX_ACQUIRED_AFTER(...) \
+  DTX_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held exclusively on entry (and does not
+/// release it).
+#define DTX_REQUIRES(...) \
+  DTX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the capability held at least shared on entry.
+#define DTX_REQUIRES_SHARED(...) \
+  DTX_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively and holds it on return.
+#define DTX_ACQUIRE(...) \
+  DTX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared and holds it on return.
+#define DTX_ACQUIRE_SHARED(...) \
+  DTX_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the (exclusively held) capability.
+#define DTX_RELEASE(...) \
+  DTX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases the shared-held capability.
+#define DTX_RELEASE_SHARED(...) \
+  DTX_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability whichever way it is held.
+#define DTX_RELEASE_GENERIC(...) \
+  DTX_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define DTX_TRY_ACQUIRE(...) \
+  DTX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define DTX_TRY_ACQUIRE_SHARED(...) \
+  DTX_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrancy / deadlock guard).
+#define DTX_EXCLUDES(...) DTX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime-checked assertion that the capability is held; teaches the
+/// analysis the fact on paths it cannot prove (e.g. across a CondVar wait
+/// implemented on the native handle).
+#define DTX_ASSERT_CAPABILITY(x) \
+  DTX_THREAD_ANNOTATION(assert_capability(x))
+#define DTX_ASSERT_SHARED_CAPABILITY(x) \
+  DTX_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// Function returns a reference to the named capability.
+#define DTX_RETURN_CAPABILITY(x) DTX_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions the intraprocedural analysis cannot follow
+/// (conditional acquisition, lock-set handoff through containers). Every
+/// use carries a comment saying why the analysis cannot see through it.
+#define DTX_NO_THREAD_SAFETY_ANALYSIS \
+  DTX_THREAD_ANNOTATION(no_thread_safety_analysis)

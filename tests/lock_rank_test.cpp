@@ -1,0 +1,184 @@
+// Runtime lock-rank checker tests (util/sync.hpp, DTX_LOCK_RANK=1).
+//
+// The negative cases are death tests: the checker's whole contract is
+// "abort deterministically on the first out-of-order acquisition", so each
+// violation is exercised in a forked child and matched against the
+// diagnostic. The positive case walks a representative slice of the
+// lattice in order and must stay silent.
+//
+// Without -DDTX_LOCK_RANK=ON the checker is compiled out and every test
+// here skips (the wrappers still exist; sync_test covers them).
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/sync.hpp"
+
+namespace dtx::sync {
+namespace {
+
+#if DTX_LOCK_RANK
+
+using LockRankDeathTest = ::testing::Test;
+
+TEST(LockRankTest, LatticeOrderIsSilent) {
+  // A deeper chain than the engine ever builds, strictly ascending.
+  Mutex membership(LockRank::kClusterMembership);
+  Mutex coord(LockRank::kSiteCoordinator);
+  SharedMutex data_latch(LockRank::kDataLatch);
+  Mutex shard(LockRank::kLockTableShard, kMultiAcquire);
+  Mutex wfg(LockRank::kWaitForGraph);
+  Mutex storage(LockRank::kStorage);
+  Mutex log(LockRank::kLog);
+
+  MutexLock l0(membership);
+  MutexLock l1(coord);
+  SharedLock l2(data_latch);
+  MutexLock l3(shard);
+  MutexLock l4(wfg);
+  MutexLock l5(storage);
+  MutexLock l6(log);
+  SUCCEED();
+}
+
+TEST(LockRankTest, ReleaseReopensTheRank) {
+  // Holds form a set, not a stack: dropping the high rank lets the thread
+  // go back down and climb again.
+  Mutex low(LockRank::kSiteCoordinator);
+  Mutex high(LockRank::kStorage);
+  {
+    MutexLock l1(low);
+    MutexLock l2(high);
+  }
+  {
+    MutexLock l2(high);
+  }
+  {
+    MutexLock l1(low);
+    MutexLock l2(high);
+  }
+  SUCCEED();
+}
+
+TEST(LockRankTest, NonLifoReleaseOrder) {
+  // lock_shards guards die in vector order, which is not reverse
+  // acquisition order — the held set must cope.
+  Mutex a(LockRank::kLockTableShard, kMultiAcquire);
+  Mutex b(LockRank::kLockTableShard, kMultiAcquire);
+  Mutex c(LockRank::kLockTableShard, kMultiAcquire);
+  a.lock();
+  b.lock();
+  c.lock();
+  a.unlock();
+  c.unlock();
+  b.unlock();
+  // The set is empty again: climbing from the bottom must succeed.
+  Mutex low(LockRank::kClusterMembership);
+  MutexLock l(low);
+  SUCCEED();
+}
+
+TEST(LockRankTest, MultiAcquireAdmitsEqualRank) {
+  Mutex shard0(LockRank::kLockTableShard, kMultiAcquire);
+  Mutex shard1(LockRank::kLockTableShard, kMultiAcquire);
+  MutexLock l0(shard0);
+  MutexLock l1(shard1);  // same rank, multi-acquire: fine
+  SUCCEED();
+}
+
+TEST(LockRankDeathTest, OutOfOrderAcquisitionAborts) {
+  // The seeded inversion from the acceptance criteria: storage before
+  // catalog is backwards (190 > 160).
+  Mutex storage(LockRank::kStorage);
+  Mutex catalog(LockRank::kCatalog);
+  EXPECT_DEATH(
+      {
+        MutexLock l1(storage);
+        MutexLock l2(catalog);
+      },
+      "lock rank violation: acquiring catalog");
+}
+
+TEST(LockRankDeathTest, EqualRankWithoutMultiAborts) {
+  Mutex wfg_a(LockRank::kWaitForGraph);
+  Mutex wfg_b(LockRank::kWaitForGraph);
+  EXPECT_DEATH(
+      {
+        MutexLock l1(wfg_a);
+        MutexLock l2(wfg_b);
+      },
+      "lock rank violation: acquiring wait-for-graph");
+}
+
+TEST(LockRankDeathTest, RecursiveAcquisitionAborts) {
+  // Even on a multi-acquire mutex: same rank twice is fine, same *mutex*
+  // twice is a self-deadlock.
+  Mutex shard(LockRank::kLockTableShard, kMultiAcquire);
+  EXPECT_DEATH(
+      {
+        shard.lock();
+        shard.lock();
+      },
+      "lock rank violation: recursive acquisition");
+}
+
+TEST(LockRankDeathTest, SharedMutexIsRankedToo) {
+  SharedMutex latch(LockRank::kDataLatch);
+  Mutex coord(LockRank::kSiteCoordinator);
+  EXPECT_DEATH(
+      {
+        SharedLock l1(latch);
+        MutexLock l2(coord);  // 20 under a held 50
+      },
+      "lock rank violation: acquiring site-coordinator");
+}
+
+TEST(LockRankDeathTest, AssertHeldWithoutHoldingAborts) {
+  Mutex mutex(LockRank::kCatalog);
+  EXPECT_DEATH(mutex.AssertHeld(), "AssertHeld without holding");
+}
+
+TEST(LockRankTest, AssertHeldWhileHoldingIsSilent) {
+  Mutex mutex(LockRank::kCatalog);
+  mutex.lock();
+  mutex.AssertHeld();
+  mutex.unlock();
+  SUCCEED();
+}
+
+TEST(LockRankTest, CondVarWaitKeepsBookkeepingHonest) {
+  // wait() drops the hold while blocked: a notifier thread can acquire the
+  // same mutex, and on wakeup the waiter's hold is re-recorded (AssertHeld
+  // passes, and climbing further up the lattice still works).
+  Mutex mutex(LockRank::kSiteCoordinator);
+  CondVar cv;
+  bool ready = false;
+
+  std::thread notifier([&] {
+    MutexLock lock(mutex);
+    ready = true;
+    cv.notify_one();
+  });
+
+  {
+    MutexLock lock(mutex);
+    cv.wait(mutex, [&] { return ready; });
+    mutex.AssertHeld();
+    Mutex leaf(LockRank::kLog);
+    MutexLock l2(leaf);
+  }
+  notifier.join();
+}
+
+#else  // !DTX_LOCK_RANK
+
+TEST(LockRankTest, CheckerCompiledOut) {
+  GTEST_SKIP() << "built without -DDTX_LOCK_RANK=ON; the rank checker is "
+                  "compiled out";
+}
+
+#endif  // DTX_LOCK_RANK
+
+}  // namespace
+}  // namespace dtx::sync

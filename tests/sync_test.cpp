@@ -1,0 +1,260 @@
+// dtx::sync wrapper tests (util/sync.hpp): the annotated Mutex /
+// SharedMutex / CondVar / guard types must behave exactly like the std
+// primitives they wrap, in every configuration — plain, DTX_LOCK_RANK=ON,
+// and under TSAN (the CI sanitizer jobs run this suite; the threaded cases
+// below give TSAN real concurrency to check the wrappers don't hide).
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/sync.hpp"
+
+namespace dtx::sync {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// try_lock from the owning thread is UB for the std primitives, so every
+/// "is it locked?" probe below runs on a helper thread.
+template <typename MutexT>
+bool try_lock_elsewhere(MutexT& mutex) {
+  std::atomic<bool> acquired{false};
+  std::thread probe([&] {
+    if (mutex.try_lock()) {
+      mutex.unlock();
+      acquired = true;
+    }
+  });
+  probe.join();
+  return acquired.load();
+}
+
+bool try_lock_shared_elsewhere(SharedMutex& mutex) {
+  std::atomic<bool> acquired{false};
+  std::thread probe([&] {
+    if (mutex.try_lock_shared()) {
+      mutex.unlock_shared();
+      acquired = true;
+    }
+  });
+  probe.join();
+  return acquired.load();
+}
+
+TEST(SyncTest, MutexExcludesConcurrentIncrements) {
+  Mutex mutex(LockRank::kCatalog);
+  int counter = 0;  // deliberately not atomic: the mutex is the guard
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mutex);
+        ++counter;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(SyncTest, TryLockReportsContention) {
+  Mutex mutex(LockRank::kCatalog);
+  ASSERT_TRUE(mutex.try_lock());
+  EXPECT_FALSE(try_lock_elsewhere(mutex));
+  mutex.unlock();
+  EXPECT_TRUE(try_lock_elsewhere(mutex));
+}
+
+TEST(SyncTest, SharedMutexAdmitsConcurrentReaders) {
+  // Deterministic overlap: every reader takes the shared lock and holds it
+  // until all readers are inside. If shared holds excluded each other this
+  // would hang (and trip the 120 s ctest timeout) instead of passing.
+  SharedMutex mutex(LockRank::kDataLatch);
+  std::atomic<int> readers_in{0};
+  constexpr int kReaders = 4;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      SharedLock lock(mutex);
+      ++readers_in;
+      while (readers_in.load() < kReaders) std::this_thread::yield();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(readers_in.load(), kReaders);
+}
+
+TEST(SyncTest, SharedMutexWritersExcludeReaders) {
+  SharedMutex mutex(LockRank::kDataLatch);
+  int value = 42;  // guarded by mutex
+  std::atomic<int> readers_in{0};
+  constexpr int kReaders = 4;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + 1);
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        SharedLock lock(mutex);
+        ++readers_in;
+        EXPECT_GE(value, 42);  // the writer only ever increments
+        --readers_in;
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 100; ++i) {
+      ExclusiveLock lock(mutex);
+      EXPECT_EQ(readers_in.load(), 0);  // writers exclude readers
+      ++value;
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(value, 142);
+}
+
+TEST(SyncTest, UniqueLockDropAndRetake) {
+  Mutex mutex(LockRank::kCatalog);
+  UniqueLock lock(mutex);
+  EXPECT_TRUE(lock.owns_lock());
+
+  lock.unlock();
+  EXPECT_FALSE(lock.owns_lock());
+  {
+    // While dropped, another thread can take the mutex.
+    std::atomic<bool> acquired{false};
+    std::thread other([&] {
+      MutexLock inner(mutex);
+      acquired = true;
+    });
+    other.join();
+    EXPECT_TRUE(acquired.load());
+  }
+
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+  // Destructor releases the retaken hold.
+}
+
+TEST(SyncTest, MovableMutexLockReleasesOnceAtVectorDeath) {
+  Mutex a(LockRank::kLockTableShard, kMultiAcquire);
+  Mutex b(LockRank::kLockTableShard, kMultiAcquire);
+  {
+    std::vector<MovableMutexLock> guards;
+    guards.reserve(2);  // moves must not double-unlock either way
+    guards.emplace_back(a);
+    guards.emplace_back(b);
+    EXPECT_FALSE(try_lock_elsewhere(a));
+    EXPECT_FALSE(try_lock_elsewhere(b));
+  }
+  EXPECT_TRUE(try_lock_elsewhere(a));
+  EXPECT_TRUE(try_lock_elsewhere(b));
+}
+
+TEST(SyncTest, MovableExclusiveLockTransfersTheHold) {
+  SharedMutex mutex(LockRank::kDataLatch);
+  {
+    MovableExclusiveLock outer = [&] {
+      MovableExclusiveLock inner(mutex);
+      return inner;
+    }();
+    EXPECT_FALSE(try_lock_shared_elsewhere(mutex));
+  }
+  EXPECT_TRUE(try_lock_shared_elsewhere(mutex));
+}
+
+TEST(SyncTest, ConditionalLatchBothModes) {
+  SharedMutex mutex(LockRank::kDataLatch);
+  {
+    ConditionalLatch latch(mutex, ConditionalLatch::Mode::kShared);
+    // Shared admits more readers, excludes writers.
+    EXPECT_TRUE(try_lock_shared_elsewhere(mutex));
+    EXPECT_FALSE(try_lock_elsewhere(mutex));
+  }
+  {
+    ConditionalLatch latch(mutex, ConditionalLatch::Mode::kExclusive);
+    EXPECT_FALSE(try_lock_shared_elsewhere(mutex));
+  }
+  EXPECT_TRUE(try_lock_elsewhere(mutex));  // both modes released their hold
+}
+
+TEST(SyncTest, CondVarNotifyWakesPredicateWait) {
+  Mutex mutex(LockRank::kSiteCoordinator);
+  CondVar cv;
+  bool ready = false;
+  std::atomic<bool> woke{false};
+
+  std::thread waiter([&] {
+    MutexLock lock(mutex);
+    cv.wait(mutex, [&] { return ready; });
+    woke = true;
+  });
+
+  {
+    MutexLock lock(mutex);
+    ready = true;
+    cv.notify_one();
+  }
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(SyncTest, CondVarWaitForTimesOut) {
+  Mutex mutex(LockRank::kSiteCoordinator);
+  CondVar cv;
+
+  MutexLock lock(mutex);
+  const auto start = std::chrono::steady_clock::now();
+  const bool result = cv.wait_for(mutex, 20ms, [] { return false; });
+  EXPECT_FALSE(result);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 20ms);
+}
+
+TEST(SyncTest, CondVarWaitUntilDeadlineStatus) {
+  Mutex mutex(LockRank::kSiteCoordinator);
+  CondVar cv;
+
+  MutexLock lock(mutex);
+  const auto deadline = std::chrono::steady_clock::now() + 10ms;
+  EXPECT_EQ(cv.wait_until(mutex, deadline), std::cv_status::timeout);
+}
+
+TEST(SyncTest, AssertHeldPassesWhileHolding) {
+  {
+    Mutex mutex(LockRank::kCatalog);
+    MutexLock lock(mutex);
+    mutex.AssertHeld();  // must not abort, in any configuration
+  }
+  SharedMutex shared(LockRank::kDataLatch);
+  {
+    SharedLock reader(shared);
+    shared.AssertReaderHeld();
+  }
+  {
+    ExclusiveLock writer(shared);
+    shared.AssertHeld();
+  }
+}
+
+TEST(SyncTest, LockRankNamesAreStable) {
+  // The death-test diagnostics and the README table both spell these out.
+  EXPECT_STREQ(lock_rank_name(LockRank::kClusterMembership),
+               "cluster-membership");
+  EXPECT_STREQ(lock_rank_name(LockRank::kDataLatch), "data-latch");
+  EXPECT_STREQ(lock_rank_name(LockRank::kLockTableShard), "lock-table-shard");
+  EXPECT_STREQ(lock_rank_name(LockRank::kLog), "log");
+}
+
+}  // namespace
+}  // namespace dtx::sync
